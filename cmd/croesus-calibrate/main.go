@@ -1,0 +1,46 @@
+package main
+
+import (
+	"fmt"
+
+	"croesus/internal/detect"
+	"croesus/internal/metrics"
+	"croesus/internal/video"
+)
+
+func main() {
+	for _, prof := range video.AllProfiles() {
+		frames := video.NewGenerator(prof, 11).Generate(200)
+		edge := detect.TinyYOLOSim(42)
+		cloud := detect.YOLOv3Sim(detect.YOLO416, 42)
+		var edgeCounts metrics.Counts
+		hist := map[int]int{}      // confidence decile histogram of edge dets
+		wrongHist := map[int]int{} // deciles of dets that are wrong vs cloud
+		for _, f := range frames {
+			e := edge.Detect(f).Detections
+			c := cloud.Detect(f).Detections
+			edgeCounts.Add(metrics.ScoreClass(e, c, prof.QueryClass, 0.1))
+			m := metrics.MatchBoxes(e, c, 0.1)
+			matched := map[int]string{}
+			for _, pair := range m.Matches {
+				matched[pair.Pred] = c[pair.Ref].Label
+			}
+			for i, dd := range e {
+				dec := int(dd.Confidence * 10)
+				hist[dec]++
+				lbl, ok := matched[i]
+				if !ok || lbl != dd.Label {
+					wrongHist[dec]++
+				}
+			}
+		}
+		fmt.Printf("%-22s edgeF1=%.3f\n", prof.Name, edgeCounts.F1())
+		for dec := 0; dec < 10; dec++ {
+			if hist[dec] > 0 {
+				fmt.Printf("   conf %.1f-%.1f: %4d dets, %4d wrong (%.0f%%)\n",
+					float64(dec)/10, float64(dec+1)/10, hist[dec], wrongHist[dec],
+					100*float64(wrongHist[dec])/float64(hist[dec]))
+			}
+		}
+	}
+}

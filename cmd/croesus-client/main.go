@@ -1,0 +1,106 @@
+// Command croesus-client streams a synthetic video to an edge node and
+// reports per-frame initial/final latencies, corrections, and apologies —
+// the V/AR headset of the paper's running example.
+//
+// Usage:
+//
+//	croesus-client -edge localhost:9401 -video park -frames 50 -fps 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"croesus/internal/tcpnet"
+	"croesus/internal/video"
+)
+
+func profileByName(name string) (video.Profile, bool) {
+	for _, p := range video.AllProfiles() {
+		switch name {
+		case p.Name:
+			return p, true
+		}
+	}
+	switch name {
+	case "park":
+		return video.ParkDog(), true
+	case "street":
+		return video.StreetVehicles(), true
+	case "airport":
+		return video.AirportRunway(), true
+	case "mall":
+		return video.MallSurveillance(), true
+	case "pedestrians":
+		return video.StreetPedestrians(), true
+	}
+	return video.Profile{}, false
+}
+
+func main() {
+	var (
+		edgeAddr = flag.String("edge", "localhost:9401", "edge node address")
+		vid      = flag.String("video", "park", "video: park, street, airport, mall, pedestrians")
+		frames   = flag.Int("frames", 30, "number of frames to stream")
+		fps      = flag.Float64("fps", 2, "capture rate (frames per second)")
+		seed     = flag.Int64("seed", 11, "video generator seed")
+		padding  = flag.Int("padding", 0, "extra payload bytes per frame (simulates encoded size on the wire)")
+	)
+	flag.Parse()
+
+	prof, ok := profileByName(*vid)
+	if !ok {
+		log.Fatalf("croesus-client: unknown video %q", *vid)
+	}
+	if *fps > 0 {
+		prof.FPS = *fps
+	}
+	client, err := tcpnet.Dial(*edgeAddr)
+	if err != nil {
+		log.Fatalf("croesus-client: %v", err)
+	}
+	defer client.Close()
+
+	gen := video.NewGenerator(prof, *seed)
+	interval := prof.FrameInterval()
+	log.Printf("croesus-client: streaming %d frames of %s to %s at %.1f fps", *frames, prof.Name, *edgeAddr, prof.FPS)
+
+	submitted := make([]*video.Frame, 0, *frames)
+	for i := 0; i < *frames; i++ {
+		f := gen.Next()
+		if err := client.Submit(f, *padding); err != nil {
+			log.Fatalf("croesus-client: submit frame %d: %v", f.Index, err)
+		}
+		submitted = append(submitted, f)
+		time.Sleep(interval)
+	}
+
+	var sumInit, sumFinal time.Duration
+	var sent, corrections, apologies int
+	for _, f := range submitted {
+		r, err := client.WaitFrame(f.Index, 2*time.Minute)
+		if err != nil {
+			log.Fatalf("croesus-client: frame %d: %v", f.Index, err)
+		}
+		fmt.Printf("frame %3d: initial %4d labels in %7.1fms | final %4d labels in %7.1fms | cloud=%-5v corrections=%d\n",
+			r.FrameIndex, len(r.Initial), float64(r.InitialLatency)/float64(time.Millisecond),
+			len(r.Final), float64(r.FinalLatency)/float64(time.Millisecond), r.SentToCloud, r.Corrections)
+		for _, a := range r.Apologies {
+			fmt.Printf("           apology: %s\n", a)
+		}
+		sumInit += r.InitialLatency
+		sumFinal += r.FinalLatency
+		corrections += r.Corrections
+		apologies += len(r.Apologies)
+		if r.SentToCloud {
+			sent++
+		}
+	}
+	n := time.Duration(len(submitted))
+	fmt.Printf("\nsummary: %d frames | BU %.1f%% | mean initial %.1fms | mean final %.1fms | %d corrections | %d apologies\n",
+		len(submitted), 100*float64(sent)/float64(len(submitted)),
+		float64(sumInit/n)/float64(time.Millisecond), float64(sumFinal/n)/float64(time.Millisecond),
+		corrections, apologies)
+}

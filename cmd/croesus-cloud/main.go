@@ -1,0 +1,43 @@
+// Command croesus-cloud runs the cloud node: it listens for edge
+// connections and answers frame-detection requests with the full model.
+//
+// Usage:
+//
+//	croesus-cloud -addr :9402 -model 416 -timescale 1.0
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"croesus/internal/detect"
+	"croesus/internal/tcpnet"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":9402", "listen address")
+		model     = flag.Int("model", 416, "cloud model size: 320, 416, or 608")
+		seed      = flag.Int64("seed", 42, "model seed (must match the edge/client seed)")
+		timeScale = flag.Float64("timescale", 1.0, "inference latency multiplier (use <1 to speed up demos)")
+	)
+	flag.Parse()
+
+	m := detect.YOLOv3Sim(detect.YOLOSize(*model), *seed)
+	srv := tcpnet.NewCloudServer(m, *timeScale)
+	srv.Logf = tcpnet.StdLogf("cloud")
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("croesus-cloud: %v", err)
+	}
+	log.Printf("croesus-cloud: %s serving on %s (timescale %.2f)", m.Name(), bound, *timeScale)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("croesus-cloud: shutting down after %d frames", srv.Handled())
+	srv.Close()
+}

@@ -1,0 +1,63 @@
+// Command croesus-edge runs the edge node: the compact model, the data
+// store with multi-stage (MS-IA) transaction processing, bandwidth
+// thresholding, and the cloud validation path.
+//
+// Usage:
+//
+//	croesus-edge -addr :9401 -cloud localhost:9402 -thetal 0.4 -thetau 0.6
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"croesus/internal/core"
+	"croesus/internal/detect"
+	"croesus/internal/tcpnet"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":9401", "listen address for clients")
+		cloudAddr = flag.String("cloud", "", "cloud node address (empty: edge-only mode)")
+		seed      = flag.Int64("seed", 42, "model seed (must match cloud/client)")
+		thetaL    = flag.Float64("thetal", 0.40, "lower confidence threshold θL (discard below)")
+		thetaU    = flag.Float64("thetau", 0.62, "upper confidence threshold θU (keep above)")
+		timeScale = flag.Float64("timescale", 1.0, "inference latency multiplier")
+		keys      = flag.Int("keys", 1000, "database key space for the per-detection transactions")
+	)
+	flag.Parse()
+
+	srv, err := tcpnet.NewEdgeServer(tcpnet.EdgeConfig{
+		EdgeModel: detect.TinyYOLOSim(*seed),
+		CloudAddr: *cloudAddr,
+		TimeScale: *timeScale,
+		ThetaL:    *thetaL,
+		ThetaU:    *thetaU,
+		Source:    core.NewWorkloadSource(*keys, *seed),
+		Logf:      tcpnet.StdLogf("edge"),
+	})
+	if err != nil {
+		log.Fatalf("croesus-edge: %v", err)
+	}
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("croesus-edge: %v", err)
+	}
+	mode := "croesus (cloud " + *cloudAddr + ")"
+	if *cloudAddr == "" {
+		mode = "edge-only"
+	}
+	log.Printf("croesus-edge: serving on %s, mode %s, thresholds (%.2f, %.2f)", bound, mode, *thetaL, *thetaU)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	st := srv.Manager().Stats()
+	log.Printf("croesus-edge: shutting down — %d frames, %d initial commits, %d final commits, %d aborts, %d apologies",
+		srv.Served(), st.InitialCommits, st.FinalCommits, st.Aborts, st.Apologies)
+	srv.Close()
+}

@@ -1,0 +1,426 @@
+// Package croesus is the public API of the Croesus reproduction: a
+// multi-stage edge-cloud video-analytics pipeline with multi-stage
+// transactions (MS-SR and MS-IA), after "Croesus: Multi-Stage Processing
+// and Transactions for Video-Analytics in Edge-Cloud Systems" (ICDE 2022).
+//
+// The quickest way in:
+//
+//	clk := croesus.NewSimClock()
+//	sys := croesus.NewSystem(clk)
+//	p, err := croesus.NewPipeline(croesus.Config{
+//		Clock:      clk,
+//		EdgeModel:  croesus.TinyYOLOSim(42),
+//		CloudModel: croesus.YOLOv3Sim(croesus.YOLO416, 42),
+//		ThetaL:     0.40, ThetaU: 0.62,
+//		Source:     croesus.NewWorkloadSource(1000, 7),
+//		CC:         sys.MSIA(),
+//		Mgr:        sys.Manager,
+//	})
+//	outs := p.ProcessVideo(croesus.NewVideoGenerator(croesus.ParkDog(), 11).Generate(100))
+//
+// See examples/ for runnable programs and internal/experiments for the
+// harnesses that regenerate every table and figure of the paper.
+package croesus
+
+import (
+	"croesus/internal/bank"
+	"croesus/internal/core"
+	"croesus/internal/detect"
+	"croesus/internal/experiments"
+	"croesus/internal/lock"
+	"croesus/internal/netsim"
+	"croesus/internal/smoothing"
+	"croesus/internal/store"
+	"croesus/internal/threshold"
+	"croesus/internal/twopc"
+	"croesus/internal/txn"
+	"croesus/internal/vclock"
+	"croesus/internal/video"
+)
+
+// ---------------------------------------------------------------------------
+// Clocks
+
+type (
+	// Clock abstracts time: a deterministic virtual scheduler for
+	// experiments or the wall clock for deployments.
+	Clock = vclock.Clock
+	// SimClock is the virtual-time scheduler.
+	SimClock = vclock.Sim
+	// Gate is a one-shot wakeup primitive tied to a Clock.
+	Gate = vclock.Gate
+	// Semaphore is a FIFO counted resource on a Clock.
+	Semaphore = vclock.Semaphore
+)
+
+// NewSimClock returns a fresh virtual-time scheduler.
+func NewSimClock() *SimClock { return vclock.NewSim() }
+
+// NewRealClock returns a wall-clock Clock.
+func NewRealClock() Clock { return vclock.NewReal() }
+
+// NewSemaphore returns a counted resource on clk.
+func NewSemaphore(clk Clock, capacity int) *Semaphore {
+	return vclock.NewSemaphore(clk, capacity)
+}
+
+// ---------------------------------------------------------------------------
+// Video and detection
+
+type (
+	// VideoProfile describes a synthetic video workload.
+	VideoProfile = video.Profile
+	// VideoGenerator produces frames deterministically from a seed.
+	VideoGenerator = video.Generator
+	// Frame is one video frame with ground-truth objects.
+	Frame = video.Frame
+	// Rect is a normalized bounding box.
+	Rect = video.Rect
+	// Object is a ground-truth object in a frame.
+	Object = video.Object
+	// ClassFreq weights one object class in a video profile.
+	ClassFreq = video.ClassFreq
+
+	// Model is a detection model.
+	Model = detect.Model
+	// Detection is one detected object: label, confidence, box.
+	Detection = detect.Detection
+	// SimModel is the simulated CNN used for both edge and cloud models.
+	SimModel = detect.SimModel
+	// YOLOSize selects a cloud model variant (320, 416, 608).
+	YOLOSize = detect.YOLOSize
+	// Oracle is a perfect zero-latency detector for tests.
+	Oracle = detect.Oracle
+)
+
+// Cloud model sizes (Table 2).
+const (
+	YOLO320 = detect.YOLO320
+	YOLO416 = detect.YOLO416
+	YOLO608 = detect.YOLO608
+)
+
+// NewVideoGenerator returns a deterministic generator for the profile.
+func NewVideoGenerator(p VideoProfile, seed int64) *VideoGenerator {
+	return video.NewGenerator(p, seed)
+}
+
+// The five evaluation videos of §5.1.
+func ParkDog() VideoProfile           { return video.ParkDog() }
+func StreetVehicles() VideoProfile    { return video.StreetVehicles() }
+func AirportRunway() VideoProfile     { return video.AirportRunway() }
+func MallSurveillance() VideoProfile  { return video.MallSurveillance() }
+func StreetPedestrians() VideoProfile { return video.StreetPedestrians() }
+
+// Videos returns all evaluation profiles in paper order.
+func Videos() []VideoProfile { return video.AllProfiles() }
+
+// TinyYOLOSim returns the compact edge model.
+func TinyYOLOSim(seed int64) *SimModel { return detect.TinyYOLOSim(seed) }
+
+// YOLOv3Sim returns a full cloud model of the given size.
+func YOLOv3Sim(size YOLOSize, seed int64) *SimModel { return detect.YOLOv3Sim(size, seed) }
+
+// ---------------------------------------------------------------------------
+// Store, locks, transactions
+
+type (
+	// Store is the edge node's versioned key-value store.
+	Store = store.Store
+	// Value is a stored payload.
+	Value = store.Value
+	// LockManager provides shared/exclusive key locks.
+	LockManager = lock.Manager
+
+	// Txn is a multi-stage transaction template.
+	Txn = txn.Txn
+	// TxnCtx is the database handle passed to section bodies.
+	TxnCtx = txn.Ctx
+	// TxnInstance is one execution of a template.
+	TxnInstance = txn.Instance
+	// TxnManager owns the store, locks, and dependency tracking.
+	TxnManager = txn.Manager
+	// RWSet declares a section's read and write keys.
+	RWSet = txn.RWSet
+	// CC is a multi-stage concurrency-control protocol.
+	CC = txn.CC
+	// MSSR is multi-stage serializability via Two Stage 2PL.
+	MSSR = txn.MSSR
+	// MSIA is multi-stage invariant confluence with apologies.
+	MSIA = txn.MSIA
+	// Sequencer orders batches so conflicting transactions don't overlap.
+	Sequencer = txn.Sequencer
+	// Apology records a user-visible correction.
+	Apology = txn.Apology
+	// Stage names a transaction section.
+	Stage = txn.Stage
+)
+
+// Section stages and MS-SR lock policies.
+const (
+	StageInitial = txn.StageInitial
+	StageFinal   = txn.StageFinal
+	PolicyWait   = txn.Wait
+	PolicyNoWait = txn.NoWait
+)
+
+// Multi-stage protocol errors.
+var (
+	ErrAborted   = txn.ErrAborted
+	ErrRetracted = txn.ErrRetracted
+)
+
+// System bundles the storage stack one edge node needs.
+type System struct {
+	Clock   Clock
+	Store   *Store
+	Locks   *LockManager
+	Manager *TxnManager
+}
+
+// NewSystem builds a store, lock manager, and transaction manager on clk.
+func NewSystem(clk Clock) *System {
+	st := store.New()
+	locks := lock.NewManager(clk)
+	return &System{
+		Clock:   clk,
+		Store:   st,
+		Locks:   locks,
+		Manager: txn.NewManager(clk, st, locks),
+	}
+}
+
+// MSIA returns the invariant-confluence protocol bound to this system.
+func (s *System) MSIA() CC { return &txn.MSIA{M: s.Manager} }
+
+// MSSRWait returns MS-SR with blocking (wait-die) acquisition.
+func (s *System) MSSRWait() CC { return &txn.MSSR{M: s.Manager, Policy: txn.Wait} }
+
+// MSSRNoWait returns MS-SR with abort-on-conflict acquisition.
+func (s *System) MSSRNoWait() CC { return &txn.MSSR{M: s.Manager, Policy: txn.NoWait} }
+
+// ---------------------------------------------------------------------------
+// Transactions bank
+
+type (
+	// Bank is the transactions bank mapping label classes (and auxiliary
+	// inputs) to transactions.
+	Bank = bank.Bank
+	// Registration is one bank row.
+	Registration = bank.Registration
+	// Trigger describes when a registration fires.
+	Trigger = bank.Trigger
+	// AuxEvent is an auxiliary-device input (e.g., a controller click).
+	AuxEvent = bank.AuxEvent
+	// Invocation is a transaction the bank decided to trigger.
+	Invocation = bank.Invocation
+)
+
+// NewBank returns an empty transactions bank.
+func NewBank() *Bank { return bank.New() }
+
+// ---------------------------------------------------------------------------
+// Correction feedback (smoothing)
+
+type (
+	// Smoother feeds cloud corrections back into the edge path.
+	Smoother = core.Smoother
+	// Corrector is the per-track label smoother of the paper's §2.1
+	// footnote: cloud-settled tracks stop re-validating.
+	Corrector = smoothing.Corrector
+)
+
+// NewCorrector returns a Corrector with default TTL, boost, and hit gates.
+func NewCorrector() *Corrector { return smoothing.New() }
+
+// ---------------------------------------------------------------------------
+// Network
+
+type (
+	// Link is a one-way network path with delay, bandwidth, and traffic
+	// accounting.
+	Link = netsim.Link
+	// Preprocessor shrinks frames before the edge→cloud hop.
+	Preprocessor = netsim.Preprocessor
+	// Compression is a re-encoding preprocessor.
+	Compression = netsim.Compression
+	// DiffComm is a frame-differencing preprocessor.
+	DiffComm = netsim.DiffComm
+	// PreprocessorChain composes preprocessors.
+	PreprocessorChain = netsim.Chain
+)
+
+// Link presets for the paper's deployment.
+func ClientEdgeLink() *Link           { return netsim.ClientEdgeLink() }
+func EdgeCloudCrossCountry() *Link    { return netsim.EdgeCloudCrossCountry() }
+func EdgeCloudSameSite() *Link        { return netsim.EdgeCloudSameSite() }
+func DefaultCompression() Compression { return netsim.DefaultCompression() }
+func DefaultDiffComm() DiffComm       { return netsim.DefaultDiffComm() }
+
+// ---------------------------------------------------------------------------
+// Pipeline (the paper's §3)
+
+type (
+	// Config assembles a pipeline.
+	Config = core.Config
+	// Pipeline executes frames through the multi-stage system.
+	Pipeline = core.Pipeline
+	// Mode selects Croesus or one of the baselines.
+	Mode = core.Mode
+	// FrameOutcome is the client-observable result of one frame.
+	FrameOutcome = core.FrameOutcome
+	// Summary aggregates a run.
+	Summary = core.Summary
+	// Breakdown decomposes latency into the Figure 2 components.
+	Breakdown = core.Breakdown
+	// InitialInput is what initial sections receive.
+	InitialInput = core.InitialInput
+	// FinalInput is what final sections receive.
+	FinalInput = core.FinalInput
+	// MatchCase classifies an edge label against the cloud labels.
+	MatchCase = core.MatchCase
+	// LabelMatch pairs an edge label with its correction.
+	LabelMatch = core.LabelMatch
+	// TxnSource supplies per-detection transactions.
+	TxnSource = core.TxnSource
+	// TxnSourceFunc adapts a function to TxnSource.
+	TxnSourceFunc = core.TxnSourceFunc
+	// WorkloadSource is the paper's YCSB-A-style transaction source.
+	WorkloadSource = core.WorkloadSource
+	// Chain is the generalized m-stage pipeline of §3.5.
+	Chain = core.Chain
+	// ChainStage is one stage of a Chain.
+	ChainStage = core.ChainStage
+	// ChainOutcome is a frame's progress through a Chain.
+	ChainOutcome = core.ChainOutcome
+)
+
+// Pipeline modes.
+const (
+	ModeCroesus   = core.ModeCroesus
+	ModeEdgeOnly  = core.ModeEdgeOnly
+	ModeCloudOnly = core.ModeCloudOnly
+)
+
+// Label-match cases (§3.3).
+const (
+	MatchCorrect   = core.MatchCorrect
+	MatchCorrected = core.MatchCorrected
+	MatchErroneous = core.MatchErroneous
+	MatchNew       = core.MatchNew
+	MatchAssumed   = core.MatchAssumed
+)
+
+// NewPipeline validates cfg and builds a pipeline.
+func NewPipeline(cfg Config) (*Pipeline, error) { return core.New(cfg) }
+
+// NewChain builds a generalized m-stage pipeline.
+func NewChain(clk Clock, client *Link, stages []ChainStage) (*Chain, error) {
+	return core.NewChain(clk, client, stages)
+}
+
+// NewWorkloadSource returns the paper's per-detection transaction source.
+func NewWorkloadSource(nKeys int, seed int64) *WorkloadSource {
+	return core.NewWorkloadSource(nKeys, seed)
+}
+
+// MatchLabels classifies edge labels against cloud labels (§3.3).
+func MatchLabels(edge, cloud []Detection, minIoU float64) []LabelMatch {
+	return core.MatchLabels(edge, cloud, minIoU)
+}
+
+// Summarize scores outcomes against ground truth for a query class.
+func Summarize(videoName string, mode Mode, queryClass string, outs []FrameOutcome, truth func(int) []Detection, overlapMin float64) Summary {
+	return core.Summarize(videoName, mode, queryClass, outs, truth, overlapMin)
+}
+
+// TruthFromModel precomputes per-frame reference detections.
+func TruthFromModel(m Model, frames []*Frame) func(int) []Detection {
+	return core.TruthFromModel(m, frames)
+}
+
+// ---------------------------------------------------------------------------
+// Bandwidth thresholding (§3.4)
+
+type (
+	// ThresholdEvaluator scores (θL, θU) pairs over one video.
+	ThresholdEvaluator = threshold.Evaluator
+	// ThresholdResult is a solver's chosen operating point.
+	ThresholdResult = threshold.Result
+	// HeatmapCell is one Figure 5 heatmap entry.
+	HeatmapCell = threshold.Cell
+)
+
+// NewThresholdEvaluator precomputes detections for threshold search.
+func NewThresholdEvaluator(frames []*Frame, edge, cloud Model, queryClass string, overlapMin float64) *ThresholdEvaluator {
+	return threshold.NewEvaluator(frames, edge, cloud, queryClass, overlapMin)
+}
+
+// BruteForceThresholds scans the full grid for the optimum under µ.
+func BruteForceThresholds(e *ThresholdEvaluator, mu, step float64) ThresholdResult {
+	return threshold.BruteForce(e, mu, step)
+}
+
+// GradientThresholds solves the same problem with far fewer evaluations.
+func GradientThresholds(e *ThresholdEvaluator, mu float64) ThresholdResult {
+	return threshold.GradientStep(e, mu)
+}
+
+// ThresholdHeatmap evaluates the full grid for heatmap rendering.
+func ThresholdHeatmap(e *ThresholdEvaluator, step float64) []HeatmapCell {
+	return threshold.Heatmap(e, step)
+}
+
+// ---------------------------------------------------------------------------
+// Multi-partition operations (§4.5)
+
+type (
+	// PartitionNode is one edge shard in a multi-partition deployment.
+	PartitionNode = twopc.Partition
+	// DistCoordinator drives distributed multi-stage transactions.
+	DistCoordinator = twopc.Coordinator
+	// DistTxn is a distributed multi-stage transaction.
+	DistTxn = twopc.DistTxn
+	// DistCtx is the distributed section context.
+	DistCtx = twopc.Ctx
+)
+
+// NewPartition returns an empty partition shard.
+func NewPartition(id int, clk Clock, link *Link) *PartitionNode {
+	return twopc.NewPartition(id, clk, link)
+}
+
+// NewDistCoordinator returns a coordinator over the partitions.
+func NewDistCoordinator(clk Clock, parts []*PartitionNode, proto twopc.Protocol) *DistCoordinator {
+	return twopc.NewCoordinator(clk, parts, proto)
+}
+
+// Distributed protocols.
+const (
+	DistMSSR = twopc.MSSR
+	DistMSIA = twopc.MSIA
+)
+
+// ---------------------------------------------------------------------------
+// Experiments
+
+type (
+	// ExperimentTable is a reproduced paper table/figure.
+	ExperimentTable = experiments.Table
+	// ExperimentOpts scales the experiment harnesses.
+	ExperimentOpts = experiments.Opts
+)
+
+// RunExperiment regenerates one paper table/figure by ID (see
+// ExperimentIDs).
+func RunExperiment(id string, opts ExperimentOpts) (ExperimentTable, bool) {
+	return experiments.ByID(id, opts)
+}
+
+// RunAllExperiments regenerates every table and figure.
+func RunAllExperiments(opts ExperimentOpts) []ExperimentTable {
+	return experiments.All(opts)
+}
+
+// ExperimentIDs lists the available experiment IDs.
+func ExperimentIDs() []string { return experiments.IDs() }

@@ -1,0 +1,182 @@
+package croesus
+
+// Integration tests exercising the public facade exactly the way the
+// examples and a downstream user would.
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFacadePipelineEndToEnd(t *testing.T) {
+	clk := NewSimClock()
+	sys := NewSystem(clk)
+	cloud := YOLOv3Sim(YOLO416, 42)
+	p, err := NewPipeline(Config{
+		Clock:      clk,
+		EdgeModel:  TinyYOLOSim(42),
+		CloudModel: cloud,
+		ThetaL:     0.40,
+		ThetaU:     0.62,
+		Source:     NewWorkloadSource(500, 7),
+		CC:         sys.MSIA(),
+		Mgr:        sys.Manager,
+	})
+	if err != nil {
+		t.Fatalf("NewPipeline: %v", err)
+	}
+	prof := ParkDog()
+	frames := NewVideoGenerator(prof, 11).Generate(30)
+	outs := p.ProcessVideo(frames)
+	truth := TruthFromModel(cloud, frames)
+	sum := Summarize(prof.Name, ModeCroesus, prof.QueryClass, outs, truth, 0.10)
+
+	if sum.Frames != 30 {
+		t.Fatalf("frames = %d", sum.Frames)
+	}
+	if sum.BU <= 0 || sum.BU >= 1 {
+		t.Errorf("BU = %.2f, want partial validation", sum.BU)
+	}
+	if sum.F1Final <= sum.F1Initial {
+		t.Errorf("final F %.3f not above initial F %.3f — corrections had no effect", sum.F1Final, sum.F1Initial)
+	}
+	if sum.MeanInitialLatency >= sum.MeanFinalLatency {
+		t.Error("initial commit must precede final commit")
+	}
+	// Every initial commit must be resolved: finally committed, or
+	// terminally retracted by a cascade from an erroneous transaction.
+	st := sys.Manager.Stats()
+	if st.InitialCommits == 0 {
+		t.Error("no transactions committed")
+	}
+	if unresolved := st.InitialCommits - st.FinalCommits; unresolved < 0 || unresolved > st.Retractions {
+		t.Errorf("multi-stage guarantee violated: %+v", st)
+	}
+}
+
+func TestFacadeMultiStageTxn(t *testing.T) {
+	clk := NewSimClock()
+	sys := NewSystem(clk)
+	cc := sys.MSSRWait()
+	sys.Store.Put("k", Value("v0"))
+
+	tx := &Txn{
+		Name:      "demo",
+		InitialRW: RWSet{Reads: []string{"k"}},
+		FinalRW:   RWSet{Writes: []string{"k"}},
+		Initial: func(c *TxnCtx) error {
+			if _, ok := c.Get("k"); !ok {
+				return errors.New("missing key")
+			}
+			return nil
+		},
+		Final: func(c *TxnCtx) error {
+			c.Put("k", Value("v1"))
+			return nil
+		},
+	}
+	inst := sys.Manager.NewInstance(tx, nil)
+	clk.Run(func() {
+		if err := cc.RunInitial(inst); err != nil {
+			t.Errorf("initial: %v", err)
+		}
+		clk.Sleep(100 * time.Millisecond)
+		if err := cc.RunFinal(inst); err != nil {
+			t.Errorf("final: %v", err)
+		}
+	})
+	if v, _ := sys.Store.Get("k"); string(v) != "v1" {
+		t.Errorf("k = %q", v)
+	}
+}
+
+func TestFacadeThresholdSolvers(t *testing.T) {
+	prof := StreetVehicles()
+	frames := NewVideoGenerator(prof, 11).Generate(80)
+	ev := NewThresholdEvaluator(frames, TinyYOLOSim(42), YOLOv3Sim(YOLO416, 42), prof.QueryClass, 0.10)
+	bf := BruteForceThresholds(ev, 0.8, 0.1)
+	gd := GradientThresholds(ev, 0.8)
+	if !bf.Feasible || !gd.Feasible {
+		t.Fatalf("solvers infeasible: %v %v", bf, gd)
+	}
+	if len(ThresholdHeatmap(ev, 0.2)) == 0 {
+		t.Error("empty heatmap")
+	}
+}
+
+func TestFacadeBankAndChain(t *testing.T) {
+	b := NewBank()
+	b.Register(Registration{
+		Name:    "r",
+		Trigger: Trigger{Classes: []string{"dog"}},
+		Make: func(d Detection, _ *AuxEvent) *Txn {
+			return &Txn{Name: "t"}
+		},
+	})
+	inv := b.Match([]Detection{{Label: "dog", Confidence: 0.9, Box: Rect{X: 0.1, Y: 0.1, W: 0.2, H: 0.2}}}, nil)
+	if len(inv) != 1 {
+		t.Fatalf("invocations = %d", len(inv))
+	}
+
+	clk := NewSimClock()
+	ch, err := NewChain(clk, ClientEdgeLink(), []ChainStage{
+		{Name: "edge", Model: TinyYOLOSim(42), Speed: 1, ThetaL: 0.4, ThetaU: 0.6},
+		{Name: "cloud", Model: YOLOv3Sim(YOLO416, 42), Speed: 1, Link: EdgeCloudCrossCountry()},
+	})
+	if err != nil {
+		t.Fatalf("NewChain: %v", err)
+	}
+	frames := NewVideoGenerator(ParkDog(), 11).Generate(10)
+	outs := ch.ProcessVideo(frames)
+	if len(outs) != 10 {
+		t.Fatalf("chain outcomes = %d", len(outs))
+	}
+	for _, o := range outs {
+		if o.StagesRun < 1 || o.StagesRun > 2 {
+			t.Errorf("frame %d ran %d stages", o.FrameIndex, o.StagesRun)
+		}
+	}
+}
+
+func TestFacadeDistributed(t *testing.T) {
+	clk := NewSimClock()
+	parts := []*PartitionNode{
+		NewPartition(0, clk, nil),
+		NewPartition(1, clk, EdgeCloudSameSite()),
+	}
+	co := NewDistCoordinator(clk, parts, DistMSIA)
+	dt := &DistTxn{
+		Name:      "d",
+		InitialRW: RWSet{Writes: []string{"x:1", "x:2"}},
+		FinalRW:   RWSet{Writes: []string{"x:1"}},
+		Initial: func(c *DistCtx) error {
+			c.Put("x:1", Value("a"))
+			c.Put("x:2", Value("b"))
+			return nil
+		},
+		Final: func(c *DistCtx) error { c.Put("x:1", Value("z")); return nil },
+	}
+	clk.Run(func() {
+		if err := co.Run(dt); err != nil {
+			t.Errorf("Run: %v", err)
+		}
+	})
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) == 0 {
+		t.Fatal("no experiments registered")
+	}
+	tab, ok := RunExperiment("figure6b", ExperimentOpts{Frames: 30, GridStep: 0.2})
+	if !ok {
+		t.Fatal("figure6b missing")
+	}
+	if len(tab.Rows) == 0 || tab.Format() == "" || tab.Markdown() == "" {
+		t.Error("experiment table empty or unrenderable")
+	}
+	if _, ok := RunExperiment("not-an-experiment", ExperimentOpts{}); ok {
+		t.Error("unknown experiment accepted")
+	}
+}

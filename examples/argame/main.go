@@ -1,0 +1,154 @@
+// Argame replays the multi-player AR game of §4.4: players transfer tokens
+// when the camera detects the recipient. Transfers are MS-IA multi-stage
+// transactions — the initial section applies the transfer optimistically
+// (the "guess"), and the final section reconciles against the cloud model's
+// corrected labels (the "apology"), retracting the transfer and its
+// dependents when the edge model identified the wrong player.
+//
+// The scenario is the paper's own: A has 50 tokens, B has 10. t1 transfers
+// 50 A→B, then t2 (B→C, 10) and t3 (B→C, 50) spend the received tokens.
+// The cloud reveals that t1's true recipient was D — retracting t1 must
+// cascade through t2 and t3, then replay A→D, leaving the application
+// invariants intact (no negative balances, token supply conserved).
+//
+//	go run ./examples/argame
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"croesus"
+)
+
+var players = []string{"A", "B", "C", "D"}
+
+func tokKey(p string) string { return "tok:" + p }
+
+func allKeys() []string {
+	keys := make([]string, len(players))
+	for i, p := range players {
+		keys[i] = tokKey(p)
+	}
+	return keys
+}
+
+func balance(sys *croesus.System, p string) int64 {
+	v, _ := sys.Store.Get(tokKey(p))
+	return int64FromValue(v)
+}
+
+func int64FromValue(v croesus.Value) int64 {
+	if len(v) != 8 {
+		return 0
+	}
+	var n int64
+	for _, b := range v {
+		n = n<<8 | int64(b)
+	}
+	return n
+}
+
+func valueFromInt64(n int64) croesus.Value {
+	v := make(croesus.Value, 8)
+	for i := 7; i >= 0; i-- {
+		v[i] = byte(n)
+		n >>= 8
+	}
+	return v
+}
+
+// transfer builds the multi-stage transfer(from, to, amount) transaction.
+// correctTo simulates the cloud model's verdict on who the recipient really
+// was ("" means the edge guess was right).
+func transfer(from, to string, amount int64, correctTo string) *croesus.Txn {
+	rw := croesus.RWSet{Writes: allKeys()}
+	move := func(c *croesus.TxnCtx, src, dst string) {
+		sv, _ := c.Get(tokKey(src))
+		dv, _ := c.Get(tokKey(dst))
+		c.Put(tokKey(src), valueFromInt64(int64FromValue(sv)-amount))
+		c.Put(tokKey(dst), valueFromInt64(int64FromValue(dv)+amount))
+	}
+	return &croesus.Txn{
+		Name:      fmt.Sprintf("transfer-%s→%s-%d", from, to, amount),
+		InitialRW: rw,
+		FinalRW:   rw,
+		Initial: func(c *croesus.TxnCtx) error {
+			move(c, from, to)
+			fmt.Printf("  [guess]   %s pays %s %d tokens\n", from, to, amount)
+			return nil
+		},
+		Final: func(c *croesus.TxnCtx) error {
+			if correctTo == "" || correctTo == to {
+				return nil // the guess held
+			}
+			// Apply-then-check failed: retract this transfer and every
+			// transaction that consumed its tokens, then replay.
+			apologies := c.Retract(fmt.Sprintf("recipient was really %s, not %s", correctTo, to))
+			for _, a := range apologies {
+				fmt.Printf("  [apology] %s\n", a)
+			}
+			move(c, from, correctTo)
+			fmt.Printf("  [replay]  %s pays %s %d tokens (corrected)\n", from, correctTo, amount)
+			return nil
+		},
+	}
+}
+
+func main() {
+	clk := croesus.NewSimClock()
+	sys := croesus.NewSystem(clk)
+	cc := sys.MSIA()
+
+	sys.Store.Put(tokKey("A"), valueFromInt64(50))
+	sys.Store.Put(tokKey("B"), valueFromInt64(10))
+	sys.Store.Put(tokKey("C"), valueFromInt64(0))
+	sys.Store.Put(tokKey("D"), valueFromInt64(0))
+	printBalances(sys, "start")
+
+	t1 := sys.Manager.NewInstance(transfer("A", "B", 50, "D"), nil) // edge misidentified D as B
+	t2 := sys.Manager.NewInstance(transfer("B", "C", 10, ""), nil)
+	t3 := sys.Manager.NewInstance(transfer("B", "C", 50, ""), nil)
+
+	clk.Run(func() {
+		fmt.Println("\n-- initial sections (edge guesses) --")
+		for _, in := range []*croesus.TxnInstance{t1, t2, t3} {
+			if err := cc.RunInitial(in); err != nil {
+				panic(err)
+			}
+		}
+		printBalances(sys, "after guesses")
+
+		fmt.Println("\n-- final sections (cloud verdicts arrive) --")
+		// t2 and t3 had correct inputs; their finals terminate first.
+		for _, in := range []*croesus.TxnInstance{t2, t3, t1} {
+			if err := cc.RunFinal(in); err != nil && !errors.Is(err, croesus.ErrRetracted) {
+				panic(err)
+			}
+		}
+	})
+	printBalances(sys, "after reconciliation")
+
+	// Application invariants.
+	total := int64(0)
+	ok := true
+	for _, p := range players {
+		b := balance(sys, p)
+		total += b
+		if b < 0 {
+			ok = false
+		}
+	}
+	fmt.Printf("\ninvariants: supply=%d (want 60), non-negative=%v\n", total, ok)
+	fmt.Printf("t2 state: %s, t3 state: %s (cascaded retraction)\n", t2.State(), t3.State())
+	st := sys.Manager.Stats()
+	fmt.Printf("stats: %d retractions, %d apologies\n", st.Retractions, st.Apologies)
+}
+
+func printBalances(sys *croesus.System, label string) {
+	fmt.Printf("balances (%s): ", label)
+	for _, p := range players {
+		fmt.Printf("%s=%d ", p, balance(sys, p))
+	}
+	fmt.Println()
+}

@@ -1,0 +1,57 @@
+// Quickstart: run the Croesus pipeline on a synthetic park video and
+// compare it with the edge-only and cloud-only baselines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"croesus"
+)
+
+func main() {
+	prof := croesus.ParkDog()
+	frames := croesus.NewVideoGenerator(prof, 11).Generate(120)
+
+	fmt.Printf("video: %s, %d frames\n\n", prof, len(frames))
+	fmt.Printf("%-12s %8s %9s %12s %12s %8s\n",
+		"system", "BU", "F-score", "initial", "final", "apologies")
+
+	for _, mode := range []croesus.Mode{croesus.ModeEdgeOnly, croesus.ModeCroesus, croesus.ModeCloudOnly} {
+		sum := runOnce(mode, frames, prof)
+		fmt.Printf("%-12s %7.1f%% %9.3f %12s %12s %8d\n",
+			sum.Mode, sum.BU*100, sum.F1Final,
+			sum.MeanInitialLatency.Round(time.Millisecond),
+			sum.MeanFinalLatency.Round(time.Millisecond),
+			sum.Apologies)
+	}
+
+	fmt.Println("\nCroesus gives the client edge-speed initial commits with cloud-grade")
+	fmt.Println("final accuracy, paying the cloud only for frames whose edge confidence")
+	fmt.Println("falls inside the validate interval [θL, θU].")
+}
+
+func runOnce(mode croesus.Mode, frames []*croesus.Frame, prof croesus.VideoProfile) croesus.Summary {
+	clk := croesus.NewSimClock()
+	sys := croesus.NewSystem(clk)
+	cloudModel := croesus.YOLOv3Sim(croesus.YOLO416, 42)
+	p, err := croesus.NewPipeline(croesus.Config{
+		Clock:      clk,
+		Mode:       mode,
+		EdgeModel:  croesus.TinyYOLOSim(42),
+		CloudModel: cloudModel,
+		ThetaL:     0.40,
+		ThetaU:     0.62,
+		Source:     croesus.NewWorkloadSource(1000, 7),
+		CC:         sys.MSIA(),
+		Mgr:        sys.Manager,
+	})
+	if err != nil {
+		panic(err)
+	}
+	outs := p.ProcessVideo(frames)
+	truth := croesus.TruthFromModel(cloudModel, frames)
+	return croesus.Summarize(prof.Name, mode, prof.QueryClass, outs, truth, 0.10)
+}

@@ -1,0 +1,82 @@
+// Trafficmonitor shows the bandwidth-thresholding optimizer of §3.4 on the
+// street-traffic video: it sweeps the (θL, θU) space, solves for the
+// cheapest thresholds meeting an accuracy constraint µ with both brute
+// force and gradient step, then runs the pipeline at the optimum and
+// reports latency, bandwidth utilization, and the estimated cloud egress
+// bill.
+//
+//	go run ./examples/trafficmonitor
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"croesus"
+)
+
+func main() {
+	prof := croesus.StreetVehicles()
+	frames := croesus.NewVideoGenerator(prof, 11).Generate(200)
+	edge := croesus.TinyYOLOSim(42)
+	cloud := croesus.YOLOv3Sim(croesus.YOLO416, 42)
+
+	ev := croesus.NewThresholdEvaluator(frames, edge, cloud, prof.QueryClass, 0.10)
+
+	// A coarse look at the trade-off surface.
+	fmt.Printf("trade-off surface for %s (query %q):\n", prof.Name, prof.QueryClass)
+	fmt.Printf("%-12s %8s %9s\n", "(θL,θU)", "BU", "F-score")
+	for _, pair := range [][2]float64{{0.5, 0.5}, {0.5, 0.6}, {0.6, 0.7}, {0.4, 0.7}, {0.2, 0.9}} {
+		f1, bu := ev.Evaluate(pair[0], pair[1])
+		fmt.Printf("(%.1f, %.1f)   %7.1f%% %9.3f\n", pair[0], pair[1], bu*100, f1)
+	}
+
+	// Solve for the optimum under µ = 0.85 both ways.
+	const mu = 0.85
+	ev.ResetEvals()
+	bf := croesus.BruteForceThresholds(ev, mu, 0.05)
+	gd := croesus.GradientThresholds(ev, mu)
+	fmt.Printf("\nbrute force: %v\n", bf)
+	fmt.Printf("gradient:    %v  (%.1fx fewer evaluations)\n", gd, float64(bf.Evals)/float64(gd.Evals))
+
+	// Deploy the optimum.
+	clk := croesus.NewSimClock()
+	sys := croesus.NewSystem(clk)
+	edgeCloud := croesus.EdgeCloudCrossCountry()
+	p, err := croesus.NewPipeline(croesus.Config{
+		Clock:      clk,
+		EdgeModel:  edge,
+		CloudModel: cloud,
+		EdgeCloud:  edgeCloud,
+		ThetaL:     bf.ThetaL,
+		ThetaU:     bf.ThetaU,
+		Source:     croesus.NewWorkloadSource(1000, 7),
+		CC:         sys.MSIA(),
+		Mgr:        sys.Manager,
+	})
+	if err != nil {
+		panic(err)
+	}
+	outs := p.ProcessVideo(frames)
+	truth := croesus.TruthFromModel(cloud, frames)
+	sum := croesus.Summarize(prof.Name, croesus.ModeCroesus, prof.QueryClass, outs, truth, 0.10)
+
+	fmt.Printf("\ndeployed at (%.2f, %.2f):\n", bf.ThetaL, bf.ThetaU)
+	fmt.Printf("  F-score            %.3f (constraint µ=%.2f)\n", sum.F1Final, mu)
+	fmt.Printf("  bandwidth utilized %.1f%% of frames\n", sum.BU*100)
+	fmt.Printf("  initial commit     %v (edge-speed response)\n", sum.MeanInitialLatency.Round(time.Millisecond))
+	fmt.Printf("  final commit       %v\n", sum.MeanFinalLatency.Round(time.Millisecond))
+
+	bytes, msgs := edgeCloud.Traffic()
+	fmt.Printf("  edge→cloud traffic %.1f MB in %d messages\n", float64(bytes)/(1<<20), msgs)
+	fmt.Printf("  egress cost        $%.4f at $0.09/GiB (vs $%.4f sending every frame)\n",
+		edgeCloud.CostUSD(0.09), allFramesCost(frames)*0.09)
+}
+
+func allFramesCost(frames []*croesus.Frame) float64 {
+	var total int
+	for _, f := range frames {
+		total += f.SizeBytes
+	}
+	return float64(total) / (1 << 30)
+}

@@ -1,0 +1,168 @@
+// Package bank implements the transactions bank of §3.3: a registry mapping
+// classes of labels (and optional auxiliary-device inputs) to the
+// transactions they trigger. The edge node consults the bank for every
+// processed frame to decide which transactions' initial sections to run.
+package bank
+
+import (
+	"sync"
+
+	"croesus/internal/detect"
+	"croesus/internal/txn"
+)
+
+// AuxEvent is an input from an auxiliary device (e.g., a click on a V/AR
+// controller), matched against the most recent frame's labels.
+type AuxEvent struct {
+	Kind    string // e.g. "click", "menu"
+	Payload any
+}
+
+// Trigger describes when a registered transaction fires.
+type Trigger struct {
+	// Classes lists label names that fire the trigger. Empty means "any
+	// label" (for Aux-only triggers, no label is required at all when
+	// AuxOnly is set).
+	Classes []string
+	// Aux, when non-empty, requires an auxiliary event of this kind in
+	// addition to (or, with AuxOnly, instead of) a matching label.
+	Aux string
+	// AuxOnly fires on the aux event alone, independent of labels (e.g.,
+	// a menu click that shows general user information).
+	AuxOnly bool
+}
+
+// Factory instantiates a transaction for a firing trigger. For label-driven
+// triggers the detection is the triggering label; for AuxOnly triggers it is
+// the zero Detection.
+type Factory func(d detect.Detection, aux *AuxEvent) *txn.Txn
+
+// Registration is one row of the transactions bank.
+type Registration struct {
+	Name    string
+	Trigger Trigger
+	Make    Factory
+}
+
+// Invocation is a transaction the bank decided to trigger.
+type Invocation struct {
+	Registration *Registration
+	Txn          *txn.Txn
+	Label        detect.Detection // zero for aux-only invocations
+	Aux          *AuxEvent
+}
+
+// Bank is the transactions bank. It is safe for concurrent use.
+type Bank struct {
+	mu   sync.RWMutex
+	regs []*Registration
+}
+
+// New returns an empty bank.
+func New() *Bank { return &Bank{} }
+
+// Register adds a row to the bank.
+func (b *Bank) Register(r Registration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	reg := r
+	b.regs = append(b.regs, &reg)
+}
+
+// Registrations returns the registered rows.
+func (b *Bank) Registrations() []*Registration {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return append([]*Registration{}, b.regs...)
+}
+
+func (t Trigger) matchesClass(class string) bool {
+	if len(t.Classes) == 0 {
+		return true
+	}
+	for _, c := range t.Classes {
+		if c == class {
+			return true
+		}
+	}
+	return false
+}
+
+// Match returns the invocations for a frame's labels and pending auxiliary
+// events. Label triggers fire once per matching label; aux-coupled triggers
+// fire once per (event, matching label) pair, picking the label closest to
+// the frame center when several match — the paper's rule for task 2 ("the
+// initial section picks the label that is closest to the center of the
+// frame").
+func (b *Bank) Match(labels []detect.Detection, aux []AuxEvent) []Invocation {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []Invocation
+	for _, reg := range b.regs {
+		switch {
+		case reg.Trigger.AuxOnly:
+			for i := range aux {
+				if aux[i].Kind != reg.Trigger.Aux {
+					continue
+				}
+				ev := aux[i]
+				out = append(out, Invocation{
+					Registration: reg,
+					Txn:          reg.Make(detect.Detection{}, &ev),
+					Aux:          &ev,
+				})
+			}
+		case reg.Trigger.Aux != "":
+			for i := range aux {
+				if aux[i].Kind != reg.Trigger.Aux {
+					continue
+				}
+				best, ok := centerMost(labels, reg.Trigger)
+				if !ok {
+					continue
+				}
+				ev := aux[i]
+				out = append(out, Invocation{
+					Registration: reg,
+					Txn:          reg.Make(best, &ev),
+					Label:        best,
+					Aux:          &ev,
+				})
+			}
+		default:
+			for _, d := range labels {
+				if !reg.Trigger.matchesClass(d.Label) {
+					continue
+				}
+				out = append(out, Invocation{
+					Registration: reg,
+					Txn:          reg.Make(d, nil),
+					Label:        d,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// centerMost returns the matching label whose box center is nearest the
+// frame center.
+func centerMost(labels []detect.Detection, t Trigger) (detect.Detection, bool) {
+	best := detect.Detection{}
+	bestDist := 10.0
+	found := false
+	for _, d := range labels {
+		if !t.matchesClass(d.Label) {
+			continue
+		}
+		cx := d.Box.X + d.Box.W/2 - 0.5
+		cy := d.Box.Y + d.Box.H/2 - 0.5
+		dist := cx*cx + cy*cy
+		if dist < bestDist {
+			bestDist = dist
+			best = d
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,130 @@
+package bank
+
+import (
+	"testing"
+
+	"croesus/internal/detect"
+	"croesus/internal/txn"
+	"croesus/internal/video"
+)
+
+func mkTxn(name string) Factory {
+	return func(d detect.Detection, aux *AuxEvent) *txn.Txn {
+		return &txn.Txn{Name: name}
+	}
+}
+
+func det(class string, x, y float64) detect.Detection {
+	return detect.Detection{Label: class, Confidence: 0.9, Box: video.Rect{X: x, Y: y, W: 0.1, H: 0.1}}
+}
+
+func TestLabelTriggerFiresPerMatchingLabel(t *testing.T) {
+	b := New()
+	b.Register(Registration{
+		Name:    "building-info",
+		Trigger: Trigger{Classes: []string{"building"}},
+		Make:    mkTxn("tbldng"),
+	})
+	labels := []detect.Detection{det("building", 0.1, 0.1), det("building", 0.6, 0.6), det("car", 0.3, 0.3)}
+	inv := b.Match(labels, nil)
+	if len(inv) != 2 {
+		t.Fatalf("invocations = %d, want 2", len(inv))
+	}
+	for _, iv := range inv {
+		if iv.Txn.Name != "tbldng" || iv.Label.Label != "building" {
+			t.Errorf("unexpected invocation %+v", iv)
+		}
+	}
+}
+
+func TestClassFiltering(t *testing.T) {
+	b := New()
+	b.Register(Registration{
+		Name:    "building-info",
+		Trigger: Trigger{Classes: []string{"building"}},
+		Make:    mkTxn("tbldng"),
+	})
+	// "University Shuttle 42" must not trigger tbldng (§3.3 example).
+	inv := b.Match([]detect.Detection{det("shuttle", 0.2, 0.2)}, nil)
+	if len(inv) != 0 {
+		t.Fatalf("shuttle label triggered %d invocations", len(inv))
+	}
+}
+
+func TestAuxCoupledTriggerPicksCenterMost(t *testing.T) {
+	b := New()
+	b.Register(Registration{
+		Name:    "reserve-room",
+		Trigger: Trigger{Classes: []string{"building"}, Aux: "click"},
+		Make:    mkTxn("trsrv"),
+	})
+	labels := []detect.Detection{
+		det("building", 0.05, 0.05), // far corner
+		det("building", 0.44, 0.44), // nearly centered
+	}
+	// No click: nothing fires.
+	if inv := b.Match(labels, nil); len(inv) != 0 {
+		t.Fatalf("trigger fired without aux event: %d", len(inv))
+	}
+	inv := b.Match(labels, []AuxEvent{{Kind: "click"}})
+	if len(inv) != 1 {
+		t.Fatalf("invocations = %d, want 1", len(inv))
+	}
+	if inv[0].Label.Box.X != 0.44 {
+		t.Errorf("picked label at %v, want the center-most", inv[0].Label.Box)
+	}
+	if inv[0].Aux == nil || inv[0].Aux.Kind != "click" {
+		t.Error("aux event not attached")
+	}
+}
+
+func TestAuxCoupledNoMatchingLabel(t *testing.T) {
+	b := New()
+	b.Register(Registration{
+		Name:    "reserve-room",
+		Trigger: Trigger{Classes: []string{"building"}, Aux: "click"},
+		Make:    mkTxn("trsrv"),
+	})
+	inv := b.Match([]detect.Detection{det("car", 0.4, 0.4)}, []AuxEvent{{Kind: "click"}})
+	if len(inv) != 0 {
+		t.Fatalf("fired with no matching label: %d", len(inv))
+	}
+}
+
+func TestAuxOnlyTrigger(t *testing.T) {
+	b := New()
+	b.Register(Registration{
+		Name:    "menu",
+		Trigger: Trigger{Aux: "menu-click", AuxOnly: true},
+		Make:    mkTxn("tmenu"),
+	})
+	inv := b.Match(nil, []AuxEvent{{Kind: "menu-click"}, {Kind: "other"}})
+	if len(inv) != 1 {
+		t.Fatalf("invocations = %d, want 1", len(inv))
+	}
+	if inv[0].Label.Label != "" {
+		t.Error("aux-only invocation carries a label")
+	}
+}
+
+func TestEmptyClassesMatchesAnyLabel(t *testing.T) {
+	b := New()
+	b.Register(Registration{Name: "log-all", Trigger: Trigger{}, Make: mkTxn("tlog")})
+	inv := b.Match([]detect.Detection{det("a", 0, 0), det("b", 0.2, 0.2)}, nil)
+	if len(inv) != 2 {
+		t.Fatalf("invocations = %d, want 2", len(inv))
+	}
+}
+
+func TestMultipleRegistrations(t *testing.T) {
+	b := New()
+	b.Register(Registration{Name: "r1", Trigger: Trigger{Classes: []string{"dog"}}, Make: mkTxn("t1")})
+	b.Register(Registration{Name: "r2", Trigger: Trigger{Classes: []string{"dog", "cat"}}, Make: mkTxn("t2")})
+	inv := b.Match([]detect.Detection{det("dog", 0.5, 0.5)}, nil)
+	if len(inv) != 2 {
+		t.Fatalf("invocations = %d, want 2 (both registrations)", len(inv))
+	}
+	if len(b.Registrations()) != 2 {
+		t.Error("Registrations() wrong length")
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"croesus/internal/detect"
+	"croesus/internal/netsim"
+	"croesus/internal/vclock"
+	"croesus/internal/video"
+)
+
+// This file implements the generalized multi-stage processing model of
+// §3.5: m stages s0..s(m-1), each with a detection model better (and
+// slower) than the previous, connected by links. A frame starts at s0 and
+// is forwarded stage to stage; per-stage bandwidth thresholding can stop
+// the sequence early, at which point the remaining corrections never
+// happen and the current labels stand.
+//
+// Transactions remain two-section even under an m-stage chain — the paper
+// reaches the same conclusion ("our analysis with the general design turned
+// out to add additional overhead without providing a significant benefit"):
+// the first stage triggers the initial section and whichever stage
+// terminates the sequence triggers the final section.
+
+// ChainStage is one stage of a generalized pipeline.
+type ChainStage struct {
+	Name  string
+	Model detect.Model
+	// Speed divides the model's inference latency (machine capability).
+	Speed float64
+	// Link is the hop from the previous stage (nil for s0, which is
+	// reached via the client link).
+	Link *netsim.Link
+	// ThetaL and ThetaU decide whether the frame continues to the NEXT
+	// stage: it is forwarded when any current detection's confidence
+	// falls inside [ThetaL, ThetaU]. The last stage's thresholds are
+	// ignored.
+	ThetaL, ThetaU float64
+}
+
+// Chain is a generalized m-stage pipeline.
+type Chain struct {
+	Clock         vclock.Clock
+	ClientLink    *netsim.Link
+	Stages        []ChainStage
+	MinConfidence float64
+	OverlapMin    float64
+}
+
+// NewChain validates and returns a chain.
+func NewChain(clk vclock.Clock, client *netsim.Link, stages []ChainStage) (*Chain, error) {
+	if clk == nil {
+		return nil, fmt.Errorf("core: chain clock is required")
+	}
+	if len(stages) < 2 {
+		return nil, fmt.Errorf("core: a chain needs at least 2 stages, got %d", len(stages))
+	}
+	for i, s := range stages {
+		if s.Model == nil {
+			return nil, fmt.Errorf("core: stage %d has no model", i)
+		}
+		if i > 0 && s.Link == nil {
+			return nil, fmt.Errorf("core: stage %d has no link from stage %d", i, i-1)
+		}
+	}
+	if client == nil {
+		client = netsim.ClientEdgeLink()
+	}
+	return &Chain{
+		Clock:         clk,
+		ClientLink:    client,
+		Stages:        stages,
+		MinConfidence: 0.05,
+		OverlapMin:    0.10,
+	}, nil
+}
+
+// ChainOutcome records the progress of one frame through the chain.
+type ChainOutcome struct {
+	FrameIndex int
+	// StagesRun is how many stages processed the frame (≥ 1).
+	StagesRun int
+	// Labels holds each reached stage's detections.
+	Labels [][]detect.Detection
+	// CommitLatency holds the capture→client latency of each reached
+	// stage's commit (stage 0 is the initial commit; the last reached
+	// stage is the final commit).
+	CommitLatency []time.Duration
+}
+
+// Final returns the last reached stage's labels.
+func (o ChainOutcome) Final() []detect.Detection {
+	if len(o.Labels) == 0 {
+		return nil
+	}
+	return o.Labels[len(o.Labels)-1]
+}
+
+// ProcessFrame pushes one frame through the chain on the clock. The caller
+// must be a clock participant.
+func (c *Chain) ProcessFrame(f *video.Frame) ChainOutcome {
+	clk := c.Clock
+	out := ChainOutcome{FrameIndex: f.Index}
+	c.ClientLink.Send(clk, f.SizeBytes)
+	for i := range c.Stages {
+		st := &c.Stages[i]
+		if i > 0 {
+			st.Link.Send(clk, f.SizeBytes)
+		}
+		res := st.Model.Detect(f)
+		clk.Sleep(scale(res.Latency, st.Speed))
+		dets := filterConfidence(res.Detections, c.MinConfidence)
+		out.StagesRun = i + 1
+		out.Labels = append(out.Labels, dets)
+		// Commit of this stage: labels travel back to the client (via
+		// the reverse path, charged as one client-link hop).
+		c.ClientLink.Send(clk, netsim.LabelReturnBytes)
+		out.CommitLatency = append(out.CommitLatency, clk.Now()-f.At)
+
+		if i == len(c.Stages)-1 {
+			break
+		}
+		// Per-stage thresholding: stop when no detection needs the next
+		// stage's validation.
+		forward := false
+		for _, d := range dets {
+			if d.Confidence >= st.ThetaL && d.Confidence <= st.ThetaU {
+				forward = true
+				break
+			}
+		}
+		if !forward {
+			break
+		}
+	}
+	return out
+}
+
+// ProcessVideo runs all frames at their capture times; the caller must be
+// the clock's driver.
+func (c *Chain) ProcessVideo(frames []*video.Frame) []ChainOutcome {
+	outs := make([]ChainOutcome, len(frames))
+	for i, f := range frames {
+		i, f := i, f
+		c.Clock.Go(func() {
+			c.Clock.Sleep(f.At - c.Clock.Now())
+			outs[i] = c.ProcessFrame(f)
+		})
+	}
+	c.Clock.Wait()
+	return outs
+}

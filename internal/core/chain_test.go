@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"croesus/internal/detect"
+	"croesus/internal/metrics"
+	"croesus/internal/netsim"
+	"croesus/internal/vclock"
+	"croesus/internal/video"
+)
+
+func TestNewChainValidation(t *testing.T) {
+	clk := vclock.NewSim()
+	edge := detect.TinyYOLOSim(1)
+	cloud := detect.YOLOv3Sim(detect.YOLO416, 1)
+	if _, err := NewChain(nil, nil, nil); err == nil {
+		t.Error("nil clock accepted")
+	}
+	if _, err := NewChain(clk, nil, []ChainStage{{Model: edge}}); err == nil {
+		t.Error("single-stage chain accepted")
+	}
+	if _, err := NewChain(clk, nil, []ChainStage{{Model: edge}, {Model: nil, Link: netsim.EdgeCloudSameSite()}}); err == nil {
+		t.Error("missing stage model accepted")
+	}
+	if _, err := NewChain(clk, nil, []ChainStage{{Model: edge}, {Model: cloud}}); err == nil {
+		t.Error("missing inter-stage link accepted")
+	}
+	ch, err := NewChain(clk, nil, []ChainStage{
+		{Model: edge, Speed: 1},
+		{Model: cloud, Speed: 1, Link: netsim.EdgeCloudSameSite()},
+	})
+	if err != nil {
+		t.Fatalf("valid chain rejected: %v", err)
+	}
+	if ch.ClientLink == nil {
+		t.Error("nil client link not defaulted")
+	}
+}
+
+func TestChainEarlyStop(t *testing.T) {
+	// Empty validate interval at stage 0: every frame stops there.
+	clk := vclock.NewSim()
+	ch, err := NewChain(clk, nil, []ChainStage{
+		{Name: "edge", Model: detect.TinyYOLOSim(1), Speed: 1, ThetaL: 0.5, ThetaU: 0.5},
+		{Name: "cloud", Model: detect.YOLOv3Sim(detect.YOLO416, 1), Speed: 1, Link: netsim.EdgeCloudCrossCountry()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := video.NewGenerator(video.ParkDog(), 3).Generate(10)
+	outs := ch.ProcessVideo(frames)
+	for _, o := range outs {
+		if o.StagesRun != 1 {
+			t.Fatalf("frame %d ran %d stages, want 1", o.FrameIndex, o.StagesRun)
+		}
+		if len(o.CommitLatency) != 1 {
+			t.Fatalf("frame %d has %d commits", o.FrameIndex, len(o.CommitLatency))
+		}
+	}
+}
+
+func TestChainFullForwarding(t *testing.T) {
+	clk := vclock.NewSim()
+	cloud := detect.YOLOv3Sim(detect.YOLO416, 1)
+	ch, err := NewChain(clk, nil, []ChainStage{
+		{Name: "edge", Model: detect.TinyYOLOSim(1), Speed: 1, ThetaL: 0, ThetaU: 1},
+		{Name: "cloud", Model: cloud, Speed: 1, Link: netsim.EdgeCloudCrossCountry()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := video.ParkDog()
+	frames := video.NewGenerator(prof, 3).Generate(12)
+	outs := ch.ProcessVideo(frames)
+	truth := TruthFromModel(cloud, frames)
+	var agg metrics.Counts
+	forwarded := 0
+	for _, o := range outs {
+		if o.StagesRun == 2 {
+			forwarded++
+		}
+		// Commit latencies must be strictly increasing per stage.
+		for i := 1; i < len(o.CommitLatency); i++ {
+			if o.CommitLatency[i] <= o.CommitLatency[i-1] {
+				t.Fatalf("frame %d: stage %d commit %v not after stage %d commit %v",
+					o.FrameIndex, i, o.CommitLatency[i], i-1, o.CommitLatency[i-1])
+			}
+		}
+		agg.Add(metrics.ScoreClass(o.Final(), truth(o.FrameIndex), prof.QueryClass, 0.1))
+	}
+	if forwarded < len(frames)*3/4 {
+		t.Errorf("only %d/%d frames reached the cloud at (0,1) thresholds", forwarded, len(frames))
+	}
+	if agg.F1() < 0.9 {
+		t.Errorf("chain final F1 = %.3f, want near-perfect with full forwarding", agg.F1())
+	}
+}
+
+func TestChainThreeStagesMonotoneAccuracy(t *testing.T) {
+	// With progressively better models, the mean per-stage accuracy of
+	// reached labels must not degrade along the chain.
+	clk := vclock.NewSim()
+	final := detect.YOLOv3Sim(detect.YOLO608, 1)
+	ch, err := NewChain(clk, nil, []ChainStage{
+		{Name: "edge", Model: detect.TinyYOLOSim(1), Speed: 1, ThetaL: 0, ThetaU: 1},
+		{Name: "regional", Model: detect.YOLOv3Sim(detect.YOLO320, 1), Speed: 1, Link: netsim.EdgeCloudSameSite(), ThetaL: 0, ThetaU: 1},
+		{Name: "cloud", Model: final, Speed: 1, Link: netsim.EdgeCloudCrossCountry()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := video.MallSurveillance()
+	frames := video.NewGenerator(prof, 3).Generate(15)
+	outs := ch.ProcessVideo(frames)
+	truth := TruthFromModel(final, frames)
+	var stageCounts [3]metrics.Counts
+	for _, o := range outs {
+		for s := 0; s < o.StagesRun; s++ {
+			stageCounts[s].Add(metrics.ScoreClass(o.Labels[s], truth(o.FrameIndex), prof.QueryClass, 0.1))
+		}
+	}
+	f0, f1, f2 := stageCounts[0].F1(), stageCounts[1].F1(), stageCounts[2].F1()
+	if !(f0 <= f1+0.05 && f1 <= f2+0.05) {
+		t.Errorf("per-stage F not improving: %.3f %.3f %.3f", f0, f1, f2)
+	}
+	if f2 < 0.95 {
+		t.Errorf("final stage F = %.3f, want ≈ 1 (it defines truth)", f2)
+	}
+}
+
+func TestChainOutcomeFinalEmpty(t *testing.T) {
+	var o ChainOutcome
+	if o.Final() != nil {
+		t.Error("empty outcome Final() != nil")
+	}
+}
+
+func TestChainLatencyDominatedByReachedStages(t *testing.T) {
+	clk := vclock.NewSim()
+	ch, err := NewChain(clk, nil, []ChainStage{
+		{Name: "edge", Model: detect.TinyYOLOSim(1), Speed: 1, ThetaL: 0, ThetaU: 1},
+		{Name: "cloud", Model: detect.YOLOv3Sim(detect.YOLO608, 1), Speed: 1, Link: netsim.EdgeCloudCrossCountry()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := video.NewGenerator(video.ParkDog(), 3).Generate(6)
+	outs := ch.ProcessVideo(frames)
+	for _, o := range outs {
+		if o.StagesRun != 2 {
+			continue
+		}
+		if last := o.CommitLatency[1]; last < 2*time.Second {
+			t.Errorf("frame %d final commit %v too fast for a YOLO-608 stage", o.FrameIndex, last)
+		}
+		if first := o.CommitLatency[0]; first > time.Second {
+			t.Errorf("frame %d initial commit %v too slow for an edge stage", o.FrameIndex, first)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"croesus/internal/detect"
+	"croesus/internal/lock"
+	"croesus/internal/store"
+	"croesus/internal/txn"
+	"croesus/internal/vclock"
+)
+
+func buildLossy(t *testing.T, lossProb float64) (*Pipeline, *txn.Manager) {
+	t.Helper()
+	s := vclock.NewSim()
+	mgr := txn.NewManager(s, store.New(), lock.NewManager(s))
+	p, err := New(Config{
+		Clock:         s,
+		EdgeModel:     detect.TinyYOLOSim(42),
+		CloudModel:    detect.YOLOv3Sim(detect.YOLO416, 42),
+		ThetaL:        0.0,
+		ThetaU:        1.0, // validate everything: maximum cloud exposure
+		Source:        NewWorkloadSource(500, 7),
+		CC:            &txn.MSIA{M: mgr},
+		Mgr:           mgr,
+		CloudLossProb: lossProb,
+		CloudTimeout:  2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, mgr
+}
+
+func TestCloudLossFallsBackLocally(t *testing.T) {
+	p, mgr := buildLossy(t, 0.5)
+	frames := parkFrames(30)
+	outs := p.ProcessVideo(frames)
+
+	lost, delivered := 0, 0
+	for _, o := range outs {
+		if !o.SentToCloud {
+			continue
+		}
+		if o.CloudLost {
+			lost++
+			// A lost frame finalizes with the edge labels and pays the
+			// timeout instead of the cloud leg.
+			if len(o.FinalVisible) != len(o.InitialVisible) {
+				t.Errorf("frame %d: lost frame changed its label set", o.FrameIndex)
+			}
+			if o.Breakdown.CloudDetect != 0 {
+				t.Errorf("frame %d: lost frame has cloud detect time", o.FrameIndex)
+			}
+			if o.FinalLatency < 2*time.Second {
+				t.Errorf("frame %d: lost frame final %v below the timeout", o.FrameIndex, o.FinalLatency)
+			}
+		} else {
+			delivered++
+		}
+	}
+	if lost == 0 || delivered == 0 {
+		t.Fatalf("loss injection inert: lost=%d delivered=%d", lost, delivered)
+	}
+
+	// Liveness: every initially-committed transaction resolved.
+	st := mgr.Stats()
+	if unresolved := st.InitialCommits - st.FinalCommits; unresolved < 0 || unresolved > st.Retractions {
+		t.Errorf("transactions left unresolved: %+v", st)
+	}
+}
+
+func TestCloudLossDeterministic(t *testing.T) {
+	run := func() []bool {
+		p, _ := buildLossy(t, 0.3)
+		outs := p.ProcessVideo(parkFrames(20))
+		lost := make([]bool, len(outs))
+		for i, o := range outs {
+			lost[i] = o.CloudLost
+		}
+		return lost
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("frame %d loss differs across identical runs", i)
+		}
+	}
+}
+
+func TestZeroLossIsNoop(t *testing.T) {
+	p, _ := buildLossy(t, 0)
+	outs := p.ProcessVideo(parkFrames(10))
+	for _, o := range outs {
+		if o.CloudLost {
+			t.Fatal("frame lost with zero loss probability")
+		}
+	}
+}
+
+func TestFullLossStillAnswersEveryFrame(t *testing.T) {
+	p, _ := buildLossy(t, 1.0)
+	outs := p.ProcessVideo(parkFrames(10))
+	for _, o := range outs {
+		if o.SentToCloud && !o.CloudLost {
+			t.Fatal("frame claims cloud delivery under total loss")
+		}
+		if o.FinalLatency == 0 {
+			t.Fatalf("frame %d never finalized", o.FrameIndex)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"croesus/internal/detect"
+	"croesus/internal/video"
+)
+
+func d(class string, conf, x, y float64) detect.Detection {
+	return detect.Detection{Label: class, Confidence: conf, Box: video.Rect{X: x, Y: y, W: 0.15, H: 0.15}}
+}
+
+func TestMatchLabelsThreeCases(t *testing.T) {
+	edge := []detect.Detection{
+		d("dog", 0.8, 0.1, 0.1), // case 2: same name overlap
+		d("cat", 0.6, 0.5, 0.5), // case 3: overlap, different name
+		d("dog", 0.4, 0.8, 0.1), // case 1: no overlap — erroneous
+	}
+	cloud := []detect.Detection{
+		d("dog", 0.95, 0.11, 0.11),
+		d("dog", 0.95, 0.51, 0.51),
+		d("dog", 0.95, 0.1, 0.8), // new: edge missed it
+	}
+	ms := MatchLabels(edge, cloud, 0.1)
+	if len(ms) != 4 {
+		t.Fatalf("matches = %d, want 4 (3 edge + 1 new)", len(ms))
+	}
+	if ms[0].Case != MatchCorrect || ms[0].Cloud.Label != "dog" {
+		t.Errorf("edge[0] = %v %q, want correct", ms[0].Case, ms[0].Cloud.Label)
+	}
+	if ms[1].Case != MatchCorrected || ms[1].Cloud.Label != "dog" {
+		t.Errorf("edge[1] = %v, want corrected", ms[1].Case)
+	}
+	if ms[2].Case != MatchErroneous {
+		t.Errorf("edge[2] = %v, want erroneous", ms[2].Case)
+	}
+	if ms[3].Case != MatchNew || ms[3].EdgeIdx != -1 {
+		t.Errorf("ms[3] = %+v, want new-from-cloud", ms[3])
+	}
+}
+
+func TestMatchLabelsBiggestOverlapWins(t *testing.T) {
+	edge := []detect.Detection{d("dog", 0.8, 0.10, 0.10)}
+	cloud := []detect.Detection{
+		d("cat", 0.9, 0.20, 0.20), // small overlap
+		d("dog", 0.9, 0.11, 0.11), // large overlap
+	}
+	ms := MatchLabels(edge, cloud, 0.01)
+	if ms[0].Case != MatchCorrect {
+		t.Errorf("case = %v, want correct (largest overlap is same-name)", ms[0].Case)
+	}
+	// The small-overlap cat becomes a new label.
+	if len(ms) != 2 || ms[1].Case != MatchNew || ms[1].Cloud.Label != "cat" {
+		t.Errorf("ms = %+v", ms)
+	}
+}
+
+func TestMatchLabelsEmptySides(t *testing.T) {
+	if ms := MatchLabels(nil, nil, 0.1); len(ms) != 0 {
+		t.Errorf("empty match = %v", ms)
+	}
+	edgeOnly := MatchLabels([]detect.Detection{d("a", 0.5, 0.1, 0.1)}, nil, 0.1)
+	if len(edgeOnly) != 1 || edgeOnly[0].Case != MatchErroneous {
+		t.Errorf("edge-only = %+v, want erroneous", edgeOnly)
+	}
+	cloudOnly := MatchLabels(nil, []detect.Detection{d("a", 0.5, 0.1, 0.1)}, 0.1)
+	if len(cloudOnly) != 1 || cloudOnly[0].Case != MatchNew {
+		t.Errorf("cloud-only = %+v, want new", cloudOnly)
+	}
+}
+
+func TestFinalInputCorrected(t *testing.T) {
+	for _, tt := range []struct {
+		c    MatchCase
+		want bool
+	}{
+		{MatchCorrect, false},
+		{MatchAssumed, false},
+		{MatchCorrected, true},
+		{MatchErroneous, true},
+		{MatchNew, true},
+	} {
+		if got := (FinalInput{Case: tt.c}).Corrected(); got != tt.want {
+			t.Errorf("Corrected(%v) = %v, want %v", tt.c, got, tt.want)
+		}
+	}
+}
+
+func TestMatchCaseStrings(t *testing.T) {
+	cases := []MatchCase{MatchCorrect, MatchCorrected, MatchErroneous, MatchNew, MatchAssumed, MatchCase(99)}
+	want := []string{"correct", "corrected", "erroneous", "new-from-cloud", "assumed-correct", "unknown"}
+	for i, c := range cases {
+		if c.String() != want[i] {
+			t.Errorf("String(%d) = %q, want %q", i, c.String(), want[i])
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"time"
+
+	"croesus/internal/detect"
+	"croesus/internal/metrics"
+	"croesus/internal/txn"
+	"croesus/internal/video"
+)
+
+// Breakdown decomposes a frame's end-to-end latency into the components the
+// paper's Figure 2 stacks: client→edge transfer, edge detection, initial
+// transaction, edge→cloud transfer, cloud detection, label return, final
+// transaction.
+type Breakdown struct {
+	ClientEdge  time.Duration
+	EdgeDetect  time.Duration
+	InitialTxn  time.Duration
+	EdgeCloud   time.Duration
+	CloudDetect time.Duration
+	CloudReturn time.Duration
+	FinalTxn    time.Duration
+}
+
+func (b *Breakdown) add(o Breakdown) {
+	b.ClientEdge += o.ClientEdge
+	b.EdgeDetect += o.EdgeDetect
+	b.InitialTxn += o.InitialTxn
+	b.EdgeCloud += o.EdgeCloud
+	b.CloudDetect += o.CloudDetect
+	b.CloudReturn += o.CloudReturn
+	b.FinalTxn += o.FinalTxn
+}
+
+func (b *Breakdown) div(n int) {
+	if n == 0 {
+		return
+	}
+	d := time.Duration(n)
+	b.ClientEdge /= d
+	b.EdgeDetect /= d
+	b.InitialTxn /= d
+	b.EdgeCloud /= d
+	b.CloudDetect /= d
+	b.CloudReturn /= d
+	b.FinalTxn /= d
+}
+
+// FrameOutcome is the client-observable result of one frame.
+type FrameOutcome struct {
+	FrameIndex int
+	CapturedAt time.Duration
+
+	// EdgeDetections are the post-filter edge labels (empty in
+	// cloud-only mode).
+	EdgeDetections []detect.Detection
+	// InitialVisible is what the client renders at the initial commit.
+	InitialVisible []detect.Detection
+	// FinalVisible is what the client renders after the final commit
+	// (corrections applied).
+	FinalVisible []detect.Detection
+
+	SentToCloud bool
+	// CloudLost marks a validated frame whose cloud reply never arrived
+	// (failure injection); the edge finalized locally after its timeout.
+	CloudLost           bool
+	DiscardedDetections int
+	TxnsTriggered       int
+	InitialAborts       int
+	FinalErrors         int
+	Corrections         int
+	Apologies           []txn.Apology
+
+	// InitialLatency and FinalLatency measure capture → client render.
+	InitialLatency time.Duration
+	FinalLatency   time.Duration
+	Breakdown      Breakdown
+}
+
+// Summary aggregates a run for one video.
+type Summary struct {
+	Video  string
+	Mode   Mode
+	Frames int
+
+	// BU is bandwidth utilization: the fraction of frames sent to the
+	// cloud (the paper's δ).
+	BU float64
+	// F1Initial scores the initial-commit render against the cloud
+	// ground truth for the query class; F1Final scores the corrected
+	// render — the paper's client-perspective accuracy.
+	F1Initial float64
+	F1Final   float64
+
+	MeanInitialLatency time.Duration
+	MeanFinalLatency   time.Duration
+	MeanBreakdown      Breakdown
+
+	TxnsTriggered int
+	Corrections   int
+	Apologies     int
+	InitialAborts int
+}
+
+// Summarize scores outcomes against ground truth. truth returns the
+// reference detections for a frame index (by convention, the configured
+// cloud model's output, as in the paper's evaluation); queryClass is the
+// video's object query.
+func Summarize(videoName string, mode Mode, queryClass string, outcomes []FrameOutcome, truth func(int) []detect.Detection, overlapMin float64) Summary {
+	s := Summary{Video: videoName, Mode: mode, Frames: len(outcomes)}
+	var initCounts, finalCounts metrics.Counts
+	var sent int
+	var sumInit, sumFinal time.Duration
+	for i := range outcomes {
+		o := &outcomes[i]
+		ref := truth(o.FrameIndex)
+		initCounts.Add(metrics.ScoreClass(o.InitialVisible, ref, queryClass, overlapMin))
+		finalCounts.Add(metrics.ScoreClass(o.FinalVisible, ref, queryClass, overlapMin))
+		if o.SentToCloud {
+			sent++
+		}
+		sumInit += o.InitialLatency
+		sumFinal += o.FinalLatency
+		s.MeanBreakdown.add(o.Breakdown)
+		s.TxnsTriggered += o.TxnsTriggered
+		s.Corrections += o.Corrections
+		s.Apologies += len(o.Apologies)
+		s.InitialAborts += o.InitialAborts
+	}
+	n := len(outcomes)
+	if n > 0 {
+		s.BU = float64(sent) / float64(n)
+		s.MeanInitialLatency = sumInit / time.Duration(n)
+		s.MeanFinalLatency = sumFinal / time.Duration(n)
+		s.MeanBreakdown.div(n)
+	}
+	s.F1Initial = initCounts.F1()
+	s.F1Final = finalCounts.F1()
+	return s
+}
+
+// TruthFromModel precomputes per-frame ground truth using the given model
+// (pure detection, no latency), returning a lookup by frame index.
+func TruthFromModel(m detect.Model, frames []*video.Frame) func(int) []detect.Detection {
+	byIdx := make(map[int][]detect.Detection, len(frames))
+	for _, f := range frames {
+		byIdx[f.Index] = m.Detect(f).Detections
+	}
+	return func(i int) []detect.Detection { return byIdx[i] }
+}

@@ -1,0 +1,538 @@
+// Package core implements the Croesus multi-stage edge-cloud pipeline —
+// the paper's primary contribution (§3). An edge node runs a small, fast
+// model and the initial sections of triggered transactions, answering the
+// client immediately; frames whose edge confidence falls inside the
+// validate interval [θL, θU] are forwarded to a cloud node running the full
+// model, whose labels trigger the final (corrective) sections.
+//
+// The pipeline runs against a vclock.Clock, so the same code drives both
+// deterministic virtual-time experiments and real-time deployments.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"croesus/internal/detect"
+	"croesus/internal/netsim"
+	"croesus/internal/txn"
+	"croesus/internal/vclock"
+	"croesus/internal/video"
+)
+
+// Mode selects the system under evaluation.
+type Mode int
+
+// Evaluation modes.
+const (
+	// ModeCroesus is the full multi-stage pipeline with bandwidth
+	// thresholding.
+	ModeCroesus Mode = iota
+	// ModeEdgeOnly is the performance-centric baseline: the compact model
+	// on the edge, no cloud correction.
+	ModeEdgeOnly
+	// ModeCloudOnly is the accuracy-centric baseline: every frame is
+	// detected by the full model at the cloud.
+	ModeCloudOnly
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeCroesus:
+		return "croesus"
+	case ModeEdgeOnly:
+		return "edge-only"
+	case ModeCloudOnly:
+		return "cloud-only"
+	default:
+		return "unknown"
+	}
+}
+
+// TxnSource supplies the transaction triggered by each detection — the
+// pipeline-facing face of the transactions bank. Implementations must be
+// safe for concurrent use.
+type TxnSource interface {
+	// TxnFor returns the transaction template instance for one triggering
+	// detection of one frame, or nil if no transaction is registered for
+	// it.
+	TxnFor(frameIndex int, d detect.Detection) *txn.Txn
+}
+
+// TxnSourceFunc adapts a function to TxnSource.
+type TxnSourceFunc func(frameIndex int, d detect.Detection) *txn.Txn
+
+// TxnFor calls f.
+func (f TxnSourceFunc) TxnFor(frameIndex int, d detect.Detection) *txn.Txn {
+	return f(frameIndex, d)
+}
+
+// Smoother feeds cloud corrections back into the edge path — the paper's
+// footnote-1 heuristic. Apply rewrites the edge detections before input
+// processing; Learn ingests the label matches of every validated frame.
+// Implementations must be safe for concurrent use (frames overlap).
+type Smoother interface {
+	Apply(frameIndex int, dets []detect.Detection) []detect.Detection
+	Learn(frameIndex int, matches []LabelMatch, edge []detect.Detection)
+}
+
+// Config assembles a pipeline. Zero-value fields take the documented
+// defaults via Defaults.
+type Config struct {
+	Clock vclock.Clock
+	Mode  Mode
+
+	EdgeModel  detect.Model
+	CloudModel detect.Model
+	// EdgeSpeed and CloudSpeed divide model inference latency: 1.0 is the
+	// reference machine (t3a.xlarge in the paper); a t3a.small edge is
+	// ≈ 0.45.
+	EdgeSpeed  float64
+	CloudSpeed float64
+	// EdgeSlots and CloudSlots bound concurrent inferences per node.
+	EdgeSlots  int
+	CloudSlots int
+
+	ClientEdge *netsim.Link
+	EdgeCloud  *netsim.Link
+	// Preproc optionally shrinks frames before the edge→cloud hop
+	// (compression / difference communication).
+	Preproc netsim.Preprocessor
+
+	// MinConfidence drops hopeless detections at input processing.
+	MinConfidence float64
+	// ThetaL and ThetaU are the bandwidth thresholds of §3.4: detections
+	// below ThetaL are discarded, above ThetaU kept; anything in between
+	// sends the frame to the cloud for validation.
+	ThetaL, ThetaU float64
+	// OverlapMin is the label-matching overlap threshold (the paper uses
+	// 10%).
+	OverlapMin float64
+
+	Source TxnSource
+	CC     txn.CC
+	Mgr    *txn.Manager
+
+	// Smoother, when set, applies cloud-correction feedback to edge
+	// detections (ModeCroesus only).
+	Smoother Smoother
+
+	// CloudLossProb injects edge→cloud failures: each validated frame is
+	// lost with this probability (deterministically per frame index), in
+	// which case the edge waits CloudTimeout and finalizes locally with
+	// the edge labels assumed correct — availability over freshness.
+	CloudLossProb float64
+	// CloudTimeout bounds the wait for cloud labels (default 3 s).
+	CloudTimeout time.Duration
+}
+
+// Defaults fills unset fields.
+func (c Config) Defaults() Config {
+	if c.EdgeSpeed == 0 {
+		c.EdgeSpeed = 1
+	}
+	if c.CloudSpeed == 0 {
+		c.CloudSpeed = 1
+	}
+	if c.EdgeSlots == 0 {
+		c.EdgeSlots = 2
+	}
+	if c.CloudSlots == 0 {
+		c.CloudSlots = 8
+	}
+	if c.ClientEdge == nil {
+		c.ClientEdge = netsim.ClientEdgeLink()
+	}
+	if c.EdgeCloud == nil {
+		c.EdgeCloud = netsim.EdgeCloudCrossCountry()
+	}
+	if c.Preproc == nil {
+		c.Preproc = netsim.Identity{}
+	}
+	if c.MinConfidence == 0 {
+		c.MinConfidence = 0.05
+	}
+	if c.OverlapMin == 0 {
+		c.OverlapMin = 0.10
+	}
+	if c.CloudTimeout == 0 {
+		c.CloudTimeout = 3 * time.Second
+	}
+	return c
+}
+
+// Pipeline executes frames through the configured system.
+type Pipeline struct {
+	cfg       Config
+	edgeSlots *vclock.Semaphore
+	cloudSlot *vclock.Semaphore
+
+	mu       sync.Mutex
+	outcomes []FrameOutcome
+}
+
+// New validates the configuration and builds a pipeline.
+func New(cfg Config) (*Pipeline, error) {
+	cfg = cfg.Defaults()
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("core: Config.Clock is required")
+	}
+	if cfg.EdgeModel == nil && cfg.Mode != ModeCloudOnly {
+		return nil, fmt.Errorf("core: Config.EdgeModel is required for %v", cfg.Mode)
+	}
+	if cfg.CloudModel == nil && cfg.Mode != ModeEdgeOnly {
+		return nil, fmt.Errorf("core: Config.CloudModel is required for %v", cfg.Mode)
+	}
+	if cfg.Mode == ModeCroesus && !(cfg.ThetaL <= cfg.ThetaU) {
+		return nil, fmt.Errorf("core: thresholds must satisfy θL ≤ θU, got (%.2f, %.2f)", cfg.ThetaL, cfg.ThetaU)
+	}
+	if (cfg.Source == nil) != (cfg.CC == nil) || (cfg.CC == nil) != (cfg.Mgr == nil) {
+		return nil, fmt.Errorf("core: Source, CC, and Mgr must be provided together")
+	}
+	return &Pipeline{
+		cfg:       cfg,
+		edgeSlots: vclock.NewSemaphore(cfg.Clock, cfg.EdgeSlots),
+		cloudSlot: vclock.NewSemaphore(cfg.Clock, cfg.CloudSlots),
+	}, nil
+}
+
+// Config returns the (defaulted) configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// ProcessVideo runs every frame through the pipeline on the configured
+// clock. Frames are injected at their capture timestamps and processed
+// concurrently, as a continuously-capturing client would. The caller must
+// be the clock's driver (outside the simulation); ProcessVideo blocks until
+// the last frame's final commit and returns per-frame outcomes in frame
+// order.
+func (p *Pipeline) ProcessVideo(frames []*video.Frame) []FrameOutcome {
+	p.mu.Lock()
+	p.outcomes = make([]FrameOutcome, len(frames))
+	p.mu.Unlock()
+	clk := p.cfg.Clock
+	for i, f := range frames {
+		i, f := i, f
+		clk.Go(func() {
+			clk.Sleep(f.At - clk.Now()) // wait for capture time
+			out := p.processFrame(f)
+			p.mu.Lock()
+			p.outcomes[i] = out
+			p.mu.Unlock()
+		})
+	}
+	clk.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.outcomes
+}
+
+// processFrame is the per-frame execution pattern of Figure 1.
+func (p *Pipeline) processFrame(f *video.Frame) FrameOutcome {
+	switch p.cfg.Mode {
+	case ModeEdgeOnly:
+		return p.processEdgeOnly(f)
+	case ModeCloudOnly:
+		return p.processCloudOnly(f)
+	default:
+		return p.processCroesus(f)
+	}
+}
+
+func (p *Pipeline) processCroesus(f *video.Frame) FrameOutcome {
+	cfg := p.cfg
+	clk := cfg.Clock
+	out := FrameOutcome{FrameIndex: f.Index, CapturedAt: f.At}
+
+	// Step 1: the client sends the frame to the edge node.
+	t0 := clk.Now()
+	cfg.ClientEdge.Send(clk, f.SizeBytes)
+	out.Breakdown.ClientEdge = clk.Now() - t0
+
+	// Step 2: the edge model processes the frame.
+	dets, edgeLat := p.detectEdge(f)
+	out.Breakdown.EdgeDetect = edgeLat
+	if cfg.Smoother != nil {
+		dets = cfg.Smoother.Apply(f.Index, dets)
+	}
+	dets = filterConfidence(dets, cfg.MinConfidence)
+	out.EdgeDetections = dets
+
+	// Bandwidth thresholding (§3.4): discard below θL, keep above θU,
+	// validate in between.
+	visible := make([]detect.Detection, 0, len(dets))
+	validate := false
+	for _, d := range dets {
+		if d.Confidence < cfg.ThetaL {
+			out.DiscardedDetections++
+			continue
+		}
+		if d.Confidence <= cfg.ThetaU {
+			validate = true
+		}
+		visible = append(visible, d)
+	}
+	out.InitialVisible = visible
+
+	// Initial transaction sections, triggered by the edge labels.
+	pending := p.runInitials(f, visible, &out)
+
+	// Initial commit: the response is rendered at the client.
+	cfg.ClientEdge.Send(clk, netsim.LabelReturnBytes)
+	out.InitialLatency = clk.Now() - f.At
+
+	if !validate {
+		// The frame is not validated: final sections run locally with
+		// the edge labels assumed correct (§3.5's early stop).
+		p.runFinals(f, pending, assumedMatches(visible), &out)
+		out.FinalVisible = visible
+		out.FinalLatency = clk.Now() - f.At
+		return out
+	}
+
+	// Step 3: the frame travels to the cloud for full detection.
+	out.SentToCloud = true
+	tSend := clk.Now()
+	bytes, prepCost := cfg.Preproc.Process(f.SizeBytes)
+	clk.Sleep(scale(prepCost, cfg.EdgeSpeed))
+	cfg.EdgeCloud.Send(clk, bytes)
+	out.Breakdown.EdgeCloud = clk.Now() - tSend
+
+	// Failure injection: the frame (or its reply) is lost in transit.
+	// The edge waits out its timeout and falls back to local
+	// finalization — the initial commit already answered the client, so
+	// availability is preserved at the cost of uncorrected labels.
+	if lostInTransit(cfg.CloudLossProb, f.Index) {
+		clk.Sleep(cfg.CloudTimeout)
+		out.CloudLost = true
+		p.runFinals(f, pending, assumedMatches(visible), &out)
+		out.FinalVisible = visible
+		cfg.ClientEdge.Send(clk, netsim.LabelReturnBytes)
+		out.FinalLatency = clk.Now() - f.At
+		return out
+	}
+
+	cloudDets, cloudLat := p.detectCloud(f)
+	out.Breakdown.CloudDetect = cloudLat
+
+	tBack := clk.Now()
+	cfg.EdgeCloud.Send(clk, netsim.LabelReturnBytes)
+	out.Breakdown.CloudReturn = clk.Now() - tBack
+
+	// Step 4: the corrected labels trigger the final sections.
+	matches := MatchLabels(visible, cloudDets, cfg.OverlapMin)
+	if cfg.Smoother != nil {
+		cfg.Smoother.Learn(f.Index, matches, visible)
+	}
+	p.runFinals(f, pending, matches, &out)
+	out.FinalVisible = cloudDets
+	cfg.ClientEdge.Send(clk, netsim.LabelReturnBytes)
+	out.FinalLatency = clk.Now() - f.At
+	return out
+}
+
+func (p *Pipeline) processEdgeOnly(f *video.Frame) FrameOutcome {
+	cfg := p.cfg
+	clk := cfg.Clock
+	out := FrameOutcome{FrameIndex: f.Index, CapturedAt: f.At}
+
+	t0 := clk.Now()
+	cfg.ClientEdge.Send(clk, f.SizeBytes)
+	out.Breakdown.ClientEdge = clk.Now() - t0
+
+	dets, edgeLat := p.detectEdge(f)
+	out.Breakdown.EdgeDetect = edgeLat
+	dets = filterConfidence(dets, cfg.MinConfidence)
+	out.EdgeDetections = dets
+	out.InitialVisible = dets
+
+	pending := p.runInitials(f, dets, &out)
+	cfg.ClientEdge.Send(clk, netsim.LabelReturnBytes)
+	out.InitialLatency = clk.Now() - f.At
+
+	// Single-stage system: the edge result is final.
+	p.runFinals(f, pending, assumedMatches(dets), &out)
+	out.FinalVisible = dets
+	out.FinalLatency = out.InitialLatency
+	return out
+}
+
+func (p *Pipeline) processCloudOnly(f *video.Frame) FrameOutcome {
+	cfg := p.cfg
+	clk := cfg.Clock
+	out := FrameOutcome{FrameIndex: f.Index, CapturedAt: f.At, SentToCloud: true}
+
+	t0 := clk.Now()
+	cfg.ClientEdge.Send(clk, f.SizeBytes)
+	out.Breakdown.ClientEdge = clk.Now() - t0
+
+	tSend := clk.Now()
+	bytes, prepCost := cfg.Preproc.Process(f.SizeBytes)
+	clk.Sleep(scale(prepCost, cfg.EdgeSpeed))
+	cfg.EdgeCloud.Send(clk, bytes)
+	out.Breakdown.EdgeCloud = clk.Now() - tSend
+
+	cloudDets, cloudLat := p.detectCloud(f)
+	out.Breakdown.CloudDetect = cloudLat
+
+	tBack := clk.Now()
+	cfg.EdgeCloud.Send(clk, netsim.LabelReturnBytes)
+	out.Breakdown.CloudReturn = clk.Now() - tBack
+
+	out.EdgeDetections = nil
+	out.InitialVisible = cloudDets
+	pending := p.runInitials(f, cloudDets, &out)
+	p.runFinals(f, pending, assumedMatches(cloudDets), &out)
+	out.FinalVisible = cloudDets
+	cfg.ClientEdge.Send(clk, netsim.LabelReturnBytes)
+	out.InitialLatency = clk.Now() - f.At
+	out.FinalLatency = out.InitialLatency
+	return out
+}
+
+// detectEdge runs the edge model under the edge compute slots.
+func (p *Pipeline) detectEdge(f *video.Frame) ([]detect.Detection, time.Duration) {
+	clk := p.cfg.Clock
+	p.edgeSlots.Acquire()
+	start := clk.Now()
+	res := p.cfg.EdgeModel.Detect(f)
+	clk.Sleep(scale(res.Latency, p.cfg.EdgeSpeed))
+	p.edgeSlots.Release()
+	return res.Detections, clk.Now() - start
+}
+
+// detectCloud runs the cloud model under the cloud compute slots.
+func (p *Pipeline) detectCloud(f *video.Frame) ([]detect.Detection, time.Duration) {
+	clk := p.cfg.Clock
+	p.cloudSlot.Acquire()
+	start := clk.Now()
+	res := p.cfg.CloudModel.Detect(f)
+	clk.Sleep(scale(res.Latency, p.cfg.CloudSpeed))
+	p.cloudSlot.Release()
+	return res.Detections, clk.Now() - start
+}
+
+// pendingTxn tracks a triggered transaction awaiting its final section.
+type pendingTxn struct {
+	inst    *txn.Instance
+	trigger detect.Detection
+	edgeIdx int
+}
+
+// runInitials triggers and executes the initial sections for the visible
+// detections, recording latency and aborts on the outcome.
+func (p *Pipeline) runInitials(f *video.Frame, dets []detect.Detection, out *FrameOutcome) []pendingTxn {
+	if p.cfg.Source == nil {
+		return nil
+	}
+	clk := p.cfg.Clock
+	start := clk.Now()
+	var pending []pendingTxn
+	for i, d := range dets {
+		t := p.cfg.Source.TxnFor(f.Index, d)
+		if t == nil {
+			continue
+		}
+		inst := p.cfg.Mgr.NewInstance(t, InitialInput{FrameIndex: f.Index, Trigger: d, Labels: dets})
+		if err := p.cfg.CC.RunInitial(inst); err != nil {
+			out.InitialAborts++
+			continue
+		}
+		pending = append(pending, pendingTxn{inst: inst, trigger: d, edgeIdx: i})
+	}
+	out.TxnsTriggered += len(pending)
+	out.Breakdown.InitialTxn = clk.Now() - start
+	return pending
+}
+
+// runFinals executes the final sections with the matched cloud labels, plus
+// fresh initial+final pairs for labels only the cloud found (MatchNew).
+func (p *Pipeline) runFinals(f *video.Frame, pending []pendingTxn, matches []LabelMatch, out *FrameOutcome) {
+	if p.cfg.Source == nil {
+		return
+	}
+	clk := p.cfg.Clock
+	start := clk.Now()
+	byEdgeIdx := make(map[int]LabelMatch, len(matches))
+	for _, m := range matches {
+		if m.EdgeIdx >= 0 {
+			byEdgeIdx[m.EdgeIdx] = m
+		}
+	}
+	for _, pt := range pending {
+		m, ok := byEdgeIdx[pt.edgeIdx]
+		if !ok {
+			m = LabelMatch{Case: MatchAssumed, EdgeIdx: pt.edgeIdx}
+		}
+		fin := FinalInput{FrameIndex: f.Index, Case: m.Case, Edge: pt.trigger, Cloud: m.Cloud}
+		if fin.Corrected() {
+			out.Corrections++
+		}
+		pt.inst.FinalIn = fin
+		if err := p.cfg.CC.RunFinal(pt.inst); err != nil && err != txn.ErrRetracted {
+			out.FinalErrors++
+		}
+		out.Apologies = append(out.Apologies, pt.inst.Apologies()...)
+	}
+	// Labels the edge missed entirely: trigger initial+final now (§3.3).
+	for _, m := range matches {
+		if m.Case != MatchNew {
+			continue
+		}
+		t := p.cfg.Source.TxnFor(f.Index, m.Cloud)
+		if t == nil {
+			continue
+		}
+		inst := p.cfg.Mgr.NewInstance(t, InitialInput{FrameIndex: f.Index, Trigger: m.Cloud})
+		if err := p.cfg.CC.RunInitial(inst); err != nil {
+			out.InitialAborts++
+			continue
+		}
+		out.TxnsTriggered++
+		out.Corrections++
+		inst.FinalIn = FinalInput{FrameIndex: f.Index, Case: MatchNew, Cloud: m.Cloud}
+		if err := p.cfg.CC.RunFinal(inst); err != nil && err != txn.ErrRetracted {
+			out.FinalErrors++
+		}
+		out.Apologies = append(out.Apologies, inst.Apologies()...)
+	}
+	out.Breakdown.FinalTxn = clk.Now() - start
+}
+
+// assumedMatches builds MatchAssumed entries for all edge labels.
+func assumedMatches(dets []detect.Detection) []LabelMatch {
+	out := make([]LabelMatch, len(dets))
+	for i := range dets {
+		out[i] = LabelMatch{Case: MatchAssumed, EdgeIdx: i}
+	}
+	return out
+}
+
+func filterConfidence(dets []detect.Detection, min float64) []detect.Detection {
+	out := make([]detect.Detection, 0, len(dets))
+	for _, d := range dets {
+		if d.Confidence >= min {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func scale(d time.Duration, speed float64) time.Duration {
+	if speed <= 0 {
+		return d
+	}
+	return time.Duration(float64(d) / speed)
+}
+
+// lostInTransit decides frame loss deterministically from the frame index,
+// so failure-injection runs are reproducible.
+func lostInTransit(prob float64, frameIdx int) bool {
+	if prob <= 0 {
+		return false
+	}
+	z := uint64(frameIdx+1) * 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z ^= z >> 31
+	return float64(z>>11)/float64(1<<53) < prob
+}

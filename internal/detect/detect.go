@@ -1,0 +1,274 @@
+// Package detect provides the object-detection models used by Croesus.
+//
+// The paper runs Tiny YOLOv3 at the edge and YOLOv3-{320,416,608} at the
+// cloud. This repository substitutes simulated models (no GPUs, no ONNX):
+// a model turns a frame's ground-truth objects into detections through a
+// per-object stochastic channel — miss, correct detection, or
+// misclassification — plus background false positives, and assigns each
+// detection a confidence drawn from an outcome-conditioned distribution.
+// The joint (correctness, confidence) distribution is the property every
+// Croesus experiment depends on: correct detections concentrate at high
+// confidence, mislabels in the middle band, false positives at the bottom,
+// which is exactly what makes the paper's (θL, θU) bandwidth thresholding
+// meaningful.
+//
+// Detections are a pure function of (model seed, frame index, track ID), so
+// different pipeline configurations observe identical detections for the
+// same video — comparisons between baselines are exact, not sampled.
+package detect
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"croesus/internal/video"
+)
+
+// Detection is one detected object.
+type Detection struct {
+	Label      string
+	Confidence float64
+	Box        video.Rect
+	TrackID    int // 0 for false positives; otherwise ground-truth track hit
+}
+
+// Result is the outcome of running a model on one frame.
+type Result struct {
+	Detections []Detection
+	// Latency is the model's inference time for this frame on a
+	// reference (speed factor 1.0) machine. Nodes divide by their
+	// machine speed before sleeping.
+	Latency time.Duration
+}
+
+// Model is a detection model.
+type Model interface {
+	Name() string
+	Detect(f *video.Frame) Result
+}
+
+// ConfDist is a truncated-normal confidence distribution.
+type ConfDist struct {
+	Mean, Std float64
+}
+
+func (c ConfDist) sample(rng *rand.Rand) float64 {
+	v := c.Mean + rng.NormFloat64()*c.Std
+	if v < 0.01 {
+		v = 0.01
+	}
+	if v > 0.99 {
+		v = 0.99
+	}
+	return v
+}
+
+// SimParams configures a simulated model.
+type SimParams struct {
+	ModelName string
+	Seed      int64
+
+	// Latency model: Base + PerObject * len(frame.Objects).
+	BaseLatency      time.Duration
+	PerObjectLatency time.Duration
+
+	// Detection channel. An object of difficulty d is detected with
+	// probability clamp(RecallBase - RecallSlope*d); a detected object is
+	// mislabeled with probability clamp(MislabelBase + MislabelSlope*d).
+	RecallBase    float64
+	RecallSlope   float64
+	MislabelBase  float64
+	MislabelSlope float64
+
+	// Mean number of spurious detections per frame (Poisson).
+	FalsePosPerFrame float64
+
+	// Box localization noise (fraction of box size).
+	BoxJitter float64
+
+	// Outcome-conditioned confidence. DifficultyDrag shifts correct-
+	// detection confidence down as objects get harder, which couples
+	// confidence with error probability.
+	ConfCorrect    ConfDist
+	ConfWrong      ConfDist
+	ConfFalse      ConfDist
+	DifficultyDrag float64
+
+	// Confusion maps a true class to plausible wrong labels. When a class
+	// is absent the model invents "background" mislabels.
+	Confusion map[string][]string
+}
+
+// SimModel is a deterministic simulated detector.
+type SimModel struct {
+	p SimParams
+}
+
+// NewSim returns a simulated model with the given parameters.
+func NewSim(p SimParams) *SimModel {
+	if p.ConfCorrect.Std == 0 {
+		p.ConfCorrect = ConfDist{0.80, 0.10}
+	}
+	if p.ConfWrong.Std == 0 {
+		p.ConfWrong = ConfDist{0.55, 0.07}
+	}
+	if p.ConfFalse.Std == 0 {
+		p.ConfFalse = ConfDist{0.25, 0.10}
+	}
+	return &SimModel{p: p}
+}
+
+// Name returns the model name.
+func (m *SimModel) Name() string { return m.p.ModelName }
+
+// Params returns a copy of the model's parameters.
+func (m *SimModel) Params() SimParams { return m.p }
+
+// frameRNG derives a deterministic RNG for (seed, frame index) using a
+// splitmix64-style scramble, so detections don't depend on call order.
+func frameRNG(seed int64, frameIdx int) *rand.Rand {
+	return rand.New(rand.NewSource(int64(scramble(uint64(seed) ^ (uint64(frameIdx)+1)*0x9E3779B97F4A7C15))))
+}
+
+func scramble(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// trackUniform returns a uniform value in [0,1) that is stable for a
+// (model, track) pair across frames. Real CNN confusions are persistent —
+// a network that mistakes one particular dog for a cat keeps doing so —
+// and this is what makes correction feedback (package smoothing)
+// worthwhile, exactly as the paper's §2.1 footnote describes.
+func trackUniform(seed int64, trackID int, salt uint64) float64 {
+	z := scramble(uint64(seed)*0x9E3779B97F4A7C15 ^ uint64(trackID)*0xD1B54A32D192ED03 ^ salt)
+	return float64(z>>11) / float64(1<<53)
+}
+
+// Detect runs the simulated model over one frame.
+func (m *SimModel) Detect(f *video.Frame) Result {
+	p := m.p
+	rng := frameRNG(p.Seed, f.Index)
+
+	dets := make([]Detection, 0, len(f.Objects)+2)
+	for _, obj := range f.Objects {
+		recall := clamp01(p.RecallBase - p.RecallSlope*obj.Difficulty)
+		if rng.Float64() >= recall {
+			continue // miss
+		}
+		box := jitterBox(obj.Box, p.BoxJitter, rng)
+		// The mislabel decision and the confused class are stable per
+		// track: object-level confusions persist across frames.
+		mis := clamp01(p.MislabelBase + p.MislabelSlope*obj.Difficulty)
+		if trackUniform(p.Seed, obj.TrackID, 0x1) < mis {
+			classRNG := rand.New(rand.NewSource(int64(scramble(uint64(p.Seed) ^ uint64(obj.TrackID)*0xA24BAED4963EE407))))
+			dets = append(dets, Detection{
+				Label:      confuse(obj.Class, p.Confusion, classRNG),
+				Confidence: p.ConfWrong.sample(rng),
+				Box:        box,
+				TrackID:    obj.TrackID,
+			})
+			continue
+		}
+		cd := p.ConfCorrect
+		cd.Mean -= p.DifficultyDrag * obj.Difficulty
+		dets = append(dets, Detection{
+			Label:      obj.Class,
+			Confidence: cd.sample(rng),
+			Box:        box,
+			TrackID:    obj.TrackID,
+		})
+	}
+
+	// Background false positives.
+	for n := poisson(rng, p.FalsePosPerFrame); n > 0; n-- {
+		s := 0.03 + rng.Float64()*0.1
+		dets = append(dets, Detection{
+			Label:      randomLabel(p.Confusion, rng),
+			Confidence: p.ConfFalse.sample(rng),
+			Box:        video.Rect{X: rng.Float64() * (1 - s), Y: rng.Float64() * (1 - s), W: s, H: s}.Clamp(),
+		})
+	}
+
+	// Stable presentation order: by confidence descending, then box.
+	sort.Slice(dets, func(i, j int) bool {
+		if dets[i].Confidence != dets[j].Confidence {
+			return dets[i].Confidence > dets[j].Confidence
+		}
+		return dets[i].Box.X < dets[j].Box.X
+	})
+
+	return Result{
+		Detections: dets,
+		Latency:    p.BaseLatency + time.Duration(len(f.Objects))*p.PerObjectLatency,
+	}
+}
+
+func jitterBox(b video.Rect, frac float64, rng *rand.Rand) video.Rect {
+	if frac <= 0 {
+		return b
+	}
+	b.X += rng.NormFloat64() * frac * b.W
+	b.Y += rng.NormFloat64() * frac * b.H
+	b.W *= 1 + rng.NormFloat64()*frac
+	b.H *= 1 + rng.NormFloat64()*frac
+	if b.W < 0.005 {
+		b.W = 0.005
+	}
+	if b.H < 0.005 {
+		b.H = 0.005
+	}
+	return b.Clamp()
+}
+
+func confuse(class string, confusion map[string][]string, rng *rand.Rand) string {
+	if alts, ok := confusion[class]; ok && len(alts) > 0 {
+		return alts[rng.Intn(len(alts))]
+	}
+	return class + "-lookalike"
+}
+
+func randomLabel(confusion map[string][]string, rng *rand.Rand) string {
+	keys := make([]string, 0, len(confusion))
+	for k := range confusion {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		return "clutter"
+	}
+	return keys[rng.Intn(len(keys))]
+}
+
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	// Knuth's method; means here are small (< 3).
+	l := 1.0
+	limit := math.Exp(-mean)
+	k := 0
+	for {
+		l *= rng.Float64()
+		if l <= limit {
+			return k
+		}
+		k++
+		if k > 50 {
+			return k
+		}
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,264 @@
+package detect
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"croesus/internal/video"
+)
+
+func testFrame(difficulty float64, n int) *video.Frame {
+	objs := make([]video.Object, n)
+	for i := range objs {
+		objs[i] = video.Object{
+			TrackID:    i + 1,
+			Class:      "person",
+			Box:        video.Rect{X: float64(i) * 0.1, Y: 0.2, W: 0.08, H: 0.15}.Clamp(),
+			Difficulty: difficulty,
+		}
+	}
+	return &video.Frame{Index: 1, Width: 1280, Height: 720, SizeBytes: 100 << 10, Objects: objs}
+}
+
+func TestSimModelDeterminism(t *testing.T) {
+	m := TinyYOLOSim(99)
+	f := testFrame(0.5, 6)
+	a := m.Detect(f)
+	b := m.Detect(f)
+	if len(a.Detections) != len(b.Detections) {
+		t.Fatalf("detection counts differ: %d vs %d", len(a.Detections), len(b.Detections))
+	}
+	for i := range a.Detections {
+		if a.Detections[i] != b.Detections[i] {
+			t.Fatalf("detection %d differs between identical calls", i)
+		}
+	}
+}
+
+func TestSimModelFrameIndependence(t *testing.T) {
+	// Detections on frame 5 must not depend on whether frame 4 was
+	// processed first.
+	m := TinyYOLOSim(7)
+	f4, f5 := testFrame(0.4, 4), testFrame(0.4, 4)
+	f4.Index, f5.Index = 4, 5
+	first := m.Detect(f5)
+	m.Detect(f4)
+	second := m.Detect(f5)
+	if len(first.Detections) != len(second.Detections) {
+		t.Fatal("frame 5 detections depend on call order")
+	}
+	for i := range first.Detections {
+		if first.Detections[i] != second.Detections[i] {
+			t.Fatal("frame 5 detections depend on call order")
+		}
+	}
+}
+
+func TestEasyObjectsDetectedAccurately(t *testing.T) {
+	m := TinyYOLOSim(1)
+	correct, total := 0, 0
+	for idx := 0; idx < 200; idx++ {
+		f := testFrame(0.05, 5)
+		f.Index = idx
+		for _, d := range m.Detect(f).Detections {
+			if d.TrackID == 0 {
+				continue
+			}
+			total++
+			if d.Label == "person" {
+				correct++
+			}
+		}
+	}
+	if total < 800 {
+		t.Errorf("easy objects: detected %d of 1000, want near-complete recall", total)
+	}
+	if frac := float64(correct) / float64(total); frac < 0.9 {
+		t.Errorf("easy objects: label accuracy %.2f, want > 0.9", frac)
+	}
+}
+
+func TestHardObjectsDegraded(t *testing.T) {
+	m := TinyYOLOSim(1)
+	detected, correct := 0, 0
+	const frames, perFrame = 200, 5
+	for idx := 0; idx < frames; idx++ {
+		f := testFrame(0.85, perFrame)
+		f.Index = idx
+		for _, d := range m.Detect(f).Detections {
+			if d.TrackID == 0 {
+				continue
+			}
+			detected++
+			if d.Label == "person" {
+				correct++
+			}
+		}
+	}
+	recall := float64(detected) / float64(frames*perFrame)
+	if recall > 0.7 {
+		t.Errorf("hard objects: recall %.2f, want degraded (< 0.7)", recall)
+	}
+	if detected > 0 {
+		if acc := float64(correct) / float64(detected); acc > 0.85 {
+			t.Errorf("hard objects: label accuracy %.2f, want degraded", acc)
+		}
+	}
+}
+
+func TestConfidenceSeparation(t *testing.T) {
+	// Mean confidence must order: correct > mislabel > false positive.
+	// This ordering is what makes (θL, θU) thresholding work at all.
+	m := TinyYOLOSim(3)
+	var sums [3]float64
+	var ns [3]int
+	for idx := 0; idx < 300; idx++ {
+		f := testFrame(0.5, 5)
+		f.Index = idx
+		for _, d := range m.Detect(f).Detections {
+			switch {
+			case d.TrackID == 0:
+				sums[2] += d.Confidence
+				ns[2]++
+			case d.Label == "person":
+				sums[0] += d.Confidence
+				ns[0]++
+			default:
+				sums[1] += d.Confidence
+				ns[1]++
+			}
+		}
+	}
+	for i, n := range ns {
+		if n == 0 {
+			t.Fatalf("outcome class %d never observed", i)
+		}
+	}
+	correct, wrong, fp := sums[0]/float64(ns[0]), sums[1]/float64(ns[1]), sums[2]/float64(ns[2])
+	if !(correct > wrong && wrong > fp) {
+		t.Errorf("confidence ordering violated: correct=%.2f wrong=%.2f fp=%.2f", correct, wrong, fp)
+	}
+	if correct-wrong < 0.05 || wrong-fp < 0.05 {
+		t.Errorf("confidence bands too close: correct=%.2f wrong=%.2f fp=%.2f", correct, wrong, fp)
+	}
+}
+
+func TestCloudModelNearOracle(t *testing.T) {
+	m := YOLOv3Sim(YOLO416, 2)
+	misses, mislabels, total := 0, 0, 0
+	for idx := 0; idx < 100; idx++ {
+		f := testFrame(0.6, 5)
+		f.Index = idx
+		found := map[int]bool{}
+		for _, d := range m.Detect(f).Detections {
+			if d.TrackID != 0 {
+				found[d.TrackID] = true
+				if d.Label != "person" {
+					mislabels++
+				}
+			}
+		}
+		for _, o := range f.Objects {
+			total++
+			if !found[o.TrackID] {
+				misses++
+			}
+		}
+	}
+	if float64(misses)/float64(total) > 0.05 {
+		t.Errorf("cloud model missed %d/%d objects, want near-oracle", misses, total)
+	}
+	if mislabels != 0 {
+		t.Errorf("cloud model mislabeled %d objects, want 0", mislabels)
+	}
+}
+
+func TestCloudLatencyOrdering(t *testing.T) {
+	f := testFrame(0.3, 3)
+	l320 := YOLOv3Sim(YOLO320, 1).Detect(f).Latency
+	l416 := YOLOv3Sim(YOLO416, 1).Detect(f).Latency
+	l608 := YOLOv3Sim(YOLO608, 1).Detect(f).Latency
+	if !(l320 < l416 && l416 < l608) {
+		t.Errorf("latency ordering violated: %v %v %v", l320, l416, l608)
+	}
+	edge := TinyYOLOSim(1).Detect(f).Latency
+	if edge >= l320 {
+		t.Errorf("edge latency %v not below smallest cloud latency %v", edge, l320)
+	}
+	if l416 < time.Second || l416 > 1300*time.Millisecond {
+		t.Errorf("YOLOv3-416 latency %v out of the paper's ballpark (~1.12s)", l416)
+	}
+}
+
+func TestOracle(t *testing.T) {
+	f := testFrame(0.9, 4)
+	r := Oracle{}.Detect(f)
+	if len(r.Detections) != 4 {
+		t.Fatalf("oracle returned %d detections, want 4", len(r.Detections))
+	}
+	for i, d := range r.Detections {
+		if d.Label != "person" || d.Confidence != 1 {
+			t.Errorf("oracle detection %d = %+v", i, d)
+		}
+	}
+	if r.Latency != 0 {
+		t.Errorf("oracle latency = %v, want 0", r.Latency)
+	}
+}
+
+func TestUnknownYOLOSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unknown YOLO size")
+		}
+	}()
+	YOLOv3Sim(YOLOSize(999), 1)
+}
+
+// Property: confidences are always within (0,1), boxes stay in-frame, and
+// detections are sorted by descending confidence.
+func TestDetectionInvariantsProperty(t *testing.T) {
+	m := TinyYOLOSim(5)
+	f := func(idx uint16, diffRaw uint8, n uint8) bool {
+		diff := float64(diffRaw) / 255
+		frame := testFrame(diff, int(n%10)+1)
+		frame.Index = int(idx)
+		r := m.Detect(frame)
+		prev := math.Inf(1)
+		for _, d := range r.Detections {
+			if d.Confidence <= 0 || d.Confidence >= 1 {
+				return false
+			}
+			if d.Confidence > prev {
+				return false
+			}
+			prev = d.Confidence
+			b := d.Box
+			if b.X < 0 || b.Y < 0 || b.X+b.W > 1.0001 || b.Y+b.H > 1.0001 || b.Area() <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	rng := frameRNG(1, 1)
+	var sum int
+	const n = 5000
+	for i := 0; i < n; i++ {
+		sum += poisson(rng, 1.5)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-1.5) > 0.15 {
+		t.Errorf("poisson mean = %.3f, want ≈ 1.5", mean)
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Error("poisson of non-positive mean must be 0")
+	}
+}

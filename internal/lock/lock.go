@@ -1,0 +1,353 @@
+// Package lock implements the lock manager used by the multi-stage
+// concurrency-control protocols: shared/exclusive key locks with FIFO
+// queuing, a no-wait acquisition mode (the abort policy of Two Stage 2PL in
+// the paper's Algorithm 1), deadlock-free ordered multi-key acquisition, and
+// per-key hold-time accounting for the Figure 6(a) experiment.
+//
+// Blocking waiters park on vclock gates, so the same manager works under
+// both simulated and real time.
+package lock
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"croesus/internal/vclock"
+)
+
+// Mode is the lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	Shared Mode = iota
+	Exclusive
+)
+
+func (m Mode) String() string {
+	if m == Shared {
+		return "S"
+	}
+	return "X"
+}
+
+// Owner identifies a lock holder (a transaction instance).
+type Owner uint64
+
+// Request names one key and the mode it must be locked in.
+type Request struct {
+	Key  string
+	Mode Mode
+}
+
+type waiter struct {
+	owner Owner
+	mode  Mode
+	gate  vclock.Gate
+}
+
+type keyLock struct {
+	holders map[Owner]Mode
+	queue   []waiter
+	// acquiredAt records when each current holder got the lock, for
+	// hold-time accounting.
+	acquiredAt map[Owner]time.Duration
+}
+
+// Manager is a table of key locks.
+type Manager struct {
+	clk vclock.Clock
+
+	mu    sync.Mutex
+	locks map[string]*keyLock
+
+	holdMu    sync.Mutex
+	holdTotal time.Duration
+	holdCount int64
+	waitTotal time.Duration
+	waitCount int64
+}
+
+// NewManager returns a lock manager using clk for blocking and accounting.
+func NewManager(clk vclock.Clock) *Manager {
+	return &Manager{clk: clk, locks: make(map[string]*keyLock)}
+}
+
+func (m *Manager) keyLock(key string) *keyLock {
+	kl, ok := m.locks[key]
+	if !ok {
+		kl = &keyLock{holders: make(map[Owner]Mode), acquiredAt: make(map[Owner]time.Duration)}
+		m.locks[key] = kl
+	}
+	return kl
+}
+
+// compatible reports whether owner may take the lock in mode given current
+// holders. Re-entrant: a holder may re-take its own lock (upgrades from S to
+// X require being the only holder).
+func (kl *keyLock) compatible(owner Owner, mode Mode) bool {
+	for o, held := range kl.holders {
+		if o == owner {
+			if mode == Exclusive && held == Shared && len(kl.holders) > 1 {
+				return false // upgrade blocked by other sharers
+			}
+			continue
+		}
+		if mode == Exclusive || held == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// grantLocked records the grant. Callers hold m.mu.
+func (m *Manager) grantLocked(kl *keyLock, owner Owner, mode Mode) {
+	if held, ok := kl.holders[owner]; !ok || (held == Shared && mode == Exclusive) {
+		kl.holders[owner] = mode
+	}
+	if _, ok := kl.acquiredAt[owner]; !ok {
+		kl.acquiredAt[owner] = m.clk.Now()
+	}
+}
+
+// TryAcquire attempts to lock key in mode without waiting; it reports
+// whether the lock was granted. Waiters queued ahead block new grants (no
+// barging), matching FIFO fairness.
+func (m *Manager) TryAcquire(owner Owner, key string, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	kl := m.keyLock(key)
+	if len(kl.queue) > 0 || !kl.compatible(owner, mode) {
+		return false
+	}
+	m.grantLocked(kl, owner, mode)
+	return true
+}
+
+// Acquire locks key in mode, blocking (in clock time) until granted.
+func (m *Manager) Acquire(owner Owner, key string, mode Mode) {
+	m.mu.Lock()
+	kl := m.keyLock(key)
+	if len(kl.queue) == 0 && kl.compatible(owner, mode) {
+		m.grantLocked(kl, owner, mode)
+		m.mu.Unlock()
+		return
+	}
+	g := m.clk.NewGate()
+	kl.queue = append(kl.queue, waiter{owner: owner, mode: mode, gate: g})
+	m.mu.Unlock()
+	start := m.clk.Now()
+	g.Wait()
+	m.recordWait(m.clk.Now() - start)
+}
+
+// Release unlocks key for owner and hands the lock to eligible waiters.
+func (m *Manager) Release(owner Owner, key string) {
+	m.mu.Lock()
+	kl, ok := m.locks[key]
+	if !ok {
+		m.mu.Unlock()
+		panic(fmt.Sprintf("lock: release of unheld key %q by owner %d", key, owner))
+	}
+	if _, held := kl.holders[owner]; !held {
+		m.mu.Unlock()
+		panic(fmt.Sprintf("lock: release of unheld key %q by owner %d", key, owner))
+	}
+	start := kl.acquiredAt[owner]
+	delete(kl.holders, owner)
+	delete(kl.acquiredAt, owner)
+	granted := m.promoteLocked(kl)
+	if len(kl.holders) == 0 && len(kl.queue) == 0 {
+		delete(m.locks, key)
+	}
+	m.mu.Unlock()
+
+	m.recordHold(m.clk.Now() - start)
+	for _, g := range granted {
+		g.Fire()
+	}
+}
+
+// promoteLocked grants queued waiters in FIFO order as long as they are
+// compatible; it returns the gates to fire. Callers hold m.mu.
+func (m *Manager) promoteLocked(kl *keyLock) []vclock.Gate {
+	var fired []vclock.Gate
+	for len(kl.queue) > 0 {
+		w := kl.queue[0]
+		if !kl.compatible(w.owner, w.mode) {
+			break
+		}
+		m.grantLocked(kl, w.owner, w.mode)
+		kl.queue = kl.queue[1:]
+		fired = append(fired, w.gate)
+	}
+	return fired
+}
+
+// AcquireAll locks every request, blocking as needed. Requests are sorted by
+// key (duplicates merged, Exclusive winning), so concurrent AcquireAll calls
+// cannot deadlock — the classic ordered-acquisition discipline enabled by
+// the declared read/write sets of the paper's algorithms ("get_rwsets").
+// Callers must not hold other locks across the call (protocols that do,
+// like MS-SR holding locks until the final commit, use AcquireAllWaitDie).
+func (m *Manager) AcquireAll(owner Owner, reqs []Request) {
+	for _, r := range Normalize(reqs) {
+		m.Acquire(owner, r.Key, r.Mode)
+	}
+}
+
+// AcquireAllWaitDie acquires every request under the wait-die discipline:
+// a requester may block only when it is older (smaller Owner id — ids are
+// assigned monotonically) than every current holder and queued waiter of
+// the key; otherwise it "dies" — everything acquired so far is released
+// and false is returned, and the caller is expected to abort. Because every
+// wait edge points from an older transaction to a younger one, no cycle can
+// form even when callers hold locks across calls, which is exactly the
+// MS-SR situation (locks held from the initial commit to the final commit
+// while new transactions keep arriving).
+func (m *Manager) AcquireAllWaitDie(owner Owner, reqs []Request) bool {
+	norm := Normalize(reqs)
+	for i, r := range norm {
+		if !m.acquireWaitDie(owner, r.Key, r.Mode) {
+			for j := 0; j < i; j++ {
+				m.Release(owner, norm[j].Key)
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// acquireWaitDie takes one lock, blocking only when the wait-die age rule
+// permits.
+func (m *Manager) acquireWaitDie(owner Owner, key string, mode Mode) bool {
+	m.mu.Lock()
+	kl := m.keyLock(key)
+	if len(kl.queue) == 0 && kl.compatible(owner, mode) {
+		m.grantLocked(kl, owner, mode)
+		m.mu.Unlock()
+		return true
+	}
+	// The requester would wait for the current holders and everyone
+	// queued ahead; it may only do so if it is older than all of them.
+	for h := range kl.holders {
+		if h != owner && h <= owner {
+			m.mu.Unlock()
+			return false
+		}
+	}
+	for _, w := range kl.queue {
+		if w.owner <= owner {
+			m.mu.Unlock()
+			return false
+		}
+	}
+	g := m.clk.NewGate()
+	kl.queue = append(kl.queue, waiter{owner: owner, mode: mode, gate: g})
+	m.mu.Unlock()
+	start := m.clk.Now()
+	g.Wait()
+	m.recordWait(m.clk.Now() - start)
+	return true
+}
+
+// TryAcquireAll attempts to lock every request without waiting. On failure
+// it releases everything it acquired and reports false — the no-wait abort
+// policy of Algorithm 1.
+func (m *Manager) TryAcquireAll(owner Owner, reqs []Request) bool {
+	norm := Normalize(reqs)
+	for i, r := range norm {
+		if !m.TryAcquire(owner, r.Key, r.Mode) {
+			for j := 0; j < i; j++ {
+				m.Release(owner, norm[j].Key)
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// ReleaseAll releases the given requests' keys (deduplicated).
+func (m *Manager) ReleaseAll(owner Owner, reqs []Request) {
+	for _, r := range Normalize(reqs) {
+		m.Release(owner, r.Key)
+	}
+}
+
+// HoldStats reports the cumulative number of lock holds and their mean
+// duration (the Figure 6(a) metric).
+func (m *Manager) HoldStats() (count int64, mean time.Duration) {
+	m.holdMu.Lock()
+	defer m.holdMu.Unlock()
+	if m.holdCount == 0 {
+		return 0, 0
+	}
+	return m.holdCount, m.holdTotal / time.Duration(m.holdCount)
+}
+
+// ResetHoldStats clears hold-time accounting.
+func (m *Manager) ResetHoldStats() {
+	m.holdMu.Lock()
+	defer m.holdMu.Unlock()
+	m.holdTotal, m.holdCount = 0, 0
+}
+
+func (m *Manager) recordHold(d time.Duration) {
+	m.holdMu.Lock()
+	m.holdTotal += d
+	m.holdCount++
+	m.holdMu.Unlock()
+}
+
+// WaitStats reports how many Acquire calls had to queue and their mean
+// queuing time. A workload scheduled so that conflicting transactions never
+// overlap (the MS-IA sequencer) shows a zero wait count.
+func (m *Manager) WaitStats() (count int64, mean time.Duration) {
+	m.holdMu.Lock()
+	defer m.holdMu.Unlock()
+	if m.waitCount == 0 {
+		return 0, 0
+	}
+	return m.waitCount, m.waitTotal / time.Duration(m.waitCount)
+}
+
+func (m *Manager) recordWait(d time.Duration) {
+	m.holdMu.Lock()
+	m.waitTotal += d
+	m.waitCount++
+	m.holdMu.Unlock()
+}
+
+// Held reports whether owner currently holds key (any mode) — for tests.
+func (m *Manager) Held(owner Owner, key string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	kl, ok := m.locks[key]
+	if !ok {
+		return false
+	}
+	_, held := kl.holders[owner]
+	return held
+}
+
+// Normalize sorts requests by key and merges duplicates; a key requested in
+// both modes is kept Exclusive.
+func Normalize(reqs []Request) []Request {
+	if len(reqs) == 0 {
+		return nil
+	}
+	byKey := make(map[string]Mode, len(reqs))
+	for _, r := range reqs {
+		if cur, ok := byKey[r.Key]; !ok || (cur == Shared && r.Mode == Exclusive) {
+			byKey[r.Key] = r.Mode
+		}
+	}
+	out := make([]Request, 0, len(byKey))
+	for k, mode := range byKey {
+		out = append(out, Request{Key: k, Mode: mode})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

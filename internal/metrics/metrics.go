@@ -1,0 +1,204 @@
+// Package metrics implements the evaluation machinery of the paper:
+// bounding-box matching between detection sets, precision / recall /
+// F-score, and latency statistics.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"croesus/internal/detect"
+)
+
+// Counts accumulates confusion counts for detection evaluation.
+type Counts struct {
+	TP, FP, FN int
+}
+
+// Add merges another count set.
+func (c *Counts) Add(o Counts) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.FN += o.FN
+}
+
+// Precision returns TP / (TP + FP), or 1 when nothing was predicted.
+func (c Counts) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP / (TP + FN), or 1 when there was nothing to find.
+func (c Counts) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall (the paper's
+// F-score: 2pr/(p+r)).
+func (c Counts) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+func (c Counts) String() string {
+	return fmt.Sprintf("TP=%d FP=%d FN=%d P=%.3f R=%.3f F1=%.3f", c.TP, c.FP, c.FN, c.Precision(), c.Recall(), c.F1())
+}
+
+// Match pairs one predicted detection with one reference detection.
+type Match struct {
+	Pred, Ref int     // indices into the input slices
+	IoU       float64 // overlap of the pair
+}
+
+// MatchResult is the outcome of matching predictions against a reference.
+type MatchResult struct {
+	Matches       []Match
+	UnmatchedPred []int
+	UnmatchedRef  []int
+}
+
+// MatchBoxes greedily pairs predictions to reference detections by
+// descending IoU, requiring overlap of at least minIoU (the paper uses 10%).
+// Class labels are NOT considered: the caller decides whether a matched pair
+// with differing labels is a correction (pipeline) or an error (scoring).
+func MatchBoxes(preds, refs []detect.Detection, minIoU float64) MatchResult {
+	type cand struct {
+		p, r int
+		iou  float64
+	}
+	var cands []cand
+	for i, p := range preds {
+		for j, r := range refs {
+			if iou := p.Box.IoU(r.Box); iou >= minIoU {
+				cands = append(cands, cand{i, j, iou})
+			}
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].iou != cands[b].iou {
+			return cands[a].iou > cands[b].iou
+		}
+		if cands[a].p != cands[b].p {
+			return cands[a].p < cands[b].p
+		}
+		return cands[a].r < cands[b].r
+	})
+	usedP := make([]bool, len(preds))
+	usedR := make([]bool, len(refs))
+	var res MatchResult
+	for _, c := range cands {
+		if usedP[c.p] || usedR[c.r] {
+			continue
+		}
+		usedP[c.p] = true
+		usedR[c.r] = true
+		res.Matches = append(res.Matches, Match{Pred: c.p, Ref: c.r, IoU: c.iou})
+	}
+	for i := range preds {
+		if !usedP[i] {
+			res.UnmatchedPred = append(res.UnmatchedPred, i)
+		}
+	}
+	for j := range refs {
+		if !usedR[j] {
+			res.UnmatchedRef = append(res.UnmatchedRef, j)
+		}
+	}
+	return res
+}
+
+// ScoreClass evaluates predictions against a reference for one query class,
+// per the paper's evaluation: a prediction is correct when it overlaps a
+// same-class reference detection by at least minIoU.
+func ScoreClass(preds, refs []detect.Detection, class string, minIoU float64) Counts {
+	p := filterClass(preds, class)
+	r := filterClass(refs, class)
+	m := MatchBoxes(p, r, minIoU)
+	return Counts{
+		TP: len(m.Matches),
+		FP: len(m.UnmatchedPred),
+		FN: len(m.UnmatchedRef),
+	}
+}
+
+func filterClass(dets []detect.Detection, class string) []detect.Detection {
+	out := make([]detect.Detection, 0, len(dets))
+	for _, d := range dets {
+		if d.Label == class {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// LatencyStats summarizes a sample of durations.
+type LatencyStats struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Add records one sample.
+func (s *LatencyStats) Add(d time.Duration) {
+	s.samples = append(s.samples, d)
+	s.sorted = false
+}
+
+// N reports the number of samples.
+func (s *LatencyStats) N() int { return len(s.samples) }
+
+// Mean returns the arithmetic mean (0 with no samples).
+func (s *LatencyStats) Mean() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range s.samples {
+		sum += d
+	}
+	return sum / time.Duration(len(s.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) by
+// nearest-rank; 0 with no samples.
+func (s *LatencyStats) Percentile(p float64) time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
+		s.sorted = true
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s.samples) {
+		rank = len(s.samples)
+	}
+	return s.samples[rank-1]
+}
+
+// Max returns the maximum sample.
+func (s *LatencyStats) Max() time.Duration { return s.Percentile(100) }
+
+// Min returns the minimum sample.
+func (s *LatencyStats) Min() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
+		s.sorted = true
+	}
+	return s.samples[0]
+}

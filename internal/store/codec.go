@@ -1,0 +1,34 @@
+package store
+
+import (
+	"encoding/binary"
+	"strconv"
+)
+
+// Int64Value encodes an integer as a Value (used for counters and token
+// balances in the examples and experiments).
+func Int64Value(v int64) Value {
+	b := make(Value, 8)
+	binary.BigEndian.PutUint64(b, uint64(v))
+	return b
+}
+
+// AsInt64 decodes an integer Value; it returns 0 for nil or malformed
+// values.
+func AsInt64(v Value) int64 {
+	if len(v) != 8 {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(v))
+}
+
+// StringValue encodes a string as a Value.
+func StringValue(s string) Value { return Value(s) }
+
+// AsString decodes a string Value.
+func AsString(v Value) string { return string(v) }
+
+// ItoaKey builds "prefix:n" keys without fmt in hot paths.
+func ItoaKey(prefix string, n int) string {
+	return prefix + ":" + strconv.Itoa(n)
+}

@@ -1,0 +1,168 @@
+package tcpnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"croesus/internal/detect"
+	"croesus/internal/video"
+	"croesus/internal/wire"
+)
+
+// FrameResult collects the two responses for one submitted frame.
+type FrameResult struct {
+	FrameIndex     int
+	Initial        []detect.Detection
+	Final          []detect.Detection
+	SentToCloud    bool
+	Corrections    int
+	Apologies      []string
+	InitialLatency time.Duration // submit → initial reply received
+	FinalLatency   time.Duration // submit → final reply received
+}
+
+// Client streams frames to an edge server and collects both commit
+// responses per frame.
+type Client struct {
+	conn   *wire.Conn
+	sendMu sync.Mutex
+
+	mu      sync.Mutex
+	started map[int]time.Time
+	results map[int]*FrameResult
+	done    map[int]chan struct{}
+	readErr error
+}
+
+// Dial connects to the edge server.
+func Dial(addr string) (*Client, error) {
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Client{
+		conn:    wire.NewConn(c),
+		started: make(map[int]time.Time),
+		results: make(map[int]*FrameResult),
+		done:    make(map[int]chan struct{}),
+	}
+	go cl.readLoop()
+	return cl, nil
+}
+
+func (c *Client) readLoop() {
+	for {
+		env, err := c.conn.Recv()
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for _, ch := range c.done {
+				select {
+				case <-ch:
+				default:
+					close(ch)
+				}
+			}
+			c.mu.Unlock()
+			return
+		}
+		switch env.Kind {
+		case wire.KindInitialReply:
+			r := env.InitialReply
+			c.mu.Lock()
+			fr := c.result(r.FrameIndex)
+			fr.Initial = r.Labels
+			fr.SentToCloud = r.SentToCloud
+			fr.InitialLatency = time.Since(c.started[r.FrameIndex])
+			c.mu.Unlock()
+		case wire.KindFinalReply:
+			r := env.FinalReply
+			c.mu.Lock()
+			fr := c.result(r.FrameIndex)
+			fr.Final = r.Labels
+			fr.Corrections = r.Corrections
+			fr.Apologies = r.Apologies
+			fr.FinalLatency = time.Since(c.started[r.FrameIndex])
+			if ch, ok := c.done[r.FrameIndex]; ok {
+				close(ch)
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// result returns (creating if needed) the record for a frame. Callers hold
+// c.mu.
+func (c *Client) result(idx int) *FrameResult {
+	fr, ok := c.results[idx]
+	if !ok {
+		fr = &FrameResult{FrameIndex: idx}
+		c.results[idx] = fr
+	}
+	return fr
+}
+
+// Submit sends one frame; the result arrives asynchronously.
+func (c *Client) Submit(f *video.Frame, padding int) error {
+	ch := make(chan struct{})
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return err
+	}
+	c.started[f.Index] = time.Now()
+	c.done[f.Index] = ch
+	c.mu.Unlock()
+
+	var pad []byte
+	if padding > 0 {
+		pad = make([]byte, padding)
+	}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	return c.conn.Send(&wire.Envelope{Kind: wire.KindFrame, Frame: &wire.Frame{Frame: *f, Padding: pad}})
+}
+
+// WaitFrame blocks until the frame's final reply arrives (or the
+// connection fails / the timeout expires) and returns its result.
+func (c *Client) WaitFrame(idx int, timeout time.Duration) (*FrameResult, error) {
+	c.mu.Lock()
+	ch, ok := c.done[idx]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("tcpnet: frame %d was never submitted", idx)
+	}
+	select {
+	case <-ch:
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("tcpnet: frame %d timed out after %v", idx, timeout)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr != nil && c.results[idx].Final == nil {
+		return nil, c.readErr
+	}
+	return c.results[idx], nil
+}
+
+// Results returns a snapshot of all frame results.
+func (c *Client) Results() []*FrameResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*FrameResult, 0, len(c.results))
+	for _, r := range c.results {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Close says goodbye and closes the connection.
+func (c *Client) Close() error {
+	c.sendMu.Lock()
+	c.conn.Send(&wire.Envelope{Kind: wire.KindBye})
+	c.sendMu.Unlock()
+	return c.conn.Close()
+}

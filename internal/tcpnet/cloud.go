@@ -1,0 +1,167 @@
+// Package tcpnet deploys the Croesus pipeline over real TCP: a cloud
+// server running the full model, an edge server running the compact model
+// plus the multi-stage transaction machinery, and a client that streams
+// frames. The node logic mirrors internal/core but against wall-clock time
+// and real sockets; TimeScale compresses the simulated inference latencies
+// so integration tests finish quickly.
+package tcpnet
+
+import (
+	"errors"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"croesus/internal/detect"
+	"croesus/internal/wire"
+)
+
+// CloudServer serves detection requests with the full model.
+type CloudServer struct {
+	Model detect.Model
+	// TimeScale multiplies modeled inference latency before sleeping
+	// (1.0 = full fidelity; tests use ~0.01).
+	TimeScale float64
+	Logf      func(format string, args ...any)
+
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	closed  bool
+	handled int64
+	wg      sync.WaitGroup
+}
+
+// NewCloudServer returns a server for the model.
+func NewCloudServer(model detect.Model, timeScale float64) *CloudServer {
+	if timeScale <= 0 {
+		timeScale = 1
+	}
+	return &CloudServer{
+		Model:     model,
+		TimeScale: timeScale,
+		Logf:      func(string, ...any) {},
+		conns:     make(map[net.Conn]struct{}),
+	}
+}
+
+// Listen starts accepting on addr (e.g. ":9402" or "127.0.0.1:0") and
+// returns the bound address.
+func (s *CloudServer) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *CloudServer) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *CloudServer) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	wc := wire.NewConn(conn)
+	var sendMu sync.Mutex
+	for {
+		env, err := wc.Recv()
+		if err != nil {
+			return
+		}
+		switch env.Kind {
+		case wire.KindBye:
+			return
+		case wire.KindCloudRequest:
+			req := env.CloudRequest
+			// Requests detect concurrently (the cloud machine has slots
+			// to spare); replies serialize on the encoder.
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				start := time.Now()
+				res := s.Model.Detect(&req.Frame)
+				time.Sleep(time.Duration(float64(res.Latency) * s.TimeScale))
+				s.mu.Lock()
+				s.handled++
+				s.mu.Unlock()
+				sendMu.Lock()
+				defer sendMu.Unlock()
+				err := wc.Send(&wire.Envelope{
+					Kind: wire.KindCloudResponse,
+					CloudResponse: &wire.CloudResponse{
+						FrameIndex: req.FrameIndex,
+						Labels:     res.Detections,
+						DetectTime: time.Since(start),
+					},
+				})
+				if err != nil {
+					s.Logf("cloud: send response: %v", err)
+				}
+			}()
+		default:
+			s.Logf("cloud: unexpected message kind %q", env.Kind)
+			return
+		}
+	}
+}
+
+// Handled reports how many frames the server has detected.
+func (s *CloudServer) Handled() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.handled
+}
+
+// Close stops the listener and closes every connection.
+func (s *CloudServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}
+
+// discardLogf is a helper for binaries that want stderr logging.
+func StdLogf(prefix string) func(string, ...any) {
+	return func(format string, args ...any) {
+		log.Printf(prefix+": "+format, args...)
+	}
+}

@@ -1,0 +1,409 @@
+package tcpnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"croesus/internal/core"
+	"croesus/internal/detect"
+	"croesus/internal/lock"
+	"croesus/internal/store"
+	"croesus/internal/txn"
+	"croesus/internal/vclock"
+	"croesus/internal/wire"
+)
+
+// EdgeConfig assembles an edge server.
+type EdgeConfig struct {
+	EdgeModel detect.Model
+	CloudAddr string // cloud server address; empty disables validation
+	TimeScale float64
+	// Thresholds for bandwidth thresholding (§3.4).
+	ThetaL, ThetaU float64
+	MinConfidence  float64
+	OverlapMin     float64
+	// Source supplies the per-detection transactions; nil runs the
+	// detection pipeline without a database.
+	Source core.TxnSource
+	Logf   func(format string, args ...any)
+}
+
+// EdgeServer is the edge node of the real deployment: compact model,
+// datastore, lock manager, MS-IA transaction processing, and the cloud
+// validation path.
+type EdgeServer struct {
+	cfg EdgeConfig
+	clk vclock.Clock
+	mgr *txn.Manager
+	cc  txn.CC
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	served int64
+	wg     sync.WaitGroup
+}
+
+// NewEdgeServer builds an edge server; the store and lock manager are
+// created internally on a real clock.
+func NewEdgeServer(cfg EdgeConfig) (*EdgeServer, error) {
+	if cfg.EdgeModel == nil {
+		return nil, fmt.Errorf("tcpnet: EdgeModel is required")
+	}
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1
+	}
+	if cfg.MinConfidence == 0 {
+		cfg.MinConfidence = 0.05
+	}
+	if cfg.OverlapMin == 0 {
+		cfg.OverlapMin = 0.10
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	clk := vclock.NewReal()
+	st := store.New()
+	mgr := txn.NewManager(clk, st, lock.NewManager(clk))
+	return &EdgeServer{
+		cfg:   cfg,
+		clk:   clk,
+		mgr:   mgr,
+		cc:    &txn.MSIA{M: mgr},
+		conns: make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Manager exposes the transaction manager (for inspection in tests).
+func (s *EdgeServer) Manager() *txn.Manager { return s.mgr }
+
+// Listen starts accepting client connections and returns the bound address.
+func (s *EdgeServer) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *EdgeServer) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveClient(conn)
+	}
+}
+
+// cloudSession multiplexes cloud requests over one connection.
+type cloudSession struct {
+	conn    *wire.Conn
+	sendMu  sync.Mutex
+	mu      sync.Mutex
+	pending map[int]chan *wire.CloudResponse
+	err     error
+}
+
+func dialCloud(addr string) (*cloudSession, error) {
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	cs := &cloudSession{
+		conn:    wire.NewConn(c),
+		pending: make(map[int]chan *wire.CloudResponse),
+	}
+	go cs.readLoop()
+	return cs, nil
+}
+
+func (cs *cloudSession) readLoop() {
+	for {
+		env, err := cs.conn.Recv()
+		if err != nil {
+			cs.mu.Lock()
+			cs.err = err
+			for _, ch := range cs.pending {
+				close(ch)
+			}
+			cs.pending = make(map[int]chan *wire.CloudResponse)
+			cs.mu.Unlock()
+			return
+		}
+		if env.Kind != wire.KindCloudResponse {
+			continue
+		}
+		cs.mu.Lock()
+		ch, ok := cs.pending[env.CloudResponse.FrameIndex]
+		if ok {
+			delete(cs.pending, env.CloudResponse.FrameIndex)
+		}
+		cs.mu.Unlock()
+		if ok {
+			ch <- env.CloudResponse
+			close(ch)
+		}
+	}
+}
+
+// validate sends the frame for cloud detection and waits for the labels.
+func (cs *cloudSession) validate(req *wire.CloudRequest) (*wire.CloudResponse, error) {
+	ch := make(chan *wire.CloudResponse, 1)
+	cs.mu.Lock()
+	if cs.err != nil {
+		cs.mu.Unlock()
+		return nil, cs.err
+	}
+	cs.pending[req.FrameIndex] = ch
+	cs.mu.Unlock()
+
+	cs.sendMu.Lock()
+	err := cs.conn.Send(&wire.Envelope{Kind: wire.KindCloudRequest, CloudRequest: req})
+	cs.sendMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		return nil, fmt.Errorf("tcpnet: cloud connection lost")
+	}
+	return resp, nil
+}
+
+func (cs *cloudSession) close() {
+	cs.sendMu.Lock()
+	cs.conn.Send(&wire.Envelope{Kind: wire.KindBye})
+	cs.sendMu.Unlock()
+	cs.conn.Close()
+}
+
+func (s *EdgeServer) serveClient(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	wc := wire.NewConn(conn)
+	var sendMu sync.Mutex
+
+	var cloud *cloudSession
+	if s.cfg.CloudAddr != "" {
+		var err error
+		cloud, err = dialCloud(s.cfg.CloudAddr)
+		if err != nil {
+			s.cfg.Logf("edge: dial cloud %s: %v", s.cfg.CloudAddr, err)
+			return
+		}
+		defer cloud.close()
+	}
+
+	var frameWG sync.WaitGroup
+	defer frameWG.Wait()
+	for {
+		env, err := wc.Recv()
+		if err != nil {
+			return
+		}
+		switch env.Kind {
+		case wire.KindBye:
+			return
+		case wire.KindFrame:
+			f := env.Frame
+			frameWG.Add(1)
+			go func() {
+				defer frameWG.Done()
+				s.handleFrame(f, cloud, wc, &sendMu)
+			}()
+		default:
+			s.cfg.Logf("edge: unexpected kind %q", env.Kind)
+			return
+		}
+	}
+}
+
+// handleFrame is the Figure 1 execution pattern over real sockets.
+func (s *EdgeServer) handleFrame(f *wire.Frame, cloud *cloudSession, wc *wire.Conn, sendMu *sync.Mutex) {
+	start := time.Now()
+	res := s.cfg.EdgeModel.Detect(&f.Frame)
+	time.Sleep(time.Duration(float64(res.Latency) * s.cfg.TimeScale))
+
+	// Input processing: confidence filter + thresholding.
+	var visible []detect.Detection
+	validate := false
+	for _, d := range res.Detections {
+		if d.Confidence < s.cfg.MinConfidence || d.Confidence < s.cfg.ThetaL {
+			continue
+		}
+		if d.Confidence <= s.cfg.ThetaU {
+			validate = true
+		}
+		visible = append(visible, d)
+	}
+
+	// Initial sections.
+	type pending struct {
+		inst    *txn.Instance
+		edgeIdx int
+		trigger detect.Detection
+	}
+	var pend []pending
+	aborted := 0
+	if s.cfg.Source != nil {
+		for i, d := range visible {
+			t := s.cfg.Source.TxnFor(f.Frame.Index, d)
+			if t == nil {
+				continue
+			}
+			inst := s.mgr.NewInstance(t, core.InitialInput{FrameIndex: f.Frame.Index, Trigger: d, Labels: visible})
+			if err := s.cc.RunInitial(inst); err != nil {
+				aborted++
+				continue
+			}
+			pend = append(pend, pending{inst: inst, edgeIdx: i, trigger: d})
+		}
+	}
+
+	validate = validate && cloud != nil
+	sendMu.Lock()
+	err := wc.Send(&wire.Envelope{Kind: wire.KindInitialReply, InitialReply: &wire.InitialReply{
+		FrameIndex:  f.Frame.Index,
+		Labels:      visible,
+		Triggered:   len(pend),
+		Aborted:     aborted,
+		SentToCloud: validate,
+		EdgeElapsed: time.Since(start),
+	}})
+	sendMu.Unlock()
+	if err != nil {
+		s.cfg.Logf("edge: send initial reply: %v", err)
+		return
+	}
+
+	finalLabels := visible
+	matches := make([]core.LabelMatch, 0)
+	if validate {
+		resp, err := cloud.validate(&wire.CloudRequest{FrameIndex: f.Frame.Index, Frame: f.Frame, Padding: f.Padding})
+		if err != nil {
+			s.cfg.Logf("edge: cloud validation failed, finalizing locally: %v", err)
+			matches = assumed(len(visible))
+		} else {
+			matches = core.MatchLabels(visible, resp.Labels, s.cfg.OverlapMin)
+			finalLabels = resp.Labels
+		}
+	} else {
+		matches = assumed(len(visible))
+	}
+
+	// Final sections.
+	corrections := 0
+	var apologies []string
+	byEdge := map[int]core.LabelMatch{}
+	for _, m := range matches {
+		if m.EdgeIdx >= 0 {
+			byEdge[m.EdgeIdx] = m
+		}
+	}
+	for _, p := range pend {
+		m, ok := byEdge[p.edgeIdx]
+		if !ok {
+			m = core.LabelMatch{Case: core.MatchAssumed, EdgeIdx: p.edgeIdx}
+		}
+		fin := core.FinalInput{FrameIndex: f.Frame.Index, Case: m.Case, Edge: p.trigger, Cloud: m.Cloud}
+		if fin.Corrected() {
+			corrections++
+		}
+		p.inst.FinalIn = fin
+		if err := s.cc.RunFinal(p.inst); err != nil && err != txn.ErrRetracted {
+			s.cfg.Logf("edge: final section: %v", err)
+		}
+		for _, a := range p.inst.Apologies() {
+			apologies = append(apologies, a.Reason)
+		}
+	}
+	for _, m := range matches {
+		if m.Case != core.MatchNew || s.cfg.Source == nil {
+			continue
+		}
+		t := s.cfg.Source.TxnFor(f.Frame.Index, m.Cloud)
+		if t == nil {
+			continue
+		}
+		inst := s.mgr.NewInstance(t, core.InitialInput{FrameIndex: f.Frame.Index, Trigger: m.Cloud})
+		if err := s.cc.RunInitial(inst); err != nil {
+			continue
+		}
+		corrections++
+		inst.FinalIn = core.FinalInput{FrameIndex: f.Frame.Index, Case: core.MatchNew, Cloud: m.Cloud}
+		if err := s.cc.RunFinal(inst); err != nil && err != txn.ErrRetracted {
+			s.cfg.Logf("edge: final section (new label): %v", err)
+		}
+	}
+
+	s.mu.Lock()
+	s.served++
+	s.mu.Unlock()
+
+	sendMu.Lock()
+	err = wc.Send(&wire.Envelope{Kind: wire.KindFinalReply, FinalReply: &wire.FinalReply{
+		FrameIndex:  f.Frame.Index,
+		Labels:      finalLabels,
+		Corrections: corrections,
+		Apologies:   apologies,
+		EdgeElapsed: time.Since(start),
+	}})
+	sendMu.Unlock()
+	if err != nil {
+		s.cfg.Logf("edge: send final reply: %v", err)
+	}
+}
+
+func assumed(n int) []core.LabelMatch {
+	out := make([]core.LabelMatch, n)
+	for i := range out {
+		out[i] = core.LabelMatch{Case: core.MatchAssumed, EdgeIdx: i}
+	}
+	return out
+}
+
+// Served reports how many frames have completed their final commit.
+func (s *EdgeServer) Served() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+// Close stops the listener and all connections.
+func (s *EdgeServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,222 @@
+// Package threshold implements the bandwidth thresholding optimization of
+// §3.4: choosing the confidence thresholds (θL, θU) that minimize the
+// fraction of frames sent to the cloud, δ(θL,θU), subject to the F-score
+// constraint f(θL,θU) ≥ µ.
+//
+// An Evaluator precomputes, once per video, each frame's edge detections
+// and cloud ground truth; evaluating one threshold pair is then a cheap
+// pure computation, which the brute-force and gradient-step solvers call
+// repeatedly. The semantics mirror the pipeline exactly: a frame is sent to
+// the cloud when any detection's confidence falls inside [θL, θU]; a sent
+// frame's client-visible result is the cloud labels, an unsent frame's
+// result is its kept (confidence > θU) edge detections.
+package threshold
+
+import (
+	"fmt"
+	"math"
+
+	"croesus/internal/detect"
+	"croesus/internal/metrics"
+	"croesus/internal/video"
+)
+
+// frameData is the per-frame precomputation.
+type frameData struct {
+	dets  []detect.Detection // edge detections (all classes)
+	truth []detect.Detection // cloud detections (ground truth)
+}
+
+// Evaluator scores threshold pairs over one video.
+type Evaluator struct {
+	frames     []frameData
+	queryClass string
+	overlapMin float64
+	evals      int
+}
+
+// NewEvaluator runs both models over the frames (pure detection, no
+// latency) and returns an evaluator for the video's query class.
+func NewEvaluator(frames []*video.Frame, edge, cloud detect.Model, queryClass string, overlapMin float64) *Evaluator {
+	e := &Evaluator{queryClass: queryClass, overlapMin: overlapMin}
+	for _, f := range frames {
+		e.frames = append(e.frames, frameData{
+			dets:  edge.Detect(f).Detections,
+			truth: cloud.Detect(f).Detections,
+		})
+	}
+	return e
+}
+
+// Evals reports how many threshold evaluations have been performed — the
+// cost metric by which the gradient solver is "2.2× faster" in the paper.
+func (e *Evaluator) Evals() int { return e.evals }
+
+// ResetEvals clears the evaluation counter.
+func (e *Evaluator) ResetEvals() { e.evals = 0 }
+
+// Evaluate returns the F-score and bandwidth utilization δ for one
+// threshold pair.
+func (e *Evaluator) Evaluate(thetaL, thetaU float64) (f1, delta float64) {
+	e.evals++
+	var counts metrics.Counts
+	sent := 0
+	for i := range e.frames {
+		fd := &e.frames[i]
+		validate := false
+		kept := fd.dets[:0:0]
+		for _, d := range fd.dets {
+			if d.Confidence < thetaL {
+				continue // discarded
+			}
+			if d.Confidence <= thetaU {
+				validate = true
+				break
+			}
+			kept = append(kept, d)
+		}
+		if validate {
+			sent++
+			// Cloud-corrected: the client ends up seeing the truth.
+			n := 0
+			for _, d := range fd.truth {
+				if d.Label == e.queryClass {
+					n++
+				}
+			}
+			counts.Add(metrics.Counts{TP: n})
+			continue
+		}
+		counts.Add(metrics.ScoreClass(kept, fd.truth, e.queryClass, e.overlapMin))
+	}
+	if len(e.frames) == 0 {
+		return 1, 0
+	}
+	return counts.F1(), float64(sent) / float64(len(e.frames))
+}
+
+// Result is a solver's chosen operating point.
+type Result struct {
+	ThetaL, ThetaU float64
+	F1, BU         float64
+	Evals          int // threshold evaluations spent by the solver
+	Feasible       bool
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("(θL=%.2f, θU=%.2f) F=%.3f BU=%.3f [%d evals, feasible=%v]",
+		r.ThetaL, r.ThetaU, r.F1, r.BU, r.Evals, r.Feasible)
+}
+
+// better orders candidate points: feasible (F ≥ µ) beats infeasible;
+// among feasible, lower BU wins (ties to higher F); among infeasible,
+// higher F wins — "prioritizing thresholds that yield higher accuracy".
+func better(a, b Result, mu float64) bool {
+	af, bf := a.F1 >= mu, b.F1 >= mu
+	switch {
+	case af && !bf:
+		return true
+	case !af && bf:
+		return false
+	case af:
+		if a.BU != b.BU {
+			return a.BU < b.BU
+		}
+		return a.F1 > b.F1
+	default:
+		if a.F1 != b.F1 {
+			return a.F1 > b.F1
+		}
+		return a.BU < b.BU
+	}
+}
+
+// BruteForce scans the full (θL, θU) grid with the given step and returns
+// the optimum under the paper's argthresh/argmin formulation.
+func BruteForce(e *Evaluator, mu, step float64) Result {
+	if step <= 0 {
+		step = 0.05
+	}
+	start := e.evals
+	best := Result{ThetaL: 0, ThetaU: 0, F1: -1}
+	for l := 0.0; l < 1.0+1e-9; l += step {
+		for u := l; u < 1.0+1e-9; u += step {
+			f1, bu := e.Evaluate(l, u)
+			cand := Result{ThetaL: l, ThetaU: u, F1: f1, BU: bu}
+			if best.F1 < 0 || better(cand, best, mu) {
+				best = cand
+			}
+		}
+	}
+	best.Evals = e.evals - start
+	best.Feasible = best.F1 >= mu
+	return best
+}
+
+// GradientStep solves the same problem with a coarse scan followed by
+// projected local descent with a shrinking step — trading exactness for
+// far fewer evaluations (the paper measures ≈ 2.2× faster than brute
+// force).
+func GradientStep(e *Evaluator, mu float64) Result {
+	start := e.evals
+	// Coarse scan seeds the descent basin.
+	best := Result{F1: -1}
+	const coarse = 0.25
+	for l := 0.0; l < 1.0+1e-9; l += coarse {
+		for u := l; u < 1.0+1e-9; u += coarse {
+			f1, bu := e.Evaluate(l, u)
+			cand := Result{ThetaL: l, ThetaU: u, F1: f1, BU: bu}
+			if best.F1 < 0 || better(cand, best, mu) {
+				best = cand
+			}
+		}
+	}
+	// Local descent over the four axis directions, halving the step.
+	for step := 0.1; step >= 0.0125; step /= 2 {
+		improved := true
+		for improved {
+			improved = false
+			for _, d := range [][2]float64{{step, 0}, {-step, 0}, {0, step}, {0, -step}} {
+				l := clamp01(best.ThetaL + d[0])
+				u := clamp01(best.ThetaU + d[1])
+				if l > u {
+					continue
+				}
+				f1, bu := e.Evaluate(l, u)
+				cand := Result{ThetaL: l, ThetaU: u, F1: f1, BU: bu}
+				if better(cand, best, mu) {
+					best = cand
+					improved = true
+				}
+			}
+		}
+	}
+	best.Evals = e.evals - start
+	best.Feasible = best.F1 >= mu
+	return best
+}
+
+// Cell is one heatmap entry.
+type Cell struct {
+	ThetaL, ThetaU float64
+	F1, BU         float64
+}
+
+// Heatmap evaluates the full grid for the Figure 5 heatmaps.
+func Heatmap(e *Evaluator, step float64) []Cell {
+	if step <= 0 {
+		step = 0.1
+	}
+	var cells []Cell
+	for l := 0.0; l < 1.0+1e-9; l += step {
+		for u := l; u < 1.0+1e-9; u += step {
+			f1, bu := e.Evaluate(l, u)
+			cells = append(cells, Cell{ThetaL: l, ThetaU: u, F1: f1, BU: bu})
+		}
+	}
+	return cells
+}
+
+func clamp01(v float64) float64 {
+	return math.Max(0, math.Min(1, v))
+}

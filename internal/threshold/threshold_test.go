@@ -1,0 +1,204 @@
+package threshold
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"croesus/internal/detect"
+	"croesus/internal/video"
+)
+
+func parkEvaluator(n int) *Evaluator {
+	prof := video.ParkDog()
+	frames := video.NewGenerator(prof, 11).Generate(n)
+	return NewEvaluator(frames, detect.TinyYOLOSim(42), detect.YOLOv3Sim(detect.YOLO416, 42), prof.QueryClass, 0.1)
+}
+
+func TestEvaluateExtremes(t *testing.T) {
+	e := parkEvaluator(100)
+	// Validate everything: near-perfect accuracy, near-full bandwidth.
+	// (Frames where the edge model detects nothing at all have no
+	// confidence in the validate interval and are never sent — the only
+	// residual error source.)
+	f1, bu := e.Evaluate(0, 1)
+	if f1 < 0.94 {
+		t.Errorf("full validation F1 = %.3f, want ≈ 1.0", f1)
+	}
+	if bu < 0.95 {
+		t.Errorf("full validation BU = %.3f, want ≈ 1.0", bu)
+	}
+	// Empty validate interval at 0: keep everything, send nothing.
+	f1, bu = e.Evaluate(0, 0)
+	if bu > 0.05 {
+		t.Errorf("empty interval BU = %.3f, want ≈ 0", bu)
+	}
+	if f1 > 0.9 {
+		t.Errorf("edge-only F1 = %.3f, should be well below 1 on the park video", f1)
+	}
+}
+
+func TestEvaluateMonotoneBandwidth(t *testing.T) {
+	// Widening the validate interval can only send more frames.
+	e := parkEvaluator(100)
+	_, narrow := e.Evaluate(0.45, 0.55)
+	_, wide := e.Evaluate(0.35, 0.75)
+	if wide < narrow {
+		t.Errorf("BU not monotone in interval width: narrow=%.3f wide=%.3f", narrow, wide)
+	}
+}
+
+func TestDiscardIntervalRemovesFalsePositives(t *testing.T) {
+	// Raising θL=θU (no validation) from 0 to 0.45 should IMPROVE
+	// accuracy: the discard interval removes the low-confidence false
+	// positives (precision gain outweighs recall loss).
+	e := parkEvaluator(150)
+	f0, _ := e.Evaluate(0, 0)
+	f45, _ := e.Evaluate(0.45, 0.45)
+	if f45 <= f0 {
+		t.Errorf("discarding low-confidence detections did not help: F(0)=%.3f F(0.45)=%.3f", f0, f45)
+	}
+}
+
+func TestBruteForceRespectsConstraint(t *testing.T) {
+	e := parkEvaluator(150)
+	res := BruteForce(e, 0.8, 0.05)
+	if !res.Feasible {
+		t.Fatalf("µ=0.8 infeasible on park video: %v", res)
+	}
+	if res.F1 < 0.8 {
+		t.Errorf("F1 = %.3f < µ", res.F1)
+	}
+	// The optimum must beat both naive corner points on bandwidth.
+	if res.BU >= 1 {
+		t.Errorf("optimal BU = %.3f, want < 1", res.BU)
+	}
+	if res.ThetaL > res.ThetaU {
+		t.Errorf("inverted thresholds: %v", res)
+	}
+}
+
+func TestBruteForceIsGridOptimal(t *testing.T) {
+	// No grid point may beat the returned point under the ordering.
+	e := parkEvaluator(80)
+	const mu, step = 0.8, 0.1
+	res := BruteForce(e, mu, step)
+	for l := 0.0; l < 1.0+1e-9; l += step {
+		for u := l; u < 1.0+1e-9; u += step {
+			f1, bu := e.Evaluate(l, u)
+			if f1 >= mu && res.Feasible && bu < res.BU-1e-12 {
+				t.Fatalf("grid point (%.2f,%.2f) F=%.3f BU=%.3f beats %v", l, u, f1, bu, res)
+			}
+		}
+	}
+}
+
+func TestGradientCheaperThanBruteForce(t *testing.T) {
+	e := parkEvaluator(120)
+	bf := BruteForce(e, 0.8, 0.05)
+	gd := GradientStep(e, 0.8)
+	if gd.Evals >= bf.Evals {
+		t.Errorf("gradient used %d evals, brute force %d — no speedup", gd.Evals, bf.Evals)
+	}
+	speedup := float64(bf.Evals) / float64(gd.Evals)
+	if speedup < 1.5 {
+		t.Errorf("speedup = %.1fx, want ≥ 1.5x (paper reports 2.2x)", speedup)
+	}
+	if !gd.Feasible {
+		t.Errorf("gradient result infeasible: %v", gd)
+	}
+	// Gradient must land reasonably close to the brute-force optimum.
+	if gd.BU > bf.BU+0.25 {
+		t.Errorf("gradient BU %.3f much worse than brute force %.3f", gd.BU, bf.BU)
+	}
+}
+
+func TestInfeasibleMuPrioritizesAccuracy(t *testing.T) {
+	e := parkEvaluator(60)
+	res := BruteForce(e, 1.1, 0.1) // impossible constraint
+	if res.Feasible {
+		t.Fatal("µ=1.1 reported feasible")
+	}
+	// The best-F point is (near-)full validation.
+	if res.F1 < 0.94 {
+		t.Errorf("infeasible fallback F1 = %.3f, want max-accuracy point", res.F1)
+	}
+}
+
+func TestHeatmapShape(t *testing.T) {
+	e := parkEvaluator(60)
+	cells := Heatmap(e, 0.1)
+	// 11 diagonal levels: 11+10+...+1 = 66 cells.
+	if len(cells) != 66 {
+		t.Fatalf("heatmap cells = %d, want 66", len(cells))
+	}
+	for _, c := range cells {
+		if c.ThetaL > c.ThetaU {
+			t.Fatalf("invalid cell %+v", c)
+		}
+		if c.BU < 0 || c.BU > 1 || c.F1 < 0 || c.F1 > 1 {
+			t.Fatalf("out-of-range cell %+v", c)
+		}
+	}
+}
+
+func TestEvalCounter(t *testing.T) {
+	e := parkEvaluator(10)
+	e.Evaluate(0.2, 0.4)
+	e.Evaluate(0.2, 0.5)
+	if e.Evals() != 2 {
+		t.Errorf("Evals = %d, want 2", e.Evals())
+	}
+	e.ResetEvals()
+	if e.Evals() != 0 {
+		t.Error("ResetEvals did not clear")
+	}
+}
+
+func TestEmptyEvaluator(t *testing.T) {
+	e := &Evaluator{queryClass: "x", overlapMin: 0.1}
+	f1, bu := e.Evaluate(0.3, 0.6)
+	if f1 != 1 || bu != 0 {
+		t.Errorf("empty evaluator = %.2f/%.2f, want 1/0", f1, bu)
+	}
+}
+
+// Property: for any thresholds, outputs are valid probabilities and the
+// pair ordering (θL ≤ θU) holds for solver outputs.
+func TestEvaluateRangeProperty(t *testing.T) {
+	e := parkEvaluator(40)
+	f := func(a, b uint8) bool {
+		l := float64(a%101) / 100
+		u := float64(b%101) / 100
+		if l > u {
+			l, u = u, l
+		}
+		f1, bu := e.Evaluate(l, u)
+		return f1 >= 0 && f1 <= 1 && bu >= 0 && bu <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: better() is asymmetric (a strict order) for distinct points.
+func TestBetterAsymmetryProperty(t *testing.T) {
+	f := func(f1a, bua, f1b, bub uint8) bool {
+		a := Result{F1: float64(f1a%101) / 100, BU: float64(bua%101) / 100}
+		b := Result{F1: float64(f1b%101) / 100, BU: float64(bub%101) / 100}
+		if a.F1 == b.F1 && a.BU == b.BU {
+			return !better(a, b, 0.8) && !better(b, a, 0.8)
+		}
+		return !(better(a, b, 0.8) && better(b, a, 0.8))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	s := Result{ThetaL: 0.4, ThetaU: 0.5, F1: 0.86, BU: 0.44, Evals: 40, Feasible: true}.String()
+	if s == "" || math.IsNaN(0) {
+		t.Error("empty string")
+	}
+}

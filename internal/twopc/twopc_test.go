@@ -1,0 +1,287 @@
+package twopc
+
+import (
+	"errors"
+	"testing"
+
+	"croesus/internal/netsim"
+	"croesus/internal/store"
+	"croesus/internal/txn"
+	"croesus/internal/vclock"
+)
+
+func cluster(clk vclock.Clock, n int) []*Partition {
+	parts := make([]*Partition, n)
+	for i := range parts {
+		var link *netsim.Link
+		if i != 0 {
+			link = netsim.EdgeCloudSameSite()
+		}
+		parts[i] = NewPartition(i, clk, link)
+	}
+	return parts
+}
+
+// crossTxn writes one key per partition so the transaction always spans
+// every shard.
+func crossTxn(c *Coordinator, name string, val int64) (*DistTxn, []string) {
+	keys := make([]string, 0, len(c.Parts))
+	seen := map[int]bool{}
+	for i := 0; len(keys) < len(c.Parts); i++ {
+		k := store.ItoaKey("k", i)
+		pid := c.Partitioner(k)
+		if !seen[pid] {
+			seen[pid] = true
+			keys = append(keys, k)
+		}
+	}
+	var rw []string
+	rw = append(rw, keys...)
+	t := &DistTxn{
+		Name:      name,
+		InitialRW: rwSet(rw), FinalRW: rwSet(rw),
+		Initial: func(ctx *Ctx) error {
+			for _, k := range keys {
+				ctx.Put(k, store.Int64Value(val))
+			}
+			return nil
+		},
+		Final: func(ctx *Ctx) error {
+			for _, k := range keys {
+				v, ok := ctx.Get(k)
+				if !ok || store.AsInt64(v) != val {
+					return errors.New("final section read inconsistent value")
+				}
+				ctx.Put(k, store.Int64Value(val*10))
+			}
+			return nil
+		},
+	}
+	return t, keys
+}
+
+func rwSet(keys []string) txn.RWSet {
+	return txn.RWSet{Writes: keys}
+}
+
+func TestMSIACommitAcrossPartitions(t *testing.T) {
+	s := vclock.NewSim()
+	parts := cluster(s, 3)
+	co := NewCoordinator(s, parts, MSIA)
+	tx, keys := crossTxn(co, "cross", 7)
+	s.Run(func() {
+		if err := co.Run(tx); err != nil {
+			t.Errorf("Run: %v", err)
+		}
+	})
+	for _, k := range keys {
+		p := parts[co.Partitioner(k)]
+		v, ok := p.Store.Get(k)
+		if !ok || store.AsInt64(v) != 70 {
+			t.Errorf("key %q = %v %v, want 70", k, store.AsInt64(v), ok)
+		}
+	}
+	st := co.Stats()
+	if st.Commits != 2 { // one 2PC per section under MS-IA
+		t.Errorf("commits = %d, want 2", st.Commits)
+	}
+	if st.TwoPCRounds != 2 {
+		t.Errorf("rounds = %d, want 2 (both commits atomic under MS-IA)", st.TwoPCRounds)
+	}
+}
+
+func TestMSSRSingleAtomicCommit(t *testing.T) {
+	s := vclock.NewSim()
+	parts := cluster(s, 3)
+	co := NewCoordinator(s, parts, MSSR)
+	tx, keys := crossTxn(co, "cross", 3)
+	s.Run(func() {
+		if err := co.Run(tx); err != nil {
+			t.Errorf("Run: %v", err)
+		}
+	})
+	for _, k := range keys {
+		p := parts[co.Partitioner(k)]
+		if v, _ := p.Store.Get(k); store.AsInt64(v) != 30 {
+			t.Errorf("key %q = %d, want 30", k, store.AsInt64(v))
+		}
+	}
+	st := co.Stats()
+	if st.TwoPCRounds != 1 {
+		t.Errorf("rounds = %d, want 1 (MS-SR commits once, at the final)", st.TwoPCRounds)
+	}
+}
+
+func TestMSIAInitialVisibleBeforeFinal(t *testing.T) {
+	// Under MS-IA the initial section's writes are durable (and visible)
+	// after the initial 2PC, before the final section runs.
+	s := vclock.NewSim()
+	parts := cluster(s, 2)
+	co := NewCoordinator(s, parts, MSIA)
+	tx, keys := crossTxn(co, "cross", 5)
+	s.Run(func() {
+		h, err := co.RunInitial(tx)
+		if err != nil {
+			t.Errorf("initial: %v", err)
+			return
+		}
+		for _, k := range keys {
+			p := parts[co.Partitioner(k)]
+			if v, ok := p.Store.Get(k); !ok || store.AsInt64(v) != 5 {
+				t.Errorf("key %q not visible after MS-IA initial commit", k)
+			}
+		}
+		if err := co.RunFinal(h); err != nil {
+			t.Errorf("final: %v", err)
+		}
+	})
+}
+
+func TestMSSRInitialInvisibleBeforeFinal(t *testing.T) {
+	// Under MS-SR the initial writes are staged until the final 2PC.
+	s := vclock.NewSim()
+	parts := cluster(s, 2)
+	co := NewCoordinator(s, parts, MSSR)
+	tx, keys := crossTxn(co, "cross", 5)
+	s.Run(func() {
+		h, err := co.RunInitial(tx)
+		if err != nil {
+			t.Errorf("initial: %v", err)
+			return
+		}
+		for _, k := range keys {
+			p := parts[co.Partitioner(k)]
+			if _, ok := p.Store.Get(k); ok {
+				t.Errorf("key %q visible before MS-SR final commit", k)
+			}
+		}
+		if err := co.RunFinal(h); err != nil {
+			t.Errorf("final: %v", err)
+		}
+		for _, k := range keys {
+			p := parts[co.Partitioner(k)]
+			if v, _ := p.Store.Get(k); store.AsInt64(v) != 50 {
+				t.Errorf("key %q = %d after final, want 50", k, store.AsInt64(v))
+			}
+		}
+	})
+}
+
+func TestPrepareFailureAbortsEverywhere(t *testing.T) {
+	s := vclock.NewSim()
+	parts := cluster(s, 3)
+	co := NewCoordinator(s, parts, MSIA)
+	// Fail the prepare on whichever partition owns the second key group.
+	parts[1].FailPrepares = 1
+	tx, keys := crossTxn(co, "doomed", 9)
+	var err error
+	s.Run(func() {
+		err = co.Run(tx)
+	})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	// No partition may hold committed or staged state.
+	for _, k := range keys {
+		p := parts[co.Partitioner(k)]
+		if _, ok := p.Store.Get(k); ok {
+			t.Errorf("partition %d committed despite abort", p.ID)
+		}
+	}
+	for _, p := range parts {
+		p.mu.Lock()
+		staged := len(p.staged)
+		p.mu.Unlock()
+		if staged != 0 {
+			t.Errorf("partition %d left %d staged writes", p.ID, staged)
+		}
+	}
+	if st := co.Stats(); st.Aborts != 1 {
+		t.Errorf("aborts = %d, want 1", st.Aborts)
+	}
+}
+
+func TestLocksReleasedAfterAbort(t *testing.T) {
+	s := vclock.NewSim()
+	parts := cluster(s, 2)
+	co := NewCoordinator(s, parts, MSIA)
+	parts[0].FailPrepares = 1
+	tx, keys := crossTxn(co, "doomed", 1)
+	s.Run(func() {
+		co.Run(tx)
+		// A fresh transaction over the same keys must proceed.
+		tx2, _ := crossTxn(co, "retry", 2)
+		if err := co.Run(tx2); err != nil {
+			t.Errorf("retry after abort: %v", err)
+		}
+	})
+	for _, k := range keys {
+		p := parts[co.Partitioner(k)]
+		if v, _ := p.Store.Get(k); store.AsInt64(v) != 20 {
+			t.Errorf("key %q = %d, want 20", k, store.AsInt64(v))
+		}
+	}
+}
+
+func TestNetworkCostCharged(t *testing.T) {
+	s := vclock.NewSim()
+	parts := cluster(s, 3)
+	co := NewCoordinator(s, parts, MSIA)
+	tx, _ := crossTxn(co, "cross", 4)
+	s.Run(func() {
+		if err := co.Run(tx); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if s.Now() == 0 {
+		t.Error("distributed transaction consumed no network time")
+	}
+	var remoteMsgs int64
+	for _, p := range parts[1:] {
+		_, m := p.Link.Traffic()
+		remoteMsgs += m
+	}
+	if remoteMsgs == 0 {
+		t.Error("no messages sent to remote partitions")
+	}
+}
+
+func TestBufferedReadsSeeOwnWrites(t *testing.T) {
+	s := vclock.NewSim()
+	parts := cluster(s, 2)
+	co := NewCoordinator(s, parts, MSIA)
+	tx := &DistTxn{
+		Name:      "rmw",
+		InitialRW: rwSet([]string{"k:0"}),
+		FinalRW:   rwSet([]string{"k:0"}),
+		Initial: func(ctx *Ctx) error {
+			ctx.Put("k:0", store.Int64Value(1))
+			v, ok := ctx.Get("k:0")
+			if !ok || store.AsInt64(v) != 1 {
+				return errors.New("own write invisible")
+			}
+			ctx.Delete("k:0")
+			if _, ok := ctx.Get("k:0"); ok {
+				return errors.New("own delete invisible")
+			}
+			ctx.Put("k:0", store.Int64Value(2))
+			return nil
+		},
+		Final: func(ctx *Ctx) error { return nil },
+	}
+	s.Run(func() {
+		if err := co.Run(tx); err != nil {
+			t.Errorf("Run: %v", err)
+		}
+	})
+	p := parts[co.Partitioner("k:0")]
+	if v, _ := p.Store.Get("k:0"); store.AsInt64(v) != 2 {
+		t.Errorf("k:0 = %d, want 2", store.AsInt64(v))
+	}
+}
+
+func TestProtocolStrings(t *testing.T) {
+	if MSSR.String() != "MS-SR" || MSIA.String() != "MS-IA" {
+		t.Error("protocol strings wrong")
+	}
+}

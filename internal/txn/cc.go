@@ -1,0 +1,242 @@
+package txn
+
+import (
+	"fmt"
+
+	"croesus/internal/lock"
+)
+
+// CC is a multi-stage concurrency-control protocol. The pipeline wraps the
+// initial section in RunInitial (triggered by edge labels) and the final
+// section in RunFinal (triggered by corrected cloud labels) — the CC.initial
+// and CC.final blocks of §3.3.
+type CC interface {
+	Name() string
+	// RunInitial executes the initial section under the protocol's rules.
+	// It returns ErrAborted when locks could not be acquired (no-wait
+	// policy) or the error returned by the section body; on nil the
+	// instance has initially committed.
+	RunInitial(in *Instance) error
+	// RunFinal executes the final section. The instance must have
+	// initially committed; on nil it has finally committed.
+	RunFinal(in *Instance) error
+}
+
+// Policy selects how MS-SR acquires initial-section locks.
+type Policy int
+
+// Lock acquisition policies.
+const (
+	// Wait blocks until locks are granted, under the wait-die discipline:
+	// because MS-SR holds locks from the initial commit to the final
+	// commit (across the cloud round trip), plain blocking acquisition
+	// could deadlock with concurrently arriving transactions; wait-die
+	// lets older transactions wait and aborts younger ones instead. The
+	// union of both sections' locks is acquired up front — permissible
+	// because Algorithm 1 requires every final-section lock before the
+	// initial commit anyway, so the initial commit point is unchanged.
+	Wait Policy = iota
+	// NoWait aborts the section when any lock is unavailable — the abort
+	// behaviour measured in Figure 6(b). Acquisition follows Algorithm 1
+	// literally: initial locks, execute, then final locks.
+	NoWait
+)
+
+// MSSR implements multi-stage serializability with Two Stage 2PL
+// (Algorithm 1): the initial section acquires its own locks, executes, then
+// acquires the final section's locks before the initial commit; every lock
+// is held until the final commit. This guarantees:
+//
+//	(a) for conflicting tk, tj with si_k <h si_j: si_k <h sf_k <h sf_j, and
+//	(b) if sf_k conflicts with si_j, then sf_k <h si_j,
+//
+// at the cost of holding locks across the edge→cloud round trip.
+type MSSR struct {
+	M      *Manager
+	Policy Policy
+}
+
+// Name returns the protocol name.
+func (p *MSSR) Name() string { return "MS-SR/TSPL" }
+
+// RunInitial performs the first half of Algorithm 1 and leaves every lock
+// held for RunFinal.
+func (p *MSSR) RunInitial(in *Instance) error {
+	if s := in.State(); s != StatePending {
+		return fmt.Errorf("txn %d: RunInitial in state %s", in.ID, s)
+	}
+	owner := lock.Owner(in.ID)
+	// Keys needed by both sections are taken at the stronger mode from
+	// the start, so the final-lock step never needs an in-place upgrade.
+	initReqs := strengthen(in.T.InitialRW.Requests(), in.T.FinalRW.Requests())
+	extraReqs := newKeys(initReqs, in.T.FinalRW.Requests())
+	allReqs := lock.Normalize(append(append([]lock.Request{}, initReqs...), extraReqs...))
+
+	if p.Policy == Wait {
+		if !p.M.Locks.AcquireAllWaitDie(owner, allReqs) {
+			in.setState(StateAborted)
+			p.M.recordAbort()
+			return ErrAborted
+		}
+	} else {
+		if !p.M.Locks.TryAcquireAll(owner, initReqs) {
+			in.setState(StateAborted)
+			p.M.recordAbort()
+			return ErrAborted
+		}
+	}
+
+	ctx := &Ctx{inst: in, stage: StageInitial}
+	if err := in.T.Initial(ctx); err != nil {
+		if p.Policy == Wait {
+			p.M.Locks.ReleaseAll(owner, allReqs)
+		} else {
+			p.M.Locks.ReleaseAll(owner, initReqs)
+		}
+		in.setState(StateAborted)
+		p.M.recordAbort()
+		return err
+	}
+
+	if p.Policy == NoWait {
+		// Algorithm 1: the final section's locks must be acquired before
+		// the initial commit, guaranteeing the final section will commit.
+		if !p.M.Locks.TryAcquireAll(owner, extraReqs) {
+			p.M.Locks.ReleaseAll(owner, initReqs)
+			in.setState(StateAborted)
+			p.M.recordAbort()
+			return ErrAborted
+		}
+	}
+
+	in.mu.Lock()
+	in.heldReqs = allReqs
+	in.mu.Unlock()
+	in.setState(StateInitialCommitted)
+	p.M.recordCommit(in, StageInitial)
+	return nil
+}
+
+// RunFinal executes the final section, final-commits, and releases every
+// lock held since the initial section.
+func (p *MSSR) RunFinal(in *Instance) error {
+	releaseHeld := func() {
+		in.mu.Lock()
+		held := in.heldReqs
+		in.heldReqs = nil
+		in.mu.Unlock()
+		p.M.Locks.ReleaseAll(lock.Owner(in.ID), held)
+	}
+	switch s := in.State(); s {
+	case StateInitialCommitted:
+	case StateRetracted:
+		releaseHeld() // a cascade got here first; don't leak the 2PL locks
+		return ErrRetracted
+	default:
+		return fmt.Errorf("txn %d: RunFinal in state %s", in.ID, s)
+	}
+	ctx := &Ctx{inst: in, stage: StageFinal}
+	err := in.T.Final(ctx)
+	// The multi-stage contract: an initially-committed transaction must
+	// finally commit. A section error here is the programmer's apology
+	// logic failing, not a concurrency abort; state still advances
+	// (unless the section retracted the transaction, which is terminal).
+	retracted := in.finishFinal()
+	p.M.recordCommit(in, StageFinal)
+	releaseHeld()
+	if err == nil && retracted {
+		return ErrRetracted
+	}
+	return err
+}
+
+// strengthen returns init with each request upgraded to Exclusive when the
+// final section writes the same key.
+func strengthen(init, final []lock.Request) []lock.Request {
+	finalMode := make(map[string]lock.Mode, len(final))
+	for _, r := range final {
+		finalMode[r.Key] = r.Mode
+	}
+	out := make([]lock.Request, len(init))
+	for i, r := range init {
+		if m, ok := finalMode[r.Key]; ok && m == lock.Exclusive {
+			r.Mode = lock.Exclusive
+		}
+		out[i] = r
+	}
+	return lock.Normalize(out)
+}
+
+// newKeys returns the requests in want whose keys are absent from held.
+func newKeys(held, want []lock.Request) []lock.Request {
+	heldKeys := make(map[string]bool, len(held))
+	for _, r := range held {
+		heldKeys[r.Key] = true
+	}
+	var out []lock.Request
+	for _, r := range want {
+		if !heldKeys[r.Key] {
+			out = append(out, r)
+		}
+	}
+	return lock.Normalize(out)
+}
+
+// MSIA implements multi-stage invariant confluence with apologies
+// (Algorithm 2): each section acquires only its own locks and releases them
+// at its own commit, so the initial commit never waits on the cloud and
+// lock hold times stay in the order of the section execution itself —
+// the contrast measured in Figure 6(a).
+type MSIA struct {
+	M *Manager
+}
+
+// Name returns the protocol name.
+func (p *MSIA) Name() string { return "MS-IA" }
+
+// RunInitial locks the initial set, executes, initial-commits, releases.
+func (p *MSIA) RunInitial(in *Instance) error {
+	if s := in.State(); s != StatePending {
+		return fmt.Errorf("txn %d: RunInitial in state %s", in.ID, s)
+	}
+	owner := lock.Owner(in.ID)
+	reqs := in.T.InitialRW.Requests()
+	p.M.Locks.AcquireAll(owner, reqs)
+	ctx := &Ctx{inst: in, stage: StageInitial}
+	err := in.T.Initial(ctx)
+	if err != nil {
+		p.M.Locks.ReleaseAll(owner, reqs)
+		in.setState(StateAborted)
+		p.M.recordAbort()
+		return err
+	}
+	in.setState(StateInitialCommitted)
+	p.M.recordCommit(in, StageInitial)
+	p.M.Locks.ReleaseAll(owner, reqs)
+	return nil
+}
+
+// RunFinal locks the final set, executes the apology/merge logic,
+// final-commits, releases. Blocking acquisition means the final section
+// always commits, preserving the multi-stage guarantee.
+func (p *MSIA) RunFinal(in *Instance) error {
+	switch s := in.State(); s {
+	case StateInitialCommitted:
+	case StateRetracted:
+		return ErrRetracted
+	default:
+		return fmt.Errorf("txn %d: RunFinal in state %s", in.ID, s)
+	}
+	owner := lock.Owner(in.ID)
+	reqs := in.T.FinalRW.Requests()
+	p.M.Locks.AcquireAll(owner, reqs)
+	ctx := &Ctx{inst: in, stage: StageFinal}
+	err := in.T.Final(ctx)
+	retracted := in.finishFinal()
+	p.M.recordCommit(in, StageFinal)
+	p.M.Locks.ReleaseAll(owner, reqs)
+	if err == nil && retracted {
+		return ErrRetracted
+	}
+	return err
+}

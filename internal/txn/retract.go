@@ -1,0 +1,86 @@
+package txn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Retract undoes the writes of inst and of every transitively dependent
+// instance, restoring before-images in reverse global write order so the
+// store returns to the exact state it would have had without them. Each
+// affected instance is marked retracted and contributes an apology.
+//
+// Retraction is the mechanical fallback of the MS-IA apology pattern: the
+// paper's §4.4 example retracts an erroneous 50-token transfer and the
+// dependent transfers it enabled, while merge-able effects are retained by
+// programmer logic instead of calling Retract.
+func (m *Manager) Retract(inst *Instance, reason string) []Apology {
+	// Collect the affected set: inst plus transitive dependents.
+	affected := []*Instance{}
+	seen := map[ID]bool{}
+	var visit func(*Instance)
+	visit = func(in *Instance) {
+		if seen[in.ID] {
+			return
+		}
+		seen[in.ID] = true
+		affected = append(affected, in)
+		in.mu.Lock()
+		deps := append([]*Instance{}, in.dependents...)
+		in.mu.Unlock()
+		for _, d := range deps {
+			visit(d)
+		}
+	}
+	visit(inst)
+
+	// Gather every undo record and restore in reverse write order.
+	type rec struct {
+		r  undoRec
+		in *Instance
+	}
+	var recs []rec
+	for _, in := range affected {
+		in.mu.Lock()
+		for _, r := range in.undo {
+			recs = append(recs, rec{r: r, in: in})
+		}
+		in.undo = nil
+		in.mu.Unlock()
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].r.seq > recs[j].r.seq })
+	for _, rc := range recs {
+		if rc.r.existed {
+			m.Store.Put(rc.r.key, rc.r.prev)
+		} else {
+			m.Store.Delete(rc.r.key)
+		}
+	}
+
+	// The retracted instances deliberately REMAIN the recorded last
+	// writers of the keys they touched: the restored values are the
+	// retraction's doing, and any future writer of those keys must still
+	// pick up a dependency edge so that a later cascade from an ancestor
+	// of this retraction reaches it too. (Dropping the entries here would
+	// let an ancestor's undo clobber an innocent later write — observed
+	// as a token-conservation violation by the MS-IA property test.)
+	m.mu.Lock()
+	m.stats.Retractions += int64(len(affected))
+	m.stats.Apologies += int64(len(affected))
+	m.mu.Unlock()
+
+	apologies := make([]Apology, 0, len(affected))
+	for _, in := range affected {
+		in.setState(StateRetracted)
+		why := reason
+		if in != inst {
+			why = fmt.Sprintf("cascaded from %s (txn %d): %s", inst.T.Name, inst.ID, reason)
+		}
+		a := Apology{TxnID: in.ID, TxnName: in.T.Name, Reason: why}
+		in.mu.Lock()
+		in.apologies = append(in.apologies, a)
+		in.mu.Unlock()
+		apologies = append(apologies, a)
+	}
+	return apologies
+}

@@ -1,0 +1,425 @@
+// Package txn implements the paper's multi-stage transaction model (§4).
+//
+// A multi-stage transaction consists of an initial section, triggered by the
+// edge model's labels and committed immediately ("initial commit"), and a
+// final section, triggered by the corrected cloud labels, that fixes any
+// errors and commits the transaction ("final commit"). Once a transaction
+// initially commits, its final section is guaranteed to commit.
+//
+// Two concurrency-control protocols are provided:
+//
+//   - MSSR — multi-stage serializability via Two Stage 2PL (Algorithm 1):
+//     the initial section also acquires the final section's locks before the
+//     initial commit, and every lock is held until the final commit.
+//   - MSIA — multi-stage invariant confluence with apologies (Algorithm 2):
+//     each section locks only its own read/write set and releases at its own
+//     commit; the final section is programmed as an invariant-restoring
+//     merge/apology and may retract the initial section's effects.
+//
+// The Manager tracks, per key, the last committed writer, so a retraction
+// cascades to dependent transactions (the token-transfer scenario of §4.4)
+// and emits Apology records.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"croesus/internal/lock"
+	"croesus/internal/store"
+	"croesus/internal/vclock"
+)
+
+// ID identifies a transaction instance.
+type ID uint64
+
+// Stage names a transaction section.
+type Stage int
+
+// The two stages of the two-stage model. (GeneralStage in package core
+// extends the pipeline to m stages; the transaction model stays two-phase
+// because, as §3.5 observes, edge-cloud asymmetry is two-fold.)
+const (
+	StageInitial Stage = iota
+	StageFinal
+)
+
+func (s Stage) String() string {
+	if s == StageInitial {
+		return "initial"
+	}
+	return "final"
+}
+
+// State is an instance's lifecycle state.
+type State int
+
+// Instance states.
+const (
+	StatePending State = iota
+	StateInitialCommitted
+	StateFinalCommitted
+	StateAborted
+	StateRetracted
+)
+
+func (s State) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateInitialCommitted:
+		return "initial-committed"
+	case StateFinalCommitted:
+		return "final-committed"
+	case StateAborted:
+		return "aborted"
+	case StateRetracted:
+		return "retracted"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrAborted is returned when a protocol aborts a section (no-wait lock
+// acquisition failed).
+var ErrAborted = errors.New("txn: aborted")
+
+// ErrRetracted is returned by RunFinal when the instance was retracted (by
+// its own apology logic or by a cascade from another transaction) before or
+// during its final section; callers should treat the transaction as
+// terminally undone.
+var ErrRetracted = errors.New("txn: retracted")
+
+// RWSet declares the keys a section may read and write. Declared sets are
+// what the paper's algorithms call get_rwsets(t); they allow ordered,
+// deadlock-free lock acquisition.
+type RWSet struct {
+	Reads  []string
+	Writes []string
+}
+
+// Requests converts the declared set to lock requests (reads shared, writes
+// exclusive; a key in both is exclusive).
+func (s RWSet) Requests() []lock.Request {
+	reqs := make([]lock.Request, 0, len(s.Reads)+len(s.Writes))
+	for _, k := range s.Reads {
+		reqs = append(reqs, lock.Request{Key: k, Mode: lock.Shared})
+	}
+	for _, k := range s.Writes {
+		reqs = append(reqs, lock.Request{Key: k, Mode: lock.Exclusive})
+	}
+	return lock.Normalize(reqs)
+}
+
+// Union merges two sets.
+func (s RWSet) Union(o RWSet) RWSet {
+	return RWSet{
+		Reads:  append(append([]string{}, s.Reads...), o.Reads...),
+		Writes: append(append([]string{}, s.Writes...), o.Writes...),
+	}
+}
+
+func (s RWSet) canRead(key string) bool {
+	for _, k := range s.Reads {
+		if k == key {
+			return true
+		}
+	}
+	return s.canWrite(key)
+}
+
+func (s RWSet) canWrite(key string) bool {
+	for _, k := range s.Writes {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Section is the programmer-supplied body of one stage.
+type Section func(ctx *Ctx) error
+
+// Txn is a multi-stage transaction template: declared read/write sets plus
+// the two section bodies. Templates are instantiated per trigger.
+type Txn struct {
+	Name      string
+	InitialRW RWSet
+	FinalRW   RWSet
+	Initial   Section
+	Final     Section
+}
+
+// Apology records a user-visible correction issued by a final section, per
+// the guesses-and-apologies pattern the model adapts.
+type Apology struct {
+	TxnID   ID
+	TxnName string
+	Reason  string
+}
+
+func (a Apology) String() string {
+	return fmt.Sprintf("apology(txn %d %s): %s", a.TxnID, a.TxnName, a.Reason)
+}
+
+// undoRec captures one write's before-image for retraction.
+type undoRec struct {
+	seq     uint64 // global write order
+	key     string
+	prev    store.Value
+	existed bool
+}
+
+// Instance is one execution of a Txn template.
+type Instance struct {
+	ID  ID
+	T   *Txn
+	mgr *Manager
+
+	// InitialIn and FinalIn carry the section inputs (e.g., detected
+	// labels); the pipeline sets them before running each section.
+	InitialIn any
+	FinalIn   any
+
+	mu         sync.Mutex
+	state      State
+	undo       []undoRec   // all writes, both sections, in write order
+	dependents []*Instance // instances that read/overwrote our writes
+	apologies  []Apology
+	heldReqs   []lock.Request // MS-SR: locks held from initial to final commit
+}
+
+// State returns the instance's lifecycle state.
+func (in *Instance) State() State {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.state
+}
+
+// Apologies returns the apologies issued so far by this instance.
+func (in *Instance) Apologies() []Apology {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Apology{}, in.apologies...)
+}
+
+func (in *Instance) setState(s State) {
+	in.mu.Lock()
+	in.state = s
+	in.mu.Unlock()
+}
+
+// finishFinal moves an initially-committed instance to final-committed.
+// Retraction is sticky: an instance retracted during its own final section
+// stays retracted. It reports whether the instance ended retracted.
+func (in *Instance) finishFinal() (retracted bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.state == StateRetracted {
+		return true
+	}
+	in.state = StateFinalCommitted
+	return false
+}
+
+// Stats counts protocol events.
+type Stats struct {
+	InitialCommits int64
+	FinalCommits   int64
+	Aborts         int64
+	Retractions    int64
+	Apologies      int64
+}
+
+// Manager owns the store, the lock manager, and the dependency index shared
+// by all protocol implementations.
+type Manager struct {
+	Clk    vclock.Clock
+	Store  *store.Store
+	Locks  *lock.Manager
+	Strict bool // enforce declared read/write sets in Ctx (default on)
+
+	mu         sync.Mutex
+	nextID     ID
+	nextSeq    uint64
+	lastWriter map[string]*Instance
+	stats      Stats
+	history    []HistoryEntry
+}
+
+// HistoryEntry records one section commit, for verifying the ordering
+// guarantees of MS-SR and MS-IA in tests.
+type HistoryEntry struct {
+	Txn   ID
+	Stage Stage
+}
+
+// NewManager returns a Manager over the given clock, store, and locks.
+func NewManager(clk vclock.Clock, st *store.Store, locks *lock.Manager) *Manager {
+	return &Manager{
+		Clk:        clk,
+		Store:      st,
+		Locks:      locks,
+		Strict:     true,
+		lastWriter: make(map[string]*Instance),
+	}
+}
+
+// NewInstance instantiates a template with the given initial-section input.
+func (m *Manager) NewInstance(t *Txn, initialIn any) *Instance {
+	m.mu.Lock()
+	m.nextID++
+	id := m.nextID
+	m.mu.Unlock()
+	return &Instance{ID: id, T: t, mgr: m, InitialIn: initialIn}
+}
+
+// Stats returns a snapshot of the protocol counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// History returns the section-commit history.
+func (m *Manager) History() []HistoryEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]HistoryEntry{}, m.history...)
+}
+
+func (m *Manager) recordCommit(in *Instance, stage Stage) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.history = append(m.history, HistoryEntry{Txn: in.ID, Stage: stage})
+	if stage == StageInitial {
+		m.stats.InitialCommits++
+	} else {
+		m.stats.FinalCommits++
+	}
+}
+
+func (m *Manager) recordAbort() {
+	m.mu.Lock()
+	m.stats.Aborts++
+	m.mu.Unlock()
+}
+
+// Ctx is the handle a section body uses to access the database. All writes
+// are undo-logged on the instance, and reads/writes of keys last written by
+// another instance record a dependency edge for cascading retraction.
+type Ctx struct {
+	inst  *Instance
+	stage Stage
+}
+
+// Stage reports which section is executing.
+func (c *Ctx) Stage() Stage { return c.stage }
+
+// In returns the section's input (InitialIn or FinalIn).
+func (c *Ctx) In() any {
+	if c.stage == StageInitial {
+		return c.inst.InitialIn
+	}
+	return c.inst.FinalIn
+}
+
+// ID returns the executing instance's ID.
+func (c *Ctx) ID() ID { return c.inst.ID }
+
+func (c *Ctx) rwset() RWSet {
+	if c.stage == StageInitial {
+		return c.inst.T.InitialRW
+	}
+	return c.inst.T.FinalRW
+}
+
+// Get reads a key within the declared set.
+func (c *Ctx) Get(key string) (store.Value, bool) {
+	m := c.inst.mgr
+	if m.Strict && !c.rwset().canRead(key) {
+		panic(fmt.Sprintf("txn %q %s section read of undeclared key %q", c.inst.T.Name, c.stage, key))
+	}
+	m.noteAccess(c.inst, key)
+	return m.Store.Get(key)
+}
+
+// Put writes a key within the declared set, undo-logging the before-image.
+func (c *Ctx) Put(key string, v store.Value) {
+	m := c.inst.mgr
+	if m.Strict && !c.rwset().canWrite(key) {
+		panic(fmt.Sprintf("txn %q %s section write of undeclared key %q", c.inst.T.Name, c.stage, key))
+	}
+	m.writeWithUndo(c.inst, key, v, false)
+}
+
+// Delete removes a key within the declared set, undo-logging it.
+func (c *Ctx) Delete(key string) {
+	m := c.inst.mgr
+	if m.Strict && !c.rwset().canWrite(key) {
+		panic(fmt.Sprintf("txn %q %s section delete of undeclared key %q", c.inst.T.Name, c.stage, key))
+	}
+	m.writeWithUndo(c.inst, key, nil, true)
+}
+
+// Apologize records an apology on the instance without undoing anything —
+// the lightweight end of the apology spectrum (e.g., a corrected render plus
+// a free game item).
+func (c *Ctx) Apologize(reason string) {
+	c.inst.mu.Lock()
+	c.inst.apologies = append(c.inst.apologies, Apology{TxnID: c.inst.ID, TxnName: c.inst.T.Name, Reason: reason})
+	c.inst.mu.Unlock()
+	m := c.inst.mgr
+	m.mu.Lock()
+	m.stats.Apologies++
+	m.mu.Unlock()
+}
+
+// Retract undoes every write of this instance's sections and, transitively,
+// of all dependent instances, restoring before-images in reverse write
+// order. Each retracted instance yields an apology. It is called from a
+// final section when the initial section's trigger or input turns out to be
+// erroneous and its effects cannot be merged.
+func (c *Ctx) Retract(reason string) []Apology {
+	return c.inst.mgr.Retract(c.inst, reason)
+}
+
+// noteAccess records a dependency edge from the last writer of key to inst.
+func (m *Manager) noteAccess(inst *Instance, key string) {
+	m.mu.Lock()
+	last := m.lastWriter[key]
+	m.mu.Unlock()
+	if last == nil || last == inst {
+		return
+	}
+	last.mu.Lock()
+	for _, d := range last.dependents {
+		if d == inst {
+			last.mu.Unlock()
+			return
+		}
+	}
+	last.dependents = append(last.dependents, inst)
+	last.mu.Unlock()
+}
+
+func (m *Manager) writeWithUndo(inst *Instance, key string, v store.Value, del bool) {
+	m.noteAccess(inst, key)
+	prev, existed := m.Store.Get(key)
+	m.mu.Lock()
+	m.nextSeq++
+	seq := m.nextSeq
+	m.lastWriter[key] = inst
+	m.mu.Unlock()
+
+	inst.mu.Lock()
+	inst.undo = append(inst.undo, undoRec{seq: seq, key: key, prev: prev, existed: existed})
+	inst.mu.Unlock()
+
+	if del {
+		m.Store.Delete(key)
+	} else {
+		m.Store.Put(key, v)
+	}
+}

@@ -1,0 +1,337 @@
+// Package vclock provides a clock abstraction with two implementations: a
+// real-time clock backed by the time package, and a deterministic
+// virtual-time scheduler (Sim) in which sleeping for simulated seconds costs
+// microseconds of wall time.
+//
+// The virtual scheduler is cooperative: every goroutine that participates in
+// simulated time must be started with Go (or Run), and may block only
+// through scheduler-aware primitives — Sleep, Gate, or Semaphore. A single
+// external driver goroutine (typically a test or main) creates the Sim,
+// spawns participants with Go, and calls Wait; virtual time advances only
+// while the driver is parked in Wait and every participant is blocked. If
+// every participant is blocked on a gate with no pending timer, the
+// simulation has deadlocked and Wait panics with a diagnostic instead of
+// hanging.
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is the time source used throughout the Croesus code base. Both the
+// in-process simulation (Sim) and the real deployment (Real) satisfy it, so
+// node logic is written once and runs in either mode.
+type Clock interface {
+	// Now reports the elapsed time since the clock was created.
+	Now() time.Duration
+	// Sleep pauses the calling goroutine for d. On Sim, the caller must
+	// have been started with Go.
+	Sleep(d time.Duration)
+	// NewGate returns a one-shot wakeup primitive usable with this clock.
+	NewGate() Gate
+	// Go starts fn on a new goroutine tracked by the clock.
+	Go(fn func())
+	// Wait blocks until every goroutine started with Go has returned.
+	Wait()
+}
+
+// Gate is a one-shot synchronization point: exactly one goroutine Waits and
+// some other participating goroutine Fires to release it. Fire may happen
+// before Wait, and firing more than once is a no-op. (The single-waiter
+// contract is what lets the simulated scheduler keep an exact runnable
+// count.)
+type Gate interface {
+	Wait()
+	Fire()
+}
+
+// ---------------------------------------------------------------------------
+// Real clock
+
+type realClock struct {
+	start time.Time
+	wg    sync.WaitGroup
+}
+
+// NewReal returns a Clock backed by real wall-clock time.
+func NewReal() Clock {
+	return &realClock{start: time.Now()}
+}
+
+func (c *realClock) Now() time.Duration { return time.Since(c.start) }
+
+func (c *realClock) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+func (c *realClock) NewGate() Gate {
+	return &realGate{ch: make(chan struct{})}
+}
+
+func (c *realClock) Go(fn func()) {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		fn()
+	}()
+}
+
+func (c *realClock) Wait() { c.wg.Wait() }
+
+type realGate struct {
+	once sync.Once
+	ch   chan struct{}
+}
+
+func (g *realGate) Wait() { <-g.ch }
+func (g *realGate) Fire() { g.once.Do(func() { close(g.ch) }) }
+
+// ---------------------------------------------------------------------------
+// Simulated clock
+
+// Sim is a deterministic virtual-time scheduler. Construct with NewSim; the
+// zero value is not usable.
+type Sim struct {
+	mu       sync.Mutex
+	now      time.Duration
+	runnable int // participants not blocked in a primitive, plus the driver's hold
+	live     int // participants that have not returned
+	events   eventHeap
+	seq      uint64 // tiebreak so equal-time events fire in creation order
+	deadlock string // non-empty once a deadlock has been detected
+	waiters  []chan struct{}
+}
+
+// NewSim returns a virtual clock starting at time zero. The driver holds an
+// implicit runnable slot so that time cannot advance while it is still
+// spawning participants; the slot is released for the duration of Wait.
+func NewSim() *Sim { return &Sim{runnable: 1} }
+
+// Now reports the current virtual time.
+func (s *Sim) Now() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Sleep blocks the calling goroutine for d of virtual time. The caller must
+// be a participant started with Go. Non-positive durations return
+// immediately.
+func (s *Sim) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	g := &simGate{s: s, ch: make(chan struct{})}
+	s.mu.Lock()
+	s.seq++
+	heap.Push(&s.events, &event{at: s.now + d, seq: s.seq, gate: g})
+	s.blockLocked()
+	s.mu.Unlock()
+	<-g.ch
+}
+
+// NewGate returns a Gate tied to this scheduler. Waiting counts the caller
+// as blocked (allowing time to advance); firing makes it runnable again.
+func (s *Sim) NewGate() Gate {
+	return &simGate{s: s, ch: make(chan struct{})}
+}
+
+// Go starts fn as a participating goroutine. It may be called by the driver
+// before or between Waits, or by a participant at any time.
+func (s *Sim) Go(fn func()) {
+	s.mu.Lock()
+	s.runnable++
+	s.live++
+	s.mu.Unlock()
+	go func() {
+		defer s.finish()
+		fn()
+	}()
+}
+
+// Wait parks the driver until every participant has returned, releasing the
+// driver's hold so virtual time can advance. It panics if the simulation
+// deadlocks (every participant blocked with no pending timer).
+func (s *Sim) Wait() {
+	s.mu.Lock()
+	if s.deadlock != "" {
+		msg := s.deadlock
+		s.mu.Unlock()
+		panic(msg)
+	}
+	if s.live == 0 {
+		s.mu.Unlock()
+		return
+	}
+	// Register for completion first: releasing the hold below can itself
+	// detect a deadlock, and that notification must reach this waiter.
+	ch := make(chan struct{})
+	s.waiters = append(s.waiters, ch)
+	s.blockLocked()
+	s.mu.Unlock()
+	<-ch
+
+	s.mu.Lock()
+	msg := s.deadlock
+	if msg == "" {
+		s.runnable++ // re-acquire the driver's hold for the next phase
+	}
+	s.mu.Unlock()
+	if msg != "" {
+		panic(msg)
+	}
+}
+
+// Run is shorthand for Go(fn) followed by Wait.
+func (s *Sim) Run(fn func()) {
+	s.Go(fn)
+	s.Wait()
+}
+
+func (s *Sim) finish() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.live--
+	s.runnable--
+	if s.runnable < 0 {
+		panic("vclock: runnable count underflow")
+	}
+	if s.live == 0 {
+		s.notifyLocked()
+		return
+	}
+	if s.runnable == 0 {
+		s.advanceLocked()
+	}
+}
+
+// blockLocked marks the caller as blocked and, if it was the last runnable
+// goroutine, advances virtual time. Callers hold s.mu.
+func (s *Sim) blockLocked() {
+	s.runnable--
+	if s.runnable < 0 {
+		panic("vclock: runnable count underflow (blocking goroutine not started with Go?)")
+	}
+	if s.runnable == 0 && s.live > 0 {
+		s.advanceLocked()
+	}
+}
+
+// unblock marks one goroutine runnable again (wakeup by a peer).
+func (s *Sim) unblock() {
+	s.mu.Lock()
+	s.runnable++
+	s.mu.Unlock()
+}
+
+// advanceLocked pops the earliest timer event, moves the clock to it, and
+// wakes its sleeper. If no timer is pending the simulation is deadlocked:
+// the condition is recorded and the driver is notified (its Wait panics).
+// Callers hold s.mu.
+func (s *Sim) advanceLocked() {
+	if s.events.Len() == 0 {
+		s.deadlock = fmt.Sprintf("vclock: deadlock at t=%v — all %d live goroutines blocked with no pending timer", s.now, s.live)
+		s.notifyLocked()
+		return
+	}
+	ev := heap.Pop(&s.events).(*event)
+	if ev.at > s.now {
+		s.now = ev.at
+	}
+	s.runnable++
+	ev.gate.fire()
+}
+
+func (s *Sim) notifyLocked() {
+	for _, ch := range s.waiters {
+		close(ch)
+	}
+	s.waiters = nil
+}
+
+type simGate struct {
+	s       *Sim
+	mu      sync.Mutex
+	fired   bool
+	waiting bool
+	ch      chan struct{}
+}
+
+// Wait blocks until the gate fires, letting virtual time advance meanwhile.
+// If the gate already fired, Wait returns immediately without touching the
+// scheduler's runnable accounting.
+func (g *simGate) Wait() {
+	g.mu.Lock()
+	if g.fired {
+		g.mu.Unlock()
+		return
+	}
+	g.waiting = true
+	g.mu.Unlock()
+	g.s.mu.Lock()
+	g.s.blockLocked()
+	g.s.mu.Unlock()
+	<-g.ch
+}
+
+// Fire wakes the waiter. Safe to call before Wait and more than once; the
+// runnable count is only credited when a waiter actually blocked (or is
+// about to block), keeping the scheduler's accounting exact.
+func (g *simGate) Fire() {
+	g.mu.Lock()
+	if g.fired {
+		g.mu.Unlock()
+		return
+	}
+	g.fired = true
+	waiting := g.waiting
+	g.mu.Unlock()
+	if waiting {
+		g.s.unblock()
+	}
+	close(g.ch)
+}
+
+// fire is the scheduler-internal wakeup used for timer events: advanceLocked
+// already credited the runnable count, so only the channel is closed.
+func (g *simGate) fire() {
+	g.mu.Lock()
+	if g.fired {
+		g.mu.Unlock()
+		return
+	}
+	g.fired = true
+	g.mu.Unlock()
+	close(g.ch)
+}
+
+type event struct {
+	at   time.Duration
+	seq  uint64
+	gate *simGate
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

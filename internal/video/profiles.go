@@ -1,0 +1,134 @@
+package video
+
+// The five evaluation workloads from the paper (§5.1). Difficulty values are
+// calibrated against the simulated edge model so that edge-only F-scores
+// reproduce the paper's ordering: airport (easy, edge ≈ 0.86) >> park ≈ 0.5
+// > street vehicles ≈ 0.45 > mall ≈ 0.41.
+
+// ParkDog models "home video of pet in the park querying for 'dog'" (v1).
+func ParkDog() Profile {
+	return Profile{
+		Name:       "v1-park-dog",
+		QueryClass: "dog",
+		FPS:        2,
+		Width:      1280, Height: 720,
+		Classes: []ClassFreq{
+			{Class: "dog", Freq: 0.55},
+			{Class: "person", Freq: 0.35},
+			{Class: "bicycle", Freq: 0.10},
+		},
+		MeanObjects:   3,
+		MeanTrackLife: 40,
+		ObjectSizeMin: 0.08, ObjectSizeMax: 0.25,
+		Speed:          0.010,
+		DifficultyMean: 0.60, DifficultyStd: 0.16,
+		BackgroundDifficulty: 0.45,
+		FrameBytesBase:       150 << 10,
+		FrameBytesPerObject:  6 << 10,
+	}
+}
+
+// StreetVehicles models "street traffic (vehicles)" (v2).
+func StreetVehicles() Profile {
+	return Profile{
+		Name:       "v2-street-vehicles",
+		QueryClass: "car",
+		FPS:        2,
+		Width:      1280, Height: 720,
+		Classes: []ClassFreq{
+			{Class: "car", Freq: 0.5},
+			{Class: "truck", Freq: 0.2},
+			{Class: "bus", Freq: 0.1},
+			{Class: "person", Freq: 0.2},
+		},
+		MeanObjects:   6,
+		MeanTrackLife: 25,
+		ObjectSizeMin: 0.05, ObjectSizeMax: 0.20,
+		Speed:          0.020,
+		DifficultyMean: 0.60, DifficultyStd: 0.15,
+		BackgroundDifficulty: 0.55,
+		FrameBytesBase:       180 << 10,
+		FrameBytesPerObject:  5 << 10,
+	}
+}
+
+// AirportRunway models "airport runway querying for 'airplane'" (v3): large,
+// slow, high-contrast objects that even the edge model detects confidently.
+func AirportRunway() Profile {
+	return Profile{
+		Name:       "v3-airport-airplane",
+		QueryClass: "airplane",
+		FPS:        2,
+		Width:      1280, Height: 720,
+		Classes: []ClassFreq{
+			{Class: "airplane", Freq: 0.8},
+			{Class: "truck", Freq: 0.2},
+		},
+		MeanObjects:   2,
+		MeanTrackLife: 80,
+		ObjectSizeMin: 0.25, ObjectSizeMax: 0.50,
+		Speed:          0.004,
+		DifficultyMean: 0.05, DifficultyStd: 0.04,
+		BackgroundDifficulty: 0.30,
+		FrameBytesBase:       140 << 10,
+		FrameBytesPerObject:  8 << 10,
+	}
+}
+
+// MallSurveillance models "mall surveillance querying for 'person'" (v4):
+// many small, occluded, low-contrast objects — the hardest for the edge.
+func MallSurveillance() Profile {
+	return Profile{
+		Name:       "v4-mall-person",
+		QueryClass: "person",
+		FPS:        2,
+		Width:      1280, Height: 720,
+		Classes: []ClassFreq{
+			{Class: "person", Freq: 0.85},
+			{Class: "backpack", Freq: 0.15},
+		},
+		MeanObjects:   8,
+		MeanTrackLife: 30,
+		ObjectSizeMin: 0.03, ObjectSizeMax: 0.10,
+		Speed:          0.012,
+		DifficultyMean: 0.65, DifficultyStd: 0.14,
+		BackgroundDifficulty: 0.65,
+		FrameBytesBase:       200 << 10,
+		FrameBytesPerObject:  3 << 10,
+	}
+}
+
+// StreetPedestrians models "street traffic (pedestrians)" querying
+// 'person' — used by the Figure 5(a) heatmap experiment.
+func StreetPedestrians() Profile {
+	return Profile{
+		Name:       "v5-street-person",
+		QueryClass: "person",
+		FPS:        2,
+		Width:      1280, Height: 720,
+		Classes: []ClassFreq{
+			{Class: "person", Freq: 0.6},
+			{Class: "car", Freq: 0.3},
+			{Class: "bicycle", Freq: 0.1},
+		},
+		MeanObjects:   5,
+		MeanTrackLife: 25,
+		ObjectSizeMin: 0.04, ObjectSizeMax: 0.14,
+		Speed:          0.015,
+		DifficultyMean: 0.55, DifficultyStd: 0.17,
+		BackgroundDifficulty: 0.50,
+		FrameBytesBase:       180 << 10,
+		FrameBytesPerObject:  4 << 10,
+	}
+}
+
+// AllProfiles returns the evaluation videos in paper order v1..v5.
+func AllProfiles() []Profile {
+	return []Profile{
+		ParkDog(),
+		StreetVehicles(),
+		AirportRunway(),
+		MallSurveillance(),
+		StreetPedestrians(),
+	}
+}

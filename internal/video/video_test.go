@@ -1,0 +1,210 @@
+package video
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRectArea(t *testing.T) {
+	tests := []struct {
+		r    Rect
+		want float64
+	}{
+		{Rect{0, 0, 0.5, 0.5}, 0.25},
+		{Rect{0, 0, 0, 1}, 0},
+		{Rect{0, 0, -0.1, 1}, 0},
+	}
+	for _, tt := range tests {
+		if got := tt.r.Area(); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Area(%v) = %g, want %g", tt.r, got, tt.want)
+		}
+	}
+}
+
+func TestRectIoU(t *testing.T) {
+	a := Rect{0, 0, 0.5, 0.5}
+	if got := a.IoU(a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("IoU(self) = %g, want 1", got)
+	}
+	b := Rect{0.5, 0.5, 0.5, 0.5}
+	if got := a.IoU(b); got != 0 {
+		t.Errorf("IoU(disjoint) = %g, want 0", got)
+	}
+	// Half-overlapping boxes: inter=0.125, union=0.375.
+	c := Rect{0.25, 0, 0.5, 0.5}
+	want := 0.125 / 0.375
+	if got := a.IoU(c); math.Abs(got-want) > 1e-12 {
+		t.Errorf("IoU = %g, want %g", got, want)
+	}
+}
+
+func TestRectIoUSymmetryProperty(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh float64) bool {
+		a := Rect{frac(ax), frac(ay), frac(aw), frac(ah)}
+		b := Rect{frac(bx), frac(by), frac(bw), frac(bh)}
+		iou1, iou2 := a.IoU(b), b.IoU(a)
+		return math.Abs(iou1-iou2) < 1e-9 && iou1 >= 0 && iou1 <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func frac(v float64) float64 {
+	v = math.Abs(v)
+	v -= math.Floor(v)
+	return v
+}
+
+func TestClamp(t *testing.T) {
+	r := Rect{0.9, 0.9, 0.3, 0.3}.Clamp()
+	if r.X+r.W > 1+1e-12 || r.Y+r.H > 1+1e-12 {
+		t.Errorf("Clamp left box outside the frame: %+v", r)
+	}
+	r = Rect{-0.5, -0.5, 0.3, 0.3}.Clamp()
+	if r.X < 0 || r.Y < 0 {
+		t.Errorf("Clamp left negative origin: %+v", r)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p := StreetVehicles()
+	a := NewGenerator(p, 7).Generate(50)
+	b := NewGenerator(p, 7).Generate(50)
+	for i := range a {
+		if len(a[i].Objects) != len(b[i].Objects) {
+			t.Fatalf("frame %d: object counts differ (%d vs %d)", i, len(a[i].Objects), len(b[i].Objects))
+		}
+		for j := range a[i].Objects {
+			if a[i].Objects[j] != b[i].Objects[j] {
+				t.Fatalf("frame %d object %d differs", i, j)
+			}
+		}
+		if a[i].SizeBytes != b[i].SizeBytes {
+			t.Fatalf("frame %d sizes differ", i)
+		}
+	}
+	c := NewGenerator(p, 8).Generate(50)
+	same := true
+	for i := range a {
+		if len(a[i].Objects) != len(c[i].Objects) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Log("different seeds produced equal object counts for 50 frames (unlikely but not fatal)")
+	}
+}
+
+func TestGeneratorPopulation(t *testing.T) {
+	for _, p := range AllProfiles() {
+		g := NewGenerator(p, 1)
+		frames := g.Generate(300)
+		var total float64
+		queryFound := false
+		for _, f := range frames {
+			total += float64(len(f.Objects))
+			for _, o := range f.Objects {
+				if o.Class == p.QueryClass {
+					queryFound = true
+				}
+				if o.Difficulty < 0 || o.Difficulty > 1 {
+					t.Fatalf("%s: difficulty %g out of range", p.Name, o.Difficulty)
+				}
+				if o.Box.Area() <= 0 {
+					t.Fatalf("%s: degenerate object box %+v", p.Name, o.Box)
+				}
+			}
+		}
+		mean := total / float64(len(frames))
+		if mean < p.MeanObjects*0.5 || mean > p.MeanObjects*1.8 {
+			t.Errorf("%s: mean population %.2f far from target %.2f", p.Name, mean, p.MeanObjects)
+		}
+		if !queryFound {
+			t.Errorf("%s: query class %q never appeared", p.Name, p.QueryClass)
+		}
+	}
+}
+
+func TestGeneratorTimestampsAndSizes(t *testing.T) {
+	p := ParkDog()
+	g := NewGenerator(p, 3)
+	frames := g.Generate(10)
+	for i, f := range frames {
+		if f.Index != i {
+			t.Errorf("frame %d has Index %d", i, f.Index)
+		}
+		want := time.Duration(float64(i) * float64(p.FrameInterval()))
+		if f.At != want {
+			t.Errorf("frame %d At = %v, want %v", i, f.At, want)
+		}
+		if f.SizeBytes < 1024 {
+			t.Errorf("frame %d suspiciously small: %d bytes", i, f.SizeBytes)
+		}
+	}
+}
+
+func TestTrackContinuity(t *testing.T) {
+	// An object present in consecutive frames must not teleport.
+	p := AirportRunway()
+	g := NewGenerator(p, 5)
+	prev := map[int]Rect{}
+	for i := 0; i < 100; i++ {
+		f := g.Next()
+		for _, o := range f.Objects {
+			if pb, ok := prev[o.TrackID]; ok {
+				dx := math.Abs(o.Box.X - pb.X)
+				dy := math.Abs(o.Box.Y - pb.Y)
+				if dx > 0.2 || dy > 0.2 {
+					t.Fatalf("track %d jumped by (%.3f, %.3f) in one frame", o.TrackID, dx, dy)
+				}
+			}
+		}
+		prev = map[int]Rect{}
+		for _, o := range f.Objects {
+			prev[o.TrackID] = o.Box
+		}
+	}
+}
+
+func TestProfileDifficultyOrdering(t *testing.T) {
+	// The calibration that drives every accuracy result: airport must be
+	// much easier than mall, with park/street in between.
+	mean := func(p Profile) float64 {
+		g := NewGenerator(p, 11)
+		var sum float64
+		var n int
+		for _, f := range g.Generate(200) {
+			for _, o := range f.Objects {
+				if o.Class == p.QueryClass {
+					sum += o.Difficulty
+					n++
+				}
+			}
+		}
+		return sum / float64(n)
+	}
+	airport := mean(AirportRunway())
+	mall := mean(MallSurveillance())
+	park := mean(ParkDog())
+	if !(airport < park && park < mall) {
+		t.Errorf("difficulty ordering violated: airport=%.3f park=%.3f mall=%.3f", airport, park, mall)
+	}
+	if airport > 0.25 {
+		t.Errorf("airport difficulty %.3f too high for an 'easy' video", airport)
+	}
+}
+
+func TestFrameInterval(t *testing.T) {
+	p := Profile{FPS: 4}
+	if p.FrameInterval() != 250*time.Millisecond {
+		t.Errorf("FrameInterval = %v, want 250ms", p.FrameInterval())
+	}
+	p.FPS = 0
+	if p.FrameInterval() != time.Second {
+		t.Errorf("zero-FPS FrameInterval = %v, want 1s fallback", p.FrameInterval())
+	}
+}

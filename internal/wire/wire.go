@@ -1,0 +1,143 @@
+// Package wire defines the gob message protocol spoken between the real
+// TCP deployment binaries (croesus-client, croesus-edge, croesus-cloud).
+// Every connection carries a stream of Envelopes; the Kind field selects
+// the payload, keeping decoding trivial and version drift visible.
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"croesus/internal/detect"
+	"croesus/internal/video"
+)
+
+// Kind discriminates envelope payloads.
+type Kind string
+
+// Message kinds.
+const (
+	KindFrame         Kind = "frame"          // client → edge
+	KindInitialReply  Kind = "initial-reply"  // edge → client
+	KindFinalReply    Kind = "final-reply"    // edge → client
+	KindCloudRequest  Kind = "cloud-request"  // edge → cloud
+	KindCloudResponse Kind = "cloud-response" // cloud → edge
+	KindBye           Kind = "bye"            // either direction: drain and close
+)
+
+// Frame is a client-submitted video frame. Padding (optional) carries
+// synthetic payload bytes so the wire cost resembles a real encoded frame.
+type Frame struct {
+	Frame   video.Frame
+	Padding []byte
+}
+
+// InitialReply is the initial-commit response for one frame.
+type InitialReply struct {
+	FrameIndex  int
+	Labels      []detect.Detection
+	Triggered   int // transactions triggered
+	Aborted     int
+	SentToCloud bool
+	EdgeElapsed time.Duration // edge receive → initial commit
+}
+
+// FinalReply is the final-commit response for one frame.
+type FinalReply struct {
+	FrameIndex  int
+	Labels      []detect.Detection
+	Corrections int
+	Apologies   []string
+	EdgeElapsed time.Duration // edge receive → final commit
+}
+
+// CloudRequest asks the cloud node to detect one frame.
+type CloudRequest struct {
+	FrameIndex int
+	Frame      video.Frame
+	Padding    []byte
+}
+
+// CloudResponse returns the cloud labels for one frame.
+type CloudResponse struct {
+	FrameIndex int
+	Labels     []detect.Detection
+	DetectTime time.Duration
+}
+
+// Envelope is the single on-wire message type.
+type Envelope struct {
+	Kind          Kind
+	Frame         *Frame
+	InitialReply  *InitialReply
+	FinalReply    *FinalReply
+	CloudRequest  *CloudRequest
+	CloudResponse *CloudResponse
+}
+
+// Validate checks that the payload matches the kind.
+func (e *Envelope) Validate() error {
+	var ok bool
+	switch e.Kind {
+	case KindFrame:
+		ok = e.Frame != nil
+	case KindInitialReply:
+		ok = e.InitialReply != nil
+	case KindFinalReply:
+		ok = e.FinalReply != nil
+	case KindCloudRequest:
+		ok = e.CloudRequest != nil
+	case KindCloudResponse:
+		ok = e.CloudResponse != nil
+	case KindBye:
+		ok = true
+	default:
+		return fmt.Errorf("wire: unknown kind %q", e.Kind)
+	}
+	if !ok {
+		return fmt.Errorf("wire: kind %q with missing payload", e.Kind)
+	}
+	return nil
+}
+
+// Conn wraps a stream with gob encode/decode of Envelopes. It is NOT safe
+// for concurrent writers; callers serialize with their own mutex.
+type Conn struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+	rwc io.ReadWriteCloser
+}
+
+// NewConn wraps rwc.
+func NewConn(rwc io.ReadWriteCloser) *Conn {
+	return &Conn{
+		enc: gob.NewEncoder(rwc),
+		dec: gob.NewDecoder(rwc),
+		rwc: rwc,
+	}
+}
+
+// Send validates and writes one envelope.
+func (c *Conn) Send(e *Envelope) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	return c.enc.Encode(e)
+}
+
+// Recv reads and validates one envelope.
+func (c *Conn) Recv() (*Envelope, error) {
+	var e Envelope
+	if err := c.dec.Decode(&e); err != nil {
+		return nil, err
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// Close closes the underlying stream.
+func (c *Conn) Close() error { return c.rwc.Close() }

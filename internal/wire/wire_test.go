@@ -1,0 +1,119 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"croesus/internal/detect"
+	"croesus/internal/video"
+)
+
+// pipeRWC adapts an in-memory duplex pipe to io.ReadWriteCloser.
+type pipeRWC struct {
+	io.Reader
+	io.Writer
+}
+
+func (pipeRWC) Close() error { return nil }
+
+func pair() (*Conn, *Conn) {
+	aToB := &bytes.Buffer{}
+	bToA := &bytes.Buffer{}
+	a := NewConn(pipeRWC{Reader: bToA, Writer: aToB})
+	b := NewConn(pipeRWC{Reader: aToB, Writer: bToA})
+	return a, b
+}
+
+func sampleFrame() video.Frame {
+	return video.Frame{
+		Index: 7, At: 3 * time.Second, Width: 1280, Height: 720, SizeBytes: 123456,
+		Objects: []video.Object{{TrackID: 1, Class: "dog", Box: video.Rect{X: 0.1, Y: 0.2, W: 0.3, H: 0.4}, Difficulty: 0.5}},
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	a, b := pair()
+	want := &Envelope{Kind: KindFrame, Frame: &Frame{Frame: sampleFrame(), Padding: []byte{1, 2, 3}}}
+	if err := a.Send(want); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if got.Kind != KindFrame || got.Frame == nil {
+		t.Fatalf("got %+v", got)
+	}
+	if got.Frame.Frame.Index != 7 || len(got.Frame.Frame.Objects) != 1 || len(got.Frame.Padding) != 3 {
+		t.Errorf("frame fields lost: %+v", got.Frame)
+	}
+}
+
+func TestAllKindsRoundTrip(t *testing.T) {
+	a, b := pair()
+	d := detect.Detection{Label: "dog", Confidence: 0.9, Box: video.Rect{X: 0.1, Y: 0.1, W: 0.2, H: 0.2}, TrackID: 4}
+	envs := []*Envelope{
+		{Kind: KindFrame, Frame: &Frame{Frame: sampleFrame()}},
+		{Kind: KindInitialReply, InitialReply: &InitialReply{FrameIndex: 1, Labels: []detect.Detection{d}, Triggered: 2, SentToCloud: true, EdgeElapsed: time.Second}},
+		{Kind: KindFinalReply, FinalReply: &FinalReply{FrameIndex: 1, Labels: []detect.Detection{d}, Corrections: 1, Apologies: []string{"sorry"}}},
+		{Kind: KindCloudRequest, CloudRequest: &CloudRequest{FrameIndex: 2, Frame: sampleFrame()}},
+		{Kind: KindCloudResponse, CloudResponse: &CloudResponse{FrameIndex: 2, Labels: []detect.Detection{d}, DetectTime: time.Second}},
+		{Kind: KindBye},
+	}
+	for _, e := range envs {
+		if err := a.Send(e); err != nil {
+			t.Fatalf("Send(%s): %v", e.Kind, err)
+		}
+	}
+	for _, want := range envs {
+		got, err := b.Recv()
+		if err != nil {
+			t.Fatalf("Recv(%s): %v", want.Kind, err)
+		}
+		if got.Kind != want.Kind {
+			t.Errorf("kind = %s, want %s", got.Kind, want.Kind)
+		}
+	}
+}
+
+func TestValidateRejectsMismatches(t *testing.T) {
+	bad := []*Envelope{
+		{Kind: KindFrame},                          // missing payload
+		{Kind: KindInitialReply},                   // missing payload
+		{Kind: Kind("nonsense")},                   // unknown kind
+		{Kind: KindCloudResponse, Frame: &Frame{}}, // wrong payload
+	}
+	for _, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", e)
+		}
+	}
+	if err := (&Envelope{Kind: KindBye}).Validate(); err != nil {
+		t.Errorf("bye rejected: %v", err)
+	}
+}
+
+func TestSendRejectsInvalid(t *testing.T) {
+	a, _ := pair()
+	if err := a.Send(&Envelope{Kind: KindFrame}); err == nil {
+		t.Error("Send accepted an invalid envelope")
+	}
+}
+
+func TestRecvRejectsCorruptStream(t *testing.T) {
+	buf := bytes.NewBufferString("this is not gob")
+	c := NewConn(pipeRWC{Reader: buf, Writer: &bytes.Buffer{}})
+	if _, err := c.Recv(); err == nil {
+		t.Error("Recv decoded garbage")
+	}
+}
+
+func TestRecvEOF(t *testing.T) {
+	c := NewConn(pipeRWC{Reader: &bytes.Buffer{}, Writer: &bytes.Buffer{}})
+	if _, err := c.Recv(); !errors.Is(err, io.EOF) {
+		t.Errorf("Recv on empty stream = %v, want EOF", err)
+	}
+}

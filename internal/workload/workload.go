@@ -1,0 +1,163 @@
+// Package workload generates the database operations behind the paper's
+// experiments: the YCSB-Workload-A-style transaction bodies attached to each
+// detection ("6 operations, half of these mutate the state of the database
+// by inserting data items, and the other half read from previously added
+// items"), and the hot-spot update batches of the Figure 6(b) contention
+// experiment.
+package workload
+
+import (
+	"math/rand"
+
+	"croesus/internal/lock"
+	"croesus/internal/store"
+)
+
+// OpKind distinguishes reads from writes.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota
+	OpInsert
+)
+
+// Op is one database operation.
+type Op struct {
+	Kind OpKind
+	Key  string
+}
+
+// KeyChooser picks keys from a key space.
+type KeyChooser interface {
+	Pick(rng *rand.Rand) string
+}
+
+// Uniform picks uniformly from [0, N).
+type Uniform struct {
+	Prefix string
+	N      int
+}
+
+// Pick returns a uniformly random key.
+func (u Uniform) Pick(rng *rand.Rand) string {
+	return store.ItoaKey(u.Prefix, rng.Intn(u.N))
+}
+
+// HotSpot picks from a small hot range with probability HotProb, otherwise
+// from the full range.
+type HotSpot struct {
+	Prefix  string
+	N       int // total keys
+	Hot     int // hot keys (first Hot of N)
+	HotProb float64
+}
+
+// Pick returns a hot-spot-skewed key.
+func (h HotSpot) Pick(rng *rand.Rand) string {
+	if rng.Float64() < h.HotProb {
+		return store.ItoaKey(h.Prefix, rng.Intn(h.Hot))
+	}
+	return store.ItoaKey(h.Prefix, rng.Intn(h.N))
+}
+
+// Zipf picks with a Zipfian distribution (YCSB's default skew).
+type Zipf struct {
+	Prefix string
+	zipf   *rand.Zipf
+}
+
+// NewZipf returns a Zipfian chooser over n keys with exponent s > 1.
+func NewZipf(prefix string, n int, s float64, seed int64) *Zipf {
+	rng := rand.New(rand.NewSource(seed))
+	return &Zipf{Prefix: prefix, zipf: rand.NewZipf(rng, s, 1, uint64(n-1))}
+}
+
+// Pick returns a Zipf-distributed key. The embedded source makes this
+// chooser stateful; use one per goroutine.
+func (z *Zipf) Pick(rng *rand.Rand) string {
+	return store.ItoaKey(z.Prefix, int(z.zipf.Uint64()))
+}
+
+// DetectionOps builds the paper's per-detection transaction body: nOps
+// operations, half inserts and half reads, on keys drawn from the chooser.
+func DetectionOps(rng *rand.Rand, chooser KeyChooser, nOps int) []Op {
+	ops := make([]Op, nOps)
+	for i := range ops {
+		kind := OpInsert
+		if i%2 == 1 {
+			kind = OpRead
+		}
+		ops[i] = Op{Kind: kind, Key: chooser.Pick(rng)}
+	}
+	return ops
+}
+
+// UpdateOps builds the Figure 6(b) hot-spot body: nOps update operations on
+// keys drawn uniformly from [0, keyRange).
+func UpdateOps(rng *rand.Rand, prefix string, keyRange, nOps int) []Op {
+	ops := make([]Op, nOps)
+	for i := range ops {
+		ops[i] = Op{Kind: OpInsert, Key: store.ItoaKey(prefix, rng.Intn(keyRange))}
+	}
+	return ops
+}
+
+// LockRequests converts operations to lock requests: reads take shared
+// locks, inserts exclusive. Duplicates are merged by lock.Normalize.
+func LockRequests(ops []Op) []lock.Request {
+	reqs := make([]lock.Request, len(ops))
+	for i, op := range ops {
+		mode := lock.Shared
+		if op.Kind == OpInsert {
+			mode = lock.Exclusive
+		}
+		reqs[i] = lock.Request{Key: op.Key, Mode: mode}
+	}
+	return lock.Normalize(reqs)
+}
+
+// Batch is a group of transaction bodies executed together, as in the
+// Figure 6(b) experiment ("transactions are executed in batches of 50
+// transactions per batch where each transaction has 5 update operations").
+type Batch struct {
+	Bodies [][]Op
+}
+
+// MakeBatches generates nBatches batches of batchSize transactions, each
+// with opsPerTxn updates over keyRange keys.
+func MakeBatches(seed int64, nBatches, batchSize, keyRange, opsPerTxn int) []Batch {
+	rng := rand.New(rand.NewSource(seed))
+	batches := make([]Batch, nBatches)
+	for b := range batches {
+		bodies := make([][]Op, batchSize)
+		for i := range bodies {
+			bodies[i] = UpdateOps(rng, "hot", keyRange, opsPerTxn)
+		}
+		batches[b] = Batch{Bodies: bodies}
+	}
+	return batches
+}
+
+// Conflicts reports whether two bodies touch a common key with at least one
+// write — the conflict definition of the multi-stage model (§4.1).
+func Conflicts(a, b []Op) bool {
+	writesA := map[string]bool{}
+	readsA := map[string]bool{}
+	for _, op := range a {
+		if op.Kind == OpInsert {
+			writesA[op.Key] = true
+		} else {
+			readsA[op.Key] = true
+		}
+	}
+	for _, op := range b {
+		if writesA[op.Key] {
+			return true
+		}
+		if op.Kind == OpInsert && readsA[op.Key] {
+			return true
+		}
+	}
+	return false
+}
