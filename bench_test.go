@@ -10,6 +10,7 @@ package croesus
 // benchmarks here use reduced frame counts so the whole suite stays fast.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -255,6 +256,41 @@ func BenchmarkPipelineVideo(b *testing.B) {
 		p.ProcessVideo(frames)
 	}
 	b.ReportMetric(float64(len(frames)*b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// BenchmarkCluster measures fleet simulation throughput — how many
+// virtual frames per second of wall time the cluster runtime sustains as
+// the camera count grows (two edges, one batched cloud validator).
+func BenchmarkCluster(b *testing.B) {
+	profiles := Videos()
+	for _, nCams := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("cams-%d", nCams), func(b *testing.B) {
+			cams := make([]CameraSpec, nCams)
+			for i := range cams {
+				cams[i] = CameraSpec{
+					Profile: profiles[i%len(profiles)],
+					Seed:    int64(11 + i*101),
+					Frames:  32,
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := RunCluster(ClusterConfig{
+					Clock:   NewSimClock(),
+					Cameras: cams,
+					Edges:   []EdgeSpec{{ID: "west"}, {ID: "east"}},
+					Batcher: BatcherConfig{MaxBatch: 8, SLO: 80 * time.Millisecond},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Frames != nCams*32 {
+					b.Fatalf("lost frames: %d of %d", rep.Frames, nCams*32)
+				}
+			}
+			b.ReportMetric(float64(nCams*32*b.N)/b.Elapsed().Seconds(), "frames/s")
+		})
+	}
 }
 
 // BenchmarkVirtualClock measures the scheduler's sleep/wake cost.

@@ -1,0 +1,88 @@
+// Command croesus-cluster runs a multi-camera edge fleet against one
+// SLO-aware batched cloud validator on the virtual clock and prints the
+// fleet report: per-camera accuracy and latency percentiles, fleet
+// throughput, and the batcher's batching/shedding counters.
+//
+// Usage:
+//
+//	croesus-cluster                          # 4 cameras, 2 edges
+//	croesus-cluster -cameras 16 -edges 4     # bigger fleet
+//	croesus-cluster -policy least-loaded     # placement policy
+//	croesus-cluster -slo 40ms -pending 8 -cloud-speed 0.2   # overload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"croesus"
+)
+
+func main() {
+	var (
+		nCams      = flag.Int("cameras", 4, "number of camera streams")
+		nEdges     = flag.Int("edges", 2, "number of edge nodes")
+		frames     = flag.Int("frames", 120, "frames per camera")
+		seed       = flag.Int64("seed", 42, "model and video seed")
+		policy     = flag.String("policy", "round-robin", "placement policy: round-robin or least-loaded")
+		maxBatch   = flag.Int("batch", 8, "cloud batch size cap")
+		slo        = flag.Duration("slo", 80*time.Millisecond, "cloud batch flush deadline")
+		pending    = flag.Int("pending", 0, "admission-control cap on outstanding validations (default 4×batch)")
+		cloudSpeed = flag.Float64("cloud-speed", 1.0, "cloud machine speed factor (lower = starved GPU)")
+		thetaL     = flag.Float64("theta-l", 0.40, "lower bandwidth threshold θL")
+		thetaU     = flag.Float64("theta-u", 0.62, "upper bandwidth threshold θU")
+	)
+	flag.Parse()
+
+	var placement croesus.Placement
+	switch *policy {
+	case "round-robin":
+		placement = &croesus.RoundRobin{}
+	case "least-loaded":
+		placement = croesus.LeastLoaded{}
+	default:
+		fmt.Fprintf(os.Stderr, "croesus-cluster: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	profiles := croesus.Videos()
+	cams := make([]croesus.CameraSpec, *nCams)
+	for i := range cams {
+		cams[i] = croesus.CameraSpec{
+			ID:      fmt.Sprintf("cam%d", i),
+			Profile: profiles[i%len(profiles)],
+			Seed:    *seed + int64(i)*101,
+			Frames:  *frames,
+		}
+	}
+	edges := make([]croesus.EdgeSpec, *nEdges)
+	for i := range edges {
+		edges[i] = croesus.EdgeSpec{ID: fmt.Sprintf("edge%d", i)}
+	}
+
+	start := time.Now()
+	rep, err := croesus.RunCluster(croesus.ClusterConfig{
+		Clock:     croesus.NewSimClock(),
+		Cameras:   cams,
+		Edges:     edges,
+		Placement: placement,
+		Seed:      *seed,
+		ThetaL:    *thetaL,
+		ThetaU:    *thetaU,
+		Batcher: croesus.BatcherConfig{
+			MaxBatch:   *maxBatch,
+			SLO:        *slo,
+			MaxPending: *pending,
+			CloudSpeed: *cloudSpeed,
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "croesus-cluster: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Format())
+	fmt.Printf("(simulated %s of fleet time in %s of wall time)\n",
+		rep.Elapsed.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
+}

@@ -24,6 +24,7 @@ package croesus
 
 import (
 	"croesus/internal/bank"
+	"croesus/internal/cluster"
 	"croesus/internal/core"
 	"croesus/internal/detect"
 	"croesus/internal/experiments"
@@ -293,6 +294,19 @@ type (
 	ChainStage = core.ChainStage
 	// ChainOutcome is a frame's progress through a Chain.
 	ChainOutcome = core.ChainOutcome
+
+	// Validator is the injectable cloud validation path: the seam
+	// between a pipeline's edge side and whatever answers for the cloud.
+	Validator = core.Validator
+	// ValidationRequest carries one validate-interval frame to a
+	// Validator.
+	ValidationRequest = core.ValidationRequest
+	// ValidationResult is a Validator's reply.
+	ValidationResult = core.ValidationResult
+	// ValidationStatus classifies a validation outcome.
+	ValidationStatus = core.ValidationStatus
+	// DirectValidator is the unbatched single-edge cloud path.
+	DirectValidator = core.DirectValidator
 )
 
 // Pipeline modes.
@@ -300,6 +314,13 @@ const (
 	ModeCroesus   = core.ModeCroesus
 	ModeEdgeOnly  = core.ModeEdgeOnly
 	ModeCloudOnly = core.ModeCloudOnly
+)
+
+// Validation outcomes.
+const (
+	Validated      = core.Validated
+	ValidationShed = core.ValidationShed
+	ValidationLost = core.ValidationLost
 )
 
 // Label-match cases (§3.3).
@@ -400,6 +421,57 @@ const (
 	DistMSSR = twopc.MSSR
 	DistMSIA = twopc.MSIA
 )
+
+// ---------------------------------------------------------------------------
+// Cluster: multi-camera edge fleets with batched cloud validation
+
+type (
+	// Cluster runs N camera streams across M edge nodes sharing one
+	// SLO-aware batched cloud validator.
+	Cluster = cluster.Cluster
+	// ClusterConfig assembles a cluster.
+	ClusterConfig = cluster.Config
+	// ClusterReport aggregates a fleet run: per-camera summaries plus
+	// fleet throughput, latency percentiles, and shedding.
+	ClusterReport = cluster.ClusterReport
+	// CameraReport is one camera's share of a ClusterReport.
+	CameraReport = cluster.CameraReport
+	// CameraSpec declares one camera stream.
+	CameraSpec = cluster.CameraSpec
+	// EdgeSpec declares one edge node.
+	EdgeSpec = cluster.EdgeSpec
+	// EdgeNode is a provisioned edge: storage stack, model, and links.
+	EdgeNode = cluster.EdgeNode
+	// Placement assigns cameras to edge nodes.
+	Placement = cluster.Placement
+	// RoundRobin cycles cameras across edges.
+	RoundRobin = cluster.RoundRobin
+	// LeastLoaded places each camera on the least-loaded edge.
+	LeastLoaded = cluster.LeastLoaded
+	// ValidationBatcher is the cloud-side SLO-aware batcher (a
+	// Validator).
+	ValidationBatcher = cluster.Batcher
+	// BatcherConfig configures a ValidationBatcher.
+	BatcherConfig = cluster.BatcherConfig
+	// BatcherStats summarizes a batcher's lifetime activity.
+	BatcherStats = cluster.BatcherStats
+	// EdgeUplink adapts one edge's uplink to a shared batcher.
+	EdgeUplink = cluster.EdgeUplink
+)
+
+// NewCluster validates cfg, provisions edges and the shared batcher,
+// and places every camera.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// RunCluster builds and runs a cluster in one call.
+func RunCluster(cfg ClusterConfig) (*ClusterReport, error) { return cluster.Run(cfg) }
+
+// NewValidationBatcher returns the SLO-aware cloud validation batcher.
+// Clock and Model are required here (unlike inside a ClusterConfig,
+// which fills them in).
+func NewValidationBatcher(cfg BatcherConfig) (*ValidationBatcher, error) {
+	return cluster.NewBatcher(cfg)
+}
 
 // ---------------------------------------------------------------------------
 // Experiments

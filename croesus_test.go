@@ -180,3 +180,70 @@ func TestFacadeExperimentRegistry(t *testing.T) {
 		t.Error("unknown experiment accepted")
 	}
 }
+
+func TestFacadeCluster(t *testing.T) {
+	rep, err := RunCluster(ClusterConfig{
+		Clock: NewSimClock(),
+		Cameras: []CameraSpec{
+			{ID: "a", Profile: ParkDog(), Seed: 11, Frames: 30},
+			{ID: "b", Profile: StreetVehicles(), Seed: 12, Frames: 30},
+			{ID: "c", Profile: MallSurveillance(), Seed: 13, Frames: 30},
+			{ID: "d", Profile: AirportRunway(), Seed: 14, Frames: 30},
+		},
+		Edges:     []EdgeSpec{{ID: "west"}, {ID: "east"}},
+		Placement: LeastLoaded{},
+		Batcher:   BatcherConfig{MaxBatch: 4, SLO: 80 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("RunCluster: %v", err)
+	}
+	if rep.Frames != 120 || len(rep.Cameras) != 4 {
+		t.Fatalf("report covers %d frames over %d cameras", rep.Frames, len(rep.Cameras))
+	}
+	if rep.Validated == 0 {
+		t.Error("no frames validated through the shared batcher")
+	}
+	if rep.Batcher.SLOViolations != 0 {
+		t.Errorf("%d SLO violations", rep.Batcher.SLOViolations)
+	}
+	if rep.Format() == "" {
+		t.Error("report unrenderable")
+	}
+}
+
+// TestFacadeValidatorInjection plugs a custom Validator into the plain
+// pipeline — the seam the cluster layer is built on.
+func TestFacadeValidatorInjection(t *testing.T) {
+	clk := NewSimClock()
+	shedAll := validatorFunc(func(req ValidationRequest) ValidationResult {
+		return ValidationResult{Status: ValidationShed}
+	})
+	p, err := NewPipeline(Config{
+		Clock:     clk,
+		EdgeModel: TinyYOLOSim(42),
+		ThetaL:    0.40,
+		ThetaU:    0.62,
+		Validator: shedAll,
+	})
+	if err != nil {
+		t.Fatalf("NewPipeline with Validator: %v", err)
+	}
+	frames := NewVideoGenerator(ParkDog(), 11).Generate(20)
+	outs := p.ProcessVideo(frames)
+	sawShed := false
+	for _, o := range outs {
+		if o.Shed {
+			sawShed = true
+			if len(o.FinalVisible) != len(o.InitialVisible) {
+				t.Fatal("shed frame lost its edge answer")
+			}
+		}
+	}
+	if !sawShed {
+		t.Error("shed-everything validator never consulted")
+	}
+}
+
+type validatorFunc func(ValidationRequest) ValidationResult
+
+func (f validatorFunc) Validate(req ValidationRequest) ValidationResult { return f(req) }

@@ -1,0 +1,3 @@
+module croesus
+
+go 1.22

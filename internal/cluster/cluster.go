@@ -1,0 +1,332 @@
+// Package cluster is the deployment layer above the single-camera
+// pipeline of internal/core: N camera streams placed across M edge nodes
+// that share one cloud validator. Each edge node owns its store, locks,
+// and transaction manager exactly like a standalone Croesus edge; the
+// cloud side replaces the per-pipeline direct model call with an
+// SLO-aware batcher (Batcher) that coalesces validate-interval frames
+// from the whole fleet and sheds the lowest-confidence-margin frames
+// under overload — shed frames keep their edge answer, which is exactly
+// Croesus' degradation mode, so overload costs accuracy, never the SLO.
+//
+// Everything runs on one vclock.Clock, so a sixteen-camera fleet is as
+// deterministic and as fast to simulate as a single pipeline.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"croesus/internal/core"
+	"croesus/internal/detect"
+	"croesus/internal/lock"
+	"croesus/internal/netsim"
+	"croesus/internal/store"
+	"croesus/internal/txn"
+	"croesus/internal/vclock"
+	"croesus/internal/video"
+)
+
+// CameraSpec declares one camera stream.
+type CameraSpec struct {
+	// ID names the camera in reports. Defaults to "cam<i>".
+	ID string
+	// Profile is the synthetic scene this camera captures.
+	Profile video.Profile
+	// Seed drives frame generation and the per-camera workload; distinct
+	// seeds give distinct videos of the same profile.
+	Seed int64
+	// Frames is how many frames the camera captures.
+	Frames int
+}
+
+// EdgeSpec declares one edge node.
+type EdgeSpec struct {
+	// ID names the edge in reports. Defaults to "edge<i>".
+	ID string
+	// Speed is the machine speed factor (1.0 = reference; a t3a.small is
+	// ≈ 0.45).
+	Speed float64
+	// Slots bounds concurrent edge inferences.
+	Slots int
+	// SameSite co-locates this edge with the cloud (short link) instead
+	// of the default cross-country path.
+	SameSite bool
+}
+
+// EdgeNode is one provisioned edge: the full standalone storage stack
+// plus its links, shared by every camera placed on it.
+type EdgeNode struct {
+	Spec  EdgeSpec
+	Model detect.Model
+	Store *store.Store
+	Locks *lock.Manager
+	Mgr   *txn.Manager
+	// ClientEdge and EdgeCloud are this edge's private network paths.
+	ClientEdge *netsim.Link
+	EdgeCloud  *netsim.Link
+	// Compute is the edge's shared inference pool: every camera placed
+	// here contends for these Spec.Slots slots.
+	Compute *vclock.Semaphore
+	// Cameras lists the IDs placed on this edge, in placement order.
+	Cameras []string
+
+	load float64
+}
+
+// Load reports the expected aggregate frame rate (frames/sec) of the
+// cameras placed on this edge — what LeastLoaded balances.
+func (e *EdgeNode) Load() float64 { return e.load }
+
+// Config assembles a cluster. Zero-value fields take the documented
+// defaults.
+type Config struct {
+	Clock   vclock.Clock
+	Cameras []CameraSpec
+	Edges   []EdgeSpec
+	// Placement assigns cameras to edges (default round-robin).
+	Placement Placement
+
+	// Batcher configures the shared cloud validator; its Clock and Model
+	// are filled in from the cluster when unset.
+	Batcher BatcherConfig
+
+	// Seed seeds the detection models (default 42). CloudModel overrides
+	// the default YOLOv3-416 simulator.
+	Seed       int64
+	CloudModel detect.Model
+
+	// ThetaL and ThetaU are the fleet-wide bandwidth thresholds
+	// (defaults 0.40 / 0.62, the paper's operating point).
+	ThetaL, ThetaU float64
+	// OverlapMin is the label-matching threshold (default 0.10).
+	OverlapMin float64
+
+	// WorkloadKeys sizes each camera's YCSB-A-style transaction source
+	// (default 1000); OpCost charges clock time per database operation.
+	WorkloadKeys int
+	OpCost       time.Duration
+}
+
+func (c Config) defaults() Config {
+	if c.Placement == nil {
+		c.Placement = &RoundRobin{}
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.ThetaL == 0 && c.ThetaU == 0 {
+		c.ThetaL, c.ThetaU = 0.40, 0.62
+	}
+	if c.OverlapMin == 0 {
+		c.OverlapMin = 0.10
+	}
+	if c.WorkloadKeys == 0 {
+		c.WorkloadKeys = 1000
+	}
+	return c
+}
+
+// cameraRuntime binds one camera to its edge, pipeline, and frames.
+type cameraRuntime struct {
+	spec     CameraSpec
+	edge     *EdgeNode
+	pipe     *core.Pipeline
+	frames   []*video.Frame
+	outcomes []core.FrameOutcome
+}
+
+// Cluster is a constructed fleet, ready to Run.
+type Cluster struct {
+	cfg        Config
+	clk        vclock.Clock
+	cloudModel detect.Model
+	batcher    *Batcher
+	edges      []*EdgeNode
+	cams       []*cameraRuntime
+}
+
+// New validates the configuration, provisions the edges and the shared
+// batcher, and places every camera.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.defaults()
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("cluster: Config.Clock is required")
+	}
+	if len(cfg.Cameras) == 0 {
+		return nil, fmt.Errorf("cluster: at least one camera is required")
+	}
+	if len(cfg.Edges) == 0 {
+		return nil, fmt.Errorf("cluster: at least one edge is required")
+	}
+	if cfg.ThetaL > cfg.ThetaU {
+		return nil, fmt.Errorf("cluster: thresholds must satisfy θL ≤ θU, got (%.2f, %.2f)", cfg.ThetaL, cfg.ThetaU)
+	}
+
+	cloudModel := cfg.CloudModel
+	if cloudModel == nil {
+		cloudModel = detect.YOLOv3Sim(detect.YOLO416, cfg.Seed)
+	}
+	bcfg := cfg.Batcher
+	if bcfg.Clock == nil {
+		bcfg.Clock = cfg.Clock
+	}
+	if bcfg.Model == nil {
+		bcfg.Model = cloudModel
+	}
+
+	batcher, err := NewBatcher(bcfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, clk: cfg.Clock, cloudModel: cloudModel, batcher: batcher}
+
+	for i, es := range cfg.Edges {
+		if es.ID == "" {
+			es.ID = fmt.Sprintf("edge%d", i)
+		}
+		if es.Speed == 0 {
+			es.Speed = 1
+		}
+		if es.Slots == 0 {
+			es.Slots = 2
+		}
+		st := store.New()
+		locks := lock.NewManager(cfg.Clock)
+		edgeCloud := netsim.EdgeCloudCrossCountry()
+		if es.SameSite {
+			edgeCloud = netsim.EdgeCloudSameSite()
+		}
+		edgeCloud.Name = es.ID + "-cloud"
+		clientEdge := netsim.ClientEdgeLink()
+		clientEdge.Name = "client-" + es.ID
+		c.edges = append(c.edges, &EdgeNode{
+			Spec:       es,
+			Model:      detect.TinyYOLOSim(cfg.Seed),
+			Store:      st,
+			Locks:      locks,
+			Mgr:        txn.NewManager(cfg.Clock, st, locks),
+			ClientEdge: clientEdge,
+			EdgeCloud:  edgeCloud,
+			Compute:    vclock.NewSemaphore(cfg.Clock, es.Slots),
+		})
+	}
+
+	for i, cs := range cfg.Cameras {
+		if cs.ID == "" {
+			cs.ID = fmt.Sprintf("cam%d", i)
+		}
+		if cs.Seed == 0 {
+			cs.Seed = cfg.Seed + int64(i)
+		}
+		if cs.Frames == 0 {
+			cs.Frames = 100
+		}
+		idx := cfg.Placement.Pick(cs, c.edges)
+		if idx < 0 || idx >= len(c.edges) {
+			return nil, fmt.Errorf("cluster: placement %q picked edge %d of %d for camera %q", cfg.Placement.Name(), idx, len(c.edges), cs.ID)
+		}
+		edge := c.edges[idx]
+		edge.Cameras = append(edge.Cameras, cs.ID)
+		edge.load += cs.Profile.FPS
+
+		source := core.NewWorkloadSource(cfg.WorkloadKeys, cs.Seed)
+		if cfg.OpCost > 0 {
+			source.Clk = cfg.Clock
+			source.OpCost = cfg.OpCost
+		}
+		pipe, err := core.New(core.Config{
+			Clock:       cfg.Clock,
+			Mode:        core.ModeCroesus,
+			EdgeModel:   edge.Model,
+			CloudModel:  cloudModel,
+			EdgeSpeed:   edge.Spec.Speed,
+			EdgeSlots:   edge.Spec.Slots,
+			EdgeCompute: edge.Compute,
+			ClientEdge:  edge.ClientEdge,
+			EdgeCloud:   edge.EdgeCloud,
+			ThetaL:      cfg.ThetaL,
+			ThetaU:      cfg.ThetaU,
+			OverlapMin:  cfg.OverlapMin,
+			Source:      source,
+			CC:          &txn.MSIA{M: edge.Mgr},
+			Mgr:         edge.Mgr,
+			Validator: &EdgeUplink{
+				Uplink: core.Uplink{
+					Clock:     cfg.Clock,
+					Link:      edge.EdgeCloud,
+					EdgeSpeed: edge.Spec.Speed,
+				},
+				Batcher: c.batcher,
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: camera %q: %w", cs.ID, err)
+		}
+		c.cams = append(c.cams, &cameraRuntime{
+			spec:   cs,
+			edge:   edge,
+			pipe:   pipe,
+			frames: video.NewGenerator(cs.Profile, cs.Seed).Generate(cs.Frames),
+		})
+	}
+	return c, nil
+}
+
+// Edges returns the provisioned edge nodes in declaration order.
+func (c *Cluster) Edges() []*EdgeNode { return c.edges }
+
+// Outcomes returns the per-frame outcomes of one camera after Run, or
+// nil if the camera is unknown. Frames are in capture order.
+func (c *Cluster) Outcomes(cameraID string) []core.FrameOutcome {
+	for _, cam := range c.cams {
+		if cam.spec.ID == cameraID {
+			return cam.outcomes
+		}
+	}
+	return nil
+}
+
+// Batcher returns the shared cloud validator.
+func (c *Cluster) Batcher() *Batcher { return c.batcher }
+
+// Run drives every camera's frames at their capture timestamps on the
+// shared clock and blocks until the last final commit. The caller must
+// be the clock's driver (outside the simulation). Run may be called
+// once.
+func (c *Cluster) Run() *ClusterReport {
+	clk := c.clk
+	start := clk.Now()
+	for _, cam := range c.cams {
+		cam := cam
+		cam.outcomes = make([]core.FrameOutcome, len(cam.frames))
+		for i, f := range cam.frames {
+			i, f := i, f
+			clk.Go(func() {
+				clk.Sleep(f.At - clk.Now())
+				cam.outcomes[i] = cam.pipe.ProcessFrame(f)
+			})
+		}
+	}
+	clk.Wait()
+	// The makespan ends at the last frame's final commit, not at
+	// clk.Now(): stale SLO timers may still run the clock forward after
+	// the fleet has drained.
+	end := start
+	for _, cam := range c.cams {
+		for i := range cam.outcomes {
+			if t := cam.outcomes[i].CapturedAt + cam.outcomes[i].FinalLatency; t > end {
+				end = t
+			}
+		}
+	}
+	return c.report(end - start)
+}
+
+// Run builds and runs a cluster in one call.
+func Run(cfg Config) (*ClusterReport, error) {
+	c, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(), nil
+}

@@ -1,0 +1,43 @@
+package cluster
+
+// Placement assigns camera streams to edge nodes. Policies are consulted
+// once per camera, in declaration order, during cluster construction;
+// they may inspect what is already assigned to each edge.
+type Placement interface {
+	Name() string
+	// Pick returns the index of the edge node that should host cam.
+	Pick(cam CameraSpec, edges []*EdgeNode) int
+}
+
+// RoundRobin cycles cameras across edges in declaration order.
+type RoundRobin struct{ next int }
+
+// Name returns "round-robin".
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Placement.
+func (r *RoundRobin) Pick(cam CameraSpec, edges []*EdgeNode) int {
+	i := r.next % len(edges)
+	r.next++
+	return i
+}
+
+// LeastLoaded places each camera on the edge with the smallest expected
+// frame rate, normalized by the edge's machine speed — a slow edge fills
+// up sooner. Ties go to the lower index, so placement is deterministic.
+type LeastLoaded struct{}
+
+// Name returns "least-loaded".
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Pick implements Placement.
+func (LeastLoaded) Pick(cam CameraSpec, edges []*EdgeNode) int {
+	best, bestLoad := 0, -1.0
+	for i, e := range edges {
+		load := e.Load() / e.Spec.Speed
+		if bestLoad < 0 || load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}

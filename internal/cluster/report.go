@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"croesus/internal/core"
+	"croesus/internal/metrics"
+)
+
+// CameraReport summarizes one camera's run: the standard single-pipeline
+// Summary plus latency percentiles.
+type CameraReport struct {
+	Camera string
+	Edge   string
+
+	Summary core.Summary
+
+	InitialP50 time.Duration
+	InitialP95 time.Duration
+	InitialP99 time.Duration
+	FinalP50   time.Duration
+	FinalP95   time.Duration
+	FinalP99   time.Duration
+}
+
+// ClusterReport aggregates a whole fleet run: per-camera reports plus
+// fleet-wide throughput, latency percentiles, accuracy, and shedding.
+type ClusterReport struct {
+	Policy  string
+	Cameras []CameraReport
+
+	// Frames is the fleet total; Elapsed the virtual makespan; and
+	// ThroughputFPS Frames/Elapsed.
+	Frames        int
+	Elapsed       time.Duration
+	ThroughputFPS float64
+
+	// Fleet latency percentiles over every frame of every camera.
+	InitialP50 time.Duration
+	InitialP95 time.Duration
+	InitialP99 time.Duration
+	FinalP50   time.Duration
+	FinalP95   time.Duration
+	FinalP99   time.Duration
+
+	// MeanF1Final is the unweighted mean of per-camera final accuracy.
+	MeanF1Final float64
+
+	// Cloud traffic outcome counts, summed over cameras.
+	Validated int
+	Shed      int
+	Lost      int
+
+	// Transaction totals, summed over cameras.
+	TxnsTriggered int
+	Corrections   int
+	Apologies     int
+
+	Batcher BatcherStats
+}
+
+// report scores every camera and aggregates the fleet.
+func (c *Cluster) report(elapsed time.Duration) *ClusterReport {
+	r := &ClusterReport{Policy: c.cfg.Placement.Name(), Elapsed: elapsed}
+	var fleetInit, fleetFinal metrics.LatencyStats
+	for _, cam := range c.cams {
+		truth := core.TruthFromModel(c.cloudModel, cam.frames)
+		sum := core.Summarize(cam.spec.ID, core.ModeCroesus, cam.spec.Profile.QueryClass, cam.outcomes, truth, c.cfg.OverlapMin)
+
+		var init, final metrics.LatencyStats
+		for i := range cam.outcomes {
+			init.Add(cam.outcomes[i].InitialLatency)
+			final.Add(cam.outcomes[i].FinalLatency)
+			fleetInit.Add(cam.outcomes[i].InitialLatency)
+			fleetFinal.Add(cam.outcomes[i].FinalLatency)
+		}
+		r.Cameras = append(r.Cameras, CameraReport{
+			Camera:     cam.spec.ID,
+			Edge:       cam.edge.Spec.ID,
+			Summary:    sum,
+			InitialP50: init.Percentile(50),
+			InitialP95: init.Percentile(95),
+			InitialP99: init.Percentile(99),
+			FinalP50:   final.Percentile(50),
+			FinalP95:   final.Percentile(95),
+			FinalP99:   final.Percentile(99),
+		})
+		r.Frames += sum.Frames
+		r.Validated += sum.Validated
+		r.Shed += sum.Shed
+		r.Lost += sum.CloudLost
+		r.TxnsTriggered += sum.TxnsTriggered
+		r.Corrections += sum.Corrections
+		r.Apologies += sum.Apologies
+		r.MeanF1Final += sum.F1Final
+	}
+	if n := len(r.Cameras); n > 0 {
+		r.MeanF1Final /= float64(n)
+	}
+	if elapsed > 0 {
+		r.ThroughputFPS = float64(r.Frames) / elapsed.Seconds()
+	}
+	r.InitialP50 = fleetInit.Percentile(50)
+	r.InitialP95 = fleetInit.Percentile(95)
+	r.InitialP99 = fleetInit.Percentile(99)
+	r.FinalP50 = fleetFinal.Percentile(50)
+	r.FinalP95 = fleetFinal.Percentile(95)
+	r.FinalP99 = fleetFinal.Percentile(99)
+	r.Batcher = c.batcher.Stats()
+	return r
+}
+
+// Format renders the report as aligned text for terminals.
+func (r *ClusterReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: %d cameras, placement=%s\n", len(r.Cameras), r.Policy)
+	fmt.Fprintf(&b, "%-8s %-7s %7s %8s %9s %9s %9s %6s %5s %5s\n",
+		"camera", "edge", "frames", "F1final", "BU", "init p50", "final p99", "valid", "shed", "lost")
+	for _, cr := range r.Cameras {
+		s := cr.Summary
+		fmt.Fprintf(&b, "%-8s %-7s %7d %8.3f %8.1f%% %9s %9s %6d %5d %5d\n",
+			cr.Camera, cr.Edge, s.Frames, s.F1Final, s.BU*100,
+			cr.InitialP50.Round(time.Millisecond), cr.FinalP99.Round(time.Millisecond),
+			s.Validated, s.Shed, s.CloudLost)
+	}
+	fmt.Fprintf(&b, "fleet: %d frames in %s (%.1f frames/s), F1=%.3f\n",
+		r.Frames, r.Elapsed.Round(time.Millisecond), r.ThroughputFPS, r.MeanF1Final)
+	fmt.Fprintf(&b, "fleet latency: initial p50/p95/p99 %s/%s/%s, final p50/p95/p99 %s/%s/%s\n",
+		r.InitialP50.Round(time.Millisecond), r.InitialP95.Round(time.Millisecond), r.InitialP99.Round(time.Millisecond),
+		r.FinalP50.Round(time.Millisecond), r.FinalP95.Round(time.Millisecond), r.FinalP99.Round(time.Millisecond))
+	bs := r.Batcher
+	fmt.Fprintf(&b, "cloud batcher: %d batches carrying %d frames (mean %.1f, max %d), shed %d, max flush wait %s, SLO violations %d\n",
+		bs.Batches, bs.Frames, bs.MeanBatch, bs.MaxBatch, bs.Shed,
+		bs.MaxFlushWait.Round(time.Millisecond), bs.SLOViolations)
+	return b.String()
+}

@@ -1,0 +1,35 @@
+package cluster
+
+import (
+	"croesus/internal/core"
+	"croesus/internal/netsim"
+)
+
+// EdgeUplink adapts one edge node's uplink to the fleet's shared cloud
+// Batcher: it charges the edge→cloud hop (core.Uplink: preprocessing,
+// transfer, loss injection) on the calling frame's goroutine, hands the
+// request to the batcher, and charges the label-return transfer on the
+// way back. It implements core.Validator, so a cluster pipeline differs
+// from a single-edge one only by this injection.
+type EdgeUplink struct {
+	Uplink  core.Uplink
+	Batcher *Batcher
+}
+
+// Validate implements core.Validator.
+func (u *EdgeUplink) Validate(req core.ValidationRequest) core.ValidationResult {
+	edgeCloud, lost := u.Uplink.Ship(req.Frame)
+	if lost {
+		return core.ValidationResult{Status: core.ValidationLost, EdgeCloud: edgeCloud}
+	}
+
+	res := u.Batcher.Validate(req)
+	res.EdgeCloud = edgeCloud
+	if res.Status == core.Validated {
+		clk := u.Uplink.Clock
+		t2 := clk.Now()
+		u.Uplink.Link.Send(clk, netsim.LabelReturnBytes)
+		res.CloudReturn = clk.Now() - t2
+	}
+	return res
+}

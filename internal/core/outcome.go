@@ -64,7 +64,11 @@ type FrameOutcome struct {
 	SentToCloud bool
 	// CloudLost marks a validated frame whose cloud reply never arrived
 	// (failure injection); the edge finalized locally after its timeout.
-	CloudLost           bool
+	CloudLost bool
+	// Shed marks a frame dropped by the validator's admission control
+	// (overload); the edge finalized locally with its own labels — the
+	// client keeps the edge answer instead of the SLO being violated.
+	Shed                bool
 	DiscardedDetections int
 	TxnsTriggered       int
 	InitialAborts       int
@@ -101,6 +105,13 @@ type Summary struct {
 	Corrections   int
 	Apologies     int
 	InitialAborts int
+
+	// Validated counts frames that received cloud labels; Shed and
+	// CloudLost count the two degradation paths (admission control and
+	// transit loss), both of which keep the edge answer.
+	Validated int
+	Shed      int
+	CloudLost int
 }
 
 // Summarize scores outcomes against ground truth. truth returns the
@@ -119,6 +130,14 @@ func Summarize(videoName string, mode Mode, queryClass string, outcomes []FrameO
 		finalCounts.Add(metrics.ScoreClass(o.FinalVisible, ref, queryClass, overlapMin))
 		if o.SentToCloud {
 			sent++
+			switch {
+			case o.Shed:
+				s.Shed++
+			case o.CloudLost:
+				s.CloudLost++
+			default:
+				s.Validated++
+			}
 		}
 		sumInit += o.InitialLatency
 		sumFinal += o.FinalLatency

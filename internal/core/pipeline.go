@@ -93,6 +93,11 @@ type Config struct {
 	// EdgeSlots and CloudSlots bound concurrent inferences per node.
 	EdgeSlots  int
 	CloudSlots int
+	// EdgeCompute, when set, is a shared edge compute pool used instead
+	// of a private EdgeSlots semaphore — the cluster runtime shares one
+	// per edge node across all cameras placed on it, so co-located
+	// streams contend for the same machine.
+	EdgeCompute *vclock.Semaphore
 
 	ClientEdge *netsim.Link
 	EdgeCloud  *netsim.Link
@@ -117,6 +122,14 @@ type Config struct {
 	// Smoother, when set, applies cloud-correction feedback to edge
 	// detections (ModeCroesus only).
 	Smoother Smoother
+
+	// Validator, when set, replaces the in-pipeline direct cloud model
+	// call for validate-interval frames (ModeCroesus only). This is the
+	// seam the cluster runtime uses to share one SLO-aware batched cloud
+	// validator across many edges. When nil, a DirectValidator over
+	// CloudModel, EdgeCloud, and Preproc is built — the paper's
+	// single-edge behavior, unchanged.
+	Validator Validator
 
 	// CloudLossProb injects edge→cloud failures: each validated frame is
 	// lost with this probability (deterministically per frame index), in
@@ -157,7 +170,7 @@ func (c Config) Defaults() Config {
 		c.OverlapMin = 0.10
 	}
 	if c.CloudTimeout == 0 {
-		c.CloudTimeout = 3 * time.Second
+		c.CloudTimeout = DefaultCloudTimeout
 	}
 	return c
 }
@@ -165,6 +178,7 @@ func (c Config) Defaults() Config {
 // Pipeline executes frames through the configured system.
 type Pipeline struct {
 	cfg       Config
+	validator Validator
 	edgeSlots *vclock.Semaphore
 	cloudSlot *vclock.Semaphore
 
@@ -181,7 +195,7 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.EdgeModel == nil && cfg.Mode != ModeCloudOnly {
 		return nil, fmt.Errorf("core: Config.EdgeModel is required for %v", cfg.Mode)
 	}
-	if cfg.CloudModel == nil && cfg.Mode != ModeEdgeOnly {
+	if cfg.CloudModel == nil && cfg.Mode != ModeEdgeOnly && !(cfg.Mode == ModeCroesus && cfg.Validator != nil) {
 		return nil, fmt.Errorf("core: Config.CloudModel is required for %v", cfg.Mode)
 	}
 	if cfg.Mode == ModeCroesus && !(cfg.ThetaL <= cfg.ThetaU) {
@@ -190,11 +204,30 @@ func New(cfg Config) (*Pipeline, error) {
 	if (cfg.Source == nil) != (cfg.CC == nil) || (cfg.CC == nil) != (cfg.Mgr == nil) {
 		return nil, fmt.Errorf("core: Source, CC, and Mgr must be provided together")
 	}
-	return &Pipeline{
+	edgeSlots := cfg.EdgeCompute
+	if edgeSlots == nil {
+		edgeSlots = vclock.NewSemaphore(cfg.Clock, cfg.EdgeSlots)
+	}
+	p := &Pipeline{
 		cfg:       cfg,
-		edgeSlots: vclock.NewSemaphore(cfg.Clock, cfg.EdgeSlots),
+		edgeSlots: edgeSlots,
 		cloudSlot: vclock.NewSemaphore(cfg.Clock, cfg.CloudSlots),
-	}, nil
+	}
+	p.validator = cfg.Validator
+	if p.validator == nil && cfg.CloudModel != nil {
+		p.validator = &DirectValidator{
+			Clock:      cfg.Clock,
+			Link:       cfg.EdgeCloud,
+			Preproc:    cfg.Preproc,
+			Model:      cfg.CloudModel,
+			Slots:      p.cloudSlot,
+			EdgeSpeed:  cfg.EdgeSpeed,
+			CloudSpeed: cfg.CloudSpeed,
+			LossProb:   cfg.CloudLossProb,
+			Timeout:    cfg.CloudTimeout,
+		}
+	}
+	return p, nil
 }
 
 // Config returns the (defaulted) configuration.
@@ -225,6 +258,16 @@ func (p *Pipeline) ProcessVideo(frames []*video.Frame) []FrameOutcome {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.outcomes
+}
+
+// ProcessFrame runs one frame through the pipeline synchronously and
+// returns its outcome. The caller must be a participant goroutine of the
+// configured clock (started with Clock.Go); most callers want
+// ProcessVideo, which handles capture timing. The cluster runtime uses
+// ProcessFrame directly so many cameras can share one clock and one
+// Wait.
+func (p *Pipeline) ProcessFrame(f *video.Frame) FrameOutcome {
+	return p.processFrame(f)
 }
 
 // processFrame is the per-frame execution pattern of Figure 1.
@@ -290,34 +333,34 @@ func (p *Pipeline) processCroesus(f *video.Frame) FrameOutcome {
 		return out
 	}
 
-	// Step 3: the frame travels to the cloud for full detection.
+	// Step 3: the frame travels to the cloud for full detection. The
+	// validator owns the edge→cloud hop and the model call; a shed or
+	// lost request degrades to local finalization — the initial commit
+	// already answered the client, so availability is preserved at the
+	// cost of uncorrected labels.
 	out.SentToCloud = true
-	tSend := clk.Now()
-	bytes, prepCost := cfg.Preproc.Process(f.SizeBytes)
-	clk.Sleep(scale(prepCost, cfg.EdgeSpeed))
-	cfg.EdgeCloud.Send(clk, bytes)
-	out.Breakdown.EdgeCloud = clk.Now() - tSend
-
-	// Failure injection: the frame (or its reply) is lost in transit.
-	// The edge waits out its timeout and falls back to local
-	// finalization — the initial commit already answered the client, so
-	// availability is preserved at the cost of uncorrected labels.
-	if lostInTransit(cfg.CloudLossProb, f.Index) {
-		clk.Sleep(cfg.CloudTimeout)
-		out.CloudLost = true
+	res := p.validator.Validate(ValidationRequest{
+		Frame:  f,
+		Edge:   visible,
+		Margin: ValidationMargin(visible, cfg.ThetaL, cfg.ThetaU),
+	})
+	out.Breakdown.EdgeCloud = res.EdgeCloud
+	out.Breakdown.CloudDetect = res.CloudDetect
+	out.Breakdown.CloudReturn = res.CloudReturn
+	if res.Status != Validated {
+		switch res.Status {
+		case ValidationShed:
+			out.Shed = true
+		case ValidationLost:
+			out.CloudLost = true
+		}
 		p.runFinals(f, pending, assumedMatches(visible), &out)
 		out.FinalVisible = visible
 		cfg.ClientEdge.Send(clk, netsim.LabelReturnBytes)
 		out.FinalLatency = clk.Now() - f.At
 		return out
 	}
-
-	cloudDets, cloudLat := p.detectCloud(f)
-	out.Breakdown.CloudDetect = cloudLat
-
-	tBack := clk.Now()
-	cfg.EdgeCloud.Send(clk, netsim.LabelReturnBytes)
-	out.Breakdown.CloudReturn = clk.Now() - tBack
+	cloudDets := res.Cloud
 
 	// Step 4: the corrected labels trigger the final sections.
 	matches := MatchLabels(visible, cloudDets, cfg.OverlapMin)
@@ -523,16 +566,4 @@ func scale(d time.Duration, speed float64) time.Duration {
 		return d
 	}
 	return time.Duration(float64(d) / speed)
-}
-
-// lostInTransit decides frame loss deterministically from the frame index,
-// so failure-injection runs are reproducible.
-func lostInTransit(prob float64, frameIdx int) bool {
-	if prob <= 0 {
-		return false
-	}
-	z := uint64(frameIdx+1) * 0x9E3779B97F4A7C15
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z ^= z >> 31
-	return float64(z>>11)/float64(1<<53) < prob
 }

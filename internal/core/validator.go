@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"croesus/internal/detect"
+	"croesus/internal/netsim"
+	"croesus/internal/vclock"
+	"croesus/internal/video"
+)
+
+// ValidationStatus classifies how a cloud validation request concluded.
+type ValidationStatus int
+
+const (
+	// Validated means the cloud labels arrived and the final sections run
+	// with real corrections.
+	Validated ValidationStatus = iota
+	// ValidationShed means admission control dropped the request before
+	// the cloud model ran; the edge finalizes with its own labels assumed
+	// correct — Croesus' degradation mode.
+	ValidationShed
+	// ValidationLost means the request (or its reply) was lost in
+	// transit; the edge times out and finalizes locally.
+	ValidationLost
+)
+
+func (s ValidationStatus) String() string {
+	switch s {
+	case Validated:
+		return "validated"
+	case ValidationShed:
+		return "shed"
+	case ValidationLost:
+		return "lost"
+	default:
+		return "unknown"
+	}
+}
+
+// ValidationRequest carries one validate-interval frame from the edge to
+// the cloud-side validator.
+type ValidationRequest struct {
+	// Frame is the captured frame to validate.
+	Frame *video.Frame
+	// Edge holds the visible edge labels (post-threshold), for validators
+	// that want them (e.g. to prioritize by disagreement potential).
+	Edge []detect.Detection
+	// Margin is the shedding priority under overload: how deep inside
+	// the validate interval [θL, θU] the frame's most ambiguous detection
+	// sits, normalized to [0, 1] by the interval half-width. A low margin
+	// means every in-band detection is near an interval edge — the edge
+	// answer is likely right either way — so low-margin frames are shed
+	// first.
+	Margin float64
+}
+
+// ValidationResult is the validator's reply for one frame. The latency
+// components slot into the frame's Breakdown.
+type ValidationResult struct {
+	Status ValidationStatus
+	// Cloud holds the full-model labels (Validated only).
+	Cloud []detect.Detection
+	// EdgeCloud is preprocessing plus the edge→cloud transfer.
+	EdgeCloud time.Duration
+	// CloudDetect is the time from arrival at the validator to labels
+	// being ready — for a batched validator this includes queue wait.
+	CloudDetect time.Duration
+	// CloudReturn is the label-return transfer back to the edge.
+	CloudReturn time.Duration
+}
+
+// Validator performs cloud-side full-model validation of one frame. The
+// pipeline calls Validate on the frame's own goroutine; implementations
+// block in clock time until labels return (or the request is shed or
+// lost) and must be safe for concurrent use — frames overlap.
+//
+// The in-pipeline direct model call of the paper's single-edge deployment
+// is the trivial implementation (DirectValidator); internal/cluster
+// provides an SLO-aware batching implementation shared by a fleet of
+// edges.
+type Validator interface {
+	Validate(req ValidationRequest) ValidationResult
+}
+
+// DefaultCloudTimeout bounds how long an edge waits for cloud labels
+// before finalizing locally.
+const DefaultCloudTimeout = 3 * time.Second
+
+// Uplink models the edge→cloud hop every validator implementation
+// shares: frame preprocessing, the link transfer, deterministic transit
+// loss, and the loss timeout. Keeping it in one place guarantees the
+// single-edge and fleet simulations cross the hop identically.
+type Uplink struct {
+	Clock   vclock.Clock
+	Link    *netsim.Link
+	Preproc netsim.Preprocessor
+	// EdgeSpeed scales preprocessing cost.
+	EdgeSpeed float64
+	// LossProb injects deterministic per-frame transit loss; Timeout is
+	// how long the edge waits before declaring the frame lost (default
+	// DefaultCloudTimeout).
+	LossProb float64
+	Timeout  time.Duration
+}
+
+// Ship carries one frame across the hop, sleeping out the transfer (and,
+// on loss, the timeout). It returns the transfer time and whether the
+// frame was lost.
+func (u Uplink) Ship(f *video.Frame) (edgeCloud time.Duration, lost bool) {
+	clk := u.Clock
+	preproc := u.Preproc
+	if preproc == nil {
+		preproc = netsim.Identity{}
+	}
+	t0 := clk.Now()
+	bytes, prepCost := preproc.Process(f.SizeBytes)
+	clk.Sleep(scale(prepCost, u.EdgeSpeed))
+	u.Link.Send(clk, bytes)
+	edgeCloud = clk.Now() - t0
+	if LostInTransit(u.LossProb, f.Index) {
+		timeout := u.Timeout
+		if timeout == 0 {
+			timeout = DefaultCloudTimeout
+		}
+		clk.Sleep(timeout)
+		return edgeCloud, true
+	}
+	return edgeCloud, false
+}
+
+// DirectValidator is the unbatched validation path: preprocess, cross the
+// edge→cloud link, run the full model under the cloud compute slots, and
+// return the labels. It reproduces exactly the paper's single-edge cloud
+// stage.
+type DirectValidator struct {
+	Clock   vclock.Clock
+	Link    *netsim.Link
+	Preproc netsim.Preprocessor
+	Model   detect.Model
+	Slots   *vclock.Semaphore
+	// EdgeSpeed scales preprocessing cost; CloudSpeed scales inference.
+	EdgeSpeed  float64
+	CloudSpeed float64
+	// LossProb injects deterministic per-frame transit loss; Timeout is
+	// how long the edge waits before declaring the frame lost.
+	LossProb float64
+	Timeout  time.Duration
+}
+
+// Validate implements Validator.
+func (v *DirectValidator) Validate(req ValidationRequest) ValidationResult {
+	clk := v.Clock
+	var res ValidationResult
+
+	up := Uplink{Clock: clk, Link: v.Link, Preproc: v.Preproc, EdgeSpeed: v.EdgeSpeed, LossProb: v.LossProb, Timeout: v.Timeout}
+	edgeCloud, lost := up.Ship(req.Frame)
+	res.EdgeCloud = edgeCloud
+	if lost {
+		res.Status = ValidationLost
+		return res
+	}
+
+	v.Slots.Acquire()
+	t1 := clk.Now()
+	r := v.Model.Detect(req.Frame)
+	clk.Sleep(scale(r.Latency, v.CloudSpeed))
+	v.Slots.Release()
+	res.CloudDetect = clk.Now() - t1
+
+	t2 := clk.Now()
+	v.Link.Send(clk, netsim.LabelReturnBytes)
+	res.CloudReturn = clk.Now() - t2
+
+	res.Cloud = r.Detections
+	res.Status = Validated
+	return res
+}
+
+// ValidationMargin scores how much a frame stands to gain from cloud
+// validation: the depth of its most ambiguous detection inside the
+// validate interval, normalized to [0, 1]. See ValidationRequest.Margin.
+func ValidationMargin(dets []detect.Detection, thetaL, thetaU float64) float64 {
+	half := (thetaU - thetaL) / 2
+	best := 0.0
+	for _, d := range dets {
+		if d.Confidence < thetaL || d.Confidence > thetaU {
+			continue
+		}
+		m := math.Min(d.Confidence-thetaL, thetaU-d.Confidence)
+		if half > 0 {
+			m /= half
+		} else {
+			m = 1
+		}
+		if m > best {
+			best = m
+		}
+	}
+	return best
+}
+
+// LostInTransit decides frame loss deterministically from the frame
+// index, so failure-injection runs are reproducible across modes and
+// validator implementations.
+func LostInTransit(prob float64, frameIdx int) bool {
+	if prob <= 0 {
+		return false
+	}
+	z := uint64(frameIdx+1) * 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z ^= z >> 31
+	return float64(z>>11)/float64(1<<53) < prob
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"croesus/internal/cluster"
+	"croesus/internal/vclock"
+	"croesus/internal/video"
+)
+
+// clusterCams builds n cameras cycling through the paper's profiles with
+// distinct seeds, so fleets of any size stay deterministic.
+func clusterCams(n, frames int, seed int64) []cluster.CameraSpec {
+	profiles := video.AllProfiles()
+	cams := make([]cluster.CameraSpec, n)
+	for i := 0; i < n; i++ {
+		cams[i] = cluster.CameraSpec{
+			ID:      fmt.Sprintf("cam%d", i),
+			Profile: profiles[i%len(profiles)],
+			Seed:    seed + int64(i)*101,
+			Frames:  frames,
+		}
+	}
+	return cams
+}
+
+// ClusterScale grows the fleet from one camera to sixteen over two edges
+// sharing one batched cloud validator: throughput scales with cameras
+// while the batcher absorbs the growing validate traffic by forming
+// larger batches, holding tail latency under the SLO.
+func ClusterScale(o Opts) Table {
+	o = o.defaults()
+	t := Table{
+		ID:     "cluster-scale",
+		Title:  "Fleet scaling: cameras vs throughput, batching, and tail latency (2 edges, 1 batched cloud)",
+		Header: []string{"cameras", "frames", "fps", "F1", "init p50 (ms)", "final p99 (ms)", "batches", "mean batch", "shed"},
+	}
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		rep, err := cluster.Run(cluster.Config{
+			Clock:   vclock.NewSim(),
+			Cameras: clusterCams(n, o.Frames, o.Seed),
+			Edges:   []cluster.EdgeSpec{{ID: "west"}, {ID: "east"}},
+			Batcher: cluster.BatcherConfig{MaxBatch: 8, SLO: 80 * time.Millisecond},
+			Seed:    o.Seed,
+		})
+		if err != nil {
+			panic("experiments: cluster-scale: " + err.Error())
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", rep.Frames),
+			fmt.Sprintf("%.1f", rep.ThroughputFPS),
+			f3(rep.MeanF1Final),
+			ms(rep.InitialP50),
+			ms(rep.FinalP99),
+			fmt.Sprintf("%d", rep.Batcher.Batches),
+			fmt.Sprintf("%.2f", rep.Batcher.MeanBatch),
+			fmt.Sprintf("%d", rep.Shed),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"batch sizes grow with the fleet while every flush stays within the 80ms SLO",
+	)
+	return t
+}
+
+// ClusterShed starves the cloud validator under a fixed eight-camera
+// fleet and tightens the admission cap: Croesus degrades by shedding the
+// lowest-confidence-margin frames to their edge answers instead of
+// letting the backlog (and the validation SLO) blow up. Accuracy falls
+// toward edge-only gracefully as shedding rises.
+func ClusterShed(o Opts) Table {
+	o = o.defaults()
+	t := Table{
+		ID:     "cluster-shed",
+		Title:  "Overload degradation: admission cap vs shedding, accuracy, and SLO compliance (8 cameras, starved cloud)",
+		Header: []string{"max pending", "validated", "shed", "shed %", "F1", "final p99 (ms)", "SLO violations"},
+	}
+	for _, pending := range []int{64, 16, 8, 4, 2} {
+		rep, err := cluster.Run(cluster.Config{
+			Clock:   vclock.NewSim(),
+			Cameras: clusterCams(8, o.Frames, o.Seed),
+			Edges:   []cluster.EdgeSpec{{ID: "west"}, {ID: "east"}},
+			// CloudSpeed 0.15 models a starved (oversubscribed) GPU.
+			Batcher: cluster.BatcherConfig{
+				MaxBatch:   4,
+				SLO:        60 * time.Millisecond,
+				MaxPending: pending,
+				CloudSpeed: 0.15,
+			},
+			Seed: o.Seed,
+		})
+		if err != nil {
+			panic("experiments: cluster-shed: " + err.Error())
+		}
+		sent := rep.Validated + rep.Shed + rep.Lost
+		shedPct := 0.0
+		if sent > 0 {
+			shedPct = float64(rep.Shed) / float64(sent)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", pending),
+			fmt.Sprintf("%d", rep.Validated),
+			fmt.Sprintf("%d", rep.Shed),
+			pct(shedPct),
+			f3(rep.MeanF1Final),
+			ms(rep.FinalP99),
+			fmt.Sprintf("%d", rep.Batcher.SLOViolations),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"shed frames keep their edge answer (the initial commit), so overload costs accuracy, never availability",
+	)
+	return t
+}

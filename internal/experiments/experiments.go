@@ -144,6 +144,8 @@ var registry = []struct {
 	{"figure6a", Figure6a},
 	{"figure6b", Figure6b},
 	{"figure6c", Figure6c},
+	{"cluster-scale", ClusterScale},
+	{"cluster-shed", ClusterShed},
 	{"ablation-policy", AblationPolicy},
 	{"ablation-sequencer", AblationSequencer},
 	{"ablation-chain", AblationChain},

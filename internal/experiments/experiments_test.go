@@ -53,8 +53,8 @@ func TestTableFormatAndMarkdown(t *testing.T) {
 
 func TestIDsAndByID(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 14 {
-		t.Fatalf("IDs = %d, want 14", len(ids))
+	if len(ids) != 16 {
+		t.Fatalf("IDs = %d, want 16", len(ids))
 	}
 	if _, ok := ByID("nope", quick()); ok {
 		t.Error("unknown ID accepted")
@@ -392,5 +392,54 @@ func TestAblationTwoPCShape(t *testing.T) {
 	}
 	if vis := cell(tab, 1, "initial-commit visible early"); strings.HasPrefix(vis, "0/") {
 		t.Errorf("MS-IA early visibility = %s, want all", vis)
+	}
+}
+
+func TestClusterScaleShape(t *testing.T) {
+	tab := ClusterScale(quick())
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tab.Rows))
+	}
+	prevFPS := 0.0
+	for i := range tab.Rows {
+		fps, err := strconv.ParseFloat(cell(tab, i, "fps"), 64)
+		if err != nil {
+			t.Fatalf("row %d: unparseable fps: %v", i, err)
+		}
+		// Fleet throughput grows with camera count.
+		if fps <= prevFPS {
+			t.Errorf("row %d: throughput %.1f did not grow past %.1f", i, fps, prevFPS)
+		}
+		prevFPS = fps
+	}
+	// Batching amortization: the 16-camera fleet forms real batches.
+	mean, _ := strconv.ParseFloat(cell(tab, len(tab.Rows)-1, "mean batch"), 64)
+	if mean <= 1.5 {
+		t.Errorf("16-camera mean batch %.2f — the batcher never coalesced", mean)
+	}
+}
+
+func TestClusterShedShape(t *testing.T) {
+	tab := ClusterShed(quick())
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tab.Rows))
+	}
+	prevShed := -1
+	for i := range tab.Rows {
+		shed, err := strconv.Atoi(cell(tab, i, "shed"))
+		if err != nil {
+			t.Fatalf("row %d: unparseable shed: %v", i, err)
+		}
+		// Tighter admission caps shed at least as much.
+		if shed < prevShed {
+			t.Errorf("row %d: shed %d fell below looser cap's %d", i, shed, prevShed)
+		}
+		prevShed = shed
+		if v := cell(tab, i, "SLO violations"); v != "0" {
+			t.Errorf("row %d: %s SLO violations under overload", i, v)
+		}
+	}
+	if prevShed == 0 {
+		t.Error("starved cloud shed nothing")
 	}
 }
