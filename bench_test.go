@@ -293,6 +293,49 @@ func BenchmarkCluster(b *testing.B) {
 	}
 }
 
+// BenchmarkCluster2PC measures the sharded fleet: six cameras over three
+// edge shards of one keyspace, half of every transaction's keys crossing
+// edges, under each multi-stage protocol. The metric is virtual frames
+// simulated per second of wall time with the full remote-lock/2PC
+// machinery engaged.
+func BenchmarkCluster2PC(b *testing.B) {
+	profiles := Videos()
+	for _, proto := range []ClusterTxnProtocol{TxnMSIA, TxnMSSR} {
+		b.Run(proto.String(), func(b *testing.B) {
+			cams := make([]CameraSpec, 6)
+			for i := range cams {
+				cams[i] = CameraSpec{
+					Profile: profiles[i%len(profiles)],
+					Seed:    int64(11 + i*101),
+					Frames:  32,
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := RunCluster(ClusterConfig{
+					Clock:             NewSimClock(),
+					Cameras:           cams,
+					Edges:             []EdgeSpec{{ID: "west"}, {ID: "mid"}, {ID: "east"}},
+					Batcher:           BatcherConfig{MaxBatch: 8, SLO: 80 * time.Millisecond},
+					Sharded:           true,
+					CrossEdgeFraction: 0.5,
+					Protocol:          proto,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Frames != 6*32 {
+					b.Fatalf("lost frames: %d of %d", rep.Frames, 6*32)
+				}
+				if rep.TwoPC.CrossEdgeCommits == 0 {
+					b.Fatal("no cross-edge commits — the 2PC path was not exercised")
+				}
+			}
+			b.ReportMetric(float64(6*32*b.N)/b.Elapsed().Seconds(), "frames/s")
+		})
+	}
+}
+
 // BenchmarkVirtualClock measures the scheduler's sleep/wake cost.
 func BenchmarkVirtualClock(b *testing.B) {
 	b.ReportAllocs()

@@ -9,6 +9,7 @@
 //	croesus-cluster -cameras 16 -edges 4     # bigger fleet
 //	croesus-cluster -policy least-loaded     # placement policy
 //	croesus-cluster -slo 40ms -pending 8 -cloud-speed 0.2   # overload
+//	croesus-cluster -cross-edge 0.3 -protocol ms-sr          # sharded keyspace
 package main
 
 import (
@@ -33,8 +34,22 @@ func main() {
 		cloudSpeed = flag.Float64("cloud-speed", 1.0, "cloud machine speed factor (lower = starved GPU)")
 		thetaL     = flag.Float64("theta-l", 0.40, "lower bandwidth threshold θL")
 		thetaU     = flag.Float64("theta-u", 0.62, "upper bandwidth threshold θU")
+		sharded    = flag.Bool("sharded", false, "shard the fleet keyspace across the edges (implied by -cross-edge > 0)")
+		crossEdge  = flag.Float64("cross-edge", 0, "fraction of workload keys owned by another edge's shard [0,1]")
+		protocol   = flag.String("protocol", "ms-ia", "multi-stage protocol: ms-ia or ms-sr")
 	)
 	flag.Parse()
+
+	var proto croesus.ClusterTxnProtocol
+	switch *protocol {
+	case "ms-ia":
+		proto = croesus.TxnMSIA
+	case "ms-sr":
+		proto = croesus.TxnMSSR
+	default:
+		fmt.Fprintf(os.Stderr, "croesus-cluster: unknown protocol %q\n", *protocol)
+		os.Exit(2)
+	}
 
 	var placement croesus.Placement
 	switch *policy {
@@ -64,13 +79,16 @@ func main() {
 
 	start := time.Now()
 	rep, err := croesus.RunCluster(croesus.ClusterConfig{
-		Clock:     croesus.NewSimClock(),
-		Cameras:   cams,
-		Edges:     edges,
-		Placement: placement,
-		Seed:      *seed,
-		ThetaL:    *thetaL,
-		ThetaU:    *thetaU,
+		Clock:             croesus.NewSimClock(),
+		Cameras:           cams,
+		Edges:             edges,
+		Placement:         placement,
+		Seed:              *seed,
+		ThetaL:            *thetaL,
+		ThetaU:            *thetaU,
+		Sharded:           *sharded,
+		CrossEdgeFraction: *crossEdge,
+		Protocol:          proto,
 		Batcher: croesus.BatcherConfig{
 			MaxBatch:   *maxBatch,
 			SLO:        *slo,

@@ -255,6 +255,7 @@ type (
 func ClientEdgeLink() *Link           { return netsim.ClientEdgeLink() }
 func EdgeCloudCrossCountry() *Link    { return netsim.EdgeCloudCrossCountry() }
 func EdgeCloudSameSite() *Link        { return netsim.EdgeCloudSameSite() }
+func EdgeEdgeLink() *Link             { return netsim.EdgeEdgeLink() }
 func DefaultCompression() Compression { return netsim.DefaultCompression() }
 func DefaultDiffComm() DiffComm       { return netsim.DefaultDiffComm() }
 
@@ -404,11 +405,27 @@ type (
 	DistTxn = twopc.DistTxn
 	// DistCtx is the distributed section context.
 	DistCtx = twopc.Ctx
+	// ShardedCC is the pipeline-facing distributed protocol: a txn.CC
+	// that routes each transaction's RW-set through the partitions owning
+	// its keys, locking remotely and committing with 2PC.
+	ShardedCC = twopc.ShardedCC
+	// ShardedStore routes key-value operations to the owning partition.
+	ShardedStore = twopc.ShardedStore
+	// DistCounters counts a sharded fleet's distributed-commit events.
+	DistCounters = twopc.DistCounters
+	// DistStats is the shared concurrency-safe counter block.
+	DistStats = twopc.DistStats
 )
 
 // NewPartition returns an empty partition shard.
 func NewPartition(id int, clk Clock, link *Link) *PartitionNode {
 	return twopc.NewPartition(id, clk, link)
+}
+
+// NewPartitionOver returns a partition wrapping an existing store and lock
+// manager.
+func NewPartitionOver(id int, st *Store, locks *LockManager) *PartitionNode {
+	return twopc.NewPartitionOver(id, st, locks)
 }
 
 // NewDistCoordinator returns a coordinator over the partitions.
@@ -457,6 +474,15 @@ type (
 	BatcherStats = cluster.BatcherStats
 	// EdgeUplink adapts one edge's uplink to a shared batcher.
 	EdgeUplink = cluster.EdgeUplink
+	// ClusterTxnProtocol selects MS-IA or MS-SR for a fleet's
+	// transactions (sharded and unsharded).
+	ClusterTxnProtocol = cluster.TxnProtocol
+)
+
+// Fleet transaction protocols.
+const (
+	TxnMSIA = cluster.TxnMSIA
+	TxnMSSR = cluster.TxnMSSR
 )
 
 // NewCluster validates cfg, provisions edges and the shared batcher,

@@ -114,7 +114,10 @@ type pendingReq struct {
 }
 
 // NewBatcher returns a batcher on the given configuration. Clock and
-// Model are required; everything else defaults.
+// Model are required; everything else defaults. Negative knobs are
+// rejected, as is MaxPending < MaxBatch — such a queue hits admission
+// control before a batch can ever fill, so the batcher would only flush on
+// the SLO timer and silently shed the rest.
 func NewBatcher(cfg BatcherConfig) (*Batcher, error) {
 	if cfg.Clock == nil {
 		return nil, fmt.Errorf("cluster: BatcherConfig.Clock is required")
@@ -122,7 +125,24 @@ func NewBatcher(cfg BatcherConfig) (*Batcher, error) {
 	if cfg.Model == nil {
 		return nil, fmt.Errorf("cluster: BatcherConfig.Model is required")
 	}
+	if cfg.SLO < 0 {
+		return nil, fmt.Errorf("cluster: BatcherConfig.SLO must be non-negative, got %v", cfg.SLO)
+	}
+	if cfg.MaxBatch < 0 || cfg.MaxPending < 0 || cfg.Slots < 0 {
+		return nil, fmt.Errorf("cluster: BatcherConfig counts must be non-negative, got MaxBatch=%d MaxPending=%d Slots=%d",
+			cfg.MaxBatch, cfg.MaxPending, cfg.Slots)
+	}
+	if cfg.BatchAlpha < 0 {
+		return nil, fmt.Errorf("cluster: BatcherConfig.BatchAlpha must be non-negative, got %g", cfg.BatchAlpha)
+	}
+	if cfg.CloudSpeed < 0 {
+		return nil, fmt.Errorf("cluster: BatcherConfig.CloudSpeed must be non-negative, got %g", cfg.CloudSpeed)
+	}
 	cfg = cfg.defaults()
+	if cfg.MaxPending < cfg.MaxBatch {
+		return nil, fmt.Errorf("cluster: BatcherConfig.MaxPending (%d) below MaxBatch (%d): a batch could never fill",
+			cfg.MaxPending, cfg.MaxBatch)
+	}
 	return &Batcher{
 		cfg:   cfg,
 		slots: vclock.NewSemaphore(cfg.Clock, cfg.Slots),

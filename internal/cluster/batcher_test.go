@@ -130,44 +130,57 @@ func TestStaggeredUnderSLO(t *testing.T) {
 }
 
 // TestShedLowestMargin: over the pending cap, the lowest-margin request
-// is the one dropped — whether it is queued or arriving.
+// is the one dropped — whether it is queued or arriving. The first three
+// arrivals fill one in-flight batch (the slow model keeps them in flight);
+// the cap is then reached with one request queued and one arriving.
 func TestShedLowestMargin(t *testing.T) {
-	clk := vclock.NewSim()
-	b := mustBatcher(t, BatcherConfig{Clock: clk, Model: fixedModel{latency: time.Millisecond}, MaxBatch: 10, SLO: time.Second, MaxPending: 2})
+	shedCfg := func(clk *vclock.Sim) BatcherConfig {
+		return BatcherConfig{Clock: clk, Model: fixedModel{latency: 500 * time.Millisecond}, MaxBatch: 3, SLO: time.Second, MaxPending: 4}
+	}
 
-	// Three staggered arrivals with margins 0.9, 0.1, 0.5: the third
-	// overflows the cap and the queued 0.1 must be the victim.
+	// Margins 0.9, 0.8, 0.7 dispatch as a batch; 0.1 queues; 0.5 arrives
+	// over the cap and the queued 0.1 must be the victim.
+	clk := vclock.NewSim()
+	b := mustBatcher(t, shedCfg(clk))
 	reqs := []core.ValidationRequest{
 		{Frame: frameAt(0), Margin: 0.9},
-		{Frame: frameAt(1), Margin: 0.1},
-		{Frame: frameAt(2), Margin: 0.5},
+		{Frame: frameAt(1), Margin: 0.8},
+		{Frame: frameAt(2), Margin: 0.7},
+		{Frame: frameAt(3), Margin: 0.1},
+		{Frame: frameAt(4), Margin: 0.5},
 	}
 	results := submit(clk, b, reqs, time.Millisecond)
-	if results[1].Status != core.ValidationShed {
-		t.Fatalf("queued low-margin request not shed: %v", results[1].Status)
+	if results[3].Status != core.ValidationShed {
+		t.Fatalf("queued low-margin request not shed: %v", results[3].Status)
 	}
-	if results[0].Status != core.Validated || results[2].Status != core.Validated {
-		t.Fatalf("high-margin requests did not validate: %v, %v", results[0].Status, results[2].Status)
+	for i, r := range results {
+		if i != 3 && r.Status != core.Validated {
+			t.Fatalf("request %d did not validate: %v", i, r.Status)
+		}
 	}
 	if st := b.Stats(); st.Shed != 1 {
 		t.Fatalf("shed count %d, want 1", st.Shed)
 	}
 
-	// Now an arriving request that is itself the weakest: margins 0.9,
-	// 0.5 queued, 0.1 arriving → the arrival is shed.
+	// Now an arriving request that is itself the weakest: 0.5 queued, 0.1
+	// arriving → the arrival is shed.
 	clk2 := vclock.NewSim()
-	b2 := mustBatcher(t, BatcherConfig{Clock: clk2, Model: fixedModel{latency: time.Millisecond}, MaxBatch: 10, SLO: time.Second, MaxPending: 2})
+	b2 := mustBatcher(t, shedCfg(clk2))
 	reqs2 := []core.ValidationRequest{
 		{Frame: frameAt(0), Margin: 0.9},
-		{Frame: frameAt(1), Margin: 0.5},
-		{Frame: frameAt(2), Margin: 0.1},
+		{Frame: frameAt(1), Margin: 0.8},
+		{Frame: frameAt(2), Margin: 0.7},
+		{Frame: frameAt(3), Margin: 0.5},
+		{Frame: frameAt(4), Margin: 0.1},
 	}
 	results2 := submit(clk2, b2, reqs2, time.Millisecond)
-	if results2[2].Status != core.ValidationShed {
-		t.Fatalf("weak arrival not shed: %v", results2[2].Status)
+	if results2[4].Status != core.ValidationShed {
+		t.Fatalf("weak arrival not shed: %v", results2[4].Status)
 	}
-	if results2[0].Status != core.Validated || results2[1].Status != core.Validated {
-		t.Fatalf("queued requests did not validate: %v, %v", results2[0].Status, results2[1].Status)
+	for i, r := range results2 {
+		if i != 4 && r.Status != core.Validated {
+			t.Fatalf("request %d did not validate: %v", i, r.Status)
+		}
 	}
 }
 
@@ -229,13 +242,39 @@ func mustBatcher(t *testing.T, cfg BatcherConfig) *Batcher {
 	return b
 }
 
-// TestNewBatcherValidation: missing Clock or Model is an error, not a
-// panic.
+// TestNewBatcherValidation: missing Clock or Model, negative knobs, and a
+// pending cap no batch could fill under are errors, not panics or silent
+// misbehavior.
 func TestNewBatcherValidation(t *testing.T) {
 	if _, err := NewBatcher(BatcherConfig{Model: fixedModel{}}); err == nil {
 		t.Error("missing Clock accepted")
 	}
 	if _, err := NewBatcher(BatcherConfig{Clock: vclock.NewSim()}); err == nil {
 		t.Error("missing Model accepted")
+	}
+	clk := vclock.NewSim()
+	base := BatcherConfig{Clock: clk, Model: fixedModel{}}
+	bad := []struct {
+		name string
+		mut  func(*BatcherConfig)
+	}{
+		{"negative SLO", func(c *BatcherConfig) { c.SLO = -time.Millisecond }},
+		{"negative MaxBatch", func(c *BatcherConfig) { c.MaxBatch = -1 }},
+		{"negative MaxPending", func(c *BatcherConfig) { c.MaxPending = -1 }},
+		{"negative Slots", func(c *BatcherConfig) { c.Slots = -1 }},
+		{"negative BatchAlpha", func(c *BatcherConfig) { c.BatchAlpha = -0.5 }},
+		{"negative CloudSpeed", func(c *BatcherConfig) { c.CloudSpeed = -1 }},
+		{"pending below batch", func(c *BatcherConfig) { c.MaxBatch = 8; c.MaxPending = 4 }},
+	}
+	for _, tc := range bad {
+		cfg := base
+		tc.mut(&cfg)
+		if _, err := NewBatcher(cfg); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+	// The boundary case is fine: a pending cap equal to the batch cap.
+	if _, err := NewBatcher(BatcherConfig{Clock: clk, Model: fixedModel{}, MaxBatch: 4, MaxPending: 4}); err != nil {
+		t.Errorf("MaxPending == MaxBatch rejected: %v", err)
 	}
 }

@@ -21,10 +21,42 @@ import (
 	"croesus/internal/lock"
 	"croesus/internal/netsim"
 	"croesus/internal/store"
+	"croesus/internal/twopc"
 	"croesus/internal/txn"
 	"croesus/internal/vclock"
 	"croesus/internal/video"
+	"croesus/internal/workload"
 )
+
+// TxnProtocol selects the multi-stage concurrency-control protocol the
+// fleet's transactions run under. The zero value is MS-IA, matching the
+// single-edge cluster default.
+type TxnProtocol int
+
+// Fleet transaction protocols.
+const (
+	// TxnMSIA is multi-stage invariant confluence with apologies: each
+	// section locks (and, cross-edge, 2PC-commits) its own set.
+	TxnMSIA TxnProtocol = iota
+	// TxnMSSR is multi-stage serializability: both sections' locks are
+	// held from the initial commit to the final commit, with one atomic
+	// commitment at the final — across the cloud round trip.
+	TxnMSSR
+)
+
+func (p TxnProtocol) String() string {
+	if p == TxnMSSR {
+		return "MS-SR"
+	}
+	return "MS-IA"
+}
+
+func (p TxnProtocol) dist() twopc.Protocol {
+	if p == TxnMSSR {
+		return twopc.MSSR
+	}
+	return twopc.MSIA
+}
 
 // CameraSpec declares one camera stream.
 type CameraSpec struct {
@@ -60,10 +92,22 @@ type EdgeNode struct {
 	Model detect.Model
 	Store *store.Store
 	Locks *lock.Manager
-	Mgr   *txn.Manager
-	// ClientEdge and EdgeCloud are this edge's private network paths.
+	// Mgr is this edge's transaction manager. In a sharded fleet every
+	// edge shares the one fleet-wide manager (undo log and dependency
+	// index span edges); otherwise each edge has a private one.
+	Mgr *txn.Manager
+	// Partition is this edge's shard of the fleet keyspace (sharded
+	// fleets only); it wraps Store and Locks.
+	Partition *twopc.Partition
+	// CC is the concurrency-control protocol this edge's cameras run
+	// their transactions under.
+	CC txn.CC
+	// ClientEdge and EdgeCloud are this edge's private network paths;
+	// Peers[i] is the one-way link to edge i (nil for itself), carrying
+	// cross-edge lock and commit traffic in sharded fleets.
 	ClientEdge *netsim.Link
 	EdgeCloud  *netsim.Link
+	Peers      []*netsim.Link
 	// Compute is the edge's shared inference pool: every camera placed
 	// here contends for these Spec.Slots slots.
 	Compute *vclock.Semaphore
@@ -105,11 +149,29 @@ type Config struct {
 	// (default 1000); OpCost charges clock time per database operation.
 	WorkloadKeys int
 	OpCost       time.Duration
+
+	// Sharded makes the fleet's keyspace one database sharded across the
+	// edge nodes: each edge hosts a twopc.Partition, every edge shares one
+	// fleet-wide transaction manager, and cross-edge keys are locked
+	// remotely and committed with 2PC (§4.5 at cluster scale). It is
+	// implied by CrossEdgeFraction > 0.
+	Sharded bool
+	// CrossEdgeFraction is the probability that a workload key belongs to
+	// another edge's shard — the multi-partition operation rate. 0 keeps
+	// every transaction on its home shard (but still under the sharded
+	// machinery when Sharded is set).
+	CrossEdgeFraction float64
+	// Protocol selects MS-IA (default) or MS-SR for the fleet's
+	// transactions, in both sharded and unsharded fleets.
+	Protocol TxnProtocol
 }
 
 func (c Config) defaults() Config {
 	if c.Placement == nil {
 		c.Placement = &RoundRobin{}
+	}
+	if c.CrossEdgeFraction > 0 {
+		c.Sharded = true
 	}
 	if c.Seed == 0 {
 		c.Seed = 42
@@ -143,6 +205,25 @@ type Cluster struct {
 	batcher    *Batcher
 	edges      []*EdgeNode
 	cams       []*cameraRuntime
+
+	// Sharded-keyspace state (nil/zero in unsharded fleets): the one
+	// fleet-wide manager, the shared distributed-commit counters, and the
+	// placement-aware partitioner.
+	fleetMgr    *txn.Manager
+	dist        *twopc.DistStats
+	partitioner func(string) int
+}
+
+// shardPartitioner routes sharded workload keys by their shard tag and any
+// untagged key by hash — the fleet's placement-aware partitioner.
+func shardPartitioner(n int) func(string) int {
+	hash := twopc.HashPartitioner(n)
+	return func(key string) int {
+		if s, ok := workload.ShardOf(key); ok && s < n {
+			return s
+		}
+		return hash(key)
+	}
 }
 
 // New validates the configuration, provisions the edges and the shared
@@ -160,6 +241,9 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if cfg.ThetaL > cfg.ThetaU {
 		return nil, fmt.Errorf("cluster: thresholds must satisfy θL ≤ θU, got (%.2f, %.2f)", cfg.ThetaL, cfg.ThetaU)
+	}
+	if cfg.CrossEdgeFraction < 0 || cfg.CrossEdgeFraction > 1 {
+		return nil, fmt.Errorf("cluster: CrossEdgeFraction must be in [0, 1], got %g", cfg.CrossEdgeFraction)
 	}
 
 	cloudModel := cfg.CloudModel
@@ -204,11 +288,23 @@ func New(cfg Config) (*Cluster, error) {
 			Model:      detect.TinyYOLOSim(cfg.Seed),
 			Store:      st,
 			Locks:      locks,
-			Mgr:        txn.NewManager(cfg.Clock, st, locks),
 			ClientEdge: clientEdge,
 			EdgeCloud:  edgeCloud,
 			Compute:    vclock.NewSemaphore(cfg.Clock, es.Slots),
 		})
+	}
+
+	if cfg.Sharded {
+		c.provisionShards()
+	} else {
+		for _, e := range c.edges {
+			e.Mgr = txn.NewManager(cfg.Clock, e.Store, e.Locks)
+			if cfg.Protocol == TxnMSSR {
+				e.CC = &txn.MSSR{M: e.Mgr, Policy: txn.Wait}
+			} else {
+				e.CC = &txn.MSIA{M: e.Mgr}
+			}
+		}
 	}
 
 	for i, cs := range cfg.Cameras {
@@ -230,6 +326,18 @@ func New(cfg Config) (*Cluster, error) {
 		edge.load += cs.Profile.FPS
 
 		source := core.NewWorkloadSource(cfg.WorkloadKeys, cs.Seed)
+		if cfg.Sharded {
+			// The camera draws keys from the fleet-wide sharded keyspace,
+			// home-biased: CrossEdgeFraction of them belong to another
+			// edge's shard and make the transaction multi-partition.
+			source.Keys = workload.ShardedUniform{
+				Prefix:    "item",
+				Home:      idx,
+				Shards:    len(c.edges),
+				N:         cfg.WorkloadKeys,
+				CrossProb: cfg.CrossEdgeFraction,
+			}
+		}
 		if cfg.OpCost > 0 {
 			source.Clk = cfg.Clock
 			source.OpCost = cfg.OpCost
@@ -248,7 +356,7 @@ func New(cfg Config) (*Cluster, error) {
 			ThetaU:      cfg.ThetaU,
 			OverlapMin:  cfg.OverlapMin,
 			Source:      source,
-			CC:          &txn.MSIA{M: edge.Mgr},
+			CC:          edge.CC,
 			Mgr:         edge.Mgr,
 			Validator: &EdgeUplink{
 				Uplink: core.Uplink{
@@ -272,8 +380,62 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
+// provisionShards converts the freshly built edges into one sharded
+// database: each edge's store and locks become a twopc.Partition, a mesh of
+// inter-edge links carries cross-edge lock and commit traffic, one
+// fleet-wide txn.Manager (whose backend routes every key to its owning
+// shard) spans all edges, and each edge gets a ShardedCC bound to its home
+// partition.
+func (c *Cluster) provisionShards() {
+	n := len(c.edges)
+	parts := make([]*twopc.Partition, n)
+	for i, e := range c.edges {
+		parts[i] = twopc.NewPartitionOver(i, e.Store, e.Locks)
+		e.Partition = parts[i]
+	}
+	c.partitioner = shardPartitioner(n)
+	c.dist = &twopc.DistStats{}
+	c.fleetMgr = txn.NewManager(c.cfg.Clock, nil, nil)
+	c.fleetMgr.DB = &twopc.ShardedStore{Parts: parts, Partitioner: c.partitioner}
+	for i, e := range c.edges {
+		e.Peers = make([]*netsim.Link, n)
+		for j := range c.edges {
+			if j == i {
+				continue
+			}
+			l := netsim.EdgeEdgeLink()
+			l.Name = e.Spec.ID + "-" + c.edges[j].Spec.ID
+			e.Peers[j] = l
+		}
+		e.Mgr = c.fleetMgr
+		e.CC = &twopc.ShardedCC{
+			Clk:         c.cfg.Clock,
+			M:           c.fleetMgr,
+			Home:        i,
+			Parts:       parts,
+			Links:       e.Peers,
+			Partitioner: c.partitioner,
+			Protocol:    c.cfg.Protocol.dist(),
+			Stats:       c.dist,
+		}
+	}
+}
+
 // Edges returns the provisioned edge nodes in declaration order.
 func (c *Cluster) Edges() []*EdgeNode { return c.edges }
+
+// FleetManager returns the fleet-wide transaction manager of a sharded
+// cluster, or nil when each edge has a private one.
+func (c *Cluster) FleetManager() *txn.Manager { return c.fleetMgr }
+
+// DistStats returns a snapshot of the sharded fleet's distributed-commit
+// counters (zero in unsharded fleets).
+func (c *Cluster) DistStats() twopc.DistCounters {
+	if c.dist == nil {
+		return twopc.DistCounters{}
+	}
+	return c.dist.Snapshot()
+}
 
 // Outcomes returns the per-frame outcomes of one camera after Run, or
 // nil if the camera is unknown. Frames are in capture order.

@@ -7,6 +7,7 @@ import (
 
 	"croesus/internal/core"
 	"croesus/internal/metrics"
+	"croesus/internal/twopc"
 )
 
 // CameraReport summarizes one camera's run: the standard single-pipeline
@@ -59,6 +60,16 @@ type ClusterReport struct {
 	Apologies     int
 
 	Batcher BatcherStats
+
+	// Sharded-keyspace counters: Sharded records whether the fleet ran as
+	// one database sharded across edges, Protocol which multi-stage
+	// protocol governed it, CrossEdgeFraction the workload's
+	// multi-partition rate, and TwoPC the fleet-wide distributed-commit
+	// activity (all zero in unsharded fleets).
+	Sharded           bool
+	Protocol          string
+	CrossEdgeFraction float64
+	TwoPC             twopc.DistCounters
 }
 
 // report scores every camera and aggregates the fleet.
@@ -109,6 +120,10 @@ func (c *Cluster) report(elapsed time.Duration) *ClusterReport {
 	r.FinalP95 = fleetFinal.Percentile(95)
 	r.FinalP99 = fleetFinal.Percentile(99)
 	r.Batcher = c.batcher.Stats()
+	r.Sharded = c.cfg.Sharded
+	r.Protocol = c.cfg.Protocol.String()
+	r.CrossEdgeFraction = c.cfg.CrossEdgeFraction
+	r.TwoPC = c.DistStats()
 	return r
 }
 
@@ -134,5 +149,12 @@ func (r *ClusterReport) Format() string {
 	fmt.Fprintf(&b, "cloud batcher: %d batches carrying %d frames (mean %.1f, max %d), shed %d, max flush wait %s, SLO violations %d\n",
 		bs.Batches, bs.Frames, bs.MeanBatch, bs.MaxBatch, bs.Shed,
 		bs.MaxFlushWait.Round(time.Millisecond), bs.SLOViolations)
+	if r.Sharded {
+		tp := r.TwoPC
+		fmt.Fprintf(&b, "sharded keyspace (%s, cross-edge %.0f%%): %d cross-edge 2PC commits, %d remote, %d local; %d prepare / %d commit / %d lock RPCs, %d aborts\n",
+			r.Protocol, r.CrossEdgeFraction*100,
+			tp.CrossEdgeCommits, tp.RemoteCommits, tp.LocalCommits,
+			tp.PrepareRPCs, tp.CommitRPCs, tp.LockRPCs, tp.Aborts)
+	}
 	return b.String()
 }

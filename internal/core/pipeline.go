@@ -393,10 +393,12 @@ func (p *Pipeline) processEdgeOnly(f *video.Frame) FrameOutcome {
 	cfg.ClientEdge.Send(clk, netsim.LabelReturnBytes)
 	out.InitialLatency = clk.Now() - f.At
 
-	// Single-stage system: the edge result is final.
+	// Single-stage system: the edge result is final. The final sections
+	// still burn clock time (their section bodies run here), so final
+	// latency is measured after them, not copied from the initial commit.
 	p.runFinals(f, pending, assumedMatches(dets), &out)
 	out.FinalVisible = dets
-	out.FinalLatency = out.InitialLatency
+	out.FinalLatency = clk.Now() - f.At
 	return out
 }
 
@@ -425,11 +427,14 @@ func (p *Pipeline) processCloudOnly(f *video.Frame) FrameOutcome {
 	out.EdgeDetections = nil
 	out.InitialVisible = cloudDets
 	pending := p.runInitials(f, cloudDets, &out)
-	p.runFinals(f, pending, assumedMatches(cloudDets), &out)
-	out.FinalVisible = cloudDets
+	// Initial latency is measured at the initial commit — before the final
+	// sections run — so the mode comparison charges each commit point the
+	// same way processCroesus does.
 	cfg.ClientEdge.Send(clk, netsim.LabelReturnBytes)
 	out.InitialLatency = clk.Now() - f.At
-	out.FinalLatency = out.InitialLatency
+	p.runFinals(f, pending, assumedMatches(cloudDets), &out)
+	out.FinalVisible = cloudDets
+	out.FinalLatency = clk.Now() - f.At
 	return out
 }
 

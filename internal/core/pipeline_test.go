@@ -277,6 +277,93 @@ func TestCompressionReducesTraffic(t *testing.T) {
 	}
 }
 
+// slowFinalPipeline builds a pipeline whose final sections burn real clock
+// time, exposing where each mode measures its latencies.
+func slowFinalPipeline(t *testing.T, mode Mode, finalCost time.Duration) *Pipeline {
+	t.Helper()
+	s := vclock.NewSim()
+	st := store.New()
+	mgr := txn.NewManager(s, st, lock.NewManager(s))
+	source := TxnSourceFunc(func(frameIndex int, d detect.Detection) *txn.Txn {
+		key := store.ItoaKey("k", frameIndex%16)
+		return &txn.Txn{
+			Name:      "slow-final",
+			InitialRW: txn.RWSet{Writes: []string{key}},
+			FinalRW:   txn.RWSet{Writes: []string{key}},
+			Initial: func(c *txn.Ctx) error {
+				c.Put(key, store.Int64Value(1))
+				return nil
+			},
+			Final: func(c *txn.Ctx) error {
+				s.Sleep(finalCost)
+				c.Put(key, store.Int64Value(2))
+				return nil
+			},
+		}
+	})
+	p, err := New(Config{
+		Clock:      s,
+		Mode:       mode,
+		EdgeModel:  detect.TinyYOLOSim(42),
+		CloudModel: detect.YOLOv3Sim(detect.YOLO416, 42),
+		ThetaL:     0, ThetaU: 0,
+		Source: source,
+		CC:     &txn.MSIA{M: mgr},
+		Mgr:    mgr,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return p
+}
+
+// TestEdgeOnlyFinalLatencyIncludesFinals is the regression test for the
+// edge-only latency accounting: the final sections run after the initial
+// commit and burn clock time, so FinalLatency must exceed InitialLatency —
+// the old code copied InitialLatency into FinalLatency unconditionally.
+func TestEdgeOnlyFinalLatencyIncludesFinals(t *testing.T) {
+	const cost = 40 * time.Millisecond
+	p := slowFinalPipeline(t, ModeEdgeOnly, cost)
+	outs := p.ProcessVideo(parkFrames(12))
+	sawTxn := false
+	for _, o := range outs {
+		if o.TxnsTriggered == 0 {
+			continue
+		}
+		sawTxn = true
+		if gap := o.FinalLatency - o.InitialLatency; gap < cost {
+			t.Fatalf("frame %d: final latency %v only %v past initial %v — final sections not accounted",
+				o.FrameIndex, o.FinalLatency, gap, o.InitialLatency)
+		}
+	}
+	if !sawTxn {
+		t.Fatal("no frame triggered a transaction; the test is vacuous")
+	}
+}
+
+// TestCloudOnlyInitialLatencyExcludesFinals is the cloud-only counterpart:
+// the initial commit happens before the final sections, so InitialLatency
+// must be measured there — the old code measured it only after runFinals.
+func TestCloudOnlyInitialLatencyExcludesFinals(t *testing.T) {
+	const cost = 40 * time.Millisecond
+	p := slowFinalPipeline(t, ModeCloudOnly, cost)
+	outs := p.ProcessVideo(parkFrames(10))
+	sawTxn := false
+	for _, o := range outs {
+		if o.TxnsTriggered == 0 {
+			continue
+		}
+		sawTxn = true
+		if gap := o.FinalLatency - o.InitialLatency; gap < cost {
+			t.Fatalf("frame %d: initial latency %v absorbed the final sections (final %v, gap %v)",
+				o.FrameIndex, o.InitialLatency, o.FinalLatency, gap)
+		}
+	}
+	if !sawTxn {
+		t.Fatal("no frame triggered a transaction; the test is vacuous")
+	}
+}
+
 func TestDeterministicAcrossRuns(t *testing.T) {
 	frames := parkFrames(12)
 	run := func() Summary {

@@ -146,6 +146,7 @@ var registry = []struct {
 	{"figure6c", Figure6c},
 	{"cluster-scale", ClusterScale},
 	{"cluster-shed", ClusterShed},
+	{"cluster-2pc", Cluster2PC},
 	{"ablation-policy", AblationPolicy},
 	{"ablation-sequencer", AblationSequencer},
 	{"ablation-chain", AblationChain},

@@ -53,8 +53,8 @@ func TestTableFormatAndMarkdown(t *testing.T) {
 
 func TestIDsAndByID(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 16 {
-		t.Fatalf("IDs = %d, want 16", len(ids))
+	if len(ids) != 17 {
+		t.Fatalf("IDs = %d, want 17", len(ids))
 	}
 	if _, ok := ByID("nope", quick()); ok {
 		t.Error("unknown ID accepted")
@@ -416,6 +416,39 @@ func TestClusterScaleShape(t *testing.T) {
 	mean, _ := strconv.ParseFloat(cell(tab, len(tab.Rows)-1, "mean batch"), 64)
 	if mean <= 1.5 {
 		t.Errorf("16-camera mean batch %.2f — the batcher never coalesced", mean)
+	}
+}
+
+func TestCluster2PCShape(t *testing.T) {
+	tab := Cluster2PC(quick())
+	// 2 protocols × 3 cross-edge fractions.
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tab.Rows))
+	}
+	for i := range tab.Rows {
+		cross, err := strconv.Atoi(cell(tab, i, "x-edge commits"))
+		if err != nil {
+			t.Fatalf("row %d: unparseable cross-edge commits: %v", i, err)
+		}
+		frac := parsePct(cell(tab, i, "cross-edge"))
+		if frac == 0 && cross != 0 {
+			t.Errorf("row %d: %d cross-edge commits at fraction 0", i, cross)
+		}
+		if frac > 0 && cross == 0 {
+			t.Errorf("row %d: no cross-edge commits at fraction %.2f", i, frac)
+		}
+	}
+	// Same workload, same fraction: MS-IA commits atomically twice per
+	// cross-edge transaction, MS-SR once — strictly more rounds.
+	for off := 1; off < 3; off++ {
+		msiaRounds, _ := strconv.Atoi(cell(tab, off, "2PC rounds"))
+		mssrRounds, _ := strconv.Atoi(cell(tab, 3+off, "2PC rounds"))
+		if msiaRounds <= mssrRounds {
+			t.Errorf("fraction row %d: MS-IA rounds %d not above MS-SR %d", off, msiaRounds, mssrRounds)
+		}
+	}
+	if len(tab.Notes) == 0 || !strings.Contains(tab.Notes[0], "gap") {
+		t.Error("missing final-commit latency gap note")
 	}
 }
 

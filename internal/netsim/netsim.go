@@ -85,6 +85,15 @@ func EdgeCloudSameSite() *Link {
 	return &Link{Name: "edge-cloud-same", Propagation: 1 * time.Millisecond, Bandwidth: 100 << 20}
 }
 
+// EdgeEdgeLink returns the inter-edge peer path cross-edge transactions
+// travel: edge nodes share a metro (~8 ms one-way) over a provisioned
+// 100 Mbps peering, far cheaper than the cross-country cloud hop but never
+// free — which is exactly the trade-off the sharded-keyspace experiments
+// measure.
+func EdgeEdgeLink() *Link {
+	return &Link{Name: "edge-edge", Propagation: 8 * time.Millisecond, Bandwidth: (100 << 20) / 8}
+}
+
 // LabelReturnBytes is the size of a label set reply; label messages are tiny
 // compared to frames.
 const LabelReturnBytes = 2 << 10

@@ -1,0 +1,368 @@
+// Sharded fleet keyspace: the §4.5 multi-partition machinery wired into the
+// pipeline-facing txn.CC seam. Each edge node of a cluster hosts one
+// Partition of a single fleet-wide database; a per-edge ShardedCC routes
+// every triggered transaction's declared RW-set through the owning
+// partitions — local keys run exactly as on a standalone edge, cross-edge
+// keys acquire remote locks over the inter-edge links in global partition
+// order and commit with a two-phase commit at the section boundaries the
+// multi-stage protocol dictates (MS-IA at both commits, MS-SR once at the
+// final commit). Undo logging, dependency tracking, and retraction cascades
+// live in the one fleet-wide txn.Manager, so a retraction started on one
+// edge undoes dependent writes on every other edge it reached.
+package twopc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"croesus/internal/lock"
+	"croesus/internal/netsim"
+	"croesus/internal/store"
+	"croesus/internal/txn"
+	"croesus/internal/vclock"
+)
+
+// NewPartitionOver returns a partition wrapping an existing store and lock
+// manager — the cluster runtime shards the fleet keyspace over the stores
+// its edge nodes already own.
+func NewPartitionOver(id int, st *store.Store, locks *lock.Manager) *Partition {
+	return &Partition{
+		ID:       id,
+		Store:    st,
+		Locks:    locks,
+		staged:   make(map[txn.ID][]stagedWrite),
+		prepared: make(map[txn.ID]bool),
+	}
+}
+
+// ShardedStore routes key-value operations to the partition owning each key.
+// It implements txn.Backend, which is what lets the fleet share one
+// txn.Manager (and therefore one undo log and one dependency index) over
+// stores that physically live on different edge nodes. The router itself
+// charges no network time: ShardedCC accounts the cross-edge cost at lock
+// acquisition (the lock-grant reply carries the remote reads) and at the
+// prepare/commit rounds (prepare messages carry the remote writes), which is
+// how a real coordinator batches data movement per partition rather than
+// per operation.
+type ShardedStore struct {
+	Parts       []*Partition
+	Partitioner func(key string) int
+}
+
+// Get implements txn.Backend.
+func (s *ShardedStore) Get(key string) (store.Value, bool) {
+	return s.Parts[s.Partitioner(key)].Store.Get(key)
+}
+
+// Put implements txn.Backend.
+func (s *ShardedStore) Put(key string, v store.Value) uint64 {
+	return s.Parts[s.Partitioner(key)].Store.Put(key, v)
+}
+
+// Delete implements txn.Backend.
+func (s *ShardedStore) Delete(key string) bool {
+	return s.Parts[s.Partitioner(key)].Store.Delete(key)
+}
+
+// DistCounters counts fleet-wide distributed-commit events.
+type DistCounters struct {
+	// LocalCommits counts section commits whose write set stayed on the
+	// executing edge's own partition — no 2PC, no network.
+	LocalCommits int64
+	// CrossEdgeCommits counts section commits whose write set spanned more
+	// than one partition and therefore ran a 2PC round.
+	CrossEdgeCommits int64
+	// RemoteCommits counts single-partition commits whose one partition
+	// was remote (one commit message, no 2PC round).
+	RemoteCommits int64
+	TwoPCRounds   int64
+	PrepareRPCs   int64
+	CommitRPCs    int64
+	LockRPCs      int64
+	Aborts        int64
+}
+
+// DistStats is the concurrency-safe counter block shared by every edge's
+// ShardedCC in a fleet.
+type DistStats struct {
+	mu sync.Mutex
+	c  DistCounters
+}
+
+// Snapshot returns the current counters.
+func (s *DistStats) Snapshot() DistCounters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c
+}
+
+func (s *DistStats) add(f func(*DistCounters)) {
+	s.mu.Lock()
+	f(&s.c)
+	s.mu.Unlock()
+}
+
+// lockMsgBytes sizes a lock / prepare / commit protocol message.
+const lockMsgBytes = 256
+
+// ShardedCC implements txn.CC over a sharded fleet keyspace. One instance
+// serves one edge node (its Home partition is lock- and hop-free); all
+// instances of a fleet share the Parts slice, the Manager, and the Stats
+// block. Locks are acquired partition-by-partition in ascending partition
+// index, with keys ordered inside each partition, so concurrent
+// transactions from any number of edges follow one global acquisition order
+// and cannot deadlock — the distributed generalization of the ordered
+// acquisition the declared RW-sets ("get_rwsets") enable in Algorithm 1/2.
+type ShardedCC struct {
+	Clk vclock.Clock
+	// M is the fleet-wide manager; M.DB must be the fleet's ShardedStore.
+	M    *txn.Manager
+	Home int
+	// Parts lists the fleet's partitions; Links[i] is this edge's one-way
+	// link to the edge hosting Parts[i] (nil for Home and for co-located
+	// partitions).
+	Parts       []*Partition
+	Links       []*netsim.Link
+	Partitioner func(key string) int
+	Protocol    Protocol
+	Stats       *DistStats
+
+	mu   sync.Mutex
+	held map[txn.ID][]lock.Request // MS-SR: locks held from initial to final commit
+}
+
+// Name returns the protocol name, e.g. "sharded-MS-IA".
+func (c *ShardedCC) Name() string { return "sharded-" + c.Protocol.String() }
+
+// hopTo pays one one-way message delay to the edge hosting partition pi.
+func (c *ShardedCC) hopTo(pi int) {
+	if l := c.Links[pi]; l != nil {
+		l.Send(c.Clk, lockMsgBytes)
+	}
+}
+
+// byPartition groups lock requests by owning partition index.
+func (c *ShardedCC) byPartition(reqs []lock.Request) map[int][]lock.Request {
+	out := map[int][]lock.Request{}
+	for _, r := range reqs {
+		pi := c.Partitioner(r.Key)
+		out[pi] = append(out[pi], r)
+	}
+	return out
+}
+
+// acquire takes every request, visiting partitions in ascending index
+// (remote ones over the edge link). The lock-grant reply doubles as the
+// remote read fetch, so section bodies read remote keys without further
+// hops.
+func (c *ShardedCC) acquire(owner lock.Owner, byPart map[int][]lock.Request) {
+	for pi := 0; pi < len(c.Parts); pi++ {
+		rs, ok := byPart[pi]
+		if !ok {
+			continue
+		}
+		c.hopTo(pi)
+		c.Parts[pi].Locks.AcquireAll(owner, rs)
+		c.hopTo(pi)
+		if c.Links[pi] != nil {
+			c.Stats.add(func(d *DistCounters) { d.LockRPCs++ })
+		}
+	}
+}
+
+// acquireWaitDie is the MS-SR variant: because MS-SR holds every lock from
+// the initial commit across the cloud round trip to the final commit (and a
+// frame triggers its transactions one after another on one goroutine),
+// plain blocking acquisition could wait on a lock the caller itself will
+// only release later. Wait-die breaks that: at each partition the
+// transaction may wait only while older than every holder, otherwise it
+// dies — everything taken so far, on every partition, is released and false
+// is returned. Fleet-wide monotonic IDs make the age comparison valid
+// across edges.
+func (c *ShardedCC) acquireWaitDie(owner lock.Owner, byPart map[int][]lock.Request) bool {
+	got := make([]int, 0, len(c.Parts))
+	for pi := 0; pi < len(c.Parts); pi++ {
+		rs, ok := byPart[pi]
+		if !ok {
+			continue
+		}
+		c.hopTo(pi)
+		ok = c.Parts[pi].Locks.AcquireAllWaitDie(owner, rs)
+		c.hopTo(pi)
+		if c.Links[pi] != nil {
+			c.Stats.add(func(d *DistCounters) { d.LockRPCs++ })
+		}
+		if !ok {
+			for _, gi := range got {
+				c.hopTo(gi)
+				c.Parts[gi].Locks.ReleaseAll(owner, byPart[gi])
+			}
+			return false
+		}
+		got = append(got, pi)
+	}
+	return true
+}
+
+func (c *ShardedCC) release(owner lock.Owner, byPart map[int][]lock.Request) {
+	for pi := 0; pi < len(c.Parts); pi++ {
+		rs, ok := byPart[pi]
+		if !ok {
+			continue
+		}
+		c.hopTo(pi)
+		c.Parts[pi].Locks.ReleaseAll(owner, rs)
+	}
+}
+
+// commitSection runs the atomic-commitment round for one section commit
+// over the partitions its write set touched. A write set confined to one
+// partition needs no 2PC: the commit is local (free) or a single remote
+// commit message. A multi-partition write set pays a full prepare/commit
+// round over every involved partition, in ascending partition order. The
+// writes themselves were applied through the fleet ShardedStore as the
+// section executed (locks make the early application unobservable), so the
+// round here is the protocol's message cost and bookkeeping.
+func (c *ShardedCC) commitSection(writes []lock.Request) {
+	involved := make([]int, 0, len(c.Parts))
+	seen := make(map[int]bool, len(c.Parts))
+	for _, r := range writes {
+		if r.Mode != lock.Exclusive {
+			continue
+		}
+		if pi := c.Partitioner(r.Key); !seen[pi] {
+			seen[pi] = true
+			involved = append(involved, pi)
+		}
+	}
+	switch len(involved) {
+	case 0:
+		return // read-only section: nothing to commit
+	case 1:
+		pi := involved[0]
+		if c.Links[pi] == nil {
+			c.Stats.add(func(d *DistCounters) { d.LocalCommits++ })
+			return
+		}
+		c.hopTo(pi)
+		c.Stats.add(func(d *DistCounters) { d.RemoteCommits++; d.CommitRPCs++ })
+		return
+	}
+	// Ascending partition order, like every other protocol round.
+	sort.Ints(involved)
+	for _, pi := range involved { // phase 1: prepare
+		c.hopTo(pi)
+		c.hopTo(pi)
+		c.Stats.add(func(d *DistCounters) { d.PrepareRPCs++ })
+	}
+	for _, pi := range involved { // phase 2: commit
+		c.hopTo(pi)
+		c.Stats.add(func(d *DistCounters) { d.CommitRPCs++ })
+	}
+	c.Stats.add(func(d *DistCounters) { d.TwoPCRounds++; d.CrossEdgeCommits++ })
+}
+
+// RunInitial implements txn.CC. MS-IA locks and commits the initial
+// section's own set; MS-SR acquires the union of both sections' locks and
+// holds them (writes commit atomically with the final section's).
+func (c *ShardedCC) RunInitial(in *txn.Instance) error {
+	if s := in.State(); s != txn.StatePending {
+		return fmt.Errorf("txn %d: RunInitial in state %s", in.ID, s)
+	}
+	owner := lock.Owner(in.ID)
+	var reqs []lock.Request
+	if c.Protocol == MSSR {
+		reqs = lock.Normalize(append(in.T.InitialRW.Requests(), in.T.FinalRW.Requests()...))
+	} else {
+		reqs = in.T.InitialRW.Requests()
+	}
+	byPart := c.byPartition(reqs)
+	if c.Protocol == MSSR {
+		if !c.acquireWaitDie(owner, byPart) {
+			c.M.MarkAborted(in)
+			c.Stats.add(func(d *DistCounters) { d.Aborts++ })
+			return txn.ErrAborted
+		}
+	} else {
+		c.acquire(owner, byPart)
+	}
+
+	if err := c.M.ExecSection(in, txn.StageInitial); err != nil {
+		c.release(owner, byPart)
+		c.M.MarkAborted(in)
+		c.Stats.add(func(d *DistCounters) { d.Aborts++ })
+		return err
+	}
+
+	if c.Protocol == MSSR {
+		// Atomic commitment is deferred to the final commit; the held
+		// locks make the initial writes unobservable until then.
+		c.mu.Lock()
+		if c.held == nil {
+			c.held = make(map[txn.ID][]lock.Request)
+		}
+		c.held[in.ID] = reqs
+		c.mu.Unlock()
+		c.M.MarkInitialCommitted(in)
+		return nil
+	}
+	c.commitSection(in.T.InitialRW.Requests())
+	c.M.MarkInitialCommitted(in)
+	c.release(owner, byPart)
+	return nil
+}
+
+// RunFinal implements txn.CC: final section, concluding atomic commitment,
+// release of every remaining lock.
+func (c *ShardedCC) RunFinal(in *txn.Instance) error {
+	owner := lock.Owner(in.ID)
+	if c.Protocol == MSSR {
+		switch s := in.State(); s {
+		case txn.StateInitialCommitted, txn.StateRetracted:
+		default:
+			return fmt.Errorf("txn %d: RunFinal in state %s", in.ID, s)
+		}
+		c.mu.Lock()
+		heldReqs := c.held[in.ID]
+		delete(c.held, in.ID)
+		c.mu.Unlock()
+		heldBy := c.byPartition(heldReqs)
+		if in.State() == txn.StateRetracted {
+			c.release(owner, heldBy) // a cascade got here first
+			return txn.ErrRetracted
+		}
+		err := c.M.ExecSection(in, txn.StageFinal)
+		if err == nil {
+			// One 2PC covers both sections' writes (Algorithm 1).
+			c.commitSection(lock.Normalize(append(in.T.InitialRW.Requests(), in.T.FinalRW.Requests()...)))
+		}
+		retracted := c.M.MarkFinalCommitted(in)
+		c.release(owner, heldBy)
+		if err == nil && retracted {
+			return txn.ErrRetracted
+		}
+		return err
+	}
+
+	switch s := in.State(); s {
+	case txn.StateInitialCommitted:
+	case txn.StateRetracted:
+		return txn.ErrRetracted
+	default:
+		return fmt.Errorf("txn %d: RunFinal in state %s", in.ID, s)
+	}
+	reqs := in.T.FinalRW.Requests()
+	byPart := c.byPartition(reqs)
+	c.acquire(owner, byPart)
+	err := c.M.ExecSection(in, txn.StageFinal)
+	if err == nil {
+		c.commitSection(reqs)
+	}
+	retracted := c.M.MarkFinalCommitted(in)
+	c.release(owner, byPart)
+	if err == nil && retracted {
+		return txn.ErrRetracted
+	}
+	return err
+}

@@ -147,22 +147,29 @@ type Stats struct {
 	Aborts      int64
 	PrepareRPCs int64
 	CommitRPCs  int64
+	AbortRPCs   int64
 	LockRPCs    int64
 	TwoPCRounds int64
+}
+
+// HashPartitioner returns the default key→partition mapping: FNV-1a over
+// the key, modulo n. Both the standalone coordinator and the cluster's
+// placement-aware partitioner (for untagged keys) share it, so a key
+// routes identically everywhere.
+func HashPartitioner(n int) func(key string) int {
+	return func(key string) int {
+		h := uint32(2166136261)
+		for i := 0; i < len(key); i++ {
+			h = (h ^ uint32(key[i])) * 16777619
+		}
+		return int(h % uint32(n))
+	}
 }
 
 // NewCoordinator returns a coordinator over the partitions with a
 // hash-based default partitioner.
 func NewCoordinator(clk vclock.Clock, parts []*Partition, proto Protocol) *Coordinator {
-	c := &Coordinator{Clk: clk, Parts: parts, Protocol: proto}
-	c.Partitioner = func(key string) int {
-		h := uint32(2166136261)
-		for i := 0; i < len(key); i++ {
-			h = (h ^ uint32(key[i])) * 16777619
-		}
-		return int(h % uint32(len(parts)))
-	}
-	return c
+	return &Coordinator{Clk: clk, Parts: parts, Protocol: proto, Partitioner: HashPartitioner(len(parts))}
 }
 
 // Stats returns a snapshot of the counters.
@@ -173,21 +180,24 @@ func (c *Coordinator) Stats() Stats {
 }
 
 // Ctx is the distributed section execution context: reads go to the owning
-// partition (paying the network hop), writes are buffered until 2PC.
+// partition (paying the network hop), writes are buffered until 2PC. The
+// write buffer is keyed by the partition's index in Coordinator.Parts (the
+// partitioner's output), never by Partition.ID — the two need not agree.
 type Ctx struct {
 	co     *Coordinator
 	id     txn.ID
-	writes map[int][]stagedWrite // per partition
+	writes map[int][]stagedWrite // per partition slice index
 	reads  int
 }
 
 // Get reads key from its owning partition.
 func (c *Ctx) Get(key string) (store.Value, bool) {
-	p := c.co.Parts[c.co.Partitioner(key)]
+	pi := c.co.Partitioner(key)
+	p := c.co.Parts[pi]
 	c.co.hop(p) // request
 	// Buffered writes are visible to the transaction's own reads.
-	for i := len(c.writes[p.ID]) - 1; i >= 0; i-- {
-		if w := c.writes[p.ID][i]; w.key == key {
+	for i := len(c.writes[pi]) - 1; i >= 0; i-- {
+		if w := c.writes[pi][i]; w.key == key {
 			if w.del {
 				return nil, false
 			}
@@ -259,13 +269,21 @@ func (c *Coordinator) releaseLocks(id txn.ID, reqs []lock.Request) {
 
 // twoPhaseCommit runs prepare/commit over the partitions with buffered
 // writes (plus the coordinator's own shard). Returns ErrAborted when any
-// participant votes no; staged state is dropped everywhere.
+// participant votes no; staged state is dropped everywhere. The counters
+// reflect only work actually performed: a transaction with an empty write
+// set commits without any round, RPC, or hop, and abort messages go only to
+// participants that voted yes (a no-voter staged nothing and has nothing to
+// drop).
 func (c *Coordinator) twoPhaseCommit(id txn.ID, writes map[int][]stagedWrite) error {
+	if len(writes) == 0 {
+		return nil
+	}
 	c.mu.Lock()
 	c.stats.TwoPCRounds++
 	c.mu.Unlock()
-	// Phase 1: prepare.
-	voted := make([]int, 0, len(writes))
+	// Phase 1: prepare. staged tracks the yes-voters — the only partitions
+	// holding state that a later abort would have to drop.
+	staged := make([]int, 0, len(writes))
 	allYes := true
 	for pid := 0; pid < len(c.Parts); pid++ {
 		ws, ok := writes[pid]
@@ -279,25 +297,28 @@ func (c *Coordinator) twoPhaseCommit(id txn.ID, writes map[int][]stagedWrite) er
 		c.mu.Lock()
 		c.stats.PrepareRPCs++
 		c.mu.Unlock()
-		voted = append(voted, pid)
 		if !ok {
 			allYes = false
 			break
 		}
+		staged = append(staged, pid)
 	}
 	// Phase 2: commit or abort.
 	if !allYes {
-		for _, pid := range voted {
+		for _, pid := range staged {
 			p := c.Parts[pid]
 			c.hop(p)
 			p.abort(id)
+			c.mu.Lock()
+			c.stats.AbortRPCs++
+			c.mu.Unlock()
 		}
 		c.mu.Lock()
 		c.stats.Aborts++
 		c.mu.Unlock()
 		return ErrAborted
 	}
-	for _, pid := range voted {
+	for _, pid := range staged {
 		p := c.Parts[pid]
 		c.hop(p)
 		p.commit(id)

@@ -285,3 +285,108 @@ func TestProtocolStrings(t *testing.T) {
 		t.Error("protocol strings wrong")
 	}
 }
+
+// TestBufferedReadsNonIdentityIDs is the regression test for the write-
+// buffer keying bug: Put/Delete key the buffer by partitioner index while
+// Get used to scan writes[Partition.ID] — the two disagree as soon as
+// Parts[i].ID != i, silently breaking read-your-writes.
+func TestBufferedReadsNonIdentityIDs(t *testing.T) {
+	s := vclock.NewSim()
+	parts := cluster(s, 2)
+	parts[0].ID, parts[1].ID = 10, 20 // IDs deliberately off the slice index
+	co := NewCoordinator(s, parts, MSIA)
+	tx := &DistTxn{
+		Name:      "rmw-nonid",
+		InitialRW: rwSet([]string{"k:0"}),
+		FinalRW:   rwSet([]string{"k:0"}),
+		Initial: func(ctx *Ctx) error {
+			ctx.Put("k:0", store.Int64Value(7))
+			v, ok := ctx.Get("k:0")
+			if !ok || store.AsInt64(v) != 7 {
+				return errors.New("own write invisible under non-identity partition IDs")
+			}
+			ctx.Delete("k:0")
+			if _, ok := ctx.Get("k:0"); ok {
+				return errors.New("own delete invisible under non-identity partition IDs")
+			}
+			ctx.Put("k:0", store.Int64Value(8))
+			return nil
+		},
+		Final: func(ctx *Ctx) error { return nil },
+	}
+	s.Run(func() {
+		if err := co.Run(tx); err != nil {
+			t.Errorf("Run: %v", err)
+		}
+	})
+	p := parts[co.Partitioner("k:0")]
+	if v, _ := p.Store.Get("k:0"); store.AsInt64(v) != 8 {
+		t.Errorf("k:0 = %d, want 8", store.AsInt64(v))
+	}
+}
+
+// TestEmptyWriteSetCostsNothing: a read-only (or write-free) section must
+// not count a 2PC round or a commit, and must pay no prepare/commit hops.
+func TestEmptyWriteSetCostsNothing(t *testing.T) {
+	s := vclock.NewSim()
+	parts := cluster(s, 3)
+	co := NewCoordinator(s, parts, MSIA)
+	tx := &DistTxn{
+		Name:      "read-only",
+		InitialRW: txn.RWSet{Reads: []string{"k:0"}},
+		FinalRW:   txn.RWSet{Reads: []string{"k:0"}},
+		Initial:   func(ctx *Ctx) error { ctx.Get("k:0"); return nil },
+		Final:     func(ctx *Ctx) error { return nil },
+	}
+	var before, after int64
+	for _, p := range parts[1:] {
+		_, m := p.Link.Traffic()
+		before += m
+	}
+	s.Run(func() {
+		if err := co.Run(tx); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	})
+	st := co.Stats()
+	if st.TwoPCRounds != 0 || st.Commits != 0 || st.PrepareRPCs != 0 || st.CommitRPCs != 0 {
+		t.Errorf("empty write set still paid commit machinery: %+v", st)
+	}
+	for _, p := range parts[1:] {
+		_, m := p.Link.Traffic()
+		after += m
+	}
+	// The only remote messages allowed are lock/read/release traffic for
+	// the partition owning k:0 — at most acquire (2) + read (2) +
+	// release (1) per section — and nothing for prepare/commit.
+	if msgs := after - before; msgs > 8 {
+		t.Errorf("read-only transaction sent %d remote messages, want ≤ 8 (no prepare/commit traffic)", msgs)
+	}
+}
+
+// TestAbortRPCsOnlyToStagedParticipants: a participant that votes no has
+// staged nothing — abort messages go only to the yes-voters before it.
+func TestAbortRPCsOnlyToStagedParticipants(t *testing.T) {
+	s := vclock.NewSim()
+	parts := cluster(s, 3)
+	co := NewCoordinator(s, parts, MSIA)
+	// The partition owning the second key group votes no; by then exactly
+	// one participant (the first key group's) has staged.
+	parts[1].FailPrepares = 1
+	tx, _ := crossTxn(co, "doomed", 3)
+	s.Run(func() {
+		if err := co.Run(tx); !errors.Is(err, ErrAborted) {
+			t.Fatalf("err = %v, want ErrAborted", err)
+		}
+	})
+	st := co.Stats()
+	if st.PrepareRPCs != 2 {
+		t.Errorf("prepare RPCs = %d, want 2 (the third participant was never asked)", st.PrepareRPCs)
+	}
+	if st.AbortRPCs != 1 {
+		t.Errorf("abort RPCs = %d, want 1 — only the yes-voter staged anything", st.AbortRPCs)
+	}
+	if st.CommitRPCs != 0 || st.Commits != 0 {
+		t.Errorf("aborted transaction counted commits: %+v", st)
+	}
+}

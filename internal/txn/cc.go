@@ -22,6 +22,45 @@ type CC interface {
 	RunFinal(in *Instance) error
 }
 
+// The methods below are the seam for CC implementations living outside this
+// package (twopc.ShardedCC drives fleet-sharded transactions through them):
+// they expose exactly the section-execution and lifecycle transitions the
+// in-package protocols use, so an external protocol keeps undo logging,
+// dependency tracking, stats, and the commit history consistent with MSSR
+// and MSIA.
+
+// ExecSection runs the stage's body with a fresh section context. It
+// performs no locking and no state transition — the caller is the protocol.
+func (m *Manager) ExecSection(in *Instance, stage Stage) error {
+	ctx := &Ctx{inst: in, stage: stage}
+	if stage == StageInitial {
+		return in.T.Initial(ctx)
+	}
+	return in.T.Final(ctx)
+}
+
+// MarkInitialCommitted moves a pending instance to initial-committed and
+// records the commit.
+func (m *Manager) MarkInitialCommitted(in *Instance) {
+	in.setState(StateInitialCommitted)
+	m.recordCommit(in, StageInitial)
+}
+
+// MarkAborted moves the instance to aborted and records the abort.
+func (m *Manager) MarkAborted(in *Instance) {
+	in.setState(StateAborted)
+	m.recordAbort()
+}
+
+// MarkFinalCommitted moves an initially-committed instance to
+// final-committed (retraction is sticky) and records the commit. It reports
+// whether the instance ended retracted.
+func (m *Manager) MarkFinalCommitted(in *Instance) (retracted bool) {
+	retracted = in.finishFinal()
+	m.recordCommit(in, StageFinal)
+	return retracted
+}
+
 // Policy selects how MS-SR acquires initial-section locks.
 type Policy int
 

@@ -49,11 +49,12 @@ func (m *Manager) Retract(inst *Instance, reason string) []Apology {
 		in.mu.Unlock()
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].r.seq > recs[j].r.seq })
+	db := m.db()
 	for _, rc := range recs {
 		if rc.r.existed {
-			m.Store.Put(rc.r.key, rc.r.prev)
+			db.Put(rc.r.key, rc.r.prev)
 		} else {
-			m.Store.Delete(rc.r.key)
+			db.Delete(rc.r.key)
 		}
 	}
 

@@ -232,12 +232,28 @@ type Stats struct {
 	Apologies      int64
 }
 
+// Backend is the key-value storage a Manager writes through. The local
+// single-edge deployment uses the embedded *store.Store directly; a
+// distributed concurrency-control implementation (twopc.ShardedCC) installs
+// a router that forwards each operation to the partition owning the key, so
+// undo logging, dependency tracking, and retraction cascades work unchanged
+// over a keyspace sharded across edge nodes.
+type Backend interface {
+	Get(key string) (store.Value, bool)
+	Put(key string, v store.Value) uint64
+	Delete(key string) bool
+}
+
 // Manager owns the store, the lock manager, and the dependency index shared
 // by all protocol implementations.
 type Manager struct {
-	Clk    vclock.Clock
-	Store  *store.Store
-	Locks  *lock.Manager
+	Clk   vclock.Clock
+	Store *store.Store
+	Locks *lock.Manager
+	// DB, when set, replaces Store as the storage backend (Store may then
+	// be nil). Every section read/write and every retraction restore goes
+	// through it.
+	DB     Backend
 	Strict bool // enforce declared read/write sets in Ctx (default on)
 
 	mu         sync.Mutex
@@ -264,6 +280,14 @@ func NewManager(clk vclock.Clock, st *store.Store, locks *lock.Manager) *Manager
 		Strict:     true,
 		lastWriter: make(map[string]*Instance),
 	}
+}
+
+// db returns the effective storage backend.
+func (m *Manager) db() Backend {
+	if m.DB != nil {
+		return m.DB
+	}
+	return m.Store
 }
 
 // NewInstance instantiates a template with the given initial-section input.
@@ -342,7 +366,7 @@ func (c *Ctx) Get(key string) (store.Value, bool) {
 		panic(fmt.Sprintf("txn %q %s section read of undeclared key %q", c.inst.T.Name, c.stage, key))
 	}
 	m.noteAccess(c.inst, key)
-	return m.Store.Get(key)
+	return m.db().Get(key)
 }
 
 // Put writes a key within the declared set, undo-logging the before-image.
@@ -406,7 +430,8 @@ func (m *Manager) noteAccess(inst *Instance, key string) {
 
 func (m *Manager) writeWithUndo(inst *Instance, key string, v store.Value, del bool) {
 	m.noteAccess(inst, key)
-	prev, existed := m.Store.Get(key)
+	db := m.db()
+	prev, existed := db.Get(key)
 	m.mu.Lock()
 	m.nextSeq++
 	seq := m.nextSeq
@@ -418,8 +443,8 @@ func (m *Manager) writeWithUndo(inst *Instance, key string, v store.Value, del b
 	inst.mu.Unlock()
 
 	if del {
-		m.Store.Delete(key)
+		db.Delete(key)
 	} else {
-		m.Store.Put(key, v)
+		db.Put(key, v)
 	}
 }

@@ -8,6 +8,7 @@ package workload
 
 import (
 	"math/rand"
+	"strconv"
 
 	"croesus/internal/lock"
 	"croesus/internal/store"
@@ -59,6 +60,54 @@ func (h HotSpot) Pick(rng *rand.Rand) string {
 		return store.ItoaKey(h.Prefix, rng.Intn(h.Hot))
 	}
 	return store.ItoaKey(h.Prefix, rng.Intn(h.N))
+}
+
+// ShardKey builds the fleet-wide sharded key "s<shard>/<prefix>:<i>". The
+// shard tag makes key ownership syntactic, so the cluster's
+// placement-aware partitioner routes without a directory lookup.
+func ShardKey(shard int, prefix string, i int) string {
+	return "s" + strconv.Itoa(shard) + "/" + store.ItoaKey(prefix, i)
+}
+
+// ShardOf parses the owning shard of a sharded key; ok is false for keys
+// without a shard tag.
+func ShardOf(key string) (shard int, ok bool) {
+	if len(key) < 3 || key[0] != 's' {
+		return 0, false
+	}
+	i := 1
+	for i < len(key) && key[i] >= '0' && key[i] <= '9' {
+		shard = shard*10 + int(key[i]-'0')
+		i++
+	}
+	if i == 1 || i >= len(key) || key[i] != '/' {
+		return 0, false
+	}
+	return shard, true
+}
+
+// ShardedUniform picks keys from a fleet-wide keyspace of Shards shards
+// with N keys each: with probability CrossProb the key belongs to a
+// uniformly random *other* shard (a cross-edge access), otherwise to the
+// Home shard — the workload knob behind the cluster's CrossEdgeFraction.
+type ShardedUniform struct {
+	Prefix    string
+	Home      int
+	Shards    int
+	N         int
+	CrossProb float64
+}
+
+// Pick returns a sharded key, remote with probability CrossProb.
+func (s ShardedUniform) Pick(rng *rand.Rand) string {
+	shard := s.Home
+	if s.Shards > 1 && rng.Float64() < s.CrossProb {
+		shard = rng.Intn(s.Shards - 1)
+		if shard >= s.Home {
+			shard++
+		}
+	}
+	return ShardKey(shard, s.Prefix, rng.Intn(s.N))
 }
 
 // Zipf picks with a Zipfian distribution (YCSB's default skew).

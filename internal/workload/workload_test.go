@@ -68,6 +68,50 @@ func atoi(s string) (int, error) {
 	return n, nil
 }
 
+func TestShardKeyRoundTrip(t *testing.T) {
+	for _, shard := range []int{0, 3, 12, 107} {
+		k := ShardKey(shard, "item", 42)
+		got, ok := ShardOf(k)
+		if !ok || got != shard {
+			t.Errorf("ShardOf(%q) = %d %v, want %d", k, got, ok, shard)
+		}
+	}
+	for _, k := range []string{"item:3", "s:item:3", "sx/item:1", "s", "", "s12"} {
+		if _, ok := ShardOf(k); ok {
+			t.Errorf("ShardOf(%q) parsed an unsharded key", k)
+		}
+	}
+}
+
+func TestShardedUniformAffinity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := ShardedUniform{Prefix: "item", Home: 1, Shards: 4, N: 100, CrossProb: 0.3}
+	const n = 5000
+	home, cross := 0, 0
+	for i := 0; i < n; i++ {
+		shard, ok := ShardOf(s.Pick(rng))
+		if !ok || shard < 0 || shard >= 4 {
+			t.Fatalf("bad shard %d", shard)
+		}
+		if shard == 1 {
+			home++
+		} else {
+			cross++
+		}
+	}
+	frac := float64(cross) / n
+	if frac < 0.25 || frac > 0.35 {
+		t.Errorf("cross-shard fraction = %.3f, want ≈ 0.3", frac)
+	}
+	// CrossProb 0 stays entirely home.
+	s.CrossProb = 0
+	for i := 0; i < 200; i++ {
+		if shard, _ := ShardOf(s.Pick(rng)); shard != 1 {
+			t.Fatalf("CrossProb 0 picked foreign shard %d", shard)
+		}
+	}
+}
+
 func TestZipfConcentration(t *testing.T) {
 	z := NewZipf("k", 1000, 1.3, 3)
 	rng := rand.New(rand.NewSource(4))
