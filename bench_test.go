@@ -336,6 +336,52 @@ func BenchmarkCluster2PC(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterFaults measures the fault-injected sharded fleet: the
+// cluster-2pc setup plus a scripted schedule (an edge crash with
+// WAL-backed recovery and a participant crash mid-2PC), so the metric
+// includes WAL logging on every commit, crash handling, replay, and
+// in-doubt resolution.
+func BenchmarkClusterFaults(b *testing.B) {
+	profiles := Videos()
+	for _, proto := range []ClusterTxnProtocol{TxnMSIA, TxnMSSR} {
+		b.Run(proto.String(), func(b *testing.B) {
+			cams := make([]CameraSpec, 6)
+			for i := range cams {
+				cams[i] = CameraSpec{
+					Profile: profiles[i%len(profiles)],
+					Seed:    int64(11 + i*101),
+					Frames:  32,
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := RunCluster(ClusterConfig{
+					Clock:             NewSimClock(),
+					Cameras:           cams,
+					Edges:             []EdgeSpec{{ID: "west"}, {ID: "mid"}, {ID: "east"}},
+					Batcher:           BatcherConfig{MaxBatch: 8, SLO: 80 * time.Millisecond},
+					CrossEdgeFraction: 0.5,
+					Protocol:          proto,
+					Faults: &FaultPlan{
+						Crashes: []EdgeCrash{{Edge: 1, At: 4 * time.Second, RestartAfter: 2 * time.Second}},
+						TwoPC:   []TwoPCCrash{{Edge: 2, Point: PointParticipantPrepared, Round: 1, RestartAfter: time.Second}},
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Frames != 6*32 {
+					b.Fatalf("lost frames: %d of %d", rep.Frames, 6*32)
+				}
+				if rep.Faults == nil || rep.Faults.Crashes != 2 || rep.Faults.Restarts != 2 {
+					b.Fatalf("fault schedule not executed: %+v", rep.Faults)
+				}
+			}
+			b.ReportMetric(float64(6*32*b.N)/b.Elapsed().Seconds(), "frames/s")
+		})
+	}
+}
+
 // BenchmarkVirtualClock measures the scheduler's sleep/wake cost.
 func BenchmarkVirtualClock(b *testing.B) {
 	b.ReportAllocs()

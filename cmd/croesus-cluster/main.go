@@ -10,6 +10,8 @@
 //	croesus-cluster -policy least-loaded     # placement policy
 //	croesus-cluster -slo 40ms -pending 8 -cloud-speed 0.2   # overload
 //	croesus-cluster -cross-edge 0.3 -protocol ms-sr          # sharded keyspace
+//	croesus-cluster -cross-edge 0.3 -zipf 1.3                # hot shards
+//	croesus-cluster -cross-edge 0.3 -crash-edge 1 -crash-at 5s -crash-restart 2s
 package main
 
 import (
@@ -37,6 +39,10 @@ func main() {
 		sharded    = flag.Bool("sharded", false, "shard the fleet keyspace across the edges (implied by -cross-edge > 0)")
 		crossEdge  = flag.Float64("cross-edge", 0, "fraction of workload keys owned by another edge's shard [0,1]")
 		protocol   = flag.String("protocol", "ms-ia", "multi-stage protocol: ms-ia or ms-sr")
+		zipf       = flag.Float64("zipf", 0, "Zipf exponent for sharded workload keys (0 = uniform, >1 = skewed hot shards)")
+		crashEdge  = flag.Int("crash-edge", -1, "fail-stop this edge mid-run (WAL-backed recovery; implies -sharded)")
+		crashAt    = flag.Duration("crash-at", 5*time.Second, "virtual time of the scripted crash")
+		crashRest  = flag.Duration("crash-restart", 2*time.Second, "outage length before the edge recovers from its WAL")
 	)
 	flag.Parse()
 
@@ -77,6 +83,17 @@ func main() {
 		edges[i] = croesus.EdgeSpec{ID: fmt.Sprintf("edge%d", i)}
 	}
 
+	var plan *croesus.FaultPlan
+	if *crashEdge >= 0 {
+		if *crashEdge >= *nEdges {
+			fmt.Fprintf(os.Stderr, "croesus-cluster: -crash-edge %d out of range (have %d edges)\n", *crashEdge, *nEdges)
+			os.Exit(2)
+		}
+		plan = &croesus.FaultPlan{
+			Crashes: []croesus.EdgeCrash{{Edge: *crashEdge, At: *crashAt, RestartAfter: *crashRest}},
+		}
+	}
+
 	start := time.Now()
 	rep, err := croesus.RunCluster(croesus.ClusterConfig{
 		Clock:             croesus.NewSimClock(),
@@ -89,6 +106,8 @@ func main() {
 		Sharded:           *sharded,
 		CrossEdgeFraction: *crossEdge,
 		Protocol:          proto,
+		ZipfSkew:          *zipf,
+		Faults:            plan,
 		Batcher: croesus.BatcherConfig{
 			MaxBatch:   *maxBatch,
 			SLO:        *slo,

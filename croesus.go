@@ -28,6 +28,7 @@ import (
 	"croesus/internal/core"
 	"croesus/internal/detect"
 	"croesus/internal/experiments"
+	"croesus/internal/faults"
 	"croesus/internal/lock"
 	"croesus/internal/netsim"
 	"croesus/internal/smoothing"
@@ -483,6 +484,43 @@ type (
 const (
 	TxnMSIA = cluster.TxnMSIA
 	TxnMSSR = cluster.TxnMSSR
+)
+
+// ---------------------------------------------------------------------------
+// Fault injection and recovery
+
+type (
+	// FaultPlan schedules scripted, deterministic failures against a
+	// sharded fleet: fail-stop edge crashes with WAL-backed recovery,
+	// crashes at chosen 2PC points, and inter-edge link partitions. Set
+	// it on ClusterConfig.Faults (implies Sharded).
+	FaultPlan = faults.Plan
+	// EdgeCrash fail-stops an edge at a virtual time and recovers it
+	// from its write-ahead log after RestartAfter.
+	EdgeCrash = faults.EdgeCrash
+	// TwoPCCrash fail-stops an edge at a scripted instant inside an
+	// atomic-commitment round.
+	TwoPCCrash = faults.TwoPCCrash
+	// LinkFault partitions (and later heals) a peer link between edges.
+	LinkFault = faults.LinkFault
+	// FaultReport summarizes a run's injected faults and recovery work.
+	FaultReport = faults.Report
+	// FaultInjector executes a FaultPlan; Cluster.Injector exposes it for
+	// post-run inspection (e.g. VerifyDurability).
+	FaultInjector = faults.Injector
+	// TwoPCPoint names the scripted instants inside a 2PC round.
+	TwoPCPoint = twopc.TwoPCPoint
+)
+
+// The scripted 2PC crash points: a participant right after its yes vote,
+// the coordinator after collecting votes but before its decision is
+// durable (participants presume abort), and the coordinator after the
+// durable decision but before delivery (participants learn the commit from
+// its log).
+const (
+	PointParticipantPrepared = twopc.PointParticipantPrepared
+	PointAfterPrepare        = twopc.PointAfterPrepare
+	PointAfterDecision       = twopc.PointAfterDecision
 )
 
 // NewCluster validates cfg, provisions edges and the shared batcher,

@@ -5,6 +5,7 @@ package croesus
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 )
@@ -208,6 +209,41 @@ func TestFacadeCluster(t *testing.T) {
 	}
 	if rep.Format() == "" {
 		t.Error("report unrenderable")
+	}
+}
+
+// TestFacadeFaults drives a fault-injected sharded fleet entirely through
+// the public API: a scripted edge crash plus a participant crash mid-2PC,
+// recovered from the WAL, reported in the cluster report.
+func TestFacadeFaults(t *testing.T) {
+	rep, err := RunCluster(ClusterConfig{
+		Clock: NewSimClock(),
+		Cameras: []CameraSpec{
+			{ID: "a", Profile: ParkDog(), Seed: 11, Frames: 30},
+			{ID: "b", Profile: StreetVehicles(), Seed: 12, Frames: 30},
+			{ID: "c", Profile: MallSurveillance(), Seed: 13, Frames: 30},
+		},
+		Edges:             []EdgeSpec{{ID: "west"}, {ID: "mid"}, {ID: "east"}},
+		Batcher:           BatcherConfig{MaxBatch: 4, SLO: 80 * time.Millisecond},
+		CrossEdgeFraction: 0.4,
+		Faults: &FaultPlan{
+			Crashes: []EdgeCrash{{Edge: 1, At: 3 * time.Second, RestartAfter: time.Second}},
+			TwoPC:   []TwoPCCrash{{Edge: 2, Point: PointParticipantPrepared, Round: 1, RestartAfter: time.Second}},
+			Links:   []LinkFault{{A: 0, B: 2, At: 7 * time.Second, Heal: 8 * time.Second}},
+		},
+	})
+	if err != nil {
+		t.Fatalf("RunCluster: %v", err)
+	}
+	if rep.Frames != 90 {
+		t.Fatalf("frames = %d", rep.Frames)
+	}
+	f := rep.Faults
+	if f == nil || f.Crashes != 2 || f.Restarts != 2 || f.LinkOutages != 1 {
+		t.Fatalf("fault report = %+v", f)
+	}
+	if !strings.Contains(rep.Format(), "faults:") {
+		t.Error("report does not render the fault line")
 	}
 }
 

@@ -77,10 +77,36 @@ func main() {
 		Protocol:          croesus.TxnMSIA,
 	})
 
+	// The south cabinet loses power mid-shift and a participant edge
+	// fail-stops right after voting yes in a 2PC round: every committed
+	// write survives in the edge's write-ahead log, the in-doubt
+	// transaction resolves against the coordinator's log, and the fleet
+	// keeps serving — transactions that needed the dead edge fail with
+	// apologies instead of blocking or half-committing.
+	run("south cabinet power loss (WAL recovery)", croesus.ClusterConfig{
+		Batcher: croesus.BatcherConfig{
+			MaxBatch: 8,
+			SLO:      80 * time.Millisecond,
+		},
+		CrossEdgeFraction: 0.25,
+		Protocol:          croesus.TxnMSIA,
+		Faults: &croesus.FaultPlan{
+			Crashes: []croesus.EdgeCrash{
+				{Edge: 1, At: 10 * time.Second, RestartAfter: 4 * time.Second},
+			},
+			TwoPC: []croesus.TwoPCCrash{
+				{Edge: 1, Point: croesus.PointParticipantPrepared, Round: 1, RestartAfter: 2 * time.Second},
+			},
+		},
+	})
+
 	fmt.Println("Overload costs accuracy on the least ambiguous frames, never")
 	fmt.Println("availability: shed frames keep their initial edge answer, exactly")
 	fmt.Println("the degradation mode Croesus' multi-stage transactions permit.")
 	fmt.Println("With the keyspace sharded, cross-edge transactions keep the same")
 	fmt.Println("guarantees: remote locks in global partition order and 2PC at the")
-	fmt.Println("section commits, with retraction cascades crossing edges.")
+	fmt.Println("section commits, with retraction cascades crossing edges. And when")
+	fmt.Println("an edge cabinet dies, its write-ahead log brings the partition back")
+	fmt.Println("with zero committed writes lost and in-doubt 2PC state resolved")
+	fmt.Println("against the coordinator's log.")
 }

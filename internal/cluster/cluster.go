@@ -14,10 +14,13 @@ package cluster
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"croesus/internal/core"
 	"croesus/internal/detect"
+	"croesus/internal/faults"
 	"croesus/internal/lock"
 	"croesus/internal/netsim"
 	"croesus/internal/store"
@@ -25,6 +28,7 @@ import (
 	"croesus/internal/txn"
 	"croesus/internal/vclock"
 	"croesus/internal/video"
+	"croesus/internal/wal"
 	"croesus/internal/workload"
 )
 
@@ -164,13 +168,33 @@ type Config struct {
 	// Protocol selects MS-IA (default) or MS-SR for the fleet's
 	// transactions, in both sharded and unsharded fleets.
 	Protocol TxnProtocol
+
+	// ZipfSkew, when positive, replaces the uniform sharded key chooser
+	// with a Zipf-skewed one of that exponent (values ≤ 1 are clamped just
+	// above 1): every shard gets a hot head and cross-edge traffic
+	// concentrates on remote hot keys. Sharded fleets only.
+	ZipfSkew float64
+
+	// Faults schedules scripted failures — fail-stop edge crashes with
+	// WAL-backed recovery, crashes at chosen 2PC points, inter-edge link
+	// partitions — against the fleet (see internal/faults). Setting it
+	// implies Sharded and makes every partition durable: each edge logs
+	// its committed state and 2PC decisions to a write-ahead log under
+	// WALDir and recovers from it after a crash.
+	Faults *faults.Plan
+	// WALDir is where durable partitions keep their logs (default: a
+	// fresh temporary directory, removed when the run finishes).
+	WALDir string
 }
 
 func (c Config) defaults() Config {
 	if c.Placement == nil {
 		c.Placement = &RoundRobin{}
 	}
-	if c.CrossEdgeFraction > 0 {
+	if c.Faults != nil && c.Faults.Empty() {
+		c.Faults = nil // nothing scheduled: skip the durability machinery
+	}
+	if c.CrossEdgeFraction > 0 || c.Faults != nil || c.ZipfSkew > 0 {
 		c.Sharded = true
 	}
 	if c.Seed == 0 {
@@ -212,6 +236,12 @@ type Cluster struct {
 	fleetMgr    *txn.Manager
 	dist        *twopc.DistStats
 	partitioner func(string) int
+
+	// Fault-injection state (nil in fault-free fleets): the injector, the
+	// per-partition logs, and the temp WAL dir to remove after the run.
+	injector *faults.Injector
+	walLogs  []*wal.Log
+	walTemp  string
 }
 
 // shardPartitioner routes sharded workload keys by their shard tag and any
@@ -244,6 +274,9 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if cfg.CrossEdgeFraction < 0 || cfg.CrossEdgeFraction > 1 {
 		return nil, fmt.Errorf("cluster: CrossEdgeFraction must be in [0, 1], got %g", cfg.CrossEdgeFraction)
+	}
+	if cfg.ZipfSkew < 0 {
+		return nil, fmt.Errorf("cluster: ZipfSkew must be ≥ 0, got %g", cfg.ZipfSkew)
 	}
 
 	cloudModel := cfg.CloudModel
@@ -295,7 +328,10 @@ func New(cfg Config) (*Cluster, error) {
 	}
 
 	if cfg.Sharded {
-		c.provisionShards()
+		if err := c.provisionShards(); err != nil {
+			c.closeDurability()
+			return nil, err
+		}
 	} else {
 		for _, e := range c.edges {
 			e.Mgr = txn.NewManager(cfg.Clock, e.Store, e.Locks)
@@ -319,6 +355,7 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		idx := cfg.Placement.Pick(cs, c.edges)
 		if idx < 0 || idx >= len(c.edges) {
+			c.closeDurability()
 			return nil, fmt.Errorf("cluster: placement %q picked edge %d of %d for camera %q", cfg.Placement.Name(), idx, len(c.edges), cs.ID)
 		}
 		edge := c.edges[idx]
@@ -330,12 +367,18 @@ func New(cfg Config) (*Cluster, error) {
 			// The camera draws keys from the fleet-wide sharded keyspace,
 			// home-biased: CrossEdgeFraction of them belong to another
 			// edge's shard and make the transaction multi-partition.
-			source.Keys = workload.ShardedUniform{
-				Prefix:    "item",
-				Home:      idx,
-				Shards:    len(c.edges),
-				N:         cfg.WorkloadKeys,
-				CrossProb: cfg.CrossEdgeFraction,
+			if cfg.ZipfSkew > 0 {
+				source.Keys = workload.NewShardedZipf(
+					"item", idx, len(c.edges), cfg.WorkloadKeys,
+					cfg.CrossEdgeFraction, cfg.ZipfSkew, cs.Seed)
+			} else {
+				source.Keys = workload.ShardedUniform{
+					Prefix:    "item",
+					Home:      idx,
+					Shards:    len(c.edges),
+					N:         cfg.WorkloadKeys,
+					CrossProb: cfg.CrossEdgeFraction,
+				}
 			}
 		}
 		if cfg.OpCost > 0 {
@@ -368,6 +411,7 @@ func New(cfg Config) (*Cluster, error) {
 			},
 		})
 		if err != nil {
+			c.closeDurability()
 			return nil, fmt.Errorf("cluster: camera %q: %w", cs.ID, err)
 		}
 		c.cams = append(c.cams, &cameraRuntime{
@@ -385,8 +429,11 @@ func New(cfg Config) (*Cluster, error) {
 // inter-edge links carries cross-edge lock and commit traffic, one
 // fleet-wide txn.Manager (whose backend routes every key to its owning
 // shard) spans all edges, and each edge gets a ShardedCC bound to its home
-// partition.
-func (c *Cluster) provisionShards() {
+// partition. Under a fault plan every partition additionally gets a
+// write-ahead log and the fleet a fault injector, so scripted crashes are
+// survivable: committed state recovers from the log, retraction restores
+// are journaled, and in-doubt 2PC blocks resolve against coordinator logs.
+func (c *Cluster) provisionShards() error {
 	n := len(c.edges)
 	parts := make([]*twopc.Partition, n)
 	for i, e := range c.edges {
@@ -395,8 +442,9 @@ func (c *Cluster) provisionShards() {
 	}
 	c.partitioner = shardPartitioner(n)
 	c.dist = &twopc.DistStats{}
+	shardedStore := &twopc.ShardedStore{Parts: parts, Partitioner: c.partitioner}
 	c.fleetMgr = txn.NewManager(c.cfg.Clock, nil, nil)
-	c.fleetMgr.DB = &twopc.ShardedStore{Parts: parts, Partitioner: c.partitioner}
+	c.fleetMgr.DB = shardedStore
 	for i, e := range c.edges {
 		e.Peers = make([]*netsim.Link, n)
 		for j := range c.edges {
@@ -419,6 +467,60 @@ func (c *Cluster) provisionShards() {
 			Stats:       c.dist,
 		}
 	}
+	if c.cfg.Faults == nil {
+		return nil
+	}
+
+	dir := c.cfg.WALDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "croesus-wal-")
+		if err != nil {
+			return fmt.Errorf("cluster: wal dir: %w", err)
+		}
+		dir, c.walTemp = tmp, tmp
+	}
+	paths := make([]string, n)
+	linkRows := make([][]*netsim.Link, n)
+	for i, e := range c.edges {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("%s.wal", e.Spec.ID))
+		// A fresh fleet starts from a fresh log: stale records from an
+		// earlier run in the same WALDir would poison recovery.
+		os.Remove(paths[i])
+		log, err := wal.Open(paths[i])
+		if err != nil {
+			return fmt.Errorf("cluster: wal for edge %s: %w", e.Spec.ID, err)
+		}
+		// The log models durability inside one simulated process; skipping
+		// fsync keeps big fleets fast without changing any outcome.
+		log.NoSync = true
+		parts[i].WAL = log
+		c.walLogs = append(c.walLogs, log)
+		linkRows[i] = e.Peers
+	}
+	// Retraction cascades re-install before-images through the journaling
+	// backend so a recovered partition agrees with the live store.
+	c.fleetMgr.RestoreDB = twopc.JournaledShardedStore{ShardedStore: shardedStore}
+	inj, err := faults.NewInjector(c.cfg.Clock, *c.cfg.Faults, parts, linkRows, paths)
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	c.injector = inj
+	for _, e := range c.edges {
+		e.CC.(*twopc.ShardedCC).Faults = inj
+	}
+	return nil
+}
+
+// closeDurability closes the partition logs and removes a temp WAL dir.
+func (c *Cluster) closeDurability() {
+	for _, l := range c.walLogs {
+		l.Close()
+	}
+	c.walLogs = nil
+	if c.walTemp != "" {
+		os.RemoveAll(c.walTemp)
+		c.walTemp = ""
+	}
 }
 
 // Edges returns the provisioned edge nodes in declaration order.
@@ -436,6 +538,15 @@ func (c *Cluster) DistStats() twopc.DistCounters {
 	}
 	return c.dist.Snapshot()
 }
+
+// Injector returns the fleet's fault injector, or nil without a fault plan.
+func (c *Cluster) Injector() *faults.Injector { return c.injector }
+
+// Close releases the durability resources of a fault-injected fleet (the
+// partition logs and any auto-created WAL directory). The one-call Run
+// closes automatically; New+Run callers close when done — after any
+// post-run log inspection such as Injector().VerifyDurability().
+func (c *Cluster) Close() { c.closeDurability() }
 
 // Outcomes returns the per-frame outcomes of one camera after Run, or
 // nil if the camera is unknown. Frames are in capture order.
@@ -458,6 +569,11 @@ func (c *Cluster) Batcher() *Batcher { return c.batcher }
 func (c *Cluster) Run() *ClusterReport {
 	clk := c.clk
 	start := clk.Now()
+	// The injector's scheduled events spawn first so the virtual-time
+	// tiebreak — and with it the whole faulty run — is reproducible.
+	if c.injector != nil {
+		c.injector.Start()
+	}
 	for _, cam := range c.cams {
 		cam := cam
 		cam.outcomes = make([]core.FrameOutcome, len(cam.frames))
@@ -470,6 +586,11 @@ func (c *Cluster) Run() *ClusterReport {
 		}
 	}
 	clk.Wait()
+	// End-of-run repair: recover any edge still down and resolve every
+	// outstanding in-doubt block, so the report describes a healed fleet.
+	if c.injector != nil {
+		c.injector.Finish()
+	}
 	// The makespan ends at the last frame's final commit, not at
 	// clk.Now(): stale SLO timers may still run the clock forward after
 	// the fleet has drained.
@@ -484,11 +605,13 @@ func (c *Cluster) Run() *ClusterReport {
 	return c.report(end - start)
 }
 
-// Run builds and runs a cluster in one call.
+// Run builds and runs a cluster in one call, releasing any durability
+// resources when the run finishes.
 func Run(cfg Config) (*ClusterReport, error) {
 	c, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}
+	defer c.Close()
 	return c.Run(), nil
 }

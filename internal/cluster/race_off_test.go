@@ -1,0 +1,11 @@
+//go:build !race
+
+package cluster
+
+// raceEnabled reports whether the race detector built this test binary.
+// The byte-determinism assertions only run without it: vclock pins the
+// order of all timer-driven events, but goroutines woken within a single
+// virtual instant still interleave in real time, and the detector's
+// instrumentation perturbs exactly those interleavings (e.g. wait-die
+// outcomes between a lock releaser and the waiter it just woke).
+const raceEnabled = false

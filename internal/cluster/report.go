@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"croesus/internal/core"
+	"croesus/internal/faults"
 	"croesus/internal/metrics"
 	"croesus/internal/twopc"
 )
@@ -70,6 +71,11 @@ type ClusterReport struct {
 	Protocol          string
 	CrossEdgeFraction float64
 	TwoPC             twopc.DistCounters
+
+	// Faults summarizes the injected failure schedule and its recovery
+	// work — crashes, restarts, transactions failed by faults, in-doubt
+	// resolutions, recovery-time percentiles. Nil without a fault plan.
+	Faults *faults.Report
 }
 
 // report scores every camera and aggregates the fleet.
@@ -124,6 +130,9 @@ func (c *Cluster) report(elapsed time.Duration) *ClusterReport {
 	r.Protocol = c.cfg.Protocol.String()
 	r.CrossEdgeFraction = c.cfg.CrossEdgeFraction
 	r.TwoPC = c.DistStats()
+	if c.injector != nil {
+		r.Faults = c.injector.Report()
+	}
 	return r
 }
 
@@ -155,6 +164,12 @@ func (r *ClusterReport) Format() string {
 			r.Protocol, r.CrossEdgeFraction*100,
 			tp.CrossEdgeCommits, tp.RemoteCommits, tp.LocalCommits,
 			tp.PrepareRPCs, tp.CommitRPCs, tp.LockRPCs, tp.Aborts)
+	}
+	if f := r.Faults; f != nil {
+		fmt.Fprintf(&b, "faults: %d crashes / %d restarts, %d link outages; %d txns failed by faults; in-doubt %d (%d committed, %d presumed abort); %d WAL records replayed; recovery p50/p95/p99 %s/%s/%s\n",
+			f.Crashes, f.Restarts, f.LinkOutages, f.TxnsFailed,
+			f.InDoubt, f.InDoubtCommitted, f.InDoubtAborted, f.ReplayedRecords,
+			f.RecoveryP50.Round(time.Millisecond), f.RecoveryP95.Round(time.Millisecond), f.RecoveryP99.Round(time.Millisecond))
 	}
 	return b.String()
 }

@@ -147,6 +147,7 @@ var registry = []struct {
 	{"cluster-scale", ClusterScale},
 	{"cluster-shed", ClusterShed},
 	{"cluster-2pc", Cluster2PC},
+	{"cluster-faults", ClusterFaults},
 	{"ablation-policy", AblationPolicy},
 	{"ablation-sequencer", AblationSequencer},
 	{"ablation-chain", AblationChain},

@@ -53,8 +53,8 @@ func TestTableFormatAndMarkdown(t *testing.T) {
 
 func TestIDsAndByID(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 17 {
-		t.Fatalf("IDs = %d, want 17", len(ids))
+	if len(ids) != 18 {
+		t.Fatalf("IDs = %d, want 18", len(ids))
 	}
 	if _, ok := ByID("nope", quick()); ok {
 		t.Error("unknown ID accepted")
@@ -474,5 +474,35 @@ func TestClusterShedShape(t *testing.T) {
 	}
 	if prevShed == 0 {
 		t.Error("starved cloud shed nothing")
+	}
+}
+
+func TestClusterFaultsShape(t *testing.T) {
+	tab := ClusterFaults(quick())
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want one per protocol", len(tab.Rows))
+	}
+	for i := range tab.Rows {
+		crashes, err := strconv.Atoi(cell(tab, i, "crashes"))
+		if err != nil || crashes < 2 {
+			t.Errorf("row %d: crashes = %q, want the scripted schedule (≥2)", i, cell(tab, i, "crashes"))
+		}
+		if cell(tab, i, "restarts") != cell(tab, i, "crashes") {
+			t.Errorf("row %d: restarts %s != crashes %s — fleet must end healed",
+				i, cell(tab, i, "restarts"), cell(tab, i, "crashes"))
+		}
+		avail := parsePct(cell(tab, i, "availability"))
+		if avail <= 0.5 || avail > 1.0 {
+			t.Errorf("row %d: availability %.2f out of range", i, avail)
+		}
+	}
+	// Determinism of the whole harness: regenerating the table gives the
+	// same bytes. (Non-race builds only — the race detector perturbs
+	// same-virtual-instant goroutine interleavings; see race_off_test.go.)
+	if !raceEnabled {
+		again := ClusterFaults(quick())
+		if tab.Format() != again.Format() {
+			t.Error("cluster-faults experiment not deterministic across runs")
+		}
 	}
 }

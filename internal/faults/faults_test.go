@@ -1,0 +1,221 @@
+package faults
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"croesus/internal/lock"
+	"croesus/internal/netsim"
+	"croesus/internal/store"
+	"croesus/internal/twopc"
+	"croesus/internal/txn"
+	"croesus/internal/vclock"
+	"croesus/internal/wal"
+)
+
+// miniFleet builds a two-partition durable fleet on clk: edge 0 is the
+// home of the returned ShardedCC, edge 1 is remote over a 5ms link.
+func miniFleet(t *testing.T, clk vclock.Clock) (*twopc.ShardedCC, []*twopc.Partition, [][]*netsim.Link, []string) {
+	t.Helper()
+	dir := t.TempDir()
+	parts := make([]*twopc.Partition, 2)
+	paths := make([]string, 2)
+	for i := range parts {
+		parts[i] = twopc.NewPartitionOver(i, store.New(), lock.NewManager(clk))
+		paths[i] = filepath.Join(dir, "edge.wal"+string(rune('0'+i)))
+		l, err := wal.Open(paths[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		parts[i].WAL = l
+	}
+	mk := func() *netsim.Link { return &netsim.Link{Name: "peer", Propagation: 5 * time.Millisecond} }
+	links := [][]*netsim.Link{{nil, mk()}, {mk(), nil}}
+	partitioner := func(key string) int {
+		if key[0] == '1' {
+			return 1
+		}
+		return 0
+	}
+	shardedStore := &twopc.ShardedStore{Parts: parts, Partitioner: partitioner}
+	mgr := txn.NewManager(clk, nil, nil)
+	mgr.DB = shardedStore
+	mgr.RestoreDB = twopc.JournaledShardedStore{ShardedStore: shardedStore}
+	cc := &twopc.ShardedCC{
+		Clk:         clk,
+		M:           mgr,
+		Home:        0,
+		Parts:       parts,
+		Links:       links[0],
+		Partitioner: partitioner,
+		Protocol:    twopc.MSIA,
+		Stats:       &twopc.DistStats{},
+	}
+	return cc, parts, links, paths
+}
+
+func writeTxn(key string, v int64) *txn.Txn {
+	body := func(c *txn.Ctx) error {
+		c.Put(key, store.Int64Value(v))
+		return nil
+	}
+	return &txn.Txn{
+		Name:      "w-" + key,
+		InitialRW: txn.RWSet{Writes: []string{key}},
+		FinalRW:   txn.RWSet{Writes: []string{key}},
+		Initial:   body,
+		Final:     body,
+	}
+}
+
+func runTxn(t *testing.T, cc *twopc.ShardedCC, tx *txn.Txn) error {
+	t.Helper()
+	in := cc.M.NewInstance(tx, nil)
+	if err := cc.RunInitial(in); err != nil {
+		return err
+	}
+	return cc.RunFinal(in)
+}
+
+func TestInjectorValidation(t *testing.T) {
+	clk := vclock.NewSim()
+	_, parts, links, paths := miniFleet(t, clk)
+	for _, tc := range []struct {
+		name string
+		plan Plan
+		want string
+	}{
+		{"crash unknown edge", Plan{Crashes: []EdgeCrash{{Edge: 7}}}, "unknown edge"},
+		{"2pc unknown edge", Plan{TwoPC: []TwoPCCrash{{Edge: -1}}}, "unknown edge"},
+		{"2pc bad point", Plan{TwoPC: []TwoPCCrash{{Edge: 0, Point: 99}}}, "2PC point"},
+		{"2pc bad round", Plan{TwoPC: []TwoPCCrash{{Edge: 0, Round: -2}}}, "round"},
+		{"self link", Plan{Links: []LinkFault{{A: 1, B: 1}}}, "link fault"},
+	} {
+		if _, err := NewInjector(clk, tc.plan, parts, links, paths); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+	// A partition without a WAL cannot be crashed survivably.
+	bare := []*twopc.Partition{twopc.NewPartitionOver(0, store.New(), lock.NewManager(clk))}
+	if _, err := NewInjector(clk, Plan{}, bare, [][]*netsim.Link{{nil}}, []string{"x"}); err == nil {
+		t.Error("injector accepted a WAL-less partition")
+	}
+}
+
+// A crash wipes the edge's volatile state; restart rebuilds exactly the
+// committed state from the WAL — junk that only lived in memory is gone,
+// committed writes are back, and work resumes.
+func TestCrashRestartRebuildsFromLog(t *testing.T) {
+	clk := vclock.NewSim()
+	cc, parts, links, paths := miniFleet(t, clk)
+	inj, err := NewInjector(clk, Plan{
+		Crashes: []EdgeCrash{{Edge: 1, At: 100 * time.Millisecond, RestartAfter: 50 * time.Millisecond}},
+	}, parts, links, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc.Faults = inj
+
+	sleepUntil := func(at time.Duration) { clk.Sleep(at - clk.Now()) }
+	inj.Start()
+	clk.Go(func() {
+		// Before the crash: a committed remote write and a cross one.
+		if err := runTxn(t, cc, writeTxn("1a", 1)); err != nil {
+			t.Errorf("pre-crash txn: %v", err)
+		}
+		// Volatile junk on edge 1 that never committed through a txn.
+		parts[1].Store.Put("1junk", store.Int64Value(99))
+
+		sleepUntil(110 * time.Millisecond)
+		if !inj.Down(1) {
+			t.Error("edge 1 not down inside its outage window")
+		}
+		// A transaction needing the dead edge fails, not blocks.
+		if err := runTxn(t, cc, writeTxn("1b", 2)); err == nil {
+			t.Error("txn against a crashed edge succeeded")
+		}
+
+		sleepUntil(200 * time.Millisecond) // well past the restart
+		if inj.Down(1) {
+			t.Error("edge 1 still down after RestartAfter")
+		}
+		if _, ok := parts[1].Store.Get("1junk"); ok {
+			t.Error("uncommitted in-memory junk survived the crash")
+		}
+		if v, ok := parts[1].Store.Get("1a"); !ok || store.AsInt64(v) != 1 {
+			t.Errorf("committed write lost across the crash: %v %v", v, ok)
+		}
+		// The fleet is usable again.
+		if err := runTxn(t, cc, writeTxn("1c", 3)); err != nil {
+			t.Errorf("post-recovery txn: %v", err)
+		}
+	})
+	clk.Wait()
+	inj.Finish()
+
+	c := inj.Counters()
+	if c.Crashes != 1 || c.Restarts != 1 {
+		t.Errorf("crashes/restarts = %d/%d, want 1/1", c.Crashes, c.Restarts)
+	}
+	if c.TxnsFailed == 0 {
+		t.Error("the outage-window transaction was not counted as failed")
+	}
+	if c.ReplayedRecords == 0 {
+		t.Error("recovery replayed nothing")
+	}
+	if err := inj.VerifyDurability(); err != nil {
+		t.Errorf("durability: %v", err)
+	}
+	if rep := inj.Report(); rep.RecoveryP50 < 50*time.Millisecond {
+		t.Errorf("recovery p50 = %s, want ≥ the 50ms outage", rep.RecoveryP50)
+	}
+}
+
+// A partitioned peer link fails cross-edge transactions without crashing
+// anything, and healing restores them.
+func TestLinkPartitionFailsCrossEdgeTxns(t *testing.T) {
+	clk := vclock.NewSim()
+	cc, parts, links, paths := miniFleet(t, clk)
+	inj, err := NewInjector(clk, Plan{
+		Links: []LinkFault{{A: 0, B: 1, At: 10 * time.Millisecond, Heal: 30 * time.Millisecond}},
+	}, parts, links, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc.Faults = inj
+
+	inj.Start()
+	clk.Go(func() {
+		clk.Sleep(15 * time.Millisecond)
+		if err := runTxn(t, cc, writeTxn("1a", 1)); err == nil {
+			t.Error("cross-edge txn succeeded over a partitioned link")
+		}
+		// Home-only work is unaffected by the peer partition.
+		if err := runTxn(t, cc, writeTxn("0a", 5)); err != nil {
+			t.Errorf("home txn during link partition: %v", err)
+		}
+		clk.Sleep(30 * time.Millisecond) // past the heal
+		if err := runTxn(t, cc, writeTxn("1a", 2)); err != nil {
+			t.Errorf("cross-edge txn after heal: %v", err)
+		}
+	})
+	clk.Wait()
+	inj.Finish()
+
+	c := inj.Counters()
+	if c.LinkOutages != 1 || c.Crashes != 0 {
+		t.Errorf("outages/crashes = %d/%d, want 1/0", c.LinkOutages, c.Crashes)
+	}
+	if c.TxnsFailed == 0 {
+		t.Error("partitioned-link transaction not counted as failed")
+	}
+	if v, _ := parts[1].Store.Get("1a"); store.AsInt64(v) != 2 {
+		t.Errorf("post-heal write = %v", v)
+	}
+	if err := inj.VerifyDurability(); err != nil {
+		t.Errorf("durability: %v", err)
+	}
+}

@@ -320,6 +320,15 @@ func (m *Manager) recordWait(d time.Duration) {
 	m.holdMu.Unlock()
 }
 
+// Outstanding reports how many keys currently have holders or waiters —
+// zero after a clean run, which is how the fault tests prove a crash did
+// not leak MS-SR locks.
+func (m *Manager) Outstanding() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.locks)
+}
+
 // Held reports whether owner currently holds key (any mode) — for tests.
 func (m *Manager) Held(owner Owner, key string) bool {
 	m.mu.Lock()

@@ -22,6 +22,8 @@ type Link struct {
 	mu       sync.Mutex
 	bytes    int64
 	messages int64
+	down     bool
+	outages  int64
 }
 
 // TransferTime returns the modeled one-way transfer time for n bytes.
@@ -35,11 +37,44 @@ func (l *Link) TransferTime(n int) time.Duration {
 
 // Send sleeps for the transfer time of n bytes on clk and records traffic.
 func (l *Link) Send(clk vclock.Clock, n int) {
+	clk.Sleep(l.Charge(n))
+}
+
+// Charge records the traffic of an n-byte message and returns its transfer
+// time without sleeping. Callers that fan a round of messages out in
+// parallel charge each link and sleep once for the maximum.
+func (l *Link) Charge(n int) time.Duration {
 	l.mu.Lock()
 	l.bytes += int64(n)
 	l.messages++
 	l.mu.Unlock()
-	clk.Sleep(l.TransferTime(n))
+	return l.TransferTime(n)
+}
+
+// SetDown partitions (true) or heals (false) the link. The link itself
+// keeps accounting; callers decide what an unreachable peer means (the
+// sharded fleet fails the transaction touching it).
+func (l *Link) SetDown(down bool) {
+	l.mu.Lock()
+	if down && !l.down {
+		l.outages++
+	}
+	l.down = down
+	l.mu.Unlock()
+}
+
+// IsDown reports whether the link is currently partitioned.
+func (l *Link) IsDown() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.down
+}
+
+// Outages reports how many times the link transitioned to down.
+func (l *Link) Outages() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.outages
 }
 
 // Traffic reports cumulative bytes and message count.

@@ -1,0 +1,223 @@
+// Durable partitions: the write-ahead-log side of a sharded fleet. When a
+// Partition carries a WAL, every section commit it participates in is
+// logged — single-partition commits as a data batch closed by a commit
+// marker, multi-partition commits as the participant's staged block (data
+// records + prepare marker) followed by the coordinator's decision — so a
+// crashed edge rebuilds exactly the committed state with wal.Recover and
+// resolves prepared-but-undecided transactions against the coordinator's
+// log (presumed abort: no durable commit decision means abort).
+package twopc
+
+import (
+	"fmt"
+	"sort"
+
+	"croesus/internal/store"
+	"croesus/internal/txn"
+	"croesus/internal/wal"
+)
+
+// walStage is a prepared-but-undecided transaction block held by a
+// participant between the prepare vote and the decision.
+type walStage struct {
+	coord int
+	recs  []wal.Record
+	// fromRecovery marks a block re-installed by crash recovery: its
+	// writes are not in the rebuilt store and must be applied if the
+	// decision turns out to be commit. A live block's writes were applied
+	// eagerly under locks during section execution and need no re-apply.
+	fromRecovery bool
+}
+
+// Durable reports whether this partition logs to a WAL.
+func (p *Partition) Durable() bool { return p.WAL != nil }
+
+// mustAppend logs records or panics: in the simulation a WAL write error is
+// a harness bug (unwritable temp dir), not a modeled fault.
+func (p *Partition) mustAppend(recs ...wal.Record) {
+	if p.WAL == nil {
+		return
+	}
+	if err := p.WAL.AppendBatch(recs); err != nil {
+		panic(fmt.Sprintf("twopc: partition %d wal append: %v", p.ID, err))
+	}
+}
+
+// RedoRecords captures the redo batch for a section commit: each key's
+// current store value, read under the section's still-held exclusive locks.
+func (p *Partition) RedoRecords(id txn.ID, keys []string) []wal.Record {
+	sorted := append([]string{}, keys...)
+	sort.Strings(sorted)
+	recs := make([]wal.Record, 0, len(sorted))
+	for _, k := range sorted {
+		if v, ok := p.Store.Get(k); ok {
+			recs = append(recs, wal.Record{Op: wal.OpPut, Txn: uint64(id), Key: k, Value: v})
+		} else {
+			recs = append(recs, wal.Record{Op: wal.OpDelete, Txn: uint64(id), Key: k})
+		}
+	}
+	return recs
+}
+
+// LogLocalCommit durably commits a single-partition section: the data
+// records and the commit marker land in one batch, so a torn tail can only
+// lose the whole commit (presumed abort), never half of it.
+func (p *Partition) LogLocalCommit(id txn.ID, recs []wal.Record) {
+	p.mustAppend(append(recs, wal.Record{Op: wal.OpCommit, Txn: uint64(id)})...)
+}
+
+// StagePrepare stages a participant's share of a multi-partition commit:
+// data records plus the prepare marker (naming the coordinator) in one
+// durable batch, and the block remembered in memory until the decision.
+func (p *Partition) StagePrepare(id txn.ID, coord int, recs []wal.Record) {
+	p.mustAppend(append(recs, wal.Record{Op: wal.OpPrepare, Txn: uint64(id), Coord: coord})...)
+	p.mu.Lock()
+	if p.walStaged == nil {
+		p.walStaged = make(map[txn.ID]*walStage)
+	}
+	p.walStaged[id] = &walStage{coord: coord, recs: recs}
+	p.mu.Unlock()
+}
+
+// LogDecision records this partition's durable commit/abort decision as the
+// coordinator of id's atomic commitment. Participants in doubt inquire here.
+func (p *Partition) LogDecision(id txn.ID, commit bool) {
+	op := wal.OpAbort
+	if commit {
+		op = wal.OpCommit
+	}
+	p.mustAppend(wal.Record{Op: op, Txn: uint64(id)})
+	p.mu.Lock()
+	if p.decisions == nil {
+		p.decisions = make(map[txn.ID]bool)
+	}
+	p.decisions[id] = commit
+	p.mu.Unlock()
+}
+
+// Decision reports the outcome this partition decided (as coordinator) for
+// id, and whether any decision is known. Unknown means presumed abort for
+// an inquiring participant.
+func (p *Partition) Decision(id txn.ID) (commit, known bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	commit, known = p.decisions[id]
+	return commit, known
+}
+
+// DeliverDecision completes a staged block: the decision marker is logged
+// and the block cleared. A recovery-restaged commit applies its writes (the
+// rebuilt store does not have them); a live block's writes were applied
+// eagerly during the section, and an aborted live block was already undone
+// by the coordinator's retraction.
+func (p *Partition) DeliverDecision(id txn.ID, commit bool) {
+	p.mu.Lock()
+	st := p.walStaged[id]
+	delete(p.walStaged, id)
+	p.mu.Unlock()
+	if st == nil {
+		return
+	}
+	if commit && st.fromRecovery {
+		for _, r := range st.recs {
+			switch r.Op {
+			case wal.OpPut:
+				p.Store.Put(r.Key, r.Value)
+			case wal.OpDelete:
+				p.Store.Delete(r.Key)
+			}
+		}
+	}
+	op := wal.OpAbort
+	if commit {
+		op = wal.OpCommit
+	}
+	p.mustAppend(wal.Record{Op: op, Txn: uint64(id)})
+}
+
+// Restage re-installs an in-doubt block found by crash recovery, to be
+// resolved by DeliverDecision once the coordinator's outcome is known.
+func (p *Partition) Restage(id txn.ID, coord int, recs []wal.Record) {
+	p.mu.Lock()
+	if p.walStaged == nil {
+		p.walStaged = make(map[txn.ID]*walStage)
+	}
+	p.walStaged[id] = &walStage{coord: coord, recs: recs, fromRecovery: true}
+	p.mu.Unlock()
+}
+
+// StagedBy lists the staged transactions coordinated by coord, ascending.
+func (p *Partition) StagedBy(coord int) []txn.ID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []txn.ID
+	for id, st := range p.walStaged {
+		if st.coord == coord {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// StagedCoords lists the distinct coordinators of every staged block,
+// ascending — what an end-of-run sweep iterates to drain the fleet.
+func (p *Partition) StagedCoords() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	seen := map[int]bool{}
+	for _, st := range p.walStaged {
+		seen[st.coord] = true
+	}
+	out := make([]int, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RestoreDecisions replaces the in-memory decision cache with the set
+// recovered from this partition's log.
+func (p *Partition) RestoreDecisions(d map[uint64]bool) {
+	p.mu.Lock()
+	p.decisions = make(map[txn.ID]bool, len(d))
+	for id, c := range d {
+		p.decisions[txn.ID(id)] = c
+	}
+	p.mu.Unlock()
+}
+
+// CrashReset drops every piece of volatile protocol state — staged blocks,
+// prepare votes, the decision cache — modeling the fail-stop loss of the
+// edge process's memory. The WAL (and the store object, which recovery
+// rebuilds in place) survive.
+func (p *Partition) CrashReset() {
+	p.mu.Lock()
+	p.staged = make(map[txn.ID][]stagedWrite)
+	p.prepared = make(map[txn.ID]bool)
+	p.walStaged = nil
+	p.decisions = nil
+	p.mu.Unlock()
+}
+
+// JournaledShardedStore wraps a ShardedStore so every mutation is also
+// appended to the owning partition's WAL as a non-transactional record. It
+// is the RestoreDB of a durable fleet's transaction manager: retraction
+// cascades re-install before-images through it, so a partition recovered
+// from its log agrees with the live store even after a cascade crossed it.
+type JournaledShardedStore struct {
+	*ShardedStore
+}
+
+// Put journals then applies.
+func (s JournaledShardedStore) Put(key string, v store.Value) uint64 {
+	s.Parts[s.Partitioner(key)].mustAppend(wal.Record{Op: wal.OpPut, Key: key, Value: v})
+	return s.ShardedStore.Put(key, v)
+}
+
+// Delete journals then applies.
+func (s JournaledShardedStore) Delete(key string) bool {
+	s.Parts[s.Partitioner(key)].mustAppend(wal.Record{Op: wal.OpDelete, Key: key})
+	return s.ShardedStore.Delete(key)
+}

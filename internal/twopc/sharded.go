@@ -9,12 +9,21 @@
 // final commit). Undo logging, dependency tracking, and retraction cascades
 // live in the one fleet-wide txn.Manager, so a retraction started on one
 // edge undoes dependent writes on every other edge it reached.
+//
+// When the fleet is durable (partitions carry WALs) and a FaultOracle is
+// installed, the protocol additionally survives fail-stop crashes: every
+// section commit is logged before it counts, prepare votes and commit
+// decisions are durable, a transaction that loses a partition mid-flight
+// aborts or retracts instead of committing on lost state, and a recovering
+// edge resolves its in-doubt transactions against the coordinator's log
+// (presumed abort). internal/faults drives the crashes and the recovery.
 package twopc
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"croesus/internal/lock"
 	"croesus/internal/netsim"
@@ -63,6 +72,54 @@ func (s *ShardedStore) Put(key string, v store.Value) uint64 {
 // Delete implements txn.Backend.
 func (s *ShardedStore) Delete(key string) bool {
 	return s.Parts[s.Partitioner(key)].Store.Delete(key)
+}
+
+// TwoPCPoint names a scripted instant inside an atomic-commitment round —
+// the places a fault plan can fail-stop an edge (internal/faults).
+type TwoPCPoint int
+
+// The scripted 2PC points.
+const (
+	// PointParticipantPrepared: a participant just voted yes (its staged
+	// block is durable) and fail-stops before the decision reaches it.
+	PointParticipantPrepared TwoPCPoint = iota
+	// PointAfterPrepare: the coordinator collected every vote and
+	// fail-stops before its decision is durable — participants are in
+	// doubt and resolve by presumed abort.
+	PointAfterPrepare
+	// PointAfterDecision: the coordinator logged its commit decision and
+	// fail-stops before delivering phase 2 — the transaction is committed,
+	// and participants learn it from the coordinator's log.
+	PointAfterDecision
+)
+
+func (p TwoPCPoint) String() string {
+	switch p {
+	case PointParticipantPrepared:
+		return "participant-prepared"
+	case PointAfterPrepare:
+		return "after-prepare"
+	default:
+		return "after-decision"
+	}
+}
+
+// FaultOracle is the seam the fault injector (internal/faults) plugs into
+// the protocol: partition liveness, crash epochs (a changed epoch means the
+// edge crashed and lost its volatile state — including lock grants — since
+// the caller last talked to it), scripted 2PC-point crashes, and fault
+// accounting. A nil oracle means a fault-free fleet.
+type FaultOracle interface {
+	// Down reports whether partition pi's edge is currently fail-stopped.
+	Down(pi int) bool
+	// Epoch returns pi's crash epoch (incremented at every crash).
+	Epoch(pi int) int
+	// At2PCPoint fires a scripted 2PC instant: coord is the coordinating
+	// partition, part the acting one. It returns false when the acting
+	// edge fail-stopped at this point and the caller cannot proceed there.
+	At2PCPoint(coord, part int, point TwoPCPoint) bool
+	// TxnFault records a transaction aborted or retracted by a fault.
+	TxnFault()
 }
 
 // DistCounters counts fleet-wide distributed-commit events.
@@ -127,9 +184,22 @@ type ShardedCC struct {
 	Partitioner func(key string) int
 	Protocol    Protocol
 	Stats       *DistStats
+	// Faults, when set, injects scripted failures and supplies the
+	// liveness/epoch oracle the protocol consults before trusting a
+	// partition (nil: fault-free fleet).
+	Faults FaultOracle
 
 	mu   sync.Mutex
-	held map[txn.ID][]lock.Request // MS-SR: locks held from initial to final commit
+	held map[txn.ID]heldState // MS-SR: locks held from initial to final commit
+}
+
+// heldState is what MS-SR remembers between the initial and the final
+// commit: the held requests plus the crash epoch of every partition they
+// live on — a changed epoch at final-commit time means that partition's
+// lock table (and the eager initial writes) died with the edge.
+type heldState struct {
+	reqs   []lock.Request
+	epochs map[int]int
 }
 
 // Name returns the protocol name, e.g. "sharded-MS-IA".
@@ -139,6 +209,57 @@ func (c *ShardedCC) Name() string { return "sharded-" + c.Protocol.String() }
 func (c *ShardedCC) hopTo(pi int) {
 	if l := c.Links[pi]; l != nil {
 		l.Send(c.Clk, lockMsgBytes)
+	}
+}
+
+func (c *ShardedCC) partDown(pi int) bool { return c.Faults != nil && c.Faults.Down(pi) }
+
+func (c *ShardedCC) linkDown(pi int) bool {
+	return c.Links[pi] != nil && c.Links[pi].IsDown()
+}
+
+// reachable reports whether partition pi can currently serve this edge:
+// its edge is up and the peer link is not partitioned.
+func (c *ShardedCC) reachable(pi int) bool { return !c.partDown(pi) && !c.linkDown(pi) }
+
+// snapshotEpochs records the crash epoch of every partition in byPart at
+// lock-acquisition time; nil when no fault oracle is installed.
+func (c *ShardedCC) snapshotEpochs(byPart map[int][]lock.Request) map[int]int {
+	if c.Faults == nil {
+		return nil
+	}
+	out := make(map[int]int, len(byPart))
+	for pi := range byPart {
+		out[pi] = c.Faults.Epoch(pi)
+	}
+	return out
+}
+
+// epochsBroken reports whether any recorded partition crashed (or is down)
+// since its epoch was snapshotted — its locks and eager writes are gone.
+func (c *ShardedCC) epochsBroken(epochs map[int]int) bool {
+	if c.Faults == nil {
+		return false
+	}
+	for pi, e := range epochs {
+		if c.Faults.Down(pi) || c.Faults.Epoch(pi) != e {
+			return true
+		}
+	}
+	return false
+}
+
+// at2PC fires a scripted 2PC point; true means the acting edge survived.
+func (c *ShardedCC) at2PC(part int, point TwoPCPoint) bool {
+	if c.Faults == nil {
+		return true
+	}
+	return c.Faults.At2PCPoint(c.Home, part, point)
+}
+
+func (c *ShardedCC) noteFault() {
+	if c.Faults != nil {
+		c.Faults.TxnFault()
 	}
 }
 
@@ -155,12 +276,21 @@ func (c *ShardedCC) byPartition(reqs []lock.Request) map[int][]lock.Request {
 // acquire takes every request, visiting partitions in ascending index
 // (remote ones over the edge link). The lock-grant reply doubles as the
 // remote read fetch, so section bodies read remote keys without further
-// hops.
-func (c *ShardedCC) acquire(owner lock.Owner, byPart map[int][]lock.Request) {
+// hops. It reports false — releasing everything taken — when a partition
+// is unreachable (its edge crashed or the link is partitioned).
+func (c *ShardedCC) acquire(owner lock.Owner, byPart map[int][]lock.Request) bool {
+	got := make([]int, 0, len(c.Parts))
 	for pi := 0; pi < len(c.Parts); pi++ {
 		rs, ok := byPart[pi]
 		if !ok {
 			continue
+		}
+		if !c.reachable(pi) {
+			for _, gi := range got {
+				c.hopTo(gi)
+				c.Parts[gi].Locks.ReleaseAll(owner, byPart[gi])
+			}
+			return false
 		}
 		c.hopTo(pi)
 		c.Parts[pi].Locks.AcquireAll(owner, rs)
@@ -168,7 +298,9 @@ func (c *ShardedCC) acquire(owner lock.Owner, byPart map[int][]lock.Request) {
 		if c.Links[pi] != nil {
 			c.Stats.add(func(d *DistCounters) { d.LockRPCs++ })
 		}
+		got = append(got, pi)
 	}
+	return true
 }
 
 // acquireWaitDie is the MS-SR variant: because MS-SR holds every lock from
@@ -179,13 +311,24 @@ func (c *ShardedCC) acquire(owner lock.Owner, byPart map[int][]lock.Request) {
 // transaction may wait only while older than every holder, otherwise it
 // dies — everything taken so far, on every partition, is released and false
 // is returned. Fleet-wide monotonic IDs make the age comparison valid
-// across edges.
-func (c *ShardedCC) acquireWaitDie(owner lock.Owner, byPart map[int][]lock.Request) bool {
+// across edges. fault reports whether the failure was an unreachable
+// partition rather than a wait-die death.
+func (c *ShardedCC) acquireWaitDie(owner lock.Owner, byPart map[int][]lock.Request) (ok, fault bool) {
 	got := make([]int, 0, len(c.Parts))
+	bail := func(fault bool) (bool, bool) {
+		for _, gi := range got {
+			c.hopTo(gi)
+			c.Parts[gi].Locks.ReleaseAll(owner, byPart[gi])
+		}
+		return false, fault
+	}
 	for pi := 0; pi < len(c.Parts); pi++ {
 		rs, ok := byPart[pi]
 		if !ok {
 			continue
+		}
+		if !c.reachable(pi) {
+			return bail(true)
 		}
 		c.hopTo(pi)
 		ok = c.Parts[pi].Locks.AcquireAllWaitDie(owner, rs)
@@ -194,15 +337,11 @@ func (c *ShardedCC) acquireWaitDie(owner lock.Owner, byPart map[int][]lock.Reque
 			c.Stats.add(func(d *DistCounters) { d.LockRPCs++ })
 		}
 		if !ok {
-			for _, gi := range got {
-				c.hopTo(gi)
-				c.Parts[gi].Locks.ReleaseAll(owner, byPart[gi])
-			}
-			return false
+			return bail(false)
 		}
 		got = append(got, pi)
 	}
-	return true
+	return true, false
 }
 
 func (c *ShardedCC) release(owner lock.Owner, byPart map[int][]lock.Request) {
@@ -219,48 +358,122 @@ func (c *ShardedCC) release(owner lock.Owner, byPart map[int][]lock.Request) {
 // commitSection runs the atomic-commitment round for one section commit
 // over the partitions its write set touched. A write set confined to one
 // partition needs no 2PC: the commit is local (free) or a single remote
-// commit message. A multi-partition write set pays a full prepare/commit
-// round over every involved partition, in ascending partition order. The
-// writes themselves were applied through the fleet ShardedStore as the
-// section executed (locks make the early application unobservable), so the
-// round here is the protocol's message cost and bookkeeping.
-func (c *ShardedCC) commitSection(writes []lock.Request) {
+// commit message. A multi-partition write set pays a prepare/commit round
+// over every involved partition; the fan-out is parallel — each phase
+// charges every involved link and sleeps once for the slowest round trip,
+// not the sum of sequential visits. The writes themselves were applied
+// through the fleet ShardedStore as the section executed (locks make the
+// early application unobservable), so the round here is the protocol's
+// message cost, the WAL logging that makes the commit durable, and the
+// scripted crash points of the fault plan. ErrCrashed means the commit did
+// not happen — the caller must undo the section's eager writes.
+func (c *ShardedCC) commitSection(id txn.ID, writes []lock.Request, epochs map[int]int) error {
+	keysByPart := map[int][]string{}
 	involved := make([]int, 0, len(c.Parts))
-	seen := make(map[int]bool, len(c.Parts))
 	for _, r := range writes {
 		if r.Mode != lock.Exclusive {
 			continue
 		}
-		if pi := c.Partitioner(r.Key); !seen[pi] {
-			seen[pi] = true
+		pi := c.Partitioner(r.Key)
+		if _, ok := keysByPart[pi]; !ok {
 			involved = append(involved, pi)
 		}
+		keysByPart[pi] = append(keysByPart[pi], r.Key)
 	}
-	switch len(involved) {
-	case 0:
-		return // read-only section: nothing to commit
-	case 1:
+	if len(involved) == 0 {
+		return nil // read-only section: nothing to commit
+	}
+	// Every involved partition must still be the one we locked at: a
+	// crashed (or unreachable) partition lost our locks and eager writes.
+	sort.Ints(involved)
+	for _, pi := range involved {
+		if !c.reachable(pi) {
+			return ErrCrashed
+		}
+		if epochs != nil && c.Faults.Epoch(pi) != epochs[pi] {
+			return ErrCrashed
+		}
+	}
+
+	if len(involved) == 1 {
 		pi := involved[0]
+		p := c.Parts[pi]
+		if p.Durable() {
+			p.LogLocalCommit(id, p.RedoRecords(id, keysByPart[pi]))
+		}
 		if c.Links[pi] == nil {
 			c.Stats.add(func(d *DistCounters) { d.LocalCommits++ })
-			return
+			return nil
 		}
 		c.hopTo(pi)
 		c.Stats.add(func(d *DistCounters) { d.RemoteCommits++; d.CommitRPCs++ })
-		return
+		return nil
 	}
-	// Ascending partition order, like every other protocol round.
-	sort.Ints(involved)
-	for _, pi := range involved { // phase 1: prepare
-		c.hopTo(pi)
-		c.hopTo(pi)
+
+	// Phase 1: parallel prepare fan-out. Each participant stages its share
+	// durably (data records + prepare marker) and votes; the round costs
+	// the slowest participant's round trip.
+	var maxRTT time.Duration
+	for _, pi := range involved {
+		p := c.Parts[pi]
+		if p.Durable() {
+			p.StagePrepare(id, c.Home, p.RedoRecords(id, keysByPart[pi]))
+		}
+		if l := c.Links[pi]; l != nil {
+			if rtt := l.Charge(lockMsgBytes) + l.Charge(lockMsgBytes); rtt > maxRTT {
+				maxRTT = rtt
+			}
+		}
 		c.Stats.add(func(d *DistCounters) { d.PrepareRPCs++ })
+		// A scripted participant crash lands here: the yes vote is already
+		// durable, so the round proceeds and the participant resolves the
+		// transaction from the coordinator's log when it recovers.
+		c.at2PC(pi, PointParticipantPrepared)
 	}
-	for _, pi := range involved { // phase 2: commit
-		c.hopTo(pi)
-		c.Stats.add(func(d *DistCounters) { d.CommitRPCs++ })
+	c.Clk.Sleep(maxRTT)
+
+	if !c.at2PC(c.Home, PointAfterPrepare) {
+		// The coordinator fail-stopped before its decision became durable:
+		// the transaction did not commit; prepared participants are in
+		// doubt and resolve by presumed abort.
+		return ErrCrashed
+	}
+	if c.Parts[c.Home].Durable() {
+		c.Parts[c.Home].LogDecision(id, true)
+	}
+	delivered := c.at2PC(c.Home, PointAfterDecision)
+
+	// Phase 2: parallel commit delivery, skipped entirely when the
+	// coordinator fail-stopped right after logging the decision (the
+	// transaction is committed either way — that is what the durable
+	// decision means; participants learn it from the coordinator's log).
+	if delivered {
+		var maxOne time.Duration
+		for _, pi := range involved {
+			if !c.reachable(pi) {
+				continue // resolves from the coordinator's log at recovery
+			}
+			c.Parts[pi].DeliverDecision(id, true)
+			if l := c.Links[pi]; l != nil {
+				if t := l.Charge(lockMsgBytes); t > maxOne {
+					maxOne = t
+				}
+			}
+			c.Stats.add(func(d *DistCounters) { d.CommitRPCs++ })
+		}
+		c.Clk.Sleep(maxOne)
 	}
 	c.Stats.add(func(d *DistCounters) { d.TwoPCRounds++; d.CrossEdgeCommits++ })
+	return nil
+}
+
+// abortTxn retracts a transaction whose commit was interrupted by a fault:
+// the section's eager writes (and any dependents') are undone through the
+// manager's undo log, and the abort is counted.
+func (c *ShardedCC) abortTxn(in *txn.Instance, reason string) {
+	c.M.Retract(in, reason)
+	c.Stats.add(func(d *DistCounters) { d.Aborts++ })
+	c.noteFault()
 }
 
 // RunInitial implements txn.CC. MS-IA locks and commits the initial
@@ -278,14 +491,38 @@ func (c *ShardedCC) RunInitial(in *txn.Instance) error {
 		reqs = in.T.InitialRW.Requests()
 	}
 	byPart := c.byPartition(reqs)
+	// Epochs are snapshotted BEFORE acquisition: a partition that crashes
+	// and even recovers while this transaction waits for a contended lock
+	// must still be detected (its lock table and any state the wait
+	// spanned died with it), so the check below and the one at commit
+	// compare against the pre-wait world.
+	epochs := c.snapshotEpochs(byPart)
 	if c.Protocol == MSSR {
-		if !c.acquireWaitDie(owner, byPart) {
+		ok, fault := c.acquireWaitDie(owner, byPart)
+		if !ok {
 			c.M.MarkAborted(in)
 			c.Stats.add(func(d *DistCounters) { d.Aborts++ })
+			if fault {
+				c.noteFault()
+			}
 			return txn.ErrAborted
 		}
 	} else {
-		c.acquire(owner, byPart)
+		if !c.acquire(owner, byPart) {
+			c.M.MarkAborted(in)
+			c.Stats.add(func(d *DistCounters) { d.Aborts++ })
+			c.noteFault()
+			return txn.ErrAborted
+		}
+	}
+	if c.epochsBroken(epochs) {
+		// A partition crashed while we waited for its locks: nothing was
+		// written yet, so this is a plain abort, not a retraction.
+		c.release(owner, byPart)
+		c.M.MarkAborted(in)
+		c.Stats.add(func(d *DistCounters) { d.Aborts++ })
+		c.noteFault()
+		return txn.ErrAborted
 	}
 
 	if err := c.M.ExecSection(in, txn.StageInitial); err != nil {
@@ -300,21 +537,30 @@ func (c *ShardedCC) RunInitial(in *txn.Instance) error {
 		// locks make the initial writes unobservable until then.
 		c.mu.Lock()
 		if c.held == nil {
-			c.held = make(map[txn.ID][]lock.Request)
+			c.held = make(map[txn.ID]heldState)
 		}
-		c.held[in.ID] = reqs
+		c.held[in.ID] = heldState{reqs: reqs, epochs: epochs}
 		c.mu.Unlock()
 		c.M.MarkInitialCommitted(in)
 		return nil
 	}
-	c.commitSection(in.T.InitialRW.Requests())
+	if err := c.commitSection(in.ID, in.T.InitialRW.Requests(), epochs); err != nil {
+		// The initial commit could not complete (a partition crashed
+		// mid-round): undo the section's eager writes and abort.
+		c.abortTxn(in, "initial commit interrupted by edge failure")
+		c.release(owner, byPart)
+		return txn.ErrAborted
+	}
 	c.M.MarkInitialCommitted(in)
 	c.release(owner, byPart)
 	return nil
 }
 
 // RunFinal implements txn.CC: final section, concluding atomic commitment,
-// release of every remaining lock.
+// release of every remaining lock. A transaction that lost a partition to a
+// crash between its commits is retracted — never half-committed — and the
+// crash can leak no locks: MS-SR's held requests are always released here,
+// whether the final commit succeeded, retracted, or died with an edge.
 func (c *ShardedCC) RunFinal(in *txn.Instance) error {
 	owner := lock.Owner(in.ID)
 	if c.Protocol == MSSR {
@@ -324,18 +570,30 @@ func (c *ShardedCC) RunFinal(in *txn.Instance) error {
 			return fmt.Errorf("txn %d: RunFinal in state %s", in.ID, s)
 		}
 		c.mu.Lock()
-		heldReqs := c.held[in.ID]
+		hs := c.held[in.ID]
 		delete(c.held, in.ID)
 		c.mu.Unlock()
-		heldBy := c.byPartition(heldReqs)
+		heldBy := c.byPartition(hs.reqs)
 		if in.State() == txn.StateRetracted {
 			c.release(owner, heldBy) // a cascade got here first
+			return txn.ErrRetracted
+		}
+		if c.epochsBroken(hs.epochs) {
+			// A partition holding our locks crashed during the cloud round
+			// trip: the locks and the eager initial writes there are gone.
+			// The only safe outcome is retraction.
+			c.abortTxn(in, "edge crashed while MS-SR locks were held")
+			c.release(owner, heldBy)
 			return txn.ErrRetracted
 		}
 		err := c.M.ExecSection(in, txn.StageFinal)
 		if err == nil {
 			// One 2PC covers both sections' writes (Algorithm 1).
-			c.commitSection(lock.Normalize(append(in.T.InitialRW.Requests(), in.T.FinalRW.Requests()...)))
+			if cerr := c.commitSection(in.ID, lock.Normalize(append(in.T.InitialRW.Requests(), in.T.FinalRW.Requests()...)), hs.epochs); cerr != nil {
+				c.abortTxn(in, "final commit interrupted by edge failure")
+				c.release(owner, heldBy)
+				return txn.ErrRetracted
+			}
 		}
 		retracted := c.M.MarkFinalCommitted(in)
 		c.release(owner, heldBy)
@@ -354,10 +612,26 @@ func (c *ShardedCC) RunFinal(in *txn.Instance) error {
 	}
 	reqs := in.T.FinalRW.Requests()
 	byPart := c.byPartition(reqs)
-	c.acquire(owner, byPart)
+	epochs := c.snapshotEpochs(byPart) // pre-wait world, as in RunInitial
+	if !c.acquire(owner, byPart) {
+		// The final section cannot reach its partitions; the multi-stage
+		// guarantee (initial commit ⇒ final commit) is broken by the
+		// failure, so the initial section's effects are retracted.
+		c.abortTxn(in, "edge crashed before the final section")
+		return txn.ErrRetracted
+	}
+	if c.epochsBroken(epochs) {
+		c.abortTxn(in, "edge crashed while the final section waited for locks")
+		c.release(owner, byPart)
+		return txn.ErrRetracted
+	}
 	err := c.M.ExecSection(in, txn.StageFinal)
 	if err == nil {
-		c.commitSection(reqs)
+		if cerr := c.commitSection(in.ID, reqs, epochs); cerr != nil {
+			c.abortTxn(in, "final commit interrupted by edge failure")
+			c.release(owner, byPart)
+			return txn.ErrRetracted
+		}
 	}
 	retracted := c.M.MarkFinalCommitted(in)
 	c.release(owner, byPart)

@@ -1,0 +1,179 @@
+package twopc
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"croesus/internal/lock"
+	"croesus/internal/netsim"
+	"croesus/internal/store"
+	"croesus/internal/txn"
+	"croesus/internal/vclock"
+	"croesus/internal/wal"
+)
+
+// prefixPartitioner routes "1..." to partition 1, "2..." to 2, rest to 0.
+func prefixPartitioner(key string) int {
+	switch key[0] {
+	case '1':
+		return 1
+	case '2':
+		return 2
+	default:
+		return 0
+	}
+}
+
+// testFleet builds a three-partition fleet whose home edge 0 reaches
+// partition 1 over a 10ms link and partition 2 over a 30ms link (infinite
+// bandwidth, so transfer time is pure propagation).
+func testFleet(clk vclock.Clock) (*ShardedCC, []*Partition) {
+	parts := make([]*Partition, 3)
+	for i := range parts {
+		parts[i] = NewPartitionOver(i, store.New(), lock.NewManager(clk))
+	}
+	links := []*netsim.Link{
+		nil,
+		{Name: "0-1", Propagation: 10 * time.Millisecond},
+		{Name: "0-2", Propagation: 30 * time.Millisecond},
+	}
+	mgr := txn.NewManager(clk, nil, nil)
+	mgr.DB = &ShardedStore{Parts: parts, Partitioner: prefixPartitioner}
+	cc := &ShardedCC{
+		Clk:         clk,
+		M:           mgr,
+		Home:        0,
+		Parts:       parts,
+		Links:       links,
+		Partitioner: prefixPartitioner,
+		Protocol:    MSIA,
+		Stats:       &DistStats{},
+	}
+	return cc, parts
+}
+
+func shardedCrossTxn() *txn.Txn {
+	body := func(c *txn.Ctx) error {
+		c.Put("1a", store.Int64Value(1))
+		c.Put("2b", store.Int64Value(2))
+		return nil
+	}
+	return &txn.Txn{
+		Name:      "cross",
+		InitialRW: txn.RWSet{Writes: []string{"1a", "2b"}},
+		FinalRW:   txn.RWSet{Writes: []string{"1a", "2b"}},
+		Initial:   body,
+		Final:     body,
+	}
+}
+
+// The 2PC prepare/commit fan-out is parallel: each phase charges every
+// involved link but costs only the slowest round trip, not the sum of
+// sequential partition visits. With 10ms and 30ms links, one initial
+// commit breaks down as
+//
+//	lock round (ordered, sequential):  2×10 + 2×30 = 80ms
+//	prepare fan-out (parallel):        max(2×10, 2×30) = 60ms
+//	commit fan-out (parallel):         max(10, 30)     = 30ms
+//	release round (one-way each):      10 + 30         = 40ms
+//
+// for 210ms total; the old sequential rounds cost 80+80+40+40 = 240ms.
+func TestCommitFanOutChargesMaxNotSum(t *testing.T) {
+	clk := vclock.NewSim()
+	cc, _ := testFleet(clk)
+	var elapsed time.Duration
+	clk.Run(func() {
+		start := clk.Now()
+		in := cc.M.NewInstance(shardedCrossTxn(), nil)
+		if err := cc.RunInitial(in); err != nil {
+			t.Errorf("RunInitial: %v", err)
+		}
+		elapsed = clk.Now() - start
+	})
+	if want := 210 * time.Millisecond; elapsed != want {
+		t.Errorf("initial commit took %s, want %s (parallel fan-out charges the max per phase)", elapsed, want)
+	}
+	st := cc.Stats.Snapshot()
+	if st.TwoPCRounds != 1 || st.CrossEdgeCommits != 1 {
+		t.Errorf("rounds/cross = %d/%d, want 1/1", st.TwoPCRounds, st.CrossEdgeCommits)
+	}
+	if st.PrepareRPCs != 2 || st.CommitRPCs != 2 {
+		t.Errorf("prepare/commit RPCs = %d/%d, want 2/2 — the fan-out must still message every participant", st.PrepareRPCs, st.CommitRPCs)
+	}
+	if st.LockRPCs != 2 {
+		t.Errorf("lock RPCs = %d, want 2", st.LockRPCs)
+	}
+}
+
+// A durable fleet logs every section commit: single-partition commits as a
+// closed data batch, multi-partition commits as staged blocks plus the
+// coordinator's decision — and each partition's log recovers to exactly
+// its live store, with nothing left staged.
+func TestDurableCommitLifecycle(t *testing.T) {
+	clk := vclock.NewSim()
+	cc, parts := testFleet(clk)
+	dir := t.TempDir()
+	paths := make([]string, len(parts))
+	for i, p := range parts {
+		paths[i] = filepath.Join(dir, "p.wal"+string(rune('0'+i)))
+		l, err := wal.Open(paths[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		p.WAL = l
+	}
+
+	clk.Run(func() {
+		in := cc.M.NewInstance(shardedCrossTxn(), nil)
+		if err := cc.RunInitial(in); err != nil {
+			t.Errorf("RunInitial: %v", err)
+			return
+		}
+		if err := cc.RunFinal(in); err != nil {
+			t.Errorf("RunFinal: %v", err)
+		}
+		// A home-only transaction exercises the local durable commit.
+		local := &txn.Txn{
+			Name:      "local",
+			InitialRW: txn.RWSet{Writes: []string{"0c"}},
+			FinalRW:   txn.RWSet{},
+			Initial: func(c *txn.Ctx) error {
+				c.Put("0c", store.Int64Value(3))
+				return nil
+			},
+			Final: func(c *txn.Ctx) error { return nil },
+		}
+		lin := cc.M.NewInstance(local, nil)
+		if err := cc.RunInitial(lin); err != nil {
+			t.Errorf("local RunInitial: %v", err)
+		}
+		if err := cc.RunFinal(lin); err != nil {
+			t.Errorf("local RunFinal: %v", err)
+		}
+	})
+
+	for i, p := range parts {
+		res, err := wal.Recover(paths[i])
+		if err != nil {
+			t.Fatalf("recover partition %d: %v", i, err)
+		}
+		if len(res.InDoubt) != 0 {
+			t.Errorf("partition %d: %d in-doubt blocks after clean commits", i, len(res.InDoubt))
+		}
+		live := p.Store.Snapshot()
+		rec := res.Store.Snapshot()
+		if len(live) != len(rec) {
+			t.Errorf("partition %d: live %d keys, recovered %d", i, len(live), len(rec))
+		}
+		for k, v := range live {
+			if rv, ok := rec[k]; !ok || string(rv) != string(v) {
+				t.Errorf("partition %d key %q: live %q recovered %q", i, k, v, rv)
+			}
+		}
+		if ids := p.StagedBy(0); len(ids) != 0 {
+			t.Errorf("partition %d still stages %v", i, ids)
+		}
+	}
+}

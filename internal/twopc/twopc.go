@@ -17,10 +17,16 @@ import (
 	"croesus/internal/store"
 	"croesus/internal/txn"
 	"croesus/internal/vclock"
+	"croesus/internal/wal"
 )
 
 // ErrAborted is returned when a participant votes no during prepare.
 var ErrAborted = errors.New("twopc: aborted")
+
+// ErrCrashed reports that an atomic-commitment round could not complete
+// because an involved edge fail-stopped (or its link partitioned) — the
+// section's commit did not happen and its eager writes must be undone.
+var ErrCrashed = errors.New("twopc: edge crashed mid-commit")
 
 // Partition is one edge node's shard of the database.
 type Partition struct {
@@ -30,10 +36,19 @@ type Partition struct {
 	// Link models the coordinator→partition network hop. The
 	// coordinator's own partition uses a nil Link (local calls).
 	Link *netsim.Link
+	// WAL, when set, makes the partition durable: every section commit it
+	// participates in is logged, and a crashed edge rebuilds the partition
+	// from the log (see durable.go and internal/faults).
+	WAL *wal.Log
 
 	mu       sync.Mutex
 	staged   map[txn.ID][]stagedWrite
 	prepared map[txn.ID]bool
+	// walStaged and decisions are the durable-fleet protocol state:
+	// prepared-but-undecided blocks and the commit/abort outcomes this
+	// partition decided as a coordinator.
+	walStaged map[txn.ID]*walStage
+	decisions map[txn.ID]bool
 	// FailPrepares makes the next n prepare requests vote no —
 	// failure injection for tests and benches.
 	FailPrepares int

@@ -49,7 +49,7 @@ func (m *Manager) Retract(inst *Instance, reason string) []Apology {
 		in.mu.Unlock()
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].r.seq > recs[j].r.seq })
-	db := m.db()
+	db := m.restoreDB()
 	for _, rc := range recs {
 		if rc.r.existed {
 			db.Put(rc.r.key, rc.r.prev)

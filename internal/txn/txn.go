@@ -253,8 +253,14 @@ type Manager struct {
 	// DB, when set, replaces Store as the storage backend (Store may then
 	// be nil). Every section read/write and every retraction restore goes
 	// through it.
-	DB     Backend
-	Strict bool // enforce declared read/write sets in Ctx (default on)
+	DB Backend
+	// RestoreDB, when set, is the backend retraction restores go through
+	// instead of DB. A durable sharded fleet points it at a journaling
+	// wrapper so the before-images a cascade re-installs reach each
+	// partition's write-ahead log — otherwise a recovered edge would
+	// resurrect the retracted writes.
+	RestoreDB Backend
+	Strict    bool // enforce declared read/write sets in Ctx (default on)
 
 	mu         sync.Mutex
 	nextID     ID
@@ -288,6 +294,14 @@ func (m *Manager) db() Backend {
 		return m.DB
 	}
 	return m.Store
+}
+
+// restoreDB returns the backend retraction restores write through.
+func (m *Manager) restoreDB() Backend {
+	if m.RestoreDB != nil {
+		return m.RestoreDB
+	}
+	return m.db()
 }
 
 // NewInstance instantiates a template with the given initial-section input.

@@ -8,10 +8,22 @@
 //
 //	[4-byte little-endian payload length][4-byte CRC32 (IEEE) of payload][payload]
 //
-// where the payload is op (1 byte: 1=put, 2=delete), key length (4 bytes),
-// key, and — for puts — the value. Replay stops cleanly at a torn tail
-// (partial record or CRC mismatch from a crash mid-write) and truncates it,
-// which is the standard recovery contract.
+// where the payload is op (1 byte), the owning transaction id (8 bytes,
+// 0 for non-transactional records), the coordinating partition (4 bytes,
+// meaningful on prepare records), key length (4 bytes), key, and — for
+// puts — the value. Replay stops cleanly at a torn tail (partial record or
+// CRC mismatch from a crash mid-write) and truncates it, which is the
+// standard recovery contract.
+//
+// Beyond plain put/delete, the log carries the two-phase-commit life cycle
+// of the sharded fleet (internal/twopc): a participant stages a
+// transaction's writes as data records followed by an OpPrepare marker; the
+// decision lands as an OpCommit or OpAbort marker (on the coordinator's own
+// log the OpCommit doubles as the durable commit decision). Recovery applies
+// only decided transactions; a prepared-but-undecided block is reported as
+// in-doubt for the caller to resolve against the coordinator's log, and a
+// data block with neither prepare nor decision (a torn tail mid-commit) is
+// dropped — presumed abort.
 package wal
 
 import (
@@ -22,6 +34,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sort"
 	"sync"
 
 	"croesus/internal/store"
@@ -30,15 +43,27 @@ import (
 // Op is a logged operation kind.
 type Op byte
 
-// Logged operation kinds.
+// Logged operation kinds. OpPut and OpDelete are data records; OpPrepare,
+// OpCommit, and OpAbort are two-phase-commit markers carrying only a
+// transaction id (and, for OpPrepare, the coordinating partition).
 const (
-	OpPut    Op = 1
-	OpDelete Op = 2
+	OpPut     Op = 1
+	OpDelete  Op = 2
+	OpPrepare Op = 3
+	OpCommit  Op = 4
+	OpAbort   Op = 5
 )
 
-// Record is one logged mutation.
+// Record is one logged entry.
 type Record struct {
-	Op    Op
+	Op Op
+	// Txn is the owning transaction. Data records with Txn 0 are
+	// non-transactional: recovery applies them immediately in log order.
+	Txn uint64
+	// Coord is the partition coordinating the transaction's atomic
+	// commitment; it is written on OpPrepare records so recovery knows
+	// whose log to inquire for an in-doubt transaction.
+	Coord int
 	Key   string
 	Value store.Value
 }
@@ -49,6 +74,11 @@ var ErrCorrupt = errors.New("wal: corrupt record")
 // Log is an append-only write-ahead log. Appends are serialized and
 // fsynced per batch.
 type Log struct {
+	// NoSync skips the per-batch fsync — for simulations, where the log's
+	// job is crash modeling inside one process, not surviving a real power
+	// cut. Set before first use.
+	NoSync bool
+
 	mu   sync.Mutex
 	f    *os.File
 	w    *bufio.Writer
@@ -96,6 +126,9 @@ func (l *Log) AppendBatch(recs []Record) error {
 	if err := l.w.Flush(); err != nil {
 		return err
 	}
+	if l.NoSync {
+		return nil
+	}
 	return l.f.Sync()
 }
 
@@ -105,6 +138,9 @@ func (l *Log) Size() int64 {
 	defer l.mu.Unlock()
 	return l.size
 }
+
+// Path returns the file the log appends to.
+func (l *Log) Path() string { return l.path }
 
 // Close flushes and closes the log.
 func (l *Log) Close() error {
@@ -117,16 +153,23 @@ func (l *Log) Close() error {
 	return l.f.Close()
 }
 
+// payload layout: op(1) txn(8) coord(4) klen(4) key value.
+const payloadHeader = 1 + 8 + 4 + 4
+
 func encodePayload(rec Record) []byte {
-	n := 1 + 4 + len(rec.Key)
+	n := payloadHeader + len(rec.Key)
 	if rec.Op == OpPut {
 		n += len(rec.Value)
 	}
 	buf := make([]byte, 0, n)
 	buf = append(buf, byte(rec.Op))
-	var klen [4]byte
-	binary.LittleEndian.PutUint32(klen[:], uint32(len(rec.Key)))
-	buf = append(buf, klen[:]...)
+	var num [8]byte
+	binary.LittleEndian.PutUint64(num[:], rec.Txn)
+	buf = append(buf, num[:]...)
+	binary.LittleEndian.PutUint32(num[:4], uint32(rec.Coord))
+	buf = append(buf, num[:4]...)
+	binary.LittleEndian.PutUint32(num[:4], uint32(len(rec.Key)))
+	buf = append(buf, num[:4]...)
 	buf = append(buf, rec.Key...)
 	if rec.Op == OpPut {
 		buf = append(buf, rec.Value...)
@@ -135,22 +178,27 @@ func encodePayload(rec Record) []byte {
 }
 
 func decodePayload(payload []byte) (Record, error) {
-	if len(payload) < 5 {
+	if len(payload) < payloadHeader {
 		return Record{}, ErrCorrupt
 	}
 	op := Op(payload[0])
-	if op != OpPut && op != OpDelete {
+	if op < OpPut || op > OpAbort {
 		return Record{}, fmt.Errorf("%w: bad op %d", ErrCorrupt, op)
 	}
-	klen := int(binary.LittleEndian.Uint32(payload[1:5]))
-	if klen < 0 || 5+klen > len(payload) {
+	rec := Record{
+		Op:    op,
+		Txn:   binary.LittleEndian.Uint64(payload[1:9]),
+		Coord: int(binary.LittleEndian.Uint32(payload[9:13])),
+	}
+	klen := int(binary.LittleEndian.Uint32(payload[13:17]))
+	if klen < 0 || payloadHeader+klen > len(payload) {
 		return Record{}, fmt.Errorf("%w: bad key length %d", ErrCorrupt, klen)
 	}
-	rec := Record{Op: op, Key: string(payload[5 : 5+klen])}
+	rec.Key = string(payload[payloadHeader : payloadHeader+klen])
 	if op == OpPut {
-		rec.Value = store.Value(payload[5+klen:]).Clone()
-	} else if 5+klen != len(payload) {
-		return Record{}, fmt.Errorf("%w: trailing bytes on delete", ErrCorrupt)
+		rec.Value = store.Value(payload[payloadHeader+klen:]).Clone()
+	} else if payloadHeader+klen != len(payload) {
+		return Record{}, fmt.Errorf("%w: trailing bytes on %d record", ErrCorrupt, op)
 	}
 	return rec, nil
 }
@@ -210,23 +258,168 @@ func Replay(path string, fn func(Record) error) (records int, truncated bool, er
 	}
 }
 
-// Recover rebuilds a store from the log at path, returning the store, the
-// number of records applied, and whether a torn tail was truncated.
-func Recover(path string) (*store.Store, int, bool, error) {
-	st := store.New()
-	n, truncated, err := Replay(path, func(rec Record) error {
+// InDoubt is a prepared-but-undecided transaction found during recovery:
+// the participant voted yes and crashed (or its coordinator did) before the
+// decision reached its log. The caller resolves it against the
+// coordinator's log — presumed abort when no commit decision exists there.
+type InDoubt struct {
+	Txn    uint64
+	Coord  int
+	Writes []Record // the staged data records, in log order
+}
+
+// RecoverResult is everything recovery learns from one partition's log.
+type RecoverResult struct {
+	// Store holds the recovered committed state.
+	Store *store.Store
+	// Records is the number of intact records replayed.
+	Records int
+	// Truncated reports that a torn tail was removed.
+	Truncated bool
+	// InDoubt lists prepared-but-undecided transactions, ascending by id.
+	InDoubt []InDoubt
+	// Incomplete counts transactions whose data records reached the log
+	// but whose prepare/commit marker did not (a crash mid-commit). Their
+	// writes are dropped: presumed abort.
+	Incomplete int
+	// Decisions maps transaction ids to their logged outcome (true =
+	// commit). On a coordinator's log these are the durable decisions an
+	// in-doubt participant inquires about.
+	Decisions map[uint64]bool
+}
+
+// Recover rebuilds a partition from the log at path. Non-transactional data
+// records (Txn 0) apply in log order; transactional blocks apply only when
+// their commit marker was logged, are dropped on an abort marker or a
+// missing prepare, and are reported in-doubt when prepared but undecided.
+func Recover(path string) (*RecoverResult, error) {
+	type block struct {
+		writes   []Record
+		prepared bool
+		coord    int
+	}
+	res := &RecoverResult{Store: store.New(), Decisions: make(map[uint64]bool)}
+	pending := make(map[uint64]*block)
+	apply := func(rec Record) {
 		switch rec.Op {
 		case OpPut:
-			st.Put(rec.Key, rec.Value)
+			res.Store.Put(rec.Key, rec.Value)
 		case OpDelete:
-			st.Delete(rec.Key)
+			res.Store.Delete(rec.Key)
+		}
+	}
+	n, truncated, err := Replay(path, func(rec Record) error {
+		switch rec.Op {
+		case OpPut, OpDelete:
+			if rec.Txn == 0 {
+				apply(rec)
+				return nil
+			}
+			b := pending[rec.Txn]
+			if b == nil {
+				b = &block{}
+				pending[rec.Txn] = b
+			}
+			b.writes = append(b.writes, rec)
+		case OpPrepare:
+			b := pending[rec.Txn]
+			if b == nil {
+				b = &block{}
+				pending[rec.Txn] = b
+			}
+			b.prepared = true
+			b.coord = rec.Coord
+		case OpCommit:
+			res.Decisions[rec.Txn] = true
+			if b := pending[rec.Txn]; b != nil {
+				for _, w := range b.writes {
+					apply(w)
+				}
+				delete(pending, rec.Txn)
+			}
+		case OpAbort:
+			res.Decisions[rec.Txn] = false
+			delete(pending, rec.Txn)
 		}
 		return nil
 	})
 	if err != nil {
-		return nil, n, false, err
+		return nil, err
 	}
-	return st, n, truncated, nil
+	res.Records, res.Truncated = n, truncated
+	for id, b := range pending {
+		if !b.prepared {
+			res.Incomplete++ // lost its commit marker to the crash: presumed abort
+			continue
+		}
+		res.InDoubt = append(res.InDoubt, InDoubt{Txn: id, Coord: b.coord, Writes: b.writes})
+	}
+	sort.Slice(res.InDoubt, func(i, j int) bool { return res.InDoubt[i].Txn < res.InDoubt[j].Txn })
+	return res, nil
+}
+
+// Probe sizes a recovery without materializing any state: the intact
+// record count (what replay will cost) and the coordinators of
+// prepared-but-undecided transactions (one inquiry round trip each), in
+// ascending transaction order. Like Recover it truncates a torn tail.
+func Probe(path string) (records int, inDoubtCoords []int, err error) {
+	type pend struct {
+		coord    int
+		prepared bool
+	}
+	pending := make(map[uint64]*pend)
+	records, _, err = Replay(path, func(rec Record) error {
+		switch rec.Op {
+		case OpPut, OpDelete:
+			if rec.Txn != 0 && pending[rec.Txn] == nil {
+				pending[rec.Txn] = &pend{}
+			}
+		case OpPrepare:
+			p := pending[rec.Txn]
+			if p == nil {
+				p = &pend{}
+				pending[rec.Txn] = p
+			}
+			p.prepared, p.coord = true, rec.Coord
+		case OpCommit, OpAbort:
+			delete(pending, rec.Txn)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	ids := make([]uint64, 0, len(pending))
+	for id, p := range pending {
+		if p.prepared {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		inDoubtCoords = append(inDoubtCoords, pending[id].coord)
+	}
+	return records, inDoubtCoords, nil
+}
+
+// Decisions scans the log at path for decision markers only — the inquiry
+// a recovering participant makes against its coordinator's log to resolve
+// an in-doubt transaction. Absence of an entry means presumed abort.
+func Decisions(path string) (map[uint64]bool, error) {
+	out := make(map[uint64]bool)
+	_, _, err := Replay(path, func(rec Record) error {
+		switch rec.Op {
+		case OpCommit:
+			out[rec.Txn] = true
+		case OpAbort:
+			out[rec.Txn] = false
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // LoggedStore wraps a store so every mutation is WAL-logged before it is

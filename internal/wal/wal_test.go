@@ -67,27 +67,27 @@ func TestRecoverRebuildsStore(t *testing.T) {
 	})
 	l.Close()
 
-	st, n, truncated, err := Recover(path)
+	res, err := Recover(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 4 || truncated {
-		t.Errorf("n=%d truncated=%v", n, truncated)
+	if res.Records != 4 || res.Truncated {
+		t.Errorf("n=%d truncated=%v", res.Records, res.Truncated)
 	}
-	if v, _ := st.Get("x"); store.AsInt64(v) != 10 {
+	if v, _ := res.Store.Get("x"); store.AsInt64(v) != 10 {
 		t.Errorf("x = %d", store.AsInt64(v))
 	}
-	if _, ok := st.Get("y"); ok {
+	if _, ok := res.Store.Get("y"); ok {
 		t.Error("deleted key y survived recovery")
 	}
 }
 
 func TestRecoverMissingFile(t *testing.T) {
-	st, n, truncated, err := Recover(filepath.Join(t.TempDir(), "never-created.wal"))
-	if err != nil || n != 0 || truncated {
-		t.Fatalf("missing log: n=%d truncated=%v err=%v", n, truncated, err)
+	res, err := Recover(filepath.Join(t.TempDir(), "never-created.wal"))
+	if err != nil || res.Records != 0 || res.Truncated {
+		t.Fatalf("missing log: %+v err=%v", res, err)
 	}
-	if st.Len() != 0 {
+	if res.Store.Len() != 0 {
 		t.Error("store not empty")
 	}
 }
@@ -105,14 +105,14 @@ func TestTornTailTruncatedAndRecoverable(t *testing.T) {
 	f.Write([]byte{9, 0, 0, 0, 0xde, 0xad}) // partial header+garbage
 	f.Close()
 
-	st, n, truncated, err := Recover(path)
+	res, err := Recover(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 2 || !truncated {
-		t.Fatalf("n=%d truncated=%v, want 2 records and a truncation", n, truncated)
+	if res.Records != 2 || !res.Truncated {
+		t.Fatalf("n=%d truncated=%v, want 2 records and a truncation", res.Records, res.Truncated)
 	}
-	if _, ok := st.Get("keep"); !ok {
+	if _, ok := res.Store.Get("keep"); !ok {
 		t.Error("intact record lost")
 	}
 	// The file must be back to its intact size and appendable.
@@ -128,9 +128,9 @@ func TestTornTailTruncatedAndRecoverable(t *testing.T) {
 		t.Fatal(err)
 	}
 	l2.Close()
-	_, n2, truncated2, _ := Recover(path)
-	if n2 != 3 || truncated2 {
-		t.Errorf("after re-append: n=%d truncated=%v", n2, truncated2)
+	res2, _ := Recover(path)
+	if res2.Records != 3 || res2.Truncated {
+		t.Errorf("after re-append: n=%d truncated=%v", res2.Records, res2.Truncated)
 	}
 }
 
@@ -174,11 +174,11 @@ func TestLoggedStoreWritesThrough(t *testing.T) {
 		t.Error("live store missing write")
 	}
 	l.Close()
-	st, n, _, err := Recover(path)
-	if err != nil || n != 2 {
-		t.Fatalf("n=%d err=%v", n, err)
+	res, err := Recover(path)
+	if err != nil || res.Records != 2 {
+		t.Fatalf("res=%+v err=%v", res, err)
 	}
-	if v, _ := st.Get("k"); store.AsString(v) != "v" {
+	if v, _ := res.Store.Get("k"); store.AsString(v) != "v" {
 		t.Error("recovered store missing write")
 	}
 }
@@ -202,16 +202,16 @@ func TestCheckpointCompactsLog(t *testing.T) {
 	if fi.Size() >= bigSize/10 {
 		t.Errorf("checkpoint did not compact: %d vs %d", fi.Size(), bigSize)
 	}
-	rec, n, truncated, err := Recover(path)
-	if err != nil || truncated {
-		t.Fatalf("recover after checkpoint: n=%d err=%v", n, err)
+	res, err := Recover(path)
+	if err != nil || res.Truncated {
+		t.Fatalf("recover after checkpoint: %+v err=%v", res, err)
 	}
-	if n != 4 {
-		t.Errorf("checkpoint has %d records, want 4", n)
+	if res.Records != 4 {
+		t.Errorf("checkpoint has %d records, want 4", res.Records)
 	}
 	for i := 0; i < 4; i++ {
 		want, _ := st.Get(store.ItoaKey("k", i))
-		got, _ := rec.Get(store.ItoaKey("k", i))
+		got, _ := res.Store.Get(store.ItoaKey("k", i))
 		if store.AsInt64(want) != store.AsInt64(got) {
 			t.Errorf("k:%d = %d, want %d", i, store.AsInt64(got), store.AsInt64(want))
 		}
@@ -250,10 +250,11 @@ func TestRecoveryEquivalenceProperty(t *testing.T) {
 			}
 		}
 		l.Close()
-		rec, _, truncated, err := Recover(path)
-		if err != nil || truncated {
+		res, err := Recover(path)
+		if err != nil || res.Truncated {
 			return false
 		}
+		rec := res.Store
 		if rec.Len() != ref.Len() {
 			return false
 		}
@@ -268,5 +269,148 @@ func TestRecoveryEquivalenceProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestRecoverTxnBlocks(t *testing.T) {
+	path := tmpLog(t)
+	l, _ := Open(path)
+	// Txn 7: staged, prepared, committed — must apply.
+	l.AppendBatch([]Record{
+		{Op: OpPut, Txn: 7, Key: "a", Value: store.Int64Value(1)},
+		{Op: OpPut, Txn: 7, Key: "b", Value: store.Int64Value(2)},
+		{Op: OpPrepare, Txn: 7, Coord: 2},
+	})
+	l.Append(Record{Op: OpCommit, Txn: 7})
+	// Txn 8: staged, prepared, aborted — must drop.
+	l.AppendBatch([]Record{
+		{Op: OpPut, Txn: 8, Key: "c", Value: store.Int64Value(3)},
+		{Op: OpPrepare, Txn: 8, Coord: 0},
+	})
+	l.Append(Record{Op: OpAbort, Txn: 8})
+	// Txn 9: staged and prepared, no decision — in-doubt.
+	l.AppendBatch([]Record{
+		{Op: OpDelete, Txn: 9, Key: "a"},
+		{Op: OpPrepare, Txn: 9, Coord: 1},
+	})
+	l.Close()
+
+	res, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Store.Get("a"); store.AsInt64(v) != 1 {
+		t.Errorf("committed a = %v (the in-doubt delete must not apply)", v)
+	}
+	if v, _ := res.Store.Get("b"); store.AsInt64(v) != 2 {
+		t.Errorf("committed b = %v", v)
+	}
+	if _, ok := res.Store.Get("c"); ok {
+		t.Error("aborted txn 8's write survived recovery")
+	}
+	if len(res.InDoubt) != 1 || res.InDoubt[0].Txn != 9 || res.InDoubt[0].Coord != 1 {
+		t.Fatalf("in-doubt = %+v, want txn 9 coordinated by partition 1", res.InDoubt)
+	}
+	if len(res.InDoubt[0].Writes) != 1 || res.InDoubt[0].Writes[0].Op != OpDelete {
+		t.Errorf("in-doubt writes = %+v", res.InDoubt[0].Writes)
+	}
+	if c, ok := res.Decisions[7]; !ok || !c {
+		t.Error("commit decision for txn 7 not recovered")
+	}
+	if c, ok := res.Decisions[8]; !ok || c {
+		t.Error("abort decision for txn 8 not recovered")
+	}
+}
+
+// A crash mid-commit leaves data records without their prepare/commit
+// marker on the tail; recovery must drop them — presumed abort.
+func TestTornTailMidCommitPresumedAbort(t *testing.T) {
+	path := tmpLog(t)
+	l, _ := Open(path)
+	l.AppendBatch([]Record{
+		{Op: OpPut, Txn: 3, Key: "x", Value: store.Int64Value(1)},
+		{Op: OpPrepare, Txn: 3, Coord: 0},
+		{Op: OpCommit, Txn: 3},
+	})
+	// Txn 4's batch was being appended when the machine died: its data
+	// records landed, the commit marker did not.
+	l.AppendBatch([]Record{
+		{Op: OpPut, Txn: 4, Key: "x", Value: store.Int64Value(99)},
+		{Op: OpPut, Txn: 4, Key: "y", Value: store.Int64Value(100)},
+	})
+	l.Close()
+
+	res, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incomplete != 1 {
+		t.Errorf("incomplete = %d, want 1 presumed-abort block", res.Incomplete)
+	}
+	if len(res.InDoubt) != 0 {
+		t.Errorf("unprepared block reported in-doubt: %+v", res.InDoubt)
+	}
+	if v, _ := res.Store.Get("x"); store.AsInt64(v) != 1 {
+		t.Errorf("x = %v, want txn 3's committed value 1", v)
+	}
+	if _, ok := res.Store.Get("y"); ok {
+		t.Error("uncommitted y applied")
+	}
+}
+
+func TestDecisionsScan(t *testing.T) {
+	path := tmpLog(t)
+	l, _ := Open(path)
+	l.Append(Record{Op: OpPut, Key: "noise", Value: store.Int64Value(0)})
+	l.Append(Record{Op: OpCommit, Txn: 11})
+	l.Append(Record{Op: OpAbort, Txn: 12})
+	l.Close()
+	d, err := Decisions(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 2 || !d[11] || d[12] {
+		t.Errorf("decisions = %v", d)
+	}
+	if _, ok := d[13]; ok {
+		t.Error("unknown txn has a decision")
+	}
+}
+
+func TestProbeSizesRecovery(t *testing.T) {
+	path := tmpLog(t)
+	l, _ := Open(path)
+	l.Append(Record{Op: OpPut, Key: "plain", Value: store.Int64Value(0)})
+	l.AppendBatch([]Record{ // committed block: not in doubt
+		{Op: OpPut, Txn: 5, Key: "a", Value: store.Int64Value(1)},
+		{Op: OpPrepare, Txn: 5, Coord: 2},
+		{Op: OpCommit, Txn: 5},
+	})
+	l.AppendBatch([]Record{ // prepared, undecided: in doubt, coord 1
+		{Op: OpPut, Txn: 6, Key: "b", Value: store.Int64Value(2)},
+		{Op: OpPrepare, Txn: 6, Coord: 1},
+	})
+	l.AppendBatch([]Record{ // data without prepare: incomplete, not in doubt
+		{Op: OpPut, Txn: 7, Key: "c", Value: store.Int64Value(3)},
+	})
+	l.Close()
+
+	records, coords, err := Probe(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if records != 7 {
+		t.Errorf("records = %d, want 7", records)
+	}
+	if len(coords) != 1 || coords[0] != 1 {
+		t.Errorf("in-doubt coords = %v, want [1]", coords)
+	}
+	// Probe must agree with Recover on what is in doubt.
+	res, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.InDoubt) != len(coords) {
+		t.Errorf("Probe found %d in-doubt, Recover %d", len(coords), len(res.InDoubt))
 	}
 }

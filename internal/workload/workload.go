@@ -117,7 +117,16 @@ type Zipf struct {
 }
 
 // NewZipf returns a Zipfian chooser over n keys with exponent s > 1.
+// Out-of-contract parameters are clamped into validity (n to at least 2,
+// s to just above 1) rather than handed to rand.NewZipf, which returns nil
+// for them and would turn the first Pick into a panic.
 func NewZipf(prefix string, n int, s float64, seed int64) *Zipf {
+	if n < 2 {
+		n = 2
+	}
+	if s <= 1 {
+		s = 1.0001
+	}
 	rng := rand.New(rand.NewSource(seed))
 	return &Zipf{Prefix: prefix, zipf: rand.NewZipf(rng, s, 1, uint64(n-1))}
 }
@@ -125,7 +134,49 @@ func NewZipf(prefix string, n int, s float64, seed int64) *Zipf {
 // Pick returns a Zipf-distributed key. The embedded source makes this
 // chooser stateful; use one per goroutine.
 func (z *Zipf) Pick(rng *rand.Rand) string {
-	return store.ItoaKey(z.Prefix, int(z.zipf.Uint64()))
+	return store.ItoaKey(z.Prefix, z.PickIndex())
+}
+
+// PickIndex returns a Zipf-distributed key index in [0, n).
+func (z *Zipf) PickIndex() int { return int(z.zipf.Uint64()) }
+
+// ShardedZipf composes Zipf with the sharded fleet keyspace: key indexes
+// are Zipf-skewed (so every shard has its own hot head, and cross-edge
+// traffic concentrates on remote hot keys — the hot-shard stress the
+// sharded experiments need), while the owning shard is chosen like
+// ShardedUniform — Home, or a uniformly random other shard with
+// probability CrossProb.
+type ShardedZipf struct {
+	Prefix    string
+	Home      int
+	Shards    int
+	CrossProb float64
+	zipf      *Zipf
+}
+
+// NewShardedZipf returns a sharded Zipf chooser over n keys per shard with
+// exponent s > 1 (clamped like NewZipf).
+func NewShardedZipf(prefix string, home, shards, n int, crossProb, s float64, seed int64) *ShardedZipf {
+	return &ShardedZipf{
+		Prefix:    prefix,
+		Home:      home,
+		Shards:    shards,
+		CrossProb: crossProb,
+		zipf:      NewZipf(prefix, n, s, seed),
+	}
+}
+
+// Pick returns a sharded, Zipf-skewed key: remote with probability
+// CrossProb, index skewed toward each shard's head.
+func (s *ShardedZipf) Pick(rng *rand.Rand) string {
+	shard := s.Home
+	if s.Shards > 1 && rng.Float64() < s.CrossProb {
+		shard = rng.Intn(s.Shards - 1)
+		if shard >= s.Home {
+			shard++
+		}
+	}
+	return ShardKey(shard, s.Prefix, s.zipf.PickIndex())
 }
 
 // DetectionOps builds the paper's per-detection transaction body: nOps

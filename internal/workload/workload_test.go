@@ -216,3 +216,62 @@ func TestConflictsSymmetryProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Regression: rand.NewZipf returns nil for s <= 1 or n < 2, which made the
+// first Pick a nil-pointer panic before NewZipf clamped its parameters.
+func TestZipfClampsInvalidParameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{
+		{1, 0.5},    // both invalid
+		{1, 1.3},    // n too small
+		{1000, 1.0}, // s at the open bound
+		{1000, -2},  // s nonsense
+		{0, 0},
+	} {
+		z := NewZipf("k", tc.n, tc.s, 3)
+		for i := 0; i < 50; i++ {
+			key := z.Pick(rng) // must not panic
+			if key == "" {
+				t.Fatalf("NewZipf(n=%d, s=%g): empty key", tc.n, tc.s)
+			}
+		}
+	}
+}
+
+// ShardedZipf mirrors TestZipfConcentration on the sharded keyspace: the
+// home shard's head key dominates, and the cross-shard fraction tracks
+// CrossProb.
+func TestShardedZipfConcentration(t *testing.T) {
+	z := NewShardedZipf("k", 1, 3, 1000, 0.3, 1.3, 3)
+	rng := rand.New(rand.NewSource(4))
+	counts := map[string]int{}
+	cross := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		key := z.Pick(rng)
+		counts[key]++
+		shard, ok := ShardOf(key)
+		if !ok {
+			t.Fatalf("key %q has no shard tag", key)
+		}
+		if shard != 1 {
+			cross++
+		}
+	}
+	// The head key of the home shard alone must concentrate picks the way
+	// the unsharded Zipf's head does, scaled by the home fraction.
+	if head := counts[ShardKey(1, "k", 0)]; head < n/30 {
+		t.Errorf("home head key only %d/%d picks — not skewed", head, n)
+	}
+	frac := float64(cross) / n
+	if frac < 0.25 || frac > 0.35 {
+		t.Errorf("cross-shard fraction = %.3f, want ≈ 0.3", frac)
+	}
+	// Remote picks are skewed too: the two foreign heads lead the tail.
+	if head := counts[ShardKey(0, "k", 0)] + counts[ShardKey(2, "k", 0)]; head < n/100 {
+		t.Errorf("foreign head keys only %d/%d picks", head, n)
+	}
+}
