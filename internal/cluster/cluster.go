@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"croesus/internal/core"
@@ -297,10 +298,22 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c := &Cluster{cfg: cfg, clk: cfg.Clock, cloudModel: cloudModel, batcher: batcher}
 
+	// Edge IDs name reports, peer links, and — under a fault plan — the
+	// per-partition WAL files, so they must be unique (two edges sharing
+	// one log would corrupt recovery) and free of path separators (an ID
+	// like "../x" would escape WALDir).
+	edgeIDs := make(map[string]bool, len(cfg.Edges))
 	for i, es := range cfg.Edges {
 		if es.ID == "" {
 			es.ID = fmt.Sprintf("edge%d", i)
 		}
+		if strings.ContainsAny(es.ID, `/\`) || es.ID == "." || es.ID == ".." {
+			return nil, fmt.Errorf("cluster: edge ID %q is not a valid file name", es.ID)
+		}
+		if edgeIDs[es.ID] {
+			return nil, fmt.Errorf("cluster: duplicate edge ID %q", es.ID)
+		}
+		edgeIDs[es.ID] = true
 		if es.Speed == 0 {
 			es.Speed = 1
 		}

@@ -289,6 +289,10 @@ func TestConfigValidation(t *testing.T) {
 		{"no cameras", Config{Clock: clk, Edges: []EdgeSpec{{}}}},
 		{"no edges", Config{Clock: clk, Cameras: []CameraSpec{cam}}},
 		{"bad thetas", Config{Clock: clk, Cameras: []CameraSpec{cam}, Edges: []EdgeSpec{{}}, ThetaL: 0.9, ThetaU: 0.2}},
+		// Duplicate or path-unsafe edge IDs would alias or escape the
+		// per-partition WAL files under a fault plan.
+		{"duplicate edge IDs", Config{Clock: clk, Cameras: []CameraSpec{cam}, Edges: []EdgeSpec{{ID: "west"}, {ID: "west"}}}},
+		{"edge ID with path separator", Config{Clock: clk, Cameras: []CameraSpec{cam}, Edges: []EdgeSpec{{ID: "../escape"}}}},
 	}
 	for _, tc := range cases {
 		if _, err := New(tc.cfg); err == nil {

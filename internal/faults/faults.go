@@ -14,9 +14,13 @@
 // volatile state — lock grants, staged 2PC blocks, uncommitted eager
 // writes; what survives is its write-ahead log. Restart replays the log
 // with wal.Recover (charging a per-record replay cost in virtual time),
-// reinstalls the committed state, and resolves prepared-but-undecided
-// transactions by inquiring the coordinator's durable log: a logged commit
-// decision applies the staged writes, anything else is presumed abort.
+// reinstalls the committed state, and resolves each prepared-but-undecided
+// commit round by inquiring its coordinator: a durable commit decision for
+// that exact (txn, round) applies the staged writes (minus any a later
+// record superseded), a dead or local coordinator's log without one means
+// presumed abort, and a round whose coordinator is live but undecided — or
+// unreachable behind a partitioned peer link — stays staged until a later
+// sweep, the peer's restart, or the end-of-run repair resolves it.
 package faults
 
 import (
@@ -97,8 +101,9 @@ type Counters struct {
 	// TxnsFailed counts transactions aborted or retracted because a fault
 	// interrupted them — the availability cost of the schedule.
 	TxnsFailed int64
-	// InDoubt counts prepared-but-undecided transaction blocks that
-	// needed resolution; InDoubtCommitted of them had a durable commit
+	// InDoubt counts prepared-but-undecided commit-round blocks that
+	// needed resolution — per (txn, round), so one transaction can
+	// contribute two; InDoubtCommitted of them had a durable commit
 	// decision at the coordinator, InDoubtAborted were presumed abort.
 	InDoubt          int64
 	InDoubtCommitted int64
@@ -243,9 +248,9 @@ func (i *Injector) Finish() {
 	}
 	for pi, p := range i.parts {
 		for _, coord := range p.StagedCoords() {
-			for _, id := range p.StagedBy(coord) {
-				commit, _ := i.parts[coord].Decision(id)
-				i.resolveStaged(pi, id, commit)
+			for _, cr := range p.StagedBy(coord) {
+				commit, _ := i.parts[coord].Decision(cr)
+				i.resolveStaged(pi, cr, commit)
 			}
 		}
 	}
@@ -360,8 +365,8 @@ func (i *Injector) restart(e int, charge bool) {
 		}
 		cost := time.Duration(records) * i.plan.ReplayCost
 		for _, coord := range coords {
-			if coord != e {
-				if l := i.links[e][coord]; l != nil && !l.IsDown() {
+			if coord != e && !i.peerDown(e, coord) {
+				if l := i.links[e][coord]; l != nil {
 					cost += 2 * l.TransferTime(256)
 				}
 			}
@@ -379,19 +384,20 @@ func (i *Injector) restart(e int, charge bool) {
 	}
 	i.parts[e].Store.Restore(res.Store.Snapshot())
 	i.parts[e].RestoreDecisions(res.Decisions)
-	deadLogs := make(map[int]map[uint64]bool) // per-coordinator inquiry cache
+	deadLogs := make(map[int]map[wal.TxnRound]bool) // per-coordinator inquiry cache
 	for _, d := range res.InDoubt {
-		id := txn.ID(d.Txn)
-		commit, known := i.inquire(e, d.Coord, id, deadLogs)
-		i.parts[e].Restage(id, d.Coord, d.Writes)
+		cr := twopc.CommitRound{ID: txn.ID(d.Txn), Round: d.Round}
+		commit, known := i.inquire(e, d.Coord, cr, deadLogs)
+		i.parts[e].Restage(cr, d.Coord, d.Writes)
 		if known {
-			i.resolveStaged(e, id, commit)
+			i.resolveStaged(e, cr, commit)
 		}
-		// Unknown with a live coordinator: its round may still be in
-		// flight, so the block stays staged — it resolves at the round's
-		// own phase-2 delivery, at the coordinator's next recovery sweep,
-		// or at Finish. Presuming abort here could half-commit a
-		// transaction the coordinator is about to decide.
+		// Unknown — a live coordinator whose round may still be in flight,
+		// or a coordinator behind a partitioned link — keeps the block
+		// staged: it resolves at the round's own phase-2 delivery, at the
+		// coordinator's next recovery sweep, or at Finish. Presuming abort
+		// here could half-commit a round the coordinator is about to (or
+		// already did) decide.
 	}
 
 	i.mu.Lock()
@@ -402,7 +408,12 @@ func (i *Injector) restart(e int, charge bool) {
 	if res.Truncated {
 		i.counters.TornTails++
 	}
-	i.recovery.Add(i.clk.Now() - i.crashedAt[e])
+	if charge {
+		// Only scheduled recoveries sample the latency distribution: the
+		// end-of-run repair in Finish pays no outage or replay cost, and
+		// its crash-to-drain interval would say nothing about recovery.
+		i.recovery.Add(i.clk.Now() - i.crashedAt[e])
+	}
 	i.mu.Unlock()
 
 	// Peers may hold blocks whose coordinator was e; its decisions are
@@ -410,27 +421,32 @@ func (i *Injector) restart(e int, charge bool) {
 	i.sweep(e)
 }
 
-// inquire asks an in-doubt transaction's coordinator for its outcome. A
-// live remote coordinator answers from its decision cache — and "no
+// inquire asks an in-doubt commit round's coordinator for its outcome. A
+// reachable live coordinator answers from its decision cache — and "no
 // decision yet" means the round may still be in flight, so the answer is
-// unknown, NOT abort. Our own log and a dead coordinator's log (scanned
-// once per coordinator via deadLogs) are the final word: the crashed
-// round can never decide later, so a missing decision record there is
-// presumed abort (known). The peer link is charged but not slept: the
-// inquiry time was part of the restart's recovery cost.
-func (i *Injector) inquire(at, coord int, id txn.ID, deadLogs map[int]map[uint64]bool) (commit, known bool) {
-	if coord != at {
-		if l := i.links[at][coord]; l != nil && !l.IsDown() {
-			l.Charge(256)
-			l.Charge(256)
-		}
-	}
+// unknown, NOT abort. A partitioned peer link makes the coordinator —
+// live or dead — unreachable outright: the answer is unknown and the
+// block defers to the coordinator's sweep or to Finish; reading its state
+// across a severed link would undermine the partition model. Our own log
+// and a reachable dead coordinator's log (scanned once per coordinator
+// via deadLogs) are the final word: the crashed round can never decide
+// later, so a missing decision record there is presumed abort (known).
+// The peer link is charged but not slept: the inquiry time was part of
+// the restart's recovery cost.
+func (i *Injector) inquire(at, coord int, cr twopc.CommitRound, deadLogs map[int]map[wal.TxnRound]bool) (commit, known bool) {
 	if at == coord {
-		c, k := i.parts[at].Decision(id)
+		c, k := i.parts[at].Decision(cr)
 		return c && k, true // our own recovered log: no record ⇒ the round died with us
 	}
+	if i.peerDown(at, coord) {
+		return false, false // coordinator unreachable: stay in doubt
+	}
+	if l := i.links[at][coord]; l != nil {
+		l.Charge(256)
+		l.Charge(256)
+	}
 	if !i.Down(coord) {
-		c, k := i.parts[coord].Decision(id)
+		c, k := i.parts[coord].Decision(cr)
 		return c && k, k // undecided on a live coordinator: still in flight
 	}
 	d, ok := deadLogs[coord]
@@ -442,12 +458,12 @@ func (i *Injector) inquire(at, coord int, id txn.ID, deadLogs map[int]map[uint64
 		}
 		deadLogs[coord] = d
 	}
-	return d[uint64(id)], true // a dead coordinator's log is final: absence ⇒ abort
+	return d[cr.TxnRound()], true // a dead coordinator's log is final: absence ⇒ abort
 }
 
 // resolveStaged delivers the decision for one staged block and counts it.
-func (i *Injector) resolveStaged(pi int, id txn.ID, commit bool) {
-	i.parts[pi].DeliverDecision(id, commit)
+func (i *Injector) resolveStaged(pi int, cr twopc.CommitRound, commit bool) {
+	i.parts[pi].DeliverDecision(cr, commit)
 	i.mu.Lock()
 	i.counters.InDoubt++
 	if commit {
@@ -459,17 +475,37 @@ func (i *Injector) resolveStaged(pi int, id txn.ID, commit bool) {
 }
 
 // sweep resolves, at every live partition, the staged blocks coordinated
-// by the just-recovered edge.
+// by the just-recovered edge. A partition behind a severed peer link is
+// skipped — delivering a decision across a partition would break the
+// partition model just like reading across one; its blocks resolve at a
+// later sweep, at its own restart's inquiry, or at Finish.
 func (i *Injector) sweep(coord int) {
 	for pi, p := range i.parts {
 		if i.Down(pi) {
 			continue // resolves at its own restart
 		}
-		for _, id := range p.StagedBy(coord) {
-			commit, _ := i.parts[coord].Decision(id)
-			i.resolveStaged(pi, id, commit)
+		if i.peerDown(pi, coord) {
+			continue // partitioned from the coordinator: stays in doubt
+		}
+		for _, cr := range p.StagedBy(coord) {
+			commit, _ := i.parts[coord].Decision(cr)
+			i.resolveStaged(pi, cr, commit)
 		}
 	}
+}
+
+// peerDown reports whether the peer path between edges a and b is severed
+// in either direction — an inquiry is a round trip and a decision delivery
+// travels the opposite way from the check's caller, so one dead direction
+// partitions the pair for in-doubt resolution purposes.
+func (i *Injector) peerDown(a, b int) bool {
+	if l := i.links[a][b]; l != nil && l.IsDown() {
+		return true
+	}
+	if l := i.links[b][a]; l != nil && l.IsDown() {
+		return true
+	}
+	return false
 }
 
 func (i *Injector) setLink(a, b int, down bool) {
@@ -508,24 +544,26 @@ func (i *Injector) Report() *Report {
 // VerifyDurability checks, after a drained and Finished run, that every
 // partition's live store is exactly the state its WAL recovers to, that
 // no in-doubt block is left unresolved, and that atomic commitment held
-// across partitions (no transaction both committed on one log and aborted
-// on another) — i.e. the crash schedule lost no committed write, leaked
-// no staged state, and half-committed nothing.
+// across partitions per commit round (no round both committed on one log
+// and aborted on another — a transaction whose initial round committed
+// and whose final round aborted is a legitimate retraction, not a split)
+// — i.e. the crash schedule lost no committed write, leaked no staged
+// state, and half-committed nothing.
 func (i *Injector) VerifyDurability() error {
-	verdicts := make(map[uint64]bool)
+	verdicts := make(map[wal.TxnRound]bool)
 	for pi, p := range i.parts {
 		res, err := wal.Recover(i.paths[pi])
 		if err != nil {
 			return fmt.Errorf("faults: verify partition %d: %w", pi, err)
 		}
 		if len(res.InDoubt) > 0 {
-			return fmt.Errorf("faults: partition %d left %d in-doubt transactions", pi, len(res.InDoubt))
+			return fmt.Errorf("faults: partition %d left %d in-doubt commit rounds", pi, len(res.InDoubt))
 		}
-		for id, commit := range res.Decisions {
-			if prev, ok := verdicts[id]; ok && prev != commit {
-				return fmt.Errorf("faults: txn %d committed on one partition and aborted on another (seen at partition %d)", id, pi)
+		for k, commit := range res.Decisions {
+			if prev, ok := verdicts[k]; ok && prev != commit {
+				return fmt.Errorf("faults: txn %d round %d committed on one partition and aborted on another (seen at partition %d)", k.Txn, k.Round, pi)
 			}
-			verdicts[id] = commit
+			verdicts[k] = commit
 		}
 		live := p.Store.Snapshot()
 		rec := res.Store.Snapshot()

@@ -71,6 +71,23 @@ func writeTxn(key string, v int64) *txn.Txn {
 	}
 }
 
+// crossTxn writes one key on each partition in both sections, so both the
+// initial and the final commit run a full cross-edge 2PC round.
+func crossTxn(v int64) *txn.Txn {
+	body := func(c *txn.Ctx) error {
+		c.Put("0x", store.Int64Value(v))
+		c.Put("1x", store.Int64Value(v))
+		return nil
+	}
+	return &txn.Txn{
+		Name:      "cross",
+		InitialRW: txn.RWSet{Writes: []string{"0x", "1x"}},
+		FinalRW:   txn.RWSet{Writes: []string{"0x", "1x"}},
+		Initial:   body,
+		Final:     body,
+	}
+}
+
 func runTxn(t *testing.T, cc *twopc.ShardedCC, tx *txn.Txn) error {
 	t.Helper()
 	in := cc.M.NewInstance(tx, nil)
@@ -171,6 +188,171 @@ func TestCrashRestartRebuildsFromLog(t *testing.T) {
 	}
 	if rep := inj.Report(); rep.RecoveryP50 < 50*time.Millisecond {
 		t.Errorf("recovery p50 = %s, want ≥ the 50ms outage", rep.RecoveryP50)
+	}
+}
+
+// One MS-IA transaction runs two independent commit rounds, and the
+// initial round's durable commit marker must never resolve the final
+// round. Here the initial 2PC commits fully, then the coordinator
+// fail-stops after collecting the final round's votes but before its
+// decision is durable: the final round is dead — the live fleet retracts
+// the transaction — and both the coordinator's own in-doubt block and the
+// participant's must presume abort even though the same transaction id
+// carries a round-0 commit marker on the coordinator's log.
+func TestFinalRoundNotResolvedByInitialCommitMarker(t *testing.T) {
+	clk := vclock.NewSim()
+	cc, parts, links, paths := miniFleet(t, clk)
+	inj, err := NewInjector(clk, Plan{
+		TwoPC: []TwoPCCrash{
+			// Edge 0 coordinates both rounds; its second after-prepare
+			// instant is the final round.
+			{Edge: 0, Point: twopc.PointAfterPrepare, Round: 2, RestartAfter: 50 * time.Millisecond},
+		},
+	}, parts, links, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc.Faults = inj
+
+	inj.Start()
+	clk.Go(func() {
+		if err := runTxn(t, cc, crossTxn(7)); err == nil {
+			t.Error("transaction survived its coordinator dying before the final decision")
+		}
+		clk.Sleep(500 * time.Millisecond) // well past the restart
+		for i, p := range parts {
+			if got := p.StagedBy(0); len(got) != 0 {
+				t.Errorf("partition %d still stages %v after recovery", i, got)
+			}
+		}
+		// The retraction must have held: nothing half-committed.
+		for _, k := range []string{"0x", "1x"} {
+			if v, ok := cc.M.DB.Get(k); ok {
+				t.Errorf("retracted write %s = %v resurfaced via the initial round's commit marker", k, v)
+			}
+		}
+	})
+	clk.Wait()
+	inj.Finish()
+
+	c := inj.Counters()
+	if c.InDoubt == 0 || c.InDoubtAborted != c.InDoubt || c.InDoubtCommitted != 0 {
+		t.Errorf("in-doubt resolution = %+v, want every final-round block presumed abort", c)
+	}
+	if err := inj.VerifyDurability(); err != nil {
+		t.Errorf("durability: %v", err)
+	}
+	for i, p := range parts {
+		if n := p.Locks.Outstanding(); n != 0 {
+			t.Errorf("partition %d leaked %d locks", i, n)
+		}
+	}
+}
+
+// A recovering edge must not read a coordinator's decision cache across a
+// partitioned peer link, and a recovering coordinator's sweep must not
+// deliver decisions across one either: the in-doubt block stays staged
+// until the link heals (here: until the end-of-run sweep resolves it).
+func TestInquiryDefersAcrossPartitionedLink(t *testing.T) {
+	clk := vclock.NewSim()
+	cc, parts, links, paths := miniFleet(t, clk)
+	inj, err := NewInjector(clk, Plan{
+		TwoPC: []TwoPCCrash{
+			{Edge: 1, Point: twopc.PointParticipantPrepared, Round: 1, RestartAfter: 100 * time.Millisecond},
+		},
+		Crashes: []EdgeCrash{
+			// The coordinator itself crashes and restarts while the link is
+			// still severed: its recovery sweep must skip the partitioned
+			// participant instead of pushing the decision across.
+			{Edge: 0, At: 600 * time.Millisecond, RestartAfter: 100 * time.Millisecond},
+		},
+	}, parts, links, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc.Faults = inj
+
+	inj.Start()
+	clk.Go(func() {
+		// The participant crashes right after its durable yes vote; the
+		// coordinator commits the initial round without it, then the final
+		// section fails against the dead edge and the txn retracts.
+		runTxn(t, cc, crossTxn(3))
+		// Sever the peer path before the restart fires — only the
+		// coordinator→participant direction, which must partition the pair
+		// for resolution in both directions (an inquiry is a round trip; a
+		// sweep's delivery travels exactly this severed direction).
+		links[0][1].SetDown(true)
+		clk.Sleep(400 * time.Millisecond) // well past the participant restart
+		if inj.Down(1) {
+			t.Fatal("edge 1 still down after RestartAfter")
+		}
+		if got := parts[1].StagedBy(0); len(got) != 1 {
+			t.Errorf("staged blocks at the recovered edge = %v, want the one in-doubt block held until the link heals", got)
+		}
+		clk.Sleep(500 * time.Millisecond) // well past the coordinator's crash + sweep
+		if inj.Down(0) {
+			t.Fatal("edge 0 still down after RestartAfter")
+		}
+		if got := parts[1].StagedBy(0); len(got) != 1 {
+			t.Errorf("staged blocks after the coordinator's sweep = %v, want the block still held across the severed link", got)
+		}
+		if c := inj.Counters(); c.InDoubt != 0 {
+			t.Errorf("in-doubt resolved %d blocks across a severed link", c.InDoubt)
+		}
+		links[0][1].SetDown(false)
+	})
+	clk.Wait()
+	inj.Finish()
+
+	c := inj.Counters()
+	if c.InDoubt != 1 || c.InDoubtCommitted != 1 {
+		t.Errorf("in-doubt resolution = %+v, want the initial-round block committed at Finish", c)
+	}
+	// The transaction was retracted mid-run (its final section died with
+	// the participant), and the retraction's restores were journaled while
+	// the block was in doubt. The deferred commit must not resurrect the
+	// staged writes over that compensation.
+	for _, k := range []string{"0x", "1x"} {
+		if v, ok := cc.M.DB.Get(k); ok {
+			t.Errorf("retracted write %s = %v resurfaced when the deferred block committed", k, v)
+		}
+	}
+	if err := inj.VerifyDurability(); err != nil {
+		t.Errorf("durability: %v", err)
+	}
+}
+
+// An edge left down until the run drains is repaired by Finish at no
+// charged cost; that repair must not contribute a sample to the
+// recovery-latency percentiles.
+func TestEndOfRunRepairNotSampled(t *testing.T) {
+	clk := vclock.NewSim()
+	cc, parts, links, paths := miniFleet(t, clk)
+	inj, err := NewInjector(clk, Plan{
+		Crashes: []EdgeCrash{{Edge: 1, At: 10 * time.Millisecond}}, // no RestartAfter: down until drain
+	}, parts, links, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc.Faults = inj
+
+	inj.Start()
+	clk.Go(func() {
+		if err := runTxn(t, cc, writeTxn("0a", 1)); err != nil {
+			t.Errorf("home txn: %v", err)
+		}
+		clk.Sleep(100 * time.Millisecond)
+	})
+	clk.Wait()
+	inj.Finish()
+
+	c := inj.Counters()
+	if c.Crashes != 1 || c.Restarts != 1 {
+		t.Fatalf("crashes/restarts = %d/%d, want 1/1 (Finish repairs the edge)", c.Crashes, c.Restarts)
+	}
+	if rep := inj.Report(); rep.RecoveryP50 != 0 || rep.RecoveryP99 != 0 {
+		t.Errorf("recovery percentiles = %s/%s from an uncharged end-of-run repair, want no samples", rep.RecoveryP50, rep.RecoveryP99)
 	}
 }
 

@@ -4,8 +4,14 @@
 // marker, multi-partition commits as the participant's staged block (data
 // records + prepare marker) followed by the coordinator's decision — so a
 // crashed edge rebuilds exactly the committed state with wal.Recover and
-// resolves prepared-but-undecided transactions against the coordinator's
-// log (presumed abort: no durable commit decision means abort).
+// resolves prepared-but-undecided rounds against the coordinator's log
+// (presumed abort: no durable commit decision for that round means abort).
+//
+// A multi-stage transaction runs up to two independent atomic-commitment
+// rounds (MS-IA commits at both section boundaries), so all durable state
+// here — markers, staged blocks, the decision cache — is keyed by
+// CommitRound, never by transaction id alone: an in-doubt final-round
+// block must not resolve from the initial round's commit marker.
 package twopc
 
 import (
@@ -17,7 +23,31 @@ import (
 	"croesus/internal/wal"
 )
 
-// walStage is a prepared-but-undecided transaction block held by a
+// The two atomic-commitment rounds of a multi-stage transaction. MS-IA
+// runs RoundInitial at the initial commit and RoundFinal at the final;
+// MS-SR runs a single RoundFinal covering both sections' writes.
+const (
+	RoundInitial uint8 = iota
+	RoundFinal
+)
+
+// CommitRound identifies one atomic-commitment round of one transaction —
+// the key every piece of durable 2PC state lives under.
+type CommitRound struct {
+	ID    txn.ID
+	Round uint8
+}
+
+// TxnRound converts to the wal-level key.
+func (cr CommitRound) TxnRound() wal.TxnRound {
+	return wal.TxnRound{Txn: uint64(cr.ID), Round: cr.Round}
+}
+
+func (cr CommitRound) less(o CommitRound) bool {
+	return cr.TxnRound().Less(o.TxnRound())
+}
+
+// walStage is a prepared-but-undecided commit-round block held by a
 // participant between the prepare vote and the decision.
 type walStage struct {
 	coord int
@@ -27,17 +57,36 @@ type walStage struct {
 	// decision turns out to be commit. A live block's writes were applied
 	// eagerly under locks during section execution and need no re-apply.
 	fromRecovery bool
+	// stagedAt is the partition's data-record sequence at restage time:
+	// a key that logged a newer data record while the block sat in doubt
+	// (a retraction restore, a later transaction's commit — the crash
+	// freed this block's locks) supersedes the staged write, exactly as
+	// wal.Recover resolves by log position.
+	stagedAt int64
 }
 
 // Durable reports whether this partition logs to a WAL.
 func (p *Partition) Durable() bool { return p.WAL != nil }
 
 // mustAppend logs records or panics: in the simulation a WAL write error is
-// a harness bug (unwritable temp dir), not a modeled fault.
+// a harness bug (unwritable temp dir), not a modeled fault. Data records
+// also advance the partition's live last-writer index, which deferred
+// in-doubt resolutions consult.
 func (p *Partition) mustAppend(recs ...wal.Record) {
 	if p.WAL == nil {
 		return
 	}
+	p.mu.Lock()
+	for _, r := range recs {
+		if r.Op == wal.OpPut || r.Op == wal.OpDelete {
+			p.walDataSeq++
+			if p.walLastData == nil {
+				p.walLastData = make(map[string]int64)
+			}
+			p.walLastData[r.Key] = p.walDataSeq
+		}
+	}
+	p.mu.Unlock()
 	if err := p.WAL.AppendBatch(recs); err != nil {
 		panic(fmt.Sprintf("twopc: partition %d wal append: %v", p.ID, err))
 	}
@@ -45,15 +94,15 @@ func (p *Partition) mustAppend(recs ...wal.Record) {
 
 // RedoRecords captures the redo batch for a section commit: each key's
 // current store value, read under the section's still-held exclusive locks.
-func (p *Partition) RedoRecords(id txn.ID, keys []string) []wal.Record {
+func (p *Partition) RedoRecords(cr CommitRound, keys []string) []wal.Record {
 	sorted := append([]string{}, keys...)
 	sort.Strings(sorted)
 	recs := make([]wal.Record, 0, len(sorted))
 	for _, k := range sorted {
 		if v, ok := p.Store.Get(k); ok {
-			recs = append(recs, wal.Record{Op: wal.OpPut, Txn: uint64(id), Key: k, Value: v})
+			recs = append(recs, wal.Record{Op: wal.OpPut, Txn: uint64(cr.ID), Round: cr.Round, Key: k, Value: v})
 		} else {
-			recs = append(recs, wal.Record{Op: wal.OpDelete, Txn: uint64(id), Key: k})
+			recs = append(recs, wal.Record{Op: wal.OpDelete, Txn: uint64(cr.ID), Round: cr.Round, Key: k})
 		}
 	}
 	return recs
@@ -62,64 +111,77 @@ func (p *Partition) RedoRecords(id txn.ID, keys []string) []wal.Record {
 // LogLocalCommit durably commits a single-partition section: the data
 // records and the commit marker land in one batch, so a torn tail can only
 // lose the whole commit (presumed abort), never half of it.
-func (p *Partition) LogLocalCommit(id txn.ID, recs []wal.Record) {
-	p.mustAppend(append(recs, wal.Record{Op: wal.OpCommit, Txn: uint64(id)})...)
+func (p *Partition) LogLocalCommit(cr CommitRound, recs []wal.Record) {
+	p.mustAppend(append(recs, wal.Record{Op: wal.OpCommit, Txn: uint64(cr.ID), Round: cr.Round})...)
 }
 
 // StagePrepare stages a participant's share of a multi-partition commit:
 // data records plus the prepare marker (naming the coordinator) in one
 // durable batch, and the block remembered in memory until the decision.
-func (p *Partition) StagePrepare(id txn.ID, coord int, recs []wal.Record) {
-	p.mustAppend(append(recs, wal.Record{Op: wal.OpPrepare, Txn: uint64(id), Coord: coord})...)
+func (p *Partition) StagePrepare(cr CommitRound, coord int, recs []wal.Record) {
+	p.mustAppend(append(recs, wal.Record{Op: wal.OpPrepare, Txn: uint64(cr.ID), Round: cr.Round, Coord: coord})...)
 	p.mu.Lock()
 	if p.walStaged == nil {
-		p.walStaged = make(map[txn.ID]*walStage)
+		p.walStaged = make(map[CommitRound]*walStage)
 	}
-	p.walStaged[id] = &walStage{coord: coord, recs: recs}
+	p.walStaged[cr] = &walStage{coord: coord, recs: recs}
 	p.mu.Unlock()
 }
 
 // LogDecision records this partition's durable commit/abort decision as the
-// coordinator of id's atomic commitment. Participants in doubt inquire here.
-func (p *Partition) LogDecision(id txn.ID, commit bool) {
+// coordinator of cr's atomic commitment. Participants in doubt inquire here.
+func (p *Partition) LogDecision(cr CommitRound, commit bool) {
 	op := wal.OpAbort
 	if commit {
 		op = wal.OpCommit
 	}
-	p.mustAppend(wal.Record{Op: op, Txn: uint64(id)})
+	p.mustAppend(wal.Record{Op: op, Txn: uint64(cr.ID), Round: cr.Round})
 	p.mu.Lock()
 	if p.decisions == nil {
-		p.decisions = make(map[txn.ID]bool)
+		p.decisions = make(map[CommitRound]bool)
 	}
-	p.decisions[id] = commit
+	p.decisions[cr] = commit
 	p.mu.Unlock()
 }
 
 // Decision reports the outcome this partition decided (as coordinator) for
-// id, and whether any decision is known. Unknown means presumed abort for
-// an inquiring participant.
-func (p *Partition) Decision(id txn.ID) (commit, known bool) {
+// exactly the round cr, and whether any decision is known. Unknown means
+// presumed abort for an inquiring participant; the same transaction's other
+// commit round never answers for this one.
+func (p *Partition) Decision(cr CommitRound) (commit, known bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	commit, known = p.decisions[id]
+	commit, known = p.decisions[cr]
 	return commit, known
 }
 
 // DeliverDecision completes a staged block: the decision marker is logged
 // and the block cleared. A recovery-restaged commit applies its writes (the
-// rebuilt store does not have them); a live block's writes were applied
-// eagerly during the section, and an aborted live block was already undone
-// by the coordinator's retraction.
-func (p *Partition) DeliverDecision(id txn.ID, commit bool) {
+// rebuilt store does not have them) — except writes whose key logged a
+// newer data record while the block sat in doubt, which are superseded
+// (last-writer-wins by log position, matching wal.Recover). A live block's
+// writes were applied eagerly during the section, and an aborted live
+// block was already undone by the coordinator's retraction.
+func (p *Partition) DeliverDecision(cr CommitRound, commit bool) {
 	p.mu.Lock()
-	st := p.walStaged[id]
-	delete(p.walStaged, id)
+	st := p.walStaged[cr]
+	delete(p.walStaged, cr)
+	var lastData map[string]int64
+	if st != nil && commit && st.fromRecovery {
+		lastData = make(map[string]int64, len(st.recs))
+		for _, r := range st.recs {
+			lastData[r.Key] = p.walLastData[r.Key]
+		}
+	}
 	p.mu.Unlock()
 	if st == nil {
 		return
 	}
 	if commit && st.fromRecovery {
 		for _, r := range st.recs {
+			if lastData[r.Key] > st.stagedAt {
+				continue // superseded while in doubt
+			}
 			switch r.Op {
 			case wal.OpPut:
 				p.Store.Put(r.Key, r.Value)
@@ -132,31 +194,35 @@ func (p *Partition) DeliverDecision(id txn.ID, commit bool) {
 	if commit {
 		op = wal.OpCommit
 	}
-	p.mustAppend(wal.Record{Op: op, Txn: uint64(id)})
+	p.mustAppend(wal.Record{Op: op, Txn: uint64(cr.ID), Round: cr.Round})
 }
 
 // Restage re-installs an in-doubt block found by crash recovery, to be
-// resolved by DeliverDecision once the coordinator's outcome is known.
-func (p *Partition) Restage(id txn.ID, coord int, recs []wal.Record) {
+// resolved by DeliverDecision once the coordinator's outcome is known. The
+// current data-record sequence is stamped so a resolution — possibly much
+// later, deferred across a link partition — can tell which staged writes
+// newer records superseded in the meantime.
+func (p *Partition) Restage(cr CommitRound, coord int, recs []wal.Record) {
 	p.mu.Lock()
 	if p.walStaged == nil {
-		p.walStaged = make(map[txn.ID]*walStage)
+		p.walStaged = make(map[CommitRound]*walStage)
 	}
-	p.walStaged[id] = &walStage{coord: coord, recs: recs, fromRecovery: true}
+	p.walStaged[cr] = &walStage{coord: coord, recs: recs, fromRecovery: true, stagedAt: p.walDataSeq}
 	p.mu.Unlock()
 }
 
-// StagedBy lists the staged transactions coordinated by coord, ascending.
-func (p *Partition) StagedBy(coord int) []txn.ID {
+// StagedBy lists the staged commit rounds coordinated by coord, ascending
+// by (txn, round).
+func (p *Partition) StagedBy(coord int) []CommitRound {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	var out []txn.ID
-	for id, st := range p.walStaged {
+	var out []CommitRound
+	for cr, st := range p.walStaged {
 		if st.coord == coord {
-			out = append(out, id)
+			out = append(out, cr)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
 	return out
 }
 
@@ -179,11 +245,11 @@ func (p *Partition) StagedCoords() []int {
 
 // RestoreDecisions replaces the in-memory decision cache with the set
 // recovered from this partition's log.
-func (p *Partition) RestoreDecisions(d map[uint64]bool) {
+func (p *Partition) RestoreDecisions(d map[wal.TxnRound]bool) {
 	p.mu.Lock()
-	p.decisions = make(map[txn.ID]bool, len(d))
-	for id, c := range d {
-		p.decisions[txn.ID(id)] = c
+	p.decisions = make(map[CommitRound]bool, len(d))
+	for k, c := range d {
+		p.decisions[CommitRound{ID: txn.ID(k.Txn), Round: k.Round}] = c
 	}
 	p.mu.Unlock()
 }

@@ -1,0 +1,76 @@
+package twopc
+
+import (
+	"path/filepath"
+	"testing"
+
+	"croesus/internal/lock"
+	"croesus/internal/store"
+	"croesus/internal/vclock"
+	"croesus/internal/wal"
+)
+
+// A deferred in-doubt resolution must not clobber state that changed while
+// the block sat staged (the crash freed its locks): DeliverDecision skips
+// staged writes whose key logged a newer data record since restage, and
+// the live store must agree with what the log recovers to.
+func TestRestagedCommitSkipsSupersededWrites(t *testing.T) {
+	clk := vclock.NewSim()
+	p := NewPartitionOver(0, store.New(), lock.NewManager(clk))
+	path := filepath.Join(t.TempDir(), "p.wal")
+	l, err := wal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.WAL = l
+
+	// The pre-crash participant staged this block durably (data records +
+	// prepare marker), then the edge crashed and recovery restaged it.
+	cr := CommitRound{ID: 9, Round: RoundFinal}
+	recs := []wal.Record{
+		{Op: wal.OpPut, Txn: uint64(cr.ID), Round: cr.Round, Key: "k", Value: store.Int64Value(1)},
+		{Op: wal.OpPut, Txn: uint64(cr.ID), Round: cr.Round, Key: "j", Value: store.Int64Value(2)},
+	}
+	if err := l.AppendBatch(append(append([]wal.Record{}, recs...),
+		wal.Record{Op: wal.OpPrepare, Txn: uint64(cr.ID), Round: cr.Round, Coord: 0})); err != nil {
+		t.Fatal(err)
+	}
+	p.Restage(cr, 0, recs)
+
+	// While the block is in doubt, a retraction restore overwrites k
+	// through the journaling backend — a newer data record.
+	js := JournaledShardedStore{ShardedStore: &ShardedStore{
+		Parts:       []*Partition{p},
+		Partitioner: func(string) int { return 0 },
+	}}
+	js.Put("k", store.Int64Value(7))
+
+	// The deferred decision arrives: commit. k was superseded, j was not.
+	p.DeliverDecision(cr, true)
+	if v, _ := p.Store.Get("k"); store.AsInt64(v) != 7 {
+		t.Errorf("k = %v, want the later journaled 7 (staged write superseded)", v)
+	}
+	if v, ok := p.Store.Get("j"); !ok || store.AsInt64(v) != 2 {
+		t.Errorf("j = %v %v, want the unsuperseded staged 2", v, ok)
+	}
+
+	// Replay must reach the same state by its log-position rule.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := wal.Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.InDoubt) != 0 {
+		t.Fatalf("in-doubt after resolution: %+v", res.InDoubt)
+	}
+	for k, want := range map[string]int64{"k": 7, "j": 2} {
+		if v, ok := res.Store.Get(k); !ok || store.AsInt64(v) != want {
+			t.Errorf("recovered %s = %v %v, want %d", k, v, ok, want)
+		}
+	}
+	if !res.Decisions[cr.TxnRound()] {
+		t.Error("commit decision missing from the log")
+	}
+}

@@ -366,8 +366,12 @@ func (c *ShardedCC) release(owner lock.Owner, byPart map[int][]lock.Request) {
 // early application unobservable), so the round here is the protocol's
 // message cost, the WAL logging that makes the commit durable, and the
 // scripted crash points of the fault plan. ErrCrashed means the commit did
-// not happen — the caller must undo the section's eager writes.
-func (c *ShardedCC) commitSection(id txn.ID, writes []lock.Request, epochs map[int]int) error {
+// not happen — the caller must undo the section's eager writes. round
+// (RoundInitial or RoundFinal) disambiguates the up-to-two independent
+// rounds one transaction runs, so each round's WAL markers, staged blocks,
+// and decisions stand alone.
+func (c *ShardedCC) commitSection(id txn.ID, round uint8, writes []lock.Request, epochs map[int]int) error {
+	cr := CommitRound{ID: id, Round: round}
 	keysByPart := map[int][]string{}
 	involved := make([]int, 0, len(c.Parts))
 	for _, r := range writes {
@@ -399,7 +403,7 @@ func (c *ShardedCC) commitSection(id txn.ID, writes []lock.Request, epochs map[i
 		pi := involved[0]
 		p := c.Parts[pi]
 		if p.Durable() {
-			p.LogLocalCommit(id, p.RedoRecords(id, keysByPart[pi]))
+			p.LogLocalCommit(cr, p.RedoRecords(cr, keysByPart[pi]))
 		}
 		if c.Links[pi] == nil {
 			c.Stats.add(func(d *DistCounters) { d.LocalCommits++ })
@@ -410,6 +414,17 @@ func (c *ShardedCC) commitSection(id txn.ID, writes []lock.Request, epochs map[i
 		return nil
 	}
 
+	// The coordinator's own crash epoch, snapshotted before the round: if
+	// the coordinating edge fail-stops and restarts while the prepare
+	// round trip is in flight, this goroutine survives (it is simulation
+	// machinery, not the edge process) but the round died with the edge —
+	// the restart sweep presume-aborts its staged blocks, so continuing
+	// to a commit decision here would split the round's outcome.
+	homeEpoch := 0
+	if c.Faults != nil {
+		homeEpoch = c.Faults.Epoch(c.Home)
+	}
+
 	// Phase 1: parallel prepare fan-out. Each participant stages its share
 	// durably (data records + prepare marker) and votes; the round costs
 	// the slowest participant's round trip.
@@ -417,7 +432,7 @@ func (c *ShardedCC) commitSection(id txn.ID, writes []lock.Request, epochs map[i
 	for _, pi := range involved {
 		p := c.Parts[pi]
 		if p.Durable() {
-			p.StagePrepare(id, c.Home, p.RedoRecords(id, keysByPart[pi]))
+			p.StagePrepare(cr, c.Home, p.RedoRecords(cr, keysByPart[pi]))
 		}
 		if l := c.Links[pi]; l != nil {
 			if rtt := l.Charge(lockMsgBytes) + l.Charge(lockMsgBytes); rtt > maxRTT {
@@ -432,6 +447,12 @@ func (c *ShardedCC) commitSection(id txn.ID, writes []lock.Request, epochs map[i
 	}
 	c.Clk.Sleep(maxRTT)
 
+	if c.Faults != nil && (c.Faults.Down(c.Home) || c.Faults.Epoch(c.Home) != homeEpoch) {
+		// The coordinating edge crashed during the prepare round trip: no
+		// decision was durable, so the round is dead (presumed abort) even
+		// if the edge has already restarted.
+		return ErrCrashed
+	}
 	if !c.at2PC(c.Home, PointAfterPrepare) {
 		// The coordinator fail-stopped before its decision became durable:
 		// the transaction did not commit; prepared participants are in
@@ -439,7 +460,7 @@ func (c *ShardedCC) commitSection(id txn.ID, writes []lock.Request, epochs map[i
 		return ErrCrashed
 	}
 	if c.Parts[c.Home].Durable() {
-		c.Parts[c.Home].LogDecision(id, true)
+		c.Parts[c.Home].LogDecision(cr, true)
 	}
 	delivered := c.at2PC(c.Home, PointAfterDecision)
 
@@ -453,7 +474,7 @@ func (c *ShardedCC) commitSection(id txn.ID, writes []lock.Request, epochs map[i
 			if !c.reachable(pi) {
 				continue // resolves from the coordinator's log at recovery
 			}
-			c.Parts[pi].DeliverDecision(id, true)
+			c.Parts[pi].DeliverDecision(cr, true)
 			if l := c.Links[pi]; l != nil {
 				if t := l.Charge(lockMsgBytes); t > maxOne {
 					maxOne = t
@@ -544,7 +565,7 @@ func (c *ShardedCC) RunInitial(in *txn.Instance) error {
 		c.M.MarkInitialCommitted(in)
 		return nil
 	}
-	if err := c.commitSection(in.ID, in.T.InitialRW.Requests(), epochs); err != nil {
+	if err := c.commitSection(in.ID, RoundInitial, in.T.InitialRW.Requests(), epochs); err != nil {
 		// The initial commit could not complete (a partition crashed
 		// mid-round): undo the section's eager writes and abort.
 		c.abortTxn(in, "initial commit interrupted by edge failure")
@@ -589,7 +610,7 @@ func (c *ShardedCC) RunFinal(in *txn.Instance) error {
 		err := c.M.ExecSection(in, txn.StageFinal)
 		if err == nil {
 			// One 2PC covers both sections' writes (Algorithm 1).
-			if cerr := c.commitSection(in.ID, lock.Normalize(append(in.T.InitialRW.Requests(), in.T.FinalRW.Requests()...)), hs.epochs); cerr != nil {
+			if cerr := c.commitSection(in.ID, RoundFinal, lock.Normalize(append(in.T.InitialRW.Requests(), in.T.FinalRW.Requests()...)), hs.epochs); cerr != nil {
 				c.abortTxn(in, "final commit interrupted by edge failure")
 				c.release(owner, heldBy)
 				return txn.ErrRetracted
@@ -627,7 +648,7 @@ func (c *ShardedCC) RunFinal(in *txn.Instance) error {
 	}
 	err := c.M.ExecSection(in, txn.StageFinal)
 	if err == nil {
-		if cerr := c.commitSection(in.ID, reqs, epochs); cerr != nil {
+		if cerr := c.commitSection(in.ID, RoundFinal, reqs, epochs); cerr != nil {
 			c.abortTxn(in, "final commit interrupted by edge failure")
 			c.release(owner, byPart)
 			return txn.ErrRetracted

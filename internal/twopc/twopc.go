@@ -46,9 +46,17 @@ type Partition struct {
 	prepared map[txn.ID]bool
 	// walStaged and decisions are the durable-fleet protocol state:
 	// prepared-but-undecided blocks and the commit/abort outcomes this
-	// partition decided as a coordinator.
-	walStaged map[txn.ID]*walStage
-	decisions map[txn.ID]bool
+	// partition decided as a coordinator, keyed per commit round — a
+	// multi-stage transaction's two rounds are independent 2PC instances.
+	walStaged map[CommitRound]*walStage
+	decisions map[CommitRound]bool
+	// walDataSeq counts the data records this partition has logged and
+	// walLastData remembers each key's latest; together they are the live
+	// mirror of the last-writer-wins rule wal.Recover resolves by log
+	// position, letting a deferred in-doubt resolution skip writes a
+	// later record superseded. They survive CrashReset like the log does.
+	walDataSeq  int64
+	walLastData map[string]int64
 	// FailPrepares makes the next n prepare requests vote no —
 	// failure injection for tests and benches.
 	FailPrepares int

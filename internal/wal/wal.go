@@ -9,21 +9,25 @@
 //	[4-byte little-endian payload length][4-byte CRC32 (IEEE) of payload][payload]
 //
 // where the payload is op (1 byte), the owning transaction id (8 bytes,
-// 0 for non-transactional records), the coordinating partition (4 bytes,
-// meaningful on prepare records), key length (4 bytes), key, and — for
-// puts — the value. Replay stops cleanly at a torn tail (partial record or
-// CRC mismatch from a crash mid-write) and truncates it, which is the
-// standard recovery contract.
+// 0 for non-transactional records), the commit round (1 byte), the
+// coordinating partition (4 bytes, meaningful on prepare records), key
+// length (4 bytes), key, and — for puts — the value. Replay stops cleanly
+// at a torn tail (partial record or CRC mismatch from a crash mid-write)
+// and truncates it, which is the standard recovery contract.
 //
 // Beyond plain put/delete, the log carries the two-phase-commit life cycle
 // of the sharded fleet (internal/twopc): a participant stages a
 // transaction's writes as data records followed by an OpPrepare marker; the
 // decision lands as an OpCommit or OpAbort marker (on the coordinator's own
-// log the OpCommit doubles as the durable commit decision). Recovery applies
-// only decided transactions; a prepared-but-undecided block is reported as
-// in-doubt for the caller to resolve against the coordinator's log, and a
-// data block with neither prepare nor decision (a torn tail mid-commit) is
-// dropped — presumed abort.
+// log the OpCommit doubles as the durable commit decision). One multi-stage
+// transaction runs up to two independent atomic-commitment rounds (the
+// initial and the final commit), so every transactional record also names
+// its round, and recovery tracks blocks and decisions by (txn, round) —
+// a final-round block must never resolve from the initial round's marker.
+// Recovery applies only decided rounds; a prepared-but-undecided block is
+// reported as in-doubt for the caller to resolve against the coordinator's
+// log, and a data block with neither prepare nor decision (a torn tail
+// mid-commit) is dropped — presumed abort.
 package wal
 
 import (
@@ -60,12 +64,35 @@ type Record struct {
 	// Txn is the owning transaction. Data records with Txn 0 are
 	// non-transactional: recovery applies them immediately in log order.
 	Txn uint64
+	// Round is the transaction's atomic-commitment round this record
+	// belongs to. A multi-stage transaction commits up to twice (initial
+	// and final section), and the rounds are independent 2PC instances:
+	// blocks and decisions are tracked per (Txn, Round).
+	Round uint8
 	// Coord is the partition coordinating the transaction's atomic
 	// commitment; it is written on OpPrepare records so recovery knows
 	// whose log to inquire for an in-doubt transaction.
 	Coord int
 	Key   string
 	Value store.Value
+}
+
+// TxnRound identifies one atomic-commitment round of one transaction —
+// the unit blocks and decisions are keyed by throughout recovery.
+type TxnRound struct {
+	Txn   uint64
+	Round uint8
+}
+
+// TxnRound returns the record's (txn, round) key.
+func (r Record) TxnRound() TxnRound { return TxnRound{Txn: r.Txn, Round: r.Round} }
+
+// Less orders keys by transaction id, then round.
+func (k TxnRound) Less(o TxnRound) bool {
+	if k.Txn != o.Txn {
+		return k.Txn < o.Txn
+	}
+	return k.Round < o.Round
 }
 
 // ErrCorrupt reports a damaged (non-tail) log.
@@ -153,8 +180,8 @@ func (l *Log) Close() error {
 	return l.f.Close()
 }
 
-// payload layout: op(1) txn(8) coord(4) klen(4) key value.
-const payloadHeader = 1 + 8 + 4 + 4
+// payload layout: op(1) txn(8) round(1) coord(4) klen(4) key value.
+const payloadHeader = 1 + 8 + 1 + 4 + 4
 
 func encodePayload(rec Record) []byte {
 	n := payloadHeader + len(rec.Key)
@@ -166,6 +193,7 @@ func encodePayload(rec Record) []byte {
 	var num [8]byte
 	binary.LittleEndian.PutUint64(num[:], rec.Txn)
 	buf = append(buf, num[:]...)
+	buf = append(buf, rec.Round)
 	binary.LittleEndian.PutUint32(num[:4], uint32(rec.Coord))
 	buf = append(buf, num[:4]...)
 	binary.LittleEndian.PutUint32(num[:4], uint32(len(rec.Key)))
@@ -188,9 +216,10 @@ func decodePayload(payload []byte) (Record, error) {
 	rec := Record{
 		Op:    op,
 		Txn:   binary.LittleEndian.Uint64(payload[1:9]),
-		Coord: int(binary.LittleEndian.Uint32(payload[9:13])),
+		Round: payload[9],
+		Coord: int(binary.LittleEndian.Uint32(payload[10:14])),
 	}
-	klen := int(binary.LittleEndian.Uint32(payload[13:17]))
+	klen := int(binary.LittleEndian.Uint32(payload[14:18]))
 	if klen < 0 || payloadHeader+klen > len(payload) {
 		return Record{}, fmt.Errorf("%w: bad key length %d", ErrCorrupt, klen)
 	}
@@ -258,14 +287,21 @@ func Replay(path string, fn func(Record) error) (records int, truncated bool, er
 	}
 }
 
-// InDoubt is a prepared-but-undecided transaction found during recovery:
+// InDoubt is a prepared-but-undecided commit round found during recovery:
 // the participant voted yes and crashed (or its coordinator did) before the
 // decision reached its log. The caller resolves it against the
-// coordinator's log — presumed abort when no commit decision exists there.
+// coordinator's log — presumed abort when no commit decision exists there
+// for this exact (txn, round); a decision the same transaction logged in
+// its other commit round does not count.
 type InDoubt struct {
-	Txn    uint64
-	Coord  int
-	Writes []Record // the staged data records, in log order
+	Txn   uint64
+	Round uint8
+	Coord int
+	// Writes are the staged data records still live, in log order: a
+	// write whose key a later log record overwrote (a retraction restore
+	// journaled while the block was undecided) is superseded and omitted,
+	// so committing the block cannot resurrect compensated state.
+	Writes []Record
 }
 
 // RecoverResult is everything recovery learns from one partition's log.
@@ -276,31 +312,45 @@ type RecoverResult struct {
 	Records int
 	// Truncated reports that a torn tail was removed.
 	Truncated bool
-	// InDoubt lists prepared-but-undecided transactions, ascending by id.
+	// InDoubt lists prepared-but-undecided commit rounds, ascending by
+	// (txn, round).
 	InDoubt []InDoubt
-	// Incomplete counts transactions whose data records reached the log
+	// Incomplete counts commit rounds whose data records reached the log
 	// but whose prepare/commit marker did not (a crash mid-commit). Their
 	// writes are dropped: presumed abort.
 	Incomplete int
-	// Decisions maps transaction ids to their logged outcome (true =
-	// commit). On a coordinator's log these are the durable decisions an
-	// in-doubt participant inquires about.
-	Decisions map[uint64]bool
+	// Decisions maps (txn, round) to the logged outcome (true = commit).
+	// On a coordinator's log these are the durable decisions an in-doubt
+	// participant inquires about.
+	Decisions map[TxnRound]bool
 }
 
 // Recover rebuilds a partition from the log at path. Non-transactional data
 // records (Txn 0) apply in log order; transactional blocks apply only when
-// their commit marker was logged, are dropped on an abort marker or a
-// missing prepare, and are reported in-doubt when prepared but undecided.
+// their round's commit marker was logged, are dropped on an abort marker or
+// a missing prepare, and are reported in-doubt when prepared but undecided.
+//
+// A staged write's logical position is its DATA record (the value was read
+// under the section's locks at staging time; the decision marker only
+// validates it), so last-writer-wins is resolved by data-record order, not
+// marker order: a write whose key a later record already overwrote — e.g.
+// a retraction's restore, journaled while the block was undecided — is
+// superseded. It neither applies at the (tail-positioned) commit marker
+// nor appears in the block's reported InDoubt writes, so a deferred
+// resolution can't resurrect state a retraction already compensated.
 func Recover(path string) (*RecoverResult, error) {
 	type block struct {
 		writes   []Record
+		seqs     []int // log position of each staged data record
 		prepared bool
 		coord    int
 	}
-	res := &RecoverResult{Store: store.New(), Decisions: make(map[uint64]bool)}
-	pending := make(map[uint64]*block)
-	apply := func(rec Record) {
+	res := &RecoverResult{Store: store.New(), Decisions: make(map[TxnRound]bool)}
+	pending := make(map[TxnRound]*block)
+	seq := 0
+	lastApplied := map[string]int{} // key → log position of the write that set it
+	apply := func(rec Record, at int) {
+		lastApplied[rec.Key] = at
 		switch rec.Op {
 		case OpPut:
 			res.Store.Put(rec.Key, rec.Value)
@@ -309,37 +359,42 @@ func Recover(path string) (*RecoverResult, error) {
 		}
 	}
 	n, truncated, err := Replay(path, func(rec Record) error {
+		seq++
+		k := rec.TxnRound()
 		switch rec.Op {
 		case OpPut, OpDelete:
 			if rec.Txn == 0 {
-				apply(rec)
+				apply(rec, seq)
 				return nil
 			}
-			b := pending[rec.Txn]
+			b := pending[k]
 			if b == nil {
 				b = &block{}
-				pending[rec.Txn] = b
+				pending[k] = b
 			}
 			b.writes = append(b.writes, rec)
+			b.seqs = append(b.seqs, seq)
 		case OpPrepare:
-			b := pending[rec.Txn]
+			b := pending[k]
 			if b == nil {
 				b = &block{}
-				pending[rec.Txn] = b
+				pending[k] = b
 			}
 			b.prepared = true
 			b.coord = rec.Coord
 		case OpCommit:
-			res.Decisions[rec.Txn] = true
-			if b := pending[rec.Txn]; b != nil {
-				for _, w := range b.writes {
-					apply(w)
+			res.Decisions[k] = true
+			if b := pending[k]; b != nil {
+				for i, w := range b.writes {
+					if lastApplied[w.Key] < b.seqs[i] {
+						apply(w, b.seqs[i])
+					}
 				}
-				delete(pending, rec.Txn)
+				delete(pending, k)
 			}
 		case OpAbort:
-			res.Decisions[rec.Txn] = false
-			delete(pending, rec.Txn)
+			res.Decisions[k] = false
+			delete(pending, k)
 		}
 		return nil
 	})
@@ -347,72 +402,83 @@ func Recover(path string) (*RecoverResult, error) {
 		return nil, err
 	}
 	res.Records, res.Truncated = n, truncated
-	for id, b := range pending {
+	for k, b := range pending {
 		if !b.prepared {
 			res.Incomplete++ // lost its commit marker to the crash: presumed abort
 			continue
 		}
-		res.InDoubt = append(res.InDoubt, InDoubt{Txn: id, Coord: b.coord, Writes: b.writes})
+		live := make([]Record, 0, len(b.writes))
+		for i, w := range b.writes {
+			if lastApplied[w.Key] < b.seqs[i] {
+				live = append(live, w)
+			}
+		}
+		res.InDoubt = append(res.InDoubt, InDoubt{Txn: k.Txn, Round: k.Round, Coord: b.coord, Writes: live})
 	}
-	sort.Slice(res.InDoubt, func(i, j int) bool { return res.InDoubt[i].Txn < res.InDoubt[j].Txn })
+	sort.Slice(res.InDoubt, func(i, j int) bool {
+		a, b := res.InDoubt[i], res.InDoubt[j]
+		return TxnRound{Txn: a.Txn, Round: a.Round}.Less(TxnRound{Txn: b.Txn, Round: b.Round})
+	})
 	return res, nil
 }
 
 // Probe sizes a recovery without materializing any state: the intact
 // record count (what replay will cost) and the coordinators of
-// prepared-but-undecided transactions (one inquiry round trip each), in
-// ascending transaction order. Like Recover it truncates a torn tail.
+// prepared-but-undecided commit rounds (one inquiry round trip each), in
+// ascending (txn, round) order. Like Recover it truncates a torn tail.
 func Probe(path string) (records int, inDoubtCoords []int, err error) {
 	type pend struct {
 		coord    int
 		prepared bool
 	}
-	pending := make(map[uint64]*pend)
+	pending := make(map[TxnRound]*pend)
 	records, _, err = Replay(path, func(rec Record) error {
+		k := rec.TxnRound()
 		switch rec.Op {
 		case OpPut, OpDelete:
-			if rec.Txn != 0 && pending[rec.Txn] == nil {
-				pending[rec.Txn] = &pend{}
+			if rec.Txn != 0 && pending[k] == nil {
+				pending[k] = &pend{}
 			}
 		case OpPrepare:
-			p := pending[rec.Txn]
+			p := pending[k]
 			if p == nil {
 				p = &pend{}
-				pending[rec.Txn] = p
+				pending[k] = p
 			}
 			p.prepared, p.coord = true, rec.Coord
 		case OpCommit, OpAbort:
-			delete(pending, rec.Txn)
+			delete(pending, k)
 		}
 		return nil
 	})
 	if err != nil {
 		return 0, nil, err
 	}
-	ids := make([]uint64, 0, len(pending))
-	for id, p := range pending {
+	keys := make([]TxnRound, 0, len(pending))
+	for k, p := range pending {
 		if p.prepared {
-			ids = append(ids, id)
+			keys = append(keys, k)
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		inDoubtCoords = append(inDoubtCoords, pending[id].coord)
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	for _, k := range keys {
+		inDoubtCoords = append(inDoubtCoords, pending[k].coord)
 	}
 	return records, inDoubtCoords, nil
 }
 
 // Decisions scans the log at path for decision markers only — the inquiry
 // a recovering participant makes against its coordinator's log to resolve
-// an in-doubt transaction. Absence of an entry means presumed abort.
-func Decisions(path string) (map[uint64]bool, error) {
-	out := make(map[uint64]bool)
+// an in-doubt commit round. Absence of an entry for the exact (txn, round)
+// means presumed abort.
+func Decisions(path string) (map[TxnRound]bool, error) {
+	out := make(map[TxnRound]bool)
 	_, _, err := Replay(path, func(rec Record) error {
 		switch rec.Op {
 		case OpCommit:
-			out[rec.Txn] = true
+			out[rec.TxnRound()] = true
 		case OpAbort:
-			out[rec.Txn] = false
+			out[rec.TxnRound()] = false
 		}
 		return nil
 	})

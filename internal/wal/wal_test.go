@@ -314,11 +314,112 @@ func TestRecoverTxnBlocks(t *testing.T) {
 	if len(res.InDoubt[0].Writes) != 1 || res.InDoubt[0].Writes[0].Op != OpDelete {
 		t.Errorf("in-doubt writes = %+v", res.InDoubt[0].Writes)
 	}
-	if c, ok := res.Decisions[7]; !ok || !c {
+	if c, ok := res.Decisions[TxnRound{Txn: 7}]; !ok || !c {
 		t.Error("commit decision for txn 7 not recovered")
 	}
-	if c, ok := res.Decisions[8]; !ok || c {
+	if c, ok := res.Decisions[TxnRound{Txn: 8}]; !ok || c {
 		t.Error("abort decision for txn 8 not recovered")
+	}
+}
+
+// One multi-stage transaction runs two independent commit rounds. A
+// committed initial round must never answer for an in-doubt final round:
+// recovery keys blocks and decisions by (txn, round), so the final-round
+// block stays in doubt (and its writes stay unapplied) even though the
+// same transaction id carries a commit marker from round 0.
+func TestRecoverRoundsAreIndependent(t *testing.T) {
+	path := tmpLog(t)
+	l, _ := Open(path)
+	// Round 0 (initial commit): prepared and committed.
+	l.AppendBatch([]Record{
+		{Op: OpPut, Txn: 5, Round: 0, Key: "a", Value: store.Int64Value(1)},
+		{Op: OpPrepare, Txn: 5, Round: 0, Coord: 2},
+	})
+	l.Append(Record{Op: OpCommit, Txn: 5, Round: 0})
+	// Round 1 (final commit): prepared, no decision — the coordinator
+	// crashed before deciding.
+	l.AppendBatch([]Record{
+		{Op: OpPut, Txn: 5, Round: 1, Key: "a", Value: store.Int64Value(2)},
+		{Op: OpPrepare, Txn: 5, Round: 1, Coord: 2},
+	})
+	l.Close()
+
+	res, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Store.Get("a"); store.AsInt64(v) != 1 {
+		t.Errorf("a = %v, want round 0's committed value 1 (round 1 is undecided)", v)
+	}
+	if len(res.InDoubt) != 1 || res.InDoubt[0].Txn != 5 || res.InDoubt[0].Round != 1 {
+		t.Fatalf("in-doubt = %+v, want txn 5 round 1", res.InDoubt)
+	}
+	if c, ok := res.Decisions[TxnRound{Txn: 5, Round: 0}]; !ok || !c {
+		t.Error("round 0's commit decision not recovered")
+	}
+	if _, ok := res.Decisions[TxnRound{Txn: 5, Round: 1}]; ok {
+		t.Error("round 1 has a decision despite the coordinator never deciding it")
+	}
+	// The decision scan an inquiring participant runs must make the same
+	// distinction.
+	d, err := Decisions(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d[TxnRound{Txn: 5, Round: 0}] {
+		t.Error("Decisions lost round 0's commit")
+	}
+	if _, ok := d[TxnRound{Txn: 5, Round: 1}]; ok {
+		t.Error("Decisions resolved round 1 from round 0's marker")
+	}
+}
+
+// A journal record written after a block staged (a retraction's restore,
+// compensating while the block was in doubt) supersedes the staged write:
+// a late commit marker must not re-apply it, and the in-doubt report must
+// omit it — otherwise a deferred resolution resurrects compensated state.
+func TestSupersededStagedWritesDoNotResurface(t *testing.T) {
+	path := tmpLog(t)
+	l, _ := Open(path)
+	// Txn 1: staged k=1 and other=5, then a journal delete of k landed
+	// (retraction restore), then the commit marker (deferred resolution).
+	l.AppendBatch([]Record{
+		{Op: OpPut, Txn: 1, Key: "k", Value: store.Int64Value(1)},
+		{Op: OpPut, Txn: 1, Key: "other", Value: store.Int64Value(5)},
+		{Op: OpPrepare, Txn: 1, Coord: 0},
+	})
+	l.Append(Record{Op: OpDelete, Key: "k"}) // journaled compensation
+	l.Append(Record{Op: OpCommit, Txn: 1})
+	// Txn 2: staged j=2, journal overwrote j, still in doubt.
+	l.AppendBatch([]Record{
+		{Op: OpPut, Txn: 2, Key: "j", Value: store.Int64Value(2)},
+		{Op: OpPut, Txn: 2, Key: "keep", Value: store.Int64Value(7)},
+		{Op: OpPrepare, Txn: 2, Coord: 1},
+	})
+	l.Append(Record{Op: OpPut, Key: "j", Value: store.Int64Value(9)})
+	l.Close()
+
+	res, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Store.Get("k"); ok {
+		t.Error("committed block resurrected k over the later journal delete")
+	}
+	if v, _ := res.Store.Get("other"); store.AsInt64(v) != 5 {
+		t.Errorf("other = %v, want the unsuperseded staged write 5", v)
+	}
+	if v, _ := res.Store.Get("j"); store.AsInt64(v) != 9 {
+		t.Errorf("j = %v, want the journal's 9 (txn 2 undecided)", v)
+	}
+	if len(res.InDoubt) != 1 || res.InDoubt[0].Txn != 2 {
+		t.Fatalf("in-doubt = %+v, want txn 2", res.InDoubt)
+	}
+	// The in-doubt block's reported writes drop the superseded j, keep
+	// the untouched key — so a later commit delivery agrees with replay.
+	ws := res.InDoubt[0].Writes
+	if len(ws) != 1 || ws[0].Key != "keep" {
+		t.Errorf("in-doubt writes = %+v, want only the unsuperseded %q", ws, "keep")
 	}
 }
 
@@ -369,10 +470,10 @@ func TestDecisionsScan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(d) != 2 || !d[11] || d[12] {
+	if len(d) != 2 || !d[TxnRound{Txn: 11}] || d[TxnRound{Txn: 12}] {
 		t.Errorf("decisions = %v", d)
 	}
-	if _, ok := d[13]; ok {
+	if _, ok := d[TxnRound{Txn: 13}]; ok {
 		t.Error("unknown txn has a decision")
 	}
 }
