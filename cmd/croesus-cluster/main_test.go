@@ -1,0 +1,32 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"croesus"
+)
+
+// TestScenarioGolden pins the checked-in scenario smoke run: the same
+// scenario file must reproduce the same report byte for byte. CI runs the
+// binary against the same pair; if a change legitimately shifts the
+// numbers, regenerate with
+//
+//	go run ./cmd/croesus-cluster -scenario cmd/croesus-cluster/testdata/migrate.json > cmd/croesus-cluster/testdata/migrate.golden
+func TestScenarioGolden(t *testing.T) {
+	s, err := croesus.LoadScenario("testdata/migrate.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := croesus.RunScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/migrate.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Format(); got != string(want) {
+		t.Fatalf("scenario report drifted from the golden:\n--- got\n%s\n--- want\n%s", got, want)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"croesus/internal/faults"
 	"croesus/internal/lock"
 	"croesus/internal/netsim"
+	"croesus/internal/scenario"
 	"croesus/internal/smoothing"
 	"croesus/internal/store"
 	"croesus/internal/threshold"
@@ -529,6 +530,77 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
 
 // RunCluster builds and runs a cluster in one call.
 func RunCluster(cfg ClusterConfig) (*ClusterReport, error) { return cluster.Run(cfg) }
+
+// ---------------------------------------------------------------------------
+// Scenarios: declarative topology + event timeline
+//
+// A Scenario is the preferred way to describe a deployment: the topology
+// (edges, cameras, shards, protocol, batcher) plus a clock-ordered
+// timeline of runtime events — cameras joining/leaving, a camera and its
+// shard migrating between edges, workload shifts, scripted faults, WAL
+// checkpoints. Assembling a ClusterConfig by hand remains supported as the
+// static subset (see the README's deprecation mapping).
+
+type (
+	// Scenario is a declarative fleet deployment: topology + timeline.
+	Scenario = scenario.Scenario
+	// ScenarioTopology declares the fleet at time zero.
+	ScenarioTopology = scenario.Topology
+	// ScenarioEdge declares one edge node.
+	ScenarioEdge = scenario.Edge
+	// ScenarioCamera declares one camera stream.
+	ScenarioCamera = scenario.Camera
+	// ScenarioBatcher configures the shared cloud validator.
+	ScenarioBatcher = scenario.Batcher
+	// ScenarioEvent is one timeline entry.
+	ScenarioEvent = scenario.Event
+	// ScenarioDuration is a JSON-friendly duration ("80ms").
+	ScenarioDuration = scenario.Duration
+	// ScenarioRuntime is a compiled scenario bound to a cluster.
+	ScenarioRuntime = scenario.Runtime
+
+	// DynamicReport tallies a run's fleet churn (joins, leaves,
+	// migrations, outages, dropped frames).
+	DynamicReport = cluster.DynamicReport
+	// PhaseReport is one timeline-bounded slice of a run.
+	PhaseReport = cluster.PhaseReport
+	// ShardMap is the sharded fleet's mutable shard→edge routing table.
+	ShardMap = twopc.ShardMap
+)
+
+// Scenario event kinds and 2PC crash points (Event.Do / Event.Point).
+const (
+	EventCameraJoin    = scenario.KindCameraJoin
+	EventCameraLeave   = scenario.KindCameraLeave
+	EventMigrateCamera = scenario.KindMigrateCamera
+	EventWorkloadShift = scenario.KindWorkloadShift
+	EventEdgeCrash     = scenario.KindEdgeCrash
+	EventTwoPCCrash    = scenario.KindTwoPCCrash
+	EventLinkFault     = scenario.KindLinkFault
+	EventCheckpoint    = scenario.KindCheckpoint
+
+	ScenarioPointParticipantPrepared = scenario.PointParticipantPrepared
+	ScenarioPointAfterPrepare        = scenario.PointAfterPrepare
+	ScenarioPointAfterDecision       = scenario.PointAfterDecision
+)
+
+// LoadScenario reads, decodes, and validates a scenario file (version-1
+// JSON).
+func LoadScenario(path string) (*Scenario, error) { return scenario.Load(path) }
+
+// DecodeScenario parses and validates a scenario document.
+func DecodeScenario(data []byte) (*Scenario, error) { return scenario.Decode(data) }
+
+// RunScenario plays a scenario on a fresh virtual clock and returns the
+// fleet report. Same scenario, same seed ⇒ byte-identical report.
+func RunScenario(s *Scenario) (*ClusterReport, error) { return scenario.Run(s) }
+
+// NewScenarioRuntime compiles a scenario onto the caller's clock for
+// callers that need post-run access to the cluster (durability checks,
+// shard map, outcomes). Close the runtime's Cluster when done.
+func NewScenarioRuntime(s *Scenario, clk Clock) (*ScenarioRuntime, error) {
+	return scenario.New(s, clk)
+}
 
 // NewValidationBatcher returns the SLO-aware cloud validation batcher.
 // Clock and Model are required here (unlike inside a ClusterConfig,

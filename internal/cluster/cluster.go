@@ -8,8 +8,13 @@
 // under overload — shed frames keep their edge answer, which is exactly
 // Croesus' degradation mode, so overload costs accuracy, never the SLO.
 //
-// Everything runs on one vclock.Clock, so a sixteen-camera fleet is as
-// deterministic and as fast to simulate as a single pipeline.
+// The fleet is dynamic: cameras are driven by per-camera feeders, so a
+// scenario (internal/scenario) can join, retire, migrate, or re-shape a
+// camera mid-run, move its logical shard to another edge through the
+// fleet's shard map, fail edges, and checkpoint write-ahead logs — all on
+// the one vclock.Clock, so a sixteen-camera fleet under a full event
+// timeline is as deterministic and as fast to simulate as a single
+// pipeline.
 package cluster
 
 import (
@@ -17,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"croesus/internal/core"
@@ -74,6 +80,14 @@ type CameraSpec struct {
 	Seed int64
 	// Frames is how many frames the camera captures.
 	Frames int
+	// Edge, when set, pins the camera to the named edge node instead of
+	// consulting the Placement policy — how a scenario's declarative
+	// topology fixes its layout.
+	Edge string
+	// Shard is the camera's logical shard in a fleet with an explicit
+	// shard space (Config.Shards > 0); ignored otherwise, where each
+	// camera draws from its edge's shard.
+	Shard int
 }
 
 // EdgeSpec declares one edge node.
@@ -119,6 +133,7 @@ type EdgeNode struct {
 	// Cameras lists the IDs placed on this edge, in placement order.
 	Cameras []string
 
+	idx  int
 	load float64
 }
 
@@ -128,11 +143,19 @@ func (e *EdgeNode) Load() float64 { return e.load }
 
 // Config assembles a cluster. Zero-value fields take the documented
 // defaults.
+//
+// Deprecated usage note: assembling fleets directly from a Config (and
+// scheduling failures via Faults) still works but is the static subset of
+// what a declarative scenario expresses; new callers should describe the
+// fleet as a scenario.Scenario — topology plus event timeline — and let
+// internal/scenario drive the cluster (see README "Scenarios" for the
+// field-by-field mapping).
 type Config struct {
 	Clock   vclock.Clock
 	Cameras []CameraSpec
 	Edges   []EdgeSpec
-	// Placement assigns cameras to edges (default round-robin).
+	// Placement assigns cameras to edges (default round-robin) unless a
+	// camera pins itself with CameraSpec.Edge.
 	Placement Placement
 
 	// Batcher configures the shared cloud validator; its Clock and Model
@@ -162,9 +185,10 @@ type Config struct {
 	// implied by CrossEdgeFraction > 0.
 	Sharded bool
 	// CrossEdgeFraction is the probability that a workload key belongs to
-	// another edge's shard — the multi-partition operation rate. 0 keeps
-	// every transaction on its home shard (but still under the sharded
-	// machinery when Sharded is set).
+	// another shard (in the default per-edge shard space: another edge) —
+	// the multi-partition operation rate. 0 keeps every transaction on
+	// its home shard (but still under the sharded machinery when Sharded
+	// is set).
 	CrossEdgeFraction float64
 	// Protocol selects MS-IA (default) or MS-SR for the fleet's
 	// transactions, in both sharded and unsharded fleets.
@@ -176,13 +200,29 @@ type Config struct {
 	// concentrates on remote hot keys. Sharded fleets only.
 	ZipfSkew float64
 
+	// Shards sizes an explicit logical shard space routed through a
+	// mutable shard map (scenario fleets give every camera its own shard
+	// so a migration moves exactly that camera's data). 0 — the default —
+	// keeps the classic one-shard-per-edge identity layout. ShardOwners,
+	// when set, is the initial shard→edge owner table (length Shards);
+	// unset, shard i starts on edge i mod len(Edges).
+	Shards      int
+	ShardOwners []int
+
 	// Faults schedules scripted failures — fail-stop edge crashes with
 	// WAL-backed recovery, crashes at chosen 2PC points, inter-edge link
 	// partitions — against the fleet (see internal/faults). Setting it
-	// implies Sharded and makes every partition durable: each edge logs
-	// its committed state and 2PC decisions to a write-ahead log under
-	// WALDir and recovers from it after a crash.
+	// implies Sharded and Durable.
 	Faults *faults.Plan
+	// Durable gives every partition a write-ahead log (and the fleet a
+	// fault injector, even with an empty plan) without scheduling any
+	// failure — what checkpointing and scenario-driven crashes build on.
+	// Implies Sharded.
+	Durable bool
+	// CheckpointEvery, when positive, checkpoints every partition's WAL
+	// on that period, bounding crash-recovery replay time. Implies
+	// Durable.
+	CheckpointEvery time.Duration
 	// WALDir is where durable partitions keep their logs (default: a
 	// fresh temporary directory, removed when the run finishes).
 	WALDir string
@@ -193,9 +233,12 @@ func (c Config) defaults() Config {
 		c.Placement = &RoundRobin{}
 	}
 	if c.Faults != nil && c.Faults.Empty() {
-		c.Faults = nil // nothing scheduled: skip the durability machinery
+		c.Faults = nil // nothing scheduled: skip the fault machinery
 	}
-	if c.CrossEdgeFraction > 0 || c.Faults != nil || c.ZipfSkew > 0 {
+	if c.CheckpointEvery > 0 {
+		c.Durable = true
+	}
+	if c.CrossEdgeFraction > 0 || c.Faults != nil || c.ZipfSkew > 0 || c.Durable || c.Shards > 0 {
 		c.Sharded = true
 	}
 	if c.Seed == 0 {
@@ -213,16 +256,40 @@ func (c Config) defaults() Config {
 	return c
 }
 
-// cameraRuntime binds one camera to its edge, pipeline, and frames.
+// cameraRuntime binds one camera to its edge, pipeline, and frames. The
+// mutable half (pacing, workload shape, placement) is guarded by mu: the
+// feeder reads it per frame, timeline events rewrite it mid-run.
 type cameraRuntime struct {
-	spec     CameraSpec
+	spec  CameraSpec
+	shard int // logical shard, or -1 in unsharded fleets
+	src   *core.WorkloadSource
+
+	mu       sync.Mutex
 	edge     *EdgeNode
 	pipe     *core.Pipeline
 	frames   []*video.Frame
 	outcomes []core.FrameOutcome
+	done     []bool // outcome slot filled (vs dropped by an outage)
+	fed      int    // frames scheduled so far (prefix of frames)
+	dropped  int    // frames lost to an edge outage
+	left     bool   // camera retired mid-run
+	rate     float64
+	nextAt   time.Duration
+	interval time.Duration
+	// migrateTo is a pending re-home: the feeder rebinds the pipeline to
+	// that edge before the next frame, or MigrateCamera/feed apply it
+	// directly when the feeder has already exited. -1 when none.
+	migrateTo int
+	// feeding marks a spawned feeder (guarded by Cluster.mu); feedDone
+	// its exit (guarded by cam.mu).
+	feeding   bool
+	feedDone  bool
+	crossFrac float64
+	zipfSkew  float64
 }
 
-// Cluster is a constructed fleet, ready to Run.
+// Cluster is a constructed fleet, ready to Run (or to be driven event by
+// event by a scenario runtime: Start, Schedule, StartCameras, Drain).
 type Cluster struct {
 	cfg        Config
 	clk        vclock.Clock
@@ -230,31 +297,37 @@ type Cluster struct {
 	batcher    *Batcher
 	edges      []*EdgeNode
 	cams       []*cameraRuntime
+	nShards    int
 
 	// Sharded-keyspace state (nil/zero in unsharded fleets): the one
 	// fleet-wide manager, the shared distributed-commit counters, and the
-	// placement-aware partitioner.
-	fleetMgr    *txn.Manager
-	dist        *twopc.DistStats
-	partitioner func(string) int
+	// mutable shard map every route goes through.
+	fleetMgr *txn.Manager
+	dist     *twopc.DistStats
+	shardMap *twopc.ShardMap
 
 	// Fault-injection state (nil in fault-free fleets): the injector, the
-	// per-partition logs, and the temp WAL dir to remove after the run.
+	// WAL paths, and the temp WAL dir to remove after the run.
 	injector *faults.Injector
-	walLogs  []*wal.Log
 	walTemp  string
-}
 
-// shardPartitioner routes sharded workload keys by their shard tag and any
-// untagged key by hash — the fleet's placement-aware partitioner.
-func shardPartitioner(n int) func(string) int {
-	hash := twopc.HashPartitioner(n)
-	return func(key string) int {
-		if s, ok := workload.ShardOf(key); ok && s < n {
-			return s
-		}
-		return hash(key)
-	}
+	// Dynamic-fleet state: fleet-level mutations (membership, outages,
+	// phase marks) serialize on mu; migrations additionally serialize on
+	// migMu (they block on fleet locks and must not interleave — two
+	// concurrent handoffs of one shard would each plan from a stale
+	// owner and could strand the keys).
+	mu        sync.Mutex
+	migMu     sync.Mutex
+	startAt   time.Duration
+	edgeOut   []bool
+	phases    []phaseMark
+	dyn       DynamicReport
+	dynActive bool
+	migSeq    uint64
+	started   bool
+	// pending counts live feeders and scheduled events; background
+	// tickers exit when it drains so Clock.Wait can return.
+	pending int
 }
 
 // New validates the configuration, provisions the edges and the shared
@@ -278,6 +351,21 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if cfg.ZipfSkew < 0 {
 		return nil, fmt.Errorf("cluster: ZipfSkew must be ≥ 0, got %g", cfg.ZipfSkew)
+	}
+	if cfg.OpCost < 0 {
+		return nil, fmt.Errorf("cluster: OpCost must be ≥ 0, got %s", cfg.OpCost)
+	}
+	if cfg.WorkloadKeys < 0 {
+		return nil, fmt.Errorf("cluster: WorkloadKeys must be ≥ 0, got %d", cfg.WorkloadKeys)
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("cluster: Shards must be ≥ 0, got %d", cfg.Shards)
+	}
+	if cfg.ShardOwners != nil && len(cfg.ShardOwners) != cfg.Shards {
+		return nil, fmt.Errorf("cluster: %d ShardOwners for %d Shards", len(cfg.ShardOwners), cfg.Shards)
+	}
+	if cfg.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("cluster: CheckpointEvery must be ≥ 0, got %s", cfg.CheckpointEvery)
 	}
 
 	cloudModel := cfg.CloudModel
@@ -337,7 +425,13 @@ func New(cfg Config) (*Cluster, error) {
 			ClientEdge: clientEdge,
 			EdgeCloud:  edgeCloud,
 			Compute:    vclock.NewSemaphore(cfg.Clock, es.Slots),
+			idx:        i,
 		})
+	}
+	c.edgeOut = make([]bool, len(c.edges))
+	c.nShards = cfg.Shards
+	if cfg.Sharded && c.nShards == 0 {
+		c.nShards = len(c.edges)
 	}
 
 	if cfg.Sharded {
@@ -356,96 +450,162 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 
+	camIDs := make(map[string]bool, len(cfg.Cameras))
 	for i, cs := range cfg.Cameras {
 		if cs.ID == "" {
 			cs.ID = fmt.Sprintf("cam%d", i)
 		}
+		if camIDs[cs.ID] {
+			c.closeDurability()
+			return nil, fmt.Errorf("cluster: duplicate camera ID %q", cs.ID)
+		}
+		camIDs[cs.ID] = true
 		if cs.Seed == 0 {
 			cs.Seed = cfg.Seed + int64(i)
 		}
 		if cs.Frames == 0 {
 			cs.Frames = 100
 		}
-		idx := cfg.Placement.Pick(cs, c.edges)
-		if idx < 0 || idx >= len(c.edges) {
+		if cfg.Shards > 0 && (cs.Shard < 0 || cs.Shard >= cfg.Shards) {
 			c.closeDurability()
-			return nil, fmt.Errorf("cluster: placement %q picked edge %d of %d for camera %q", cfg.Placement.Name(), idx, len(c.edges), cs.ID)
+			return nil, fmt.Errorf("cluster: camera %q shard %d outside [0, %d)", cs.ID, cs.Shard, cfg.Shards)
 		}
-		edge := c.edges[idx]
-		edge.Cameras = append(edge.Cameras, cs.ID)
-		edge.load += cs.Profile.FPS
-
-		source := core.NewWorkloadSource(cfg.WorkloadKeys, cs.Seed)
-		if cfg.Sharded {
-			// The camera draws keys from the fleet-wide sharded keyspace,
-			// home-biased: CrossEdgeFraction of them belong to another
-			// edge's shard and make the transaction multi-partition.
-			if cfg.ZipfSkew > 0 {
-				source.Keys = workload.NewShardedZipf(
-					"item", idx, len(c.edges), cfg.WorkloadKeys,
-					cfg.CrossEdgeFraction, cfg.ZipfSkew, cs.Seed)
-			} else {
-				source.Keys = workload.ShardedUniform{
-					Prefix:    "item",
-					Home:      idx,
-					Shards:    len(c.edges),
-					N:         cfg.WorkloadKeys,
-					CrossProb: cfg.CrossEdgeFraction,
-				}
-			}
-		}
-		if cfg.OpCost > 0 {
-			source.Clk = cfg.Clock
-			source.OpCost = cfg.OpCost
-		}
-		pipe, err := core.New(core.Config{
-			Clock:       cfg.Clock,
-			Mode:        core.ModeCroesus,
-			EdgeModel:   edge.Model,
-			CloudModel:  cloudModel,
-			EdgeSpeed:   edge.Spec.Speed,
-			EdgeSlots:   edge.Spec.Slots,
-			EdgeCompute: edge.Compute,
-			ClientEdge:  edge.ClientEdge,
-			EdgeCloud:   edge.EdgeCloud,
-			ThetaL:      cfg.ThetaL,
-			ThetaU:      cfg.ThetaU,
-			OverlapMin:  cfg.OverlapMin,
-			Source:      source,
-			CC:          edge.CC,
-			Mgr:         edge.Mgr,
-			Validator: &EdgeUplink{
-				Uplink: core.Uplink{
-					Clock:     cfg.Clock,
-					Link:      edge.EdgeCloud,
-					EdgeSpeed: edge.Spec.Speed,
-				},
-				Batcher: c.batcher,
-			},
-		})
+		idx, err := c.placeCamera(cs)
 		if err != nil {
 			c.closeDurability()
-			return nil, fmt.Errorf("cluster: camera %q: %w", cs.ID, err)
+			return nil, err
 		}
-		c.cams = append(c.cams, &cameraRuntime{
-			spec:   cs,
-			edge:   edge,
-			pipe:   pipe,
-			frames: video.NewGenerator(cs.Profile, cs.Seed).Generate(cs.Frames),
-		})
+		if _, err := c.buildCamera(cs, idx, 0); err != nil {
+			c.closeDurability()
+			return nil, err
+		}
 	}
 	return c, nil
+}
+
+// placeCamera resolves a camera's edge: its pin when set, the placement
+// policy otherwise.
+func (c *Cluster) placeCamera(cs CameraSpec) (int, error) {
+	if cs.Edge != "" {
+		for i, e := range c.edges {
+			if e.Spec.ID == cs.Edge {
+				return i, nil
+			}
+		}
+		return 0, fmt.Errorf("cluster: camera %q pinned to unknown edge %q", cs.ID, cs.Edge)
+	}
+	idx := c.cfg.Placement.Pick(cs, c.edges)
+	if idx < 0 || idx >= len(c.edges) {
+		return 0, fmt.Errorf("cluster: placement %q picked edge %d of %d for camera %q", c.cfg.Placement.Name(), idx, len(c.edges), cs.ID)
+	}
+	return idx, nil
+}
+
+// chooser builds the sharded key chooser for one camera's current workload
+// shape.
+func (c *Cluster) chooser(home int, crossFrac, zipfSkew float64, seed int64) workload.KeyChooser {
+	if zipfSkew > 0 {
+		return workload.NewShardedZipf("item", home, c.nShards, c.cfg.WorkloadKeys, crossFrac, zipfSkew, seed)
+	}
+	return workload.ShardedUniform{
+		Prefix:    "item",
+		Home:      home,
+		Shards:    c.nShards,
+		N:         c.cfg.WorkloadKeys,
+		CrossProb: crossFrac,
+	}
+}
+
+// buildPipe assembles a camera's pipeline bound to one edge node — called
+// at construction and again when a migration re-homes the camera.
+func (c *Cluster) buildPipe(edge *EdgeNode, source core.TxnSource) (*core.Pipeline, error) {
+	cfg := c.cfg
+	return core.New(core.Config{
+		Clock:       cfg.Clock,
+		Mode:        core.ModeCroesus,
+		EdgeModel:   edge.Model,
+		CloudModel:  c.cloudModel,
+		EdgeSpeed:   edge.Spec.Speed,
+		EdgeSlots:   edge.Spec.Slots,
+		EdgeCompute: edge.Compute,
+		ClientEdge:  edge.ClientEdge,
+		EdgeCloud:   edge.EdgeCloud,
+		ThetaL:      cfg.ThetaL,
+		ThetaU:      cfg.ThetaU,
+		OverlapMin:  cfg.OverlapMin,
+		Source:      source,
+		CC:          edge.CC,
+		Mgr:         edge.Mgr,
+		Validator: &EdgeUplink{
+			Uplink: core.Uplink{
+				Clock:     cfg.Clock,
+				Link:      edge.EdgeCloud,
+				EdgeSpeed: edge.Spec.Speed,
+			},
+			Batcher: c.batcher,
+		},
+	})
+}
+
+// buildCamera provisions one camera on the edge at idx, with its first
+// frame due at startAt, and registers it with the fleet.
+func (c *Cluster) buildCamera(cs CameraSpec, idx int, startAt time.Duration) (*cameraRuntime, error) {
+	edge := c.edges[idx]
+	shard := -1
+	if c.cfg.Sharded {
+		shard = idx
+		if c.cfg.Shards > 0 {
+			shard = cs.Shard
+		}
+	}
+	source := core.NewWorkloadSource(c.cfg.WorkloadKeys, cs.Seed)
+	if c.cfg.Sharded {
+		// The camera draws keys from the fleet-wide sharded keyspace,
+		// home-biased: CrossEdgeFraction of them belong to another shard
+		// and make the transaction multi-partition.
+		source.Keys = c.chooser(shard, c.cfg.CrossEdgeFraction, c.cfg.ZipfSkew, cs.Seed)
+	}
+	if c.cfg.OpCost > 0 {
+		source.Clk = c.cfg.Clock
+		source.OpCost = c.cfg.OpCost
+	}
+	pipe, err := c.buildPipe(edge, source)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: camera %q: %w", cs.ID, err)
+	}
+	frames := video.NewGenerator(cs.Profile, cs.Seed).Generate(cs.Frames)
+	cam := &cameraRuntime{
+		spec:      cs,
+		shard:     shard,
+		src:       source,
+		edge:      edge,
+		pipe:      pipe,
+		frames:    frames,
+		outcomes:  make([]core.FrameOutcome, len(frames)),
+		done:      make([]bool, len(frames)),
+		rate:      1,
+		nextAt:    startAt,
+		interval:  cs.Profile.FrameInterval(),
+		migrateTo: -1,
+		crossFrac: c.cfg.CrossEdgeFraction,
+		zipfSkew:  c.cfg.ZipfSkew,
+	}
+	edge.Cameras = append(edge.Cameras, cs.ID)
+	edge.load += cs.Profile.FPS
+	c.cams = append(c.cams, cam)
+	return cam, nil
 }
 
 // provisionShards converts the freshly built edges into one sharded
 // database: each edge's store and locks become a twopc.Partition, a mesh of
 // inter-edge links carries cross-edge lock and commit traffic, one
-// fleet-wide txn.Manager (whose backend routes every key to its owning
-// shard) spans all edges, and each edge gets a ShardedCC bound to its home
-// partition. Under a fault plan every partition additionally gets a
-// write-ahead log and the fleet a fault injector, so scripted crashes are
-// survivable: committed state recovers from the log, retraction restores
-// are journaled, and in-doubt 2PC blocks resolve against coordinator logs.
+// fleet-wide txn.Manager (whose backend routes every key through the shard
+// map) spans all edges, and each edge gets a ShardedCC bound to its home
+// partition. A durable fleet (fault plan, Durable, or checkpointing)
+// additionally gets per-partition write-ahead logs and a fault injector, so
+// scripted crashes are survivable: committed state recovers from the log,
+// retraction restores are journaled, and in-doubt 2PC blocks resolve
+// against coordinator logs.
 func (c *Cluster) provisionShards() error {
 	n := len(c.edges)
 	parts := make([]*twopc.Partition, n)
@@ -453,9 +613,20 @@ func (c *Cluster) provisionShards() error {
 		parts[i] = twopc.NewPartitionOver(i, e.Store, e.Locks)
 		e.Partition = parts[i]
 	}
-	c.partitioner = shardPartitioner(n)
+	owners := c.cfg.ShardOwners
+	if owners == nil {
+		owners = make([]int, c.nShards)
+		for s := range owners {
+			owners[s] = s % n
+		}
+	}
+	smap, err := twopc.NewShardMap(owners, n)
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	c.shardMap = smap
 	c.dist = &twopc.DistStats{}
-	shardedStore := &twopc.ShardedStore{Parts: parts, Partitioner: c.partitioner}
+	shardedStore := &twopc.ShardedStore{Parts: parts, Partitioner: smap.Lookup, Map: smap, Clk: c.cfg.Clock}
 	c.fleetMgr = txn.NewManager(c.cfg.Clock, nil, nil)
 	c.fleetMgr.DB = shardedStore
 	for i, e := range c.edges {
@@ -475,12 +646,13 @@ func (c *Cluster) provisionShards() error {
 			Home:        i,
 			Parts:       parts,
 			Links:       e.Peers,
-			Partitioner: c.partitioner,
+			Partitioner: smap.Lookup,
+			Map:         smap,
 			Protocol:    c.cfg.Protocol.dist(),
 			Stats:       c.dist,
 		}
 	}
-	if c.cfg.Faults == nil {
+	if c.cfg.Faults == nil && !c.cfg.Durable {
 		return nil
 	}
 
@@ -507,13 +679,16 @@ func (c *Cluster) provisionShards() error {
 		// fsync keeps big fleets fast without changing any outcome.
 		log.NoSync = true
 		parts[i].WAL = log
-		c.walLogs = append(c.walLogs, log)
 		linkRows[i] = e.Peers
 	}
 	// Retraction cascades re-install before-images through the journaling
 	// backend so a recovered partition agrees with the live store.
 	c.fleetMgr.RestoreDB = twopc.JournaledShardedStore{ShardedStore: shardedStore}
-	inj, err := faults.NewInjector(c.cfg.Clock, *c.cfg.Faults, parts, linkRows, paths)
+	plan := faults.Plan{}
+	if c.cfg.Faults != nil {
+		plan = *c.cfg.Faults
+	}
+	inj, err := faults.NewInjector(c.cfg.Clock, plan, parts, linkRows, paths)
 	if err != nil {
 		return fmt.Errorf("cluster: %w", err)
 	}
@@ -526,10 +701,11 @@ func (c *Cluster) provisionShards() error {
 
 // closeDurability closes the partition logs and removes a temp WAL dir.
 func (c *Cluster) closeDurability() {
-	for _, l := range c.walLogs {
-		l.Close()
+	for _, e := range c.edges {
+		if e.Partition != nil {
+			e.Partition.CloseWAL()
+		}
 	}
-	c.walLogs = nil
 	if c.walTemp != "" {
 		os.RemoveAll(c.walTemp)
 		c.walTemp = ""
@@ -542,6 +718,10 @@ func (c *Cluster) Edges() []*EdgeNode { return c.edges }
 // FleetManager returns the fleet-wide transaction manager of a sharded
 // cluster, or nil when each edge has a private one.
 func (c *Cluster) FleetManager() *txn.Manager { return c.fleetMgr }
+
+// ShardMap returns the sharded fleet's mutable shard→edge routing table,
+// or nil in unsharded fleets.
+func (c *Cluster) ShardMap() *twopc.ShardMap { return c.shardMap }
 
 // DistStats returns a snapshot of the sharded fleet's distributed-commit
 // counters (zero in unsharded fleets).
@@ -562,43 +742,175 @@ func (c *Cluster) Injector() *faults.Injector { return c.injector }
 func (c *Cluster) Close() { c.closeDurability() }
 
 // Outcomes returns the per-frame outcomes of one camera after Run, or
-// nil if the camera is unknown. Frames are in capture order.
+// nil if the camera is unknown. Frames are in capture order; a camera that
+// left mid-run (or lost frames to an edge outage) reports only the frames
+// it actually captured.
 func (c *Cluster) Outcomes(cameraID string) []core.FrameOutcome {
-	for _, cam := range c.cams {
-		if cam.spec.ID == cameraID {
-			return cam.outcomes
+	cam := c.findCam(cameraID)
+	if cam == nil {
+		return nil
+	}
+	cam.mu.Lock()
+	defer cam.mu.Unlock()
+	out := make([]core.FrameOutcome, 0, cam.fed)
+	for i := 0; i < cam.fed; i++ {
+		if cam.done[i] {
+			out = append(out, cam.outcomes[i])
 		}
 	}
-	return nil
+	return out
 }
 
 // Batcher returns the shared cloud validator.
 func (c *Cluster) Batcher() *Batcher { return c.batcher }
 
-// Run drives every camera's frames at their capture timestamps on the
-// shared clock and blocks until the last final commit. The caller must
-// be the clock's driver (outside the simulation). Run may be called
-// once.
-func (c *Cluster) Run() *ClusterReport {
-	clk := c.clk
-	start := clk.Now()
-	// The injector's scheduled events spawn first so the virtual-time
-	// tiebreak — and with it the whole faulty run — is reproducible.
+// Start spawns the fleet's background machinery — the fault injector's
+// scheduled events and the checkpoint ticker — on the clock. It runs first
+// so the virtual-time tiebreak (and with it the whole run) is reproducible.
+// Call exactly once, from the clock's driver, before Schedule and
+// StartCameras; Run does all three.
+func (c *Cluster) Start() {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		panic("cluster: Start called twice")
+	}
+	c.started = true
+	c.startAt = c.clk.Now()
+	c.mu.Unlock()
 	if c.injector != nil {
 		c.injector.Start()
-	}
-	for _, cam := range c.cams {
-		cam := cam
-		cam.outcomes = make([]core.FrameOutcome, len(cam.frames))
-		for i, f := range cam.frames {
-			i, f := i, f
-			clk.Go(func() {
-				clk.Sleep(f.At - clk.Now())
-				cam.outcomes[i] = cam.pipe.ProcessFrame(f)
+		if every := c.cfg.CheckpointEvery; every > 0 {
+			c.clk.Go(func() {
+				for {
+					c.clk.Sleep(every)
+					c.mu.Lock()
+					idle := c.pending == 0
+					c.mu.Unlock()
+					if idle {
+						return // fleet drained: stop ticking so Wait can return
+					}
+					for e := range c.edges {
+						c.injector.Checkpoint(e)
+					}
+				}
 			})
 		}
 	}
-	clk.Wait()
+}
+
+// StartCameras spawns a feeder for every camera currently provisioned.
+// Call once, after Start (and after any Schedule calls).
+func (c *Cluster) StartCameras() {
+	c.mu.Lock()
+	cams := append([]*cameraRuntime{}, c.cams...)
+	c.mu.Unlock()
+	for _, cam := range cams {
+		c.startFeeder(cam)
+	}
+}
+
+// startFeeder is idempotent per camera: a camera joining at time zero could
+// otherwise be fed both by its join event and by StartCameras.
+func (c *Cluster) startFeeder(cam *cameraRuntime) {
+	c.mu.Lock()
+	if cam.feeding {
+		c.mu.Unlock()
+		return
+	}
+	cam.feeding = true
+	c.pending++
+	c.mu.Unlock()
+	c.clk.Go(func() {
+		defer c.workDone()
+		c.feed(cam)
+	})
+}
+
+func (c *Cluster) workAdd() {
+	c.mu.Lock()
+	c.pending++
+	c.mu.Unlock()
+}
+
+func (c *Cluster) workDone() {
+	c.mu.Lock()
+	c.pending--
+	c.mu.Unlock()
+}
+
+// feed drives one camera: each frame is scheduled at its due time (base
+// interval over the camera's current rate scale), then processed on its own
+// goroutine so captures overlap exactly as a continuously-capturing client.
+// Between frames the feeder applies whatever the timeline changed —
+// retirement, a pending migration's pipeline rebind, a new rate — and drops
+// frames captured while the edge is in an (unsharded) outage.
+func (c *Cluster) feed(cam *cameraRuntime) {
+	clk := c.clk
+	for i := range cam.frames {
+		cam.mu.Lock()
+		due := cam.nextAt
+		left := cam.left
+		cam.mu.Unlock()
+		if left {
+			break
+		}
+		if d := due - clk.Now(); d > 0 {
+			clk.Sleep(d)
+		}
+		cam.mu.Lock()
+		if cam.left {
+			cam.mu.Unlock()
+			break
+		}
+		if cam.migrateTo >= 0 {
+			c.rebindLocked(cam)
+		}
+		rate := cam.rate
+		if rate <= 0 {
+			rate = 1
+		}
+		cam.nextAt = due + time.Duration(float64(cam.interval)/rate)
+		pipe := cam.pipe
+		edgeIdx := cam.edge.idx
+		cam.fed = i + 1
+		down := c.edgeOutage(edgeIdx)
+		if down {
+			cam.dropped++
+			cam.mu.Unlock()
+			c.mu.Lock()
+			c.dyn.FramesDropped++
+			c.mu.Unlock()
+			continue
+		}
+		cam.mu.Unlock()
+		f := cam.frames[i]
+		f.At = due
+		i := i
+		clk.Go(func() {
+			out := pipe.ProcessFrame(f)
+			cam.mu.Lock()
+			cam.outcomes[i] = out
+			cam.done[i] = true
+			cam.mu.Unlock()
+		})
+	}
+	// A migration that raced the last frame (or arrives after it — see
+	// MigrateCamera) must still re-home the bookkeeping so the report
+	// places the camera on its destination edge.
+	cam.mu.Lock()
+	cam.feedDone = true
+	if cam.migrateTo >= 0 {
+		c.rebindLocked(cam)
+	}
+	cam.mu.Unlock()
+}
+
+// Drain blocks until every camera, frame, and scheduled event has finished,
+// repairs the fleet (end-of-run recovery and in-doubt resolution), and
+// scores the run. The caller must be the clock's driver.
+func (c *Cluster) Drain() *ClusterReport {
+	c.clk.Wait()
 	// End-of-run repair: recover any edge still down and resolve every
 	// outstanding in-doubt block, so the report describes a healed fleet.
 	if c.injector != nil {
@@ -606,16 +918,33 @@ func (c *Cluster) Run() *ClusterReport {
 	}
 	// The makespan ends at the last frame's final commit, not at
 	// clk.Now(): stale SLO timers may still run the clock forward after
-	// the fleet has drained.
-	end := start
+	// the fleet has drained. It starts at Start's timestamp, not at
+	// virtual-time zero — a caller-owned clock may have run before the
+	// fleet did.
+	end := c.startAt
 	for _, cam := range c.cams {
-		for i := range cam.outcomes {
+		cam.mu.Lock()
+		for i := 0; i < cam.fed; i++ {
+			if !cam.done[i] {
+				continue
+			}
 			if t := cam.outcomes[i].CapturedAt + cam.outcomes[i].FinalLatency; t > end {
 				end = t
 			}
 		}
+		cam.mu.Unlock()
 	}
-	return c.report(end - start)
+	return c.report(end-c.startAt, end)
+}
+
+// Run drives every camera's frames at their capture timestamps on the
+// shared clock and blocks until the last final commit. The caller must
+// be the clock's driver (outside the simulation). Run may be called
+// once.
+func (c *Cluster) Run() *ClusterReport {
+	c.Start()
+	c.StartCameras()
+	return c.Drain()
 }
 
 // Run builds and runs a cluster in one call, releasing any durability

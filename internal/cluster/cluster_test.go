@@ -293,6 +293,16 @@ func TestConfigValidation(t *testing.T) {
 		// per-partition WAL files under a fault plan.
 		{"duplicate edge IDs", Config{Clock: clk, Cameras: []CameraSpec{cam}, Edges: []EdgeSpec{{ID: "west"}, {ID: "west"}}}},
 		{"edge ID with path separator", Config{Clock: clk, Cameras: []CameraSpec{cam}, Edges: []EdgeSpec{{ID: "../escape"}}}},
+		// Negative knobs were silently ignored before; now they're errors.
+		{"negative OpCost", Config{Clock: clk, Cameras: []CameraSpec{cam}, Edges: []EdgeSpec{{}}, OpCost: -time.Millisecond}},
+		{"negative WorkloadKeys", Config{Clock: clk, Cameras: []CameraSpec{cam}, Edges: []EdgeSpec{{}}, WorkloadKeys: -1}},
+		{"negative CheckpointEvery", Config{Clock: clk, Cameras: []CameraSpec{cam}, Edges: []EdgeSpec{{}}, CheckpointEvery: -time.Second}},
+		// Duplicate camera IDs would alias report rows (edge IDs were
+		// already checked; camera IDs were not).
+		{"duplicate camera IDs", Config{Clock: clk, Cameras: []CameraSpec{{ID: "cam", Profile: video.ParkDog(), Frames: 1}, {ID: "cam", Profile: video.ParkDog(), Frames: 1}}, Edges: []EdgeSpec{{}}}},
+		{"camera pinned to unknown edge", Config{Clock: clk, Cameras: []CameraSpec{{ID: "cam", Profile: video.ParkDog(), Frames: 1, Edge: "nowhere"}}, Edges: []EdgeSpec{{ID: "west"}}}},
+		{"shard owners without shards", Config{Clock: clk, Cameras: []CameraSpec{cam}, Edges: []EdgeSpec{{}}, ShardOwners: []int{0}}},
+		{"camera shard out of range", Config{Clock: clk, Cameras: []CameraSpec{{ID: "cam", Profile: video.ParkDog(), Frames: 1, Shard: 9}}, Edges: []EdgeSpec{{}}, Shards: 2}},
 	}
 	for _, tc := range cases {
 		if _, err := New(tc.cfg); err == nil {

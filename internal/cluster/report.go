@@ -9,15 +9,23 @@ import (
 	"croesus/internal/faults"
 	"croesus/internal/metrics"
 	"croesus/internal/twopc"
+	"croesus/internal/video"
 )
 
 // CameraReport summarizes one camera's run: the standard single-pipeline
 // Summary plus latency percentiles.
 type CameraReport struct {
 	Camera string
-	Edge   string
+	// Edge is the camera's edge at the end of the run (its destination,
+	// if it migrated).
+	Edge string
 
 	Summary core.Summary
+
+	// Dropped counts frames lost to an edge outage; Left reports a
+	// camera that retired before its stream ended.
+	Dropped int
+	Left    bool
 
 	InitialP50 time.Duration
 	InitialP95 time.Duration
@@ -76,27 +84,67 @@ type ClusterReport struct {
 	// work — crashes, restarts, transactions failed by faults, in-doubt
 	// resolutions, recovery-time percentiles. Nil without a fault plan.
 	Faults *faults.Report
+
+	// Dynamic tallies scenario-driven fleet churn — joins, leaves,
+	// migrations, outages, dropped frames. Nil for a static run.
+	Dynamic *DynamicReport
+	// Phases slices the run on the timeline's event boundaries. Nil when
+	// no phase was marked.
+	Phases []PhaseReport
 }
 
-// report scores every camera and aggregates the fleet.
-func (c *Cluster) report(elapsed time.Duration) *ClusterReport {
+// report scores every camera and aggregates the fleet. elapsed is the
+// run's makespan; endAt the absolute virtual time it ended (phase windows
+// are absolute).
+func (c *Cluster) report(elapsed, endAt time.Duration) *ClusterReport {
 	r := &ClusterReport{Policy: c.cfg.Placement.Name(), Elapsed: elapsed}
+	phases := c.phaseReports(endAt)
 	var fleetInit, fleetFinal metrics.LatencyStats
+	phaseFinal := make([]metrics.LatencyStats, len(phases))
 	for _, cam := range c.cams {
-		truth := core.TruthFromModel(c.cloudModel, cam.frames)
-		sum := core.Summarize(cam.spec.ID, core.ModeCroesus, cam.spec.Profile.QueryClass, cam.outcomes, truth, c.cfg.OverlapMin)
+		// A camera that left mid-run (or lost frames to an outage) is
+		// scored on the frames it actually captured.
+		cam.mu.Lock()
+		outs := make([]core.FrameOutcome, 0, cam.fed)
+		frames := make([]*video.Frame, 0, cam.fed)
+		for i := 0; i < cam.fed; i++ {
+			if !cam.done[i] {
+				continue
+			}
+			outs = append(outs, cam.outcomes[i])
+			frames = append(frames, cam.frames[i])
+		}
+		dropped, left, edge := cam.dropped, cam.left && cam.fed < len(cam.frames), cam.edge
+		cam.mu.Unlock()
+		truth := core.TruthFromModel(c.cloudModel, frames)
+		sum := core.Summarize(cam.spec.ID, core.ModeCroesus, cam.spec.Profile.QueryClass, outs, truth, c.cfg.OverlapMin)
 
 		var init, final metrics.LatencyStats
-		for i := range cam.outcomes {
-			init.Add(cam.outcomes[i].InitialLatency)
-			final.Add(cam.outcomes[i].FinalLatency)
-			fleetInit.Add(cam.outcomes[i].InitialLatency)
-			fleetFinal.Add(cam.outcomes[i].FinalLatency)
+		for i := range outs {
+			init.Add(outs[i].InitialLatency)
+			final.Add(outs[i].FinalLatency)
+			fleetInit.Add(outs[i].InitialLatency)
+			fleetFinal.Add(outs[i].FinalLatency)
+			for pi := range phases {
+				if outs[i].CapturedAt >= phases[pi].Start && (pi == len(phases)-1 || outs[i].CapturedAt < phases[pi].End) {
+					phases[pi].Frames++
+					if outs[i].SentToCloud {
+						if outs[i].Shed {
+							phases[pi].Shed++
+						} else if !outs[i].CloudLost {
+							phases[pi].Validated++
+						}
+					}
+					phaseFinal[pi].Add(outs[i].FinalLatency)
+				}
+			}
 		}
 		r.Cameras = append(r.Cameras, CameraReport{
 			Camera:     cam.spec.ID,
-			Edge:       cam.edge.Spec.ID,
+			Edge:       edge.Spec.ID,
 			Summary:    sum,
+			Dropped:    dropped,
+			Left:       left,
 			InitialP50: init.Percentile(50),
 			InitialP95: init.Percentile(95),
 			InitialP99: init.Percentile(99),
@@ -112,6 +160,10 @@ func (c *Cluster) report(elapsed time.Duration) *ClusterReport {
 		r.Corrections += sum.Corrections
 		r.Apologies += sum.Apologies
 		r.MeanF1Final += sum.F1Final
+	}
+	for pi := range phases {
+		phases[pi].FinalP50 = phaseFinal[pi].Percentile(50)
+		phases[pi].FinalP99 = phaseFinal[pi].Percentile(99)
 	}
 	if n := len(r.Cameras); n > 0 {
 		r.MeanF1Final /= float64(n)
@@ -133,6 +185,13 @@ func (c *Cluster) report(elapsed time.Duration) *ClusterReport {
 	if c.injector != nil {
 		r.Faults = c.injector.Report()
 	}
+	c.mu.Lock()
+	if c.dynActive || !c.dyn.empty() {
+		dyn := c.dyn
+		r.Dynamic = &dyn
+	}
+	c.mu.Unlock()
+	r.Phases = phases
 	return r
 }
 
@@ -166,10 +225,21 @@ func (r *ClusterReport) Format() string {
 			tp.PrepareRPCs, tp.CommitRPCs, tp.LockRPCs, tp.Aborts)
 	}
 	if f := r.Faults; f != nil {
-		fmt.Fprintf(&b, "faults: %d crashes / %d restarts, %d link outages; %d txns failed by faults; in-doubt %d (%d committed, %d presumed abort); %d WAL records replayed; recovery p50/p95/p99 %s/%s/%s\n",
+		fmt.Fprintf(&b, "faults: %d crashes / %d restarts, %d link outages; %d txns failed by faults; in-doubt %d (%d committed, %d presumed abort); %d WAL records replayed; %d checkpoints; recovery p50/p95/p99 %s/%s/%s\n",
 			f.Crashes, f.Restarts, f.LinkOutages, f.TxnsFailed,
-			f.InDoubt, f.InDoubtCommitted, f.InDoubtAborted, f.ReplayedRecords,
+			f.InDoubt, f.InDoubtCommitted, f.InDoubtAborted, f.ReplayedRecords, f.Checkpoints,
 			f.RecoveryP50.Round(time.Millisecond), f.RecoveryP95.Round(time.Millisecond), f.RecoveryP99.Round(time.Millisecond))
+	}
+	if d := r.Dynamic; d != nil {
+		fmt.Fprintf(&b, "dynamic fleet: %d joins / %d leaves; %d migrations (%d failed, %d keys handed over, %d map retries); %d workload shifts; %d edge outages (%d restored, %d frames dropped); %d cloud-link outages\n",
+			d.Joins, d.Leaves, d.Migrations, d.MigrationsFailed, d.MigratedKeys, r.TwoPC.MapRetries,
+			d.WorkloadShifts, d.EdgeOutages, d.OutageRestores, d.FramesDropped, d.CloudLinkOutages)
+	}
+	for _, p := range r.Phases {
+		fmt.Fprintf(&b, "phase %-28s [%8s → %8s] %5d frames, %4d validated, %3d shed, final p50/p99 %s/%s\n",
+			p.Label, p.Start.Round(time.Millisecond), p.End.Round(time.Millisecond),
+			p.Frames, p.Validated, p.Shed,
+			p.FinalP50.Round(time.Millisecond), p.FinalP99.Round(time.Millisecond))
 	}
 	return b.String()
 }

@@ -18,6 +18,12 @@ type EdgeUplink struct {
 
 // Validate implements core.Validator.
 func (u *EdgeUplink) Validate(req core.ValidationRequest) core.ValidationResult {
+	if u.Uplink.Link.IsDown() {
+		// The edge→cloud uplink is partitioned (a scenario link fault):
+		// the frame never reaches the batcher and the edge finalizes
+		// locally after its timeout — the paper's loss path.
+		return core.ValidationResult{Status: core.ValidationLost}
+	}
 	edgeCloud, lost := u.Uplink.Ship(req.Frame)
 	if lost {
 		return core.ValidationResult{Status: core.ValidationLost, EdgeCloud: edgeCloud}

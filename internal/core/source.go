@@ -51,6 +51,15 @@ func NewWorkloadSource(nKeys int, seed int64) *WorkloadSource {
 	}
 }
 
+// SetKeys swaps the source's key chooser mid-run — the mechanism behind a
+// scenario's workload shifts (skew or cross-edge fraction changing under a
+// live fleet). Safe against concurrent TxnFor calls.
+func (s *WorkloadSource) SetKeys(k workload.KeyChooser) {
+	s.mu.Lock()
+	s.Keys = k
+	s.mu.Unlock()
+}
+
 // TxnFor builds the per-detection transaction. Keys are drawn
 // deterministically from (seed, frame, trigger box), so repeated runs and
 // different pipeline modes observe identical workloads.

@@ -148,6 +148,7 @@ var registry = []struct {
 	{"cluster-shed", ClusterShed},
 	{"cluster-2pc", Cluster2PC},
 	{"cluster-faults", ClusterFaults},
+	{"cluster-migrate", ClusterMigrate},
 	{"ablation-policy", AblationPolicy},
 	{"ablation-sequencer", AblationSequencer},
 	{"ablation-chain", AblationChain},

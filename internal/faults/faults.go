@@ -112,6 +112,11 @@ type Counters struct {
 	// TornTails counts truncated torn log tails.
 	ReplayedRecords int64
 	TornTails       int64
+	// Checkpoints counts completed WAL checkpoints (log rewrites that
+	// bound replay time); CheckpointsSkipped counts attempts deferred
+	// because the edge was down or a live 2PC round was staged.
+	Checkpoints        int64
+	CheckpointsSkipped int64
 }
 
 // Report is the fault subsystem's contribution to a fleet report:
@@ -254,6 +259,35 @@ func (i *Injector) Finish() {
 			}
 		}
 	}
+}
+
+// Checkpoint rewrites edge e's write-ahead log as a compact snapshot
+// (twopc.Partition.Checkpoint), bounding how much a later crash replays. A
+// checkpoint of a down or mid-recovery edge — or one with a live 2PC round
+// staged — is skipped and counted, not an error: the fleet retries on its
+// next checkpoint tick. Returns whether the checkpoint ran.
+func (i *Injector) Checkpoint(e int) bool {
+	i.mu.Lock()
+	busy := i.down[e] || i.recovering[e]
+	i.mu.Unlock()
+	if busy {
+		i.mu.Lock()
+		i.counters.CheckpointsSkipped++
+		i.mu.Unlock()
+		return false
+	}
+	_, ok, err := i.parts[e].Checkpoint()
+	if err != nil {
+		panic(fmt.Sprintf("faults: checkpointing edge %d: %v", e, err))
+	}
+	i.mu.Lock()
+	if ok {
+		i.counters.Checkpoints++
+	} else {
+		i.counters.CheckpointsSkipped++
+	}
+	i.mu.Unlock()
+	return ok
 }
 
 // Down implements twopc.FaultOracle.

@@ -1,0 +1,95 @@
+// Versioned JSON encoding of scenarios. Version 1 is the current (and
+// first) format; Decode rejects other versions outright and unknown fields
+// loudly, because a silently-ignored typo in a scenario file would change
+// what the experiment measures.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Duration is a time.Duration that encodes as a human-readable string
+// ("80ms", "1m30s"); decoding also accepts a bare number of nanoseconds.
+type Duration time.Duration
+
+// MarshalJSON encodes the duration as its String form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON decodes a duration string or a nanosecond count.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("scenario: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err == nil {
+		*d = Duration(n)
+		return nil
+	}
+	return fmt.Errorf("scenario: duration must be a string like \"80ms\" or a nanosecond count, got %s", bytes.TrimSpace(b))
+}
+
+// Decode parses and validates a version-1 scenario document.
+func Decode(data []byte) (*Scenario, error) {
+	var probe struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if probe.Version != CurrentVersion {
+		return nil, fmt.Errorf("scenario: version %d not supported (this build reads version %d; add \"version\": %d)",
+			probe.Version, CurrentVersion, CurrentVersion)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	s := &Scenario{}
+	if err := dec.Decode(s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Encode renders the scenario as indented version-1 JSON (validating it
+// first — an unencodable scenario is a bug worth failing loudly on).
+func (s *Scenario) Encode() ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	out := *s
+	if out.Version == 0 {
+		out.Version = CurrentVersion
+	}
+	b, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Load reads and decodes a scenario file.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,289 @@
+// The scenario runtime: compile a Scenario into a cluster.Config, then
+// drive the cluster through the timeline. Fault events ride the cluster's
+// deterministic fault injector (the old cluster.Config.Faults machinery,
+// now an implementation detail behind the timeline); membership, migration,
+// workload, outage, and checkpoint events become scheduled calls into the
+// cluster's dynamic-fleet API. Every event also marks a phase boundary, so
+// the report slices the run into before/during/after windows.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"croesus/internal/cluster"
+	"croesus/internal/faults"
+	"croesus/internal/twopc"
+	"croesus/internal/vclock"
+)
+
+// Runtime is a compiled scenario bound to a cluster, ready to Run. Tests
+// reach through Cluster for post-run inspection (Injector().
+// VerifyDurability(), ShardMap(), Outcomes()).
+type Runtime struct {
+	Scenario *Scenario
+	Cluster  *cluster.Cluster
+
+	clk  vclock.Clock
+	cams []Camera       // every camera the scenario ever runs, shard-indexed
+	idx  map[string]int // camera id → shard index
+}
+
+// New validates the scenario, compiles it to a cluster configuration, and
+// provisions the fleet on clk. The caller owns the clock (it must be the
+// driver) and must Close the cluster when done.
+func New(s *Scenario, clk vclock.Clock) (*Runtime, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	cams, idx, err := s.cameraSet()
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := s.clusterConfig(clk, cams, idx)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{Scenario: s, Cluster: c, clk: clk, cams: cams, idx: idx}, nil
+}
+
+// Run plays the timeline against the fleet and blocks until the run
+// drains, returning the report. Call once, from the clock's driver.
+func (rt *Runtime) Run() *cluster.ClusterReport {
+	c := rt.Cluster
+	c.Start()
+	for _, ev := range rt.Scenario.sortedTimeline() {
+		ev := ev
+		c.Schedule(time.Duration(ev.At), ev.Label(), func() { rt.exec(ev) })
+	}
+	c.StartCameras()
+	return c.Drain()
+}
+
+// Run builds and runs a scenario in one call on a fresh virtual clock,
+// releasing the fleet's durability resources when the run finishes.
+func Run(s *Scenario) (*cluster.ClusterReport, error) {
+	rt, err := New(s, vclock.NewSim())
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Cluster.Close()
+	return rt.Run(), nil
+}
+
+// seedFor is the deterministic per-camera seed: explicit, or scenario seed
+// plus the camera's global (shard) index.
+func (rt *Runtime) seedFor(cam Camera) int64 {
+	if cam.Seed != 0 {
+		return cam.Seed
+	}
+	seed := rt.Scenario.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	return seed + int64(rt.idx[cam.ID])
+}
+
+func (rt *Runtime) cameraSpec(cam Camera) cluster.CameraSpec {
+	p, err := profileByName(cam.Profile)
+	if err != nil {
+		panic(err) // validated
+	}
+	return cluster.CameraSpec{
+		ID:      cam.ID,
+		Profile: p,
+		Seed:    rt.seedFor(cam),
+		Frames:  cam.Frames,
+		Edge:    cam.Edge,
+		Shard:   rt.idx[cam.ID],
+	}
+}
+
+// exec applies one timeline event to the live fleet. Reference errors were
+// ruled out by validation; the errors that remain are modeled outcomes (a
+// migration that never found its edges up exhausts its retries and is
+// counted in the report), so exec never fails the run.
+func (rt *Runtime) exec(ev Event) {
+	c := rt.Cluster
+	switch ev.Do {
+	case KindCameraJoin:
+		if err := c.AddCamera(rt.cameraSpec(*ev.Join)); err != nil {
+			panic(fmt.Sprintf("scenario: %s: %v", ev.Label(), err))
+		}
+	case KindCameraLeave:
+		if err := c.StopCamera(ev.Camera); err != nil {
+			panic(fmt.Sprintf("scenario: %s: %v", ev.Label(), err))
+		}
+	case KindMigrateCamera:
+		// A failed migration (edges down past the retry budget) is a
+		// legitimate run outcome, counted in Dynamic.MigrationsFailed.
+		_ = c.MigrateCamera(ev.Camera, ev.To)
+	case KindWorkloadShift:
+		if err := c.ShiftWorkload(ev.Camera, ev.Rate, ev.CrossEdgeFraction, ev.ZipfSkew); err != nil {
+			panic(fmt.Sprintf("scenario: %s: %v", ev.Label(), err))
+		}
+	case KindEdgeCrash:
+		if rt.Scenario.Sharded() {
+			return // rides the fault injector, scheduled at Start
+		}
+		if err := c.SetEdgeOutage(ev.Edge, true); err != nil {
+			panic(fmt.Sprintf("scenario: %s: %v", ev.Label(), err))
+		}
+		if ev.RestartAfter > 0 {
+			rt.clk.Sleep(time.Duration(ev.RestartAfter))
+			c.SetEdgeOutage(ev.Edge, false)
+		}
+	case KindTwoPCCrash:
+		// Armed in the fault plan at Start; the event here is the phase
+		// boundary.
+	case KindLinkFault:
+		if ev.B == "cloud" {
+			c.SetCloudLink(ev.A, true)
+			if ev.Heal > ev.At {
+				rt.clk.Sleep(time.Duration(ev.Heal - ev.At))
+				c.SetCloudLink(ev.A, false)
+			}
+			return
+		}
+		// Edge↔edge partitions ride the fault injector.
+	case KindCheckpoint:
+		if err := c.CheckpointNow(ev.Edge); err != nil {
+			panic(fmt.Sprintf("scenario: %s: %v", ev.Label(), err))
+		}
+	}
+}
+
+// clusterConfig compiles the scenario's topology (and the fault half of
+// its timeline) into the static cluster configuration.
+func (s *Scenario) clusterConfig(clk vclock.Clock, cams []Camera, idx map[string]int) (cluster.Config, error) {
+	t := s.Topology
+	sharded := s.Sharded()
+	seed := s.Seed
+	if seed == 0 {
+		seed = 42
+	}
+
+	edgeIdx := map[string]int{}
+	edges := make([]cluster.EdgeSpec, len(t.Edges))
+	for i, e := range t.Edges {
+		edgeIdx[e.ID] = i
+		edges[i] = cluster.EdgeSpec{ID: e.ID, Speed: e.Speed, Slots: e.Slots, SameSite: e.SameSite}
+	}
+
+	var owners []int
+	if sharded {
+		owners = make([]int, len(cams))
+		for _, cam := range cams {
+			owners[idx[cam.ID]] = edgeIdx[cam.Edge]
+		}
+	}
+
+	specs := make([]cluster.CameraSpec, len(t.Cameras))
+	for i, cam := range t.Cameras {
+		p, err := profileByName(cam.Profile)
+		if err != nil {
+			return cluster.Config{}, err
+		}
+		camSeed := cam.Seed
+		if camSeed == 0 {
+			camSeed = seed + int64(idx[cam.ID])
+		}
+		specs[i] = cluster.CameraSpec{
+			ID:      cam.ID,
+			Profile: p,
+			Seed:    camSeed,
+			Frames:  cam.Frames,
+			Edge:    cam.Edge,
+			Shard:   idx[cam.ID],
+		}
+	}
+
+	// The timeline's fault events compile to a faults.Plan: the injector
+	// executes them with WAL-backed recovery. Unsharded fleets keep
+	// edge_crash and cloud link_fault events in the runtime instead.
+	var plan *faults.Plan
+	durable := t.Durable || t.CheckpointEvery > 0
+	if sharded {
+		p := faults.Plan{ReplayCost: time.Duration(t.ReplayCost)}
+		for _, ev := range s.sortedTimeline() {
+			switch ev.Do {
+			case KindEdgeCrash:
+				p.Crashes = append(p.Crashes, faults.EdgeCrash{
+					Edge:         edgeIdx[ev.Edge],
+					At:           time.Duration(ev.At),
+					RestartAfter: time.Duration(ev.RestartAfter),
+				})
+			case KindTwoPCCrash:
+				var point twopc.TwoPCPoint
+				switch ev.Point {
+				case PointParticipantPrepared:
+					point = twopc.PointParticipantPrepared
+				case PointAfterPrepare:
+					point = twopc.PointAfterPrepare
+				case PointAfterDecision:
+					point = twopc.PointAfterDecision
+				}
+				p.TwoPC = append(p.TwoPC, faults.TwoPCCrash{
+					Edge:         edgeIdx[ev.Edge],
+					Point:        point,
+					Round:        ev.Round,
+					RestartAfter: time.Duration(ev.RestartAfter),
+				})
+			case KindLinkFault:
+				if ev.B == "cloud" {
+					continue // handled by the runtime on both fleet kinds
+				}
+				p.Links = append(p.Links, faults.LinkFault{
+					A:    edgeIdx[ev.A],
+					B:    edgeIdx[ev.B],
+					At:   time.Duration(ev.At),
+					Heal: time.Duration(ev.Heal),
+				})
+			case KindCheckpoint:
+				durable = true
+			}
+		}
+		if !p.Empty() {
+			plan = &p
+		}
+	}
+
+	shards := 0
+	if sharded {
+		shards = len(cams)
+	}
+	var proto cluster.TxnProtocol
+	if t.Protocol == "ms-sr" {
+		proto = cluster.TxnMSSR
+	}
+	return cluster.Config{
+		Clock:             clk,
+		Cameras:           specs,
+		Edges:             edges,
+		Seed:              seed,
+		ThetaL:            t.ThetaL,
+		ThetaU:            t.ThetaU,
+		OverlapMin:        t.OverlapMin,
+		WorkloadKeys:      t.WorkloadKeys,
+		OpCost:            time.Duration(t.OpCost),
+		Sharded:           sharded,
+		CrossEdgeFraction: t.CrossEdgeFraction,
+		Protocol:          proto,
+		ZipfSkew:          t.ZipfSkew,
+		Shards:            shards,
+		ShardOwners:       owners,
+		Faults:            plan,
+		Durable:           durable,
+		CheckpointEvery:   time.Duration(t.CheckpointEvery),
+		Batcher: cluster.BatcherConfig{
+			MaxBatch:   t.Batcher.MaxBatch,
+			SLO:        time.Duration(t.Batcher.SLO),
+			MaxPending: t.Batcher.MaxPending,
+			CloudSpeed: t.Batcher.CloudSpeed,
+		},
+	}, nil
+}

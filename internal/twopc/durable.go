@@ -71,12 +71,15 @@ func (p *Partition) Durable() bool { return p.WAL != nil }
 // mustAppend logs records or panics: in the simulation a WAL write error is
 // a harness bug (unwritable temp dir), not a modeled fault. Data records
 // also advance the partition's live last-writer index, which deferred
-// in-doubt resolutions consult.
+// in-doubt resolutions consult. The partition lock is held across the
+// append so a concurrent Checkpoint cannot swap the log out from under a
+// half-written batch.
 func (p *Partition) mustAppend(recs ...wal.Record) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.WAL == nil {
 		return
 	}
-	p.mu.Lock()
 	for _, r := range recs {
 		if r.Op == wal.OpPut || r.Op == wal.OpDelete {
 			p.walDataSeq++
@@ -86,7 +89,6 @@ func (p *Partition) mustAppend(recs ...wal.Record) {
 			p.walLastData[r.Key] = p.walDataSeq
 		}
 	}
-	p.mu.Unlock()
 	if err := p.WAL.AppendBatch(recs); err != nil {
 		panic(fmt.Sprintf("twopc: partition %d wal append: %v", p.ID, err))
 	}
@@ -254,6 +256,125 @@ func (p *Partition) RestoreDecisions(d map[wal.TxnRound]bool) {
 	p.mu.Unlock()
 }
 
+// Checkpoint rewrites this partition's write-ahead log as a compact
+// equivalent — the full committed store snapshot as non-transactional puts,
+// the durable decision cache (so in-doubt peers can still inquire here),
+// and any recovery-restaged in-doubt blocks (data records plus prepare
+// marker, minus writes newer records already superseded) — atomically
+// replacing the old log. Recovery from the new log reaches exactly the
+// state recovery from the old one would, but replays only the live records:
+// this is what bounds replay time on a long-running fleet.
+//
+// A checkpoint is skipped (ok false) while a *live* 2PC block is staged:
+// its eager writes are in the store but its pre-images are not, so a
+// snapshot taken mid-round could not represent the abort outcome. The
+// caller retries after the round's decision lands.
+func (p *Partition) Checkpoint() (records int, ok bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.WAL == nil {
+		return 0, false, nil
+	}
+	for _, st := range p.walStaged {
+		if !st.fromRecovery {
+			return 0, false, nil
+		}
+	}
+
+	snap := p.Store.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	recs := make([]wal.Record, 0, len(keys)+len(p.decisions))
+	for _, k := range keys {
+		recs = append(recs, wal.Record{Op: wal.OpPut, Key: k, Value: snap[k]})
+	}
+	crs := make([]CommitRound, 0, len(p.decisions))
+	for cr := range p.decisions {
+		crs = append(crs, cr)
+	}
+	sort.Slice(crs, func(i, j int) bool { return crs[i].less(crs[j]) })
+	for _, cr := range crs {
+		op := wal.OpAbort
+		if p.decisions[cr] {
+			op = wal.OpCommit
+		}
+		recs = append(recs, wal.Record{Op: op, Txn: uint64(cr.ID), Round: cr.Round})
+	}
+	staged := make([]CommitRound, 0, len(p.walStaged))
+	for cr := range p.walStaged {
+		staged = append(staged, cr)
+	}
+	sort.Slice(staged, func(i, j int) bool { return staged[i].less(staged[j]) })
+	// Per-block live write sets, superseded writes already dropped; the
+	// blocks re-stage over the new log's positions below.
+	liveRecs := make([][]wal.Record, len(staged))
+	for i, cr := range staged {
+		st := p.walStaged[cr]
+		for _, r := range st.recs {
+			if p.walLastData[r.Key] > st.stagedAt {
+				continue
+			}
+			liveRecs[i] = append(liveRecs[i], r)
+		}
+		block := append(append([]wal.Record{}, liveRecs[i]...),
+			wal.Record{Op: wal.OpPrepare, Txn: uint64(cr.ID), Round: cr.Round, Coord: st.coord})
+		recs = append(recs, block...)
+	}
+
+	path := p.WAL.Path()
+	noSync := p.WAL.NoSync
+	if err := p.WAL.Close(); err != nil {
+		return 0, false, err
+	}
+	if err := wal.Rewrite(path, recs, noSync); err != nil {
+		return 0, false, err
+	}
+	log, err := wal.Open(path)
+	if err != nil {
+		return 0, false, err
+	}
+	log.NoSync = noSync
+	p.WAL = log
+
+	// Rebuild the last-writer index over the new log's positions and
+	// re-stamp the restaged blocks, preserving log-order supersession.
+	p.walDataSeq = 0
+	p.walLastData = make(map[string]int64, len(keys))
+	bump := func(rs []wal.Record) {
+		for _, r := range rs {
+			if r.Op == wal.OpPut || r.Op == wal.OpDelete {
+				p.walDataSeq++
+				p.walLastData[r.Key] = p.walDataSeq
+			}
+		}
+	}
+	for _, k := range keys {
+		p.walDataSeq++
+		p.walLastData[k] = p.walDataSeq
+	}
+	for i, cr := range staged {
+		st := p.walStaged[cr]
+		st.recs = liveRecs[i]
+		bump(st.recs)
+		st.stagedAt = p.walDataSeq
+	}
+	return len(recs), true, nil
+}
+
+// CloseWAL closes the partition's current log (checkpoints may have swapped
+// it since provisioning), releasing the file handle.
+func (p *Partition) CloseWAL() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.WAL == nil {
+		return nil
+	}
+	return p.WAL.Close()
+}
+
 // CrashReset drops every piece of volatile protocol state — staged blocks,
 // prepare votes, the decision cache — modeling the fail-stop loss of the
 // edge process's memory. The WAL (and the store object, which recovery
@@ -276,14 +397,18 @@ type JournaledShardedStore struct {
 	*ShardedStore
 }
 
-// Put journals then applies.
+// Put journals then applies. The route is resolved once (behind the shard
+// map's cutover barrier) so the journal record and the live write land on
+// the same partition even while a migration rebinds the shard.
 func (s JournaledShardedStore) Put(key string, v store.Value) uint64 {
-	s.Parts[s.Partitioner(key)].mustAppend(wal.Record{Op: wal.OpPut, Key: key, Value: v})
-	return s.ShardedStore.Put(key, v)
+	pi := s.route(key)
+	s.Parts[pi].mustAppend(wal.Record{Op: wal.OpPut, Key: key, Value: v})
+	return s.Parts[pi].Store.Put(key, v)
 }
 
 // Delete journals then applies.
 func (s JournaledShardedStore) Delete(key string) bool {
-	s.Parts[s.Partitioner(key)].mustAppend(wal.Record{Op: wal.OpDelete, Key: key})
-	return s.ShardedStore.Delete(key)
+	pi := s.route(key)
+	s.Parts[pi].mustAppend(wal.Record{Op: wal.OpDelete, Key: key})
+	return s.Parts[pi].Store.Delete(key)
 }

@@ -30,6 +30,7 @@ import (
 	"croesus/internal/store"
 	"croesus/internal/txn"
 	"croesus/internal/vclock"
+	"croesus/internal/workload"
 )
 
 // NewPartitionOver returns a partition wrapping an existing store and lock
@@ -57,6 +58,21 @@ func NewPartitionOver(id int, st *store.Store, locks *lock.Manager) *Partition {
 type ShardedStore struct {
 	Parts       []*Partition
 	Partitioner func(key string) int
+	// Map and Clk, when set, gate writes behind the shard map's cutover
+	// barrier: a write to a shard mid-migration parks until the rebind so
+	// it lands under the new route instead of racing the copy. The
+	// Partitioner of a mapped fleet is Map.Lookup.
+	Map *ShardMap
+	Clk vclock.Clock
+}
+
+// route resolves a key's owning partition, waiting out a mid-cutover shard
+// first so the write cannot land on the losing side of a migration.
+func (s *ShardedStore) route(key string) int {
+	if s.Map != nil && s.Clk != nil {
+		s.Map.Barrier(s.Clk, key)
+	}
+	return s.Partitioner(key)
 }
 
 // Get implements txn.Backend.
@@ -66,12 +82,12 @@ func (s *ShardedStore) Get(key string) (store.Value, bool) {
 
 // Put implements txn.Backend.
 func (s *ShardedStore) Put(key string, v store.Value) uint64 {
-	return s.Parts[s.Partitioner(key)].Store.Put(key, v)
+	return s.Parts[s.route(key)].Store.Put(key, v)
 }
 
 // Delete implements txn.Backend.
 func (s *ShardedStore) Delete(key string) bool {
-	return s.Parts[s.Partitioner(key)].Store.Delete(key)
+	return s.Parts[s.route(key)].Store.Delete(key)
 }
 
 // TwoPCPoint names a scripted instant inside an atomic-commitment round —
@@ -138,6 +154,10 @@ type DistCounters struct {
 	CommitRPCs    int64
 	LockRPCs      int64
 	Aborts        int64
+	// MapRetries counts transactions that woke from lock acquisition to
+	// find the shard map had moved a shard under them (a migration
+	// completed while they waited) and re-planned on the new map.
+	MapRetries int64
 }
 
 // DistStats is the concurrency-safe counter block shared by every edge's
@@ -182,8 +202,15 @@ type ShardedCC struct {
 	Parts       []*Partition
 	Links       []*netsim.Link
 	Partitioner func(key string) int
-	Protocol    Protocol
-	Stats       *DistStats
+	// Map, when set, routes keys through the fleet's mutable shard map
+	// instead of the static Partitioner, and enrolls every transaction in
+	// the migration protocol: shared shard-intent locks alongside the
+	// data locks, and a post-acquisition route re-check that retries the
+	// transaction on the new map when a migration moved a shard it
+	// touches while it waited.
+	Map      *ShardMap
+	Protocol Protocol
+	Stats    *DistStats
 	// Faults, when set, injects scripted failures and supplies the
 	// liveness/epoch oracle the protocol consults before trusting a
 	// partition (nil: fault-free fleet).
@@ -198,9 +225,16 @@ type ShardedCC struct {
 // live on — a changed epoch at final-commit time means that partition's
 // lock table (and the eager initial writes) died with the edge.
 type heldState struct {
-	reqs   []lock.Request
+	// byPart is the acquisition-time route snapshot: the final commit
+	// and the release must target the partitions the locks were granted
+	// on, never a re-derived live route.
+	byPart map[int][]lock.Request
 	epochs map[int]int
 }
+
+// maxMapRetries bounds how many times one transaction re-plans after waking
+// into a moved shard map before giving up with a plain abort.
+const maxMapRetries = 4
 
 // Name returns the protocol name, e.g. "sharded-MS-IA".
 func (c *ShardedCC) Name() string { return "sharded-" + c.Protocol.String() }
@@ -263,14 +297,79 @@ func (c *ShardedCC) noteFault() {
 	}
 }
 
-// byPartition groups lock requests by owning partition index.
+// routeKey resolves a key's owning partition under the live map (or the
+// static partitioner of an unmapped fleet).
+func (c *ShardedCC) routeKey(key string) int {
+	if c.Map != nil {
+		return c.Map.Lookup(key)
+	}
+	return c.Partitioner(key)
+}
+
+func (c *ShardedCC) mapEpoch() int64 {
+	if c.Map == nil {
+		return 0
+	}
+	return c.Map.Epoch()
+}
+
+// withIntents appends the shared shard-intent request for every distinct
+// logical shard among reqs — the locks that serialize this transaction
+// against a migration of any shard it touches. No-op on unmapped fleets.
+func (c *ShardedCC) withIntents(reqs []lock.Request) []lock.Request {
+	if c.Map == nil {
+		return reqs
+	}
+	seen := map[int]bool{}
+	out := reqs
+	for _, r := range reqs {
+		if s, ok := workload.ShardOf(r.Key); ok && !seen[s] {
+			seen[s] = true
+			out = append(out, lock.Request{Key: ShardIntentKey(s), Mode: lock.Shared})
+		}
+	}
+	return out
+}
+
+// byPartition groups lock requests by owning partition index under the
+// current route. The grouping is the transaction's route snapshot: every
+// later step (stale check, commit) compares against or reuses it.
 func (c *ShardedCC) byPartition(reqs []lock.Request) map[int][]lock.Request {
 	out := map[int][]lock.Request{}
 	for _, r := range reqs {
-		pi := c.Partitioner(r.Key)
+		pi := c.routeKey(r.Key)
 		out[pi] = append(out[pi], r)
 	}
 	return out
+}
+
+// routeOf flattens a route snapshot into a key→partition map, the form
+// commitSection consumes.
+func routeOf(byPart map[int][]lock.Request) map[string]int {
+	out := make(map[string]int)
+	for pi, rs := range byPart {
+		for _, r := range rs {
+			out[r.Key] = pi
+		}
+	}
+	return out
+}
+
+// routeStale reports whether a migration moved any of the snapshot's keys
+// since epoch — the locks just acquired may sit on partitions that no
+// longer own the data, so the caller must release and re-plan.
+func (c *ShardedCC) routeStale(epoch int64, byPart map[int][]lock.Request) bool {
+	if c.Map == nil || c.Map.Epoch() == epoch {
+		return false
+	}
+	for pi, rs := range byPart {
+		for _, r := range rs {
+			if c.Map.Lookup(r.Key) != pi {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // acquire takes every request, visiting partitions in ascending index
@@ -369,8 +468,11 @@ func (c *ShardedCC) release(owner lock.Owner, byPart map[int][]lock.Request) {
 // not happen — the caller must undo the section's eager writes. round
 // (RoundInitial or RoundFinal) disambiguates the up-to-two independent
 // rounds one transaction runs, so each round's WAL markers, staged blocks,
-// and decisions stand alone.
-func (c *ShardedCC) commitSection(id txn.ID, round uint8, writes []lock.Request, epochs map[int]int) error {
+// and decisions stand alone. route is the acquisition-time route snapshot:
+// the commit must land where the locks (and the eager writes) are, even if
+// the live map has since moved an *unrelated* shard — the held shard
+// intents guarantee the transaction's own shards cannot have moved.
+func (c *ShardedCC) commitSection(id txn.ID, round uint8, writes []lock.Request, epochs map[int]int, route map[string]int) error {
 	cr := CommitRound{ID: id, Round: round}
 	keysByPart := map[int][]string{}
 	involved := make([]int, 0, len(c.Parts))
@@ -378,7 +480,10 @@ func (c *ShardedCC) commitSection(id txn.ID, round uint8, writes []lock.Request,
 		if r.Mode != lock.Exclusive {
 			continue
 		}
-		pi := c.Partitioner(r.Key)
+		pi, ok := route[r.Key]
+		if !ok {
+			pi = c.routeKey(r.Key)
+		}
 		if _, ok := keysByPart[pi]; !ok {
 			involved = append(involved, pi)
 		}
@@ -497,9 +602,46 @@ func (c *ShardedCC) abortTxn(in *txn.Instance, reason string) {
 	c.noteFault()
 }
 
+// acquireRouted plans the transaction's routes under the live map, acquires
+// the locks, and re-plans when it wakes into a moved map (a migration
+// completed while it waited): the stale locks are released and the
+// acquisition retried on the new routes, at most maxMapRetries times.
+// Returns the route snapshot the locks were granted under, the pre-wait
+// crash epochs, and — on failure — whether the failure was a fault
+// (unreachable partition) rather than a wait-die death or map churn.
+func (c *ShardedCC) acquireRouted(owner lock.Owner, reqs []lock.Request) (byPart map[int][]lock.Request, epochs map[int]int, ok, fault bool) {
+	for attempt := 0; ; attempt++ {
+		mapEpoch := c.mapEpoch()
+		byPart = c.byPartition(reqs)
+		// Epochs are snapshotted BEFORE acquisition: a partition that
+		// crashes and even recovers while this transaction waits for a
+		// contended lock must still be detected (its lock table and any
+		// state the wait spanned died with it), so the checks downstream
+		// compare against the pre-wait world.
+		epochs = c.snapshotEpochs(byPart)
+		if c.Protocol == MSSR {
+			ok, fault = c.acquireWaitDie(owner, byPart)
+		} else {
+			ok, fault = c.acquire(owner, byPart), true
+		}
+		if !ok {
+			return byPart, epochs, false, fault
+		}
+		if !c.routeStale(mapEpoch, byPart) {
+			return byPart, epochs, true, false
+		}
+		c.release(owner, byPart)
+		if attempt >= maxMapRetries {
+			return byPart, epochs, false, false
+		}
+		c.Stats.add(func(d *DistCounters) { d.MapRetries++ })
+	}
+}
+
 // RunInitial implements txn.CC. MS-IA locks and commits the initial
 // section's own set; MS-SR acquires the union of both sections' locks and
-// holds them (writes commit atomically with the final section's).
+// holds them (writes commit atomically with the final section's). On a
+// mapped fleet both also take the shard intents that fence migrations.
 func (c *ShardedCC) RunInitial(in *txn.Instance) error {
 	if s := in.State(); s != txn.StatePending {
 		return fmt.Errorf("txn %d: RunInitial in state %s", in.ID, s)
@@ -511,30 +653,15 @@ func (c *ShardedCC) RunInitial(in *txn.Instance) error {
 	} else {
 		reqs = in.T.InitialRW.Requests()
 	}
-	byPart := c.byPartition(reqs)
-	// Epochs are snapshotted BEFORE acquisition: a partition that crashes
-	// and even recovers while this transaction waits for a contended lock
-	// must still be detected (its lock table and any state the wait
-	// spanned died with it), so the check below and the one at commit
-	// compare against the pre-wait world.
-	epochs := c.snapshotEpochs(byPart)
-	if c.Protocol == MSSR {
-		ok, fault := c.acquireWaitDie(owner, byPart)
-		if !ok {
-			c.M.MarkAborted(in)
-			c.Stats.add(func(d *DistCounters) { d.Aborts++ })
-			if fault {
-				c.noteFault()
-			}
-			return txn.ErrAborted
-		}
-	} else {
-		if !c.acquire(owner, byPart) {
-			c.M.MarkAborted(in)
-			c.Stats.add(func(d *DistCounters) { d.Aborts++ })
+	reqs = c.withIntents(reqs)
+	byPart, epochs, ok, fault := c.acquireRouted(owner, reqs)
+	if !ok {
+		c.M.MarkAborted(in)
+		c.Stats.add(func(d *DistCounters) { d.Aborts++ })
+		if fault {
 			c.noteFault()
-			return txn.ErrAborted
 		}
+		return txn.ErrAborted
 	}
 	if c.epochsBroken(epochs) {
 		// A partition crashed while we waited for its locks: nothing was
@@ -560,12 +687,12 @@ func (c *ShardedCC) RunInitial(in *txn.Instance) error {
 		if c.held == nil {
 			c.held = make(map[txn.ID]heldState)
 		}
-		c.held[in.ID] = heldState{reqs: reqs, epochs: epochs}
+		c.held[in.ID] = heldState{byPart: byPart, epochs: epochs}
 		c.mu.Unlock()
 		c.M.MarkInitialCommitted(in)
 		return nil
 	}
-	if err := c.commitSection(in.ID, RoundInitial, in.T.InitialRW.Requests(), epochs); err != nil {
+	if err := c.commitSection(in.ID, RoundInitial, in.T.InitialRW.Requests(), epochs, routeOf(byPart)); err != nil {
 		// The initial commit could not complete (a partition crashed
 		// mid-round): undo the section's eager writes and abort.
 		c.abortTxn(in, "initial commit interrupted by edge failure")
@@ -594,7 +721,7 @@ func (c *ShardedCC) RunFinal(in *txn.Instance) error {
 		hs := c.held[in.ID]
 		delete(c.held, in.ID)
 		c.mu.Unlock()
-		heldBy := c.byPartition(hs.reqs)
+		heldBy := hs.byPart
 		if in.State() == txn.StateRetracted {
 			c.release(owner, heldBy) // a cascade got here first
 			return txn.ErrRetracted
@@ -610,7 +737,7 @@ func (c *ShardedCC) RunFinal(in *txn.Instance) error {
 		err := c.M.ExecSection(in, txn.StageFinal)
 		if err == nil {
 			// One 2PC covers both sections' writes (Algorithm 1).
-			if cerr := c.commitSection(in.ID, RoundFinal, lock.Normalize(append(in.T.InitialRW.Requests(), in.T.FinalRW.Requests()...)), hs.epochs); cerr != nil {
+			if cerr := c.commitSection(in.ID, RoundFinal, lock.Normalize(append(in.T.InitialRW.Requests(), in.T.FinalRW.Requests()...)), hs.epochs, routeOf(heldBy)); cerr != nil {
 				c.abortTxn(in, "final commit interrupted by edge failure")
 				c.release(owner, heldBy)
 				return txn.ErrRetracted
@@ -631,13 +758,13 @@ func (c *ShardedCC) RunFinal(in *txn.Instance) error {
 	default:
 		return fmt.Errorf("txn %d: RunFinal in state %s", in.ID, s)
 	}
-	reqs := in.T.FinalRW.Requests()
-	byPart := c.byPartition(reqs)
-	epochs := c.snapshotEpochs(byPart) // pre-wait world, as in RunInitial
-	if !c.acquire(owner, byPart) {
-		// The final section cannot reach its partitions; the multi-stage
-		// guarantee (initial commit ⇒ final commit) is broken by the
-		// failure, so the initial section's effects are retracted.
+	reqs := c.withIntents(in.T.FinalRW.Requests())
+	byPart, epochs, ok, _ := c.acquireRouted(owner, reqs)
+	if !ok {
+		// The final section cannot reach its partitions (or the shard map
+		// churned past the retry budget); the multi-stage guarantee
+		// (initial commit ⇒ final commit) is broken, so the initial
+		// section's effects are retracted.
 		c.abortTxn(in, "edge crashed before the final section")
 		return txn.ErrRetracted
 	}
@@ -648,7 +775,7 @@ func (c *ShardedCC) RunFinal(in *txn.Instance) error {
 	}
 	err := c.M.ExecSection(in, txn.StageFinal)
 	if err == nil {
-		if cerr := c.commitSection(in.ID, RoundFinal, reqs, epochs); cerr != nil {
+		if cerr := c.commitSection(in.ID, RoundFinal, in.T.FinalRW.Requests(), epochs, routeOf(byPart)); cerr != nil {
 			c.abortTxn(in, "final commit interrupted by edge failure")
 			c.release(owner, byPart)
 			return txn.ErrRetracted
