@@ -78,15 +78,15 @@ func main() {
 	}
 
 	var sumInit, sumFinal time.Duration
-	var sent, corrections, apologies int
+	var sent, shed, corrections, apologies int
 	for _, f := range submitted {
 		r, err := client.WaitFrame(f.Index, 2*time.Minute)
 		if err != nil {
 			log.Fatalf("croesus-client: frame %d: %v", f.Index, err)
 		}
-		fmt.Printf("frame %3d: initial %4d labels in %7.1fms | final %4d labels in %7.1fms | cloud=%-5v corrections=%d\n",
+		fmt.Printf("frame %3d: initial %4d labels in %7.1fms | final %4d labels in %7.1fms | cloud=%-5v shed=%-5v corrections=%d\n",
 			r.FrameIndex, len(r.Initial), float64(r.InitialLatency)/float64(time.Millisecond),
-			len(r.Final), float64(r.FinalLatency)/float64(time.Millisecond), r.SentToCloud, r.Corrections)
+			len(r.Final), float64(r.FinalLatency)/float64(time.Millisecond), r.SentToCloud, r.Shed, r.Corrections)
 		for _, a := range r.Apologies {
 			fmt.Printf("           apology: %s\n", a)
 		}
@@ -97,10 +97,13 @@ func main() {
 		if r.SentToCloud {
 			sent++
 		}
+		if r.Shed {
+			shed++
+		}
 	}
 	n := time.Duration(len(submitted))
-	fmt.Printf("\nsummary: %d frames | BU %.1f%% | mean initial %.1fms | mean final %.1fms | %d corrections | %d apologies\n",
-		len(submitted), 100*float64(sent)/float64(len(submitted)),
+	fmt.Printf("\nsummary: %d frames | BU %.1f%% | %d shed by the cloud | mean initial %.1fms | mean final %.1fms | %d corrections | %d apologies\n",
+		len(submitted), 100*float64(sent)/float64(len(submitted)), shed,
 		float64(sumInit/n)/float64(time.Millisecond), float64(sumFinal/n)/float64(time.Millisecond),
 		corrections, apologies)
 }

@@ -1,9 +1,13 @@
 // Command croesus-cloud runs the cloud node: it listens for edge
-// connections and answers frame-detection requests with the full model.
+// connections and answers frame-detection requests with the full model
+// behind the fleet's shared SLO-aware validation batcher — requests from
+// every connected edge coalesce into batches, and under overload the
+// lowest-margin requests are shed back to their edges.
 //
 // Usage:
 //
 //	croesus-cloud -addr :9402 -model 416 -timescale 1.0
+//	croesus-cloud -batch 8 -slo 80ms -pending 16 -cloud-speed 0.5
 package main
 
 import (
@@ -12,6 +16,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"croesus/internal/detect"
 	"croesus/internal/tcpnet"
@@ -19,25 +24,41 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":9402", "listen address")
-		model     = flag.Int("model", 416, "cloud model size: 320, 416, or 608")
-		seed      = flag.Int64("seed", 42, "model seed (must match the edge/client seed)")
-		timeScale = flag.Float64("timescale", 1.0, "inference latency multiplier (use <1 to speed up demos)")
+		addr       = flag.String("addr", ":9402", "listen address")
+		model      = flag.Int("model", 416, "cloud model size: 320, 416, or 608")
+		seed       = flag.Int64("seed", 42, "model seed (must match the edge/client seed)")
+		timeScale  = flag.Float64("timescale", 1.0, "inference latency multiplier (use <1 to speed up demos)")
+		maxBatch   = flag.Int("batch", 0, "batch size cap (0 = fleet default 8)")
+		slo        = flag.Duration("slo", 0, "batch flush deadline (0 = fleet default 60ms)")
+		pending    = flag.Int("pending", 0, "admission-control cap on outstanding validations (0 = 4×batch)")
+		cloudSpeed = flag.Float64("cloud-speed", 0, "cloud machine speed factor (0 = reference machine; lower = starved GPU)")
 	)
 	flag.Parse()
 
 	m := detect.YOLOv3Sim(detect.YOLOSize(*model), *seed)
-	srv := tcpnet.NewCloudServer(m, *timeScale)
+	srv, err := tcpnet.NewCloudServerWith(tcpnet.CloudConfig{
+		Model:      m,
+		TimeScale:  *timeScale,
+		MaxBatch:   *maxBatch,
+		SLO:        *slo,
+		MaxPending: *pending,
+		CloudSpeed: *cloudSpeed,
+	})
+	if err != nil {
+		log.Fatalf("croesus-cloud: %v", err)
+	}
 	srv.Logf = tcpnet.StdLogf("cloud")
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("croesus-cloud: %v", err)
 	}
-	log.Printf("croesus-cloud: %s serving on %s (timescale %.2f)", m.Name(), bound, *timeScale)
+	log.Printf("croesus-cloud: %s serving on %s (timescale %.2f, batched + shedding validator)", m.Name(), bound, *timeScale)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("croesus-cloud: shutting down after %d frames", srv.Handled())
+	bs := srv.BatcherStats()
+	log.Printf("croesus-cloud: shutting down after %d frames (%d shed); %d batches, mean %.1f, max flush wait %s",
+		srv.Handled(), srv.Shed(), bs.Batches, bs.MeanBatch, bs.MaxFlushWait.Round(time.Millisecond))
 	srv.Close()
 }

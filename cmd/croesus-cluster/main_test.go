@@ -30,3 +30,41 @@ func TestScenarioGolden(t *testing.T) {
 		t.Fatalf("scenario report drifted from the golden:\n--- got\n%s\n--- want\n%s", got, want)
 	}
 }
+
+// TestScenarioGoldenOnTCP runs the very same checked-in scenario file over
+// the loopback TCP transport — the unified-runtime acceptance: one
+// scenario JSON, two deployments. The TCP run is wall-clock concurrent,
+// so it is not byte-pinned; instead it must complete the whole fleet with
+// validated, 2PC, fault, and transport counters populated, and the
+// timeline's edge crash must show up as transport-level teardowns.
+func TestScenarioGoldenOnTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback TCP run in -short mode")
+	}
+	s, err := croesus.LoadScenario("testdata/migrate.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := croesus.RunScenarioWith(s, croesus.ScenarioOptions{Transport: croesus.TransportTCP, TimeScale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames == 0 || rep.Validated == 0 {
+		t.Errorf("TCP run validated nothing: %d frames, %d validated", rep.Frames, rep.Validated)
+	}
+	if got := rep.TwoPC.CrossEdgeCommits + rep.TwoPC.LocalCommits + rep.TwoPC.RemoteCommits; got == 0 {
+		t.Error("TCP run counted no 2PC/commit activity")
+	}
+	if rep.Faults == nil || rep.Faults.Crashes == 0 || rep.Faults.Restarts == 0 {
+		t.Errorf("timeline faults did not execute over TCP: %+v", rep.Faults)
+	}
+	if rep.Dynamic == nil || rep.Dynamic.Migrations != 1 {
+		t.Errorf("timeline migration did not execute over TCP: %+v", rep.Dynamic)
+	}
+	if rep.Transport == nil || rep.Transport.Name != "tcp" || rep.Transport.Messages == 0 {
+		t.Fatalf("no transport traffic recorded: %+v", rep.Transport)
+	}
+	if rep.Transport.Severs == 0 {
+		t.Errorf("the edge_crash caused no transport teardown: %+v", rep.Transport)
+	}
+}

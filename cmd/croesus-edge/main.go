@@ -1,10 +1,13 @@
 // Command croesus-edge runs the edge node: the compact model, the data
-// store with multi-stage (MS-IA) transaction processing, bandwidth
-// thresholding, and the cloud validation path.
+// store with multi-stage (MS-IA or MS-SR) transaction processing,
+// bandwidth thresholding, and the cloud validation path — the same
+// fleet-node assembly and Figure-1 pipeline the simulated fleet runs,
+// over real sockets.
 //
 // Usage:
 //
 //	croesus-edge -addr :9401 -cloud localhost:9402 -thetal 0.4 -thetau 0.6
+//	croesus-edge -protocol ms-sr -minconf 0.10 -overlap 0.15
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 
 	"croesus/internal/core"
 	"croesus/internal/detect"
+	"croesus/internal/node"
 	"croesus/internal/tcpnet"
 )
 
@@ -26,19 +30,31 @@ func main() {
 		seed      = flag.Int64("seed", 42, "model seed (must match cloud/client)")
 		thetaL    = flag.Float64("thetal", 0.40, "lower confidence threshold θL (discard below)")
 		thetaU    = flag.Float64("thetau", 0.62, "upper confidence threshold θU (keep above)")
+		minConf   = flag.Float64("minconf", 0.05, "minimum detection confidence kept at input processing")
+		overlap   = flag.Float64("overlap", 0.10, "label-matching overlap threshold for cloud corrections")
+		protocol  = flag.String("protocol", "ms-ia", "multi-stage protocol: ms-ia or ms-sr")
+		slots     = flag.Int("slots", 4, "concurrent edge inferences across all clients")
 		timeScale = flag.Float64("timescale", 1.0, "inference latency multiplier")
 		keys      = flag.Int("keys", 1000, "database key space for the per-detection transactions")
 	)
 	flag.Parse()
 
+	proto, err := node.ParseProtocol(*protocol)
+	if err != nil {
+		log.Fatalf("croesus-edge: %v", err)
+	}
 	srv, err := tcpnet.NewEdgeServer(tcpnet.EdgeConfig{
-		EdgeModel: detect.TinyYOLOSim(*seed),
-		CloudAddr: *cloudAddr,
-		TimeScale: *timeScale,
-		ThetaL:    *thetaL,
-		ThetaU:    *thetaU,
-		Source:    core.NewWorkloadSource(*keys, *seed),
-		Logf:      tcpnet.StdLogf("edge"),
+		EdgeModel:     detect.TinyYOLOSim(*seed),
+		CloudAddr:     *cloudAddr,
+		TimeScale:     *timeScale,
+		ThetaL:        *thetaL,
+		ThetaU:        *thetaU,
+		MinConfidence: *minConf,
+		OverlapMin:    *overlap,
+		Protocol:      proto,
+		Slots:         *slots,
+		Source:        core.NewWorkloadSource(*keys, *seed),
+		Logf:          tcpnet.StdLogf("edge"),
 	})
 	if err != nil {
 		log.Fatalf("croesus-edge: %v", err)
@@ -51,13 +67,14 @@ func main() {
 	if *cloudAddr == "" {
 		mode = "edge-only"
 	}
-	log.Printf("croesus-edge: serving on %s, mode %s, thresholds (%.2f, %.2f)", bound, mode, *thetaL, *thetaU)
+	log.Printf("croesus-edge: serving on %s, mode %s, protocol %s, thresholds (%.2f, %.2f), minconf %.2f, overlap %.2f",
+		bound, mode, proto, *thetaL, *thetaU, *minConf, *overlap)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	st := srv.Manager().Stats()
-	log.Printf("croesus-edge: shutting down — %d frames, %d initial commits, %d final commits, %d aborts, %d apologies",
-		srv.Served(), st.InitialCommits, st.FinalCommits, st.Aborts, st.Apologies)
+	log.Printf("croesus-edge: shutting down — %d frames (%d shed by the cloud), %d initial commits, %d final commits, %d aborts, %d apologies",
+		srv.Served(), srv.Shed(), st.InitialCommits, st.FinalCommits, st.Aborts, st.Apologies)
 	srv.Close()
 }

@@ -35,6 +35,7 @@ import (
 	"croesus/internal/smoothing"
 	"croesus/internal/store"
 	"croesus/internal/threshold"
+	"croesus/internal/transport"
 	"croesus/internal/twopc"
 	"croesus/internal/txn"
 	"croesus/internal/vclock"
@@ -421,6 +422,11 @@ type (
 
 // NewPartition returns an empty partition shard.
 func NewPartition(id int, clk Clock, link *Link) *PartitionNode {
+	if link == nil {
+		// A nil *Link must stay a nil transport.Path — a typed nil would
+		// defeat the coordinator's "local partition" check.
+		return twopc.NewPartition(id, clk, nil)
+	}
 	return twopc.NewPartition(id, clk, link)
 }
 
@@ -558,6 +564,21 @@ type (
 	ScenarioDuration = scenario.Duration
 	// ScenarioRuntime is a compiled scenario bound to a cluster.
 	ScenarioRuntime = scenario.Runtime
+	// ScenarioOptions select the deployment a scenario runs on: the
+	// simulated fleet or the loopback-TCP fleet, plus the wall-clock
+	// compression for the latter.
+	ScenarioOptions = scenario.Options
+
+	// Transport is the fleet's network seam: every frame delivery,
+	// validation transfer, and 2PC message crosses it, and network-level
+	// faults act through it. See NewSimTransport and NewTCPTransport.
+	Transport = transport.Transport
+	// TransportPath is one directed fleet network path.
+	TransportPath = transport.Path
+	// TransportReport is a non-simulated transport's section of a fleet
+	// report (traffic carried over sockets, drops while severed,
+	// teardowns).
+	TransportReport = cluster.TransportReport
 
 	// DynamicReport tallies a run's fleet churn (joins, leaves,
 	// migrations, outages, dropped frames).
@@ -575,9 +596,15 @@ const (
 	EventMigrateCamera = scenario.KindMigrateCamera
 	EventWorkloadShift = scenario.KindWorkloadShift
 	EventEdgeCrash     = scenario.KindEdgeCrash
+	EventEdgeRetire    = scenario.KindEdgeRetire
 	EventTwoPCCrash    = scenario.KindTwoPCCrash
 	EventLinkFault     = scenario.KindLinkFault
 	EventCheckpoint    = scenario.KindCheckpoint
+
+	// TransportSim and TransportTCP name the two deployments a scenario
+	// (or flag-built fleet) can run on.
+	TransportSim = scenario.TransportSim
+	TransportTCP = scenario.TransportTCP
 
 	ScenarioPointParticipantPrepared = scenario.PointParticipantPrepared
 	ScenarioPointAfterPrepare        = scenario.PointAfterPrepare
@@ -594,6 +621,28 @@ func DecodeScenario(data []byte) (*Scenario, error) { return scenario.Decode(dat
 // RunScenario plays a scenario on a fresh virtual clock and returns the
 // fleet report. Same scenario, same seed ⇒ byte-identical report.
 func RunScenario(s *Scenario) (*ClusterReport, error) { return scenario.Run(s) }
+
+// RunScenarioWith plays a scenario on the selected deployment: the
+// simulated fleet (byte-identical replay) or the same fleet over loopback
+// TCP sockets on the wall clock, where timeline faults tear real
+// connections down. One scenario JSON, two transports.
+func RunScenarioWith(s *Scenario, o ScenarioOptions) (*ClusterReport, error) {
+	return scenario.RunWith(s, o)
+}
+
+// NewSimTransport returns the simulated fleet transport (netsim links on
+// the fleet clock) — the default when ClusterConfig.Transport is nil.
+func NewSimTransport() Transport { return transport.NewSim() }
+
+// NewTCPTransport returns the loopback-TCP fleet transport: every fleet
+// hop ships real bytes over sockets, and faults tear connections down.
+// Pair it with NewScaledRealClock in a ClusterConfig.
+func NewTCPTransport() Transport { return transport.NewTCP() }
+
+// NewScaledRealClock returns a wall clock whose modeled time runs
+// 1/scale faster than real time — how a TCP fleet compresses modeled
+// inference latencies and the event timeline. Scale 0 or 1 is real time.
+func NewScaledRealClock(scale float64) Clock { return vclock.NewScaledReal(scale) }
 
 // NewScenarioRuntime compiles a scenario onto the caller's clock for
 // callers that need post-run access to the cluster (durability checks,

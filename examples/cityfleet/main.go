@@ -9,15 +9,22 @@
 // traffic" are data, not code. The last scenario is also printed as its
 // JSON encoding, which is exactly what `croesus-cluster -scenario` runs.
 //
+// Every scenario also runs unmodified over loopback TCP — the unified
+// runtime's second transport — with -transport tcp:
+//
 //	go run ./examples/cityfleet
+//	go run ./examples/cityfleet -transport tcp -timescale 0.05
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"croesus"
 )
+
+var opts croesus.ScenarioOptions
 
 func cameras() []croesus.ScenarioCamera {
 	return []croesus.ScenarioCamera{
@@ -45,7 +52,7 @@ func topology(batcher croesus.ScenarioBatcher) croesus.ScenarioTopology {
 }
 
 func run(s *croesus.Scenario) *croesus.ClusterReport {
-	rep, err := croesus.RunScenario(s)
+	rep, err := croesus.RunScenarioWith(s, opts)
 	if err != nil {
 		panic(err)
 	}
@@ -57,6 +64,12 @@ func ms(d int64) croesus.ScenarioDuration  { return croesus.ScenarioDuration(d *
 func sec(d int64) croesus.ScenarioDuration { return croesus.ScenarioDuration(d * 1e9) }
 
 func main() {
+	flag.StringVar(&opts.Transport, "transport", croesus.TransportSim,
+		"deployment: sim (virtual clock, deterministic) or tcp (loopback sockets, wall clock)")
+	flag.Float64Var(&opts.TimeScale, "timescale", 0.05,
+		"wall-clock compression for -transport tcp")
+	flag.Parse()
+
 	// A healthy cloud: batches form under the SLO, nothing is shed.
 	run(&croesus.Scenario{
 		Name:     "healthy cloud",
@@ -90,7 +103,11 @@ func main() {
 	//          inside a 2PC while in-flight transactions finish on the
 	//          old epoch or retry on the new map,
 	//   t=30s  a pop-up event camera joins the north cabinet,
-	//   t=40s  it packs up and leaves.
+	//   t=40s  it packs up and leaves,
+	//   t=45s  the south cabinet is decommissioned for the night — a
+	//          graceful retirement: its cameras (and their shards) drain
+	//          back to north through live migrations, then the cabinet
+	//          leaves the placement pool for good.
 	half, double := 0.5, 2.0
 	day := &croesus.Scenario{
 		Name: "city day (power loss, rush hour, live migration)",
@@ -111,6 +128,7 @@ func main() {
 			{At: sec(30), Do: croesus.EventCameraJoin,
 				Join: &croesus.ScenarioCamera{ID: "popup", Profile: "mall-person", Seed: 107, Frames: 20, Edge: "north"}},
 			{At: sec(40), Do: croesus.EventCameraLeave, Camera: "popup"},
+			{At: sec(45), Do: croesus.EventEdgeRetire, Edge: "south"},
 		},
 	}
 	run(day)

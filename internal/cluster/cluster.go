@@ -29,8 +29,9 @@ import (
 	"croesus/internal/detect"
 	"croesus/internal/faults"
 	"croesus/internal/lock"
-	"croesus/internal/netsim"
+	"croesus/internal/node"
 	"croesus/internal/store"
+	"croesus/internal/transport"
 	"croesus/internal/twopc"
 	"croesus/internal/txn"
 	"croesus/internal/vclock"
@@ -40,29 +41,24 @@ import (
 )
 
 // TxnProtocol selects the multi-stage concurrency-control protocol the
-// fleet's transactions run under. The zero value is MS-IA, matching the
-// single-edge cluster default.
-type TxnProtocol int
+// fleet's transactions run under. It is the shared fleet-node layer's
+// protocol type (internal/node), so the cluster and the real TCP
+// deployment select protocols identically. The zero value is MS-IA,
+// matching the single-edge cluster default.
+type TxnProtocol = node.Protocol
 
 // Fleet transaction protocols.
 const (
 	// TxnMSIA is multi-stage invariant confluence with apologies: each
 	// section locks (and, cross-edge, 2PC-commits) its own set.
-	TxnMSIA TxnProtocol = iota
+	TxnMSIA = node.MSIA
 	// TxnMSSR is multi-stage serializability: both sections' locks are
 	// held from the initial commit to the final commit, with one atomic
 	// commitment at the final — across the cloud round trip.
-	TxnMSSR
+	TxnMSSR = node.MSSR
 )
 
-func (p TxnProtocol) String() string {
-	if p == TxnMSSR {
-		return "MS-SR"
-	}
-	return "MS-IA"
-}
-
-func (p TxnProtocol) dist() twopc.Protocol {
+func distProtocol(p TxnProtocol) twopc.Protocol {
 	if p == TxnMSSR {
 		return twopc.MSSR
 	}
@@ -121,12 +117,13 @@ type EdgeNode struct {
 	// CC is the concurrency-control protocol this edge's cameras run
 	// their transactions under.
 	CC txn.CC
-	// ClientEdge and EdgeCloud are this edge's private network paths;
-	// Peers[i] is the one-way link to edge i (nil for itself), carrying
+	// ClientEdge and EdgeCloud are this edge's network paths, provisioned
+	// by the fleet's transport (netsim links on sim, real sockets on TCP);
+	// Peers[i] is the one-way path to edge i (nil for itself), carrying
 	// cross-edge lock and commit traffic in sharded fleets.
-	ClientEdge *netsim.Link
-	EdgeCloud  *netsim.Link
-	Peers      []*netsim.Link
+	ClientEdge transport.Path
+	EdgeCloud  transport.Path
+	Peers      []transport.Path
 	// Compute is the edge's shared inference pool: every camera placed
 	// here contends for these Spec.Slots slots.
 	Compute *vclock.Semaphore
@@ -157,6 +154,16 @@ type Config struct {
 	// Placement assigns cameras to edges (default round-robin) unless a
 	// camera pins itself with CameraSpec.Edge.
 	Placement Placement
+
+	// Transport provisions the fleet's network paths — client→edge frame
+	// delivery, edge→cloud validation traffic, inter-edge 2PC messages —
+	// and applies network-level faults. Nil defaults to the simulated
+	// transport (netsim links on the fleet clock, byte-deterministic).
+	// Inject transport.NewTCP() — what croesus-cluster -transport tcp
+	// does, together with a real Clock — to run the same fleet over
+	// loopback TCP sockets. The cluster takes ownership and closes the
+	// transport with Close.
+	Transport transport.Transport
 
 	// Batcher configures the shared cloud validator; its Clock and Model
 	// are filled in from the cluster when unset.
@@ -295,6 +302,7 @@ type Cluster struct {
 	clk        vclock.Clock
 	cloudModel detect.Model
 	batcher    *Batcher
+	transport  transport.Transport
 	edges      []*EdgeNode
 	cams       []*cameraRuntime
 	nShards    int
@@ -325,6 +333,9 @@ type Cluster struct {
 	dynActive bool
 	migSeq    uint64
 	started   bool
+	// retired marks edges drained out of the fleet by RetireEdge: no
+	// placement targets them again.
+	retired []bool
 	// pending counts live feeders and scheduled events; background
 	// tickers exit when it drains so Clock.Wait can return.
 	pending int
@@ -384,13 +395,19 @@ func New(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{cfg: cfg, clk: cfg.Clock, cloudModel: cloudModel, batcher: batcher}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = transport.NewSim()
+	}
+	c := &Cluster{cfg: cfg, clk: cfg.Clock, cloudModel: cloudModel, batcher: batcher, transport: tr}
 
-	// Edge IDs name reports, peer links, and — under a fault plan — the
-	// per-partition WAL files, so they must be unique (two edges sharing
-	// one log would corrupt recovery) and free of path separators (an ID
-	// like "../x" would escape WALDir).
+	// Edge IDs name reports, transport paths, and — under a fault plan —
+	// the per-partition WAL files, so they must be unique (two edges
+	// sharing one log would corrupt recovery) and free of path separators
+	// (an ID like "../x" would escape WALDir).
 	edgeIDs := make(map[string]bool, len(cfg.Edges))
+	specs := make([]EdgeSpec, len(cfg.Edges))
+	profiles := make([]transport.EdgeProfile, len(cfg.Edges))
 	for i, es := range cfg.Edges {
 		if es.ID == "" {
 			es.ID = fmt.Sprintf("edge%d", i)
@@ -408,27 +425,26 @@ func New(cfg Config) (*Cluster, error) {
 		if es.Slots == 0 {
 			es.Slots = 2
 		}
-		st := store.New()
-		locks := lock.NewManager(cfg.Clock)
-		edgeCloud := netsim.EdgeCloudCrossCountry()
-		if es.SameSite {
-			edgeCloud = netsim.EdgeCloudSameSite()
-		}
-		edgeCloud.Name = es.ID + "-cloud"
-		clientEdge := netsim.ClientEdgeLink()
-		clientEdge.Name = "client-" + es.ID
+		specs[i] = es
+		profiles[i] = transport.EdgeProfile{ID: es.ID, SameSite: es.SameSite}
+	}
+	if err := tr.Provision(profiles); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	for i, es := range specs {
 		c.edges = append(c.edges, &EdgeNode{
 			Spec:       es,
 			Model:      detect.TinyYOLOSim(cfg.Seed),
-			Store:      st,
-			Locks:      locks,
-			ClientEdge: clientEdge,
-			EdgeCloud:  edgeCloud,
+			Store:      store.New(),
+			Locks:      lock.NewManager(cfg.Clock),
+			ClientEdge: tr.ClientEdge(i),
+			EdgeCloud:  tr.EdgeCloud(i),
 			Compute:    vclock.NewSemaphore(cfg.Clock, es.Slots),
 			idx:        i,
 		})
 	}
 	c.edgeOut = make([]bool, len(c.edges))
+	c.retired = make([]bool, len(c.edges))
 	c.nShards = cfg.Shards
 	if cfg.Sharded && c.nShards == 0 {
 		c.nShards = len(c.edges)
@@ -440,13 +456,12 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 	} else {
+		// Unsharded edges are standalone nodes: the shared fleet-node
+		// assembly (the same one the real TCP edge servers use) wires the
+		// manager and protocol over each edge's private store and locks.
 		for _, e := range c.edges {
-			e.Mgr = txn.NewManager(cfg.Clock, e.Store, e.Locks)
-			if cfg.Protocol == TxnMSSR {
-				e.CC = &txn.MSSR{M: e.Mgr, Policy: txn.Wait}
-			} else {
-				e.CC = &txn.MSIA{M: e.Mgr}
-			}
+			asm := node.NewOver(cfg.Clock, e.Store, e.Locks, cfg.Protocol)
+			e.Mgr, e.CC = asm.Mgr, asm.CC
 		}
 	}
 
@@ -484,21 +499,36 @@ func New(cfg Config) (*Cluster, error) {
 }
 
 // placeCamera resolves a camera's edge: its pin when set, the placement
-// policy otherwise.
+// policy otherwise. Retired edges are never placement targets: a pin to
+// one is an error, and the policy only sees the live edges.
 func (c *Cluster) placeCamera(cs CameraSpec) (int, error) {
 	if cs.Edge != "" {
 		for i, e := range c.edges {
 			if e.Spec.ID == cs.Edge {
+				if c.retired[i] {
+					return 0, fmt.Errorf("cluster: camera %q pinned to retired edge %q", cs.ID, cs.Edge)
+				}
 				return i, nil
 			}
 		}
 		return 0, fmt.Errorf("cluster: camera %q pinned to unknown edge %q", cs.ID, cs.Edge)
 	}
-	idx := c.cfg.Placement.Pick(cs, c.edges)
-	if idx < 0 || idx >= len(c.edges) {
-		return 0, fmt.Errorf("cluster: placement %q picked edge %d of %d for camera %q", c.cfg.Placement.Name(), idx, len(c.edges), cs.ID)
+	live := make([]*EdgeNode, 0, len(c.edges))
+	back := make([]int, 0, len(c.edges))
+	for i, e := range c.edges {
+		if !c.retired[i] {
+			live = append(live, e)
+			back = append(back, i)
+		}
 	}
-	return idx, nil
+	if len(live) == 0 {
+		return 0, fmt.Errorf("cluster: no live edge to place camera %q on (all retired)", cs.ID)
+	}
+	idx := c.cfg.Placement.Pick(cs, live)
+	if idx < 0 || idx >= len(live) {
+		return 0, fmt.Errorf("cluster: placement %q picked edge %d of %d for camera %q", c.cfg.Placement.Name(), idx, len(live), cs.ID)
+	}
+	return back[idx], nil
 }
 
 // chooser builds the sharded key chooser for one camera's current workload
@@ -630,14 +660,12 @@ func (c *Cluster) provisionShards() error {
 	c.fleetMgr = txn.NewManager(c.cfg.Clock, nil, nil)
 	c.fleetMgr.DB = shardedStore
 	for i, e := range c.edges {
-		e.Peers = make([]*netsim.Link, n)
+		e.Peers = make([]transport.Path, n)
 		for j := range c.edges {
 			if j == i {
 				continue
 			}
-			l := netsim.EdgeEdgeLink()
-			l.Name = e.Spec.ID + "-" + c.edges[j].Spec.ID
-			e.Peers[j] = l
+			e.Peers[j] = c.transport.Peer(i, j)
 		}
 		e.Mgr = c.fleetMgr
 		e.CC = &twopc.ShardedCC{
@@ -648,7 +676,7 @@ func (c *Cluster) provisionShards() error {
 			Links:       e.Peers,
 			Partitioner: smap.Lookup,
 			Map:         smap,
-			Protocol:    c.cfg.Protocol.dist(),
+			Protocol:    distProtocol(c.cfg.Protocol),
 			Stats:       c.dist,
 		}
 	}
@@ -665,7 +693,7 @@ func (c *Cluster) provisionShards() error {
 		dir, c.walTemp = tmp, tmp
 	}
 	paths := make([]string, n)
-	linkRows := make([][]*netsim.Link, n)
+	linkRows := make([][]transport.Path, n)
 	for i, e := range c.edges {
 		paths[i] = filepath.Join(dir, fmt.Sprintf("%s.wal", e.Spec.ID))
 		// A fresh fleet starts from a fresh log: stale records from an
@@ -692,6 +720,11 @@ func (c *Cluster) provisionShards() error {
 	if err != nil {
 		return fmt.Errorf("cluster: %w", err)
 	}
+	// Crashes and recoveries mirror to the transport: the TCP fleet tears
+	// a crashed edge's connections down and blackholes its traffic until
+	// restart; the sim transport ignores the hook (its fleet models
+	// crashes above the network).
+	inj.EdgeDown = c.transport.SetEdgeDown
 	c.injector = inj
 	for _, e := range c.edges {
 		e.CC.(*twopc.ShardedCC).Faults = inj
@@ -699,7 +732,9 @@ func (c *Cluster) provisionShards() error {
 	return nil
 }
 
-// closeDurability closes the partition logs and removes a temp WAL dir.
+// closeDurability closes the partition logs, removes a temp WAL dir, and
+// releases the transport (listeners and connections on TCP; a no-op on the
+// simulated transport).
 func (c *Cluster) closeDurability() {
 	for _, e := range c.edges {
 		if e.Partition != nil {
@@ -709,6 +744,9 @@ func (c *Cluster) closeDurability() {
 	if c.walTemp != "" {
 		os.RemoveAll(c.walTemp)
 		c.walTemp = ""
+	}
+	if c.transport != nil {
+		c.transport.Close()
 	}
 }
 

@@ -30,6 +30,10 @@ type DynamicReport struct {
 	// MigratedKeys the shard keys handed over across all of them.
 	Migrations, MigrationsFailed int
 	MigratedKeys                 int
+	// Retired counts edges gracefully drained out of the fleet
+	// (RetireEdge: cameras — and their shards — migrated away, then the
+	// edge permanently excluded from placement).
+	Retired int
 	// WorkloadShifts counts mid-run workload re-shapes (rate, skew, or
 	// cross-edge fraction).
 	WorkloadShifts int
@@ -259,6 +263,12 @@ func (c *Cluster) MigrateCamera(cameraID, toEdge string) error {
 	if err != nil {
 		return err
 	}
+	c.mu.Lock()
+	toRetired := c.retired[to]
+	c.mu.Unlock()
+	if toRetired {
+		return fmt.Errorf("cluster: cannot migrate camera %q to retired edge %q", cameraID, toEdge)
+	}
 	// One handoff at a time: two concurrent migrations would each plan
 	// from a stale shard owner (the second could quiesce and copy an
 	// already-emptied partition, stranding the keys wherever the first
@@ -319,6 +329,55 @@ func (c *Cluster) MigrateCamera(cameraID, toEdge string) error {
 	return nil
 }
 
+// RetireEdge gracefully drains an edge out of the fleet (an EdgeRetire
+// event) — the planned counterpart of a crash. Every camera homed on the
+// edge migrates away through the ordinary MigrateCamera path (on a sharded
+// fleet that is the full shard-map handoff: quiesce, 2PC key transfer,
+// epoch bump), destinations rotating over the remaining live edges in
+// index order so the drain is deterministic and balanced. The edge is then
+// permanently excluded from placement — no join, policy pick, or later
+// migration may target it. A camera whose handoff exhausted its retry
+// budget stays put and is counted in MigrationsFailed; the edge still
+// retires (the drain is best-effort, like any operator drain against a
+// faulty fleet), so the report shows exactly what the retirement achieved.
+func (c *Cluster) RetireEdge(edgeID string) error {
+	i, err := c.edgeByID(edgeID)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.retired[i] {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: edge %q is already retired", edgeID)
+	}
+	var dests []int
+	for j := range c.edges {
+		if j != i && !c.retired[j] {
+			dests = append(dests, j)
+		}
+	}
+	if len(dests) == 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: retiring edge %q would leave the fleet empty", edgeID)
+	}
+	// Retire before draining, in the same critical section as the camera
+	// snapshot: the drain's migrations take clock time, and a join or
+	// migration landing on the edge mid-drain would be stranded on a
+	// "retired" edge forever. Exclusion first makes the invariant hold
+	// from this instant.
+	cams := append([]string{}, c.edges[i].Cameras...)
+	c.retired[i] = true
+	c.dyn.Retired++
+	c.dynActive = true
+	c.mu.Unlock()
+	for k, camID := range cams {
+		// A failed handoff (edges down past the migration retry budget) is
+		// a modeled outcome, already counted; the drain moves on.
+		_ = c.MigrateCamera(camID, c.edges[dests[k%len(dests)]].Spec.ID)
+	}
+	return nil
+}
+
 // isFeeding reports whether cam's feeder has been spawned. Callers may
 // hold cam.mu (the lock order is cam.mu → c.mu throughout).
 func (c *Cluster) isFeeding(cam *cameraRuntime) bool {
@@ -372,15 +431,16 @@ func (c *Cluster) rebindLocked(cam *cameraRuntime) {
 // down, frames captured by its cameras are dropped and counted — the
 // availability cost of a fail-stop without the durable-partition machinery.
 // Sharded fleets crash edges through the fault injector instead, which
-// models the transaction-level consequences.
+// models the transaction-level consequences. Either way the outage mirrors
+// to the transport, so a TCP fleet's crash is a real connection teardown.
 func (c *Cluster) SetEdgeOutage(edgeID string, down bool) error {
 	i, err := c.edgeByID(edgeID)
 	if err != nil {
 		return err
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.edgeOut[i] == down {
+		c.mu.Unlock()
 		return nil
 	}
 	c.edgeOut[i] = down
@@ -390,6 +450,8 @@ func (c *Cluster) SetEdgeOutage(edgeID string, down bool) error {
 		c.dyn.OutageRestores++
 	}
 	c.dynActive = true
+	c.mu.Unlock()
+	c.transport.SetEdgeDown(i, down)
 	return nil
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"croesus/internal/detect"
 	"croesus/internal/netsim"
+	"croesus/internal/transport"
 	"croesus/internal/txn"
 	"croesus/internal/vclock"
 	"croesus/internal/video"
@@ -99,8 +100,13 @@ type Config struct {
 	// streams contend for the same machine.
 	EdgeCompute *vclock.Semaphore
 
-	ClientEdge *netsim.Link
-	EdgeCloud  *netsim.Link
+	// ClientEdge and EdgeCloud are the node's network paths. The defaults
+	// are the simulated deployment's netsim links; the fleet runtime
+	// injects whatever its transport provisioned (a real TCP path on the
+	// loopback deployment, transport.Null where the node's own socket
+	// already carried the bytes).
+	ClientEdge transport.Path
+	EdgeCloud  transport.Path
 	// Preproc optionally shrinks frames before the edge→cloud hop
 	// (compression / difference communication).
 	Preproc netsim.Preprocessor
@@ -130,6 +136,14 @@ type Config struct {
 	// CloudModel, EdgeCloud, and Preproc is built — the paper's
 	// single-edge behavior, unchanged.
 	Validator Validator
+
+	// OnInitial, when set, is called at every frame's initial commit —
+	// after the initial sections committed and the client-facing answer
+	// exists, before any cloud validation. The real TCP deployment sends
+	// its initial reply from this hook, so both deployments run the one
+	// Figure-1 execution in this package instead of duplicating it. The
+	// outcome is mid-flight: only the initial-stage fields are filled.
+	OnInitial func(f *video.Frame, out *FrameOutcome)
 
 	// CloudLossProb injects edge→cloud failures: each validated frame is
 	// lost with this probability (deterministically per frame index), in
@@ -323,6 +337,10 @@ func (p *Pipeline) processCroesus(f *video.Frame) FrameOutcome {
 	// Initial commit: the response is rendered at the client.
 	cfg.ClientEdge.Send(clk, netsim.LabelReturnBytes)
 	out.InitialLatency = clk.Now() - f.At
+	out.SentToCloud = validate
+	if cfg.OnInitial != nil {
+		cfg.OnInitial(f, &out)
+	}
 
 	if !validate {
 		// The frame is not validated: final sections run locally with
@@ -338,7 +356,6 @@ func (p *Pipeline) processCroesus(f *video.Frame) FrameOutcome {
 	// lost request degrades to local finalization — the initial commit
 	// already answered the client, so availability is preserved at the
 	// cost of uncorrected labels.
-	out.SentToCloud = true
 	res := p.validator.Validate(ValidationRequest{
 		Frame:  f,
 		Edge:   visible,
@@ -392,6 +409,9 @@ func (p *Pipeline) processEdgeOnly(f *video.Frame) FrameOutcome {
 	pending := p.runInitials(f, dets, &out)
 	cfg.ClientEdge.Send(clk, netsim.LabelReturnBytes)
 	out.InitialLatency = clk.Now() - f.At
+	if cfg.OnInitial != nil {
+		cfg.OnInitial(f, &out)
+	}
 
 	// Single-stage system: the edge result is final. The final sections
 	// still burn clock time (their section bodies run here), so final
@@ -432,6 +452,9 @@ func (p *Pipeline) processCloudOnly(f *video.Frame) FrameOutcome {
 	// same way processCroesus does.
 	cfg.ClientEdge.Send(clk, netsim.LabelReturnBytes)
 	out.InitialLatency = clk.Now() - f.At
+	if cfg.OnInitial != nil {
+		cfg.OnInitial(f, &out)
+	}
 	p.runFinals(f, pending, assumedMatches(cloudDets), &out)
 	out.FinalVisible = cloudDets
 	out.FinalLatency = clk.Now() - f.At

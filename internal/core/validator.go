@@ -6,6 +6,7 @@ import (
 
 	"croesus/internal/detect"
 	"croesus/internal/netsim"
+	"croesus/internal/transport"
 	"croesus/internal/vclock"
 	"croesus/internal/video"
 )
@@ -94,7 +95,7 @@ const DefaultCloudTimeout = 3 * time.Second
 // single-edge and fleet simulations cross the hop identically.
 type Uplink struct {
 	Clock   vclock.Clock
-	Link    *netsim.Link
+	Link    transport.Path
 	Preproc netsim.Preprocessor
 	// EdgeSpeed scales preprocessing cost.
 	EdgeSpeed float64
@@ -136,7 +137,7 @@ func (u Uplink) Ship(f *video.Frame) (edgeCloud time.Duration, lost bool) {
 // stage.
 type DirectValidator struct {
 	Clock   vclock.Clock
-	Link    *netsim.Link
+	Link    transport.Path
 	Preproc netsim.Preprocessor
 	Model   detect.Model
 	Slots   *vclock.Semaphore

@@ -10,6 +10,7 @@ import (
 	"croesus/internal/metrics"
 	"croesus/internal/netsim"
 	"croesus/internal/store"
+	"croesus/internal/transport"
 	"croesus/internal/twopc"
 	"croesus/internal/txn"
 	"croesus/internal/vclock"
@@ -146,7 +147,7 @@ func AblationTwoPC(o Opts) Table {
 		clk := vclock.NewSim()
 		parts := make([]*twopc.Partition, 3)
 		for i := range parts {
-			var link *netsim.Link
+			var link transport.Path
 			if i != 0 {
 				link = netsim.EdgeCloudSameSite()
 			}

@@ -29,7 +29,7 @@ import (
 	"time"
 
 	"croesus/internal/metrics"
-	"croesus/internal/netsim"
+	"croesus/internal/transport"
 	"croesus/internal/twopc"
 	"croesus/internal/txn"
 	"croesus/internal/vclock"
@@ -136,8 +136,15 @@ type Injector struct {
 	clk   vclock.Clock
 	plan  Plan
 	parts []*twopc.Partition
-	links [][]*netsim.Link // links[i][j]: edge i's one-way link to edge j
-	paths []string         // WAL file per partition
+	links [][]transport.Path // links[i][j]: edge i's one-way path to edge j
+	paths []string           // WAL file per partition
+
+	// EdgeDown, when set, is told about every fail-stop and recovery so the
+	// deployment transport can mirror the crash at the network layer — the
+	// TCP transport tears the edge's connections down and blackholes its
+	// traffic until restart; the sim transport ignores it. Set before
+	// Start.
+	EdgeDown func(edge int, down bool)
 
 	mu         sync.Mutex
 	down       []bool
@@ -158,7 +165,7 @@ type pointKey struct {
 // NewInjector validates the plan against the fleet shape. links[i][j] is
 // edge i's one-way link to edge j (nil on the diagonal); paths[i] is the
 // WAL file partition i logs to and recovers from.
-func NewInjector(clk vclock.Clock, plan Plan, parts []*twopc.Partition, links [][]*netsim.Link, paths []string) (*Injector, error) {
+func NewInjector(clk vclock.Clock, plan Plan, parts []*twopc.Partition, links [][]transport.Path, paths []string) (*Injector, error) {
 	n := len(parts)
 	if n == 0 {
 		return nil, fmt.Errorf("faults: no partitions")
@@ -371,6 +378,9 @@ func (i *Injector) crash(e int) bool {
 	i.counters.Crashes++
 	i.mu.Unlock()
 	i.parts[e].CrashReset()
+	if i.EdgeDown != nil {
+		i.EdgeDown(e, true)
+	}
 	return true
 }
 
@@ -449,6 +459,9 @@ func (i *Injector) restart(e int, charge bool) {
 		i.recovery.Add(i.clk.Now() - i.crashedAt[e])
 	}
 	i.mu.Unlock()
+	if i.EdgeDown != nil {
+		i.EdgeDown(e, false)
+	}
 
 	// Peers may hold blocks whose coordinator was e; its decisions are
 	// durable again, so they can resolve now.

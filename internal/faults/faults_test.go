@@ -9,6 +9,7 @@ import (
 	"croesus/internal/lock"
 	"croesus/internal/netsim"
 	"croesus/internal/store"
+	"croesus/internal/transport"
 	"croesus/internal/twopc"
 	"croesus/internal/txn"
 	"croesus/internal/vclock"
@@ -17,7 +18,7 @@ import (
 
 // miniFleet builds a two-partition durable fleet on clk: edge 0 is the
 // home of the returned ShardedCC, edge 1 is remote over a 5ms link.
-func miniFleet(t *testing.T, clk vclock.Clock) (*twopc.ShardedCC, []*twopc.Partition, [][]*netsim.Link, []string) {
+func miniFleet(t *testing.T, clk vclock.Clock) (*twopc.ShardedCC, []*twopc.Partition, [][]transport.Path, []string) {
 	t.Helper()
 	dir := t.TempDir()
 	parts := make([]*twopc.Partition, 2)
@@ -33,7 +34,7 @@ func miniFleet(t *testing.T, clk vclock.Clock) (*twopc.ShardedCC, []*twopc.Parti
 		parts[i].WAL = l
 	}
 	mk := func() *netsim.Link { return &netsim.Link{Name: "peer", Propagation: 5 * time.Millisecond} }
-	links := [][]*netsim.Link{{nil, mk()}, {mk(), nil}}
+	links := [][]transport.Path{{nil, mk()}, {mk(), nil}}
 	partitioner := func(key string) int {
 		if key[0] == '1' {
 			return 1
@@ -117,7 +118,7 @@ func TestInjectorValidation(t *testing.T) {
 	}
 	// A partition without a WAL cannot be crashed survivably.
 	bare := []*twopc.Partition{twopc.NewPartitionOver(0, store.New(), lock.NewManager(clk))}
-	if _, err := NewInjector(clk, Plan{}, bare, [][]*netsim.Link{{nil}}, []string{"x"}); err == nil {
+	if _, err := NewInjector(clk, Plan{}, bare, [][]transport.Path{{nil}}, []string{"x"}); err == nil {
 		t.Error("injector accepted a WAL-less partition")
 	}
 }

@@ -1,0 +1,149 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"croesus/internal/vclock"
+)
+
+func retireScenario(sharded bool) *Scenario {
+	s := &Scenario{
+		Name: "retire",
+		Seed: 7,
+		Topology: Topology{
+			Edges: []Edge{{ID: "keep"}, {ID: "old"}},
+			Cameras: []Camera{
+				{ID: "stay", Profile: "street-vehicles", Edge: "keep", Frames: 30},
+				{ID: "move", Profile: "park-dog", Edge: "old", Frames: 30},
+			},
+			Batcher: Batcher{MaxBatch: 8, SLO: Duration(80 * time.Millisecond)},
+		},
+		Timeline: []Event{
+			{At: Duration(2 * time.Second), Do: KindEdgeRetire, Edge: "old"},
+		},
+	}
+	if sharded {
+		s.Topology.CrossEdgeFraction = 0.25
+	}
+	return s
+}
+
+// TestEdgeRetireDrainsGracefully: a retirement moves the edge's cameras
+// (and, sharded, their shards) away and drops nothing — the planned
+// counterpart of the crash events, closing the "retiring an edge is a
+// crash without restart" gap.
+func TestEdgeRetireDrainsGracefully(t *testing.T) {
+	for _, sharded := range []bool{false, true} {
+		name := "unsharded"
+		if sharded {
+			name = "sharded"
+		}
+		t.Run(name, func(t *testing.T) {
+			rt, err := New(retireScenario(sharded), vclock.NewSim())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Cluster.Close()
+			rep := rt.Run()
+			if rep.Dynamic == nil || rep.Dynamic.Retired != 1 {
+				t.Fatalf("retirement not counted: %+v", rep.Dynamic)
+			}
+			if rep.Dynamic.FramesDropped != 0 {
+				t.Errorf("graceful retirement dropped %d frames", rep.Dynamic.FramesDropped)
+			}
+			for _, cr := range rep.Cameras {
+				if cr.Edge == "old" {
+					t.Errorf("camera %q still homed on the retired edge", cr.Camera)
+				}
+				if cr.Summary.Frames != 30 {
+					t.Errorf("camera %q finished %d frames, want 30", cr.Camera, cr.Summary.Frames)
+				}
+			}
+			if sharded {
+				if rep.Dynamic.Migrations == 0 || rep.Dynamic.MigratedKeys == 0 {
+					t.Errorf("sharded retirement handed no shard keys over: %+v", rep.Dynamic)
+				}
+				// The retired partition must own no shard any longer.
+				smap := rt.Cluster.ShardMap()
+				for s := 0; s < 2; s++ {
+					if smap.Owner(s) == 1 {
+						t.Errorf("shard %d still owned by the retired edge", s)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEdgeRetireDeterministic pins the retirement drain into the
+// byte-identical replay contract.
+func TestEdgeRetireDeterministic(t *testing.T) {
+	run := func() string {
+		rep, err := Run(retireScenario(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Format()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("retirement replay diverged:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+	if !strings.Contains(run(), "retired edges: 1") {
+		t.Error("report does not surface the retirement")
+	}
+}
+
+// TestRetireValidation covers the structural rules: unknown edges, single
+// edge fleets, double retirement, and later events targeting a retired
+// edge are all rejected before a fleet is built.
+func TestRetireValidation(t *testing.T) {
+	base := func() *Scenario { return retireScenario(false) }
+
+	s := base()
+	s.Timeline[0].Edge = "ghost"
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "unknown edge") {
+		t.Errorf("unknown edge accepted: %v", err)
+	}
+
+	s = base()
+	s.Topology.Edges = s.Topology.Edges[:1]
+	s.Topology.Cameras = s.Topology.Cameras[:1]
+	s.Timeline[0].Edge = "keep"
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "one edge") {
+		t.Errorf("single-edge retirement accepted: %v", err)
+	}
+
+	s = base()
+	s.Timeline = append(s.Timeline, Event{At: Duration(3 * time.Second), Do: KindEdgeRetire, Edge: "old"})
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "retired twice") {
+		t.Errorf("double retirement accepted: %v", err)
+	}
+
+	s = base()
+	s.Timeline = append(s.Timeline, Event{At: Duration(3 * time.Second), Do: KindEdgeRetire, Edge: "keep"})
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "retires every edge") {
+		t.Errorf("retiring the whole fleet accepted: %v", err)
+	}
+
+	s = base()
+	s.Timeline = append(s.Timeline, Event{At: Duration(5 * time.Second), Do: KindMigrateCamera, Camera: "stay", To: "old"})
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "retires at") {
+		t.Errorf("migration to a retired edge accepted: %v", err)
+	}
+
+	s = base()
+	s.Timeline = append(s.Timeline, Event{At: Duration(5 * time.Second), Do: KindCameraJoin,
+		Join: &Camera{ID: "late", Profile: "park-dog", Edge: "old"}})
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "retires at") {
+		t.Errorf("join pinned to a retired edge accepted: %v", err)
+	}
+
+	// Migrating to the edge before it retires is legal.
+	s = base()
+	s.Timeline = append(s.Timeline, Event{At: Duration(1 * time.Second), Do: KindMigrateCamera, Camera: "stay", To: "old"})
+	if err := s.Validate(); err != nil {
+		t.Errorf("pre-retirement migration rejected: %v", err)
+	}
+}

@@ -13,9 +13,34 @@ import (
 
 	"croesus/internal/cluster"
 	"croesus/internal/faults"
+	"croesus/internal/transport"
 	"croesus/internal/twopc"
 	"croesus/internal/vclock"
 )
+
+// Transport names accepted by Options.Transport.
+const (
+	// TransportSim runs the fleet in-process on the virtual clock over
+	// netsim links — deterministic, byte-identical replay.
+	TransportSim = "sim"
+	// TransportTCP runs the same fleet over loopback TCP sockets on the
+	// wall clock: frames, validation traffic, and 2PC messages cross real
+	// connections, and timeline faults tear those connections down.
+	TransportTCP = "tcp"
+)
+
+// Options select how a scenario deploys. The zero value is the simulated
+// deployment.
+type Options struct {
+	// Transport is TransportSim (default) or TransportTCP.
+	Transport string
+	// TimeScale compresses modeled latencies — inference sleeps, frame
+	// pacing, SLO deadlines, and the event timeline — on the TCP
+	// deployment's wall clock: 0.05 runs a 20-second scenario in about one
+	// real second. 0 or 1 runs at full fidelity. Ignored on sim, where
+	// virtual time is already free.
+	TimeScale float64
+}
 
 // Runtime is a compiled scenario bound to a cluster, ready to Run. Tests
 // reach through Cluster for post-run inspection (Injector().
@@ -30,9 +55,16 @@ type Runtime struct {
 }
 
 // New validates the scenario, compiles it to a cluster configuration, and
-// provisions the fleet on clk. The caller owns the clock (it must be the
-// driver) and must Close the cluster when done.
+// provisions the fleet on clk over the default simulated transport. The
+// caller owns the clock (it must be the driver) and must Close the cluster
+// when done.
 func New(s *Scenario, clk vclock.Clock) (*Runtime, error) {
+	return NewOn(s, clk, nil)
+}
+
+// NewOn is New with an explicit deployment transport (nil: simulated).
+// The cluster takes ownership of the transport and closes it with Close.
+func NewOn(s *Scenario, clk vclock.Clock, tr transport.Transport) (*Runtime, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -44,8 +76,12 @@ func New(s *Scenario, clk vclock.Clock) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.Transport = tr
 	c, err := cluster.New(cfg)
 	if err != nil {
+		if tr != nil {
+			tr.Close()
+		}
 		return nil, err
 	}
 	return &Runtime{Scenario: s, Cluster: c, clk: clk, cams: cams, idx: idx}, nil
@@ -73,6 +109,27 @@ func Run(s *Scenario) (*cluster.ClusterReport, error) {
 	}
 	defer rt.Cluster.Close()
 	return rt.Run(), nil
+}
+
+// RunWith runs one scenario on the selected deployment: the simulated
+// fleet (Run, byte-identical replay) or the loopback-TCP fleet — the same
+// compiled cluster on a wall clock, every fleet hop crossing a real
+// socket, timeline faults acting as connection teardowns. One scenario
+// JSON, two transports.
+func RunWith(s *Scenario, o Options) (*cluster.ClusterReport, error) {
+	switch o.Transport {
+	case "", TransportSim:
+		return Run(s)
+	case TransportTCP:
+		rt, err := NewOn(s, vclock.NewScaledReal(o.TimeScale), transport.NewTCP())
+		if err != nil {
+			return nil, err
+		}
+		defer rt.Cluster.Close()
+		return rt.Run(), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown transport %q (want %s or %s)", o.Transport, TransportSim, TransportTCP)
+	}
 }
 
 // seedFor is the deterministic per-camera seed: explicit, or scenario seed
@@ -124,6 +181,10 @@ func (rt *Runtime) exec(ev Event) {
 		_ = c.MigrateCamera(ev.Camera, ev.To)
 	case KindWorkloadShift:
 		if err := c.ShiftWorkload(ev.Camera, ev.Rate, ev.CrossEdgeFraction, ev.ZipfSkew); err != nil {
+			panic(fmt.Sprintf("scenario: %s: %v", ev.Label(), err))
+		}
+	case KindEdgeRetire:
+		if err := c.RetireEdge(ev.Edge); err != nil {
 			panic(fmt.Sprintf("scenario: %s: %v", ev.Label(), err))
 		}
 	case KindEdgeCrash:

@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+// tcpScenario is a small sharded fleet that exercises every counter the
+// acceptance criteria name: everything validates (θ interval [0,1]), the
+// batcher is provisioned to overload (MaxBatch 1, MaxPending 1, starved
+// cloud) so admission control sheds, half the keys cross edges so 2PC
+// runs, and the timeline severs one cloud uplink mid-run — a fault that
+// can only act at the transport layer on TCP.
+func tcpScenario() *Scenario {
+	heal := Duration(1500 * time.Millisecond)
+	return &Scenario{
+		Name: "tcp-loopback",
+		Seed: 42,
+		Topology: Topology{
+			Edges: []Edge{{ID: "west"}, {ID: "east"}},
+			Cameras: []Camera{
+				{ID: "c0", Profile: "street-vehicles", Edge: "west", Frames: 16},
+				{ID: "c1", Profile: "street-person", Edge: "east", Frames: 16},
+			},
+			CrossEdgeFraction: 0.5,
+			ThetaL:            0.001, // validate every frame with a visible label
+			ThetaU:            0.999,
+			Batcher:           Batcher{MaxBatch: 1, MaxPending: 1, CloudSpeed: 0.05},
+		},
+		Timeline: []Event{
+			{At: Duration(200 * time.Millisecond), Do: KindLinkFault, A: "west", B: "cloud", Heal: heal},
+		},
+	}
+}
+
+// TestScenarioRunsOnLoopbackTCP is the acceptance check for the unified
+// runtime: the same scenario type that drives the simulated fleet runs
+// over loopback TCP sockets, completes, and reports populated validated /
+// shed / 2PC counters, with the timeline link fault demonstrably acting at
+// the transport layer (a connection teardown and blackholed messages).
+func TestScenarioRunsOnLoopbackTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback TCP run in -short mode")
+	}
+	s := tcpScenario()
+	rep, err := RunWith(s, Options{Transport: TransportTCP, TimeScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames != 32 {
+		t.Errorf("fleet processed %d frames, want 32", rep.Frames)
+	}
+	if rep.Validated == 0 {
+		t.Error("no frame validated over TCP")
+	}
+	if rep.Shed == 0 {
+		t.Error("overloaded batcher shed nothing — the degradation path was not exercised")
+	}
+	if !rep.Sharded {
+		t.Error("report does not mark the fleet sharded")
+	}
+	if got := rep.TwoPC.CrossEdgeCommits + rep.TwoPC.RemoteCommits + rep.TwoPC.LocalCommits; got == 0 {
+		t.Error("no 2PC/commit activity counted — cross-edge transactions did not run")
+	}
+	if rep.Transport == nil {
+		t.Fatal("report carries no transport section for a TCP run")
+	}
+	if rep.Transport.Name != "tcp" {
+		t.Errorf("transport name %q, want tcp", rep.Transport.Name)
+	}
+	if rep.Transport.Messages == 0 || rep.Transport.Bytes == 0 {
+		t.Errorf("no traffic crossed the sockets: %+v", rep.Transport)
+	}
+	// The timeline link fault must have acted at the transport: the west
+	// uplink's connection was torn down at least once.
+	if rep.Transport.Severs == 0 {
+		t.Errorf("link fault caused no transport teardown: %+v", rep.Transport)
+	}
+	if rep.Dynamic == nil || rep.Dynamic.CloudLinkOutages != 1 {
+		t.Errorf("cloud-link outage not counted: %+v", rep.Dynamic)
+	}
+}
+
+// TestScenarioRunsOnBothTransports runs one scenario value through both
+// deployments back to back — the tentpole contract in one assertion: the
+// sim run is deterministic (two replays byte-identical) and the TCP run of
+// the very same scenario completes with the same fleet shape.
+func TestScenarioRunsOnBothTransports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback TCP run in -short mode")
+	}
+	s := tcpScenario()
+	sim1, err := RunWith(s, Options{Transport: TransportSim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim2, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim1.Format() != sim2.Format() {
+		t.Fatal("sim replay of the scenario is not byte-identical")
+	}
+	if sim1.Transport != nil {
+		t.Error("sim report grew a transport section — the golden format must not drift")
+	}
+	tcp, err := RunWith(s, Options{Transport: TransportTCP, TimeScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tcp.Cameras) != len(sim1.Cameras) || tcp.Frames != sim1.Frames {
+		t.Errorf("fleet shape differs across transports: tcp %d cams / %d frames, sim %d / %d",
+			len(tcp.Cameras), tcp.Frames, len(sim1.Cameras), sim1.Frames)
+	}
+}
+
+// TestRunWithRejectsUnknownTransport pins the error path.
+func TestRunWithRejectsUnknownTransport(t *testing.T) {
+	if _, err := RunWith(tcpScenario(), Options{Transport: "carrier-pigeon"}); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}

@@ -134,6 +134,12 @@ const (
 	// (≤ 0: down for the rest of the run). Sharded fleets recover from
 	// the WAL; unsharded fleets drop the edge's frames while dark.
 	KindEdgeCrash = "edge_crash"
+	// KindEdgeRetire gracefully drains Edge out of the fleet at At — the
+	// planned counterpart of a crash: its cameras (and, sharded, their
+	// logical shards, via the shard-map 2PC handoff) migrate to the
+	// remaining edges in index order, then the edge is permanently
+	// excluded from placement. No frame is dropped by a clean retirement.
+	KindEdgeRetire = "edge_retire"
 	// KindTwoPCCrash fail-stops Edge at the Round-th occurrence of the
 	// scripted 2PC Point. Needs durable partitions (sharded).
 	KindTwoPCCrash = "twopc_crash"
@@ -194,6 +200,8 @@ func (e Event) Label() string {
 		return "shift:" + e.Camera
 	case KindEdgeCrash:
 		return "crash:" + e.Edge
+	case KindEdgeRetire:
+		return "retire:" + e.Edge
 	case KindTwoPCCrash:
 		return "2pc-crash:" + e.Edge
 	case KindLinkFault:
@@ -348,6 +356,32 @@ func (s *Scenario) Validate() error {
 		}
 	}
 
+	// Retirements are permanent: later events may not target a retired
+	// edge, and at least one edge must outlive the timeline.
+	retireAt := map[string]Duration{}
+	for _, ev := range s.sortedTimeline() {
+		if ev.Do != KindEdgeRetire {
+			continue
+		}
+		if !edgeIdx[ev.Edge] {
+			return fmt.Errorf("scenario: edge_retire at %s references unknown edge %q", time.Duration(ev.At), ev.Edge)
+		}
+		if len(t.Edges) < 2 {
+			return fmt.Errorf("scenario: edge_retire at %s needs somewhere to drain to — the topology declares only one edge", time.Duration(ev.At))
+		}
+		if _, dup := retireAt[ev.Edge]; dup {
+			return fmt.Errorf("scenario: edge %q retired twice", ev.Edge)
+		}
+		retireAt[ev.Edge] = ev.At
+	}
+	if len(retireAt) > 0 && len(retireAt) >= len(t.Edges) {
+		return fmt.Errorf("scenario: the timeline retires every edge — at least one must remain to host the fleet")
+	}
+	retiredBy := func(edge string, at Duration) bool {
+		r, ok := retireAt[edge]
+		return ok && at >= r
+	}
+
 	camRef := func(ev Event, id string) error {
 		i, ok := camIdx[id]
 		if !ok {
@@ -374,6 +408,10 @@ func (s *Scenario) Validate() error {
 			if ev.Join == nil {
 				return fmt.Errorf("scenario: camera_join at %s needs a join camera", time.Duration(ev.At))
 			}
+			if ev.Join.Edge != "" && retiredBy(ev.Join.Edge, ev.At) {
+				return fmt.Errorf("scenario: camera %q joins at %s pinned to edge %q, which retires at %s",
+					ev.Join.ID, time.Duration(ev.At), ev.Join.Edge, time.Duration(retireAt[ev.Join.Edge]))
+			}
 		case KindCameraLeave:
 			if err := camRef(ev, ev.Camera); err != nil {
 				return err
@@ -384,6 +422,10 @@ func (s *Scenario) Validate() error {
 			}
 			if err := edgeRef(ev, ev.To); err != nil {
 				return err
+			}
+			if retiredBy(ev.To, ev.At) {
+				return fmt.Errorf("scenario: migrate_camera at %s targets edge %q, which retires at %s",
+					time.Duration(ev.At), ev.To, time.Duration(retireAt[ev.To]))
 			}
 		case KindWorkloadShift:
 			if ev.Camera != "" {
@@ -410,6 +452,8 @@ func (s *Scenario) Validate() error {
 			if err := edgeRef(ev, ev.Edge); err != nil {
 				return err
 			}
+		case KindEdgeRetire:
+			// Fully validated with the retirement rules above.
 		case KindTwoPCCrash:
 			if err := edgeRef(ev, ev.Edge); err != nil {
 				return err

@@ -13,12 +13,15 @@ import (
 
 // FrameResult collects the two responses for one submitted frame.
 type FrameResult struct {
-	FrameIndex     int
-	Initial        []detect.Detection
-	Final          []detect.Detection
-	SentToCloud    bool
-	Corrections    int
-	Apologies      []string
+	FrameIndex  int
+	Initial     []detect.Detection
+	Final       []detect.Detection
+	SentToCloud bool
+	Corrections int
+	Apologies   []string
+	// Shed reports that the cloud's admission control dropped this frame's
+	// validation; the final labels are the edge's own.
+	Shed           bool
 	InitialLatency time.Duration // submit → initial reply received
 	FinalLatency   time.Duration // submit → final reply received
 }
@@ -84,6 +87,7 @@ func (c *Client) readLoop() {
 			fr.Final = r.Labels
 			fr.Corrections = r.Corrections
 			fr.Apologies = r.Apologies
+			fr.Shed = r.Shed
 			fr.FinalLatency = time.Since(c.started[r.FrameIndex])
 			if ch, ok := c.done[r.FrameIndex]; ok {
 				close(ch)

@@ -1,9 +1,12 @@
-// Package tcpnet deploys the Croesus pipeline over real TCP: a cloud
-// server running the full model, an edge server running the compact model
-// plus the multi-stage transaction machinery, and a client that streams
-// frames. The node logic mirrors internal/core but against wall-clock time
-// and real sockets; TimeScale compresses the simulated inference latencies
-// so integration tests finish quickly.
+// Package tcpnet deploys the Croesus node logic over real TCP: a cloud
+// server running the full model behind the fleet's SLO-aware validation
+// batcher, edge servers running the shared fleet-node assembly (compact
+// model, store, locks, MS-IA/MS-SR transactions) through the one core
+// pipeline, and a client that streams frames. The node logic IS
+// internal/core and internal/node — the same code the simulated and
+// loopback-TCP fleets run — against wall-clock time and real sockets;
+// TimeScale compresses the modeled inference latencies so integration
+// tests finish quickly.
 package tcpnet
 
 import (
@@ -13,37 +16,89 @@ import (
 	"sync"
 	"time"
 
+	"croesus/internal/cluster"
+	"croesus/internal/core"
 	"croesus/internal/detect"
+	"croesus/internal/vclock"
 	"croesus/internal/wire"
 )
 
-// CloudServer serves detection requests with the full model.
-type CloudServer struct {
+// CloudConfig assembles a cloud server.
+type CloudConfig struct {
+	// Model is the full cloud model shared by every connected edge.
 	Model detect.Model
 	// TimeScale multiplies modeled inference latency before sleeping
 	// (1.0 = full fidelity; tests use ~0.01).
 	TimeScale float64
-	Logf      func(format string, args ...any)
+	// MaxBatch, SLO, MaxPending, Slots, and CloudSpeed configure the
+	// shared validation batcher (cluster.Batcher) that every edge's
+	// requests coalesce into — the same batched, shedding cloud the
+	// simulated fleet runs. Zero values take the fleet defaults
+	// (batch 8, 60ms SLO, 4×batch pending cap).
+	MaxBatch   int
+	SLO        time.Duration
+	MaxPending int
+	Slots      int
+	CloudSpeed float64
+}
+
+// CloudServer serves detection requests with the full model behind the
+// fleet's shared SLO-aware batcher: requests from every connected edge
+// coalesce into batches, flush on the size cap or the SLO deadline, and
+// under overload the lowest-confidence-margin requests are shed back to
+// their edges — Croesus' degradation mode over real sockets.
+type CloudServer struct {
+	Logf func(format string, args ...any)
+
+	cfg     CloudConfig
+	clk     vclock.Clock
+	batcher *cluster.Batcher
 
 	mu      sync.Mutex
 	ln      net.Listener
 	conns   map[net.Conn]struct{}
 	closed  bool
 	handled int64
+	shed    int64
 	wg      sync.WaitGroup
 }
 
-// NewCloudServer returns a server for the model.
+// NewCloudServer returns a server for the model with default batching.
 func NewCloudServer(model detect.Model, timeScale float64) *CloudServer {
-	if timeScale <= 0 {
-		timeScale = 1
+	s, err := NewCloudServerWith(CloudConfig{Model: model, TimeScale: timeScale})
+	if err != nil {
+		// Only reachable with a nil model; preserved panic-free signature
+		// for the default path.
+		panic(err)
+	}
+	return s
+}
+
+// NewCloudServerWith returns a server on the full configuration.
+func NewCloudServerWith(cfg CloudConfig) (*CloudServer, error) {
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1
+	}
+	clk := vclock.NewScaledReal(cfg.TimeScale)
+	batcher, err := cluster.NewBatcher(cluster.BatcherConfig{
+		Clock:      clk,
+		Model:      cfg.Model,
+		MaxBatch:   cfg.MaxBatch,
+		SLO:        cfg.SLO,
+		MaxPending: cfg.MaxPending,
+		Slots:      cfg.Slots,
+		CloudSpeed: cfg.CloudSpeed,
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &CloudServer{
-		Model:     model,
-		TimeScale: timeScale,
-		Logf:      func(string, ...any) {},
-		conns:     make(map[net.Conn]struct{}),
-	}
+		Logf:    func(string, ...any) {},
+		cfg:     cfg,
+		clk:     clk,
+		batcher: batcher,
+		conns:   make(map[net.Conn]struct{}),
+	}, nil
 }
 
 // Listen starts accepting on addr (e.g. ":9402" or "127.0.0.1:0") and
@@ -101,28 +156,29 @@ func (s *CloudServer) serve(conn net.Conn) {
 			return
 		case wire.KindCloudRequest:
 			req := env.CloudRequest
-			// Requests detect concurrently (the cloud machine has slots
-			// to spare); replies serialize on the encoder.
+			// Each request blocks in the shared batcher on its own
+			// goroutine until its batch completes (or admission control
+			// sheds it); replies serialize on the encoder.
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
 				start := time.Now()
-				res := s.Model.Detect(&req.Frame)
-				time.Sleep(time.Duration(float64(res.Latency) * s.TimeScale))
-				s.mu.Lock()
-				s.handled++
-				s.mu.Unlock()
+				res := s.batcher.Validate(core.ValidationRequest{Frame: &req.Frame, Margin: req.Margin})
+				resp := &wire.CloudResponse{FrameIndex: req.FrameIndex, DetectTime: time.Since(start)}
+				if res.Status == core.Validated {
+					resp.Labels = res.Cloud
+					s.mu.Lock()
+					s.handled++
+					s.mu.Unlock()
+				} else {
+					resp.Shed = true
+					s.mu.Lock()
+					s.shed++
+					s.mu.Unlock()
+				}
 				sendMu.Lock()
 				defer sendMu.Unlock()
-				err := wc.Send(&wire.Envelope{
-					Kind: wire.KindCloudResponse,
-					CloudResponse: &wire.CloudResponse{
-						FrameIndex: req.FrameIndex,
-						Labels:     res.Detections,
-						DetectTime: time.Since(start),
-					},
-				})
-				if err != nil {
+				if err := wc.Send(&wire.Envelope{Kind: wire.KindCloudResponse, CloudResponse: resp}); err != nil {
 					s.Logf("cloud: send response: %v", err)
 				}
 			}()
@@ -133,11 +189,25 @@ func (s *CloudServer) serve(conn net.Conn) {
 	}
 }
 
-// Handled reports how many frames the server has detected.
+// Handled reports how many frames the server has detected (shed requests
+// excluded — see Shed).
 func (s *CloudServer) Handled() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.handled
+}
+
+// Shed reports how many requests admission control dropped.
+func (s *CloudServer) Shed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shed
+}
+
+// BatcherStats snapshots the shared validation batcher's counters —
+// batches, mean/max batch size, shed count, flush waits.
+func (s *CloudServer) BatcherStats() cluster.BatcherStats {
+	return s.batcher.Stats()
 }
 
 // Close stops the listener and closes every connection.
@@ -159,7 +229,7 @@ func (s *CloudServer) Close() error {
 	return nil
 }
 
-// discardLogf is a helper for binaries that want stderr logging.
+// StdLogf returns a stderr logger for the deployment binaries.
 func StdLogf(prefix string) func(string, ...any) {
 	return func(format string, args ...any) {
 		log.Printf(prefix+": "+format, args...)

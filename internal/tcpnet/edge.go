@@ -8,10 +8,11 @@ import (
 
 	"croesus/internal/core"
 	"croesus/internal/detect"
-	"croesus/internal/lock"
-	"croesus/internal/store"
+	"croesus/internal/node"
+	"croesus/internal/transport"
 	"croesus/internal/txn"
 	"croesus/internal/vclock"
+	"croesus/internal/video"
 	"croesus/internal/wire"
 )
 
@@ -19,36 +20,52 @@ import (
 type EdgeConfig struct {
 	EdgeModel detect.Model
 	CloudAddr string // cloud server address; empty disables validation
+	// TimeScale compresses modeled inference latencies (1.0 = full
+	// fidelity; tests use ~0.01). The server runs on a scaled wall clock,
+	// so the one pipeline implementation drives it unchanged.
 	TimeScale float64
 	// Thresholds for bandwidth thresholding (§3.4).
 	ThetaL, ThetaU float64
 	MinConfidence  float64
 	OverlapMin     float64
+	// Protocol selects the multi-stage protocol: node.MSIA (default) or
+	// node.MSSR — the same selection a fleet edge makes.
+	Protocol node.Protocol
+	// Slots bounds concurrent edge inferences across every connected
+	// client (default 4) — the server's compute pool.
+	Slots int
 	// Source supplies the per-detection transactions; nil runs the
 	// detection pipeline without a database.
 	Source core.TxnSource
 	Logf   func(format string, args ...any)
 }
 
-// EdgeServer is the edge node of the real deployment: compact model,
-// datastore, lock manager, MS-IA transaction processing, and the cloud
-// validation path.
+// EdgeServer is the edge node of the real multi-process deployment. It is
+// assembled from the same pieces as a fleet edge: the shared node
+// assembly (store, locks, transaction manager, MS-IA or MS-SR concurrency
+// control) and the core pipeline — the one Figure-1 execution — driven
+// per frame over real sockets. The client socket replaces the modeled
+// client→edge path and a cloud connection replaces the modeled uplink
+// (both transport.Null in the pipeline, so nothing is double-charged);
+// the cloud side is the batched, shedding validator, so overload degrades
+// to edge answers exactly as in the simulated fleet.
 type EdgeServer struct {
-	cfg EdgeConfig
-	clk vclock.Clock
-	mgr *txn.Manager
-	cc  txn.CC
+	cfg     EdgeConfig
+	clk     vclock.Clock
+	asm     *node.Assembly
+	compute *vclock.Semaphore
 
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
 	closed bool
 	served int64
+	shed   int64
 	wg     sync.WaitGroup
 }
 
-// NewEdgeServer builds an edge server; the store and lock manager are
-// created internally on a real clock.
+// NewEdgeServer builds an edge server; the data stack is the shared
+// fleet-node assembly on a scaled wall clock.
 func NewEdgeServer(cfg EdgeConfig) (*EdgeServer, error) {
 	if cfg.EdgeModel == nil {
 		return nil, fmt.Errorf("tcpnet: EdgeModel is required")
@@ -62,23 +79,24 @@ func NewEdgeServer(cfg EdgeConfig) (*EdgeServer, error) {
 	if cfg.OverlapMin == 0 {
 		cfg.OverlapMin = 0.10
 	}
+	if cfg.Slots == 0 {
+		cfg.Slots = 4
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	clk := vclock.NewReal()
-	st := store.New()
-	mgr := txn.NewManager(clk, st, lock.NewManager(clk))
+	clk := vclock.NewScaledReal(cfg.TimeScale)
 	return &EdgeServer{
-		cfg:   cfg,
-		clk:   clk,
-		mgr:   mgr,
-		cc:    &txn.MSIA{M: mgr},
-		conns: make(map[net.Conn]struct{}),
+		cfg:     cfg,
+		clk:     clk,
+		asm:     node.New(clk, cfg.Protocol),
+		compute: vclock.NewSemaphore(clk, cfg.Slots),
+		conns:   make(map[net.Conn]struct{}),
 	}, nil
 }
 
 // Manager exposes the transaction manager (for inspection in tests).
-func (s *EdgeServer) Manager() *txn.Manager { return s.mgr }
+func (s *EdgeServer) Manager() *txn.Manager { return s.asm.Mgr }
 
 // Listen starts accepting client connections and returns the bound address.
 func (s *EdgeServer) Listen(addr string) (string, error) {
@@ -165,7 +183,7 @@ func (cs *cloudSession) readLoop() {
 	}
 }
 
-// validate sends the frame for cloud detection and waits for the labels.
+// validate sends the frame for cloud detection and waits for the reply.
 func (cs *cloudSession) validate(req *wire.CloudRequest) (*wire.CloudResponse, error) {
 	ch := make(chan *wire.CloudResponse, 1)
 	cs.mu.Lock()
@@ -196,6 +214,22 @@ func (cs *cloudSession) close() {
 	cs.conn.Close()
 }
 
+// session is one client connection: its own pipeline instance (bound to
+// the server's shared assembly and compute pool) plus the reply plumbing.
+// It implements core.Validator over the cloud connection, so the pipeline's
+// validation step is a real socket round trip.
+type session struct {
+	srv    *EdgeServer
+	wc     *wire.Conn
+	sendMu sync.Mutex
+	cloud  *cloudSession
+	pipe   *core.Pipeline
+
+	mu      sync.Mutex
+	started map[int]time.Time
+	padding map[int][]byte
+}
+
 func (s *EdgeServer) serveClient(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -204,24 +238,32 @@ func (s *EdgeServer) serveClient(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	wc := wire.NewConn(conn)
-	var sendMu sync.Mutex
-
-	var cloud *cloudSession
+	sess := &session{
+		srv:     s,
+		wc:      wire.NewConn(conn),
+		started: make(map[int]time.Time),
+		padding: make(map[int][]byte),
+	}
 	if s.cfg.CloudAddr != "" {
-		var err error
-		cloud, err = dialCloud(s.cfg.CloudAddr)
+		cloud, err := dialCloud(s.cfg.CloudAddr)
 		if err != nil {
 			s.cfg.Logf("edge: dial cloud %s: %v", s.cfg.CloudAddr, err)
 			return
 		}
+		sess.cloud = cloud
 		defer cloud.close()
 	}
+	pipe, err := s.buildPipeline(sess)
+	if err != nil {
+		s.cfg.Logf("edge: pipeline: %v", err)
+		return
+	}
+	sess.pipe = pipe
 
 	var frameWG sync.WaitGroup
 	defer frameWG.Wait()
 	for {
-		env, err := wc.Recv()
+		env, err := sess.wc.Recv()
 		if err != nil {
 			return
 		}
@@ -233,7 +275,7 @@ func (s *EdgeServer) serveClient(conn net.Conn) {
 			frameWG.Add(1)
 			go func() {
 				defer frameWG.Done()
-				s.handleFrame(f, cloud, wc, &sendMu)
+				sess.handleFrame(f)
 			}()
 		default:
 			s.cfg.Logf("edge: unexpected kind %q", env.Kind)
@@ -242,148 +284,134 @@ func (s *EdgeServer) serveClient(conn net.Conn) {
 	}
 }
 
-// handleFrame is the Figure 1 execution pattern over real sockets.
-func (s *EdgeServer) handleFrame(f *wire.Frame, cloud *cloudSession, wc *wire.Conn, sendMu *sync.Mutex) {
-	start := time.Now()
-	res := s.cfg.EdgeModel.Detect(&f.Frame)
-	time.Sleep(time.Duration(float64(res.Latency) * s.cfg.TimeScale))
-
-	// Input processing: confidence filter + thresholding.
-	var visible []detect.Detection
-	validate := false
-	for _, d := range res.Detections {
-		if d.Confidence < s.cfg.MinConfidence || d.Confidence < s.cfg.ThetaL {
-			continue
-		}
-		if d.Confidence <= s.cfg.ThetaU {
-			validate = true
-		}
-		visible = append(visible, d)
+// buildPipeline assembles the shared Figure-1 pipeline for one client
+// connection. The network paths are transport.Null: the client socket
+// already delivered the frame and the cloud socket carries validation
+// traffic, so the pipeline must not charge modeled links on top.
+func (s *EdgeServer) buildPipeline(sess *session) (*core.Pipeline, error) {
+	cfg := core.Config{
+		Clock:         s.clk,
+		Mode:          core.ModeCroesus,
+		EdgeModel:     s.cfg.EdgeModel,
+		EdgeCompute:   s.compute,
+		ClientEdge:    transport.Null{},
+		EdgeCloud:     transport.Null{},
+		MinConfidence: s.cfg.MinConfidence,
+		ThetaL:        s.cfg.ThetaL,
+		ThetaU:        s.cfg.ThetaU,
+		OverlapMin:    s.cfg.OverlapMin,
+		Validator:     sess,
+		OnInitial:     sess.onInitial,
 	}
-
-	// Initial sections.
-	type pending struct {
-		inst    *txn.Instance
-		edgeIdx int
-		trigger detect.Detection
-	}
-	var pend []pending
-	aborted := 0
 	if s.cfg.Source != nil {
-		for i, d := range visible {
-			t := s.cfg.Source.TxnFor(f.Frame.Index, d)
-			if t == nil {
-				continue
-			}
-			inst := s.mgr.NewInstance(t, core.InitialInput{FrameIndex: f.Frame.Index, Trigger: d, Labels: visible})
-			if err := s.cc.RunInitial(inst); err != nil {
-				aborted++
-				continue
-			}
-			pend = append(pend, pending{inst: inst, edgeIdx: i, trigger: d})
-		}
+		cfg.Source = s.cfg.Source
+		cfg.CC = s.asm.CC
+		cfg.Mgr = s.asm.Mgr
 	}
+	return core.New(cfg)
+}
 
-	validate = validate && cloud != nil
-	sendMu.Lock()
-	err := wc.Send(&wire.Envelope{Kind: wire.KindInitialReply, InitialReply: &wire.InitialReply{
-		FrameIndex:  f.Frame.Index,
-		Labels:      visible,
-		Triggered:   len(pend),
-		Aborted:     aborted,
-		SentToCloud: validate,
-		EdgeElapsed: time.Since(start),
-	}})
-	sendMu.Unlock()
-	if err != nil {
-		s.cfg.Logf("edge: send initial reply: %v", err)
-		return
-	}
+// handleFrame runs one frame through the pipeline. The initial reply is
+// sent by the OnInitial hook at the initial commit; the final reply here.
+func (ss *session) handleFrame(f *wire.Frame) {
+	frame := f.Frame
+	ss.mu.Lock()
+	ss.started[frame.Index] = time.Now()
+	ss.padding[frame.Index] = f.Padding
+	ss.mu.Unlock()
 
-	finalLabels := visible
-	matches := make([]core.LabelMatch, 0)
-	if validate {
-		resp, err := cloud.validate(&wire.CloudRequest{FrameIndex: f.Frame.Index, Frame: f.Frame, Padding: f.Padding})
-		if err != nil {
-			s.cfg.Logf("edge: cloud validation failed, finalizing locally: %v", err)
-			matches = assumed(len(visible))
-		} else {
-			matches = core.MatchLabels(visible, resp.Labels, s.cfg.OverlapMin)
-			finalLabels = resp.Labels
-		}
-	} else {
-		matches = assumed(len(visible))
-	}
+	out := ss.pipe.ProcessFrame(&frame)
 
-	// Final sections.
-	corrections := 0
-	var apologies []string
-	byEdge := map[int]core.LabelMatch{}
-	for _, m := range matches {
-		if m.EdgeIdx >= 0 {
-			byEdge[m.EdgeIdx] = m
-		}
-	}
-	for _, p := range pend {
-		m, ok := byEdge[p.edgeIdx]
-		if !ok {
-			m = core.LabelMatch{Case: core.MatchAssumed, EdgeIdx: p.edgeIdx}
-		}
-		fin := core.FinalInput{FrameIndex: f.Frame.Index, Case: m.Case, Edge: p.trigger, Cloud: m.Cloud}
-		if fin.Corrected() {
-			corrections++
-		}
-		p.inst.FinalIn = fin
-		if err := s.cc.RunFinal(p.inst); err != nil && err != txn.ErrRetracted {
-			s.cfg.Logf("edge: final section: %v", err)
-		}
-		for _, a := range p.inst.Apologies() {
-			apologies = append(apologies, a.Reason)
-		}
-	}
-	for _, m := range matches {
-		if m.Case != core.MatchNew || s.cfg.Source == nil {
-			continue
-		}
-		t := s.cfg.Source.TxnFor(f.Frame.Index, m.Cloud)
-		if t == nil {
-			continue
-		}
-		inst := s.mgr.NewInstance(t, core.InitialInput{FrameIndex: f.Frame.Index, Trigger: m.Cloud})
-		if err := s.cc.RunInitial(inst); err != nil {
-			continue
-		}
-		corrections++
-		inst.FinalIn = core.FinalInput{FrameIndex: f.Frame.Index, Case: core.MatchNew, Cloud: m.Cloud}
-		if err := s.cc.RunFinal(inst); err != nil && err != txn.ErrRetracted {
-			s.cfg.Logf("edge: final section (new label): %v", err)
-		}
-	}
+	ss.mu.Lock()
+	start := ss.started[frame.Index]
+	delete(ss.started, frame.Index)
+	delete(ss.padding, frame.Index)
+	ss.mu.Unlock()
 
-	s.mu.Lock()
-	s.served++
-	s.mu.Unlock()
-
-	sendMu.Lock()
-	err = wc.Send(&wire.Envelope{Kind: wire.KindFinalReply, FinalReply: &wire.FinalReply{
-		FrameIndex:  f.Frame.Index,
-		Labels:      finalLabels,
-		Corrections: corrections,
+	apologies := make([]string, 0, len(out.Apologies))
+	for _, a := range out.Apologies {
+		apologies = append(apologies, a.Reason)
+	}
+	if err := ss.send(&wire.Envelope{Kind: wire.KindFinalReply, FinalReply: &wire.FinalReply{
+		FrameIndex:  frame.Index,
+		Labels:      out.FinalVisible,
+		Corrections: out.Corrections,
 		Apologies:   apologies,
+		Shed:        out.Shed,
 		EdgeElapsed: time.Since(start),
-	}})
-	sendMu.Unlock()
-	if err != nil {
-		s.cfg.Logf("edge: send final reply: %v", err)
+	}}); err != nil {
+		ss.srv.cfg.Logf("edge: send final reply: %v", err)
+	}
+
+	ss.srv.mu.Lock()
+	ss.srv.served++
+	if out.Shed {
+		ss.srv.shed++
+	}
+	ss.srv.mu.Unlock()
+}
+
+// onInitial is the pipeline's initial-commit hook: the initial reply
+// leaves for the client the moment the initial sections commit, before any
+// cloud round trip — the paper's low-latency answer.
+func (ss *session) onInitial(f *video.Frame, out *core.FrameOutcome) {
+	ss.mu.Lock()
+	start := ss.started[f.Index]
+	ss.mu.Unlock()
+	if err := ss.send(&wire.Envelope{Kind: wire.KindInitialReply, InitialReply: &wire.InitialReply{
+		FrameIndex:  f.Index,
+		Labels:      out.InitialVisible,
+		Triggered:   out.TxnsTriggered,
+		Aborted:     out.InitialAborts,
+		SentToCloud: out.SentToCloud && ss.cloud != nil,
+		EdgeElapsed: time.Since(start),
+	}}); err != nil {
+		ss.srv.cfg.Logf("edge: send initial reply: %v", err)
 	}
 }
 
-func assumed(n int) []core.LabelMatch {
-	out := make([]core.LabelMatch, n)
-	for i := range out {
-		out[i] = core.LabelMatch{Case: core.MatchAssumed, EdgeIdx: i}
+// Validate implements core.Validator over the real cloud connection: the
+// frame crosses the socket, the cloud's shared batcher detects (or sheds)
+// it, and the labels come back. No cloud configured — or a lost
+// connection — finalizes locally, immediately: availability over
+// freshness, with the initial commit already answered.
+func (ss *session) Validate(req core.ValidationRequest) core.ValidationResult {
+	if ss.cloud == nil {
+		return core.ValidationResult{Status: core.ValidationLost}
 	}
-	return out
+	ss.mu.Lock()
+	pad := ss.padding[req.Frame.Index]
+	ss.mu.Unlock()
+	start := time.Now()
+	resp, err := ss.cloud.validate(&wire.CloudRequest{
+		FrameIndex: req.Frame.Index,
+		Frame:      *req.Frame,
+		Padding:    pad,
+		Margin:     req.Margin,
+	})
+	if err != nil {
+		ss.srv.cfg.Logf("edge: cloud validation failed, finalizing locally: %v", err)
+		return core.ValidationResult{Status: core.ValidationLost}
+	}
+	if resp.Shed {
+		return core.ValidationResult{Status: core.ValidationShed, EdgeCloud: time.Since(start)}
+	}
+	ret := time.Since(start) - resp.DetectTime
+	if ret < 0 {
+		ret = 0
+	}
+	return core.ValidationResult{
+		Status:      core.Validated,
+		Cloud:       resp.Labels,
+		CloudDetect: resp.DetectTime,
+		CloudReturn: ret,
+	}
+}
+
+func (ss *session) send(env *wire.Envelope) error {
+	ss.sendMu.Lock()
+	defer ss.sendMu.Unlock()
+	return ss.wc.Send(env)
 }
 
 // Served reports how many frames have completed their final commit.
@@ -391,6 +419,14 @@ func (s *EdgeServer) Served() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.served
+}
+
+// Shed reports how many of the served frames lost their validation to the
+// cloud's admission control and finalized with the edge answer.
+func (s *EdgeServer) Shed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shed
 }
 
 // Close stops the listener and all connections.

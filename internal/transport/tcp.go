@@ -1,0 +1,440 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"croesus/internal/vclock"
+	"croesus/internal/wire"
+)
+
+// ackTimeout bounds how long a send waits for its delivery acknowledgement.
+// The switch is in-process, so the bound only matters if something is badly
+// wedged; a timed-out message counts as dropped instead of hanging a run.
+const ackTimeout = 30 * time.Second
+
+// TCP is the real transport: one in-process loopback "switch" listener,
+// one TCP connection per fleet path, and every modeled hop shipped as a
+// wire.Payload envelope whose padding carries the modeled byte count. A
+// send blocks until the switch acknowledges the fully-received message, so
+// path traffic pays the real socket cost. Faults act at the transport:
+// SetDown tears the path's connection down and blackholes messages until
+// the path heals (a lazy redial); SetEdgeDown severs every path touching
+// an edge the same way.
+//
+// TCP runs the fleet over real sockets inside one process — the
+// single-binary deployment croesus-cluster -transport tcp exercises. The
+// genuinely multi-process deployment (croesus-edge / croesus-cloud /
+// croesus-client) shares the same node logic via internal/tcpnet.
+type TCP struct {
+	mu     sync.Mutex
+	ln     net.Listener
+	addr   string
+	closed bool
+	wg     sync.WaitGroup
+
+	clientEdge []*tcpPath
+	edgeCloud  []*tcpPath
+	peers      [][]*tcpPath
+	all        []*tcpPath
+}
+
+// NewTCP returns an unprovisioned TCP transport.
+func NewTCP() *TCP { return &TCP{} }
+
+// Name returns "tcp".
+func (t *TCP) Name() string { return "tcp" }
+
+// Provision starts the loopback switch and creates the fleet's paths.
+func (t *TCP) Provision(edges []EdgeProfile) error {
+	if len(edges) == 0 {
+		return fmt.Errorf("transport: no edges to provision")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("transport: loopback switch: %w", err)
+	}
+	t.mu.Lock()
+	t.ln = ln
+	t.addr = ln.Addr().String()
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go t.acceptLoop(ln)
+
+	n := len(edges)
+	t.clientEdge = make([]*tcpPath, n)
+	t.edgeCloud = make([]*tcpPath, n)
+	t.peers = make([][]*tcpPath, n)
+	mk := func(name string) *tcpPath {
+		p := &tcpPath{name: name, tr: t, pending: make(map[uint64]*ackWaiter)}
+		t.all = append(t.all, p)
+		return p
+	}
+	for i, e := range edges {
+		t.clientEdge[i] = mk("client-" + e.ID)
+		t.edgeCloud[i] = mk(e.ID + "-cloud")
+		t.peers[i] = make([]*tcpPath, n)
+		for j := range edges {
+			if j != i {
+				t.peers[i][j] = mk(e.ID + "-" + edges[j].ID)
+			}
+		}
+	}
+	return nil
+}
+
+// acceptLoop serves switch connections: each Payload is acknowledged once
+// fully received, which is what makes a Send a real round trip.
+func (t *TCP) acceptLoop(ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		t.wg.Add(1)
+		go t.serve(conn)
+	}
+}
+
+func (t *TCP) serve(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	wc := wire.NewConn(conn)
+	for {
+		env, err := wc.Recv()
+		if err != nil {
+			return
+		}
+		switch env.Kind {
+		case wire.KindPayload:
+			if err := wc.Send(&wire.Envelope{Kind: wire.KindAck, Ack: &wire.Ack{Seq: env.Payload.Seq}}); err != nil {
+				return
+			}
+		case wire.KindBye:
+			return
+		default:
+			return
+		}
+	}
+}
+
+// ClientEdge returns edge i's client→edge path.
+func (t *TCP) ClientEdge(i int) Path { return t.clientEdge[i] }
+
+// EdgeCloud returns edge i's cloud uplink path.
+func (t *TCP) EdgeCloud(i int) Path { return t.edgeCloud[i] }
+
+// Peer returns edge from's one-way path to edge to (nil on the diagonal).
+func (t *TCP) Peer(from, to int) Path {
+	if p := t.peers[from][to]; p != nil {
+		return p
+	}
+	return nil
+}
+
+// SetEdgeDown severs (or restores) every path touching edge i: its client
+// path, its cloud uplink, and both directions of every peer pair — the
+// network face of an edge crash, implemented as connection teardown.
+func (t *TCP) SetEdgeDown(i int, down bool) {
+	t.clientEdge[i].setEdgeDown(down)
+	t.edgeCloud[i].setEdgeDown(down)
+	for j := range t.peers {
+		if p := t.peers[i][j]; p != nil {
+			p.setEdgeDown(down)
+		}
+		if p := t.peers[j][i]; p != nil {
+			p.setEdgeDown(down)
+		}
+	}
+}
+
+// Stats aggregates every path's delivery and fault counters.
+func (t *TCP) Stats() Stats {
+	var st Stats
+	for _, p := range t.all {
+		p.mu.Lock()
+		st.Bytes += p.bytes
+		st.Messages += p.messages
+		st.Drops += p.drops
+		st.Severs += p.severs
+		p.mu.Unlock()
+	}
+	return st
+}
+
+// Close shuts the switch down, closes every path connection, and waits for
+// the switch goroutines to drain. Idempotent.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	ln := t.ln
+	t.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, p := range t.all {
+		p.teardown(nil)
+	}
+	t.wg.Wait()
+	return nil
+}
+
+func (t *TCP) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+func (t *TCP) switchAddr() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.addr
+}
+
+// ackWaiter is one in-flight message awaiting its switch acknowledgement.
+type ackWaiter struct {
+	ch   chan struct{}
+	ok   bool // set before ch closes when the ack arrived
+	on   *wire.Conn
+	once sync.Once
+}
+
+func (w *ackWaiter) release(ok bool) {
+	w.once.Do(func() {
+		w.ok = ok
+		close(w.ch)
+	})
+}
+
+// tcpPath is one directed fleet path over its own switch connection,
+// dialed lazily and torn down by faults. linkDown (SetDown — a link fault)
+// and edgeDown (SetEdgeDown — a crashed endpoint) sever independently, so
+// an edge restart cannot accidentally heal an overlapping link fault.
+type tcpPath struct {
+	name string
+	tr   *TCP
+
+	sendMu sync.Mutex // serializes envelope writes on the connection
+
+	mu       sync.Mutex
+	conn     *wire.Conn
+	raw      net.Conn
+	pending  map[uint64]*ackWaiter
+	seq      uint64
+	linkDown bool
+	edgeDown bool
+	bytes    int64
+	messages int64
+	drops    int64
+	severs   int64
+}
+
+// Send implements Path: the real socket round trip is the transfer time.
+func (p *tcpPath) Send(_ vclock.Clock, n int) { p.carry(n) }
+
+// Charge implements Path: TCP delivers synchronously, so the caller has
+// nothing left to sleep for.
+func (p *tcpPath) Charge(n int) time.Duration {
+	p.carry(n)
+	return 0
+}
+
+// TransferTime implements Path (no modeled time on a real socket).
+func (p *tcpPath) TransferTime(int) time.Duration { return 0 }
+
+// SetDown implements Path: severing tears the connection down (a link
+// fault made visible at the transport); healing lets the next send redial.
+func (p *tcpPath) SetDown(down bool) { p.sever(down, false) }
+
+func (p *tcpPath) setEdgeDown(down bool) { p.sever(down, true) }
+
+func (p *tcpPath) sever(down, edge bool) {
+	p.mu.Lock()
+	wasDown := p.linkDown || p.edgeDown
+	if edge {
+		p.edgeDown = down
+	} else {
+		p.linkDown = down
+	}
+	nowDown := p.linkDown || p.edgeDown
+	if nowDown && !wasDown {
+		p.severs++
+	}
+	var raw net.Conn
+	if nowDown {
+		raw, p.raw, p.conn = p.raw, nil, nil
+	}
+	p.mu.Unlock()
+	if raw != nil {
+		raw.Close() // teardown: the read loop drains in-flight waiters as drops
+	}
+}
+
+// IsDown implements Path.
+func (p *tcpPath) IsDown() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.linkDown || p.edgeDown
+}
+
+// Traffic implements Path.
+func (p *tcpPath) Traffic() (int64, int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bytes, p.messages
+}
+
+// drop counts one lost message.
+func (p *tcpPath) drop() {
+	p.mu.Lock()
+	p.drops++
+	p.mu.Unlock()
+}
+
+// carry ships one n-byte message and waits for the switch's ack. It
+// reports whether the message was delivered; a severed, closed, or
+// mid-teardown path loses the message (counted in drops).
+func (p *tcpPath) carry(n int) bool {
+	if p.tr.isClosed() {
+		p.drop()
+		return false
+	}
+	p.mu.Lock()
+	if p.linkDown || p.edgeDown {
+		p.mu.Unlock()
+		p.drop()
+		return false
+	}
+	conn := p.conn
+	p.mu.Unlock()
+	if conn == nil {
+		if conn = p.dial(); conn == nil {
+			p.drop()
+			return false
+		}
+	}
+
+	w := &ackWaiter{ch: make(chan struct{}), on: conn}
+	p.mu.Lock()
+	p.seq++
+	seq := p.seq
+	p.pending[seq] = w
+	p.mu.Unlock()
+
+	if n < 0 {
+		n = 0
+	}
+	env := &wire.Envelope{Kind: wire.KindPayload, Payload: &wire.Payload{Path: p.name, Seq: seq, Padding: make([]byte, n)}}
+	p.sendMu.Lock()
+	err := conn.Send(env)
+	p.sendMu.Unlock()
+	if err != nil {
+		p.mu.Lock()
+		delete(p.pending, seq)
+		p.mu.Unlock()
+		p.teardown(conn)
+		p.drop()
+		return false
+	}
+
+	select {
+	case <-w.ch:
+	case <-time.After(ackTimeout):
+		p.mu.Lock()
+		delete(p.pending, seq)
+		p.mu.Unlock()
+		p.drop()
+		return false
+	}
+	if !w.ok {
+		p.drop()
+		return false
+	}
+	p.mu.Lock()
+	p.bytes += int64(n)
+	p.messages++
+	p.mu.Unlock()
+	return true
+}
+
+// dial connects the path to the switch and starts its ack reader. Returns
+// nil if the path went down (or the transport closed) while dialing.
+func (p *tcpPath) dial() *wire.Conn {
+	raw, err := net.DialTimeout("tcp", p.tr.switchAddr(), 2*time.Second)
+	if err != nil {
+		return nil
+	}
+	wc := wire.NewConn(raw)
+	p.mu.Lock()
+	// Lock order is p.mu → tr.mu here; nothing takes p.mu under tr.mu.
+	if p.linkDown || p.edgeDown || p.tr.isClosed() {
+		p.mu.Unlock()
+		raw.Close()
+		return nil
+	}
+	if p.conn != nil { // a concurrent dialer won
+		existing := p.conn
+		p.mu.Unlock()
+		raw.Close()
+		return existing
+	}
+	p.conn, p.raw = wc, raw
+	p.mu.Unlock()
+	go p.readLoop(wc)
+	return wc
+}
+
+// readLoop matches switch acks to waiting sends. On connection error the
+// path's in-flight messages on this connection are drained as lost.
+func (p *tcpPath) readLoop(wc *wire.Conn) {
+	for {
+		env, err := wc.Recv()
+		if err != nil {
+			p.mu.Lock()
+			if p.conn == wc {
+				p.conn, p.raw = nil, nil
+			}
+			for seq, w := range p.pending {
+				if w.on == wc {
+					delete(p.pending, seq)
+					w.release(false)
+				}
+			}
+			p.mu.Unlock()
+			return
+		}
+		if env.Kind != wire.KindAck {
+			continue
+		}
+		p.mu.Lock()
+		w, ok := p.pending[env.Ack.Seq]
+		if ok {
+			delete(p.pending, env.Ack.Seq)
+		}
+		p.mu.Unlock()
+		if ok {
+			w.release(true)
+		}
+	}
+}
+
+// teardown closes the given connection if it is still the path's current
+// one (nil closes whatever is current).
+func (p *tcpPath) teardown(wc *wire.Conn) {
+	p.mu.Lock()
+	var raw net.Conn
+	if wc == nil || p.conn == wc {
+		raw, p.raw, p.conn = p.raw, nil, nil
+	}
+	p.mu.Unlock()
+	if raw != nil {
+		raw.Close()
+	}
+}

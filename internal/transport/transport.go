@@ -1,0 +1,132 @@
+// Package transport is the network seam between the fleet runtime and its
+// deployment. The cluster runtime (internal/cluster, driven by
+// internal/scenario) speaks to the network only through the Path and
+// Transport interfaces defined here: every client→edge frame delivery,
+// every edge→cloud validation transfer, and every inter-edge 2PC message
+// crosses a Path, and every fault that the network can express — a severed
+// link, a dark edge — is applied through the Transport.
+//
+// Two implementations ship:
+//
+//   - Sim wraps the netsim links of the simulated deployment. Paths charge
+//     modeled propagation + bandwidth time on the fleet's virtual clock,
+//     exactly as the fleet always has — a scenario replay over Sim is
+//     byte-identical to the pre-seam runtime.
+//   - TCP ships every path's traffic as real bytes over loopback TCP
+//     connections framed with wire.Envelope (KindPayload/KindAck). Faults
+//     act at the transport: severing a path tears its connection down and
+//     blackholes messages until healed.
+//
+// One fleet runtime, two transports: the same scenario JSON runs on either.
+package transport
+
+import (
+	"time"
+
+	"croesus/internal/netsim"
+	"croesus/internal/vclock"
+)
+
+// Path is one directed network path of the fleet (client→edge, edge→cloud,
+// or edge→edge peer). *netsim.Link implements it natively; the TCP
+// transport implements it over a real socket. Implementations must be safe
+// for concurrent use — frames overlap.
+type Path interface {
+	// Send carries an n-byte message across the path, blocking the caller
+	// in clock time until delivery (modeled transfer time on sim, the real
+	// socket round trip on TCP). A message sent while the path is severed
+	// is lost; callers that need to know check IsDown.
+	Send(clk vclock.Clock, n int)
+	// Charge accounts an n-byte message and returns the time the caller
+	// should sleep for it — the modeled transfer time on sim (callers
+	// fanning a round out in parallel charge every path and sleep once for
+	// the maximum), zero on TCP, where Charge delivers synchronously.
+	Charge(n int) time.Duration
+	// TransferTime returns the modeled one-way transfer time for n bytes
+	// without sending anything (zero on TCP).
+	TransferTime(n int) time.Duration
+	// SetDown severs (true) or heals (false) the path. On TCP this tears
+	// the underlying connection down; messages are blackholed until healed.
+	SetDown(down bool)
+	// IsDown reports whether the path is currently severed.
+	IsDown() bool
+	// Traffic reports cumulative delivered bytes and message count.
+	Traffic() (bytes, messages int64)
+}
+
+// *netsim.Link is the simulated Path.
+var _ Path = (*netsim.Link)(nil)
+
+// EdgeProfile is what a Transport needs to know about one edge to
+// provision its paths.
+type EdgeProfile struct {
+	// ID names the edge's paths.
+	ID string
+	// SameSite co-locates the edge with the cloud (short modeled uplink on
+	// sim; no effect on TCP, where the loopback is the loopback).
+	SameSite bool
+}
+
+// Stats summarizes a transport's lifetime activity.
+type Stats struct {
+	// Bytes and Messages count traffic delivered across all paths.
+	Bytes, Messages int64
+	// Drops counts messages lost because their path was severed (or its
+	// connection died mid-flight) — TCP only; the sim models loss above
+	// the transport.
+	Drops int64
+	// Severs counts path teardown transitions (SetDown(true) and
+	// SetEdgeDown edges going dark).
+	Severs int64
+}
+
+// Transport provisions and owns every network path of one fleet: a
+// client→edge and an edge→cloud path per edge, plus the full inter-edge
+// peer mesh. Provision is called exactly once, before any path is used.
+type Transport interface {
+	// Name identifies the transport in reports: "sim" or "tcp".
+	Name() string
+	// Provision builds the paths for a fleet of the given edges.
+	Provision(edges []EdgeProfile) error
+	// ClientEdge returns the client→edge path of edge i.
+	ClientEdge(i int) Path
+	// EdgeCloud returns the edge→cloud path of edge i.
+	EdgeCloud(i int) Path
+	// Peer returns edge from's one-way path to edge to, or nil when
+	// from == to (a partition's home needs no hop).
+	Peer(from, to int) Path
+	// SetEdgeDown severs (true) or restores (false) every path touching
+	// edge i — what an edge crash looks like from the network. On TCP this
+	// tears the edge's connections down; the sim is a no-op, because the
+	// simulated fleet models crashes above the network (dropped frames,
+	// fault-injector epochs) and its links must stay byte-identical.
+	SetEdgeDown(i int, down bool)
+	// Stats reports lifetime traffic and fault activity.
+	Stats() Stats
+	// Close releases the transport's resources (listeners, connections).
+	// Paths must not be used after Close.
+	Close() error
+}
+
+// Null is a zero-cost Path for hops some outer layer already paid for: the
+// real TCP deployment's per-node pipeline uses it where the node's own
+// socket carried the bytes, so nothing is double-charged.
+type Null struct{}
+
+// Send is a no-op.
+func (Null) Send(vclock.Clock, int) {}
+
+// Charge reports zero cost.
+func (Null) Charge(int) time.Duration { return 0 }
+
+// TransferTime reports zero cost.
+func (Null) TransferTime(int) time.Duration { return 0 }
+
+// SetDown is a no-op: a Null path cannot be severed.
+func (Null) SetDown(bool) {}
+
+// IsDown reports false.
+func (Null) IsDown() bool { return false }
+
+// Traffic reports nothing: the outer layer accounts the real bytes.
+func (Null) Traffic() (int64, int64) { return 0, 0 }

@@ -1,0 +1,196 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"croesus/internal/vclock"
+)
+
+func profiles(n int) []EdgeProfile {
+	out := make([]EdgeProfile, n)
+	names := []string{"a", "b", "c", "d"}
+	for i := range out {
+		out[i] = EdgeProfile{ID: names[i%len(names)]}
+	}
+	return out
+}
+
+// TestSimMatchesNetsimTopology pins the Sim transport to the standard
+// fleet links: client paths are short, cloud uplinks long (unless
+// same-site), and the peer mesh has no diagonal.
+func TestSimMatchesNetsimTopology(t *testing.T) {
+	s := NewSim()
+	if err := s.Provision([]EdgeProfile{{ID: "west"}, {ID: "east", SameSite: true}}); err != nil {
+		t.Fatal(err)
+	}
+	n := 32 << 10
+	if ce, ec := s.ClientEdge(0).TransferTime(n), s.EdgeCloud(0).TransferTime(n); ce >= ec {
+		t.Errorf("client-edge %v not shorter than cross-country uplink %v", ce, ec)
+	}
+	if far, near := s.EdgeCloud(0).TransferTime(n), s.EdgeCloud(1).TransferTime(n); near >= far {
+		t.Errorf("same-site uplink %v not shorter than cross-country %v", near, far)
+	}
+	if s.Peer(0, 0) != nil || s.Peer(1, 1) != nil {
+		t.Error("peer mesh has a diagonal")
+	}
+	if s.Peer(0, 1) == nil || s.Peer(1, 0) == nil {
+		t.Error("peer mesh missing an off-diagonal path")
+	}
+
+	clk := vclock.NewSim()
+	clk.Run(func() { s.ClientEdge(0).Send(clk, 1000) })
+	if b, m := s.ClientEdge(0).Traffic(); b != 1000 || m != 1 {
+		t.Errorf("traffic = (%d, %d), want (1000, 1)", b, m)
+	}
+	if st := s.Stats(); st.Bytes != 1000 || st.Messages != 1 || st.Drops != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestTCPDeliversAndCounts sends real loopback traffic through every path
+// class and checks delivery accounting.
+func TestTCPDeliversAndCounts(t *testing.T) {
+	tr := NewTCP()
+	if err := tr.Provision(profiles(2)); err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	clk := vclock.NewReal()
+	tr.ClientEdge(0).Send(clk, 4<<10)
+	tr.EdgeCloud(1).Send(clk, 1<<10)
+	if d := tr.Peer(0, 1).Charge(256); d != 0 {
+		t.Errorf("TCP Charge returned %v, want 0 (delivery is synchronous)", d)
+	}
+	if tr.Peer(0, 0) != nil {
+		t.Error("TCP peer mesh has a diagonal")
+	}
+	st := tr.Stats()
+	if st.Messages != 3 || st.Bytes != int64(4<<10+1<<10+256) {
+		t.Errorf("stats = %+v, want 3 messages / %d bytes", st, 4<<10+1<<10+256)
+	}
+	if st.Drops != 0 || st.Severs != 0 {
+		t.Errorf("unexpected faults in clean run: %+v", st)
+	}
+}
+
+// TestTCPSeverTearsDownAndBlackholes is the transport-layer fault
+// demonstration: severing a path closes its connection, messages sent
+// while severed are dropped (not delivered), and healing redials.
+func TestTCPSeverTearsDownAndBlackholes(t *testing.T) {
+	tr := NewTCP()
+	if err := tr.Provision(profiles(1)); err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	clk := vclock.NewReal()
+	p := tr.EdgeCloud(0)
+
+	p.Send(clk, 100)
+	p.SetDown(true)
+	if !p.IsDown() {
+		t.Fatal("path not down after SetDown(true)")
+	}
+	p.Send(clk, 100) // blackholed
+	p.Send(clk, 100) // blackholed
+	if _, m := p.Traffic(); m != 1 {
+		t.Errorf("delivered %d messages, want 1 (sends while severed must drop)", m)
+	}
+	st := tr.Stats()
+	if st.Drops != 2 || st.Severs != 1 {
+		t.Errorf("stats = %+v, want 2 drops / 1 sever", st)
+	}
+
+	p.SetDown(false)
+	p.Send(clk, 100) // heals via redial
+	if _, m := p.Traffic(); m != 2 {
+		t.Errorf("delivered %d messages after heal, want 2", m)
+	}
+}
+
+// TestTCPSetEdgeDownSeversEveryPath checks that an edge going dark severs
+// its client path, its uplink, and both peer directions — and that an edge
+// restart does not heal an independent link fault.
+func TestTCPSetEdgeDownSeversEveryPath(t *testing.T) {
+	tr := NewTCP()
+	if err := tr.Provision(profiles(2)); err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	tr.Peer(0, 1).SetDown(true) // an overlapping link fault
+	tr.SetEdgeDown(0, true)
+	for name, p := range map[string]Path{
+		"client-edge": tr.ClientEdge(0),
+		"edge-cloud":  tr.EdgeCloud(0),
+		"peer-out":    tr.Peer(0, 1),
+		"peer-in":     tr.Peer(1, 0),
+	} {
+		if !p.IsDown() {
+			t.Errorf("%s not severed by SetEdgeDown", name)
+		}
+	}
+	if tr.ClientEdge(1).IsDown() || tr.EdgeCloud(1).IsDown() {
+		t.Error("SetEdgeDown(0) severed edge 1's own paths")
+	}
+
+	tr.SetEdgeDown(0, false)
+	if tr.ClientEdge(0).IsDown() {
+		t.Error("edge restart did not restore the client path")
+	}
+	if !tr.Peer(0, 1).IsDown() {
+		t.Error("edge restart healed an independent link fault")
+	}
+	tr.Peer(0, 1).SetDown(false)
+	if tr.Peer(0, 1).IsDown() {
+		t.Error("link heal did not restore the path")
+	}
+}
+
+// TestTCPConcurrentSends exercises many concurrent sends per path (frames
+// overlap in the real fleet) and checks nothing is lost or double-counted.
+func TestTCPConcurrentSends(t *testing.T) {
+	tr := NewTCP()
+	if err := tr.Provision(profiles(2)); err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	clk := vclock.NewReal()
+	const workers, each = 8, 25
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := 0; i < each; i++ {
+				tr.ClientEdge(0).Send(clk, 512)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		select {
+		case <-done:
+		case <-time.After(20 * time.Second):
+			t.Fatal("concurrent sends wedged")
+		}
+	}
+	if b, m := tr.ClientEdge(0).Traffic(); m != workers*each || b != int64(workers*each*512) {
+		t.Errorf("traffic = (%d, %d), want (%d, %d)", b, m, workers*each*512, workers*each)
+	}
+}
+
+// TestTCPCloseDropsLateSends: a closed transport loses traffic instead of
+// hanging the caller.
+func TestTCPCloseDropsLateSends(t *testing.T) {
+	tr := NewTCP()
+	if err := tr.Provision(profiles(1)); err != nil {
+		t.Fatal(err)
+	}
+	tr.Close()
+	tr.ClientEdge(0).Send(vclock.NewReal(), 64)
+	if st := tr.Stats(); st.Messages != 0 || st.Drops != 1 {
+		t.Errorf("stats after close = %+v, want 0 delivered / 1 drop", st)
+	}
+	if err := tr.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}

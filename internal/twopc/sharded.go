@@ -26,8 +26,8 @@ import (
 	"time"
 
 	"croesus/internal/lock"
-	"croesus/internal/netsim"
 	"croesus/internal/store"
+	"croesus/internal/transport"
 	"croesus/internal/txn"
 	"croesus/internal/vclock"
 	"croesus/internal/workload"
@@ -197,10 +197,10 @@ type ShardedCC struct {
 	M    *txn.Manager
 	Home int
 	// Parts lists the fleet's partitions; Links[i] is this edge's one-way
-	// link to the edge hosting Parts[i] (nil for Home and for co-located
+	// path to the edge hosting Parts[i] (nil for Home and for co-located
 	// partitions).
 	Parts       []*Partition
-	Links       []*netsim.Link
+	Links       []transport.Path
 	Partitioner func(key string) int
 	// Map, when set, routes keys through the fleet's mutable shard map
 	// instead of the static Partitioner, and enrolls every transaction in
@@ -532,19 +532,19 @@ func (c *ShardedCC) commitSection(id txn.ID, round uint8, writes []lock.Request,
 
 	// Phase 1: parallel prepare fan-out. Each participant stages its share
 	// durably (data records + prepare marker) and votes; the round costs
-	// the slowest participant's round trip.
-	var maxRTT time.Duration
+	// the slowest participant's round trip. The link charges run on their
+	// own goroutines so a transport that delivers synchronously (TCP)
+	// also pays max-of-RTT, not sum — on the sim, Charge is pure
+	// accounting and the goroutines finish without touching the clock, so
+	// replay stays byte-identical.
+	maxRTT := chargeFanOut(c.Links, involved, 2, func() {
+		c.Stats.add(func(d *DistCounters) { d.PrepareRPCs++ })
+	})
 	for _, pi := range involved {
 		p := c.Parts[pi]
 		if p.Durable() {
 			p.StagePrepare(cr, c.Home, p.RedoRecords(cr, keysByPart[pi]))
 		}
-		if l := c.Links[pi]; l != nil {
-			if rtt := l.Charge(lockMsgBytes) + l.Charge(lockMsgBytes); rtt > maxRTT {
-				maxRTT = rtt
-			}
-		}
-		c.Stats.add(func(d *DistCounters) { d.PrepareRPCs++ })
 		// A scripted participant crash lands here: the yes vote is already
 		// durable, so the round proceeds and the participant resolves the
 		// transaction from the coordinator's log when it recovers.
@@ -574,23 +574,58 @@ func (c *ShardedCC) commitSection(id txn.ID, round uint8, writes []lock.Request,
 	// transaction is committed either way — that is what the durable
 	// decision means; participants learn it from the coordinator's log).
 	if delivered {
-		var maxOne time.Duration
+		live := make([]int, 0, len(involved))
 		for _, pi := range involved {
 			if !c.reachable(pi) {
 				continue // resolves from the coordinator's log at recovery
 			}
 			c.Parts[pi].DeliverDecision(cr, true)
-			if l := c.Links[pi]; l != nil {
-				if t := l.Charge(lockMsgBytes); t > maxOne {
-					maxOne = t
-				}
-			}
-			c.Stats.add(func(d *DistCounters) { d.CommitRPCs++ })
+			live = append(live, pi)
 		}
+		maxOne := chargeFanOut(c.Links, live, 1, func() {
+			c.Stats.add(func(d *DistCounters) { d.CommitRPCs++ })
+		})
 		c.Clk.Sleep(maxOne)
 	}
 	c.Stats.add(func(d *DistCounters) { d.TwoPCRounds++; d.CrossEdgeCommits++ })
 	return nil
+}
+
+// chargeFanOut charges msgs protocol messages on every listed partition's
+// link concurrently and returns the slowest per-link total — the modeled
+// cost of a parallel round. onEach runs once per listed partition (link
+// or not), mirroring the per-RPC counters. The goroutines never touch the
+// clock: on the sim, Charge is pure accounting, so replay stays
+// byte-identical; on a synchronous transport (TCP) they make the fan-out
+// pay max-of-RTT instead of a sum of sequential round trips.
+func chargeFanOut(links []transport.Path, parts []int, msgs int, onEach func()) time.Duration {
+	var (
+		mu  sync.Mutex
+		max time.Duration
+		wg  sync.WaitGroup
+	)
+	for _, pi := range parts {
+		onEach()
+		l := links[pi]
+		if l == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(l transport.Path) {
+			defer wg.Done()
+			var t time.Duration
+			for i := 0; i < msgs; i++ {
+				t += l.Charge(lockMsgBytes)
+			}
+			mu.Lock()
+			if t > max {
+				max = t
+			}
+			mu.Unlock()
+		}(l)
+	}
+	wg.Wait()
+	return max
 }
 
 // abortTxn retracts a transaction whose commit was interrupted by a fault:

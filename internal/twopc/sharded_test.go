@@ -8,6 +8,7 @@ import (
 	"croesus/internal/lock"
 	"croesus/internal/netsim"
 	"croesus/internal/store"
+	"croesus/internal/transport"
 	"croesus/internal/txn"
 	"croesus/internal/vclock"
 	"croesus/internal/wal"
@@ -33,10 +34,10 @@ func testFleet(clk vclock.Clock) (*ShardedCC, []*Partition) {
 	for i := range parts {
 		parts[i] = NewPartitionOver(i, store.New(), lock.NewManager(clk))
 	}
-	links := []*netsim.Link{
+	links := []transport.Path{
 		nil,
-		{Name: "0-1", Propagation: 10 * time.Millisecond},
-		{Name: "0-2", Propagation: 30 * time.Millisecond},
+		&netsim.Link{Name: "0-1", Propagation: 10 * time.Millisecond},
+		&netsim.Link{Name: "0-2", Propagation: 30 * time.Millisecond},
 	}
 	mgr := txn.NewManager(clk, nil, nil)
 	mgr.DB = &ShardedStore{Parts: parts, Partitioner: prefixPartitioner}

@@ -29,8 +29,8 @@ import (
 	"time"
 
 	"croesus/internal/lock"
-	"croesus/internal/netsim"
 	"croesus/internal/store"
+	"croesus/internal/transport"
 	"croesus/internal/txn"
 	"croesus/internal/vclock"
 	"croesus/internal/wal"
@@ -184,7 +184,7 @@ type ShardMigration struct {
 	Shard, From, To int
 	// Link is the From→To path the key payload crosses; Reverse carries
 	// the protocol round trips back. Nil models co-located partitions.
-	Link, Reverse *netsim.Link
+	Link, Reverse transport.Path
 	// Faults, when set, is consulted for liveness: a migration never
 	// reads or writes a fail-stopped partition, it retries instead.
 	Faults FaultOracle

@@ -9,6 +9,7 @@ import (
 	"croesus/internal/lock"
 	"croesus/internal/netsim"
 	"croesus/internal/store"
+	"croesus/internal/transport"
 	"croesus/internal/txn"
 	"croesus/internal/vclock"
 	"croesus/internal/workload"
@@ -29,8 +30,8 @@ func mappedFleet(clk vclock.Clock) (*ShardMap, []*ShardedCC, []*Partition) {
 	link10 := &netsim.Link{Name: "1-0", Propagation: 5 * time.Millisecond}
 	stats := &DistStats{}
 	ccs := []*ShardedCC{
-		{Clk: clk, M: mgr, Home: 0, Parts: parts, Links: []*netsim.Link{nil, link01}, Partitioner: smap.Lookup, Map: smap, Protocol: MSIA, Stats: stats},
-		{Clk: clk, M: mgr, Home: 1, Parts: parts, Links: []*netsim.Link{link10, nil}, Partitioner: smap.Lookup, Map: smap, Protocol: MSIA, Stats: stats},
+		{Clk: clk, M: mgr, Home: 0, Parts: parts, Links: []transport.Path{nil, link01}, Partitioner: smap.Lookup, Map: smap, Protocol: MSIA, Stats: stats},
+		{Clk: clk, M: mgr, Home: 1, Parts: parts, Links: []transport.Path{link10, nil}, Partitioner: smap.Lookup, Map: smap, Protocol: MSIA, Stats: stats},
 	}
 	return smap, ccs, parts
 }

@@ -13,8 +13,8 @@ import (
 	"sync"
 
 	"croesus/internal/lock"
-	"croesus/internal/netsim"
 	"croesus/internal/store"
+	"croesus/internal/transport"
 	"croesus/internal/txn"
 	"croesus/internal/vclock"
 	"croesus/internal/wal"
@@ -33,9 +33,9 @@ type Partition struct {
 	ID    int
 	Store *store.Store
 	Locks *lock.Manager
-	// Link models the coordinator→partition network hop. The
-	// coordinator's own partition uses a nil Link (local calls).
-	Link *netsim.Link
+	// Link is the coordinator→partition network path. The coordinator's
+	// own partition uses a nil Link (local calls).
+	Link transport.Path
 	// WAL, when set, makes the partition durable: every section commit it
 	// participates in is logged, and a crashed edge rebuilds the partition
 	// from the log (see durable.go and internal/faults).
@@ -69,7 +69,7 @@ type stagedWrite struct {
 }
 
 // NewPartition returns an empty partition.
-func NewPartition(id int, clk vclock.Clock, link *netsim.Link) *Partition {
+func NewPartition(id int, clk vclock.Clock, link transport.Path) *Partition {
 	return &Partition{
 		ID:       id,
 		Store:    store.New(),

@@ -6,6 +6,7 @@ import (
 
 	"croesus/internal/netsim"
 	"croesus/internal/store"
+	"croesus/internal/transport"
 	"croesus/internal/txn"
 	"croesus/internal/vclock"
 )
@@ -13,7 +14,7 @@ import (
 func cluster(clk vclock.Clock, n int) []*Partition {
 	parts := make([]*Partition, n)
 	for i := range parts {
-		var link *netsim.Link
+		var link transport.Path
 		if i != 0 {
 			link = netsim.EdgeCloudSameSite()
 		}

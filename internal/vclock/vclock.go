@@ -51,22 +51,47 @@ type Gate interface {
 // ---------------------------------------------------------------------------
 // Real clock
 
+// realClock is the wall-clock implementation; scale compresses modeled
+// time (NewReal is the scale-1 instance, so there is exactly one
+// wall-clock type to keep correct).
 type realClock struct {
 	start time.Time
+	scale float64
 	wg    sync.WaitGroup
 }
 
 // NewReal returns a Clock backed by real wall-clock time.
-func NewReal() Clock {
-	return &realClock{start: time.Now()}
+func NewReal() Clock { return NewScaledReal(1) }
+
+// NewScaledReal returns a wall-clock-backed Clock whose modeled time runs
+// 1/scale times faster than real time: Sleep(d) sleeps d×scale of wall
+// time and Now reports wall-elapsed/scale, so sleeps and timestamps stay
+// mutually consistent. A 20-second scenario at scale 0.05 finishes in one
+// real second — the knob the loopback-TCP deployment uses to compress
+// modeled inference latencies, frame pacing, SLO deadlines, and the event
+// timeline uniformly. scale ≤ 0 means 1 (real time).
+func NewScaledReal(scale float64) Clock {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &realClock{start: time.Now(), scale: scale}
 }
 
-func (c *realClock) Now() time.Duration { return time.Since(c.start) }
+func (c *realClock) Now() time.Duration {
+	if c.scale == 1 {
+		return time.Since(c.start)
+	}
+	return time.Duration(float64(time.Since(c.start)) / c.scale)
+}
 
 func (c *realClock) Sleep(d time.Duration) {
-	if d > 0 {
-		time.Sleep(d)
+	if d <= 0 {
+		return
 	}
+	if c.scale != 1 {
+		d = time.Duration(float64(d) * c.scale)
+	}
+	time.Sleep(d)
 }
 
 func (c *realClock) NewGate() Gate {

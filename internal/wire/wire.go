@@ -24,6 +24,8 @@ const (
 	KindFinalReply    Kind = "final-reply"    // edge → client
 	KindCloudRequest  Kind = "cloud-request"  // edge → cloud
 	KindCloudResponse Kind = "cloud-response" // cloud → edge
+	KindPayload       Kind = "payload"        // fleet transport: opaque path traffic
+	KindAck           Kind = "ack"            // fleet transport: delivery acknowledgement
 	KindBye           Kind = "bye"            // either direction: drain and close
 )
 
@@ -44,27 +46,53 @@ type InitialReply struct {
 	EdgeElapsed time.Duration // edge receive → initial commit
 }
 
-// FinalReply is the final-commit response for one frame.
+// FinalReply is the final-commit response for one frame. Shed reports that
+// the cloud batcher dropped this frame's validation under overload, so the
+// final labels are the edge's own.
 type FinalReply struct {
 	FrameIndex  int
 	Labels      []detect.Detection
 	Corrections int
 	Apologies   []string
+	Shed        bool
 	EdgeElapsed time.Duration // edge receive → final commit
 }
 
-// CloudRequest asks the cloud node to detect one frame.
+// CloudRequest asks the cloud node to detect one frame. Margin is the
+// frame's shedding priority (core.ValidationMargin): under overload the
+// cloud batcher sheds the lowest-margin frames first.
 type CloudRequest struct {
 	FrameIndex int
 	Frame      video.Frame
 	Padding    []byte
+	Margin     float64
 }
 
-// CloudResponse returns the cloud labels for one frame.
+// CloudResponse returns the cloud labels for one frame. Shed means the
+// cloud's admission control dropped the request before the model ran; the
+// edge finalizes with its own labels — Croesus' degradation mode over real
+// sockets.
 type CloudResponse struct {
 	FrameIndex int
 	Labels     []detect.Detection
 	DetectTime time.Duration
+	Shed       bool
+}
+
+// Payload is one opaque fleet-transport message: the TCP transport ships
+// every modeled fleet hop (client→edge frames, edge→cloud validation
+// traffic, inter-edge 2PC messages) as a Payload whose Padding carries the
+// modeled byte count, so the wire cost is paid for real. Path names the
+// fleet path for debugging; Seq matches the switch's Ack.
+type Payload struct {
+	Path    string
+	Seq     uint64
+	Padding []byte
+}
+
+// Ack acknowledges delivery of the Payload with the same Seq.
+type Ack struct {
+	Seq uint64
 }
 
 // Envelope is the single on-wire message type.
@@ -75,6 +103,8 @@ type Envelope struct {
 	FinalReply    *FinalReply
 	CloudRequest  *CloudRequest
 	CloudResponse *CloudResponse
+	Payload       *Payload
+	Ack           *Ack
 }
 
 // Validate checks that the payload matches the kind.
@@ -91,6 +121,10 @@ func (e *Envelope) Validate() error {
 		ok = e.CloudRequest != nil
 	case KindCloudResponse:
 		ok = e.CloudResponse != nil
+	case KindPayload:
+		ok = e.Payload != nil
+	case KindAck:
+		ok = e.Ack != nil
 	case KindBye:
 		ok = true
 	default:

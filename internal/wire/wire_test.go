@@ -52,29 +52,111 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 	}
 }
 
+// allKinds is the protocol's complete kind set; the round-trip table below
+// must cover every entry, so adding a kind without wire-test coverage
+// fails here.
+var allKinds = []Kind{
+	KindFrame, KindInitialReply, KindFinalReply,
+	KindCloudRequest, KindCloudResponse,
+	KindPayload, KindAck, KindBye,
+}
+
+// TestAllKindsRoundTrip sends one envelope of every message type —
+// including the fleet-transport Payload/Ack pair and the batched-cloud
+// fields (Margin, Shed) the TCP deployment added — and checks each
+// payload's fields survive the trip intact.
 func TestAllKindsRoundTrip(t *testing.T) {
-	a, b := pair()
 	d := detect.Detection{Label: "dog", Confidence: 0.9, Box: video.Rect{X: 0.1, Y: 0.1, W: 0.2, H: 0.2}, TrackID: 4}
-	envs := []*Envelope{
-		{Kind: KindFrame, Frame: &Frame{Frame: sampleFrame()}},
-		{Kind: KindInitialReply, InitialReply: &InitialReply{FrameIndex: 1, Labels: []detect.Detection{d}, Triggered: 2, SentToCloud: true, EdgeElapsed: time.Second}},
-		{Kind: KindFinalReply, FinalReply: &FinalReply{FrameIndex: 1, Labels: []detect.Detection{d}, Corrections: 1, Apologies: []string{"sorry"}}},
-		{Kind: KindCloudRequest, CloudRequest: &CloudRequest{FrameIndex: 2, Frame: sampleFrame()}},
-		{Kind: KindCloudResponse, CloudResponse: &CloudResponse{FrameIndex: 2, Labels: []detect.Detection{d}, DetectTime: time.Second}},
-		{Kind: KindBye},
+	cases := []struct {
+		env   *Envelope
+		check func(t *testing.T, got *Envelope)
+	}{
+		{
+			env: &Envelope{Kind: KindFrame, Frame: &Frame{Frame: sampleFrame(), Padding: []byte{9}}},
+			check: func(t *testing.T, got *Envelope) {
+				if got.Frame.Frame.Index != 7 || len(got.Frame.Padding) != 1 {
+					t.Errorf("frame fields lost: %+v", got.Frame)
+				}
+			},
+		},
+		{
+			env: &Envelope{Kind: KindInitialReply, InitialReply: &InitialReply{FrameIndex: 1, Labels: []detect.Detection{d}, Triggered: 2, Aborted: 1, SentToCloud: true, EdgeElapsed: time.Second}},
+			check: func(t *testing.T, got *Envelope) {
+				r := got.InitialReply
+				if r.FrameIndex != 1 || len(r.Labels) != 1 || r.Triggered != 2 || r.Aborted != 1 || !r.SentToCloud || r.EdgeElapsed != time.Second {
+					t.Errorf("initial reply fields lost: %+v", r)
+				}
+			},
+		},
+		{
+			env: &Envelope{Kind: KindFinalReply, FinalReply: &FinalReply{FrameIndex: 1, Labels: []detect.Detection{d}, Corrections: 1, Apologies: []string{"sorry"}, Shed: true}},
+			check: func(t *testing.T, got *Envelope) {
+				r := got.FinalReply
+				if r.Corrections != 1 || len(r.Apologies) != 1 || !r.Shed {
+					t.Errorf("final reply fields lost: %+v", r)
+				}
+			},
+		},
+		{
+			env: &Envelope{Kind: KindCloudRequest, CloudRequest: &CloudRequest{FrameIndex: 2, Frame: sampleFrame(), Padding: []byte{1, 2}, Margin: 0.42}},
+			check: func(t *testing.T, got *Envelope) {
+				r := got.CloudRequest
+				if r.FrameIndex != 2 || r.Margin != 0.42 || len(r.Padding) != 2 {
+					t.Errorf("cloud request fields lost: %+v", r)
+				}
+			},
+		},
+		{
+			env: &Envelope{Kind: KindCloudResponse, CloudResponse: &CloudResponse{FrameIndex: 2, Labels: []detect.Detection{d}, DetectTime: time.Second, Shed: true}},
+			check: func(t *testing.T, got *Envelope) {
+				r := got.CloudResponse
+				if r.FrameIndex != 2 || !r.Shed || r.DetectTime != time.Second {
+					t.Errorf("cloud response fields lost: %+v", r)
+				}
+			},
+		},
+		{
+			env: &Envelope{Kind: KindPayload, Payload: &Payload{Path: "west-cloud", Seq: 99, Padding: make([]byte, 1<<10)}},
+			check: func(t *testing.T, got *Envelope) {
+				p := got.Payload
+				if p.Path != "west-cloud" || p.Seq != 99 || len(p.Padding) != 1<<10 {
+					t.Errorf("payload fields lost: path=%q seq=%d pad=%d", p.Path, p.Seq, len(p.Padding))
+				}
+			},
+		},
+		{
+			env: &Envelope{Kind: KindAck, Ack: &Ack{Seq: 99}},
+			check: func(t *testing.T, got *Envelope) {
+				if got.Ack.Seq != 99 {
+					t.Errorf("ack seq lost: %+v", got.Ack)
+				}
+			},
+		},
+		{
+			env:   &Envelope{Kind: KindBye},
+			check: func(t *testing.T, got *Envelope) {},
+		},
 	}
-	for _, e := range envs {
-		if err := a.Send(e); err != nil {
-			t.Fatalf("Send(%s): %v", e.Kind, err)
+
+	covered := map[Kind]bool{}
+	a, b := pair()
+	for _, tc := range cases {
+		covered[tc.env.Kind] = true
+		if err := a.Send(tc.env); err != nil {
+			t.Fatalf("Send(%s): %v", tc.env.Kind, err)
 		}
-	}
-	for _, want := range envs {
 		got, err := b.Recv()
 		if err != nil {
-			t.Fatalf("Recv(%s): %v", want.Kind, err)
+			t.Fatalf("Recv(%s): %v", tc.env.Kind, err)
 		}
-		if got.Kind != want.Kind {
-			t.Errorf("kind = %s, want %s", got.Kind, want.Kind)
+		if got.Kind != tc.env.Kind {
+			t.Fatalf("kind = %s, want %s", got.Kind, tc.env.Kind)
+		}
+		tc.check(t, got)
+	}
+	for _, k := range allKinds {
+		if !covered[k] {
+			t.Errorf("message kind %q has no round-trip coverage", k)
 		}
 	}
 }
@@ -85,10 +167,22 @@ func TestValidateRejectsMismatches(t *testing.T) {
 		{Kind: KindInitialReply},                   // missing payload
 		{Kind: Kind("nonsense")},                   // unknown kind
 		{Kind: KindCloudResponse, Frame: &Frame{}}, // wrong payload
+		{Kind: KindPayload},                        // missing transport payload
+		{Kind: KindAck},                            // missing ack
+		{Kind: KindPayload, Ack: &Ack{Seq: 1}},     // wrong payload for kind
 	}
 	for _, e := range bad {
 		if err := e.Validate(); err == nil {
 			t.Errorf("Validate(%+v) accepted", e)
+		}
+	}
+	// Every non-bye kind must reject an empty envelope of its kind.
+	for _, k := range allKinds {
+		if k == KindBye {
+			continue
+		}
+		if err := (&Envelope{Kind: k}).Validate(); err == nil {
+			t.Errorf("empty %q envelope accepted", k)
 		}
 	}
 	if err := (&Envelope{Kind: KindBye}).Validate(); err != nil {
