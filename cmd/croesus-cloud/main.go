@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"croesus/internal/detect"
+	"croesus/internal/obs"
 	"croesus/internal/tcpnet"
 )
 
@@ -32,9 +33,19 @@ func main() {
 		slo        = flag.Duration("slo", 0, "batch flush deadline (0 = fleet default 60ms)")
 		pending    = flag.Int("pending", 0, "admission-control cap on outstanding validations (0 = 4×batch)")
 		cloudSpeed = flag.Float64("cloud-speed", 0, "cloud machine speed factor (0 = reference machine; lower = starved GPU)")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics (Prometheus text), /debug/vars (expvar), and /debug/pprof on this address (e.g. 127.0.0.1:9412)")
 	)
 	flag.Parse()
 
+	var o *obs.Obs
+	if *debugAddr != "" {
+		o = obs.New()
+		bound, err := obs.ServeDebug(*debugAddr, o.Reg)
+		if err != nil {
+			log.Fatalf("croesus-cloud: %v", err)
+		}
+		log.Printf("croesus-cloud: debug endpoint on http://%s/metrics", bound)
+	}
 	m := detect.YOLOv3Sim(detect.YOLOSize(*model), *seed)
 	srv, err := tcpnet.NewCloudServerWith(tcpnet.CloudConfig{
 		Model:      m,
@@ -43,6 +54,7 @@ func main() {
 		SLO:        *slo,
 		MaxPending: *pending,
 		CloudSpeed: *cloudSpeed,
+		Obs:        o,
 	})
 	if err != nil {
 		log.Fatalf("croesus-cloud: %v", err)

@@ -26,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"croesus"
@@ -34,6 +36,10 @@ import (
 func main() {
 	var (
 		scenarioPath  = flag.String("scenario", "", "run a declarative scenario file (topology + event timeline) instead of the flag-built fleet")
+		traceOut      = flag.String("trace", "", "write the run's span trace to this file: Chrome trace_event JSON (open in Perfetto) by default, sorted JSONL when the name ends in .jsonl")
+		debugAddr     = flag.String("debug-addr", "", "serve /metrics (Prometheus text), /debug/vars (expvar), and /debug/pprof on this address during the run (e.g. 127.0.0.1:9090)")
+		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile    = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		transportKind = flag.String("transport", "sim", "fleet transport: sim (in-process, virtual clock, byte-deterministic) or tcp (loopback TCP sockets on the wall clock)")
 		timeScale     = flag.Float64("timescale", 1.0, "wall-clock compression for -transport tcp: 0.05 runs a 20s scenario in ~1s (ignored on sim)")
 		nCams         = flag.Int("cameras", 4, "number of camera streams")
@@ -57,6 +63,35 @@ func main() {
 	)
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "croesus-cluster: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "croesus-cluster: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memProfile)
+
+	// Observability: a tracer + registry threaded through the fleet when
+	// anything will consume them. The report itself never needs it.
+	var o *croesus.Obs
+	if *traceOut != "" || *debugAddr != "" {
+		o = croesus.NewObs()
+	}
+	if *debugAddr != "" {
+		addr, err := croesus.ServeDebug(*debugAddr, o.Reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "croesus-cluster: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug endpoint: http://%s/metrics\n", addr)
+	}
+
 	if *scenarioPath != "" {
 		s, err := croesus.LoadScenario(*scenarioPath)
 		if err != nil {
@@ -64,7 +99,7 @@ func main() {
 			os.Exit(1)
 		}
 		start := time.Now()
-		rep, err := croesus.RunScenarioWith(s, croesus.ScenarioOptions{Transport: *transportKind, TimeScale: *timeScale})
+		rep, err := croesus.RunScenarioWith(s, croesus.ScenarioOptions{Transport: *transportKind, TimeScale: *timeScale, Obs: o})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "croesus-cluster: %v\n", err)
 			os.Exit(1)
@@ -74,6 +109,7 @@ func main() {
 		fmt.Print(rep.Format())
 		fmt.Fprintf(os.Stderr, "(scenario %q on %s: %s of fleet time in %s of wall time)\n",
 			s.Name, *transportKind, rep.Elapsed.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
+		writeTrace(*traceOut, o)
 		return
 	}
 
@@ -155,6 +191,7 @@ func main() {
 		Protocol:          proto,
 		ZipfSkew:          *zipf,
 		Faults:            plan,
+		Obs:               o,
 		Batcher: croesus.BatcherConfig{
 			MaxBatch:   *maxBatch,
 			SLO:        *slo,
@@ -169,4 +206,48 @@ func main() {
 	fmt.Print(rep.Format())
 	fmt.Printf("(simulated %s of fleet time in %s of wall time)\n",
 		rep.Elapsed.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
+	writeTrace(*traceOut, o)
+}
+
+// writeTrace exports the collected spans: Chrome trace_event JSON, or
+// sorted JSONL when path ends in .jsonl.
+func writeTrace(path string, o *croesus.Obs) {
+	if path == "" || o == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "croesus-cluster: %v\n", err)
+		os.Exit(1)
+	}
+	spans := o.Trace.Spans()
+	if err := croesus.WriteTraceFile(f, path, spans); err != nil {
+		fmt.Fprintf(os.Stderr, "croesus-cluster: writing trace: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "croesus-cluster: writing trace: %v\n", err)
+		os.Exit(1)
+	}
+	if d := o.Trace.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "trace: %d spans dropped at the tracer's capacity — the file is incomplete\n", d)
+	}
+	fmt.Fprintf(os.Stderr, "trace: %d spans written to %s\n", len(spans), path)
+}
+
+// writeMemProfile snapshots the heap to path at exit (no-op when unset).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "croesus-cluster: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "croesus-cluster: %v\n", err)
+	}
 }

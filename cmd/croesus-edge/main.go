@@ -20,6 +20,7 @@ import (
 	"croesus/internal/core"
 	"croesus/internal/detect"
 	"croesus/internal/node"
+	"croesus/internal/obs"
 	"croesus/internal/tcpnet"
 )
 
@@ -36,12 +37,22 @@ func main() {
 		slots     = flag.Int("slots", 4, "concurrent edge inferences across all clients")
 		timeScale = flag.Float64("timescale", 1.0, "inference latency multiplier")
 		keys      = flag.Int("keys", 1000, "database key space for the per-detection transactions")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics (Prometheus text), /debug/vars (expvar), and /debug/pprof on this address (e.g. 127.0.0.1:9411)")
 	)
 	flag.Parse()
 
 	proto, err := node.ParseProtocol(*protocol)
 	if err != nil {
 		log.Fatalf("croesus-edge: %v", err)
+	}
+	var o *obs.Obs
+	if *debugAddr != "" {
+		o = obs.New()
+		bound, err := obs.ServeDebug(*debugAddr, o.Reg)
+		if err != nil {
+			log.Fatalf("croesus-edge: %v", err)
+		}
+		log.Printf("croesus-edge: debug endpoint on http://%s/metrics", bound)
 	}
 	srv, err := tcpnet.NewEdgeServer(tcpnet.EdgeConfig{
 		EdgeModel:     detect.TinyYOLOSim(*seed),
@@ -55,6 +66,7 @@ func main() {
 		Slots:         *slots,
 		Source:        core.NewWorkloadSource(*keys, *seed),
 		Logf:          tcpnet.StdLogf("edge"),
+		Obs:           o,
 	})
 	if err != nil {
 		log.Fatalf("croesus-edge: %v", err)

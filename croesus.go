@@ -23,6 +23,8 @@
 package croesus
 
 import (
+	"io"
+
 	"croesus/internal/bank"
 	"croesus/internal/cluster"
 	"croesus/internal/core"
@@ -31,6 +33,7 @@ import (
 	"croesus/internal/faults"
 	"croesus/internal/lock"
 	"croesus/internal/netsim"
+	"croesus/internal/obs"
 	"croesus/internal/scenario"
 	"croesus/internal/smoothing"
 	"croesus/internal/store"
@@ -628,6 +631,42 @@ func RunScenario(s *Scenario) (*ClusterReport, error) { return scenario.Run(s) }
 // connections down. One scenario JSON, two transports.
 func RunScenarioWith(s *Scenario, o ScenarioOptions) (*ClusterReport, error) {
 	return scenario.RunWith(s, o)
+}
+
+// ---------------------------------------------------------------------------
+// Observability: deterministic tracing + fleet metrics (internal/obs)
+
+type (
+	// Obs bundles a span tracer and a metrics registry; set it on
+	// ClusterConfig.Obs or ScenarioOptions.Obs to thread observability
+	// through a fleet. Nil disables all instrumentation.
+	Obs = obs.Obs
+	// ObsSpan is one traced interval on the run's clock.
+	ObsSpan = obs.Span
+	// ObsTracer collects spans into a bounded in-memory buffer.
+	ObsTracer = obs.Tracer
+	// ObsRegistry holds tagged counters, gauges, and latency histograms.
+	ObsRegistry = obs.Registry
+	// ClusterCriticalPath decomposes a fleet's final latency into
+	// compute / queue / lock / 2PC / network components at p50 and p99.
+	ClusterCriticalPath = cluster.CriticalPath
+)
+
+// NewObs returns an observability layer with a fresh tracer and registry.
+func NewObs() *Obs { return obs.New() }
+
+// WriteTraceFile writes a trace: JSONL when name ends in ".jsonl", a
+// Chrome trace_event JSON file (openable in Perfetto / chrome://tracing)
+// otherwise. Spans are sorted, so a deterministic run's file is
+// byte-identical across replays.
+func WriteTraceFile(w io.Writer, name string, spans []ObsSpan) error {
+	return obs.WriteTraceFile(w, name, spans)
+}
+
+// ServeDebug serves /metrics (Prometheus text), /debug/vars (expvar), and
+// /debug/pprof on addr in the background, returning the bound address.
+func ServeDebug(addr string, reg *ObsRegistry) (string, error) {
+	return obs.ServeDebug(addr, reg)
 }
 
 // NewSimTransport returns the simulated fleet transport (netsim links on

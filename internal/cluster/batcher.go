@@ -2,11 +2,13 @@ package cluster
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"croesus/internal/core"
 	"croesus/internal/detect"
+	"croesus/internal/obs"
 	"croesus/internal/vclock"
 )
 
@@ -40,6 +42,9 @@ type BatcherConfig struct {
 	// loading and kernel launches, which is what makes a shared cloud
 	// validator economical at all.
 	BatchAlpha float64
+	// Obs, when set, receives batch.queue/batch.run/batch.shed spans and
+	// live queue-depth / inflight gauges plus a batches counter.
+	Obs *obs.Obs
 }
 
 func (c BatcherConfig) defaults() BatcherConfig {
@@ -99,6 +104,11 @@ type Batcher struct {
 	cfg   BatcherConfig
 	slots *vclock.Semaphore
 
+	// Pre-resolved observability handles (nil no-ops without cfg.Obs).
+	gDepth   *obs.Gauge
+	gInfl    *obs.Gauge
+	mBatches *obs.Counter
+
 	mu       sync.Mutex
 	queue    []*pendingReq
 	inflight int    // frames in dispatched, not-yet-completed batches
@@ -144,8 +154,11 @@ func NewBatcher(cfg BatcherConfig) (*Batcher, error) {
 			cfg.MaxPending, cfg.MaxBatch)
 	}
 	return &Batcher{
-		cfg:   cfg,
-		slots: vclock.NewSemaphore(cfg.Clock, cfg.Slots),
+		cfg:      cfg,
+		slots:    vclock.NewSemaphore(cfg.Clock, cfg.Slots),
+		gDepth:   cfg.Obs.Gauge(obs.MetricBatcherDepth, ""),
+		gInfl:    cfg.Obs.Gauge(obs.MetricBatcherInfl, ""),
+		mBatches: cfg.Obs.Counter(obs.MetricBatches, ""),
 	}, nil
 }
 
@@ -188,14 +201,17 @@ func (b *Batcher) Validate(req core.ValidationRequest) core.ValidationResult {
 		b.stats.Shed++
 		if victim == pr {
 			b.mu.Unlock()
+			b.cfg.Obs.Span(obs.SpanBatchShed, "", pr.at, pr.at)
 			return core.ValidationResult{Status: core.ValidationShed}
 		}
 		b.queue = append(b.queue[:vi], b.queue[vi+1:]...)
 		victim.res = core.ValidationResult{Status: core.ValidationShed}
+		b.cfg.Obs.Span(obs.SpanBatchShed, "", victim.at, pr.at)
 		victim.gate.Fire()
 	}
 
 	b.queue = append(b.queue, pr)
+	b.gDepth.Set(int64(len(b.queue)))
 	if len(b.queue) >= b.cfg.MaxBatch {
 		batch := b.takeBatchLocked()
 		b.mu.Unlock()
@@ -243,6 +259,9 @@ func (b *Batcher) takeBatchLocked() []*pendingReq {
 	if len(batch) > b.stats.MaxBatch {
 		b.stats.MaxBatch = len(batch)
 	}
+	b.gDepth.Set(0)
+	b.gInfl.Set(int64(b.inflight))
+	b.mBatches.Inc()
 	now := b.cfg.Clock.Now()
 	for _, pr := range batch {
 		w := now - pr.at
@@ -252,6 +271,7 @@ func (b *Batcher) takeBatchLocked() []*pendingReq {
 		if w > b.cfg.SLO {
 			b.stats.SLOViolations++
 		}
+		b.cfg.Obs.Span(obs.SpanBatchQueue, "", pr.at, now)
 	}
 	return batch
 }
@@ -261,6 +281,7 @@ func (b *Batcher) takeBatchLocked() []*pendingReq {
 func (b *Batcher) runBatch(batch []*pendingReq) {
 	clk := b.cfg.Clock
 	b.slots.Acquire()
+	start := clk.Now()
 	// Batched inference: the slowest frame is charged in full, every
 	// additional frame at BatchAlpha of its standalone latency.
 	var maxLat, sumLat time.Duration
@@ -277,16 +298,21 @@ func (b *Batcher) runBatch(batch []*pendingReq) {
 	clk.Sleep(scaleDur(lat, b.cfg.CloudSpeed))
 	b.slots.Release()
 	end := clk.Now()
+	b.cfg.Obs.Span(obs.SpanBatchRun, obs.Tags("frames", strconv.Itoa(len(batch))), start, end)
 	b.mu.Lock()
 	b.inflight -= len(batch)
+	b.gInfl.Set(int64(b.inflight))
 	b.mu.Unlock()
 	for i, pr := range batch {
 		pr.res = core.ValidationResult{
 			Status: core.Validated,
 			Cloud:  results[i],
-			// Queue wait plus batch compute: everything that happened
-			// on the cloud side for this frame.
-			CloudDetect: end - pr.at,
+			// Split the cloud side of this frame's life: everything up to
+			// the compute slot (batch accumulation, SLO wait, slot wait) is
+			// queueing; the batched inference itself is compute. The sum is
+			// the whole enqueue→completion interval.
+			CloudQueue:  start - pr.at,
+			CloudDetect: end - start,
 		}
 		pr.gate.Fire()
 	}

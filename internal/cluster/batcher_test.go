@@ -100,8 +100,11 @@ func TestDeadlineFlush(t *testing.T) {
 	if st.SLOViolations != 0 {
 		t.Fatalf("%d SLO violations", st.SLOViolations)
 	}
-	// Amortization: CloudDetect = SLO wait + inference.
-	if got, want := results[0].CloudDetect, slo+10*time.Millisecond; got != want {
+	// The SLO wait lands in CloudQueue; CloudDetect is pure inference.
+	if got, want := results[0].CloudQueue, slo; got != want {
+		t.Fatalf("CloudQueue = %v, want the SLO wait %v", got, want)
+	}
+	if got, want := results[0].CloudDetect, 10*time.Millisecond; got != want {
 		t.Fatalf("CloudDetect = %v, want %v", got, want)
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"croesus/internal/faults"
 	"croesus/internal/lock"
 	"croesus/internal/node"
+	"croesus/internal/obs"
 	"croesus/internal/store"
 	"croesus/internal/transport"
 	"croesus/internal/twopc"
@@ -233,6 +234,13 @@ type Config struct {
 	// WALDir is where durable partitions keep their logs (default: a
 	// fresh temporary directory, removed when the run finishes).
 	WALDir string
+
+	// Obs, when set, threads the observability layer through the fleet:
+	// every pipeline, the batcher, the sharded commit path, migrations,
+	// and the fault injector emit spans to its tracer and mirror their
+	// counters into its registry. Nil disables all instrumentation (the
+	// default); enabling it does not perturb the virtual-time schedule.
+	Obs *obs.Obs
 }
 
 func (c Config) defaults() Config {
@@ -390,6 +398,9 @@ func New(cfg Config) (*Cluster, error) {
 	if bcfg.Model == nil {
 		bcfg.Model = cloudModel
 	}
+	if bcfg.Obs == nil {
+		bcfg.Obs = cfg.Obs
+	}
 
 	batcher, err := NewBatcher(bcfg)
 	if err != nil {
@@ -400,6 +411,18 @@ func New(cfg Config) (*Cluster, error) {
 		tr = transport.NewSim()
 	}
 	c := &Cluster{cfg: cfg, clk: cfg.Clock, cloudModel: cloudModel, batcher: batcher, transport: tr}
+	if cfg.Obs != nil {
+		// The transport keeps its own lifetime counters; a pull collector
+		// mirrors them into the registry at scrape time.
+		ttags := obs.Tags("transport", tr.Name())
+		msgs := cfg.Obs.Counter(obs.MetricTransportMsgs, ttags)
+		bytes := cfg.Obs.Counter(obs.MetricTransportBytes, ttags)
+		cfg.Obs.Registry().RegisterCollector(func(*obs.Registry) {
+			st := tr.Stats()
+			msgs.Add(st.Messages - msgs.Value())
+			bytes.Add(st.Bytes - bytes.Value())
+		})
+	}
 
 	// Edge IDs name reports, transport paths, and — under a fault plan —
 	// the per-partition WAL files, so they must be unique (two edges
@@ -462,6 +485,10 @@ func New(cfg Config) (*Cluster, error) {
 		for _, e := range c.edges {
 			asm := node.NewOver(cfg.Clock, e.Store, e.Locks, cfg.Protocol)
 			e.Mgr, e.CC = asm.Mgr, asm.CC
+			if cfg.Obs != nil {
+				e.Mgr.Tracer = cfg.Obs.Tracer()
+				e.Mgr.TraceTags = obs.Tags("edge", e.Spec.ID, "protocol", cfg.Protocol.String())
+			}
 		}
 	}
 
@@ -548,8 +575,15 @@ func (c *Cluster) chooser(home int, crossFrac, zipfSkew float64, seed int64) wor
 
 // buildPipe assembles a camera's pipeline bound to one edge node — called
 // at construction and again when a migration re-homes the camera.
-func (c *Cluster) buildPipe(edge *EdgeNode, source core.TxnSource) (*core.Pipeline, error) {
+func (c *Cluster) buildPipe(edge *EdgeNode, source core.TxnSource, camID string) (*core.Pipeline, error) {
 	cfg := c.cfg
+	// All cameras on one edge contend for the same inference pool, so they
+	// share the edge's queue-depth gauge (the registry hands back the same
+	// gauge for the same name+tags).
+	var queueDepth *obs.Gauge
+	if cfg.Obs != nil {
+		queueDepth = cfg.Obs.Gauge(obs.MetricEdgeQueueDepth, obs.Tags("edge", edge.Spec.ID))
+	}
 	return core.New(core.Config{
 		Clock:       cfg.Clock,
 		Mode:        core.ModeCroesus,
@@ -574,6 +608,9 @@ func (c *Cluster) buildPipe(edge *EdgeNode, source core.TxnSource) (*core.Pipeli
 			},
 			Batcher: c.batcher,
 		},
+		Obs:        cfg.Obs,
+		TagKV:      []string{"edge", edge.Spec.ID, "camera", camID, "protocol", cfg.Protocol.String()},
+		QueueDepth: queueDepth,
 	})
 }
 
@@ -599,7 +636,7 @@ func (c *Cluster) buildCamera(cs CameraSpec, idx int, startAt time.Duration) (*c
 		source.Clk = c.cfg.Clock
 		source.OpCost = c.cfg.OpCost
 	}
-	pipe, err := c.buildPipe(edge, source)
+	pipe, err := c.buildPipe(edge, source, cs.ID)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: camera %q: %w", cs.ID, err)
 	}
@@ -659,6 +696,12 @@ func (c *Cluster) provisionShards() error {
 	shardedStore := &twopc.ShardedStore{Parts: parts, Partitioner: smap.Lookup, Map: smap, Clk: c.cfg.Clock}
 	c.fleetMgr = txn.NewManager(c.cfg.Clock, nil, nil)
 	c.fleetMgr.DB = shardedStore
+	proto := c.cfg.Protocol.String()
+	if c.cfg.Obs != nil {
+		c.dist.Bind(c.cfg.Obs, obs.Tags("protocol", proto))
+		c.fleetMgr.Tracer = c.cfg.Obs.Tracer()
+		c.fleetMgr.TraceTags = obs.Tags("protocol", proto)
+	}
 	for i, e := range c.edges {
 		e.Peers = make([]transport.Path, n)
 		for j := range c.edges {
@@ -678,6 +721,12 @@ func (c *Cluster) provisionShards() error {
 			Map:         smap,
 			Protocol:    distProtocol(c.cfg.Protocol),
 			Stats:       c.dist,
+		}
+		if c.cfg.Obs != nil {
+			cc := e.CC.(*twopc.ShardedCC)
+			cc.Obs = c.cfg.Obs
+			cc.Tags = obs.Tags("edge", e.Spec.ID, "protocol", proto)
+			parts[i].WALAppends = c.cfg.Obs.Counter(obs.MetricWALAppends, obs.Tags("edge", e.Spec.ID))
 		}
 	}
 	if c.cfg.Faults == nil && !c.cfg.Durable {
@@ -725,6 +774,13 @@ func (c *Cluster) provisionShards() error {
 	// restart; the sim transport ignores the hook (its fleet models
 	// crashes above the network).
 	inj.EdgeDown = c.transport.SetEdgeDown
+	if c.cfg.Obs != nil {
+		edgeTags := make([]string, n)
+		for i, e := range c.edges {
+			edgeTags[i] = obs.Tags("edge", e.Spec.ID)
+		}
+		inj.Bind(c.cfg.Obs, edgeTags)
+	}
 	c.injector = inj
 	for _, e := range c.edges {
 		e.CC.(*twopc.ShardedCC).Faults = inj

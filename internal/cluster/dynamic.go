@@ -12,6 +12,7 @@ import (
 	"sort"
 	"time"
 
+	"croesus/internal/obs"
 	"croesus/internal/twopc"
 )
 
@@ -299,6 +300,11 @@ func (c *Cluster) MigrateCamera(cameraID, toEdge string) error {
 			if rev := c.edges[to].Peers; rev != nil {
 				mg.Reverse = rev[from]
 			}
+			if c.cfg.Obs != nil {
+				mg.Obs = c.cfg.Obs
+				mg.Tags = obs.Tags("camera", cameraID,
+					"from", c.edges[from].Spec.ID, "to", c.edges[to].Spec.ID)
+			}
 			if err := mg.Run(); err != nil {
 				c.mu.Lock()
 				c.dyn.MigrationsFailed++
@@ -309,6 +315,9 @@ func (c *Cluster) MigrateCamera(cameraID, toEdge string) error {
 			c.mu.Lock()
 			c.dyn.MigratedKeys += mg.Moved
 			c.mu.Unlock()
+			if c.cfg.Obs != nil {
+				c.cfg.Obs.Counter(obs.MetricMigrations, "").Inc()
+			}
 		}
 	}
 
@@ -405,7 +414,7 @@ func (c *Cluster) rebindLocked(cam *cameraRuntime) {
 		return
 	}
 	dest := c.edges[to]
-	pipe, err := c.buildPipe(dest, cam.src)
+	pipe, err := c.buildPipe(dest, cam.src, cam.spec.ID)
 	if err != nil {
 		// The destination edge was validated at migration time; a build
 		// failure here is a harness bug, not a modeled fault.

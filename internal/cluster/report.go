@@ -55,6 +55,14 @@ type ClusterReport struct {
 	FinalP95   time.Duration
 	FinalP99   time.Duration
 
+	// CriticalPath decomposes the fleet's final latency into its
+	// critical-path components, per core.Breakdown.CriticalPath — where
+	// the time went, not just how much there was. The components are
+	// per-frame sums over possibly-overlapping stages, so a component
+	// percentile can exceed the corresponding final-latency percentile's
+	// share; compare components against each other, not against FinalP99.
+	CriticalPath CriticalPath
+
 	// MeanF1Final is the unweighted mean of per-camera final accuracy.
 	MeanF1Final float64
 
@@ -100,6 +108,17 @@ type ClusterReport struct {
 	Transport *TransportReport
 }
 
+// CriticalPath is the per-component decomposition of final latency at two
+// percentiles: model compute (edge + cloud inference), queueing (inference
+// pools, batcher), lock waits, 2PC rounds, and network transfer.
+type CriticalPath struct {
+	ComputeP50, ComputeP99 time.Duration
+	QueueP50, QueueP99     time.Duration
+	LockP50, LockP99       time.Duration
+	TwoPCP50, TwoPCP99     time.Duration
+	NetworkP50, NetworkP99 time.Duration
+}
+
 // TransportReport is the non-simulated transport's contribution to a fleet
 // report.
 type TransportReport struct {
@@ -116,6 +135,9 @@ func (c *Cluster) report(elapsed, endAt time.Duration) *ClusterReport {
 	r := &ClusterReport{Policy: c.cfg.Placement.Name(), Elapsed: elapsed}
 	phases := c.phaseReports(endAt)
 	var fleetInit, fleetFinal metrics.LatencyStats
+	// Component stats index: compute, queue, lock, 2PC, network — the
+	// order CriticalPath() returns them in.
+	var comp [5]metrics.LatencyStats
 	phaseFinal := make([]metrics.LatencyStats, len(phases))
 	for _, cam := range c.cams {
 		// A camera that left mid-run (or lost frames to an outage) is
@@ -141,6 +163,12 @@ func (c *Cluster) report(elapsed, endAt time.Duration) *ClusterReport {
 			final.Add(outs[i].FinalLatency)
 			fleetInit.Add(outs[i].InitialLatency)
 			fleetFinal.Add(outs[i].FinalLatency)
+			cc, cq, cl, ct, cn := outs[i].Breakdown.CriticalPath()
+			comp[0].Add(cc)
+			comp[1].Add(cq)
+			comp[2].Add(cl)
+			comp[3].Add(ct)
+			comp[4].Add(cn)
 			for pi := range phases {
 				if outs[i].CapturedAt >= phases[pi].Start && (pi == len(phases)-1 || outs[i].CapturedAt < phases[pi].End) {
 					phases[pi].Frames++
@@ -193,6 +221,13 @@ func (c *Cluster) report(elapsed, endAt time.Duration) *ClusterReport {
 	r.FinalP50 = fleetFinal.Percentile(50)
 	r.FinalP95 = fleetFinal.Percentile(95)
 	r.FinalP99 = fleetFinal.Percentile(99)
+	r.CriticalPath = CriticalPath{
+		ComputeP50: comp[0].Percentile(50), ComputeP99: comp[0].Percentile(99),
+		QueueP50: comp[1].Percentile(50), QueueP99: comp[1].Percentile(99),
+		LockP50: comp[2].Percentile(50), LockP99: comp[2].Percentile(99),
+		TwoPCP50: comp[3].Percentile(50), TwoPCP99: comp[3].Percentile(99),
+		NetworkP50: comp[4].Percentile(50), NetworkP99: comp[4].Percentile(99),
+	}
 	r.Batcher = c.batcher.Stats()
 	r.Sharded = c.cfg.Sharded
 	r.Protocol = c.cfg.Protocol.String()
@@ -239,6 +274,13 @@ func (r *ClusterReport) Format() string {
 	fmt.Fprintf(&b, "fleet latency: initial p50/p95/p99 %s/%s/%s, final p50/p95/p99 %s/%s/%s\n",
 		r.InitialP50.Round(time.Millisecond), r.InitialP95.Round(time.Millisecond), r.InitialP99.Round(time.Millisecond),
 		r.FinalP50.Round(time.Millisecond), r.FinalP95.Round(time.Millisecond), r.FinalP99.Round(time.Millisecond))
+	cp := r.CriticalPath
+	fmt.Fprintf(&b, "critical path (p50/p99): compute %s/%s, queue %s/%s, lock %s/%s, 2pc %s/%s, network %s/%s\n",
+		cp.ComputeP50.Round(time.Millisecond), cp.ComputeP99.Round(time.Millisecond),
+		cp.QueueP50.Round(time.Millisecond), cp.QueueP99.Round(time.Millisecond),
+		cp.LockP50.Round(time.Millisecond), cp.LockP99.Round(time.Millisecond),
+		cp.TwoPCP50.Round(time.Millisecond), cp.TwoPCP99.Round(time.Millisecond),
+		cp.NetworkP50.Round(time.Millisecond), cp.NetworkP99.Round(time.Millisecond))
 	bs := r.Batcher
 	fmt.Fprintf(&b, "cloud batcher: %d batches carrying %d frames (mean %.1f, max %d), shed %d, max flush wait %s, SLO violations %d\n",
 		bs.Batches, bs.Frames, bs.MeanBatch, bs.MaxBatch, bs.Shed,

@@ -12,25 +12,50 @@ import (
 // Breakdown decomposes a frame's end-to-end latency into the components the
 // paper's Figure 2 stacks: client→edge transfer, edge detection, initial
 // transaction, edge→cloud transfer, cloud detection, label return, final
-// transaction.
+// transaction — plus the contended-resource components (pool wait, batcher
+// queue, lock wait, 2PC fan-out) that attribute where a slow frame lost
+// its time. ComputeWait precedes EdgeDetect; CloudQueue precedes
+// CloudDetect (which is pure batch compute); LockWait and TwoPC are the
+// transactional shares of InitialTxn+FinalTxn.
 type Breakdown struct {
 	ClientEdge  time.Duration
+	ComputeWait time.Duration // waiting for an edge inference slot
 	EdgeDetect  time.Duration
 	InitialTxn  time.Duration
 	EdgeCloud   time.Duration
+	CloudQueue  time.Duration // batcher/validator queue before cloud compute
 	CloudDetect time.Duration
 	CloudReturn time.Duration
 	FinalTxn    time.Duration
+	LockWait    time.Duration // lock acquisition inside the txn sections
+	TwoPC       time.Duration // prepare/commit fan-out inside the txn sections
+}
+
+// CriticalPath buckets the breakdown into the five components of the
+// report's critical-path view. Lock and 2PC time are carved out of the
+// transaction sections; queue is everything spent waiting for a
+// contended compute resource; network is pure transfer.
+func (b Breakdown) CriticalPath() (compute, queue, lock, twopc, network time.Duration) {
+	compute = b.EdgeDetect + b.CloudDetect
+	queue = b.ComputeWait + b.CloudQueue
+	lock = b.LockWait
+	twopc = b.TwoPC
+	network = b.ClientEdge + b.EdgeCloud + b.CloudReturn
+	return
 }
 
 func (b *Breakdown) add(o Breakdown) {
 	b.ClientEdge += o.ClientEdge
+	b.ComputeWait += o.ComputeWait
 	b.EdgeDetect += o.EdgeDetect
 	b.InitialTxn += o.InitialTxn
 	b.EdgeCloud += o.EdgeCloud
+	b.CloudQueue += o.CloudQueue
 	b.CloudDetect += o.CloudDetect
 	b.CloudReturn += o.CloudReturn
 	b.FinalTxn += o.FinalTxn
+	b.LockWait += o.LockWait
+	b.TwoPC += o.TwoPC
 }
 
 func (b *Breakdown) div(n int) {
@@ -39,12 +64,16 @@ func (b *Breakdown) div(n int) {
 	}
 	d := time.Duration(n)
 	b.ClientEdge /= d
+	b.ComputeWait /= d
 	b.EdgeDetect /= d
 	b.InitialTxn /= d
 	b.EdgeCloud /= d
+	b.CloudQueue /= d
 	b.CloudDetect /= d
 	b.CloudReturn /= d
 	b.FinalTxn /= d
+	b.LockWait /= d
+	b.TwoPC /= d
 }
 
 // FrameOutcome is the client-observable result of one frame.

@@ -16,6 +16,7 @@ import (
 
 	"croesus/internal/detect"
 	"croesus/internal/netsim"
+	"croesus/internal/obs"
 	"croesus/internal/transport"
 	"croesus/internal/txn"
 	"croesus/internal/vclock"
@@ -152,6 +153,19 @@ type Config struct {
 	CloudLossProb float64
 	// CloudTimeout bounds the wait for cloud labels (default 3 s).
 	CloudTimeout time.Duration
+
+	// Obs, when set, enables span tracing and metrics for this pipeline.
+	// TagKV is the alternating key/value tag list ({edge, camera,
+	// protocol}) stamped on its spans and metrics. Instrumentation only
+	// reads the clock and touches obs-internal state, so enabling it
+	// never perturbs the virtual-time schedule.
+	Obs   *obs.Obs
+	TagKV []string
+	// QueueDepth, when set, is the per-edge inference-queue gauge this
+	// pipeline adjusts while waiting for an edge compute slot. The
+	// cluster runtime resolves one gauge per edge and shares it across
+	// the cameras placed there, mirroring the shared EdgeCompute pool.
+	QueueDepth *obs.Gauge
 }
 
 // Defaults fills unset fields.
@@ -196,6 +210,20 @@ type Pipeline struct {
 	edgeSlots *vclock.Semaphore
 	cloudSlot *vclock.Semaphore
 
+	// Pre-resolved observability handles (all nil-safe no-ops when
+	// Config.Obs is unset), so the hot path never does registry lookups.
+	tags       string
+	queueDepth *obs.Gauge
+	mFrames    *obs.Counter
+	mShed      *obs.Counter
+	mLost      *obs.Counter
+	mValidated *obs.Counter
+	mTxns      *obs.Counter
+	mApologies *obs.Counter
+	mInitial   *obs.Histogram
+	mFinal     *obs.Histogram
+	mComponent [5]*obs.Histogram // compute, queue, lock, twopc, network
+
 	mu       sync.Mutex
 	outcomes []FrameOutcome
 }
@@ -226,6 +254,21 @@ func New(cfg Config) (*Pipeline, error) {
 		cfg:       cfg,
 		edgeSlots: edgeSlots,
 		cloudSlot: vclock.NewSemaphore(cfg.Clock, cfg.CloudSlots),
+	}
+	p.tags = obs.Tags(cfg.TagKV...)
+	p.queueDepth = cfg.QueueDepth
+	if o := cfg.Obs; o != nil {
+		p.mFrames = o.Counter(obs.MetricFrames, p.tags)
+		p.mShed = o.Counter(obs.MetricFramesShed, p.tags)
+		p.mLost = o.Counter(obs.MetricFramesLost, p.tags)
+		p.mValidated = o.Counter(obs.MetricFramesValid, p.tags)
+		p.mTxns = o.Counter(obs.MetricTxns, p.tags)
+		p.mApologies = o.Counter(obs.MetricApologies, p.tags)
+		p.mInitial = o.Histogram(obs.MetricInitialLatency, p.tags)
+		p.mFinal = o.Histogram(obs.MetricFinalLatency, p.tags)
+		for i, comp := range [5]string{"compute", "queue", "lock", "twopc", "network"} {
+			p.mComponent[i] = o.Histogram(obs.MetricComponent, obs.Tags(append([]string{"component", comp}, cfg.TagKV...)...))
+		}
 	}
 	p.validator = cfg.Validator
 	if p.validator == nil && cfg.CloudModel != nil {
@@ -286,13 +329,41 @@ func (p *Pipeline) ProcessFrame(f *video.Frame) FrameOutcome {
 
 // processFrame is the per-frame execution pattern of Figure 1.
 func (p *Pipeline) processFrame(f *video.Frame) FrameOutcome {
+	var out FrameOutcome
 	switch p.cfg.Mode {
 	case ModeEdgeOnly:
-		return p.processEdgeOnly(f)
+		out = p.processEdgeOnly(f)
 	case ModeCloudOnly:
-		return p.processCloudOnly(f)
+		out = p.processCloudOnly(f)
 	default:
-		return p.processCroesus(f)
+		out = p.processCroesus(f)
+	}
+	p.observe(&out)
+	return out
+}
+
+// observe feeds the finished frame into the metrics registry. No-op when
+// observability is disabled (every handle is a nil-safe no-op).
+func (p *Pipeline) observe(out *FrameOutcome) {
+	if p.cfg.Obs == nil {
+		return
+	}
+	p.mFrames.Inc()
+	switch {
+	case out.Shed:
+		p.mShed.Inc()
+	case out.CloudLost:
+		p.mLost.Inc()
+	case out.SentToCloud:
+		p.mValidated.Inc()
+	}
+	p.mTxns.Add(int64(out.TxnsTriggered))
+	p.mApologies.Add(int64(len(out.Apologies)))
+	p.mInitial.Observe(out.InitialLatency)
+	p.mFinal.Observe(out.FinalLatency)
+	compute, queue, lock, twopc, network := out.Breakdown.CriticalPath()
+	for i, d := range [5]time.Duration{compute, queue, lock, twopc, network} {
+		p.mComponent[i].Observe(d)
 	}
 }
 
@@ -304,10 +375,13 @@ func (p *Pipeline) processCroesus(f *video.Frame) FrameOutcome {
 	// Step 1: the client sends the frame to the edge node.
 	t0 := clk.Now()
 	cfg.ClientEdge.Send(clk, f.SizeBytes)
-	out.Breakdown.ClientEdge = clk.Now() - t0
+	tIngest := clk.Now()
+	out.Breakdown.ClientEdge = tIngest - t0
+	cfg.Obs.Span(obs.SpanFrameIngest, p.tags, t0, tIngest)
 
 	// Step 2: the edge model processes the frame.
-	dets, edgeLat := p.detectEdge(f)
+	dets, poolWait, edgeLat := p.detectEdge(f)
+	out.Breakdown.ComputeWait = poolWait
 	out.Breakdown.EdgeDetect = edgeLat
 	if cfg.Smoother != nil {
 		dets = cfg.Smoother.Apply(f.Index, dets)
@@ -356,14 +430,18 @@ func (p *Pipeline) processCroesus(f *video.Frame) FrameOutcome {
 	// lost request degrades to local finalization — the initial commit
 	// already answered the client, so availability is preserved at the
 	// cost of uncorrected labels.
+	tValidate := clk.Now()
 	res := p.validator.Validate(ValidationRequest{
 		Frame:  f,
 		Edge:   visible,
 		Margin: ValidationMargin(visible, cfg.ThetaL, cfg.ThetaU),
 	})
 	out.Breakdown.EdgeCloud = res.EdgeCloud
+	out.Breakdown.CloudQueue = res.CloudQueue
 	out.Breakdown.CloudDetect = res.CloudDetect
 	out.Breakdown.CloudReturn = res.CloudReturn
+	cfg.Obs.Span(obs.SpanUplink, p.tags, tValidate, tValidate+res.EdgeCloud)
+	cfg.Obs.Span(obs.SpanCloudValidate, p.tags, tValidate, clk.Now())
 	if res.Status != Validated {
 		switch res.Status {
 		case ValidationShed:
@@ -400,7 +478,8 @@ func (p *Pipeline) processEdgeOnly(f *video.Frame) FrameOutcome {
 	cfg.ClientEdge.Send(clk, f.SizeBytes)
 	out.Breakdown.ClientEdge = clk.Now() - t0
 
-	dets, edgeLat := p.detectEdge(f)
+	dets, poolWait, edgeLat := p.detectEdge(f)
+	out.Breakdown.ComputeWait = poolWait
 	out.Breakdown.EdgeDetect = edgeLat
 	dets = filterConfidence(dets, cfg.MinConfidence)
 	out.EdgeDetections = dets
@@ -461,15 +540,25 @@ func (p *Pipeline) processCloudOnly(f *video.Frame) FrameOutcome {
 	return out
 }
 
-// detectEdge runs the edge model under the edge compute slots.
-func (p *Pipeline) detectEdge(f *video.Frame) ([]detect.Detection, time.Duration) {
+// detectEdge runs the edge model under the edge compute slots. It
+// returns the detections, the time spent waiting for a slot, and the
+// inference time itself.
+func (p *Pipeline) detectEdge(f *video.Frame) ([]detect.Detection, time.Duration, time.Duration) {
 	clk := p.cfg.Clock
+	tw := clk.Now()
+	p.queueDepth.Add(1)
 	p.edgeSlots.Acquire()
+	p.queueDepth.Add(-1)
 	start := clk.Now()
 	res := p.cfg.EdgeModel.Detect(f)
 	clk.Sleep(scale(res.Latency, p.cfg.EdgeSpeed))
 	p.edgeSlots.Release()
-	return res.Detections, clk.Now() - start
+	end := clk.Now()
+	if start > tw {
+		p.cfg.Obs.Span(obs.SpanPoolWait, p.tags, tw, start)
+	}
+	p.cfg.Obs.Span(obs.SpanEdgeDetect, p.tags, start, end)
+	return res.Detections, start - tw, end - start
 }
 
 // detectCloud runs the cloud model under the cloud compute slots.
@@ -505,15 +594,30 @@ func (p *Pipeline) runInitials(f *video.Frame, dets []detect.Detection, out *Fra
 			continue
 		}
 		inst := p.cfg.Mgr.NewInstance(t, InitialInput{FrameIndex: f.Index, Trigger: d, Labels: dets})
-		if err := p.cfg.CC.RunInitial(inst); err != nil {
+		err := p.cfg.CC.RunInitial(inst)
+		p.harvestTiming(inst, out)
+		if err != nil {
 			out.InitialAborts++
 			continue
 		}
 		pending = append(pending, pendingTxn{inst: inst, trigger: d, edgeIdx: i})
 	}
 	out.TxnsTriggered += len(pending)
-	out.Breakdown.InitialTxn = clk.Now() - start
+	end := clk.Now()
+	out.Breakdown.InitialTxn = end - start
+	if len(dets) > 0 {
+		p.cfg.Obs.Span(obs.SpanInitialTxn, p.tags, start, end)
+	}
 	return pending
+}
+
+// harvestTiming folds an instance's instrumented lock-wait and 2PC time
+// (accumulated by the CC protocol while its sections ran on this frame's
+// goroutine) into the frame's breakdown.
+func (p *Pipeline) harvestTiming(inst *txn.Instance, out *FrameOutcome) {
+	lw, tp := inst.TakeTiming()
+	out.Breakdown.LockWait += lw
+	out.Breakdown.TwoPC += tp
 }
 
 // runFinals executes the final sections with the matched cloud labels, plus
@@ -543,6 +647,7 @@ func (p *Pipeline) runFinals(f *video.Frame, pending []pendingTxn, matches []Lab
 		if err := p.cfg.CC.RunFinal(pt.inst); err != nil && err != txn.ErrRetracted {
 			out.FinalErrors++
 		}
+		p.harvestTiming(pt.inst, out)
 		out.Apologies = append(out.Apologies, pt.inst.Apologies()...)
 	}
 	// Labels the edge missed entirely: trigger initial+final now (§3.3).
@@ -555,7 +660,9 @@ func (p *Pipeline) runFinals(f *video.Frame, pending []pendingTxn, matches []Lab
 			continue
 		}
 		inst := p.cfg.Mgr.NewInstance(t, InitialInput{FrameIndex: f.Index, Trigger: m.Cloud})
-		if err := p.cfg.CC.RunInitial(inst); err != nil {
+		err := p.cfg.CC.RunInitial(inst)
+		p.harvestTiming(inst, out)
+		if err != nil {
 			out.InitialAborts++
 			continue
 		}
@@ -565,9 +672,14 @@ func (p *Pipeline) runFinals(f *video.Frame, pending []pendingTxn, matches []Lab
 		if err := p.cfg.CC.RunFinal(inst); err != nil && err != txn.ErrRetracted {
 			out.FinalErrors++
 		}
+		p.harvestTiming(inst, out)
 		out.Apologies = append(out.Apologies, inst.Apologies()...)
 	}
-	out.Breakdown.FinalTxn = clk.Now() - start
+	end := clk.Now()
+	out.Breakdown.FinalTxn = end - start
+	if len(pending) > 0 || len(matches) > 0 {
+		p.cfg.Obs.Span(obs.SpanFinalTxn, p.tags, start, end)
+	}
 }
 
 // assumedMatches builds MatchAssumed entries for all edge labels.

@@ -65,8 +65,12 @@ type ValidationResult struct {
 	Cloud []detect.Detection
 	// EdgeCloud is preprocessing plus the edge→cloud transfer.
 	EdgeCloud time.Duration
-	// CloudDetect is the time from arrival at the validator to labels
-	// being ready — for a batched validator this includes queue wait.
+	// CloudQueue is the wait between arrival at the validator and cloud
+	// compute starting — slot wait for the direct path, enqueue→dispatch
+	// for a batched validator.
+	CloudQueue time.Duration
+	// CloudDetect is the pure cloud compute time once a slot (or batch)
+	// starts running.
 	CloudDetect time.Duration
 	// CloudReturn is the label-return transfer back to the edge.
 	CloudReturn time.Duration
@@ -163,11 +167,13 @@ func (v *DirectValidator) Validate(req ValidationRequest) ValidationResult {
 		return res
 	}
 
+	tq := clk.Now()
 	v.Slots.Acquire()
 	t1 := clk.Now()
 	r := v.Model.Detect(req.Frame)
 	clk.Sleep(scale(r.Latency, v.CloudSpeed))
 	v.Slots.Release()
+	res.CloudQueue = t1 - tq
 	res.CloudDetect = clk.Now() - t1
 
 	t2 := clk.Now()

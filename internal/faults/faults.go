@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"croesus/internal/metrics"
+	"croesus/internal/obs"
 	"croesus/internal/transport"
 	"croesus/internal/twopc"
 	"croesus/internal/txn"
@@ -146,6 +147,12 @@ type Injector struct {
 	// Start.
 	EdgeDown func(edge int, down bool)
 
+	// Observability hooks, wired by Bind (nil without it): obs carries the
+	// wal.replay span each recovery emits; edgeTags[i] is the pre-rendered
+	// tag string for edge i's spans.
+	obs      *obs.Obs
+	edgeTags []string
+
 	mu         sync.Mutex
 	down       []bool
 	recovering []bool
@@ -212,6 +219,35 @@ func NewInjector(clk vclock.Clock, plan Plan, parts []*twopc.Partition, links []
 		armed:      append([]TwoPCCrash{}, plan.TwoPC...),
 		seen:       make(map[pointKey]int),
 	}, nil
+}
+
+// Bind attaches the observability layer: every recovery emits a
+// wal.replay span tagged with edgeTags[e], and the fault counters are
+// pulled into the registry at scrape time (the report keeps its own
+// Counters snapshot — the registry mirrors it, never replaces it). Call
+// before Start.
+func (i *Injector) Bind(o *obs.Obs, edgeTags []string) {
+	if o == nil {
+		return
+	}
+	i.obs = o
+	i.edgeTags = edgeTags
+	crashes := o.Counter(obs.MetricFaultCrashes, "")
+	recoveries := o.Counter(obs.MetricFaultRecover, "")
+	replayed := o.Counter(obs.MetricWALReplayed, "")
+	o.Registry().RegisterCollector(func(*obs.Registry) {
+		c := i.Counters()
+		crashes.Add(c.Crashes - crashes.Value())
+		recoveries.Add(c.Restarts - recoveries.Value())
+		replayed.Add(c.ReplayedRecords - replayed.Value())
+	})
+}
+
+func (i *Injector) edgeTag(e int) string {
+	if e < len(i.edgeTags) {
+		return i.edgeTags[e]
+	}
+	return ""
 }
 
 // Start spawns the plan's time-scheduled events on the clock. Call exactly
@@ -401,6 +437,7 @@ func (i *Injector) restart(e int, charge bool) {
 	}
 	i.recovering[e] = true
 	i.mu.Unlock()
+	tReplay := i.clk.Now()
 
 	if charge {
 		records, coords, err := wal.Probe(i.paths[e])
@@ -459,6 +496,7 @@ func (i *Injector) restart(e int, charge bool) {
 		i.recovery.Add(i.clk.Now() - i.crashedAt[e])
 	}
 	i.mu.Unlock()
+	i.obs.Span(obs.SpanWALReplay, i.edgeTag(e), tReplay, i.clk.Now())
 	if i.EdgeDown != nil {
 		i.EdgeDown(e, false)
 	}

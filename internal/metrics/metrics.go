@@ -141,7 +141,11 @@ func filterClass(dets []detect.Detection, class string) []detect.Detection {
 	return out
 }
 
-// LatencyStats summarizes a sample of durations.
+// LatencyStats summarizes a sample of durations. It is not
+// goroutine-safe: Add mutates the sample slice and the percentile
+// readers sort it in place, so callers must confine a value to one
+// goroutine or serialize access externally (the pipeline accumulates
+// per-camera and merges at report time for exactly this reason).
 type LatencyStats struct {
 	samples []time.Duration
 	sorted  bool
@@ -168,24 +172,32 @@ func (s *LatencyStats) Mean() time.Duration {
 	return sum / time.Duration(len(s.samples))
 }
 
+// sortedView sorts the samples in place (once per batch of Adds) and
+// returns them. Every order-statistic reader goes through this single
+// helper so the lazy re-sort logic lives in exactly one place.
+func (s *LatencyStats) sortedView() []time.Duration {
+	if !s.sorted {
+		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
+		s.sorted = true
+	}
+	return s.samples
+}
+
 // Percentile returns the p-th percentile (0 < p <= 100) by
 // nearest-rank; 0 with no samples.
 func (s *LatencyStats) Percentile(p float64) time.Duration {
 	if len(s.samples) == 0 {
 		return 0
 	}
-	if !s.sorted {
-		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
-		s.sorted = true
-	}
-	rank := int(math.Ceil(p / 100 * float64(len(s.samples))))
+	v := s.sortedView()
+	rank := int(math.Ceil(p / 100 * float64(len(v))))
 	if rank < 1 {
 		rank = 1
 	}
-	if rank > len(s.samples) {
-		rank = len(s.samples)
+	if rank > len(v) {
+		rank = len(v)
 	}
-	return s.samples[rank-1]
+	return v[rank-1]
 }
 
 // Max returns the maximum sample.
@@ -196,9 +208,5 @@ func (s *LatencyStats) Min() time.Duration {
 	if len(s.samples) == 0 {
 		return 0
 	}
-	if !s.sorted {
-		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
-		s.sorted = true
-	}
-	return s.samples[0]
+	return s.sortedView()[0]
 }

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// SortSpans orders spans by (Start, End, Name, Tags). Concurrent emitters
+// append in a racy order, but under the deterministic scheduler the span
+// multiset — and all four sort keys — are fixed by scenario + seed, so
+// sorting makes the exported bytes reproducible.
+func SortSpans(spans []Span) {
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Tags < b.Tags
+	})
+}
+
+// WriteJSONL writes one span per line as JSON, sorted. Timestamps are
+// integer nanoseconds, so identical span multisets produce identical
+// bytes.
+func WriteJSONL(w io.Writer, spans []Span) error {
+	sorted := make([]Span, len(spans))
+	copy(sorted, spans)
+	SortSpans(sorted)
+	for _, s := range sorted {
+		b, err := json.Marshal(s)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one complete ("ph":"X") event in the Chrome trace_event
+// format that Perfetto and chrome://tracing load.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeMeta struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// WriteChromeTrace writes the spans as a Chrome trace_event JSON object
+// (the format Perfetto opens directly). Each distinct tag set becomes a
+// named track (tid), assigned in sorted-tag order so the file is
+// deterministic.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	sorted := make([]Span, len(spans))
+	copy(sorted, spans)
+	SortSpans(sorted)
+
+	tagSet := make(map[string]bool)
+	for _, s := range sorted {
+		tagSet[s.Tags] = true
+	}
+	allTags := make([]string, 0, len(tagSet))
+	for t := range tagSet {
+		allTags = append(allTags, t)
+	}
+	sort.Strings(allTags)
+	tid := make(map[string]int, len(allTags))
+	for i, t := range allTags {
+		tid[t] = i + 1
+	}
+
+	events := make([]any, 0, len(sorted)+len(allTags))
+	for i, t := range allTags {
+		name := t
+		if name == "" {
+			name = "fleet"
+		}
+		events = append(events, chromeMeta{
+			Name: "thread_name", Ph: "M", PID: 1, TID: i + 1,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, s := range sorted {
+		ev := chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			TS:   float64(s.Start) / 1e3,
+			Dur:  float64(s.End-s.Start) / 1e3,
+			PID:  1,
+			TID:  tid[s.Tags],
+		}
+		if s.Tags != "" {
+			args := make(map[string]string)
+			for _, pair := range strings.Split(s.Tags, ",") {
+				k, v, _ := strings.Cut(pair, "=")
+				args[k] = v
+			}
+			ev.Args = args
+		}
+		events = append(events, ev)
+	}
+
+	b, err := json.Marshal(map[string]any{"traceEvents": events})
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteTraceFile writes spans to w in the format implied by the file
+// name: ".jsonl" gets the line-oriented export, anything else the Chrome
+// trace_event JSON.
+func WriteTraceFile(w io.Writer, name string, spans []Span) error {
+	if strings.HasSuffix(name, ".jsonl") {
+		return WriteJSONL(w, spans)
+	}
+	return WriteChromeTrace(w, spans)
+}
+
+// DescribeTrace summarizes a trace for log lines: span count and
+// distinct names.
+func DescribeTrace(spans []Span) string {
+	names := make(map[string]bool)
+	for _, s := range spans {
+		names[s.Name] = true
+	}
+	return fmt.Sprintf("%d spans, %d span kinds", len(spans), len(names))
+}

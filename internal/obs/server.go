@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServeDebug starts the introspection HTTP endpoint on addr and returns
+// the bound address. The mux serves:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/debug/vars   expvar JSON (includes the registry snapshot)
+//	/debug/pprof  the standard pprof handlers
+//
+// The server runs on plain goroutines outside any vclock scheduler, so it
+// is safe under both the simulated and the wall clock; it lives until the
+// process exits (debug endpoints have no graceful-shutdown needs).
+func ServeDebug(addr string, reg *Registry) (string, error) {
+	PublishExpvar(reg)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(reg.PrometheusText()))
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		srv := &http.Server{Handler: mux}
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,91 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"croesus/internal/obs"
+	"croesus/internal/vclock"
+)
+
+// runObserved plays the acceptance scenario with an observability layer
+// threaded through the fleet and returns the report text and the obs.
+func runObserved(t *testing.T) (string, *obs.Obs) {
+	t.Helper()
+	o := obs.New()
+	rt, err := NewObserved(migrateAndCrash(), vclock.NewSim(), nil, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Cluster.Close()
+	return rt.Run().Format(), o
+}
+
+// TestTraceDeterministicOnSim is the tentpole's determinism bar: the same
+// scenario under the same seed must export a byte-identical JSONL trace,
+// and tracing must not lose spans to the capacity cap.
+func TestTraceDeterministicOnSim(t *testing.T) {
+	export := func() []byte {
+		_, o := runObserved(t)
+		if d := o.Trace.Dropped(); d != 0 {
+			t.Fatalf("tracer dropped %d spans; the determinism check is vacuous", d)
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteJSONL(&buf, o.Trace.Spans()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	t1 := export()
+	t2 := export()
+	if len(t1) == 0 {
+		t.Fatal("observed run emitted no spans")
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Fatalf("trace replay diverged: %d vs %d bytes", len(t1), len(t2))
+	}
+
+	// The scenario exercises crash recovery, a shard migration, and
+	// cross-edge 2PC; their spans must all be present.
+	names := map[string]bool{}
+	_, o := runObserved(t)
+	for _, s := range o.Trace.Spans() {
+		names[s.Name] = true
+	}
+	for _, want := range []string{
+		obs.SpanFrameIngest, obs.SpanEdgeDetect, obs.SpanInitialTxn,
+		obs.SpanUplink, obs.SpanCloudValidate, obs.SpanBatchQueue,
+		obs.SpanBatchRun, obs.SpanTwoPC, obs.SpanLockWait,
+		obs.SpanWALReplay, obs.SpanQuiesce, obs.SpanCutover,
+	} {
+		if !names[want] {
+			t.Errorf("trace is missing %q spans", want)
+		}
+	}
+}
+
+// TestReportUnchangedWithObs pins the schedule-neutrality invariant:
+// enabling the observability layer must not perturb the virtual-time
+// schedule, so the report is byte-identical with and without it.
+func TestReportUnchangedWithObs(t *testing.T) {
+	plain, err := Run(migrateAndCrash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, o := runObserved(t)
+	if plain.Format() != observed {
+		t.Fatalf("observability perturbed the schedule:\n--- without obs\n%s\n--- with obs\n%s", plain.Format(), observed)
+	}
+
+	// The registry's mirrored counters must agree with the report's own.
+	snap := o.Reg.Snapshot()
+	total := int64(0)
+	for k, v := range snap {
+		if len(k) >= len(obs.MetricFrames) && k[:len(obs.MetricFrames)] == obs.MetricFrames {
+			total += v
+		}
+	}
+	if total != int64(plain.Frames) {
+		t.Fatalf("registry counted %d frames, report %d", total, plain.Frames)
+	}
+}

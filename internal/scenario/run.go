@@ -13,6 +13,7 @@ import (
 
 	"croesus/internal/cluster"
 	"croesus/internal/faults"
+	"croesus/internal/obs"
 	"croesus/internal/transport"
 	"croesus/internal/twopc"
 	"croesus/internal/vclock"
@@ -40,6 +41,11 @@ type Options struct {
 	// real second. 0 or 1 runs at full fidelity. Ignored on sim, where
 	// virtual time is already free.
 	TimeScale float64
+	// Obs, when set, threads the observability layer through the fleet:
+	// per-stage spans to its tracer, fleet counters and latency histograms
+	// into its registry. Works identically on both transports; on sim the
+	// resulting trace is deterministic.
+	Obs *obs.Obs
 }
 
 // Runtime is a compiled scenario bound to a cluster, ready to Run. Tests
@@ -65,6 +71,12 @@ func New(s *Scenario, clk vclock.Clock) (*Runtime, error) {
 // NewOn is New with an explicit deployment transport (nil: simulated).
 // The cluster takes ownership of the transport and closes it with Close.
 func NewOn(s *Scenario, clk vclock.Clock, tr transport.Transport) (*Runtime, error) {
+	return NewObserved(s, clk, tr, nil)
+}
+
+// NewObserved is NewOn with an observability layer threaded through the
+// fleet (nil: disabled).
+func NewObserved(s *Scenario, clk vclock.Clock, tr transport.Transport, o *obs.Obs) (*Runtime, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -77,6 +89,7 @@ func NewOn(s *Scenario, clk vclock.Clock, tr transport.Transport) (*Runtime, err
 		return nil, err
 	}
 	cfg.Transport = tr
+	cfg.Obs = o
 	c, err := cluster.New(cfg)
 	if err != nil {
 		if tr != nil {
@@ -119,9 +132,14 @@ func Run(s *Scenario) (*cluster.ClusterReport, error) {
 func RunWith(s *Scenario, o Options) (*cluster.ClusterReport, error) {
 	switch o.Transport {
 	case "", TransportSim:
-		return Run(s)
+		rt, err := NewObserved(s, vclock.NewSim(), nil, o.Obs)
+		if err != nil {
+			return nil, err
+		}
+		defer rt.Cluster.Close()
+		return rt.Run(), nil
 	case TransportTCP:
-		rt, err := NewOn(s, vclock.NewScaledReal(o.TimeScale), transport.NewTCP())
+		rt, err := NewObserved(s, vclock.NewScaledReal(o.TimeScale), transport.NewTCP(), o.Obs)
 		if err != nil {
 			return nil, err
 		}

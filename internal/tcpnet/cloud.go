@@ -19,6 +19,7 @@ import (
 	"croesus/internal/cluster"
 	"croesus/internal/core"
 	"croesus/internal/detect"
+	"croesus/internal/obs"
 	"croesus/internal/vclock"
 	"croesus/internal/wire"
 )
@@ -40,6 +41,10 @@ type CloudConfig struct {
 	MaxPending int
 	Slots      int
 	CloudSpeed float64
+	// Obs, when set, threads the observability layer through the batcher:
+	// queue-depth/inflight gauges, a batches counter, and batch spans on
+	// the wall clock — what -debug-addr serves.
+	Obs *obs.Obs
 }
 
 // CloudServer serves detection requests with the full model behind the
@@ -88,6 +93,7 @@ func NewCloudServerWith(cfg CloudConfig) (*CloudServer, error) {
 		MaxPending: cfg.MaxPending,
 		Slots:      cfg.Slots,
 		CloudSpeed: cfg.CloudSpeed,
+		Obs:        cfg.Obs,
 	})
 	if err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 	"croesus/internal/core"
 	"croesus/internal/detect"
 	"croesus/internal/node"
+	"croesus/internal/obs"
 	"croesus/internal/transport"
 	"croesus/internal/txn"
 	"croesus/internal/vclock"
@@ -38,6 +39,13 @@ type EdgeConfig struct {
 	// detection pipeline without a database.
 	Source core.TxnSource
 	Logf   func(format string, args ...any)
+	// Obs, when set, threads the observability layer through every client
+	// session's pipeline and the transaction manager: per-stage spans on
+	// the wall clock plus fleet counters, latency histograms, and the
+	// inference-queue-depth gauge — what -debug-addr serves.
+	Obs *obs.Obs
+	// EdgeID tags this server's metrics and spans (default "edge").
+	EdgeID string
 }
 
 // EdgeServer is the edge node of the real multi-process deployment. It is
@@ -50,10 +58,11 @@ type EdgeConfig struct {
 // the cloud side is the batched, shedding validator, so overload degrades
 // to edge answers exactly as in the simulated fleet.
 type EdgeServer struct {
-	cfg     EdgeConfig
-	clk     vclock.Clock
-	asm     *node.Assembly
-	compute *vclock.Semaphore
+	cfg        EdgeConfig
+	clk        vclock.Clock
+	asm        *node.Assembly
+	compute    *vclock.Semaphore
+	queueDepth *obs.Gauge // shared across sessions: one compute pool, one gauge
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -85,14 +94,23 @@ func NewEdgeServer(cfg EdgeConfig) (*EdgeServer, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.EdgeID == "" {
+		cfg.EdgeID = "edge"
+	}
 	clk := vclock.NewScaledReal(cfg.TimeScale)
-	return &EdgeServer{
+	s := &EdgeServer{
 		cfg:     cfg,
 		clk:     clk,
 		asm:     node.New(clk, cfg.Protocol),
 		compute: vclock.NewSemaphore(clk, cfg.Slots),
 		conns:   make(map[net.Conn]struct{}),
-	}, nil
+	}
+	if cfg.Obs != nil {
+		s.queueDepth = cfg.Obs.Gauge(obs.MetricEdgeQueueDepth, obs.Tags("edge", cfg.EdgeID))
+		s.asm.Mgr.Tracer = cfg.Obs.Tracer()
+		s.asm.Mgr.TraceTags = obs.Tags("edge", cfg.EdgeID, "protocol", cfg.Protocol.String())
+	}
+	return s, nil
 }
 
 // Manager exposes the transaction manager (for inspection in tests).
@@ -302,6 +320,9 @@ func (s *EdgeServer) buildPipeline(sess *session) (*core.Pipeline, error) {
 		OverlapMin:    s.cfg.OverlapMin,
 		Validator:     sess,
 		OnInitial:     sess.onInitial,
+		Obs:           s.cfg.Obs,
+		TagKV:         []string{"edge", s.cfg.EdgeID, "protocol", s.cfg.Protocol.String()},
+		QueueDepth:    s.queueDepth,
 	}
 	if s.cfg.Source != nil {
 		cfg.Source = s.cfg.Source

@@ -92,6 +92,7 @@ func (p *Partition) mustAppend(recs ...wal.Record) {
 	if err := p.WAL.AppendBatch(recs); err != nil {
 		panic(fmt.Sprintf("twopc: partition %d wal append: %v", p.ID, err))
 	}
+	p.WALAppends.Add(int64(len(recs)))
 }
 
 // RedoRecords captures the redo batch for a section commit: each key's

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"croesus/internal/lock"
+	"croesus/internal/obs"
 	"croesus/internal/store"
 	"croesus/internal/transport"
 	"croesus/internal/txn"
@@ -161,10 +162,13 @@ type DistCounters struct {
 }
 
 // DistStats is the concurrency-safe counter block shared by every edge's
-// ShardedCC in a fleet.
+// ShardedCC in a fleet. It stays the source of truth for the run report;
+// Bind additionally mirrors every increment into a metrics registry so
+// live scrapes see the same numbers without a second counting path.
 type DistStats struct {
-	mu sync.Mutex
-	c  DistCounters
+	mu     sync.Mutex
+	c      DistCounters
+	mirror *distMirror
 }
 
 // Snapshot returns the current counters.
@@ -176,7 +180,56 @@ func (s *DistStats) Snapshot() DistCounters {
 
 func (s *DistStats) add(f func(*DistCounters)) {
 	s.mu.Lock()
+	before := s.c
 	f(&s.c)
+	after := s.c
+	m := s.mirror
+	s.mu.Unlock()
+	if m != nil {
+		m.apply(before, after)
+	}
+}
+
+// distMirror holds the registry handles DistStats feeds. add is the
+// single mutation point for DistCounters, so mirroring the before/after
+// delta there keeps registry and report byte-for-byte consistent.
+type distMirror struct {
+	local, cross, remote       *obs.Counter
+	rounds, prepares, commits  *obs.Counter
+	lockRPCs, aborts, mapRetry *obs.Counter
+}
+
+func (m *distMirror) apply(before, after DistCounters) {
+	m.local.Add(after.LocalCommits - before.LocalCommits)
+	m.cross.Add(after.CrossEdgeCommits - before.CrossEdgeCommits)
+	m.remote.Add(after.RemoteCommits - before.RemoteCommits)
+	m.rounds.Add(after.TwoPCRounds - before.TwoPCRounds)
+	m.prepares.Add(after.PrepareRPCs - before.PrepareRPCs)
+	m.commits.Add(after.CommitRPCs - before.CommitRPCs)
+	m.lockRPCs.Add(after.LockRPCs - before.LockRPCs)
+	m.aborts.Add(after.Aborts - before.Aborts)
+	m.mapRetry.Add(after.MapRetries - before.MapRetries)
+}
+
+// Bind mirrors every future counter increment into o's registry under
+// the given canonical tag string. Nil-safe (no-op when o is nil).
+func (s *DistStats) Bind(o *obs.Obs, tags string) {
+	if s == nil || o == nil {
+		return
+	}
+	m := &distMirror{
+		local:    o.Counter(obs.MetricCommitsLocal, tags),
+		cross:    o.Counter(obs.MetricCommitsCross, tags),
+		remote:   o.Counter(obs.MetricCommitsRemote, tags),
+		rounds:   o.Counter(obs.MetricTwoPCRounds, tags),
+		prepares: o.Counter(obs.MetricPrepareRPCs, tags),
+		commits:  o.Counter(obs.MetricCommitRPCs, tags),
+		lockRPCs: o.Counter(obs.MetricLockRPCs, tags),
+		aborts:   o.Counter(obs.MetricTxnAborts, tags),
+		mapRetry: o.Counter(obs.MetricMapRetries, tags),
+	}
+	s.mu.Lock()
+	s.mirror = m
 	s.mu.Unlock()
 }
 
@@ -215,6 +268,11 @@ type ShardedCC struct {
 	// liveness/epoch oracle the protocol consults before trusting a
 	// partition (nil: fault-free fleet).
 	Faults FaultOracle
+	// Obs, when set, records lock-wait and 2PC spans for this edge's
+	// transactions under the Tags tag string; per-instance timings are
+	// additionally accumulated on the instance for the frame breakdown.
+	Obs  *obs.Obs
+	Tags string
 
 	mu   sync.Mutex
 	held map[txn.ID]heldState // MS-SR: locks held from initial to final commit
@@ -673,6 +731,42 @@ func (c *ShardedCC) acquireRouted(owner lock.Owner, reqs []lock.Request) (byPart
 	}
 }
 
+// timedAcquire wraps acquireRouted, charging the wait to the instance's
+// breakdown accumulator and emitting a lock.wait (or lock.abort) span.
+func (c *ShardedCC) timedAcquire(in *txn.Instance, owner lock.Owner, reqs []lock.Request) (byPart map[int][]lock.Request, epochs map[int]int, ok, fault bool) {
+	t0 := c.Clk.Now()
+	byPart, epochs, ok, fault = c.acquireRouted(owner, reqs)
+	t1 := c.Clk.Now()
+	in.AddLockWait(t1 - t0)
+	if t1 > t0 {
+		name := obs.SpanLockWait
+		if !ok {
+			name = obs.SpanLockAbort
+		}
+		c.Obs.Span(name, c.Tags, t0, t1)
+	}
+	return byPart, epochs, ok, fault
+}
+
+// timedCommit wraps commitSection, charging the round to the instance
+// and emitting a twopc.commit span when the commit left the home edge
+// (purely local commits run no 2PC and get no span).
+func (c *ShardedCC) timedCommit(in *txn.Instance, round uint8, writes []lock.Request, epochs map[int]int, route map[string]int) error {
+	t0 := c.Clk.Now()
+	err := c.commitSection(in.ID, round, writes, epochs, route)
+	t1 := c.Clk.Now()
+	in.AddTwoPC(t1 - t0)
+	if c.Obs != nil {
+		for _, pi := range route {
+			if pi != c.Home {
+				c.Obs.Span(obs.SpanTwoPC, c.Tags, t0, t1)
+				break
+			}
+		}
+	}
+	return err
+}
+
 // RunInitial implements txn.CC. MS-IA locks and commits the initial
 // section's own set; MS-SR acquires the union of both sections' locks and
 // holds them (writes commit atomically with the final section's). On a
@@ -689,7 +783,7 @@ func (c *ShardedCC) RunInitial(in *txn.Instance) error {
 		reqs = in.T.InitialRW.Requests()
 	}
 	reqs = c.withIntents(reqs)
-	byPart, epochs, ok, fault := c.acquireRouted(owner, reqs)
+	byPart, epochs, ok, fault := c.timedAcquire(in, owner, reqs)
 	if !ok {
 		c.M.MarkAborted(in)
 		c.Stats.add(func(d *DistCounters) { d.Aborts++ })
@@ -727,7 +821,7 @@ func (c *ShardedCC) RunInitial(in *txn.Instance) error {
 		c.M.MarkInitialCommitted(in)
 		return nil
 	}
-	if err := c.commitSection(in.ID, RoundInitial, in.T.InitialRW.Requests(), epochs, routeOf(byPart)); err != nil {
+	if err := c.timedCommit(in, RoundInitial, in.T.InitialRW.Requests(), epochs, routeOf(byPart)); err != nil {
 		// The initial commit could not complete (a partition crashed
 		// mid-round): undo the section's eager writes and abort.
 		c.abortTxn(in, "initial commit interrupted by edge failure")
@@ -772,7 +866,7 @@ func (c *ShardedCC) RunFinal(in *txn.Instance) error {
 		err := c.M.ExecSection(in, txn.StageFinal)
 		if err == nil {
 			// One 2PC covers both sections' writes (Algorithm 1).
-			if cerr := c.commitSection(in.ID, RoundFinal, lock.Normalize(append(in.T.InitialRW.Requests(), in.T.FinalRW.Requests()...)), hs.epochs, routeOf(heldBy)); cerr != nil {
+			if cerr := c.timedCommit(in, RoundFinal, lock.Normalize(append(in.T.InitialRW.Requests(), in.T.FinalRW.Requests()...)), hs.epochs, routeOf(heldBy)); cerr != nil {
 				c.abortTxn(in, "final commit interrupted by edge failure")
 				c.release(owner, heldBy)
 				return txn.ErrRetracted
@@ -794,7 +888,7 @@ func (c *ShardedCC) RunFinal(in *txn.Instance) error {
 		return fmt.Errorf("txn %d: RunFinal in state %s", in.ID, s)
 	}
 	reqs := c.withIntents(in.T.FinalRW.Requests())
-	byPart, epochs, ok, _ := c.acquireRouted(owner, reqs)
+	byPart, epochs, ok, _ := c.timedAcquire(in, owner, reqs)
 	if !ok {
 		// The final section cannot reach its partitions (or the shard map
 		// churned past the retry budget); the multi-stage guarantee
@@ -810,7 +904,7 @@ func (c *ShardedCC) RunFinal(in *txn.Instance) error {
 	}
 	err := c.M.ExecSection(in, txn.StageFinal)
 	if err == nil {
-		if cerr := c.commitSection(in.ID, RoundFinal, in.T.FinalRW.Requests(), epochs, routeOf(byPart)); cerr != nil {
+		if cerr := c.timedCommit(in, RoundFinal, in.T.FinalRW.Requests(), epochs, routeOf(byPart)); cerr != nil {
 			c.abortTxn(in, "final commit interrupted by edge failure")
 			c.release(owner, byPart)
 			return txn.ErrRetracted

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"croesus/internal/lock"
+	"croesus/internal/obs"
 	"croesus/internal/store"
 	"croesus/internal/transport"
 	"croesus/internal/txn"
@@ -197,6 +198,10 @@ type ShardMigration struct {
 	// down or crashes mid-handoff (defaults 250ms / 20).
 	RetryEvery  time.Duration
 	MaxAttempts int
+	// Obs, when set, records migrate.quiesce / migrate.cutover spans
+	// under the Tags tag string.
+	Obs  *obs.Obs
+	Tags string
 
 	// Moved reports how many keys the completed migration carried.
 	Moved int
@@ -309,8 +314,10 @@ func (g *ShardMigration) attempt() error {
 	if second < first {
 		first, second = second, first
 	}
+	tQuiesce := g.Clk.Now()
 	g.Parts[first].Locks.AcquireAll(owner, intent)
 	g.Parts[second].Locks.AcquireAll(owner, intent)
+	g.Obs.Span(obs.SpanQuiesce, g.Tags, tQuiesce, g.Clk.Now())
 	release := func() {
 		g.Parts[second].Locks.ReleaseAll(owner, intent)
 		g.Parts[first].Locks.ReleaseAll(owner, intent)
@@ -325,6 +332,7 @@ func (g *ShardMigration) attempt() error {
 	// Cutover: no virtual time passes from here to the release. The
 	// freeze parks lock-free writers (retraction restores) so nothing can
 	// land on the source between the copy and the rebind.
+	tCutover := g.Clk.Now()
 	g.Map.freeze(g.Shard)
 	keys := g.shardKeys()
 	cr := CommitRound{ID: txn.ID(g.Owner), Round: RoundInitial}
@@ -358,6 +366,7 @@ func (g *ShardMigration) attempt() error {
 	g.Moved = len(vals)
 	g.Map.unfreeze(g.Shard, g.To)
 	release()
+	g.Obs.Span(obs.SpanCutover, g.Tags, tCutover, g.Clk.Now())
 	return nil
 }
 

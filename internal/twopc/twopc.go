@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"croesus/internal/lock"
+	"croesus/internal/obs"
 	"croesus/internal/store"
 	"croesus/internal/transport"
 	"croesus/internal/txn"
@@ -40,6 +41,9 @@ type Partition struct {
 	// participates in is logged, and a crashed edge rebuilds the partition
 	// from the log (see durable.go and internal/faults).
 	WAL *wal.Log
+	// WALAppends, when set, counts the records this partition logs — the
+	// metrics registry's view of WAL traffic (nil: uncounted).
+	WALAppends *obs.Counter
 
 	mu       sync.Mutex
 	staged   map[txn.ID][]stagedWrite

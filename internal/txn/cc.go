@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"croesus/internal/lock"
+	"croesus/internal/obs"
 )
 
 // CC is a multi-stage concurrency-control protocol. The pipeline wraps the
@@ -111,19 +112,25 @@ func (p *MSSR) RunInitial(in *Instance) error {
 	extraReqs := newKeys(initReqs, in.T.FinalRW.Requests())
 	allReqs := lock.Normalize(append(append([]lock.Request{}, initReqs...), extraReqs...))
 
+	tAcq := p.M.now()
 	if p.Policy == Wait {
 		if !p.M.Locks.AcquireAllWaitDie(owner, allReqs) {
+			now := p.M.now()
+			in.AddLockWait(now - tAcq)
+			p.M.Tracer.Emit(obs.SpanLockAbort, p.M.TraceTags, tAcq, now)
 			in.setState(StateAborted)
 			p.M.recordAbort()
 			return ErrAborted
 		}
 	} else {
 		if !p.M.Locks.TryAcquireAll(owner, initReqs) {
+			in.AddLockWait(p.M.now() - tAcq)
 			in.setState(StateAborted)
 			p.M.recordAbort()
 			return ErrAborted
 		}
 	}
+	in.AddLockWait(p.M.now() - tAcq)
 
 	ctx := &Ctx{inst: in, stage: StageInitial}
 	if err := in.T.Initial(ctx); err != nil {
@@ -140,12 +147,15 @@ func (p *MSSR) RunInitial(in *Instance) error {
 	if p.Policy == NoWait {
 		// Algorithm 1: the final section's locks must be acquired before
 		// the initial commit, guaranteeing the final section will commit.
+		tExtra := p.M.now()
 		if !p.M.Locks.TryAcquireAll(owner, extraReqs) {
+			in.AddLockWait(p.M.now() - tExtra)
 			p.M.Locks.ReleaseAll(owner, initReqs)
 			in.setState(StateAborted)
 			p.M.recordAbort()
 			return ErrAborted
 		}
+		in.AddLockWait(p.M.now() - tExtra)
 	}
 
 	in.mu.Lock()
@@ -240,7 +250,9 @@ func (p *MSIA) RunInitial(in *Instance) error {
 	}
 	owner := lock.Owner(in.ID)
 	reqs := in.T.InitialRW.Requests()
+	tAcq := p.M.now()
 	p.M.Locks.AcquireAll(owner, reqs)
+	in.AddLockWait(p.M.now() - tAcq)
 	ctx := &Ctx{inst: in, stage: StageInitial}
 	err := in.T.Initial(ctx)
 	if err != nil {
@@ -268,7 +280,9 @@ func (p *MSIA) RunFinal(in *Instance) error {
 	}
 	owner := lock.Owner(in.ID)
 	reqs := in.T.FinalRW.Requests()
+	tAcq := p.M.now()
 	p.M.Locks.AcquireAll(owner, reqs)
+	in.AddLockWait(p.M.now() - tAcq)
 	ctx := &Ctx{inst: in, stage: StageFinal}
 	err := in.T.Final(ctx)
 	retracted := in.finishFinal()

@@ -3,6 +3,8 @@ package txn
 import (
 	"fmt"
 	"sort"
+
+	"croesus/internal/obs"
 )
 
 // Retract undoes the writes of inst and of every transitively dependent
@@ -15,6 +17,7 @@ import (
 // dependent transfers it enabled, while merge-able effects are retained by
 // programmer logic instead of calling Retract.
 func (m *Manager) Retract(inst *Instance, reason string) []Apology {
+	tStart := m.now()
 	// Collect the affected set: inst plus transitive dependents.
 	affected := []*Instance{}
 	seen := map[ID]bool{}
@@ -83,5 +86,6 @@ func (m *Manager) Retract(inst *Instance, reason string) []Apology {
 		in.mu.Unlock()
 		apologies = append(apologies, a)
 	}
+	m.Tracer.Emit(obs.SpanRetraction, m.TraceTags, tStart, m.now())
 	return apologies
 }

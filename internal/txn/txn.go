@@ -25,8 +25,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"croesus/internal/lock"
+	"croesus/internal/obs"
 	"croesus/internal/store"
 	"croesus/internal/vclock"
 )
@@ -188,6 +190,46 @@ type Instance struct {
 	dependents []*Instance // instances that read/overwrote our writes
 	apologies  []Apology
 	heldReqs   []lock.Request // MS-SR: locks held from initial to final commit
+
+	// lockWait and twoPC accumulate instrumented time spent inside this
+	// instance's sections waiting for locks and in 2PC fan-out rounds.
+	// Protocols add as they run; the pipeline harvests per frame with
+	// TakeTiming to attribute the time in the frame's Breakdown.
+	lockWait time.Duration
+	twoPC    time.Duration
+}
+
+// AddLockWait accumulates time this instance spent acquiring locks
+// (including wait-die waits that ended in an abort).
+func (in *Instance) AddLockWait(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	in.mu.Lock()
+	in.lockWait += d
+	in.mu.Unlock()
+}
+
+// AddTwoPC accumulates time this instance spent in distributed
+// prepare/commit fan-out rounds.
+func (in *Instance) AddTwoPC(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	in.mu.Lock()
+	in.twoPC += d
+	in.mu.Unlock()
+}
+
+// TakeTiming returns and zeroes the accumulated lock-wait and 2PC time,
+// so a caller that harvests after each section charges each interval to
+// exactly one breakdown bucket.
+func (in *Instance) TakeTiming() (lockWait, twoPC time.Duration) {
+	in.mu.Lock()
+	lockWait, twoPC = in.lockWait, in.twoPC
+	in.lockWait, in.twoPC = 0, 0
+	in.mu.Unlock()
+	return lockWait, twoPC
 }
 
 // State returns the instance's lifecycle state.
@@ -261,6 +303,11 @@ type Manager struct {
 	// resurrect the retracted writes.
 	RestoreDB Backend
 	Strict    bool // enforce declared read/write sets in Ctx (default on)
+	// Tracer, when set, records retraction-cascade spans (timestamps from
+	// Clk — a schedule-neutral read); TraceTags is the canonical tag
+	// string stamped on them.
+	Tracer    *obs.Tracer
+	TraceTags string
 
 	mu         sync.Mutex
 	nextID     ID
@@ -302,6 +349,15 @@ func (m *Manager) restoreDB() Backend {
 		return m.RestoreDB
 	}
 	return m.db()
+}
+
+// now reads the manager's clock for instrumentation; 0 when no clock is
+// configured (unit tests that construct a Manager without one).
+func (m *Manager) now() time.Duration {
+	if m.Clk == nil {
+		return 0
+	}
+	return m.Clk.Now()
 }
 
 // NewInstance instantiates a template with the given initial-section input.
