@@ -36,6 +36,7 @@ import (
 func main() {
 	var (
 		scenarioPath  = flag.String("scenario", "", "run a declarative scenario file (topology + event timeline) instead of the flag-built fleet")
+		validateOnly  = flag.Bool("validate", false, "dry run: load and validate -scenario (including its graph block), print the resolved section plan, and exit without running the fleet")
 		traceOut      = flag.String("trace", "", "write the run's span trace to this file: Chrome trace_event JSON (open in Perfetto) by default, sorted JSONL when the name ends in .jsonl")
 		debugAddr     = flag.String("debug-addr", "", "serve /metrics (Prometheus text), /debug/vars (expvar), and /debug/pprof on this address during the run (e.g. 127.0.0.1:9090)")
 		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -62,6 +63,36 @@ func main() {
 		crashRest     = flag.Duration("crash-restart", 2*time.Second, "outage length before the edge recovers from its WAL")
 	)
 	flag.Parse()
+
+	if *validateOnly {
+		if *scenarioPath == "" {
+			fmt.Fprintln(os.Stderr, "croesus-cluster: -validate needs a -scenario file to check")
+			os.Exit(2)
+		}
+		// Load runs the full decode + validation pass (strict fields,
+		// topology references, graph shape); reaching this point means the
+		// file would run.
+		s, err := croesus.LoadScenario(*scenarioPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "croesus-cluster: %v\n", err)
+			os.Exit(1)
+		}
+		proto := s.Topology.Protocol
+		if proto == "" {
+			proto = "ms-ia"
+		}
+		g := s.Topology.Graph
+		if g == nil {
+			// No graph block: the classic two-stage pipeline, shown as the
+			// canonical graph it is equivalent to.
+			g = &croesus.GraphSpec{Nodes: []croesus.GraphNodeSpec{{Tier: "edge"}, {Tier: "cloud"}}}
+		}
+		fmt.Printf("scenario %q: valid\n", s.Name)
+		fmt.Printf("topology: %d edges, %d cameras, protocol %s, %d timeline events\n",
+			len(s.Topology.Edges), len(s.Topology.Cameras), proto, len(s.Timeline))
+		fmt.Printf("section plan (%d sections):\n%s", len(g.Nodes), g.Plan())
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

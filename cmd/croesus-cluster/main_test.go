@@ -31,6 +31,57 @@ func TestScenarioGolden(t *testing.T) {
 	}
 }
 
+// TestGraphScenarioGolden pins the inference-graph scenario smoke run:
+// the depth-3 graph (edge detect → peer classify → cloud verify, with a
+// confidence switch short-circuiting past the cloud) must reproduce the
+// same per-section report byte for byte. Regenerate with
+//
+//	go run ./cmd/croesus-cluster -scenario cmd/croesus-cluster/testdata/graph.json > cmd/croesus-cluster/testdata/graph.golden
+func TestGraphScenarioGolden(t *testing.T) {
+	s, err := croesus.LoadScenario("testdata/graph.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := croesus.RunScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/graph.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Format(); got != string(want) {
+		t.Fatalf("graph scenario report drifted from the golden:\n--- got\n%s\n--- want\n%s", got, want)
+	}
+	if len(rep.Sections) != 3 {
+		t.Fatalf("graph golden carries %d section rows, want 3", len(rep.Sections))
+	}
+}
+
+// TestGraphScenarioOnTCP runs the same graph scenario file over the
+// loopback TCP transport: the cloud-tier section crosses the real socket
+// per boundary, so the run is wall-clock concurrent and checked by
+// counters, not bytes.
+func TestGraphScenarioOnTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback TCP run in -short mode")
+	}
+	s, err := croesus.LoadScenario("testdata/graph.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := croesus.RunScenarioWith(s, croesus.ScenarioOptions{Transport: croesus.TransportTCP, TimeScale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames == 0 {
+		t.Fatal("TCP graph run processed no frames")
+	}
+	if rep.Transport == nil || rep.Transport.Name != "tcp" || rep.Transport.Messages == 0 {
+		t.Fatalf("no transport traffic recorded: %+v", rep.Transport)
+	}
+}
+
 // TestScenarioGoldenOnTCP runs the very same checked-in scenario file over
 // the loopback TCP transport — the unified-runtime acceptance: one
 // scenario JSON, two deployments. The TCP run is wall-clock concurrent,

@@ -33,6 +33,7 @@ import (
 	"croesus/internal/faults"
 	"croesus/internal/lock"
 	"croesus/internal/netsim"
+	"croesus/internal/node"
 	"croesus/internal/obs"
 	"croesus/internal/scenario"
 	"croesus/internal/smoothing"
@@ -161,6 +162,22 @@ type (
 	Apology = txn.Apology
 	// Stage names a transaction section.
 	Stage = txn.Stage
+	// SectionSpec declares one section of an N-section transaction:
+	// its name, placement tier, lock footprint, and body.
+	SectionSpec = txn.SectionSpec
+	// Tier is a section's placement: edge, peer, or cloud.
+	Tier = txn.Tier
+
+	// GraphSpec declares an inference graph — the ordered node list a
+	// scenario's "graph" block decodes into; node k hosts transaction
+	// section k.
+	GraphSpec = node.GraphSpec
+	// GraphNodeSpec declares one graph node: tier, model, speed,
+	// optional confidence switch.
+	GraphNodeSpec = node.GraphNodeSpec
+	// SwitchBranchSpec routes to a later node (or "done") when the
+	// routing confidence falls inside [Lo, Hi].
+	SwitchBranchSpec = node.SwitchBranchSpec
 )
 
 // Section stages and MS-SR lock policies.
@@ -169,6 +186,18 @@ const (
 	StageFinal   = txn.StageFinal
 	PolicyWait   = txn.Wait
 	PolicyNoWait = txn.NoWait
+)
+
+// Section placement tiers and graph model names.
+const (
+	TierEdge  = txn.TierEdge
+	TierPeer  = txn.TierPeer
+	TierCloud = txn.TierCloud
+
+	ModelTinyYOLO = node.ModelTinyYOLO
+	ModelYOLO320  = node.ModelYOLO320
+	ModelYOLO416  = node.ModelYOLO416
+	ModelYOLO608  = node.ModelYOLO608
 )
 
 // Multi-stage protocol errors.

@@ -202,6 +202,14 @@ type Config struct {
 	// transactions, in both sharded and unsharded fleets.
 	Protocol TxnProtocol
 
+	// Graph, when set, runs every camera over an N-node inference graph
+	// instead of the two-stage pipeline: graph node k owns transaction
+	// section k, placed on its tier (edge, peer mesh, or cloud). The
+	// canonical two-stage graph — a default edge node falling through to a
+	// default cloud node — routes to the classic executor, so declaring it
+	// is byte-identical to leaving Graph nil.
+	Graph *node.GraphSpec
+
 	// ZipfSkew, when positive, replaces the uniform sharded key chooser
 	// with a Zipf-skewed one of that exponent (values ≤ 1 are clamped just
 	// above 1): every shard gets a hot head and cross-edge traffic
@@ -314,6 +322,9 @@ type Cluster struct {
 	edges      []*EdgeNode
 	cams       []*cameraRuntime
 	nShards    int
+	// graph is the compiled inference graph every camera pipeline runs
+	// (nil for two-stage fleets and canonical two-stage graphs).
+	graph *core.Graph
 
 	// Sharded-keyspace state (nil/zero in unsharded fleets): the one
 	// fleet-wide manager, the shared distributed-commit counters, and the
@@ -386,6 +397,11 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.CheckpointEvery < 0 {
 		return nil, fmt.Errorf("cluster: CheckpointEvery must be ≥ 0, got %s", cfg.CheckpointEvery)
 	}
+	if cfg.Graph != nil {
+		if err := cfg.Graph.Validate(len(cfg.Edges)); err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+	}
 
 	cloudModel := cfg.CloudModel
 	if cloudModel == nil {
@@ -411,6 +427,13 @@ func New(cfg Config) (*Cluster, error) {
 		tr = transport.NewSim()
 	}
 	c := &Cluster{cfg: cfg, clk: cfg.Clock, cloudModel: cloudModel, batcher: batcher, transport: tr}
+	if cfg.Graph != nil && !cfg.Graph.Canonical2Stage() {
+		g, err := cfg.Graph.Compile(len(cfg.Edges), cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		c.graph = g
+	}
 	if cfg.Obs != nil {
 		// The transport keeps its own lifetime counters; a pull collector
 		// mirrors them into the registry at scrape time.
@@ -584,6 +607,12 @@ func (c *Cluster) buildPipe(edge *EdgeNode, source core.TxnSource, camID string)
 	if cfg.Obs != nil {
 		queueDepth = cfg.Obs.Gauge(obs.MetricEdgeQueueDepth, obs.Tags("edge", edge.Spec.ID))
 	}
+	// Peer-tier graph nodes ride the inter-edge mesh: each edge ships to
+	// its ring neighbour, the same paths sharded 2PC traffic uses.
+	var peer transport.Path
+	if c.graph != nil && len(c.edges) > 1 {
+		peer = c.transport.Peer(edge.idx, (edge.idx+1)%len(c.edges))
+	}
 	return core.New(core.Config{
 		Clock:       cfg.Clock,
 		Mode:        core.ModeCroesus,
@@ -600,6 +629,8 @@ func (c *Cluster) buildPipe(edge *EdgeNode, source core.TxnSource, camID string)
 		Source:      source,
 		CC:          edge.CC,
 		Mgr:         edge.Mgr,
+		Graph:       c.graph,
+		PeerPath:    peer,
 		Validator: &EdgeUplink{
 			Uplink: core.Uplink{
 				Clock:     cfg.Clock,
@@ -626,6 +657,11 @@ func (c *Cluster) buildCamera(cs CameraSpec, idx int, startAt time.Duration) (*c
 		}
 	}
 	source := core.NewWorkloadSource(c.cfg.WorkloadKeys, cs.Seed)
+	if c.graph != nil {
+		// Shape the camera's transactions to the graph: one section per
+		// node, so node k's labels commit section k.
+		source.SetPlan(c.graph.SectionPlan())
+	}
 	if c.cfg.Sharded {
 		// The camera draws keys from the fleet-wide sharded keyspace,
 		// home-biased: CrossEdgeFraction of them belong to another shard

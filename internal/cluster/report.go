@@ -63,6 +63,12 @@ type ClusterReport struct {
 	// share; compare components against each other, not against FinalP99.
 	CriticalPath CriticalPath
 
+	// Sections is the per-section critical-path decomposition of a graph
+	// fleet: one row per graph section, attributing each boundary's
+	// latency to its hop, model, and transaction (lock wait vs commit)
+	// shares. Nil for two-stage runs.
+	Sections []SectionReport
+
 	// MeanF1Final is the unweighted mean of per-camera final accuracy.
 	MeanF1Final float64
 
@@ -119,6 +125,24 @@ type CriticalPath struct {
 	NetworkP50, NetworkP99 time.Duration
 }
 
+// SectionReport aggregates one graph section across the fleet: boundary
+// latency percentiles plus the mean decomposition into network hop, model
+// inference, and transaction time (with its lock-wait and 2PC shares).
+type SectionReport struct {
+	Index int
+	Name  string
+	Tier  string
+
+	LatencyP50 time.Duration
+	LatencyP99 time.Duration
+
+	MeanHop      time.Duration
+	MeanDetect   time.Duration
+	MeanTxn      time.Duration
+	MeanLockWait time.Duration
+	MeanTwoPC    time.Duration
+}
+
 // TransportReport is the non-simulated transport's contribution to a fleet
 // report.
 type TransportReport struct {
@@ -138,6 +162,9 @@ func (c *Cluster) report(elapsed, endAt time.Duration) *ClusterReport {
 	// Component stats index: compute, queue, lock, 2PC, network — the
 	// order CriticalPath() returns them in.
 	var comp [5]metrics.LatencyStats
+	var secLat []metrics.LatencyStats
+	var secSum []core.SectionOutcome
+	secFrames := 0
 	phaseFinal := make([]metrics.LatencyStats, len(phases))
 	for _, cam := range c.cams {
 		// A camera that left mid-run (or lost frames to an outage) is
@@ -169,6 +196,29 @@ func (c *Cluster) report(elapsed, endAt time.Duration) *ClusterReport {
 			comp[2].Add(cl)
 			comp[3].Add(ct)
 			comp[4].Add(cn)
+			if secs := outs[i].Sections; len(secs) > 0 {
+				// Every frame of a graph fleet runs the one fleet-wide
+				// graph, so the section count is uniform.
+				if len(secLat) == 0 {
+					secLat = make([]metrics.LatencyStats, len(secs))
+					secSum = make([]core.SectionOutcome, len(secs))
+					for k := range secs {
+						secSum[k] = core.SectionOutcome{Name: secs[k].Name, Tier: secs[k].Tier}
+					}
+				}
+				secFrames++
+				for k := range secs {
+					if k >= len(secLat) {
+						break
+					}
+					secLat[k].Add(secs[k].Latency)
+					secSum[k].Hop += secs[k].Hop
+					secSum[k].Detect += secs[k].Detect
+					secSum[k].Txn += secs[k].Txn
+					secSum[k].LockWait += secs[k].LockWait
+					secSum[k].TwoPC += secs[k].TwoPC
+				}
+			}
 			for pi := range phases {
 				if outs[i].CapturedAt >= phases[pi].Start && (pi == len(phases)-1 || outs[i].CapturedAt < phases[pi].End) {
 					phases[pi].Frames++
@@ -228,6 +278,24 @@ func (c *Cluster) report(elapsed, endAt time.Duration) *ClusterReport {
 		TwoPCP50: comp[3].Percentile(50), TwoPCP99: comp[3].Percentile(99),
 		NetworkP50: comp[4].Percentile(50), NetworkP99: comp[4].Percentile(99),
 	}
+	for k := range secLat {
+		sr := SectionReport{
+			Index:      k,
+			Name:       secSum[k].Name,
+			Tier:       secSum[k].Tier,
+			LatencyP50: secLat[k].Percentile(50),
+			LatencyP99: secLat[k].Percentile(99),
+		}
+		if secFrames > 0 {
+			n := time.Duration(secFrames)
+			sr.MeanHop = secSum[k].Hop / n
+			sr.MeanDetect = secSum[k].Detect / n
+			sr.MeanTxn = secSum[k].Txn / n
+			sr.MeanLockWait = secSum[k].LockWait / n
+			sr.MeanTwoPC = secSum[k].TwoPC / n
+		}
+		r.Sections = append(r.Sections, sr)
+	}
 	r.Batcher = c.batcher.Stats()
 	r.Sharded = c.cfg.Sharded
 	r.Protocol = c.cfg.Protocol.String()
@@ -281,6 +349,14 @@ func (r *ClusterReport) Format() string {
 		cp.LockP50.Round(time.Millisecond), cp.LockP99.Round(time.Millisecond),
 		cp.TwoPCP50.Round(time.Millisecond), cp.TwoPCP99.Round(time.Millisecond),
 		cp.NetworkP50.Round(time.Millisecond), cp.NetworkP99.Round(time.Millisecond))
+	for _, sr := range r.Sections {
+		fmt.Fprintf(&b, "section %d %-10s tier=%-5s latency p50/p99 %s/%s; mean hop %s, detect %s, txn %s (lock %s, 2pc %s)\n",
+			sr.Index, sr.Name, sr.Tier,
+			sr.LatencyP50.Round(time.Millisecond), sr.LatencyP99.Round(time.Millisecond),
+			sr.MeanHop.Round(time.Millisecond), sr.MeanDetect.Round(time.Millisecond),
+			sr.MeanTxn.Round(time.Millisecond),
+			sr.MeanLockWait.Round(time.Millisecond), sr.MeanTwoPC.Round(time.Millisecond))
+	}
 	bs := r.Batcher
 	fmt.Fprintf(&b, "cloud batcher: %d batches carrying %d frames (mean %.1f, max %d), shed %d, max flush wait %s, SLO violations %d\n",
 		bs.Batches, bs.Frames, bs.MeanBatch, bs.MaxBatch, bs.Shed,

@@ -1,0 +1,485 @@
+package core
+
+import (
+	"time"
+
+	"croesus/internal/detect"
+	"croesus/internal/netsim"
+	"croesus/internal/obs"
+	"croesus/internal/transport"
+	"croesus/internal/txn"
+	"croesus/internal/vclock"
+	"croesus/internal/video"
+)
+
+// This file is the inference-graph executor: the N-section generalization
+// of the two-stage pipeline. A Graph is an ordered list of model nodes,
+// each pinned to a placement tier; node k's labels trigger section k of
+// every transaction the frame opened, so each node is one boundary commit.
+// Routing between nodes is Sequence (fall through to the next node) or a
+// confidence-threshold Switch; whichever nodes the route skips still
+// commit their sections locally with the labels assumed correct, so an
+// initially-committed transaction always reaches its last boundary — the
+// multi-stage guarantee of §4, unchanged.
+
+// DoneTarget is the Switch destination that ends the route early.
+const DoneTarget = "done"
+
+// SwitchBranch routes to a strictly-later node (or DoneTarget) when the
+// frame's routing confidence falls inside [Lo, Hi]. Branches of one node
+// must cover [0, 1]; the first matching branch wins.
+type SwitchBranch struct {
+	Lo, Hi float64
+	To     string
+}
+
+// GraphNode is one model in the graph, pinned to a tier. The frame ships
+// to the node over the tier's transport path (nothing for edge — the node
+// is co-located with the hub; the peer mesh for peer; the uplink for
+// cloud), the model refines the labels, and the matching transaction
+// section commits.
+type GraphNode struct {
+	Name string
+	Tier txn.Tier
+	// Model is the node's detector. Node 0 defaults to Config.EdgeModel;
+	// every later node must set it.
+	Model detect.Model
+	// Speed divides the model's inference latency; 0 takes the tier
+	// default (Config.EdgeSpeed for edge and peer, CloudSpeed for cloud).
+	Speed float64
+	// Switch, when non-empty, routes by confidence after this node runs.
+	// Empty means Sequence: fall through to the next node in order.
+	Switch []SwitchBranch
+}
+
+// Graph is an ordered inference graph; node k owns transaction section k.
+// Node 0 must be an edge node (the client's immediate answer).
+type Graph struct {
+	Nodes []GraphNode
+}
+
+// SectionPlan returns the name and tier of each node as transaction
+// section prototypes — what a TxnSource needs to shape its transactions to
+// the graph (WorkloadSource.SetPlan).
+func (g *Graph) SectionPlan() []txn.SectionSpec {
+	plan := make([]txn.SectionSpec, len(g.Nodes))
+	for i := range g.Nodes {
+		plan[i] = txn.SectionSpec{Name: g.Nodes[i].Name, Tier: g.Nodes[i].Tier}
+	}
+	return plan
+}
+
+// index returns the position of the named node, or -1.
+func (g *Graph) index(name string) int {
+	for i := range g.Nodes {
+		if g.Nodes[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// next returns the node the route visits after node k at the given
+// routing confidence, or -1 when the route ends.
+func (g *Graph) next(k int, conf float64) int {
+	nd := &g.Nodes[k]
+	if len(nd.Switch) == 0 {
+		if k+1 < len(g.Nodes) {
+			return k + 1
+		}
+		return -1
+	}
+	for _, br := range nd.Switch {
+		if conf < br.Lo || conf > br.Hi {
+			continue
+		}
+		if br.To == DoneTarget {
+			return -1
+		}
+		return g.index(br.To)
+	}
+	return -1
+}
+
+// routeConfidence is the confidence the Switch branches test: the least
+// confident visible detection (1.0 when nothing is visible — a clean
+// frame needs no deeper model).
+func routeConfidence(dets []detect.Detection) float64 {
+	conf := 1.0
+	for _, d := range dets {
+		if d.Confidence < conf {
+			conf = d.Confidence
+		}
+	}
+	return conf
+}
+
+// processGraph executes the frame over the configured inference graph —
+// the N-section generalization of processCroesus. Section 0 mirrors the
+// classic initial phase (client send, edge model, θL discard, boundary
+// commit, client answer); each later node charges its tier's path, runs
+// its model, matches the labels against the frame's reference set, and
+// commits its section; route-skipped sections commit locally in order.
+func (p *Pipeline) processGraph(f *video.Frame) FrameOutcome {
+	cfg := p.cfg
+	clk := cfg.Clock
+	g := cfg.Graph
+	n := len(g.Nodes)
+	out := FrameOutcome{FrameIndex: f.Index, CapturedAt: f.At}
+	out.Sections = make([]SectionOutcome, n)
+	for k := range out.Sections {
+		out.Sections[k].Name = g.Nodes[k].Name
+		out.Sections[k].Tier = g.Nodes[k].Tier.String()
+	}
+
+	// Node 0: the client ships the frame to the edge hub.
+	t0 := clk.Now()
+	cfg.ClientEdge.Send(clk, f.SizeBytes)
+	tIngest := clk.Now()
+	out.Breakdown.ClientEdge = tIngest - t0
+	cfg.Obs.Span(obs.SpanFrameIngest, p.tags, t0, tIngest)
+
+	dets, poolWait, edgeLat := p.detectNode(f, 0)
+	out.Breakdown.ComputeWait = poolWait
+	out.Breakdown.EdgeDetect = edgeLat
+	if cfg.Smoother != nil {
+		dets = cfg.Smoother.Apply(f.Index, dets)
+	}
+	dets = filterConfidence(dets, cfg.MinConfidence)
+	out.EdgeDetections = dets
+
+	// Bandwidth thresholding still guards what becomes visible: below θL
+	// is discarded. Forwarding is the graph's business, not θU's.
+	visible := make([]detect.Detection, 0, len(dets))
+	for _, d := range dets {
+		if d.Confidence < cfg.ThetaL {
+			out.DiscardedDetections++
+			continue
+		}
+		visible = append(visible, d)
+	}
+	out.InitialVisible = visible
+
+	// Section 0: the boundary commit behind the client's immediate answer.
+	pending := p.runGraphInitials(f, visible, &out)
+	cfg.ClientEdge.Send(clk, netsim.LabelReturnBytes)
+	out.InitialLatency = clk.Now() - f.At
+	out.Sections[0].Latency = out.InitialLatency
+	if cfg.OnInitial != nil {
+		cfg.OnInitial(f, &out)
+	}
+
+	// Walk the route. ref is the reference label set pending transactions
+	// index into; it grows by one entry per MatchNew transaction so later
+	// nodes re-match against everything already known. current is what the
+	// client renders after the latest boundary.
+	ref := visible
+	current := visible
+	at := 0
+	next := g.next(0, routeConfidence(visible))
+	for next >= 0 {
+		// Boundaries the route jumped over commit locally, in order —
+		// section k+1 cannot run before section k.
+		for s := at + 1; s < next; s++ {
+			pending, ref = p.runGraphSection(f, s, pending, ref, nil, &out)
+			out.Sections[s].Latency = clk.Now() - f.At
+		}
+		k := next
+		nd := &g.Nodes[k]
+		sec := &out.Sections[k]
+
+		// Ship the frame to the node's tier and run its model.
+		hop := p.hopTo(f, k)
+		sec.Hop = hop
+		out.Breakdown.EdgeCloud += hop
+		if nd.Tier == txn.TierCloud {
+			out.SentToCloud = true
+		}
+		nodeDets, slotWait, detLat, ok := p.graphDetect(f, k)
+		sec.Detect = detLat
+		out.Breakdown.CloudQueue += slotWait
+		out.Breakdown.CloudDetect += detLat
+
+		// The refined labels correct the reference set and commit the
+		// node's section. A lost or shed remote node (GraphValidate only)
+		// commits with the labels assumed correct instead.
+		var matches []LabelMatch
+		if ok {
+			nodeDets = filterConfidence(nodeDets, cfg.MinConfidence)
+			matches = MatchLabels(ref, nodeDets, cfg.OverlapMin)
+			if cfg.Smoother != nil && nd.Tier == txn.TierCloud {
+				cfg.Smoother.Learn(f.Index, matches, ref)
+			}
+			current = nodeDets
+		}
+		pending, ref = p.runGraphSection(f, k, pending, ref, matches, &out)
+
+		// Boundary commit: the refreshed labels reach the client.
+		cfg.ClientEdge.Send(clk, netsim.LabelReturnBytes)
+		sec.Latency = clk.Now() - f.At
+
+		at = k
+		next = g.next(k, routeConfidence(current))
+	}
+
+	// The route ended early: remaining sections commit locally with the
+	// labels assumed correct — the §3.5 early stop, once per boundary.
+	for s := at + 1; s < n; s++ {
+		pending, ref = p.runGraphSection(f, s, pending, ref, nil, &out)
+		out.Sections[s].Latency = clk.Now() - f.At
+	}
+	_ = pending
+
+	out.FinalVisible = current
+	out.FinalLatency = clk.Now() - f.At
+	return out
+}
+
+// graphDetect produces node k's detections: the in-pipeline model under
+// the tier's compute slots, or — for cloud-tier nodes with a
+// GraphValidate hook — a real remote round trip. ok is false only when
+// the remote node was lost or shed the request.
+func (p *Pipeline) graphDetect(f *video.Frame, k int) ([]detect.Detection, time.Duration, time.Duration, bool) {
+	cfg := p.cfg
+	if cfg.Graph.Nodes[k].Tier == txn.TierCloud && cfg.GraphValidate != nil {
+		clk := cfg.Clock
+		start := clk.Now()
+		dets, detLat, ok := cfg.GraphValidate(f, k)
+		end := clk.Now()
+		if ok {
+			cfg.Obs.Span(obs.SpanNodeDetect, p.secTag(k), start, end)
+		}
+		return dets, 0, detLat, ok
+	}
+	dets, wait, lat := p.detectNode(f, k)
+	return dets, wait, lat, true
+}
+
+// detectNode runs node k's model under its tier's compute slots: the edge
+// pool for edge nodes, the cloud slots for cloud nodes, uncontended for
+// peer nodes (the peer edge's own machine). Returns detections, slot
+// wait, and inference time.
+func (p *Pipeline) detectNode(f *video.Frame, k int) ([]detect.Detection, time.Duration, time.Duration) {
+	cfg := p.cfg
+	clk := cfg.Clock
+	nd := &cfg.Graph.Nodes[k]
+	model := nd.Model
+	if model == nil {
+		model = cfg.EdgeModel
+	}
+	speed := nd.Speed
+	if speed <= 0 {
+		if nd.Tier == txn.TierCloud {
+			speed = cfg.CloudSpeed
+		} else {
+			speed = cfg.EdgeSpeed
+		}
+	}
+	var sem *vclock.Semaphore
+	switch nd.Tier {
+	case txn.TierEdge:
+		sem = p.edgeSlots
+	case txn.TierCloud:
+		sem = p.cloudSlot
+	}
+	tw := clk.Now()
+	if sem == p.edgeSlots {
+		p.queueDepth.Add(1)
+	}
+	if sem != nil {
+		sem.Acquire()
+	}
+	if sem == p.edgeSlots {
+		p.queueDepth.Add(-1)
+	}
+	start := clk.Now()
+	res := model.Detect(f)
+	clk.Sleep(scale(res.Latency, speed))
+	if sem != nil {
+		sem.Release()
+	}
+	end := clk.Now()
+	if start > tw {
+		cfg.Obs.Span(obs.SpanPoolWait, p.tags, tw, start)
+	}
+	cfg.Obs.Span(obs.SpanNodeDetect, p.secTag(k), start, end)
+	return res.Detections, start - tw, end - start
+}
+
+// hopTo charges shipping the frame from the edge hub into node k's tier:
+// nothing for edge nodes, the peer mesh for peer nodes, the uplink for
+// cloud nodes. Preprocessing applies on every off-hub hop.
+func (p *Pipeline) hopTo(f *video.Frame, k int) time.Duration {
+	cfg := p.cfg
+	clk := cfg.Clock
+	var path transport.Path
+	switch cfg.Graph.Nodes[k].Tier {
+	case txn.TierCloud:
+		path = cfg.EdgeCloud
+	case txn.TierPeer:
+		path = cfg.PeerPath
+		if path == nil {
+			path = cfg.EdgeCloud
+		}
+	default:
+		return 0
+	}
+	t0 := clk.Now()
+	bytes, prepCost := cfg.Preproc.Process(f.SizeBytes)
+	clk.Sleep(scale(prepCost, cfg.EdgeSpeed))
+	path.Send(clk, bytes)
+	end := clk.Now()
+	cfg.Obs.Span(obs.SpanUplink, p.secTag(k), t0, end)
+	return end - t0
+}
+
+// runGraphInitials triggers and runs section 0 for the visible detections
+// — runInitials reshaped for the graph path, recording into Sections[0].
+func (p *Pipeline) runGraphInitials(f *video.Frame, dets []detect.Detection, out *FrameOutcome) []pendingTxn {
+	if p.cfg.Source == nil {
+		return nil
+	}
+	clk := p.cfg.Clock
+	sec := &out.Sections[0]
+	start := clk.Now()
+	var pending []pendingTxn
+	for i, d := range dets {
+		t := p.cfg.Source.TxnFor(f.Index, d)
+		if t == nil {
+			continue
+		}
+		inst := p.cfg.Mgr.NewInstance(t, InitialInput{FrameIndex: f.Index, Trigger: d, Labels: dets})
+		err := p.cfg.CC.RunSection(inst, 0)
+		p.harvestSection(inst, out, sec)
+		if err != nil {
+			out.InitialAborts++
+			continue
+		}
+		pending = append(pending, pendingTxn{inst: inst, trigger: d, edgeIdx: i})
+	}
+	out.TxnsTriggered += len(pending)
+	end := clk.Now()
+	sec.Txn = end - start
+	out.Breakdown.InitialTxn = end - start
+	if len(dets) > 0 {
+		p.cfg.Obs.Span(obs.SpanSectionTxn, p.secTag(0), start, end)
+	}
+	p.secCommit(0, int64(len(pending)))
+	return pending
+}
+
+// runGraphSection runs section k (k ≥ 1) of every pending transaction with
+// the node's matches (nil matches ⇒ labels assumed correct), plus a full
+// catch-up run — sections 0..k — for labels first seen at this node
+// (MatchNew). Fresh transactions join pending and their trigger joins the
+// reference set, so later nodes match against them instead of re-raising
+// them. Returns the updated pending and reference sets.
+func (p *Pipeline) runGraphSection(f *video.Frame, k int, pending []pendingTxn, ref []detect.Detection, matches []LabelMatch, out *FrameOutcome) ([]pendingTxn, []detect.Detection) {
+	if p.cfg.Source == nil {
+		return pending, ref
+	}
+	clk := p.cfg.Clock
+	sec := &out.Sections[k]
+	last := len(p.cfg.Graph.Nodes) - 1
+	start := clk.Now()
+	byEdgeIdx := make(map[int]LabelMatch, len(matches))
+	for _, m := range matches {
+		if m.EdgeIdx >= 0 {
+			byEdgeIdx[m.EdgeIdx] = m
+		}
+	}
+	committed := int64(0)
+	for _, pt := range pending {
+		m, ok := byEdgeIdx[pt.edgeIdx]
+		if !ok {
+			m = LabelMatch{Case: MatchAssumed, EdgeIdx: pt.edgeIdx}
+		}
+		fin := FinalInput{FrameIndex: f.Index, Case: m.Case, Edge: pt.trigger, Cloud: m.Cloud}
+		if fin.Corrected() {
+			out.Corrections++
+		}
+		pt.inst.SetSectionIn(k, fin)
+		if err := p.cfg.CC.RunSection(pt.inst, k); err != nil && err != txn.ErrRetracted {
+			out.FinalErrors++
+		} else if err == nil {
+			committed++
+		}
+		p.harvestSection(pt.inst, out, sec)
+		if k == last {
+			out.Apologies = append(out.Apologies, pt.inst.Apologies()...)
+		}
+	}
+	// Labels every earlier node missed: trigger now and catch up through
+	// section k, so the transaction is level with the rest of the frame.
+	for _, m := range matches {
+		if m.Case != MatchNew {
+			continue
+		}
+		t := p.cfg.Source.TxnFor(f.Index, m.Cloud)
+		if t == nil {
+			continue
+		}
+		inst := p.cfg.Mgr.NewInstance(t, InitialInput{FrameIndex: f.Index, Trigger: m.Cloud})
+		err := p.cfg.CC.RunSection(inst, 0)
+		p.harvestSection(inst, out, sec)
+		if err != nil {
+			out.InitialAborts++
+			continue
+		}
+		out.TxnsTriggered++
+		out.Corrections++
+		for j := 1; j < k; j++ {
+			inst.SetSectionIn(j, FinalInput{FrameIndex: f.Index, Case: MatchAssumed})
+			if err := p.cfg.CC.RunSection(inst, j); err != nil && err != txn.ErrRetracted {
+				out.FinalErrors++
+			}
+			p.harvestSection(inst, out, sec)
+		}
+		inst.SetSectionIn(k, FinalInput{FrameIndex: f.Index, Case: MatchNew, Cloud: m.Cloud})
+		if err := p.cfg.CC.RunSection(inst, k); err != nil && err != txn.ErrRetracted {
+			out.FinalErrors++
+		} else if err == nil {
+			committed++
+		}
+		p.harvestSection(inst, out, sec)
+		if k == last {
+			out.Apologies = append(out.Apologies, inst.Apologies()...)
+		}
+		ref = append(ref, m.Cloud)
+		pending = append(pending, pendingTxn{inst: inst, trigger: m.Cloud, edgeIdx: len(ref) - 1})
+	}
+	end := clk.Now()
+	sec.Txn += end - start
+	out.Breakdown.FinalTxn += end - start
+	if len(pending) > 0 || len(matches) > 0 {
+		p.cfg.Obs.Span(obs.SpanSectionTxn, p.secTag(k), start, end)
+	}
+	p.secCommit(k, committed)
+	return pending, ref
+}
+
+// harvestSection folds an instance's instrumented lock-wait and 2PC time
+// into both the frame breakdown and the section's own decomposition.
+func (p *Pipeline) harvestSection(inst *txn.Instance, out *FrameOutcome, sec *SectionOutcome) {
+	lw, tp := inst.TakeTiming()
+	out.Breakdown.LockWait += lw
+	out.Breakdown.TwoPC += tp
+	sec.LockWait += lw
+	sec.TwoPC += tp
+}
+
+// secTag returns the pre-resolved tag string for section k (p.tags plus
+// the section tag).
+func (p *Pipeline) secTag(k int) string {
+	if k < len(p.secTags) {
+		return p.secTags[k]
+	}
+	return p.tags
+}
+
+// secCommit bumps section k's boundary-commit counter.
+func (p *Pipeline) secCommit(k int, n int64) {
+	if n > 0 && k < len(p.mSecCommits) {
+		p.mSecCommits[k].Add(n)
+	}
+}

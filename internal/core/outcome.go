@@ -76,6 +76,49 @@ func (b *Breakdown) div(n int) {
 	b.TwoPC /= d
 }
 
+// SectionOutcome decomposes one graph section's share of a frame — the
+// per-section analogue of Breakdown, produced only by the graph executor
+// (Config.Graph set). Section k's boundary commit belongs to graph node k.
+type SectionOutcome struct {
+	Name string
+	Tier string
+	// Hop is the network time shipping the frame into the node's tier
+	// (zero for edge-tier nodes, which are co-located with the hub).
+	Hop time.Duration
+	// Detect is the node model's inference time (zero when the route
+	// skipped the node and its section committed locally).
+	Detect time.Duration
+	// Txn is the wall time inside this section's transaction executions;
+	// LockWait and TwoPC are its transactional shares.
+	Txn      time.Duration
+	LockWait time.Duration
+	TwoPC    time.Duration
+	// Latency is capture → this section's boundary commit at the client.
+	Latency time.Duration
+}
+
+func (s *SectionOutcome) add(o SectionOutcome) {
+	s.Hop += o.Hop
+	s.Detect += o.Detect
+	s.Txn += o.Txn
+	s.LockWait += o.LockWait
+	s.TwoPC += o.TwoPC
+	s.Latency += o.Latency
+}
+
+func (s *SectionOutcome) div(n int) {
+	if n == 0 {
+		return
+	}
+	d := time.Duration(n)
+	s.Hop /= d
+	s.Detect /= d
+	s.Txn /= d
+	s.LockWait /= d
+	s.TwoPC /= d
+	s.Latency /= d
+}
+
 // FrameOutcome is the client-observable result of one frame.
 type FrameOutcome struct {
 	FrameIndex int
@@ -109,6 +152,10 @@ type FrameOutcome struct {
 	InitialLatency time.Duration
 	FinalLatency   time.Duration
 	Breakdown      Breakdown
+
+	// Sections is the per-section decomposition, one entry per graph node.
+	// Nil on the classic two-stage path (no Config.Graph).
+	Sections []SectionOutcome
 }
 
 // Summary aggregates a run for one video.
@@ -129,6 +176,9 @@ type Summary struct {
 	MeanInitialLatency time.Duration
 	MeanFinalLatency   time.Duration
 	MeanBreakdown      Breakdown
+	// MeanSections is the mean per-section decomposition, one entry per
+	// graph node. Nil for classic two-stage runs.
+	MeanSections []SectionOutcome
 
 	TxnsTriggered int
 	Corrections   int
@@ -171,6 +221,20 @@ func Summarize(videoName string, mode Mode, queryClass string, outcomes []FrameO
 		sumInit += o.InitialLatency
 		sumFinal += o.FinalLatency
 		s.MeanBreakdown.add(o.Breakdown)
+		if len(o.Sections) > 0 {
+			if s.MeanSections == nil {
+				s.MeanSections = make([]SectionOutcome, len(o.Sections))
+				for k := range o.Sections {
+					s.MeanSections[k].Name = o.Sections[k].Name
+					s.MeanSections[k].Tier = o.Sections[k].Tier
+				}
+			}
+			for k := range o.Sections {
+				if k < len(s.MeanSections) {
+					s.MeanSections[k].add(o.Sections[k])
+				}
+			}
+		}
 		s.TxnsTriggered += o.TxnsTriggered
 		s.Corrections += o.Corrections
 		s.Apologies += len(o.Apologies)
@@ -182,6 +246,9 @@ func Summarize(videoName string, mode Mode, queryClass string, outcomes []FrameO
 		s.MeanInitialLatency = sumInit / time.Duration(n)
 		s.MeanFinalLatency = sumFinal / time.Duration(n)
 		s.MeanBreakdown.div(n)
+		for k := range s.MeanSections {
+			s.MeanSections[k].div(n)
+		}
 	}
 	s.F1Initial = initCounts.F1()
 	s.F1Final = finalCounts.F1()

@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -126,6 +127,26 @@ type Config struct {
 	CC     txn.CC
 	Mgr    *txn.Manager
 
+	// Graph, when set, replaces the two-stage croesus flow with the
+	// N-section inference-graph executor (ModeCroesus only): node k's
+	// labels commit transaction section k, so the frame makes one
+	// boundary commit per node instead of exactly initial+final. The
+	// TxnSource must then produce transactions with one section per node
+	// (WorkloadSource.SetPlan(Graph.SectionPlan())). Nil keeps the classic
+	// two-stage path byte-identical.
+	Graph *Graph
+	// PeerPath carries frames to peer-tier graph nodes (the inter-edge
+	// mesh). Defaults to netsim's edge-edge link; the fleet runtime
+	// injects its transport's peer path.
+	PeerPath transport.Path
+	// GraphValidate, when set, runs cloud-tier graph nodes remotely
+	// instead of through their in-pipeline model: the tcpnet edge server
+	// ships the frame over its real cloud socket (wire.CloudRequest with
+	// the section index) and the cloud's model answers. Returning ok ==
+	// false (connection lost, request shed) commits the section with the
+	// labels assumed correct — availability over freshness, per boundary.
+	GraphValidate func(f *video.Frame, section int) (dets []detect.Detection, detectTime time.Duration, ok bool)
+
 	// Smoother, when set, applies cloud-correction feedback to edge
 	// detections (ModeCroesus only).
 	Smoother Smoother
@@ -191,6 +212,9 @@ func (c Config) Defaults() Config {
 	if c.Preproc == nil {
 		c.Preproc = netsim.Identity{}
 	}
+	if c.PeerPath == nil && c.Graph != nil {
+		c.PeerPath = netsim.EdgeEdgeLink()
+	}
 	if c.MinConfidence == 0 {
 		c.MinConfidence = 0.05
 	}
@@ -224,6 +248,11 @@ type Pipeline struct {
 	mFinal     *obs.Histogram
 	mComponent [5]*obs.Histogram // compute, queue, lock, twopc, network
 
+	// Per-section handles, one per graph node (graph executor only).
+	secTags     []string
+	mSection    []*obs.Histogram
+	mSecCommits []*obs.Counter
+
 	mu       sync.Mutex
 	outcomes []FrameOutcome
 }
@@ -245,6 +274,22 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	if (cfg.Source == nil) != (cfg.CC == nil) || (cfg.CC == nil) != (cfg.Mgr == nil) {
 		return nil, fmt.Errorf("core: Source, CC, and Mgr must be provided together")
+	}
+	if g := cfg.Graph; g != nil {
+		if cfg.Mode != ModeCroesus {
+			return nil, fmt.Errorf("core: Config.Graph requires ModeCroesus, got %v", cfg.Mode)
+		}
+		if len(g.Nodes) == 0 {
+			return nil, fmt.Errorf("core: Config.Graph needs at least one node")
+		}
+		if g.Nodes[0].Tier != txn.TierEdge {
+			return nil, fmt.Errorf("core: graph node 0 (%q) must be on the edge tier, got %q", g.Nodes[0].Name, g.Nodes[0].Tier)
+		}
+		for i := 1; i < len(g.Nodes); i++ {
+			if g.Nodes[i].Model == nil {
+				return nil, fmt.Errorf("core: graph node %d (%q) has no model", i, g.Nodes[i].Name)
+			}
+		}
 	}
 	edgeSlots := cfg.EdgeCompute
 	if edgeSlots == nil {
@@ -268,6 +313,18 @@ func New(cfg Config) (*Pipeline, error) {
 		p.mFinal = o.Histogram(obs.MetricFinalLatency, p.tags)
 		for i, comp := range [5]string{"compute", "queue", "lock", "twopc", "network"} {
 			p.mComponent[i] = o.Histogram(obs.MetricComponent, obs.Tags(append([]string{"component", comp}, cfg.TagKV...)...))
+		}
+	}
+	if g := cfg.Graph; g != nil {
+		p.secTags = make([]string, len(g.Nodes))
+		p.mSection = make([]*obs.Histogram, len(g.Nodes))
+		p.mSecCommits = make([]*obs.Counter, len(g.Nodes))
+		for k := range g.Nodes {
+			p.secTags[k] = obs.Tags(append([]string{"section", strconv.Itoa(k)}, cfg.TagKV...)...)
+			if cfg.Obs != nil {
+				p.mSection[k] = cfg.Obs.Histogram(obs.MetricSectionLatency, p.secTags[k])
+				p.mSecCommits[k] = cfg.Obs.Counter(obs.MetricSectionCommit, p.secTags[k])
+			}
 		}
 	}
 	p.validator = cfg.Validator
@@ -330,11 +387,13 @@ func (p *Pipeline) ProcessFrame(f *video.Frame) FrameOutcome {
 // processFrame is the per-frame execution pattern of Figure 1.
 func (p *Pipeline) processFrame(f *video.Frame) FrameOutcome {
 	var out FrameOutcome
-	switch p.cfg.Mode {
-	case ModeEdgeOnly:
+	switch {
+	case p.cfg.Mode == ModeEdgeOnly:
 		out = p.processEdgeOnly(f)
-	case ModeCloudOnly:
+	case p.cfg.Mode == ModeCloudOnly:
 		out = p.processCloudOnly(f)
+	case p.cfg.Graph != nil:
+		out = p.processGraph(f)
 	default:
 		out = p.processCroesus(f)
 	}
@@ -364,6 +423,11 @@ func (p *Pipeline) observe(out *FrameOutcome) {
 	compute, queue, lock, twopc, network := out.Breakdown.CriticalPath()
 	for i, d := range [5]time.Duration{compute, queue, lock, twopc, network} {
 		p.mComponent[i].Observe(d)
+	}
+	for k := range out.Sections {
+		if k < len(p.mSection) {
+			p.mSection[k].Observe(out.Sections[k].Latency)
+		}
 	}
 }
 

@@ -38,7 +38,8 @@ type WorkloadSource struct {
 	Clk    vclock.Clock
 	OpCost time.Duration
 
-	mu sync.Mutex
+	mu   sync.Mutex
+	plan []txn.SectionSpec
 }
 
 // NewWorkloadSource returns a source over nKeys uniform keys with the
@@ -49,6 +50,19 @@ func NewWorkloadSource(nKeys int, seed int64) *WorkloadSource {
 		NumOps: 6,
 		Seed:   seed,
 	}
+}
+
+// SetPlan shapes the source's transactions to an inference graph: with a
+// non-empty plan (Graph.SectionPlan()), TxnFor emits one section per plan
+// entry — section 0 runs the insert/read body, every later section the
+// corrective body — instead of the classic Initial/Final pair. All
+// sections share one read/write set, so MS-SR's up-front union
+// acquisition covers the whole graph. Safe against concurrent TxnFor
+// calls; an empty plan restores the two-stage shape.
+func (s *WorkloadSource) SetPlan(plan []txn.SectionSpec) {
+	s.mu.Lock()
+	s.plan = plan
+	s.mu.Unlock()
 }
 
 // SetKeys swaps the source's key chooser mid-run — the mechanism behind a
@@ -67,6 +81,7 @@ func (s *WorkloadSource) TxnFor(frameIndex int, d detect.Detection) *txn.Txn {
 	s.mu.Lock()
 	rng := rand.New(rand.NewSource(s.Seed ^ int64(frameIndex)*1_000_003 ^ int64(d.Box.X*8191)<<16 ^ int64(d.Box.Y*131071)))
 	ops := workload.DetectionOps(rng, s.Keys, s.NumOps)
+	plan := s.plan
 	s.mu.Unlock()
 
 	var rw txn.RWSet
@@ -77,43 +92,58 @@ func (s *WorkloadSource) TxnFor(frameIndex int, d detect.Detection) *txn.Txn {
 			rw.Reads = append(rw.Reads, op.Key)
 		}
 	}
-	return &txn.Txn{
+	initial := func(c *txn.Ctx) error {
+		in, _ := c.In().(InitialInput)
+		for _, op := range ops {
+			s.chargeOp()
+			if op.Kind == workload.OpInsert {
+				c.Put(op.Key, store.StringValue(in.Trigger.Label))
+			} else {
+				c.Get(op.Key)
+			}
+		}
+		return nil
+	}
+	corrective := func(c *txn.Ctx) error {
+		fin, _ := c.In().(FinalInput)
+		switch fin.Case {
+		case MatchCorrected, MatchNew:
+			// Overwrite the inserted items with the corrected label
+			// and apologize to the client.
+			for _, op := range ops {
+				if op.Kind == workload.OpInsert {
+					s.chargeOp()
+					c.Put(op.Key, store.StringValue(fin.Cloud.Label))
+				}
+			}
+			c.Apologize(fmt.Sprintf("label corrected to %q", fin.Cloud.Label))
+		case MatchErroneous:
+			// False detection: retract the work of every committed
+			// section — a cascading retraction at this boundary.
+			c.Retract("erroneous detection removed by cloud validation")
+		default:
+			// MatchCorrect / MatchAssumed: the guess held; terminate
+			// (the §2.1 task-1 behaviour).
+		}
+		return nil
+	}
+	t := &txn.Txn{
 		Name:      fmt.Sprintf("detect-%s-f%d", d.Label, frameIndex),
 		InitialRW: rw,
 		FinalRW:   rw,
-		Initial: func(c *txn.Ctx) error {
-			in, _ := c.In().(InitialInput)
-			for _, op := range ops {
-				s.chargeOp()
-				if op.Kind == workload.OpInsert {
-					c.Put(op.Key, store.StringValue(in.Trigger.Label))
-				} else {
-					c.Get(op.Key)
-				}
-			}
-			return nil
-		},
-		Final: func(c *txn.Ctx) error {
-			fin, _ := c.In().(FinalInput)
-			switch fin.Case {
-			case MatchCorrected, MatchNew:
-				// Overwrite the inserted items with the corrected label
-				// and apologize to the client.
-				for _, op := range ops {
-					if op.Kind == workload.OpInsert {
-						s.chargeOp()
-						c.Put(op.Key, store.StringValue(fin.Cloud.Label))
-					}
-				}
-				c.Apologize(fmt.Sprintf("label corrected to %q", fin.Cloud.Label))
-			case MatchErroneous:
-				// False detection: retract the initial section's work.
-				c.Retract("erroneous detection removed by cloud validation")
-			default:
-				// MatchCorrect / MatchAssumed: the guess held; terminate
-				// (the §2.1 task-1 behaviour).
-			}
-			return nil
-		},
+		Initial:   initial,
+		Final:     corrective,
 	}
+	if len(plan) > 0 {
+		secs := make([]txn.SectionSpec, len(plan))
+		for k := range plan {
+			body := corrective
+			if k == 0 {
+				body = initial
+			}
+			secs[k] = txn.SectionSpec{Name: plan[k].Name, Tier: plan[k].Tier, RW: rw, Body: body}
+		}
+		t.Sections = secs
+	}
+	return t
 }

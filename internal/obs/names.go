@@ -9,6 +9,8 @@ const (
 	SpanEdgeDetect    = "edge.detect"     // compact-model inference
 	SpanInitialTxn    = "txn.initial"     // initial section (edge answer commit)
 	SpanFinalTxn      = "txn.final"       // final section (cloud correction commit)
+	SpanSectionTxn    = "txn.section"     // one graph section's boundary commit (tag section=<k>)
+	SpanNodeDetect    = "node.detect"     // a graph node's model inference (tag section=<k>)
 	SpanLockWait      = "lock.wait"       // lock acquisition incl. wait-die waits
 	SpanLockAbort     = "lock.abort"      // wait-die abort during acquisition
 	SpanUplink        = "uplink.transfer" // edge→cloud frame shipment
@@ -24,7 +26,9 @@ const (
 )
 
 // Metric names. Tags are drawn from {edge, camera, protocol, component,
-// transport}; every name is prefixed croesus_ so scrapes are greppable.
+// transport, section}; every name is prefixed croesus_ so scrapes are
+// greppable. The section tag carries the graph-section index ("0", "1", …)
+// on the per-section span and metric families below.
 const (
 	MetricFrames         = "croesus_frames_total"
 	MetricFramesShed     = "croesus_frames_shed_total"
@@ -38,6 +42,8 @@ const (
 	MetricBatches        = "croesus_batches_total"       // counter: batches dispatched
 	MetricInitialLatency = "croesus_initial_latency_seconds"
 	MetricFinalLatency   = "croesus_final_latency_seconds"
+	MetricSectionLatency = "croesus_section_latency_seconds"   // histogram, tag section=<index> (graph executor)
+	MetricSectionCommit  = "croesus_section_commits_total"     // counter, tag section=<index> (graph executor)
 	MetricComponent      = "croesus_latency_component_seconds" // histogram, component=compute|queue|lock|twopc|network
 	MetricTwoPCRounds    = "croesus_twopc_rounds_total"
 	MetricPrepareRPCs    = "croesus_twopc_prepare_rpcs_total"

@@ -69,6 +69,24 @@ func TestHistogramMerge(t *testing.T) {
 	if err := a.Merge(c); err == nil {
 		t.Fatal("merge of mismatched layouts succeeded")
 	}
+
+	// Per-section series stay distinct: a registry resolves one histogram
+	// per section tag, and merging the same section across two edges'
+	// registries folds counts without bleeding into a neighboring section.
+	west, east := NewRegistry(), NewRegistry()
+	for _, r := range []*Registry{west, east} {
+		r.Histogram(MetricSectionLatency, Tags("edge", "e0", "section", "1")).Observe(8 * time.Millisecond)
+		r.Histogram(MetricSectionLatency, Tags("edge", "e0", "section", "2")).Observe(80 * time.Millisecond)
+	}
+	for _, sec := range []string{"1", "2"} {
+		tag := Tags("edge", "e0", "section", sec)
+		if err := west.Histogram(MetricSectionLatency, tag).Merge(east.Histogram(MetricSectionLatency, tag)); err != nil {
+			t.Fatalf("section %s merge: %v", sec, err)
+		}
+		if n := west.Histogram(MetricSectionLatency, tag).Count(); n != 2 {
+			t.Fatalf("section %s merged count = %d, want 2 (one per fleet half)", sec, n)
+		}
+	}
 }
 
 func TestRegistryPrometheusText(t *testing.T) {
@@ -76,6 +94,9 @@ func TestRegistryPrometheusText(t *testing.T) {
 	r.Counter(MetricFrames, Tags("edge", "e0")).Add(3)
 	r.Gauge(MetricEdgeQueueDepth, Tags("edge", "e0")).Set(2)
 	r.Histogram(MetricFinalLatency, Tags("edge", "e0")).Observe(42 * time.Millisecond)
+	r.Histogram(MetricSectionLatency, Tags("edge", "e0", "section", "0")).Observe(9 * time.Millisecond)
+	r.Histogram(MetricSectionLatency, Tags("edge", "e0", "section", "1")).Observe(33 * time.Millisecond)
+	r.Counter(MetricSectionCommit, Tags("edge", "e0", "section", "1")).Inc()
 	r.RegisterCollector(func(reg *Registry) {
 		reg.Counter("croesus_collected_total", "").Add(1)
 	})
@@ -87,9 +108,13 @@ func TestRegistryPrometheusText(t *testing.T) {
 		`croesus_final_latency_seconds_bucket{edge="e0",le="0.05"} 1`,
 		`croesus_final_latency_seconds_bucket{edge="e0",le="+Inf"} 1`,
 		`croesus_final_latency_seconds_count{edge="e0"} 1`,
+		`croesus_section_latency_seconds_bucket{edge="e0",section="0",le="0.01"} 1`,
+		`croesus_section_latency_seconds_count{edge="e0",section="1"} 1`,
+		`croesus_section_commits_total{edge="e0",section="1"} 1`,
 		"# TYPE croesus_frames_total counter",
 		"# TYPE croesus_edge_queue_depth gauge",
 		"# TYPE croesus_final_latency_seconds histogram",
+		"# TYPE croesus_section_latency_seconds histogram",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("scrape missing %q:\n%s", want, out)

@@ -1,0 +1,101 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// graphDoc wraps a graph block in a minimal two-edge scenario document.
+func graphDoc(graph string) string {
+	return fmt.Sprintf(`{"version":1,"topology":{"edges":[{"id":"e0"},{"id":"e1"}],"cameras":[{"id":"c","profile":"park-dog"}],"graph":%s}}`, graph)
+}
+
+// TestGraphValidation pins the position-specific rejection of every
+// malformed graph shape: the error must name the offending node (and
+// branch) so a typo in a deep scenario file is findable without
+// bisection.
+func TestGraphValidation(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"empty graph", graphDoc(`{"nodes":[]}`),
+			"graph: needs at least one node"},
+		{"unknown tier", graphDoc(`{"nodes":[{"tier":"edge"},{"tier":"fog"}]}`),
+			`node 1 ("n1"): unknown tier "fog" (want edge, peer, or cloud)`},
+		{"first node off edge", graphDoc(`{"nodes":[{"tier":"cloud"}]}`),
+			`node 0 ("n0"): first node must be on the edge tier, got "cloud"`},
+		{"duplicate name", graphDoc(`{"nodes":[{"name":"det","tier":"edge"},{"tier":"peer"},{"name":"det","tier":"cloud"}]}`),
+			`node 2: duplicate node name "det" (first used by node 0)`},
+		{"reserved done", graphDoc(`{"nodes":[{"tier":"edge"},{"name":"done","tier":"cloud"}]}`),
+			`node 1: "done" is reserved`},
+		{"unknown model", graphDoc(`{"nodes":[{"tier":"edge","model":"resnet"}]}`),
+			`node 0 ("n0"): unknown model "resnet"`},
+		{"negative speed", graphDoc(`{"nodes":[{"tier":"edge","speed":-1}]}`),
+			`node 0 ("n0"): speed must be ≥ 0, got -1`},
+		{"switch lo above hi", graphDoc(`{"nodes":[{"tier":"edge","switch":[{"lo":0.8,"hi":0.2,"to":"done"}]},{"tier":"cloud"}]}`),
+			`node 0 ("n0"): switch branch 0 has lo 0.80 > hi 0.20`},
+		{"switch outside unit range", graphDoc(`{"nodes":[{"tier":"edge","switch":[{"lo":0,"hi":1.5,"to":"done"}]},{"tier":"cloud"}]}`),
+			`switch branch 0 range [0.00, 1.50] must lie in [0, 1]`},
+		{"switch unknown target", graphDoc(`{"nodes":[{"tier":"edge","switch":[{"lo":0,"hi":1,"to":"ghost"}]},{"tier":"cloud"}]}`),
+			`switch branch 0 routes to unknown node "ghost"`},
+		{"switch cycle", graphDoc(`{"nodes":[{"name":"a","tier":"edge"},{"name":"b","tier":"cloud","switch":[{"lo":0,"hi":1,"to":"a"}]}]}`),
+			`node 1 ("b"): switch branch 0 routes to "a" (node 0), which is not a later node — cycles are not allowed`},
+		{"switch coverage gap", graphDoc(`{"nodes":[{"tier":"edge","switch":[{"lo":0,"hi":0.3,"to":"done"},{"lo":0.6,"hi":1,"to":"n1"}]},{"tier":"cloud"}]}`),
+			`switch branches leave [0.30, 0.60) of the confidence range uncovered`},
+		{"switch uncovered tail", graphDoc(`{"nodes":[{"tier":"edge","switch":[{"lo":0,"hi":0.7,"to":"done"}]},{"tier":"cloud"}]}`),
+			`switch branches leave [0.70, 1.00] of the confidence range uncovered`},
+	}
+	for _, tc := range cases {
+		_, err := Decode([]byte(tc.doc))
+		if err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestGraphPeerNeedsTwoEdges pins the fleet-shape check: a peer-tier node
+// on a one-edge topology has no mesh to hop over.
+func TestGraphPeerNeedsTwoEdges(t *testing.T) {
+	doc := `{"version":1,"topology":{"edges":[{"id":"solo"}],"cameras":[{"id":"c","profile":"park-dog"}],"graph":{"nodes":[{"tier":"edge"},{"tier":"peer"},{"tier":"cloud"}]}}}`
+	_, err := Decode([]byte(doc))
+	if err == nil {
+		t.Fatal("one-edge peer graph decoded without error")
+	}
+	want := `node 1 ("n1"): peer tier needs at least 2 edges in the fleet, got 1`
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not mention %q", err, want)
+	}
+}
+
+// TestGraphRoundTrip checks a valid depth-3 graph block survives
+// Encode/Decode byte for byte alongside the rest of the topology.
+func TestGraphRoundTrip(t *testing.T) {
+	doc := graphDoc(`{"nodes":[{"name":"detect","tier":"edge"},{"name":"classify","tier":"peer","model":"yolo-320","switch":[{"lo":0,"hi":0.6,"to":"verify"},{"lo":0.6,"hi":1,"to":"done"}]},{"name":"verify","tier":"cloud","model":"yolo-608"}]}`)
+	s, err := Decode([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Topology.Graph == nil || len(s.Topology.Graph.Nodes) != 3 {
+		t.Fatalf("graph block lost in decode: %+v", s.Topology.Graph)
+	}
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := again.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatalf("graph round trip not stable:\n%s\nvs\n%s", data, data2)
+	}
+}

@@ -350,6 +350,7 @@ func (s *Scenario) clusterConfig(clk vclock.Clock, cams []Camera, idx map[string
 		WorkloadKeys:      t.WorkloadKeys,
 		OpCost:            time.Duration(t.OpCost),
 		Sharded:           sharded,
+		Graph:             t.Graph,
 		CrossEdgeFraction: t.CrossEdgeFraction,
 		Protocol:          proto,
 		ZipfSkew:          t.ZipfSkew,

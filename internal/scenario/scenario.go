@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"croesus/internal/node"
 	"croesus/internal/video"
 )
 
@@ -69,6 +70,14 @@ type Topology struct {
 	ThetaL     float64 `json:"theta_l,omitempty"`
 	ThetaU     float64 `json:"theta_u,omitempty"`
 	OverlapMin float64 `json:"overlap_min,omitempty"`
+
+	// Graph declares the inference graph: an ordered node list where
+	// node k hosts transaction section k, each pinned to a placement
+	// tier (edge, peer, or cloud). Absent — or the canonical two-stage
+	// edge→cloud shape — the fleet runs the classic initial→final
+	// pipeline, byte-identical to scenarios written before this field
+	// existed.
+	Graph *node.GraphSpec `json:"graph,omitempty"`
 
 	Batcher Batcher `json:"batcher,omitempty"`
 
@@ -328,6 +337,11 @@ func (s *Scenario) Validate() error {
 	}
 	if t.ZipfSkew < 0 || t.OpCost < 0 || t.WorkloadKeys < 0 || t.CheckpointEvery < 0 || t.ReplayCost < 0 {
 		return fmt.Errorf("scenario: negative knob (zipf_skew, op_cost, workload_keys, checkpoint_every, replay_cost must be ≥ 0)")
+	}
+	if t.Graph != nil {
+		if err := t.Graph.Validate(len(t.Edges)); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
 	}
 
 	sharded := s.Sharded()

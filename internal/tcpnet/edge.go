@@ -32,6 +32,13 @@ type EdgeConfig struct {
 	// Protocol selects the multi-stage protocol: node.MSIA (default) or
 	// node.MSSR — the same selection a fleet edge makes.
 	Protocol node.Protocol
+	// Graph, when set to a non-canonical spec, runs every client session
+	// over the N-section inference graph instead of the two-stage
+	// pipeline: edge-tier nodes run their models in this server's compute
+	// pool, cloud-tier nodes ship the frame over the real cloud socket
+	// (wire.CloudRequest.Section names the hop's section). A standalone
+	// edge has no peer mesh, so peer-tier nodes are rejected.
+	Graph *node.GraphSpec
 	// Slots bounds concurrent edge inferences across every connected
 	// client (default 4) — the server's compute pool.
 	Slots int
@@ -61,6 +68,7 @@ type EdgeServer struct {
 	cfg        EdgeConfig
 	clk        vclock.Clock
 	asm        *node.Assembly
+	graph      *core.Graph // non-nil when a non-canonical Graph is configured
 	compute    *vclock.Semaphore
 	queueDepth *obs.Gauge // shared across sessions: one compute pool, one gauge
 
@@ -109,6 +117,19 @@ func NewEdgeServer(cfg EdgeConfig) (*EdgeServer, error) {
 		s.queueDepth = cfg.Obs.Gauge(obs.MetricEdgeQueueDepth, obs.Tags("edge", cfg.EdgeID))
 		s.asm.Mgr.Tracer = cfg.Obs.Tracer()
 		s.asm.Mgr.TraceTags = obs.Tags("edge", cfg.EdgeID, "protocol", cfg.Protocol.String())
+	}
+	if cfg.Graph != nil && !cfg.Graph.Canonical2Stage() {
+		// One standalone edge: the graph validates against a fleet of 1,
+		// which rejects peer-tier nodes. Cloud-tier models compile but run
+		// remotely; the fixed seed only feeds the extra edge-tier models.
+		g, err := cfg.Graph.Compile(1, 42)
+		if err != nil {
+			return nil, fmt.Errorf("tcpnet: %w", err)
+		}
+		s.graph = g
+		if ps, ok := cfg.Source.(interface{ SetPlan([]txn.SectionSpec) }); ok {
+			ps.SetPlan(g.SectionPlan())
+		}
 	}
 	return s, nil
 }
@@ -329,7 +350,39 @@ func (s *EdgeServer) buildPipeline(sess *session) (*core.Pipeline, error) {
 		cfg.CC = s.asm.CC
 		cfg.Mgr = s.asm.Mgr
 	}
+	if s.graph != nil {
+		cfg.Graph = s.graph
+		cfg.GraphValidate = sess.graphValidate
+	}
 	return core.New(cfg)
+}
+
+// graphValidate runs a cloud-tier graph node over the real cloud socket:
+// the frame crosses with its section index, the cloud's batcher detects
+// (or sheds) it, and the labels come back. A lost connection or a shed
+// request returns ok == false and the section commits with the labels
+// assumed correct.
+func (ss *session) graphValidate(f *video.Frame, section int) ([]detect.Detection, time.Duration, bool) {
+	if ss.cloud == nil {
+		return nil, 0, false
+	}
+	ss.mu.Lock()
+	pad := ss.padding[f.Index]
+	ss.mu.Unlock()
+	resp, err := ss.cloud.validate(&wire.CloudRequest{
+		FrameIndex: f.Index,
+		Frame:      *f,
+		Padding:    pad,
+		Section:    section,
+	})
+	if err != nil {
+		ss.srv.cfg.Logf("edge: graph section %d cloud hop failed, assuming labels: %v", section, err)
+		return nil, 0, false
+	}
+	if resp.Shed {
+		return nil, 0, false
+	}
+	return resp.Labels, resp.DetectTime, true
 }
 
 // handleFrame runs one frame through the pipeline. The initial reply is

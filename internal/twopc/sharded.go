@@ -768,19 +768,42 @@ func (c *ShardedCC) timedCommit(in *txn.Instance, round uint8, writes []lock.Req
 }
 
 // RunInitial implements txn.CC. MS-IA locks and commits the initial
-// section's own set; MS-SR acquires the union of both sections' locks and
-// holds them (writes commit atomically with the final section's). On a
+// section's own set; MS-SR acquires the union of every section's locks and
+// holds them (writes commit atomically with the last section's). On a
 // mapped fleet both also take the shard intents that fence migrations.
-func (c *ShardedCC) RunInitial(in *txn.Instance) error {
+func (c *ShardedCC) RunInitial(in *txn.Instance) error { return c.RunSection(in, 0) }
+
+// RunSection implements txn.CC over the fleet for one boundary of an
+// N-section transaction: section 0 follows RunInitial's discipline, the
+// last section RunFinal's, and middle sections commit one boundary each —
+// under the section-0 locks for MS-SR (no 2PC until the last boundary), or
+// with their own locks and their own atomic-commitment round (round = the
+// section index, so each boundary's WAL markers stand alone) for MS-IA.
+func (c *ShardedCC) RunSection(in *txn.Instance, k int) error {
+	last := in.T.LastSection()
+	if k == 0 {
+		return c.runFirstSection(in, last)
+	}
+	if c.Protocol == MSSR {
+		return c.runHeldSection(in, k, last)
+	}
+	return c.runOwnSection(in, k, last)
+}
+
+// runFirstSection is section 0 on the fleet: acquire (everything for
+// MS-SR, the section's own set for MS-IA), execute, commit the boundary —
+// deferred for an MS-SR transaction with later sections, immediate
+// otherwise.
+func (c *ShardedCC) runFirstSection(in *txn.Instance, last int) error {
 	if s := in.State(); s != txn.StatePending {
 		return fmt.Errorf("txn %d: RunInitial in state %s", in.ID, s)
 	}
 	owner := lock.Owner(in.ID)
 	var reqs []lock.Request
 	if c.Protocol == MSSR {
-		reqs = lock.Normalize(append(in.T.InitialRW.Requests(), in.T.FinalRW.Requests()...))
+		reqs = in.T.AllRW().Requests()
 	} else {
-		reqs = in.T.InitialRW.Requests()
+		reqs = in.T.SectionAt(0).RW.Requests()
 	}
 	reqs = c.withIntents(reqs)
 	byPart, epochs, ok, fault := c.timedAcquire(in, owner, reqs)
@@ -809,9 +832,9 @@ func (c *ShardedCC) RunInitial(in *txn.Instance) error {
 		return err
 	}
 
-	if c.Protocol == MSSR {
-		// Atomic commitment is deferred to the final commit; the held
-		// locks make the initial writes unobservable until then.
+	if c.Protocol == MSSR && last > 0 {
+		// Atomic commitment is deferred to the last commit; the held
+		// locks make the earlier writes unobservable until then.
 		c.mu.Lock()
 		if c.held == nil {
 			c.held = make(map[txn.ID]heldState)
@@ -821,15 +844,22 @@ func (c *ShardedCC) RunInitial(in *txn.Instance) error {
 		c.M.MarkInitialCommitted(in)
 		return nil
 	}
-	if err := c.timedCommit(in, RoundInitial, in.T.InitialRW.Requests(), epochs, routeOf(byPart)); err != nil {
+	writes := in.T.SectionAt(0).RW.Requests()
+	if c.Protocol == MSSR {
+		writes = in.T.AllRW().Requests() // single-section MS-SR: the one round covers it all
+	}
+	if err := c.timedCommit(in, RoundInitial, writes, epochs, routeOf(byPart)); err != nil {
 		// The initial commit could not complete (a partition crashed
 		// mid-round): undo the section's eager writes and abort.
 		c.abortTxn(in, "initial commit interrupted by edge failure")
 		c.release(owner, byPart)
 		return txn.ErrAborted
 	}
-	c.M.MarkInitialCommitted(in)
+	retracted := c.M.MarkSectionCommitted(in, 0)
 	c.release(owner, byPart)
+	if retracted {
+		return txn.ErrRetracted
+	}
 	return nil
 }
 
@@ -838,79 +868,113 @@ func (c *ShardedCC) RunInitial(in *txn.Instance) error {
 // crash between its commits is retracted — never half-committed — and the
 // crash can leak no locks: MS-SR's held requests are always released here,
 // whether the final commit succeeded, retracted, or died with an edge.
-func (c *ShardedCC) RunFinal(in *txn.Instance) error {
+func (c *ShardedCC) RunFinal(in *txn.Instance) error { return c.RunSection(in, in.T.LastSection()) }
+
+// runHeldSection is an MS-SR boundary after section 0: the body runs under
+// the locks held since the first acquisition; only the last boundary runs
+// the one atomic-commitment round (covering every section's writes) and
+// surrenders the held state.
+func (c *ShardedCC) runHeldSection(in *txn.Instance, k, last int) error {
 	owner := lock.Owner(in.ID)
-	if c.Protocol == MSSR {
-		switch s := in.State(); s {
-		case txn.StateInitialCommitted, txn.StateRetracted:
-		default:
-			return fmt.Errorf("txn %d: RunFinal in state %s", in.ID, s)
-		}
-		c.mu.Lock()
-		hs := c.held[in.ID]
+	switch s := in.State(); s {
+	case txn.StateInitialCommitted, txn.StateRetracted:
+	default:
+		return fmt.Errorf("txn %d: RunSection(%d) in state %s", in.ID, k, s)
+	}
+	c.mu.Lock()
+	hs := c.held[in.ID]
+	if k == last {
 		delete(c.held, in.ID)
-		c.mu.Unlock()
-		heldBy := hs.byPart
-		if in.State() == txn.StateRetracted {
-			c.release(owner, heldBy) // a cascade got here first
-			return txn.ErrRetracted
+	}
+	c.mu.Unlock()
+	heldBy := hs.byPart
+	// drop surrenders the held state on a terminal exit before the last
+	// boundary (a cascade or crash retracted the transaction) so the
+	// remaining boundaries find nothing to release twice.
+	drop := func() {
+		if k != last {
+			c.mu.Lock()
+			delete(c.held, in.ID)
+			c.mu.Unlock()
 		}
-		if c.epochsBroken(hs.epochs) {
-			// A partition holding our locks crashed during the cloud round
-			// trip: the locks and the eager initial writes there are gone.
-			// The only safe outcome is retraction.
-			c.abortTxn(in, "edge crashed while MS-SR locks were held")
+		c.release(owner, heldBy)
+	}
+	if in.State() == txn.StateRetracted {
+		drop() // a cascade got here first
+		return txn.ErrRetracted
+	}
+	if c.epochsBroken(hs.epochs) {
+		// A partition holding our locks crashed during the round trip:
+		// the locks and the eager earlier writes there are gone. The only
+		// safe outcome is retraction.
+		c.abortTxn(in, "edge crashed while MS-SR locks were held")
+		drop()
+		return txn.ErrRetracted
+	}
+	err := c.M.ExecSection(in, txn.Stage(k))
+	if err == nil && k == last {
+		// One 2PC covers every section's writes (Algorithm 1).
+		if cerr := c.timedCommit(in, uint8(last), in.T.AllRW().Requests(), hs.epochs, routeOf(heldBy)); cerr != nil {
+			c.abortTxn(in, "final commit interrupted by edge failure")
 			c.release(owner, heldBy)
 			return txn.ErrRetracted
 		}
-		err := c.M.ExecSection(in, txn.StageFinal)
-		if err == nil {
-			// One 2PC covers both sections' writes (Algorithm 1).
-			if cerr := c.timedCommit(in, RoundFinal, lock.Normalize(append(in.T.InitialRW.Requests(), in.T.FinalRW.Requests()...)), hs.epochs, routeOf(heldBy)); cerr != nil {
-				c.abortTxn(in, "final commit interrupted by edge failure")
-				c.release(owner, heldBy)
-				return txn.ErrRetracted
-			}
-		}
-		retracted := c.M.MarkFinalCommitted(in)
-		c.release(owner, heldBy)
-		if err == nil && retracted {
-			return txn.ErrRetracted
-		}
-		return err
 	}
+	retracted := c.M.MarkSectionCommitted(in, k)
+	if k == last {
+		c.release(owner, heldBy)
+	} else if retracted {
+		drop() // the body retracted its own transaction mid-graph
+	}
+	if err == nil && retracted {
+		return txn.ErrRetracted
+	}
+	return err
+}
 
+// runOwnSection is an MS-IA boundary after section 0: acquire the
+// section's own locks, execute, run the boundary's atomic-commitment round
+// (round = section index), release. Any failure here breaks the
+// multi-stage guarantee (first commit ⇒ every later commit), so the
+// transaction — including every earlier boundary's visible effects — is
+// retracted, cascades included.
+func (c *ShardedCC) runOwnSection(in *txn.Instance, k, last int) error {
+	owner := lock.Owner(in.ID)
 	switch s := in.State(); s {
 	case txn.StateInitialCommitted:
 	case txn.StateRetracted:
 		return txn.ErrRetracted
 	default:
-		return fmt.Errorf("txn %d: RunFinal in state %s", in.ID, s)
+		return fmt.Errorf("txn %d: RunSection(%d) in state %s", in.ID, k, s)
 	}
-	reqs := c.withIntents(in.T.FinalRW.Requests())
+	secName := "the final section"
+	if k != last {
+		secName = fmt.Sprintf("section %d", k)
+	}
+	reqs := c.withIntents(in.T.SectionAt(k).RW.Requests())
 	byPart, epochs, ok, _ := c.timedAcquire(in, owner, reqs)
 	if !ok {
-		// The final section cannot reach its partitions (or the shard map
+		// The section cannot reach its partitions (or the shard map
 		// churned past the retry budget); the multi-stage guarantee
-		// (initial commit ⇒ final commit) is broken, so the initial
-		// section's effects are retracted.
-		c.abortTxn(in, "edge crashed before the final section")
+		// (initial commit ⇒ every later commit) is broken, so the earlier
+		// sections' effects are retracted.
+		c.abortTxn(in, "edge crashed before "+secName)
 		return txn.ErrRetracted
 	}
 	if c.epochsBroken(epochs) {
-		c.abortTxn(in, "edge crashed while the final section waited for locks")
+		c.abortTxn(in, "edge crashed while "+secName+" waited for locks")
 		c.release(owner, byPart)
 		return txn.ErrRetracted
 	}
-	err := c.M.ExecSection(in, txn.StageFinal)
+	err := c.M.ExecSection(in, txn.Stage(k))
 	if err == nil {
-		if cerr := c.timedCommit(in, RoundFinal, in.T.FinalRW.Requests(), epochs, routeOf(byPart)); cerr != nil {
-			c.abortTxn(in, "final commit interrupted by edge failure")
+		if cerr := c.timedCommit(in, uint8(k), in.T.SectionAt(k).RW.Requests(), epochs, routeOf(byPart)); cerr != nil {
+			c.abortTxn(in, "commit of "+secName+" interrupted by edge failure")
 			c.release(owner, byPart)
 			return txn.ErrRetracted
 		}
 	}
-	retracted := c.M.MarkFinalCommitted(in)
+	retracted := c.M.MarkSectionCommitted(in, k)
 	c.release(owner, byPart)
 	if err == nil && retracted {
 		return txn.ErrRetracted

@@ -1,16 +1,15 @@
 package txn
 
 import (
-	"fmt"
-
 	"croesus/internal/lock"
-	"croesus/internal/obs"
 )
 
 // CC is a multi-stage concurrency-control protocol. The pipeline wraps the
 // initial section in RunInitial (triggered by edge labels) and the final
 // section in RunFinal (triggered by corrected cloud labels) — the CC.initial
-// and CC.final blocks of §3.3.
+// and CC.final blocks of §3.3. The graph executor instead drives every
+// boundary through RunSection; RunInitial and RunFinal are exactly
+// RunSection(in, 0) and RunSection(in, last).
 type CC interface {
 	Name() string
 	// RunInitial executes the initial section under the protocol's rules.
@@ -21,6 +20,12 @@ type CC interface {
 	// RunFinal executes the final section. The instance must have
 	// initially committed; on nil it has finally committed.
 	RunFinal(in *Instance) error
+	// RunSection executes section k of an N-section transaction. Section 0
+	// follows RunInitial's rules; the last section follows RunFinal's;
+	// middle sections commit a boundary each under the protocol's locking
+	// discipline (MS-SR: under the locks held since section 0; MS-IA: with
+	// their own locks, commit, release).
+	RunSection(in *Instance, k int) error
 }
 
 // The methods below are the seam for CC implementations living outside this
@@ -34,17 +39,13 @@ type CC interface {
 // performs no locking and no state transition — the caller is the protocol.
 func (m *Manager) ExecSection(in *Instance, stage Stage) error {
 	ctx := &Ctx{inst: in, stage: stage}
-	if stage == StageInitial {
-		return in.T.Initial(ctx)
-	}
-	return in.T.Final(ctx)
+	return in.T.SectionAt(int(stage)).Body(ctx)
 }
 
 // MarkInitialCommitted moves a pending instance to initial-committed and
-// records the commit.
+// records the commit — the first-boundary hook (MarkSectionCommitted(0)).
 func (m *Manager) MarkInitialCommitted(in *Instance) {
-	in.setState(StateInitialCommitted)
-	m.recordCommit(in, StageInitial)
+	m.MarkSectionCommitted(in, 0)
 }
 
 // MarkAborted moves the instance to aborted and records the abort.
@@ -54,12 +55,10 @@ func (m *Manager) MarkAborted(in *Instance) {
 }
 
 // MarkFinalCommitted moves an initially-committed instance to
-// final-committed (retraction is sticky) and records the commit. It reports
-// whether the instance ended retracted.
+// final-committed (retraction is sticky) and records the commit — the
+// last-boundary hook. It reports whether the instance ended retracted.
 func (m *Manager) MarkFinalCommitted(in *Instance) (retracted bool) {
-	retracted = in.finishFinal()
-	m.recordCommit(in, StageFinal)
-	return retracted
+	return m.MarkSectionCommitted(in, in.T.LastSection())
 }
 
 // Policy selects how MS-SR acquires initial-section locks.
@@ -101,103 +100,11 @@ func (p *MSSR) Name() string { return "MS-SR/TSPL" }
 
 // RunInitial performs the first half of Algorithm 1 and leaves every lock
 // held for RunFinal.
-func (p *MSSR) RunInitial(in *Instance) error {
-	if s := in.State(); s != StatePending {
-		return fmt.Errorf("txn %d: RunInitial in state %s", in.ID, s)
-	}
-	owner := lock.Owner(in.ID)
-	// Keys needed by both sections are taken at the stronger mode from
-	// the start, so the final-lock step never needs an in-place upgrade.
-	initReqs := strengthen(in.T.InitialRW.Requests(), in.T.FinalRW.Requests())
-	extraReqs := newKeys(initReqs, in.T.FinalRW.Requests())
-	allReqs := lock.Normalize(append(append([]lock.Request{}, initReqs...), extraReqs...))
-
-	tAcq := p.M.now()
-	if p.Policy == Wait {
-		if !p.M.Locks.AcquireAllWaitDie(owner, allReqs) {
-			now := p.M.now()
-			in.AddLockWait(now - tAcq)
-			p.M.Tracer.Emit(obs.SpanLockAbort, p.M.TraceTags, tAcq, now)
-			in.setState(StateAborted)
-			p.M.recordAbort()
-			return ErrAborted
-		}
-	} else {
-		if !p.M.Locks.TryAcquireAll(owner, initReqs) {
-			in.AddLockWait(p.M.now() - tAcq)
-			in.setState(StateAborted)
-			p.M.recordAbort()
-			return ErrAborted
-		}
-	}
-	in.AddLockWait(p.M.now() - tAcq)
-
-	ctx := &Ctx{inst: in, stage: StageInitial}
-	if err := in.T.Initial(ctx); err != nil {
-		if p.Policy == Wait {
-			p.M.Locks.ReleaseAll(owner, allReqs)
-		} else {
-			p.M.Locks.ReleaseAll(owner, initReqs)
-		}
-		in.setState(StateAborted)
-		p.M.recordAbort()
-		return err
-	}
-
-	if p.Policy == NoWait {
-		// Algorithm 1: the final section's locks must be acquired before
-		// the initial commit, guaranteeing the final section will commit.
-		tExtra := p.M.now()
-		if !p.M.Locks.TryAcquireAll(owner, extraReqs) {
-			in.AddLockWait(p.M.now() - tExtra)
-			p.M.Locks.ReleaseAll(owner, initReqs)
-			in.setState(StateAborted)
-			p.M.recordAbort()
-			return ErrAborted
-		}
-		in.AddLockWait(p.M.now() - tExtra)
-	}
-
-	in.mu.Lock()
-	in.heldReqs = allReqs
-	in.mu.Unlock()
-	in.setState(StateInitialCommitted)
-	p.M.recordCommit(in, StageInitial)
-	return nil
-}
+func (p *MSSR) RunInitial(in *Instance) error { return p.RunSection(in, 0) }
 
 // RunFinal executes the final section, final-commits, and releases every
 // lock held since the initial section.
-func (p *MSSR) RunFinal(in *Instance) error {
-	releaseHeld := func() {
-		in.mu.Lock()
-		held := in.heldReqs
-		in.heldReqs = nil
-		in.mu.Unlock()
-		p.M.Locks.ReleaseAll(lock.Owner(in.ID), held)
-	}
-	switch s := in.State(); s {
-	case StateInitialCommitted:
-	case StateRetracted:
-		releaseHeld() // a cascade got here first; don't leak the 2PL locks
-		return ErrRetracted
-	default:
-		return fmt.Errorf("txn %d: RunFinal in state %s", in.ID, s)
-	}
-	ctx := &Ctx{inst: in, stage: StageFinal}
-	err := in.T.Final(ctx)
-	// The multi-stage contract: an initially-committed transaction must
-	// finally commit. A section error here is the programmer's apology
-	// logic failing, not a concurrency abort; state still advances
-	// (unless the section retracted the transaction, which is terminal).
-	retracted := in.finishFinal()
-	p.M.recordCommit(in, StageFinal)
-	releaseHeld()
-	if err == nil && retracted {
-		return ErrRetracted
-	}
-	return err
-}
+func (p *MSSR) RunFinal(in *Instance) error { return p.RunSection(in, in.T.LastSection()) }
 
 // strengthen returns init with each request upgraded to Exclusive when the
 // final section writes the same key.
@@ -244,52 +151,9 @@ type MSIA struct {
 func (p *MSIA) Name() string { return "MS-IA" }
 
 // RunInitial locks the initial set, executes, initial-commits, releases.
-func (p *MSIA) RunInitial(in *Instance) error {
-	if s := in.State(); s != StatePending {
-		return fmt.Errorf("txn %d: RunInitial in state %s", in.ID, s)
-	}
-	owner := lock.Owner(in.ID)
-	reqs := in.T.InitialRW.Requests()
-	tAcq := p.M.now()
-	p.M.Locks.AcquireAll(owner, reqs)
-	in.AddLockWait(p.M.now() - tAcq)
-	ctx := &Ctx{inst: in, stage: StageInitial}
-	err := in.T.Initial(ctx)
-	if err != nil {
-		p.M.Locks.ReleaseAll(owner, reqs)
-		in.setState(StateAborted)
-		p.M.recordAbort()
-		return err
-	}
-	in.setState(StateInitialCommitted)
-	p.M.recordCommit(in, StageInitial)
-	p.M.Locks.ReleaseAll(owner, reqs)
-	return nil
-}
+func (p *MSIA) RunInitial(in *Instance) error { return p.RunSection(in, 0) }
 
 // RunFinal locks the final set, executes the apology/merge logic,
 // final-commits, releases. Blocking acquisition means the final section
 // always commits, preserving the multi-stage guarantee.
-func (p *MSIA) RunFinal(in *Instance) error {
-	switch s := in.State(); s {
-	case StateInitialCommitted:
-	case StateRetracted:
-		return ErrRetracted
-	default:
-		return fmt.Errorf("txn %d: RunFinal in state %s", in.ID, s)
-	}
-	owner := lock.Owner(in.ID)
-	reqs := in.T.FinalRW.Requests()
-	tAcq := p.M.now()
-	p.M.Locks.AcquireAll(owner, reqs)
-	in.AddLockWait(p.M.now() - tAcq)
-	ctx := &Ctx{inst: in, stage: StageFinal}
-	err := in.T.Final(ctx)
-	retracted := in.finishFinal()
-	p.M.recordCommit(in, StageFinal)
-	p.M.Locks.ReleaseAll(owner, reqs)
-	if err == nil && retracted {
-		return ErrRetracted
-	}
-	return err
-}
+func (p *MSIA) RunFinal(in *Instance) error { return p.RunSection(in, in.T.LastSection()) }

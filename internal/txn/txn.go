@@ -36,22 +36,26 @@ import (
 // ID identifies a transaction instance.
 type ID uint64
 
-// Stage names a transaction section.
+// Stage is a transaction section's index. The classic two-stage model uses
+// exactly StageInitial and StageFinal; an N-section transaction (see
+// SectionSpec) numbers its sections 0..N-1 and Stage(k) names the k-th.
 type Stage int
 
-// The two stages of the two-stage model. (GeneralStage in package core
-// extends the pipeline to m stages; the transaction model stays two-phase
-// because, as §3.5 observes, edge-cloud asymmetry is two-fold.)
+// The two stages of the classic two-stage model.
 const (
 	StageInitial Stage = iota
 	StageFinal
 )
 
 func (s Stage) String() string {
-	if s == StageInitial {
+	switch s {
+	case StageInitial:
 		return "initial"
+	case StageFinal:
+		return "final"
+	default:
+		return fmt.Sprintf("section-%d", int(s))
 	}
-	return "final"
 }
 
 // State is an instance's lifecycle state.
@@ -144,13 +148,22 @@ func (s RWSet) canWrite(key string) bool {
 type Section func(ctx *Ctx) error
 
 // Txn is a multi-stage transaction template: declared read/write sets plus
-// the two section bodies. Templates are instantiated per trigger.
+// the section bodies. Templates are instantiated per trigger.
+//
+// The classic two-stage form fills InitialRW/Initial and FinalRW/Final. An
+// N-section transaction instead fills Sections with its ordered section
+// specs; the classic fields are then ignored (SectionAt is the accessor
+// every protocol reads through, and it synthesizes the canonical pair for
+// a Txn with no Sections).
 type Txn struct {
 	Name      string
 	InitialRW RWSet
 	FinalRW   RWSet
 	Initial   Section
 	Final     Section
+	// Sections, when non-empty, declares an N-section transaction over an
+	// inference graph (one section per graph node, in graph order).
+	Sections []SectionSpec
 }
 
 // Apology records a user-visible correction issued by a final section, per
@@ -186,10 +199,12 @@ type Instance struct {
 
 	mu         sync.Mutex
 	state      State
-	undo       []undoRec   // all writes, both sections, in write order
+	undo       []undoRec   // all writes, every section, in write order
 	dependents []*Instance // instances that read/overwrote our writes
 	apologies  []Apology
-	heldReqs   []lock.Request // MS-SR: locks held from initial to final commit
+	heldReqs   []lock.Request // MS-SR: locks held from the first to the last commit
+	sectionIn  map[int]any    // middle-section inputs (0 and last alias InitialIn/FinalIn)
+	committed  int            // section boundaries committed so far
 
 	// lockWait and twoPC accumulate instrumented time spent inside this
 	// instance's sections waiting for locks and in 2PC fan-out rounds.
@@ -269,6 +284,9 @@ func (in *Instance) finishFinal() (retracted bool) {
 type Stats struct {
 	InitialCommits int64
 	FinalCommits   int64
+	// SectionCommits counts middle-section boundary commits of N-section
+	// transactions (a classic two-stage transaction has none).
+	SectionCommits int64
 	Aborts         int64
 	Retractions    int64
 	Apologies      int64
@@ -383,17 +401,6 @@ func (m *Manager) History() []HistoryEntry {
 	return append([]HistoryEntry{}, m.history...)
 }
 
-func (m *Manager) recordCommit(in *Instance, stage Stage) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.history = append(m.history, HistoryEntry{Txn: in.ID, Stage: stage})
-	if stage == StageInitial {
-		m.stats.InitialCommits++
-	} else {
-		m.stats.FinalCommits++
-	}
-}
-
 func (m *Manager) recordAbort() {
 	m.mu.Lock()
 	m.stats.Aborts++
@@ -411,22 +418,17 @@ type Ctx struct {
 // Stage reports which section is executing.
 func (c *Ctx) Stage() Stage { return c.stage }
 
-// In returns the section's input (InitialIn or FinalIn).
+// In returns the section's input (InitialIn, FinalIn, or a middle
+// section's input installed with SetSectionIn).
 func (c *Ctx) In() any {
-	if c.stage == StageInitial {
-		return c.inst.InitialIn
-	}
-	return c.inst.FinalIn
+	return c.inst.sectionInput(int(c.stage))
 }
 
 // ID returns the executing instance's ID.
 func (c *Ctx) ID() ID { return c.inst.ID }
 
 func (c *Ctx) rwset() RWSet {
-	if c.stage == StageInitial {
-		return c.inst.T.InitialRW
-	}
-	return c.inst.T.FinalRW
+	return c.inst.T.SectionAt(int(c.stage)).RW
 }
 
 // Get reads a key within the declared set.

@@ -60,12 +60,16 @@ type FinalReply struct {
 
 // CloudRequest asks the cloud node to detect one frame. Margin is the
 // frame's shedding priority (core.ValidationMargin): under overload the
-// cloud batcher sheds the lowest-margin frames first.
+// cloud batcher sheds the lowest-margin frames first. Section, when the
+// edge runs an inference graph, is the index of the graph section this
+// hop serves (0 on the classic two-stage path, where the only cloud hop
+// is the final validation).
 type CloudRequest struct {
 	FrameIndex int
 	Frame      video.Frame
 	Padding    []byte
 	Margin     float64
+	Section    int
 }
 
 // CloudResponse returns the cloud labels for one frame. Shed means the
