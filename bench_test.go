@@ -18,12 +18,14 @@ import (
 	"croesus/internal/experiments"
 	"croesus/internal/lock"
 	"croesus/internal/metrics"
+	"croesus/internal/obs"
 	"croesus/internal/store"
 	"croesus/internal/threshold"
 	"croesus/internal/transport"
 	"croesus/internal/txn"
 	"croesus/internal/vclock"
 	"croesus/internal/video"
+	"croesus/internal/wire"
 	"croesus/internal/workload"
 
 	"math/rand"
@@ -426,6 +428,30 @@ func BenchmarkTransport(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				path.Send(clk, p.n)
+			}
+			b.StopTimer()
+			if _, m := path.Traffic(); m != int64(b.N)+1 {
+				b.Fatalf("delivered %d messages, want %d", m, b.N+1)
+			}
+		})
+		b.Run("tcp-traced/"+p.name, func(b *testing.B) {
+			// The tracing tax: every send carries a wire.TraceCtx and
+			// emits a net.hop span against a real clock. Baseline in
+			// BENCH_5.json.
+			tr := transport.NewTCP()
+			if err := tr.Provision([]transport.EdgeProfile{{ID: "a"}}); err != nil {
+				b.Fatal(err)
+			}
+			defer tr.Close()
+			clk := vclock.NewReal()
+			tr.SetObs(obs.New(), clk)
+			tc := &wire.TraceCtx{Trace: 1, Parent: 2}
+			path := tr.ClientEdge(0)
+			transport.SendCtx(path, clk, p.n, tc) // dial outside the timer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				transport.SendCtx(path, clk, p.n, tc)
 			}
 			b.StopTimer()
 			if _, m := path.Traffic(); m != int64(b.N)+1 {

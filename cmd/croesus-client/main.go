@@ -11,9 +11,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
+	"croesus/internal/obs"
 	"croesus/internal/tcpnet"
+	"croesus/internal/vclock"
 	"croesus/internal/video"
 )
 
@@ -41,12 +44,14 @@ func profileByName(name string) (video.Profile, bool) {
 
 func main() {
 	var (
-		edgeAddr = flag.String("edge", "localhost:9401", "edge node address")
-		vid      = flag.String("video", "park", "video: park, street, airport, mall, pedestrians")
-		frames   = flag.Int("frames", 30, "number of frames to stream")
-		fps      = flag.Float64("fps", 2, "capture rate (frames per second)")
-		seed     = flag.Int64("seed", 11, "video generator seed")
-		padding  = flag.Int("padding", 0, "extra payload bytes per frame (simulates encoded size on the wire)")
+		edgeAddr  = flag.String("edge", "localhost:9401", "edge node address")
+		vid       = flag.String("video", "park", "video: park, street, airport, mall, pedestrians")
+		frames    = flag.Int("frames", 30, "number of frames to stream")
+		fps       = flag.Float64("fps", 2, "capture rate (frames per second)")
+		seed      = flag.Int64("seed", 11, "video generator seed")
+		padding   = flag.Int("padding", 0, "extra payload bytes per frame (simulates encoded size on the wire)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics (Prometheus text), /debug/vars (expvar), and /debug/pprof on this address (e.g. 127.0.0.1:9413)")
+		traceOut  = flag.String("trace", "", "open a distributed trace per frame, record client.frame spans, and write them as JSONL to this file at exit (merge with croesus-trace)")
 	)
 	flag.Parse()
 
@@ -57,11 +62,26 @@ func main() {
 	if *fps > 0 {
 		prof.FPS = *fps
 	}
+	var o *obs.Obs
+	if *debugAddr != "" || *traceOut != "" {
+		o = obs.New()
+		o.Tracer().SetProc("client")
+	}
+	if *debugAddr != "" {
+		bound, err := obs.ServeDebug(*debugAddr, o.Reg)
+		if err != nil {
+			log.Fatalf("croesus-client: %v", err)
+		}
+		log.Printf("croesus-client: debug endpoint on http://%s/metrics", bound)
+	}
 	client, err := tcpnet.Dial(*edgeAddr)
 	if err != nil {
 		log.Fatalf("croesus-client: %v", err)
 	}
 	defer client.Close()
+	if *traceOut != "" {
+		client.EnableTrace(o, vclock.NewReal(), prof.Name)
+	}
 
 	gen := video.NewGenerator(prof, *seed)
 	interval := prof.FrameInterval()
@@ -106,4 +126,17 @@ func main() {
 		len(submitted), 100*float64(sent)/float64(len(submitted)), shed,
 		float64(sumInit/n)/float64(time.Millisecond), float64(sumFinal/n)/float64(time.Millisecond),
 		corrections, apologies)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("croesus-client: trace: %v", err)
+		}
+		defer f.Close()
+		spans := o.Tracer().Spans()
+		if err := obs.WriteJSONL(f, spans); err != nil {
+			log.Fatalf("croesus-client: trace: %v", err)
+		}
+		log.Printf("croesus-client: wrote %s (%s)", *traceOut, obs.DescribeTrace(spans))
+	}
 }

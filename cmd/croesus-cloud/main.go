@@ -34,12 +34,16 @@ func main() {
 		pending    = flag.Int("pending", 0, "admission-control cap on outstanding validations (0 = 4×batch)")
 		cloudSpeed = flag.Float64("cloud-speed", 0, "cloud machine speed factor (0 = reference machine; lower = starved GPU)")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics (Prometheus text), /debug/vars (expvar), and /debug/pprof on this address (e.g. 127.0.0.1:9412)")
+		traceOut   = flag.String("trace", "", "record spans and write them as JSONL to this file at shutdown (merge with croesus-trace)")
 	)
 	flag.Parse()
 
 	var o *obs.Obs
-	if *debugAddr != "" {
+	if *debugAddr != "" || *traceOut != "" {
 		o = obs.New()
+		o.Tracer().SetProc("cloud")
+	}
+	if *debugAddr != "" {
 		bound, err := obs.ServeDebug(*debugAddr, o.Reg)
 		if err != nil {
 			log.Fatalf("croesus-cloud: %v", err)
@@ -73,4 +77,16 @@ func main() {
 	log.Printf("croesus-cloud: shutting down after %d frames (%d shed); %d batches, mean %.1f, max flush wait %s",
 		srv.Handled(), srv.Shed(), bs.Batches, bs.MeanBatch, bs.MaxFlushWait.Round(time.Millisecond))
 	srv.Close()
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("croesus-cloud: trace: %v", err)
+		}
+		defer f.Close()
+		spans := o.Tracer().Spans()
+		if err := obs.WriteJSONL(f, spans); err != nil {
+			log.Fatalf("croesus-cloud: trace: %v", err)
+		}
+		log.Printf("croesus-cloud: wrote %s (%s)", *traceOut, obs.DescribeTrace(spans))
+	}
 }

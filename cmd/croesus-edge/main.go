@@ -38,6 +38,7 @@ func main() {
 		timeScale = flag.Float64("timescale", 1.0, "inference latency multiplier")
 		keys      = flag.Int("keys", 1000, "database key space for the per-detection transactions")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics (Prometheus text), /debug/vars (expvar), and /debug/pprof on this address (e.g. 127.0.0.1:9411)")
+		traceOut  = flag.String("trace", "", "record spans and write them as JSONL to this file at shutdown (merge with croesus-trace)")
 	)
 	flag.Parse()
 
@@ -46,8 +47,11 @@ func main() {
 		log.Fatalf("croesus-edge: %v", err)
 	}
 	var o *obs.Obs
-	if *debugAddr != "" {
+	if *debugAddr != "" || *traceOut != "" {
 		o = obs.New()
+		o.Tracer().SetProc("edge")
+	}
+	if *debugAddr != "" {
 		bound, err := obs.ServeDebug(*debugAddr, o.Reg)
 		if err != nil {
 			log.Fatalf("croesus-edge: %v", err)
@@ -89,4 +93,22 @@ func main() {
 	log.Printf("croesus-edge: shutting down — %d frames (%d shed by the cloud), %d initial commits, %d final commits, %d aborts, %d apologies",
 		srv.Served(), srv.Shed(), st.InitialCommits, st.FinalCommits, st.Aborts, st.Apologies)
 	srv.Close()
+	if *traceOut != "" {
+		writeTrace(*traceOut, o)
+	}
+}
+
+func writeTrace(path string, o *obs.Obs) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("croesus-edge: trace: %v", err)
+		return
+	}
+	defer f.Close()
+	spans := o.Tracer().Spans()
+	if err := obs.WriteJSONL(f, spans); err != nil {
+		log.Printf("croesus-edge: trace: %v", err)
+		return
+	}
+	log.Printf("croesus-edge: wrote %s (%s)", path, obs.DescribeTrace(spans))
 }

@@ -1,0 +1,144 @@
+// Command croesus-trace merges per-process JSONL span streams into one
+// causally ordered distributed trace. Each process of a real deployment
+// (croesus-client, croesus-edge, croesus-cloud — all run with -trace)
+// records spans against its own clock; the collector estimates per-process
+// clock offsets from the RPC pairs in the trace itself (interval
+// midpoints, median per process pair, composed by BFS from a reference
+// process), shifts every span onto the reference clock, and writes the
+// merged timeline as Chrome trace_event JSON (Perfetto-loadable) or JSONL.
+//
+// It also runs the streaming watchdog over the merged stream: standing
+// trace invariants (a span's parent must exist; no child may start before
+// its parent after alignment; no trace may end rootless) and SLO windows
+// (deadline hit-rate, shed budget) become structured incidents. With
+// -check, causality incidents are hard failures (exit 1) — the CI
+// multi-process smoke runs exactly that.
+//
+// Usage:
+//
+//	croesus-trace -o merged.json client.jsonl edge.jsonl cloud.jsonl
+//	croesus-trace -check -slo 250ms edge.jsonl cloud.jsonl
+//	croesus-trace -ref edge -tolerance 10ms -o merged.jsonl *.jsonl
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"croesus/internal/obs"
+	"croesus/internal/obs/collect"
+)
+
+func main() {
+	var (
+		outPath   = flag.String("o", "", "write the merged trace here (.jsonl = JSONL, else Chrome trace_event JSON)")
+		ref       = flag.String("ref", "", "reference process whose clock becomes the merged timeline (default: largest stream)")
+		tolerance = flag.Duration("tolerance", collect.DefaultTolerance, "causality slack after clock alignment")
+		check     = flag.Bool("check", false, "exit 1 when any causality incident survives (parent_missing, child_before_parent, span_leak)")
+		slo       = flag.Duration("slo", 0, "per-frame deadline for SLO compliance windows (0 disables)")
+		window    = flag.Int("window", 32, "frames per SLO compliance window")
+		maxMiss   = flag.Float64("max-miss", 0.1, "tolerated deadline-miss fraction per window")
+		maxShed   = flag.Float64("max-shed", 0.25, "tolerated shed fraction per window")
+		incPath   = flag.String("incidents", "", "write incidents as JSONL to this file")
+		quiet     = flag.Bool("q", false, "suppress the per-trace summary")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "croesus-trace: no input files (pass one JSONL span stream per process)")
+		os.Exit(2)
+	}
+
+	streams := make([]collect.Stream, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		st, err := collect.ReadFile(path)
+		if err != nil {
+			fatalf("read %s: %v", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "croesus-trace: %s: %d spans, proc %q\n", path, len(st.Spans), st.Proc)
+		streams = append(streams, st)
+	}
+
+	m, err := collect.Merge(streams, collect.Options{Reference: *ref, Tolerance: *tolerance})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, p := range m.Procs {
+		fmt.Fprintf(os.Stderr, "croesus-trace: clock %-8s %+v (reference %s)\n", p, m.Offsets[p], m.Reference)
+	}
+	for pair, n := range m.Pairs {
+		fmt.Fprintf(os.Stderr, "croesus-trace: alignment pair %s: %d samples\n", pair, n)
+	}
+	for _, p := range m.Unaligned {
+		fmt.Fprintf(os.Stderr, "croesus-trace: WARNING: process %q has no RPC pair linking it to %q — left unaligned\n", p, m.Reference)
+	}
+
+	wd := collect.NewWatchdog(collect.WatchdogConfig{
+		SLO: *slo, Window: *window,
+		MaxMissRate: *maxMiss, MaxShedRate: *maxShed,
+		Tolerance: m.Tolerance(),
+	})
+	for _, s := range m.Spans {
+		wd.Feed(s)
+	}
+	incidents := wd.Finish()
+
+	if !*quiet {
+		paths := m.CriticalPaths()
+		fmt.Print(collect.FormatSummary(collect.Summarize(paths)))
+	}
+	causality := 0
+	for _, in := range incidents {
+		if collect.CausalityKinds[in.Kind] {
+			causality++
+		}
+		fmt.Fprintf(os.Stderr, "croesus-trace: incident %s at %v: %s\n", in.Kind, in.At, in.Detail)
+	}
+	fmt.Fprintf(os.Stderr, "croesus-trace: %d spans, %d incidents (%d causality)\n", len(m.Spans), len(incidents), causality)
+
+	if *incPath != "" {
+		f, err := os.Create(*incPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		enc := json.NewEncoder(f)
+		for _, in := range incidents {
+			if err := enc.Encode(in); err != nil {
+				fatalf("write incidents: %v", err)
+			}
+		}
+		f.Close()
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if isJSONL(*outPath) {
+			err = obs.WriteJSONL(f, m.Spans)
+		} else {
+			err = m.WriteChrome(f, incidents)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatalf("write %s: %v", *outPath, err)
+		}
+		fmt.Fprintf(os.Stderr, "croesus-trace: wrote %s\n", *outPath)
+	}
+	if *check && causality > 0 {
+		fmt.Fprintf(os.Stderr, "croesus-trace: FAIL: %d causality incidents\n", causality)
+		os.Exit(1)
+	}
+}
+
+func isJSONL(path string) bool {
+	return len(path) > 6 && path[len(path)-6:] == ".jsonl"
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "croesus-trace: "+format+"\n", args...)
+	os.Exit(1)
+}

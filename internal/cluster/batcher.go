@@ -201,12 +201,12 @@ func (b *Batcher) Validate(req core.ValidationRequest) core.ValidationResult {
 		b.stats.Shed++
 		if victim == pr {
 			b.mu.Unlock()
-			b.cfg.Obs.Span(obs.SpanBatchShed, "", pr.at, pr.at)
+			b.cfg.Obs.SpanCtx(pr.req.Trace, obs.SpanBatchShed, "", pr.at, pr.at)
 			return core.ValidationResult{Status: core.ValidationShed}
 		}
 		b.queue = append(b.queue[:vi], b.queue[vi+1:]...)
 		victim.res = core.ValidationResult{Status: core.ValidationShed}
-		b.cfg.Obs.Span(obs.SpanBatchShed, "", victim.at, pr.at)
+		b.cfg.Obs.SpanCtx(victim.req.Trace, obs.SpanBatchShed, "", victim.at, pr.at)
 		victim.gate.Fire()
 	}
 
@@ -271,7 +271,7 @@ func (b *Batcher) takeBatchLocked() []*pendingReq {
 		if w > b.cfg.SLO {
 			b.stats.SLOViolations++
 		}
-		b.cfg.Obs.Span(obs.SpanBatchQueue, "", pr.at, now)
+		b.cfg.Obs.SpanCtx(pr.req.Trace, obs.SpanBatchQueue, "", pr.at, now)
 	}
 	return batch
 }

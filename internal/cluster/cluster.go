@@ -435,6 +435,11 @@ func New(cfg Config) (*Cluster, error) {
 		c.graph = g
 	}
 	if cfg.Obs != nil {
+		// Traced transports (TCP) emit their own net.hop spans; the sim
+		// transport ignores this and stays byte-identical.
+		if oa, ok := tr.(transport.ObsAware); ok {
+			oa.SetObs(cfg.Obs, cfg.Clock)
+		}
 		// The transport keeps its own lifetime counters; a pull collector
 		// mirrors them into the registry at scrape time.
 		ttags := obs.Tags("transport", tr.Name())
@@ -640,9 +645,28 @@ func (c *Cluster) buildPipe(edge *EdgeNode, source core.TxnSource, camID string)
 			Batcher: c.batcher,
 		},
 		Obs:        cfg.Obs,
+		SpanCtx:    spanCtxHook(cfg.Obs, camID),
 		TagKV:      []string{"edge", edge.Spec.ID, "camera", camID, "protocol", cfg.Protocol.String()},
 		QueueDepth: queueDepth,
 	})
+}
+
+// spanCtxHook derives each frame's trace identity from the camera name
+// and frame index. The hash is deterministic, so a sim run re-derives the
+// same IDs every time and two processes tracing the same frame agree on
+// its trace without coordination. Nil when tracing is off, which keeps
+// the untraced pipeline (and its wire bytes) untouched.
+func spanCtxHook(o *obs.Obs, camID string) func(f *video.Frame) obs.SpanContext {
+	if o == nil {
+		return nil
+	}
+	return func(f *video.Frame) obs.SpanContext {
+		trace := obs.HashID("trace", camID, obs.U64(uint64(f.Index)))
+		return obs.SpanContext{
+			Trace: trace,
+			Span:  obs.HashID("span", obs.U64(trace), obs.SpanFrameRoot),
+		}
+	}
 }
 
 // buildCamera provisions one camera on the edge at idx, with its first

@@ -120,7 +120,7 @@ func routeConfidence(dets []detect.Detection) float64 {
 // commit, client answer); each later node charges its tier's path, runs
 // its model, matches the labels against the frame's reference set, and
 // commits its section; route-skipped sections commit locally in order.
-func (p *Pipeline) processGraph(f *video.Frame) FrameOutcome {
+func (p *Pipeline) processGraph(f *video.Frame, ctx obs.SpanContext) FrameOutcome {
 	cfg := p.cfg
 	clk := cfg.Clock
 	g := cfg.Graph
@@ -134,12 +134,12 @@ func (p *Pipeline) processGraph(f *video.Frame) FrameOutcome {
 
 	// Node 0: the client ships the frame to the edge hub.
 	t0 := clk.Now()
-	cfg.ClientEdge.Send(clk, f.SizeBytes)
+	transport.SendCtx(cfg.ClientEdge, clk, f.SizeBytes, traceCtx(ctx, 0))
 	tIngest := clk.Now()
 	out.Breakdown.ClientEdge = tIngest - t0
-	cfg.Obs.Span(obs.SpanFrameIngest, p.tags, t0, tIngest)
+	cfg.Obs.SpanCtx(ctx, obs.SpanFrameIngest, p.tags, t0, tIngest)
 
-	dets, poolWait, edgeLat := p.detectNode(f, 0)
+	dets, poolWait, edgeLat := p.detectNode(f, 0, ctx)
 	out.Breakdown.ComputeWait = poolWait
 	out.Breakdown.EdgeDetect = edgeLat
 	if cfg.Smoother != nil {
@@ -161,8 +161,8 @@ func (p *Pipeline) processGraph(f *video.Frame) FrameOutcome {
 	out.InitialVisible = visible
 
 	// Section 0: the boundary commit behind the client's immediate answer.
-	pending := p.runGraphInitials(f, visible, &out)
-	cfg.ClientEdge.Send(clk, netsim.LabelReturnBytes)
+	pending := p.runGraphInitials(f, ctx, visible, &out)
+	transport.SendCtx(cfg.ClientEdge, clk, netsim.LabelReturnBytes, traceCtx(ctx, 0))
 	out.InitialLatency = clk.Now() - f.At
 	out.Sections[0].Latency = out.InitialLatency
 	if cfg.OnInitial != nil {
@@ -181,7 +181,7 @@ func (p *Pipeline) processGraph(f *video.Frame) FrameOutcome {
 		// Boundaries the route jumped over commit locally, in order —
 		// section k+1 cannot run before section k.
 		for s := at + 1; s < next; s++ {
-			pending, ref = p.runGraphSection(f, s, pending, ref, nil, &out)
+			pending, ref = p.runGraphSection(f, ctx, s, pending, ref, nil, &out)
 			out.Sections[s].Latency = clk.Now() - f.At
 		}
 		k := next
@@ -189,13 +189,13 @@ func (p *Pipeline) processGraph(f *video.Frame) FrameOutcome {
 		sec := &out.Sections[k]
 
 		// Ship the frame to the node's tier and run its model.
-		hop := p.hopTo(f, k)
+		hop := p.hopTo(f, k, ctx)
 		sec.Hop = hop
 		out.Breakdown.EdgeCloud += hop
 		if nd.Tier == txn.TierCloud {
 			out.SentToCloud = true
 		}
-		nodeDets, slotWait, detLat, ok := p.graphDetect(f, k)
+		nodeDets, slotWait, detLat, ok := p.graphDetect(f, k, ctx)
 		sec.Detect = detLat
 		out.Breakdown.CloudQueue += slotWait
 		out.Breakdown.CloudDetect += detLat
@@ -212,10 +212,10 @@ func (p *Pipeline) processGraph(f *video.Frame) FrameOutcome {
 			}
 			current = nodeDets
 		}
-		pending, ref = p.runGraphSection(f, k, pending, ref, matches, &out)
+		pending, ref = p.runGraphSection(f, ctx, k, pending, ref, matches, &out)
 
 		// Boundary commit: the refreshed labels reach the client.
-		cfg.ClientEdge.Send(clk, netsim.LabelReturnBytes)
+		transport.SendCtx(cfg.ClientEdge, clk, netsim.LabelReturnBytes, traceCtx(ctx, k))
 		sec.Latency = clk.Now() - f.At
 
 		at = k
@@ -225,7 +225,7 @@ func (p *Pipeline) processGraph(f *video.Frame) FrameOutcome {
 	// The route ended early: remaining sections commit locally with the
 	// labels assumed correct — the §3.5 early stop, once per boundary.
 	for s := at + 1; s < n; s++ {
-		pending, ref = p.runGraphSection(f, s, pending, ref, nil, &out)
+		pending, ref = p.runGraphSection(f, ctx, s, pending, ref, nil, &out)
 		out.Sections[s].Latency = clk.Now() - f.At
 	}
 	_ = pending
@@ -239,7 +239,7 @@ func (p *Pipeline) processGraph(f *video.Frame) FrameOutcome {
 // the tier's compute slots, or — for cloud-tier nodes with a
 // GraphValidate hook — a real remote round trip. ok is false only when
 // the remote node was lost or shed the request.
-func (p *Pipeline) graphDetect(f *video.Frame, k int) ([]detect.Detection, time.Duration, time.Duration, bool) {
+func (p *Pipeline) graphDetect(f *video.Frame, k int, ctx obs.SpanContext) ([]detect.Detection, time.Duration, time.Duration, bool) {
 	cfg := p.cfg
 	if cfg.Graph.Nodes[k].Tier == txn.TierCloud && cfg.GraphValidate != nil {
 		clk := cfg.Clock
@@ -247,11 +247,11 @@ func (p *Pipeline) graphDetect(f *video.Frame, k int) ([]detect.Detection, time.
 		dets, detLat, ok := cfg.GraphValidate(f, k)
 		end := clk.Now()
 		if ok {
-			cfg.Obs.Span(obs.SpanNodeDetect, p.secTag(k), start, end)
+			cfg.Obs.SpanCtx(ctx, obs.SpanNodeDetect, p.secTag(k), start, end)
 		}
 		return dets, 0, detLat, ok
 	}
-	dets, wait, lat := p.detectNode(f, k)
+	dets, wait, lat := p.detectNode(f, k, ctx)
 	return dets, wait, lat, true
 }
 
@@ -259,7 +259,7 @@ func (p *Pipeline) graphDetect(f *video.Frame, k int) ([]detect.Detection, time.
 // pool for edge nodes, the cloud slots for cloud nodes, uncontended for
 // peer nodes (the peer edge's own machine). Returns detections, slot
 // wait, and inference time.
-func (p *Pipeline) detectNode(f *video.Frame, k int) ([]detect.Detection, time.Duration, time.Duration) {
+func (p *Pipeline) detectNode(f *video.Frame, k int, ctx obs.SpanContext) ([]detect.Detection, time.Duration, time.Duration) {
 	cfg := p.cfg
 	clk := cfg.Clock
 	nd := &cfg.Graph.Nodes[k]
@@ -300,16 +300,16 @@ func (p *Pipeline) detectNode(f *video.Frame, k int) ([]detect.Detection, time.D
 	}
 	end := clk.Now()
 	if start > tw {
-		cfg.Obs.Span(obs.SpanPoolWait, p.tags, tw, start)
+		cfg.Obs.SpanCtx(ctx, obs.SpanPoolWait, p.tags, tw, start)
 	}
-	cfg.Obs.Span(obs.SpanNodeDetect, p.secTag(k), start, end)
+	cfg.Obs.SpanCtx(ctx, obs.SpanNodeDetect, p.secTag(k), start, end)
 	return res.Detections, start - tw, end - start
 }
 
 // hopTo charges shipping the frame from the edge hub into node k's tier:
 // nothing for edge nodes, the peer mesh for peer nodes, the uplink for
 // cloud nodes. Preprocessing applies on every off-hub hop.
-func (p *Pipeline) hopTo(f *video.Frame, k int) time.Duration {
+func (p *Pipeline) hopTo(f *video.Frame, k int, ctx obs.SpanContext) time.Duration {
 	cfg := p.cfg
 	clk := cfg.Clock
 	var path transport.Path
@@ -327,15 +327,15 @@ func (p *Pipeline) hopTo(f *video.Frame, k int) time.Duration {
 	t0 := clk.Now()
 	bytes, prepCost := cfg.Preproc.Process(f.SizeBytes)
 	clk.Sleep(scale(prepCost, cfg.EdgeSpeed))
-	path.Send(clk, bytes)
+	transport.SendCtx(path, clk, bytes, traceCtx(ctx, k))
 	end := clk.Now()
-	cfg.Obs.Span(obs.SpanUplink, p.secTag(k), t0, end)
+	cfg.Obs.SpanCtx(ctx, obs.SpanUplink, p.secTag(k), t0, end)
 	return end - t0
 }
 
 // runGraphInitials triggers and runs section 0 for the visible detections
 // — runInitials reshaped for the graph path, recording into Sections[0].
-func (p *Pipeline) runGraphInitials(f *video.Frame, dets []detect.Detection, out *FrameOutcome) []pendingTxn {
+func (p *Pipeline) runGraphInitials(f *video.Frame, ctx obs.SpanContext, dets []detect.Detection, out *FrameOutcome) []pendingTxn {
 	if p.cfg.Source == nil {
 		return nil
 	}
@@ -349,6 +349,7 @@ func (p *Pipeline) runGraphInitials(f *video.Frame, dets []detect.Detection, out
 			continue
 		}
 		inst := p.cfg.Mgr.NewInstance(t, InitialInput{FrameIndex: f.Index, Trigger: d, Labels: dets})
+		inst.Trace = ctx
 		err := p.cfg.CC.RunSection(inst, 0)
 		p.harvestSection(inst, out, sec)
 		if err != nil {
@@ -362,7 +363,7 @@ func (p *Pipeline) runGraphInitials(f *video.Frame, dets []detect.Detection, out
 	sec.Txn = end - start
 	out.Breakdown.InitialTxn = end - start
 	if len(dets) > 0 {
-		p.cfg.Obs.Span(obs.SpanSectionTxn, p.secTag(0), start, end)
+		p.cfg.Obs.SpanCtx(ctx, obs.SpanSectionTxn, p.secTag(0), start, end)
 	}
 	p.secCommit(0, int64(len(pending)))
 	return pending
@@ -374,7 +375,7 @@ func (p *Pipeline) runGraphInitials(f *video.Frame, dets []detect.Detection, out
 // (MatchNew). Fresh transactions join pending and their trigger joins the
 // reference set, so later nodes match against them instead of re-raising
 // them. Returns the updated pending and reference sets.
-func (p *Pipeline) runGraphSection(f *video.Frame, k int, pending []pendingTxn, ref []detect.Detection, matches []LabelMatch, out *FrameOutcome) ([]pendingTxn, []detect.Detection) {
+func (p *Pipeline) runGraphSection(f *video.Frame, ctx obs.SpanContext, k int, pending []pendingTxn, ref []detect.Detection, matches []LabelMatch, out *FrameOutcome) ([]pendingTxn, []detect.Detection) {
 	if p.cfg.Source == nil {
 		return pending, ref
 	}
@@ -420,6 +421,7 @@ func (p *Pipeline) runGraphSection(f *video.Frame, k int, pending []pendingTxn, 
 			continue
 		}
 		inst := p.cfg.Mgr.NewInstance(t, InitialInput{FrameIndex: f.Index, Trigger: m.Cloud})
+		inst.Trace = ctx
 		err := p.cfg.CC.RunSection(inst, 0)
 		p.harvestSection(inst, out, sec)
 		if err != nil {
@@ -452,7 +454,7 @@ func (p *Pipeline) runGraphSection(f *video.Frame, k int, pending []pendingTxn, 
 	sec.Txn += end - start
 	out.Breakdown.FinalTxn += end - start
 	if len(pending) > 0 || len(matches) > 0 {
-		p.cfg.Obs.Span(obs.SpanSectionTxn, p.secTag(k), start, end)
+		p.cfg.Obs.SpanCtx(ctx, obs.SpanSectionTxn, p.secTag(k), start, end)
 	}
 	p.secCommit(k, committed)
 	return pending, ref

@@ -22,6 +22,7 @@ import (
 	"croesus/internal/txn"
 	"croesus/internal/vclock"
 	"croesus/internal/video"
+	"croesus/internal/wire"
 )
 
 // Mode selects the system under evaluation.
@@ -182,6 +183,13 @@ type Config struct {
 	// never perturbs the virtual-time schedule.
 	Obs   *obs.Obs
 	TagKV []string
+	// SpanCtx, when set alongside Obs, resolves each frame's span context:
+	// the trace ID and root span ID its spans attach to. The pipeline then
+	// emits a frame.root span covering the whole frame, parents every
+	// stage span to it, stamps the context on transaction instances and
+	// validation requests, and attaches it to traced transport sends — the
+	// cross-process causality chain. Nil keeps the PR-6 flat spans.
+	SpanCtx func(f *video.Frame) obs.SpanContext
 	// QueueDepth, when set, is the per-edge inference-queue gauge this
 	// pipeline adjusts while waiting for an edge compute slot. The
 	// cluster runtime resolves one gauge per edge and shares it across
@@ -386,19 +394,46 @@ func (p *Pipeline) ProcessFrame(f *video.Frame) FrameOutcome {
 
 // processFrame is the per-frame execution pattern of Figure 1.
 func (p *Pipeline) processFrame(f *video.Frame) FrameOutcome {
+	ctx := p.spanCtx(f)
+	t0 := p.cfg.Clock.Now()
 	var out FrameOutcome
 	switch {
 	case p.cfg.Mode == ModeEdgeOnly:
-		out = p.processEdgeOnly(f)
+		out = p.processEdgeOnly(f, ctx)
 	case p.cfg.Mode == ModeCloudOnly:
-		out = p.processCloudOnly(f)
+		out = p.processCloudOnly(f, ctx)
 	case p.cfg.Graph != nil:
-		out = p.processGraph(f)
+		out = p.processGraph(f, ctx)
 	default:
-		out = p.processCroesus(f)
+		out = p.processCroesus(f, ctx)
+	}
+	if p.cfg.Obs != nil && ctx.Valid() {
+		p.cfg.Obs.EmitSpan(obs.Span{
+			Name: obs.SpanFrameRoot, Tags: p.tags,
+			Start: t0, End: p.cfg.Clock.Now(),
+			Trace: ctx.Trace, ID: ctx.Span, Parent: ctx.Parent,
+		})
 	}
 	p.observe(&out)
 	return out
+}
+
+// spanCtx resolves the frame's span context via the configured hook (the
+// zero context when tracing is off).
+func (p *Pipeline) spanCtx(f *video.Frame) obs.SpanContext {
+	if p.cfg.SpanCtx == nil {
+		return obs.SpanContext{}
+	}
+	return p.cfg.SpanCtx(f)
+}
+
+// traceCtx converts a span context to its wire form for a traced
+// transport send (nil when tracing is off — the zero-cost path).
+func traceCtx(ctx obs.SpanContext, section int) *wire.TraceCtx {
+	if !ctx.Valid() {
+		return nil
+	}
+	return &wire.TraceCtx{Trace: ctx.Trace, Parent: ctx.Span, Section: section}
 }
 
 // observe feeds the finished frame into the metrics registry. No-op when
@@ -431,20 +466,20 @@ func (p *Pipeline) observe(out *FrameOutcome) {
 	}
 }
 
-func (p *Pipeline) processCroesus(f *video.Frame) FrameOutcome {
+func (p *Pipeline) processCroesus(f *video.Frame, ctx obs.SpanContext) FrameOutcome {
 	cfg := p.cfg
 	clk := cfg.Clock
 	out := FrameOutcome{FrameIndex: f.Index, CapturedAt: f.At}
 
 	// Step 1: the client sends the frame to the edge node.
 	t0 := clk.Now()
-	cfg.ClientEdge.Send(clk, f.SizeBytes)
+	transport.SendCtx(cfg.ClientEdge, clk, f.SizeBytes, traceCtx(ctx, 0))
 	tIngest := clk.Now()
 	out.Breakdown.ClientEdge = tIngest - t0
-	cfg.Obs.Span(obs.SpanFrameIngest, p.tags, t0, tIngest)
+	cfg.Obs.SpanCtx(ctx, obs.SpanFrameIngest, p.tags, t0, tIngest)
 
 	// Step 2: the edge model processes the frame.
-	dets, poolWait, edgeLat := p.detectEdge(f)
+	dets, poolWait, edgeLat := p.detectEdge(f, ctx)
 	out.Breakdown.ComputeWait = poolWait
 	out.Breakdown.EdgeDetect = edgeLat
 	if cfg.Smoother != nil {
@@ -470,10 +505,10 @@ func (p *Pipeline) processCroesus(f *video.Frame) FrameOutcome {
 	out.InitialVisible = visible
 
 	// Initial transaction sections, triggered by the edge labels.
-	pending := p.runInitials(f, visible, &out)
+	pending := p.runInitials(f, ctx, visible, &out)
 
 	// Initial commit: the response is rendered at the client.
-	cfg.ClientEdge.Send(clk, netsim.LabelReturnBytes)
+	transport.SendCtx(cfg.ClientEdge, clk, netsim.LabelReturnBytes, traceCtx(ctx, 0))
 	out.InitialLatency = clk.Now() - f.At
 	out.SentToCloud = validate
 	if cfg.OnInitial != nil {
@@ -483,7 +518,7 @@ func (p *Pipeline) processCroesus(f *video.Frame) FrameOutcome {
 	if !validate {
 		// The frame is not validated: final sections run locally with
 		// the edge labels assumed correct (§3.5's early stop).
-		p.runFinals(f, pending, assumedMatches(visible), &out)
+		p.runFinals(f, ctx, pending, assumedMatches(visible), &out)
 		out.FinalVisible = visible
 		out.FinalLatency = clk.Now() - f.At
 		return out
@@ -499,13 +534,14 @@ func (p *Pipeline) processCroesus(f *video.Frame) FrameOutcome {
 		Frame:  f,
 		Edge:   visible,
 		Margin: ValidationMargin(visible, cfg.ThetaL, cfg.ThetaU),
+		Trace:  ctx,
 	})
 	out.Breakdown.EdgeCloud = res.EdgeCloud
 	out.Breakdown.CloudQueue = res.CloudQueue
 	out.Breakdown.CloudDetect = res.CloudDetect
 	out.Breakdown.CloudReturn = res.CloudReturn
-	cfg.Obs.Span(obs.SpanUplink, p.tags, tValidate, tValidate+res.EdgeCloud)
-	cfg.Obs.Span(obs.SpanCloudValidate, p.tags, tValidate, clk.Now())
+	cfg.Obs.SpanCtx(ctx, obs.SpanUplink, p.tags, tValidate, tValidate+res.EdgeCloud)
+	cfg.Obs.SpanCtx(ctx, obs.SpanCloudValidate, p.tags, tValidate, clk.Now())
 	if res.Status != Validated {
 		switch res.Status {
 		case ValidationShed:
@@ -513,9 +549,9 @@ func (p *Pipeline) processCroesus(f *video.Frame) FrameOutcome {
 		case ValidationLost:
 			out.CloudLost = true
 		}
-		p.runFinals(f, pending, assumedMatches(visible), &out)
+		p.runFinals(f, ctx, pending, assumedMatches(visible), &out)
 		out.FinalVisible = visible
-		cfg.ClientEdge.Send(clk, netsim.LabelReturnBytes)
+		transport.SendCtx(cfg.ClientEdge, clk, netsim.LabelReturnBytes, traceCtx(ctx, 0))
 		out.FinalLatency = clk.Now() - f.At
 		return out
 	}
@@ -526,31 +562,31 @@ func (p *Pipeline) processCroesus(f *video.Frame) FrameOutcome {
 	if cfg.Smoother != nil {
 		cfg.Smoother.Learn(f.Index, matches, visible)
 	}
-	p.runFinals(f, pending, matches, &out)
+	p.runFinals(f, ctx, pending, matches, &out)
 	out.FinalVisible = cloudDets
-	cfg.ClientEdge.Send(clk, netsim.LabelReturnBytes)
+	transport.SendCtx(cfg.ClientEdge, clk, netsim.LabelReturnBytes, traceCtx(ctx, 0))
 	out.FinalLatency = clk.Now() - f.At
 	return out
 }
 
-func (p *Pipeline) processEdgeOnly(f *video.Frame) FrameOutcome {
+func (p *Pipeline) processEdgeOnly(f *video.Frame, ctx obs.SpanContext) FrameOutcome {
 	cfg := p.cfg
 	clk := cfg.Clock
 	out := FrameOutcome{FrameIndex: f.Index, CapturedAt: f.At}
 
 	t0 := clk.Now()
-	cfg.ClientEdge.Send(clk, f.SizeBytes)
+	transport.SendCtx(cfg.ClientEdge, clk, f.SizeBytes, traceCtx(ctx, 0))
 	out.Breakdown.ClientEdge = clk.Now() - t0
 
-	dets, poolWait, edgeLat := p.detectEdge(f)
+	dets, poolWait, edgeLat := p.detectEdge(f, ctx)
 	out.Breakdown.ComputeWait = poolWait
 	out.Breakdown.EdgeDetect = edgeLat
 	dets = filterConfidence(dets, cfg.MinConfidence)
 	out.EdgeDetections = dets
 	out.InitialVisible = dets
 
-	pending := p.runInitials(f, dets, &out)
-	cfg.ClientEdge.Send(clk, netsim.LabelReturnBytes)
+	pending := p.runInitials(f, ctx, dets, &out)
+	transport.SendCtx(cfg.ClientEdge, clk, netsim.LabelReturnBytes, traceCtx(ctx, 0))
 	out.InitialLatency = clk.Now() - f.At
 	if cfg.OnInitial != nil {
 		cfg.OnInitial(f, &out)
@@ -559,46 +595,46 @@ func (p *Pipeline) processEdgeOnly(f *video.Frame) FrameOutcome {
 	// Single-stage system: the edge result is final. The final sections
 	// still burn clock time (their section bodies run here), so final
 	// latency is measured after them, not copied from the initial commit.
-	p.runFinals(f, pending, assumedMatches(dets), &out)
+	p.runFinals(f, ctx, pending, assumedMatches(dets), &out)
 	out.FinalVisible = dets
 	out.FinalLatency = clk.Now() - f.At
 	return out
 }
 
-func (p *Pipeline) processCloudOnly(f *video.Frame) FrameOutcome {
+func (p *Pipeline) processCloudOnly(f *video.Frame, ctx obs.SpanContext) FrameOutcome {
 	cfg := p.cfg
 	clk := cfg.Clock
 	out := FrameOutcome{FrameIndex: f.Index, CapturedAt: f.At, SentToCloud: true}
 
 	t0 := clk.Now()
-	cfg.ClientEdge.Send(clk, f.SizeBytes)
+	transport.SendCtx(cfg.ClientEdge, clk, f.SizeBytes, traceCtx(ctx, 0))
 	out.Breakdown.ClientEdge = clk.Now() - t0
 
 	tSend := clk.Now()
 	bytes, prepCost := cfg.Preproc.Process(f.SizeBytes)
 	clk.Sleep(scale(prepCost, cfg.EdgeSpeed))
-	cfg.EdgeCloud.Send(clk, bytes)
+	transport.SendCtx(cfg.EdgeCloud, clk, bytes, traceCtx(ctx, 0))
 	out.Breakdown.EdgeCloud = clk.Now() - tSend
 
 	cloudDets, cloudLat := p.detectCloud(f)
 	out.Breakdown.CloudDetect = cloudLat
 
 	tBack := clk.Now()
-	cfg.EdgeCloud.Send(clk, netsim.LabelReturnBytes)
+	transport.SendCtx(cfg.EdgeCloud, clk, netsim.LabelReturnBytes, traceCtx(ctx, 0))
 	out.Breakdown.CloudReturn = clk.Now() - tBack
 
 	out.EdgeDetections = nil
 	out.InitialVisible = cloudDets
-	pending := p.runInitials(f, cloudDets, &out)
+	pending := p.runInitials(f, ctx, cloudDets, &out)
 	// Initial latency is measured at the initial commit — before the final
 	// sections run — so the mode comparison charges each commit point the
 	// same way processCroesus does.
-	cfg.ClientEdge.Send(clk, netsim.LabelReturnBytes)
+	transport.SendCtx(cfg.ClientEdge, clk, netsim.LabelReturnBytes, traceCtx(ctx, 0))
 	out.InitialLatency = clk.Now() - f.At
 	if cfg.OnInitial != nil {
 		cfg.OnInitial(f, &out)
 	}
-	p.runFinals(f, pending, assumedMatches(cloudDets), &out)
+	p.runFinals(f, ctx, pending, assumedMatches(cloudDets), &out)
 	out.FinalVisible = cloudDets
 	out.FinalLatency = clk.Now() - f.At
 	return out
@@ -607,7 +643,7 @@ func (p *Pipeline) processCloudOnly(f *video.Frame) FrameOutcome {
 // detectEdge runs the edge model under the edge compute slots. It
 // returns the detections, the time spent waiting for a slot, and the
 // inference time itself.
-func (p *Pipeline) detectEdge(f *video.Frame) ([]detect.Detection, time.Duration, time.Duration) {
+func (p *Pipeline) detectEdge(f *video.Frame, ctx obs.SpanContext) ([]detect.Detection, time.Duration, time.Duration) {
 	clk := p.cfg.Clock
 	tw := clk.Now()
 	p.queueDepth.Add(1)
@@ -619,9 +655,9 @@ func (p *Pipeline) detectEdge(f *video.Frame) ([]detect.Detection, time.Duration
 	p.edgeSlots.Release()
 	end := clk.Now()
 	if start > tw {
-		p.cfg.Obs.Span(obs.SpanPoolWait, p.tags, tw, start)
+		p.cfg.Obs.SpanCtx(ctx, obs.SpanPoolWait, p.tags, tw, start)
 	}
-	p.cfg.Obs.Span(obs.SpanEdgeDetect, p.tags, start, end)
+	p.cfg.Obs.SpanCtx(ctx, obs.SpanEdgeDetect, p.tags, start, end)
 	return res.Detections, start - tw, end - start
 }
 
@@ -645,7 +681,7 @@ type pendingTxn struct {
 
 // runInitials triggers and executes the initial sections for the visible
 // detections, recording latency and aborts on the outcome.
-func (p *Pipeline) runInitials(f *video.Frame, dets []detect.Detection, out *FrameOutcome) []pendingTxn {
+func (p *Pipeline) runInitials(f *video.Frame, ctx obs.SpanContext, dets []detect.Detection, out *FrameOutcome) []pendingTxn {
 	if p.cfg.Source == nil {
 		return nil
 	}
@@ -658,6 +694,7 @@ func (p *Pipeline) runInitials(f *video.Frame, dets []detect.Detection, out *Fra
 			continue
 		}
 		inst := p.cfg.Mgr.NewInstance(t, InitialInput{FrameIndex: f.Index, Trigger: d, Labels: dets})
+		inst.Trace = ctx
 		err := p.cfg.CC.RunInitial(inst)
 		p.harvestTiming(inst, out)
 		if err != nil {
@@ -670,7 +707,7 @@ func (p *Pipeline) runInitials(f *video.Frame, dets []detect.Detection, out *Fra
 	end := clk.Now()
 	out.Breakdown.InitialTxn = end - start
 	if len(dets) > 0 {
-		p.cfg.Obs.Span(obs.SpanInitialTxn, p.tags, start, end)
+		p.cfg.Obs.SpanCtx(ctx, obs.SpanInitialTxn, p.tags, start, end)
 	}
 	return pending
 }
@@ -686,7 +723,7 @@ func (p *Pipeline) harvestTiming(inst *txn.Instance, out *FrameOutcome) {
 
 // runFinals executes the final sections with the matched cloud labels, plus
 // fresh initial+final pairs for labels only the cloud found (MatchNew).
-func (p *Pipeline) runFinals(f *video.Frame, pending []pendingTxn, matches []LabelMatch, out *FrameOutcome) {
+func (p *Pipeline) runFinals(f *video.Frame, ctx obs.SpanContext, pending []pendingTxn, matches []LabelMatch, out *FrameOutcome) {
 	if p.cfg.Source == nil {
 		return
 	}
@@ -724,6 +761,7 @@ func (p *Pipeline) runFinals(f *video.Frame, pending []pendingTxn, matches []Lab
 			continue
 		}
 		inst := p.cfg.Mgr.NewInstance(t, InitialInput{FrameIndex: f.Index, Trigger: m.Cloud})
+		inst.Trace = ctx
 		err := p.cfg.CC.RunInitial(inst)
 		p.harvestTiming(inst, out)
 		if err != nil {
@@ -742,7 +780,7 @@ func (p *Pipeline) runFinals(f *video.Frame, pending []pendingTxn, matches []Lab
 	end := clk.Now()
 	out.Breakdown.FinalTxn = end - start
 	if len(pending) > 0 || len(matches) > 0 {
-		p.cfg.Obs.Span(obs.SpanFinalTxn, p.tags, start, end)
+		p.cfg.Obs.SpanCtx(ctx, obs.SpanFinalTxn, p.tags, start, end)
 	}
 }
 

@@ -6,9 +6,11 @@ import (
 
 	"croesus/internal/detect"
 	"croesus/internal/netsim"
+	"croesus/internal/obs"
 	"croesus/internal/transport"
 	"croesus/internal/vclock"
 	"croesus/internal/video"
+	"croesus/internal/wire"
 )
 
 // ValidationStatus classifies how a cloud validation request concluded.
@@ -55,6 +57,10 @@ type ValidationRequest struct {
 	// answer is likely right either way — so low-margin frames are shed
 	// first.
 	Margin float64
+	// Trace is the frame's span context, carried so the validator's queue
+	// and shed spans — and the wire messages it sends — stay causally
+	// linked to the frame. Zero when tracing is off.
+	Trace obs.SpanContext
 }
 
 // ValidationResult is the validator's reply for one frame. The latency
@@ -114,6 +120,12 @@ type Uplink struct {
 // on loss, the timeout). It returns the transfer time and whether the
 // frame was lost.
 func (u Uplink) Ship(f *video.Frame) (edgeCloud time.Duration, lost bool) {
+	return u.ShipCtx(f, nil)
+}
+
+// ShipCtx is Ship with a trace context attached to the link send, so the
+// hop joins the frame's trace on traced transports.
+func (u Uplink) ShipCtx(f *video.Frame, tc *wire.TraceCtx) (edgeCloud time.Duration, lost bool) {
 	clk := u.Clock
 	preproc := u.Preproc
 	if preproc == nil {
@@ -122,7 +134,7 @@ func (u Uplink) Ship(f *video.Frame) (edgeCloud time.Duration, lost bool) {
 	t0 := clk.Now()
 	bytes, prepCost := preproc.Process(f.SizeBytes)
 	clk.Sleep(scale(prepCost, u.EdgeSpeed))
-	u.Link.Send(clk, bytes)
+	transport.SendCtx(u.Link, clk, bytes, tc)
 	edgeCloud = clk.Now() - t0
 	if LostInTransit(u.LossProb, f.Index) {
 		timeout := u.Timeout
@@ -160,7 +172,7 @@ func (v *DirectValidator) Validate(req ValidationRequest) ValidationResult {
 	var res ValidationResult
 
 	up := Uplink{Clock: clk, Link: v.Link, Preproc: v.Preproc, EdgeSpeed: v.EdgeSpeed, LossProb: v.LossProb, Timeout: v.Timeout}
-	edgeCloud, lost := up.Ship(req.Frame)
+	edgeCloud, lost := up.ShipCtx(req.Frame, traceCtx(req.Trace, 0))
 	res.EdgeCloud = edgeCloud
 	if lost {
 		res.Status = ValidationLost
@@ -177,7 +189,7 @@ func (v *DirectValidator) Validate(req ValidationRequest) ValidationResult {
 	res.CloudDetect = clk.Now() - t1
 
 	t2 := clk.Now()
-	v.Link.Send(clk, netsim.LabelReturnBytes)
+	transport.SendCtx(v.Link, clk, netsim.LabelReturnBytes, traceCtx(req.Trace, 0))
 	res.CloudReturn = clk.Now() - t2
 
 	res.Cloud = r.Detections

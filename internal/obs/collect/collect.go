@@ -1,0 +1,267 @@
+// Package collect merges per-process span streams into one causally
+// ordered distributed trace. Each Croesus process (client, edge, cloud)
+// records spans against its own clock — the simulator's virtual clock
+// shares one epoch across the whole fleet, but real processes each start
+// their scaled wall clock at their own launch instant, so raw timestamps
+// from two processes are not comparable. The collector estimates one
+// offset per process from the cross-process RPC pairs the trace already
+// contains (an edge's rpc.cloud span encloses the cloud's cloud.request
+// span; the client's client.frame span encloses the edge's frame.root),
+// using the interval-midpoint method: assuming the outbound and return
+// halves of an RPC cost about the same, the midpoints of the two spans
+// name the same instant, so their difference is the clock offset. Offsets
+// compose over the process graph by BFS from a reference process, and
+// every span is shifted into the reference clock before sorting.
+//
+// The midpoint assumption fails in proportion to network asymmetry, so
+// merged causality checks carry a tolerance; and clocks scaled by
+// different -timescale factors are not alignable at all (documented in
+// the README — run every process at the same scale when tracing).
+package collect
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"croesus/internal/obs"
+)
+
+// Stream is one process's span stream.
+type Stream struct {
+	// Proc names the process. Spans carrying their own Proc keep it;
+	// unnamed spans inherit the stream's.
+	Proc  string
+	Spans []obs.Span
+}
+
+// ReadJSONL decodes a v1/v2 JSONL span stream (one span per line; blank
+// lines ignored).
+func ReadJSONL(r io.Reader) ([]obs.Span, error) {
+	var spans []obs.Span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var s obs.Span
+		if err := json.Unmarshal([]byte(text), &s); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		spans = append(spans, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return spans, nil
+}
+
+// ReadFile reads one process's JSONL span file. The stream's process name
+// comes from the spans themselves when they carry one, else from the file
+// name ("edge.jsonl" → "edge").
+func ReadFile(path string) (Stream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Stream{}, err
+	}
+	defer f.Close()
+	spans, err := ReadJSONL(f)
+	if err != nil {
+		return Stream{}, fmt.Errorf("%s: %w", path, err)
+	}
+	st := Stream{Spans: spans}
+	for _, s := range spans {
+		if s.Proc != "" {
+			st.Proc = s.Proc
+			break
+		}
+	}
+	if st.Proc == "" {
+		st.Proc = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	}
+	return st, nil
+}
+
+// DefaultTolerance is the causality slack allowed after alignment — the
+// residual error budget of the midpoint method on a loopback network.
+const DefaultTolerance = 5 * time.Millisecond
+
+// Options configures Merge.
+type Options struct {
+	// Reference names the process whose clock becomes the merged
+	// timeline (offset 0). Default: the stream with the most spans.
+	Reference string
+	// Tolerance is the causality slack used by Check (default
+	// DefaultTolerance).
+	Tolerance time.Duration
+}
+
+// Merged is the aligned union of the input streams.
+type Merged struct {
+	// Spans is every input span with timestamps shifted into the
+	// reference clock, sorted (obs.SortSpans order).
+	Spans []obs.Span
+	// Offsets maps each process to the duration ADDED to its timestamps;
+	// the reference process maps to 0. Processes with no RPC pair linking
+	// them (directly or transitively) to the reference keep offset 0 and
+	// are listed in Unaligned.
+	Offsets map[string]time.Duration
+	// Procs lists every process, sorted.
+	Procs []string
+	// Reference is the process chosen as the timeline.
+	Reference string
+	// Unaligned lists processes that could not be linked to the
+	// reference (no cross-process span pair).
+	Unaligned []string
+	// Pairs counts the RPC span pairs used per ordered process pair
+	// ("a→b"), for reporting.
+	Pairs map[string]int
+
+	tolerance time.Duration
+}
+
+// Merge aligns the streams onto one clock. A single stream (or one whose
+// spans carry no identity) merges without any shift, so a simulator trace
+// round-trips byte-identically.
+func Merge(streams []Stream, opt Options) (*Merged, error) {
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("collect: no streams")
+	}
+	if opt.Tolerance <= 0 {
+		opt.Tolerance = DefaultTolerance
+	}
+
+	// Stamp stream proc onto unnamed spans and index the union.
+	procSpans := make(map[string][]obs.Span)
+	var all []obs.Span
+	for _, st := range streams {
+		for _, s := range st.Spans {
+			if s.Proc == "" {
+				s.Proc = st.Proc
+			}
+			procSpans[s.Proc] = append(procSpans[s.Proc], s)
+			all = append(all, s)
+		}
+	}
+	procs := make([]string, 0, len(procSpans))
+	for p := range procSpans {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+
+	ref := opt.Reference
+	if ref == "" {
+		for _, p := range procs {
+			if ref == "" || len(procSpans[p]) > len(procSpans[ref]) {
+				ref = p
+			}
+		}
+	} else if _, ok := procSpans[ref]; !ok {
+		return nil, fmt.Errorf("collect: reference process %q has no spans", ref)
+	}
+
+	offsets, unaligned, pairs := alignOffsets(all, procs, ref)
+
+	merged := make([]obs.Span, len(all))
+	copy(merged, all)
+	for i := range merged {
+		if off := offsets[merged[i].Proc]; off != 0 {
+			merged[i].Start += off
+			merged[i].End += off
+		}
+	}
+	obs.SortSpans(merged)
+	return &Merged{
+		Spans:     merged,
+		Offsets:   offsets,
+		Procs:     procs,
+		Reference: ref,
+		Unaligned: unaligned,
+		Pairs:     pairs,
+		tolerance: opt.Tolerance,
+	}, nil
+}
+
+// Tolerance returns the causality slack the merge was configured with.
+func (m *Merged) Tolerance() time.Duration { return m.tolerance }
+
+// alignOffsets estimates one clock offset per process. For every
+// cross-process parent/child span pair it records a sample
+// offset(child→parent) = midpoint(parent) − midpoint(child), takes the
+// median per ordered process pair, and composes medians by BFS from the
+// reference.
+func alignOffsets(all []obs.Span, procs []string, ref string) (map[string]time.Duration, []string, map[string]int) {
+	byID := make(map[uint64]obs.Span)
+	for _, s := range all {
+		if s.ID != 0 {
+			byID[s.ID] = s
+		}
+	}
+	type edge struct{ a, b string }
+	samples := make(map[edge][]time.Duration)
+	for _, child := range all {
+		if child.Parent == 0 {
+			continue
+		}
+		parent, ok := byID[child.Parent]
+		if !ok || parent.Proc == child.Proc {
+			continue
+		}
+		mp := parent.Start + (parent.End-parent.Start)/2
+		mc := child.Start + (child.End-child.Start)/2
+		// Offset added to the child proc's clock to land on the parent
+		// proc's clock.
+		samples[edge{child.Proc, parent.Proc}] = append(samples[edge{child.Proc, parent.Proc}], mp-mc)
+	}
+
+	pairs := make(map[string]int, len(samples))
+	med := make(map[edge]time.Duration, len(samples))
+	for e, ss := range samples {
+		sort.Slice(ss, func(i, j int) bool { return ss[i] < ss[j] })
+		med[e] = ss[len(ss)/2]
+		pairs[e.a+"→"+e.b] = len(ss)
+	}
+
+	// BFS from the reference, composing offsets either direction.
+	offsets := map[string]time.Duration{ref: 0}
+	queue := []string{ref}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for e, off := range med {
+			// e.a's clock + off = e.b's clock.
+			if e.a == cur {
+				if _, ok := offsets[e.b]; !ok {
+					offsets[e.b] = offsets[cur] - off
+					queue = append(queue, e.b)
+				}
+			}
+			if e.b == cur {
+				if _, ok := offsets[e.a]; !ok {
+					offsets[e.a] = offsets[cur] + off
+					queue = append(queue, e.a)
+				}
+			}
+		}
+	}
+	var unaligned []string
+	for _, p := range procs {
+		if _, ok := offsets[p]; !ok {
+			offsets[p] = 0
+			if p != ref {
+				unaligned = append(unaligned, p)
+			}
+		}
+	}
+	return offsets, unaligned, pairs
+}

@@ -8,10 +8,11 @@ import (
 	"strings"
 )
 
-// SortSpans orders spans by (Start, End, Name, Tags). Concurrent emitters
-// append in a racy order, but under the deterministic scheduler the span
-// multiset — and all four sort keys — are fixed by scenario + seed, so
-// sorting makes the exported bytes reproducible.
+// SortSpans orders spans by (Start, End, Name, Tags) with the identity
+// fields (Trace, ID, Parent, Proc) as final tiebreaks. Concurrent
+// emitters append in a racy order, but under the deterministic scheduler
+// the span multiset — and every sort key — is fixed by scenario + seed,
+// so sorting makes the exported bytes reproducible.
 func SortSpans(spans []Span) {
 	sort.Slice(spans, func(i, j int) bool {
 		a, b := spans[i], spans[j]
@@ -24,7 +25,19 @@ func SortSpans(spans []Span) {
 		if a.Name != b.Name {
 			return a.Name < b.Name
 		}
-		return a.Tags < b.Tags
+		if a.Tags != b.Tags {
+			return a.Tags < b.Tags
+		}
+		if a.Trace != b.Trace {
+			return a.Trace < b.Trace
+		}
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		if a.Parent != b.Parent {
+			return a.Parent < b.Parent
+		}
+		return a.Proc < b.Proc
 	})
 }
 

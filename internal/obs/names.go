@@ -4,6 +4,11 @@ package obs
 // The taxonomy is documented in the README's Observability section; keep
 // the two in sync.
 const (
+	SpanFrameRoot     = "frame.root"      // per-frame root on the node running the pipeline (its ID anchors the frame's tree)
+	SpanClientFrame   = "client.frame"    // client-side root: submit → final reply received
+	SpanRPCCloud      = "rpc.cloud"       // edge-side cloud round trip (request out → response in)
+	SpanCloudRequest  = "cloud.request"   // cloud-side handling of one validation request (tag section=<k>)
+	SpanNetHop        = "net.hop"         // one traced transport payload's socket round trip (tag path=<name>)
 	SpanFrameIngest   = "frame.ingest"    // client→edge transfer of one frame
 	SpanPoolWait      = "edge.pool.wait"  // waiting for an edge inference slot
 	SpanEdgeDetect    = "edge.detect"     // compact-model inference
@@ -61,4 +66,10 @@ const (
 	MetricWALAppends     = "croesus_wal_appends_total"
 	MetricWALReplayed    = "croesus_wal_records_replayed_total"
 	MetricMigrations     = "croesus_shard_migrations_total"
+	// MetricDroppedSeries counts metric series the registry refused to
+	// create past the per-metric cardinality cap (Registry.SetMaxSeries).
+	MetricDroppedSeries = "croesus_obs_dropped_series_total"
+	// MetricWatchdogIncidents counts incidents raised by the streaming
+	// SLO/invariant watchdog, tagged kind=<incident kind>.
+	MetricWatchdogIncidents = "croesus_watchdog_incidents_total"
 )

@@ -19,21 +19,88 @@ package obs
 
 import (
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 )
 
+// TraceSchemaVersion is the version of the JSONL span schema written by
+// WriteJSONL and read by internal/obs/collect — bump it when a field
+// changes meaning. v1 was the PR-6 schema (name, tags, start, end); v2
+// adds the optional identity fields (trace, span, parent, proc) that link
+// spans across process boundaries.
+const TraceSchemaVersion = 2
+
 // Span is one traced interval: a stage of a frame's or transaction's life,
 // bounded by two timestamps from the run's Clock. Tags is a pre-rendered,
 // canonical "k=v,k=v" string (keys sorted — see Tags) so spans compare and
 // sort bytewise.
+//
+// The identity fields are optional (schema v2). Trace groups every span of
+// one frame's end-to-end life, across processes; ID names this span so
+// children may reference it; Parent is the causal parent's ID (0 = a trace
+// root); Proc names the emitting process, whose clock the timestamps were
+// read from. Spans without identity (all four zero-valued) still export
+// and merge — they just don't join a tree.
 type Span struct {
 	Name  string        `json:"name"`
 	Tags  string        `json:"tags,omitempty"`
 	Start time.Duration `json:"start"`
 	End   time.Duration `json:"end"`
+
+	Trace  uint64 `json:"trace,omitempty"`
+	ID     uint64 `json:"span,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
+	Proc   string `json:"proc,omitempty"`
 }
+
+// SpanContext is the compact trace context propagated along a frame's
+// execution: the trace it belongs to, the enclosing span's ID (children
+// emit with Parent = Span), and that span's own parent. The zero value
+// means "no context" and every consumer treats it as a no-op.
+type SpanContext struct {
+	Trace  uint64
+	Span   uint64
+	Parent uint64
+}
+
+// Valid reports whether the context carries a trace.
+func (c SpanContext) Valid() bool { return c.Trace != 0 }
+
+// Child returns a context whose children will parent to span id.
+func (c SpanContext) Child(id uint64) SpanContext {
+	return SpanContext{Trace: c.Trace, Span: id, Parent: c.Span}
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// HashID derives a deterministic non-zero 64-bit identifier from its parts
+// (FNV-1a with a separator byte between parts). Trace and span IDs are
+// hashed — never drawn from a counter — so the simulator's concurrent
+// emitters produce byte-identical traces run over run, and two processes
+// of a real deployment never need to coordinate an ID space.
+func HashID(parts ...string) uint64 {
+	h := uint64(fnvOffset64)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= fnvPrime64
+		}
+		h ^= 0xff
+		h *= fnvPrime64
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// U64 formats an id for use as a HashID part or a tag value.
+func U64(v uint64) string { return strconv.FormatUint(v, 10) }
 
 // Tags renders key/value pairs into the canonical sorted "k=v,k=v" form
 // used by both spans and metrics. Arguments are alternating key, value;
@@ -64,6 +131,7 @@ type Tracer struct {
 	spans   []Span
 	cap     int
 	dropped int64
+	proc    string
 }
 
 // NewTracer returns a Tracer with the default capacity.
@@ -78,11 +146,41 @@ func NewTracerCap(n int) *Tracer {
 	return &Tracer{cap: n}
 }
 
+// SetProc names the emitting process; every span recorded after the call
+// carries it (unless the span names its own). The simulator leaves this
+// unset — a single-process trace needs no process column, and setting it
+// would change the exported bytes.
+func (t *Tracer) SetProc(proc string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.proc = proc
+	t.mu.Unlock()
+}
+
 // Emit records one span. Nil-safe; concurrent-safe. Arrival order is racy
 // under concurrency — exporters sort before writing, so the trace bytes
 // depend only on the span multiset, which the deterministic scheduler
 // fixes.
 func (t *Tracer) Emit(name, tags string, start, end time.Duration) {
+	t.EmitSpan(Span{Name: name, Tags: tags, Start: start, End: end})
+}
+
+// EmitCtx records one span as a child of ctx. When ctx is invalid the
+// span is recorded untraced, so callers thread contexts unconditionally.
+func (t *Tracer) EmitCtx(ctx SpanContext, name, tags string, start, end time.Duration) {
+	if !ctx.Valid() {
+		t.Emit(name, tags, start, end)
+		return
+	}
+	t.EmitSpan(Span{Name: name, Tags: tags, Start: start, End: end, Trace: ctx.Trace, Parent: ctx.Span})
+}
+
+// EmitSpan records one fully-specified span (identity fields included).
+// Nil-safe; concurrent-safe. The tracer's process name is stamped on
+// spans that don't carry their own.
+func (t *Tracer) EmitSpan(s Span) {
 	if t == nil {
 		return
 	}
@@ -92,7 +190,10 @@ func (t *Tracer) Emit(name, tags string, start, end time.Duration) {
 		t.mu.Unlock()
 		return
 	}
-	t.spans = append(t.spans, Span{Name: name, Tags: tags, Start: start, End: end})
+	if s.Proc == "" {
+		s.Proc = t.proc
+	}
+	t.spans = append(t.spans, s)
 	t.mu.Unlock()
 }
 
@@ -134,6 +235,24 @@ func (o *Obs) Span(name, tags string, start, end time.Duration) {
 		return
 	}
 	o.Trace.Emit(name, tags, start, end)
+}
+
+// EmitSpan records a fully-specified span on the bundled tracer. Nil-safe.
+func (o *Obs) EmitSpan(s Span) {
+	if o == nil {
+		return
+	}
+	o.Trace.EmitSpan(s)
+}
+
+// SpanCtx records a span that belongs to ctx: its trace ID and (as Parent)
+// the enclosing span. When ctx is invalid this degrades to Span — the
+// uncontextualized PR-6 form — so call sites don't branch. Nil-safe.
+func (o *Obs) SpanCtx(ctx SpanContext, name, tags string, start, end time.Duration) {
+	if o == nil {
+		return
+	}
+	o.Trace.EmitCtx(ctx, name, tags, start, end)
 }
 
 // Tracer returns the bundled tracer (nil when disabled).

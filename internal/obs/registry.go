@@ -181,15 +181,73 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	hists      map[string]*Histogram
 	collectors []func(*Registry)
+	maxSeries  int
+	series     map[string]int // distinct tag combinations per metric name
+	dropped    *Counter       // MetricDroppedSeries, exempt from the cap
 }
 
-// NewRegistry returns an empty registry.
+// DefaultMaxSeries is the per-metric cardinality cap: at most this many
+// distinct tag combinations are materialized per metric name. A
+// 1024-camera fleet tags latency histograms {edge, camera, protocol}, so
+// the cap has to clear a few thousand legitimate series while still
+// stopping an unbounded tag (frame index, trace ID) from eating the heap.
+const DefaultMaxSeries = 4096
+
+// NewRegistry returns an empty registry with the default cardinality cap.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		hists:     make(map[string]*Histogram),
+		maxSeries: DefaultMaxSeries,
+		series:    make(map[string]int),
 	}
+}
+
+// SetMaxSeries adjusts the per-metric cardinality cap (n ≤ 0 restores the
+// default). Existing series are never evicted; the cap only stops new
+// ones.
+func (r *Registry) SetMaxSeries(n int) {
+	if r == nil {
+		return
+	}
+	if n <= 0 {
+		n = DefaultMaxSeries
+	}
+	r.mu.Lock()
+	r.maxSeries = n
+	r.mu.Unlock()
+}
+
+// DroppedSeries reports how many series resolutions the cardinality cap
+// refused.
+func (r *Registry) DroppedSeries() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped.Value()
+}
+
+// admit enforces the cardinality cap for a new series of metric name.
+// Callers hold r.mu. When the metric is at its cap the drop is counted in
+// MetricDroppedSeries and admit reports false — the caller returns a nil
+// handle, whose methods are no-ops, instead of growing unbounded.
+func (r *Registry) admit(name string) bool {
+	if name == MetricDroppedSeries {
+		return true
+	}
+	if r.series[name] >= r.maxSeries {
+		if r.dropped == nil {
+			r.dropped = &Counter{}
+			r.counters[MetricDroppedSeries] = r.dropped
+		}
+		r.dropped.Add(1)
+		return false
+	}
+	r.series[name]++
+	return true
 }
 
 func key(name, tags string) string {
@@ -210,8 +268,14 @@ func (r *Registry) Counter(name, tags string) *Counter {
 	defer r.mu.Unlock()
 	c, ok := r.counters[k]
 	if !ok {
+		if !r.admit(name) {
+			return nil
+		}
 		c = &Counter{}
 		r.counters[k] = c
+		if name == MetricDroppedSeries && tags == "" {
+			r.dropped = c
+		}
 	}
 	return c
 }
@@ -226,6 +290,9 @@ func (r *Registry) Gauge(name, tags string) *Gauge {
 	defer r.mu.Unlock()
 	g, ok := r.gauges[k]
 	if !ok {
+		if !r.admit(name) {
+			return nil
+		}
 		g = &Gauge{}
 		r.gauges[k] = g
 	}
@@ -243,6 +310,9 @@ func (r *Registry) Histogram(name, tags string) *Histogram {
 	defer r.mu.Unlock()
 	h, ok := r.hists[k]
 	if !ok {
+		if !r.admit(name) {
+			return nil
+		}
 		h = NewHistogram(nil)
 		r.hists[k] = h
 	}

@@ -1,0 +1,71 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"croesus/internal/obs"
+	"croesus/internal/obs/collect"
+)
+
+// TestMergedTraceDeterministicOnSim runs the same sim scenario twice and
+// requires the whole collection pipeline — merge, alignment, watchdog,
+// both exporters — to produce byte-identical output. The sim fleet shares
+// one virtual clock, so the single-stream merge must also be a no-op
+// shift (offset 0, no unaligned processes).
+func TestMergedTraceDeterministicOnSim(t *testing.T) {
+	render := func() (jsonl, chrome, incidents []byte) {
+		_, o := runObserved(t)
+		m, err := collect.Merge(
+			[]collect.Stream{{Proc: "sim", Spans: o.Trace.Spans()}},
+			collect.Options{},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Reference != "sim" || m.Offsets["sim"] != 0 || len(m.Unaligned) != 0 {
+			t.Fatalf("single sim stream misaligned: ref=%q offsets=%v unaligned=%v",
+				m.Reference, m.Offsets, m.Unaligned)
+		}
+		wd := collect.NewWatchdog(collect.WatchdogConfig{Tolerance: m.Tolerance()})
+		for _, s := range m.Spans {
+			wd.Feed(s)
+		}
+		ins := wd.Finish()
+		// The virtual clock is exact: spans sharing one clock must never
+		// trip the ordering probe, and every cross-span parent reference
+		// the sim emits must resolve.
+		for _, in := range ins {
+			if in.Kind == collect.IncidentChildBeforeParent || in.Kind == collect.IncidentParentMissing {
+				t.Errorf("sim trace causality incident: %+v", in)
+			}
+		}
+		var jb, cb, ib bytes.Buffer
+		if err := obs.WriteJSONL(&jb, m.Spans); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WriteChrome(&cb, ins); err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range ins {
+			ib.WriteString(in.Kind)
+			ib.WriteString(in.Detail)
+		}
+		return jb.Bytes(), cb.Bytes(), ib.Bytes()
+	}
+
+	j1, c1, i1 := render()
+	j2, c2, i2 := render()
+	if len(j1) == 0 {
+		t.Fatal("merged sim trace is empty")
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("merged JSONL diverged between identical runs: %d vs %d bytes", len(j1), len(j2))
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatalf("merged Chrome trace diverged between identical runs: %d vs %d bytes", len(c1), len(c2))
+	}
+	if !bytes.Equal(i1, i2) {
+		t.Fatalf("watchdog incidents diverged between identical runs:\n%s\n---\n%s", i1, i2)
+	}
+}

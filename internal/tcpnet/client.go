@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"croesus/internal/detect"
+	"croesus/internal/obs"
+	"croesus/internal/vclock"
 	"croesus/internal/video"
 	"croesus/internal/wire"
 )
@@ -37,6 +39,13 @@ type Client struct {
 	results map[int]*FrameResult
 	done    map[int]chan struct{}
 	readErr error
+
+	// Tracing (EnableTrace): the client opens each frame's trace and
+	// records a client.frame span covering submit → final reply.
+	o      *obs.Obs
+	oclk   vclock.Clock
+	cam    string
+	traceT map[int]time.Duration // trace-clock submit times
 }
 
 // Dial connects to the edge server.
@@ -53,6 +62,25 @@ func Dial(addr string) (*Client, error) {
 	}
 	go cl.readLoop()
 	return cl, nil
+}
+
+// EnableTrace attaches an observability layer: every frame submitted
+// afterwards opens a distributed trace whose ID is a deterministic hash
+// of cam and the frame index, the frame's wire message carries the
+// context so the edge (and through it the cloud) joins the same trace,
+// and a client.frame root span covering submit → final reply is recorded
+// on clk. Call before Submit; not concurrent-safe with in-flight frames.
+func (c *Client) EnableTrace(o *obs.Obs, clk vclock.Clock, cam string) {
+	c.mu.Lock()
+	c.o, c.oclk, c.cam = o, clk, cam
+	c.traceT = make(map[int]time.Duration)
+	c.mu.Unlock()
+}
+
+// traceIDs derives the frame's trace and client-root span IDs.
+func (c *Client) traceIDs(idx int) (trace, root uint64) {
+	trace = obs.HashID("trace", c.cam, obs.U64(uint64(idx)))
+	return trace, obs.HashID("span", obs.U64(trace), obs.SpanClientFrame)
 }
 
 func (c *Client) readLoop() {
@@ -89,6 +117,17 @@ func (c *Client) readLoop() {
 			fr.Apologies = r.Apologies
 			fr.Shed = r.Shed
 			fr.FinalLatency = time.Since(c.started[r.FrameIndex])
+			if c.o != nil {
+				if t0, ok := c.traceT[r.FrameIndex]; ok {
+					delete(c.traceT, r.FrameIndex)
+					trace, root := c.traceIDs(r.FrameIndex)
+					c.o.EmitSpan(obs.Span{
+						Name: obs.SpanClientFrame, Tags: obs.Tags("camera", c.cam),
+						Start: t0, End: c.oclk.Now(),
+						Trace: trace, ID: root,
+					})
+				}
+			}
 			if ch, ok := c.done[r.FrameIndex]; ok {
 				close(ch)
 			}
@@ -119,6 +158,12 @@ func (c *Client) Submit(f *video.Frame, padding int) error {
 	}
 	c.started[f.Index] = time.Now()
 	c.done[f.Index] = ch
+	var tc *wire.TraceCtx
+	if c.o != nil {
+		trace, root := c.traceIDs(f.Index)
+		c.traceT[f.Index] = c.oclk.Now()
+		tc = &wire.TraceCtx{Trace: trace, Parent: root}
+	}
 	c.mu.Unlock()
 
 	var pad []byte
@@ -127,7 +172,7 @@ func (c *Client) Submit(f *video.Frame, padding int) error {
 	}
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
-	return c.conn.Send(&wire.Envelope{Kind: wire.KindFrame, Frame: &wire.Frame{Frame: *f, Padding: pad}})
+	return c.conn.Send(&wire.Envelope{Kind: wire.KindFrame, Frame: &wire.Frame{Frame: *f, Padding: pad, Trace: tc}})
 }
 
 // WaitFrame blocks until the frame's final reply arrives (or the

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"log"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -169,8 +170,29 @@ func (s *CloudServer) serve(conn net.Conn) {
 			go func() {
 				defer s.wg.Done()
 				start := time.Now()
-				res := s.batcher.Validate(core.ValidationRequest{Frame: &req.Frame, Margin: req.Margin})
-				resp := &wire.CloudResponse{FrameIndex: req.FrameIndex, DetectTime: time.Since(start)}
+				vreq := core.ValidationRequest{Frame: &req.Frame, Margin: req.Margin}
+				// A traced request links this process into the frame's
+				// trace: a cloud.request span child of the edge's
+				// rpc.cloud span, and the batcher's queue/shed spans
+				// hang off it in turn.
+				var spanID uint64
+				var t0 time.Duration
+				o := s.cfg.Obs
+				if o != nil && req.Trace != nil && req.Trace.Trace != 0 {
+					spanID = obs.HashID("span", obs.U64(req.Trace.Trace), obs.SpanCloudRequest,
+						obs.U64(uint64(req.FrameIndex)), obs.U64(uint64(req.Trace.Section)))
+					vreq.Trace = obs.SpanContext{Trace: req.Trace.Trace, Span: spanID, Parent: req.Trace.Parent}
+					t0 = s.clk.Now()
+				}
+				res := s.batcher.Validate(vreq)
+				resp := &wire.CloudResponse{FrameIndex: req.FrameIndex, DetectTime: time.Since(start), Trace: req.Trace}
+				if spanID != 0 {
+					o.EmitSpan(obs.Span{
+						Name: obs.SpanCloudRequest, Tags: obs.Tags("section", strconv.Itoa(req.Trace.Section)),
+						Start: t0, End: s.clk.Now(),
+						Trace: req.Trace.Trace, ID: spanID, Parent: req.Trace.Parent,
+					})
+				}
 				if res.Status == core.Validated {
 					resp.Labels = res.Cloud
 					s.mu.Lock()

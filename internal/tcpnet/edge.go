@@ -267,6 +267,7 @@ type session struct {
 	mu      sync.Mutex
 	started map[int]time.Time
 	padding map[int][]byte
+	traces  map[int]*wire.TraceCtx // per-frame wire trace context (tracing only)
 }
 
 func (s *EdgeServer) serveClient(conn net.Conn) {
@@ -282,6 +283,7 @@ func (s *EdgeServer) serveClient(conn net.Conn) {
 		wc:      wire.NewConn(conn),
 		started: make(map[int]time.Time),
 		padding: make(map[int][]byte),
+		traces:  make(map[int]*wire.TraceCtx),
 	}
 	if s.cfg.CloudAddr != "" {
 		cloud, err := dialCloud(s.cfg.CloudAddr)
@@ -345,6 +347,9 @@ func (s *EdgeServer) buildPipeline(sess *session) (*core.Pipeline, error) {
 		TagKV:         []string{"edge", s.cfg.EdgeID, "protocol", s.cfg.Protocol.String()},
 		QueueDepth:    s.queueDepth,
 	}
+	if s.cfg.Obs != nil {
+		cfg.SpanCtx = sess.spanCtx
+	}
 	if s.cfg.Source != nil {
 		cfg.Source = s.cfg.Source
 		cfg.CC = s.asm.CC
@@ -355,6 +360,41 @@ func (s *EdgeServer) buildPipeline(sess *session) (*core.Pipeline, error) {
 		cfg.GraphValidate = sess.graphValidate
 	}
 	return core.New(cfg)
+}
+
+// spanCtx is the pipeline's per-frame trace hook: the frame joins the
+// client's trace when the wire message carried one, otherwise the edge
+// opens its own. The frame-root span ID is a deterministic hash, so the
+// client's echoed replies and the cloud's child spans agree on it
+// without coordination.
+func (ss *session) spanCtx(f *video.Frame) obs.SpanContext {
+	ss.mu.Lock()
+	tc := ss.traces[f.Index]
+	ss.mu.Unlock()
+	if tc != nil && tc.Trace != 0 {
+		return obs.SpanContext{
+			Trace:  tc.Trace,
+			Span:   obs.HashID("span", obs.U64(tc.Trace), obs.SpanFrameRoot),
+			Parent: tc.Parent,
+		}
+	}
+	trace := obs.HashID("trace", ss.srv.cfg.EdgeID, obs.U64(uint64(f.Index)))
+	return obs.SpanContext{Trace: trace, Span: obs.HashID("span", obs.U64(trace), obs.SpanFrameRoot)}
+}
+
+// rpcSpanID names the edge-side rpc.cloud span for one frame's section-k
+// cloud hop; the cloud's cloud.request span points at it as parent.
+func rpcSpanID(trace uint64, frameIdx, section int) uint64 {
+	return obs.HashID("span", obs.U64(trace), obs.SpanRPCCloud, obs.U64(uint64(frameIdx)), obs.U64(uint64(section)))
+}
+
+// echoCtx builds the trace context replies carry back to the client.
+func (ss *session) echoCtx(f *video.Frame) *wire.TraceCtx {
+	if ss.srv.cfg.Obs == nil {
+		return nil
+	}
+	ctx := ss.spanCtx(f)
+	return &wire.TraceCtx{Trace: ctx.Trace, Parent: ctx.Span}
 }
 
 // graphValidate runs a cloud-tier graph node over the real cloud socket:
@@ -369,12 +409,28 @@ func (ss *session) graphValidate(f *video.Frame, section int) ([]detect.Detectio
 	ss.mu.Lock()
 	pad := ss.padding[f.Index]
 	ss.mu.Unlock()
+	var tc *wire.TraceCtx
+	var ctx obs.SpanContext
+	o := ss.srv.cfg.Obs
+	if o != nil {
+		ctx = ss.spanCtx(f)
+		tc = &wire.TraceCtx{Trace: ctx.Trace, Parent: rpcSpanID(ctx.Trace, f.Index, section), Section: section}
+	}
+	t0 := ss.srv.clk.Now()
 	resp, err := ss.cloud.validate(&wire.CloudRequest{
 		FrameIndex: f.Index,
 		Frame:      *f,
 		Padding:    pad,
 		Section:    section,
+		Trace:      tc,
 	})
+	if tc != nil {
+		o.EmitSpan(obs.Span{
+			Name: obs.SpanRPCCloud, Tags: obs.Tags("edge", ss.srv.cfg.EdgeID),
+			Start: t0, End: ss.srv.clk.Now(),
+			Trace: ctx.Trace, ID: tc.Parent, Parent: ctx.Span,
+		})
+	}
 	if err != nil {
 		ss.srv.cfg.Logf("edge: graph section %d cloud hop failed, assuming labels: %v", section, err)
 		return nil, 0, false
@@ -392,14 +448,17 @@ func (ss *session) handleFrame(f *wire.Frame) {
 	ss.mu.Lock()
 	ss.started[frame.Index] = time.Now()
 	ss.padding[frame.Index] = f.Padding
+	ss.traces[frame.Index] = f.Trace
 	ss.mu.Unlock()
 
 	out := ss.pipe.ProcessFrame(&frame)
 
+	echo := ss.echoCtx(&frame)
 	ss.mu.Lock()
 	start := ss.started[frame.Index]
 	delete(ss.started, frame.Index)
 	delete(ss.padding, frame.Index)
+	delete(ss.traces, frame.Index)
 	ss.mu.Unlock()
 
 	apologies := make([]string, 0, len(out.Apologies))
@@ -413,6 +472,7 @@ func (ss *session) handleFrame(f *wire.Frame) {
 		Apologies:   apologies,
 		Shed:        out.Shed,
 		EdgeElapsed: time.Since(start),
+		Trace:       echo,
 	}}); err != nil {
 		ss.srv.cfg.Logf("edge: send final reply: %v", err)
 	}
@@ -439,6 +499,7 @@ func (ss *session) onInitial(f *video.Frame, out *core.FrameOutcome) {
 		Aborted:     out.InitialAborts,
 		SentToCloud: out.SentToCloud && ss.cloud != nil,
 		EdgeElapsed: time.Since(start),
+		Trace:       ss.echoCtx(f),
 	}}); err != nil {
 		ss.srv.cfg.Logf("edge: send initial reply: %v", err)
 	}
@@ -456,13 +517,27 @@ func (ss *session) Validate(req core.ValidationRequest) core.ValidationResult {
 	ss.mu.Lock()
 	pad := ss.padding[req.Frame.Index]
 	ss.mu.Unlock()
+	var tc *wire.TraceCtx
+	o := ss.srv.cfg.Obs
+	if o != nil && req.Trace.Valid() {
+		tc = &wire.TraceCtx{Trace: req.Trace.Trace, Parent: rpcSpanID(req.Trace.Trace, req.Frame.Index, 0)}
+	}
 	start := time.Now()
+	t0 := ss.srv.clk.Now()
 	resp, err := ss.cloud.validate(&wire.CloudRequest{
 		FrameIndex: req.Frame.Index,
 		Frame:      *req.Frame,
 		Padding:    pad,
 		Margin:     req.Margin,
+		Trace:      tc,
 	})
+	if tc != nil {
+		o.EmitSpan(obs.Span{
+			Name: obs.SpanRPCCloud, Tags: obs.Tags("edge", ss.srv.cfg.EdgeID),
+			Start: t0, End: ss.srv.clk.Now(),
+			Trace: req.Trace.Trace, ID: tc.Parent, Parent: req.Trace.Span,
+		})
+	}
 	if err != nil {
 		ss.srv.cfg.Logf("edge: cloud validation failed, finalizing locally: %v", err)
 		return core.ValidationResult{Status: core.ValidationLost}

@@ -1,0 +1,233 @@
+package tcpnet
+
+import (
+	"testing"
+	"time"
+
+	"croesus/internal/core"
+	"croesus/internal/detect"
+	"croesus/internal/obs"
+	"croesus/internal/obs/collect"
+	"croesus/internal/vclock"
+	"croesus/internal/video"
+)
+
+// traceTolerance is the causality slack for the loopback trace tests, in
+// virtual time. testScale = 0.01 multiplies wall-clock jitter by 100 in
+// span timestamps, so a 2s virtual tolerance tolerates 20ms of real
+// scheduling asymmetry while still catching structural bugs (a wrong
+// alignment sign or a swapped parent shows up as whole-span offsets).
+const traceTolerance = 2 * time.Second
+
+// TestDistributedTraceCausality is the PR's acceptance run in miniature:
+// cloud, edge, and client each record spans against their own scaled wall
+// clock (each with its own epoch), the collector aligns the three streams
+// from the RPC pairs in the trace itself, and the watchdog must find no
+// causality violation — every cross-process parent exists and no child
+// starts before its parent after alignment.
+func TestDistributedTraceCausality(t *testing.T) {
+	oCloud, oEdge, oClient := obs.New(), obs.New(), obs.New()
+	oCloud.Trace.SetProc("cloud")
+	oEdge.Trace.SetProc("edge")
+	oClient.Trace.SetProc("client")
+
+	cloud, err := NewCloudServerWith(CloudConfig{
+		Model:     detect.YOLOv3Sim(detect.YOLO416, 42),
+		TimeScale: testScale,
+		Obs:       oCloud,
+	})
+	if err != nil {
+		t.Fatalf("cloud: %v", err)
+	}
+	cloudAddr, err := cloud.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("cloud listen: %v", err)
+	}
+	defer cloud.Close()
+
+	edge, err := NewEdgeServer(EdgeConfig{
+		EdgeModel: detect.TinyYOLOSim(42),
+		CloudAddr: cloudAddr,
+		TimeScale: testScale,
+		ThetaL:    0, ThetaU: 1, // validate everything: every frame crosses all three processes
+		Source: core.NewWorkloadSource(500, 7),
+		Obs:    oEdge,
+	})
+	if err != nil {
+		t.Fatalf("edge: %v", err)
+	}
+	edgeAddr, err := edge.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("edge listen: %v", err)
+	}
+	defer edge.Close()
+
+	client, err := Dial(edgeAddr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+	// The client's trace clock must run at the same scale as the servers'
+	// — alignment corrects epochs, not rates.
+	client.EnableTrace(oClient, vclock.NewScaledReal(testScale), "cam0")
+
+	frames := video.NewGenerator(video.ParkDog(), 11).Generate(6)
+	for _, f := range frames {
+		if err := client.Submit(f, 0); err != nil {
+			t.Fatalf("submit %d: %v", f.Index, err)
+		}
+	}
+	for _, f := range frames {
+		if _, err := client.WaitFrame(f.Index, 10*time.Second); err != nil {
+			t.Fatalf("frame %d: %v", f.Index, err)
+		}
+	}
+
+	streams := []collect.Stream{
+		{Proc: "client", Spans: oClient.Trace.Spans()},
+		{Proc: "edge", Spans: oEdge.Trace.Spans()},
+		{Proc: "cloud", Spans: oCloud.Trace.Spans()},
+	}
+	for _, st := range streams {
+		if len(st.Spans) == 0 {
+			t.Fatalf("process %q recorded no spans", st.Proc)
+		}
+	}
+	m, err := collect.Merge(streams, collect.Options{Tolerance: traceTolerance})
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if len(m.Unaligned) != 0 {
+		t.Fatalf("unaligned processes %v (offsets %v, pairs %v)", m.Unaligned, m.Offsets, m.Pairs)
+	}
+
+	wd := collect.NewWatchdog(collect.WatchdogConfig{Tolerance: m.Tolerance()})
+	for _, s := range m.Spans {
+		wd.Feed(s)
+	}
+	for _, in := range wd.Finish() {
+		if collect.CausalityKinds[in.Kind] {
+			t.Errorf("causality incident %s (trace %d, proc %s): %s", in.Kind, in.Trace, in.Proc, in.Detail)
+		}
+	}
+
+	// The merged tree must actually cross processes: a cloud.request span
+	// whose parent is the edge's rpc.cloud span, and an edge frame.root
+	// whose parent is the client's root.
+	byID := make(map[uint64]obs.Span)
+	for _, s := range m.Spans {
+		if s.ID != 0 {
+			byID[s.ID] = s
+		}
+	}
+	links := map[string]int{} // childProc→parentProc hop counts
+	for _, s := range m.Spans {
+		if s.Parent == 0 {
+			continue
+		}
+		if p, ok := byID[s.Parent]; ok && p.Proc != s.Proc {
+			links[s.Proc+"→"+p.Proc]++
+		}
+	}
+	if links["cloud→edge"] == 0 {
+		t.Errorf("no cloud span linked under an edge span: %v", links)
+	}
+	if links["edge→client"] == 0 {
+		t.Errorf("no edge span linked under a client span: %v", links)
+	}
+	// Every submitted frame keeps its client-side root in the merge.
+	roots := 0
+	for _, s := range m.Spans {
+		if s.Name == obs.SpanClientFrame && s.Parent == 0 {
+			roots++
+		}
+	}
+	if roots != len(frames) {
+		t.Errorf("merged trace has %d client.frame roots, want %d", roots, len(frames))
+	}
+}
+
+// TestCriticalPathCrossProcess checks the merged decomposition attributes
+// a non-zero network component to real cross-process traces: the RPC
+// envelope spans (rpc.cloud, cloud.request) contribute their self time as
+// the hop's wire + dispatch segment.
+func TestCriticalPathCrossProcess(t *testing.T) {
+	oEdge, oCloud := obs.New(), obs.New()
+	oEdge.Trace.SetProc("edge")
+	oCloud.Trace.SetProc("cloud")
+
+	cloud, err := NewCloudServerWith(CloudConfig{
+		Model:     detect.YOLOv3Sim(detect.YOLO416, 42),
+		TimeScale: testScale,
+		Obs:       oCloud,
+	})
+	if err != nil {
+		t.Fatalf("cloud: %v", err)
+	}
+	cloudAddr, err := cloud.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("cloud listen: %v", err)
+	}
+	defer cloud.Close()
+	edge, err := NewEdgeServer(EdgeConfig{
+		EdgeModel: detect.TinyYOLOSim(42),
+		CloudAddr: cloudAddr,
+		TimeScale: testScale,
+		ThetaL:    0, ThetaU: 1,
+		Obs: oEdge,
+	})
+	if err != nil {
+		t.Fatalf("edge: %v", err)
+	}
+	edgeAddr, err := edge.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("edge listen: %v", err)
+	}
+	defer edge.Close()
+	client, err := Dial(edgeAddr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+
+	frames := video.NewGenerator(video.ParkDog(), 11).Generate(4)
+	for _, f := range frames {
+		if err := client.Submit(f, 0); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	for _, f := range frames {
+		if _, err := client.WaitFrame(f.Index, 10*time.Second); err != nil {
+			t.Fatalf("frame %d: %v", f.Index, err)
+		}
+	}
+
+	// No client tracing here: the edge self-generates trace IDs, so the
+	// frame.root spans are the trace roots.
+	m, err := collect.Merge([]collect.Stream{
+		{Proc: "edge", Spans: oEdge.Trace.Spans()},
+		{Proc: "cloud", Spans: oCloud.Trace.Spans()},
+	}, collect.Options{Tolerance: traceTolerance})
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	paths := m.CriticalPaths()
+	if len(paths) != len(frames) {
+		t.Fatalf("got %d path breakdowns, want %d", len(paths), len(frames))
+	}
+	sum := collect.Summarize(paths)
+	if sum.Components[collect.CompCompute] <= 0 {
+		t.Errorf("no compute time attributed: %v", sum.Components)
+	}
+	if sum.Components[collect.CompNetwork] <= 0 {
+		t.Errorf("no network time attributed across a real socket hop: %v", sum.Components)
+	}
+	for _, p := range paths {
+		if p.Root != obs.SpanFrameRoot {
+			t.Errorf("trace %d rooted at %q, want %q", p.Trace, p.Root, obs.SpanFrameRoot)
+		}
+		if p.Total <= 0 {
+			t.Errorf("trace %d has non-positive total %v", p.Trace, p.Total)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"croesus/internal/obs"
 	"croesus/internal/vclock"
 	"croesus/internal/wire"
 )
@@ -35,6 +36,9 @@ type TCP struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	o    *obs.Obs
+	oclk vclock.Clock
+
 	clientEdge []*tcpPath
 	edgeCloud  []*tcpPath
 	peers      [][]*tcpPath
@@ -43,6 +47,29 @@ type TCP struct {
 
 // NewTCP returns an unprovisioned TCP transport.
 func NewTCP() *TCP { return &TCP{} }
+
+// ObsAware is implemented by transports that can emit their own spans
+// (net.hop per traced delivery). The cluster runtime type-asserts for it
+// after building its Obs, so the sim transport — which must stay
+// byte-identical — never sees the hook.
+type ObsAware interface {
+	SetObs(o *obs.Obs, clk vclock.Clock)
+}
+
+// SetObs hands the transport the run's observability bundle and clock.
+// Once set, every traced send emits a sender-side net.hop span covering
+// the socket round trip.
+func (t *TCP) SetObs(o *obs.Obs, clk vclock.Clock) {
+	t.mu.Lock()
+	t.o, t.oclk = o, clk
+	t.mu.Unlock()
+}
+
+func (t *TCP) obsClock() (*obs.Obs, vclock.Clock) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.o, t.oclk
+}
 
 // Name returns "tcp".
 func (t *TCP) Name() string { return "tcp" }
@@ -237,12 +264,22 @@ type tcpPath struct {
 }
 
 // Send implements Path: the real socket round trip is the transfer time.
-func (p *tcpPath) Send(_ vclock.Clock, n int) { p.carry(n) }
+func (p *tcpPath) Send(_ vclock.Clock, n int) { p.carry(n, nil) }
 
 // Charge implements Path: TCP delivers synchronously, so the caller has
 // nothing left to sleep for.
 func (p *tcpPath) Charge(n int) time.Duration {
-	p.carry(n)
+	p.carry(n, nil)
+	return 0
+}
+
+// SendTraced implements TracedPath: the message carries tc on the wire and
+// the delivery is recorded as a net.hop span when the transport has obs.
+func (p *tcpPath) SendTraced(_ vclock.Clock, n int, tc *wire.TraceCtx) { p.carry(n, tc) }
+
+// ChargeTraced implements TracedPath.
+func (p *tcpPath) ChargeTraced(n int, tc *wire.TraceCtx) time.Duration {
+	p.carry(n, tc)
 	return 0
 }
 
@@ -300,8 +337,11 @@ func (p *tcpPath) drop() {
 
 // carry ships one n-byte message and waits for the switch's ack. It
 // reports whether the message was delivered; a severed, closed, or
-// mid-teardown path loses the message (counted in drops).
-func (p *tcpPath) carry(n int) bool {
+// mid-teardown path loses the message (counted in drops). A non-nil tc is
+// stamped on the wire payload, and when the transport has an obs bundle
+// the delivered round trip is recorded as a net.hop span parented to the
+// sender's enclosing span.
+func (p *tcpPath) carry(n int, tc *wire.TraceCtx) bool {
 	if p.tr.isClosed() {
 		p.drop()
 		return false
@@ -331,7 +371,12 @@ func (p *tcpPath) carry(n int) bool {
 	if n < 0 {
 		n = 0
 	}
-	env := &wire.Envelope{Kind: wire.KindPayload, Payload: &wire.Payload{Path: p.name, Seq: seq, Padding: make([]byte, n)}}
+	o, oclk := p.tr.obsClock()
+	var t0 time.Duration
+	if o != nil && oclk != nil && tc != nil {
+		t0 = oclk.Now()
+	}
+	env := &wire.Envelope{Kind: wire.KindPayload, Payload: &wire.Payload{Path: p.name, Seq: seq, Padding: make([]byte, n), Trace: tc}}
 	p.sendMu.Lock()
 	err := conn.Send(env)
 	p.sendMu.Unlock()
@@ -361,6 +406,17 @@ func (p *tcpPath) carry(n int) bool {
 	p.bytes += int64(n)
 	p.messages++
 	p.mu.Unlock()
+	if o != nil && oclk != nil && tc != nil && tc.Trace != 0 {
+		o.EmitSpan(obs.Span{
+			Name:   obs.SpanNetHop,
+			Tags:   obs.Tags("path", p.name),
+			Start:  t0,
+			End:    oclk.Now(),
+			Trace:  tc.Trace,
+			ID:     obs.HashID("span", obs.U64(tc.Trace), obs.SpanNetHop, p.name, obs.U64(seq)),
+			Parent: tc.Parent,
+		})
+	}
 	return true
 }
 

@@ -25,6 +25,7 @@ import (
 
 	"croesus/internal/netsim"
 	"croesus/internal/vclock"
+	"croesus/internal/wire"
 )
 
 // Path is one directed network path of the fleet (client→edge, edge→cloud,
@@ -56,6 +57,42 @@ type Path interface {
 
 // *netsim.Link is the simulated Path.
 var _ Path = (*netsim.Link)(nil)
+
+// TracedPath is an optional Path extension: a path that can carry a trace
+// context with each message (stamped on the wire.Payload) and emit a
+// net.hop span per delivery. The sim's netsim.Link deliberately does NOT
+// implement it — modeled links have no real socket time to trace, and the
+// simulated deployment's bytes must stay identical with tracing enabled.
+type TracedPath interface {
+	// SendTraced is Send with a trace context attached to the message.
+	SendTraced(clk vclock.Clock, n int, tc *wire.TraceCtx)
+	// ChargeTraced is Charge with a trace context attached.
+	ChargeTraced(n int, tc *wire.TraceCtx) time.Duration
+}
+
+// SendCtx sends n bytes across p, attaching tc when the path supports
+// tracing. A nil tc or an untraced path degrades to the plain Send — the
+// zero-cost path the simulator always takes.
+func SendCtx(p Path, clk vclock.Clock, n int, tc *wire.TraceCtx) {
+	if tc != nil {
+		if tp, ok := p.(TracedPath); ok {
+			tp.SendTraced(clk, n, tc)
+			return
+		}
+	}
+	p.Send(clk, n)
+}
+
+// ChargeCtx charges n bytes on p, attaching tc when the path supports
+// tracing; otherwise it degrades to the plain Charge.
+func ChargeCtx(p Path, n int, tc *wire.TraceCtx) time.Duration {
+	if tc != nil {
+		if tp, ok := p.(TracedPath); ok {
+			return tp.ChargeTraced(n, tc)
+		}
+	}
+	return p.Charge(n)
+}
 
 // EdgeProfile is what a Transport needs to know about one edge to
 // provision its paths.

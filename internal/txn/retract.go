@@ -86,6 +86,6 @@ func (m *Manager) Retract(inst *Instance, reason string) []Apology {
 		in.mu.Unlock()
 		apologies = append(apologies, a)
 	}
-	m.Tracer.Emit(obs.SpanRetraction, m.TraceTags, tStart, m.now())
+	m.Tracer.EmitCtx(inst.Trace, obs.SpanRetraction, m.TraceTags, tStart, m.now())
 	return apologies
 }

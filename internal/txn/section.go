@@ -273,7 +273,7 @@ func (p *MSSR) runFirst(in *Instance) error {
 		if !p.M.Locks.AcquireAllWaitDie(owner, allReqs) {
 			now := p.M.now()
 			in.AddLockWait(now - tAcq)
-			p.M.Tracer.Emit(obs.SpanLockAbort, p.M.TraceTags, tAcq, now)
+			p.M.Tracer.EmitCtx(in.Trace, obs.SpanLockAbort, p.M.TraceTags, tAcq, now)
 			in.setState(StateAborted)
 			p.M.recordAbort()
 			return ErrAborted

@@ -197,6 +197,12 @@ type Instance struct {
 	InitialIn any
 	FinalIn   any
 
+	// Trace is the frame's span context, set by the pipeline when tracing
+	// is enabled so the CC protocol's lock and 2PC spans — and the trace
+	// contexts its wire messages carry — join the frame's tree. The zero
+	// value disables per-instance tracing.
+	Trace obs.SpanContext
+
 	mu         sync.Mutex
 	state      State
 	undo       []undoRec   // all writes, every section, in write order

@@ -29,11 +29,26 @@ const (
 	KindBye           Kind = "bye"            // either direction: drain and close
 )
 
+// TraceCtx is the compact trace context a wire message carries so spans
+// emitted on opposite ends of a socket link into one tree. Trace is the
+// 64-bit trace ID minted by the originating process (client or edge);
+// Parent is the span on the sending side that causally encloses the
+// receiver's work; Section is the inference-graph section index the hop
+// serves (0 on the classic two-stage path). Messages from untraced
+// processes leave the pointer nil — gob encodes a nil pointer field as
+// absent, so the untraced wire format is unchanged.
+type TraceCtx struct {
+	Trace   uint64
+	Parent  uint64
+	Section int
+}
+
 // Frame is a client-submitted video frame. Padding (optional) carries
 // synthetic payload bytes so the wire cost resembles a real encoded frame.
 type Frame struct {
 	Frame   video.Frame
 	Padding []byte
+	Trace   *TraceCtx
 }
 
 // InitialReply is the initial-commit response for one frame.
@@ -44,6 +59,7 @@ type InitialReply struct {
 	Aborted     int
 	SentToCloud bool
 	EdgeElapsed time.Duration // edge receive → initial commit
+	Trace       *TraceCtx     // echo of the frame's context (Parent = edge root span)
 }
 
 // FinalReply is the final-commit response for one frame. Shed reports that
@@ -56,6 +72,7 @@ type FinalReply struct {
 	Apologies   []string
 	Shed        bool
 	EdgeElapsed time.Duration // edge receive → final commit
+	Trace       *TraceCtx     // echo of the frame's context (Parent = edge root span)
 }
 
 // CloudRequest asks the cloud node to detect one frame. Margin is the
@@ -70,6 +87,7 @@ type CloudRequest struct {
 	Padding    []byte
 	Margin     float64
 	Section    int
+	Trace      *TraceCtx // Parent = the edge's rpc.cloud span for this hop
 }
 
 // CloudResponse returns the cloud labels for one frame. Shed means the
@@ -81,6 +99,7 @@ type CloudResponse struct {
 	Labels     []detect.Detection
 	DetectTime time.Duration
 	Shed       bool
+	Trace      *TraceCtx // echo of the request's context
 }
 
 // Payload is one opaque fleet-transport message: the TCP transport ships
@@ -92,11 +111,13 @@ type Payload struct {
 	Path    string
 	Seq     uint64
 	Padding []byte
+	Trace   *TraceCtx
 }
 
 // Ack acknowledges delivery of the Payload with the same Seq.
 type Ack struct {
-	Seq uint64
+	Seq   uint64
+	Trace *TraceCtx // echo of the payload's context
 }
 
 // Envelope is the single on-wire message type.

@@ -116,11 +116,14 @@ func TestAllKindsRoundTrip(t *testing.T) {
 			},
 		},
 		{
-			env: &Envelope{Kind: KindPayload, Payload: &Payload{Path: "west-cloud", Seq: 99, Padding: make([]byte, 1<<10)}},
+			env: &Envelope{Kind: KindPayload, Payload: &Payload{Path: "west-cloud", Seq: 99, Padding: make([]byte, 1<<10), Trace: &TraceCtx{Trace: 0xabc, Parent: 0xdef, Section: 1}}},
 			check: func(t *testing.T, got *Envelope) {
 				p := got.Payload
 				if p.Path != "west-cloud" || p.Seq != 99 || len(p.Padding) != 1<<10 {
 					t.Errorf("payload fields lost: path=%q seq=%d pad=%d", p.Path, p.Seq, len(p.Padding))
+				}
+				if p.Trace == nil || p.Trace.Trace != 0xabc || p.Trace.Parent != 0xdef || p.Trace.Section != 1 {
+					t.Errorf("payload trace ctx lost: %+v", p.Trace)
 				}
 			},
 		},
@@ -158,6 +161,66 @@ func TestAllKindsRoundTrip(t *testing.T) {
 		if !covered[k] {
 			t.Errorf("message kind %q has no round-trip coverage", k)
 		}
+	}
+}
+
+// TestTraceCtxRoundTrip checks every message type that can carry a trace
+// context preserves it, and that an absent context stays nil — the
+// untraced wire format must be unchanged.
+func TestTraceCtxRoundTrip(t *testing.T) {
+	tc := &TraceCtx{Trace: 1234567890123456789, Parent: 42, Section: 2}
+	a, b := pair()
+	envs := []*Envelope{
+		{Kind: KindFrame, Frame: &Frame{Frame: sampleFrame(), Trace: tc}},
+		{Kind: KindInitialReply, InitialReply: &InitialReply{FrameIndex: 1, Trace: tc}},
+		{Kind: KindFinalReply, FinalReply: &FinalReply{FrameIndex: 1, Trace: tc}},
+		{Kind: KindCloudRequest, CloudRequest: &CloudRequest{FrameIndex: 2, Frame: sampleFrame(), Trace: tc}},
+		{Kind: KindCloudResponse, CloudResponse: &CloudResponse{FrameIndex: 2, Trace: tc}},
+		{Kind: KindPayload, Payload: &Payload{Path: "p", Seq: 1, Trace: tc}},
+		{Kind: KindAck, Ack: &Ack{Seq: 1, Trace: tc}},
+	}
+	extract := func(e *Envelope) *TraceCtx {
+		switch e.Kind {
+		case KindFrame:
+			return e.Frame.Trace
+		case KindInitialReply:
+			return e.InitialReply.Trace
+		case KindFinalReply:
+			return e.FinalReply.Trace
+		case KindCloudRequest:
+			return e.CloudRequest.Trace
+		case KindCloudResponse:
+			return e.CloudResponse.Trace
+		case KindPayload:
+			return e.Payload.Trace
+		case KindAck:
+			return e.Ack.Trace
+		}
+		return nil
+	}
+	for _, env := range envs {
+		if err := a.Send(env); err != nil {
+			t.Fatalf("Send(%s): %v", env.Kind, err)
+		}
+		got, err := b.Recv()
+		if err != nil {
+			t.Fatalf("Recv(%s): %v", env.Kind, err)
+		}
+		g := extract(got)
+		if g == nil || *g != *tc {
+			t.Errorf("%s: trace ctx = %+v, want %+v", env.Kind, g, tc)
+		}
+	}
+	// Untraced messages arrive with a nil context.
+	if err := a.Send(&Envelope{Kind: KindAck, Ack: &Ack{Seq: 7}}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if got.Ack.Trace != nil {
+		t.Errorf("untraced ack grew a context: %+v", got.Ack.Trace)
 	}
 }
 
