@@ -5,18 +5,29 @@
 // Usage:
 //
 //	croesus-client -edge localhost:9401 -video park -frames 50 -fps 2
+//	croesus-client -camera cam0 -control 127.0.0.1:0 -report cam0.json
+//
+// The streaming loop is fleet.CamStream — the same loop the croesus-fleet
+// orchestrator runs for in-process cameras — so the client survives edge
+// restarts by redialing (frames submitted while the edge is dark count as
+// dropped) and takes live control ops over -control: rate shifts,
+// redials to a new edge (camera migration), and a graceful quit. SIGTERM
+// takes the same graceful path: the stream stops, in-flight frames drain
+// briefly, and the -report JSON and -trace JSONL still flush.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"croesus/internal/fleet"
 	"croesus/internal/obs"
-	"croesus/internal/tcpnet"
-	"croesus/internal/vclock"
 	"croesus/internal/video"
 )
 
@@ -44,14 +55,21 @@ func profileByName(name string) (video.Profile, bool) {
 
 func main() {
 	var (
-		edgeAddr  = flag.String("edge", "localhost:9401", "edge node address")
-		vid       = flag.String("video", "park", "video: park, street, airport, mall, pedestrians")
-		frames    = flag.Int("frames", 30, "number of frames to stream")
-		fps       = flag.Float64("fps", 2, "capture rate (frames per second)")
-		seed      = flag.Int64("seed", 11, "video generator seed")
-		padding   = flag.Int("padding", 0, "extra payload bytes per frame (simulates encoded size on the wire)")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics (Prometheus text), /debug/vars (expvar), and /debug/pprof on this address (e.g. 127.0.0.1:9413)")
-		traceOut  = flag.String("trace", "", "open a distributed trace per frame, record client.frame spans, and write them as JSONL to this file at exit (merge with croesus-trace)")
+		edgeAddr     = flag.String("edge", "localhost:9401", "edge node address")
+		vid          = flag.String("video", "park", "video: park, street, airport, mall, pedestrians")
+		camera       = flag.String("camera", "client", "camera identity in traces and the fleet report")
+		frames       = flag.Int("frames", 30, "number of frames to stream")
+		fps          = flag.Float64("fps", 2, "capture rate (frames per second; 0 keeps the profile's rate)")
+		seed         = flag.Int64("seed", 11, "video generator seed")
+		padding      = flag.Int("padding", 0, "extra payload bytes per frame (simulates encoded size on the wire)")
+		timeScale    = flag.Float64("timescale", 1.0, "wall pacing compression: the capture interval sleeps interval×timescale")
+		frameTimeout = flag.Duration("frame-timeout", 30*time.Second, "wall bound on one frame's wait before it counts as dropped")
+		controlAddr  = flag.String("control", "", "serve the fleet control channel on this address (e.g. 127.0.0.1:0)")
+		readyFile    = flag.String("ready-file", "", "write a JSON ready file with the control address once streaming starts")
+		reportPath   = flag.String("report", "", "write the stream's report JSON to this file at exit (normal end, quit op, or SIGTERM)")
+		quiet        = flag.Bool("quiet", false, "suppress per-frame output (the summary and errors still print)")
+		debugAddr    = flag.String("debug-addr", "", "serve /metrics (Prometheus text), /debug/vars (expvar), and /debug/pprof on this address (e.g. 127.0.0.1:9413)")
+		traceOut     = flag.String("trace", "", "open a distributed trace per frame, record client.frame spans, and write them as JSONL to this file at exit (merge with croesus-trace)")
 	)
 	flag.Parse()
 
@@ -65,7 +83,7 @@ func main() {
 	var o *obs.Obs
 	if *debugAddr != "" || *traceOut != "" {
 		o = obs.New()
-		o.Tracer().SetProc("client")
+		o.Tracer().SetProc(*camera)
 	}
 	if *debugAddr != "" {
 		bound, err := obs.ServeDebug(*debugAddr, o.Reg)
@@ -74,59 +92,71 @@ func main() {
 		}
 		log.Printf("croesus-client: debug endpoint on http://%s/metrics", bound)
 	}
-	client, err := tcpnet.Dial(*edgeAddr)
-	if err != nil {
-		log.Fatalf("croesus-client: %v", err)
-	}
-	defer client.Close()
-	if *traceOut != "" {
-		client.EnableTrace(o, vclock.NewReal(), prof.Name)
-	}
 
-	gen := video.NewGenerator(prof, *seed)
-	interval := prof.FrameInterval()
-	log.Printf("croesus-client: streaming %d frames of %s to %s at %.1f fps", *frames, prof.Name, *edgeAddr, prof.FPS)
-
-	submitted := make([]*video.Frame, 0, *frames)
-	for i := 0; i < *frames; i++ {
-		f := gen.Next()
-		if err := client.Submit(f, *padding); err != nil {
-			log.Fatalf("croesus-client: submit frame %d: %v", f.Index, err)
+	var onFrame func(fleet.FrameRecord)
+	if !*quiet {
+		onFrame = func(r fleet.FrameRecord) {
+			fmt.Printf("frame %3d: initial %4d labels in %7.1fms | final %4d labels in %7.1fms | cloud=%-5v shed=%-5v corrections=%d apologies=%d\n",
+				r.Index, r.InitialLabels, float64(r.InitialLatency)/float64(time.Millisecond),
+				r.FinalLabels, float64(r.FinalLatency)/float64(time.Millisecond),
+				r.SentToCloud, r.Shed, r.Corrections, r.Apologies)
 		}
-		submitted = append(submitted, f)
-		time.Sleep(interval)
 	}
+	cs := fleet.NewCamStream(fleet.CamConfig{
+		Camera:       *camera,
+		Edge:         *edgeAddr,
+		Profile:      prof,
+		Seed:         *seed,
+		Frames:       *frames,
+		Padding:      *padding,
+		TimeScale:    *timeScale,
+		FrameTimeout: *frameTimeout,
+		Obs:          o,
+		Logf:         log.Printf,
+		OnFrame:      onFrame,
+	})
 
-	var sumInit, sumFinal time.Duration
-	var sent, shed, corrections, apologies int
-	for _, f := range submitted {
-		r, err := client.WaitFrame(f.Index, 2*time.Minute)
+	var ctl *fleet.ControlServer
+	if *controlAddr != "" {
+		var err error
+		ctl, err = fleet.ServeControl(*controlAddr, fleet.ClientHandlers(cs, nil))
 		if err != nil {
-			log.Fatalf("croesus-client: frame %d: %v", f.Index, err)
+			log.Fatalf("croesus-client: control: %v", err)
 		}
-		fmt.Printf("frame %3d: initial %4d labels in %7.1fms | final %4d labels in %7.1fms | cloud=%-5v shed=%-5v corrections=%d\n",
-			r.FrameIndex, len(r.Initial), float64(r.InitialLatency)/float64(time.Millisecond),
-			len(r.Final), float64(r.FinalLatency)/float64(time.Millisecond), r.SentToCloud, r.Shed, r.Corrections)
-		for _, a := range r.Apologies {
-			fmt.Printf("           apology: %s\n", a)
+		log.Printf("croesus-client: control channel on %s", ctl.Addr())
+	}
+	if *readyFile != "" {
+		info := fleet.ReadyInfo{Role: "client"}
+		if ctl != nil {
+			info.Control = ctl.Addr()
 		}
-		sumInit += r.InitialLatency
-		sumFinal += r.FinalLatency
-		corrections += r.Corrections
-		apologies += len(r.Apologies)
-		if r.SentToCloud {
-			sent++
-		}
-		if r.Shed {
-			shed++
+		if err := fleet.WriteReady(*readyFile, info); err != nil {
+			log.Fatalf("croesus-client: ready file: %v", err)
 		}
 	}
-	n := time.Duration(len(submitted))
-	fmt.Printf("\nsummary: %d frames | BU %.1f%% | %d shed by the cloud | mean initial %.1fms | mean final %.1fms | %d corrections | %d apologies\n",
-		len(submitted), 100*float64(sent)/float64(len(submitted)), shed,
-		float64(sumInit/n)/float64(time.Millisecond), float64(sumFinal/n)/float64(time.Millisecond),
-		corrections, apologies)
 
+	// SIGTERM/SIGINT stop the stream gracefully; the report and trace
+	// below still flush.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("croesus-client: signal — stopping the stream")
+		cs.Stop()
+	}()
+
+	log.Printf("croesus-client: streaming %d frames of %s to %s at %.1f fps", *frames, prof.Name, *edgeAddr, prof.FPS)
+	rep := cs.Run()
+	if ctl != nil {
+		ctl.Close()
+	}
+
+	printSummary(rep)
+	if *reportPath != "" {
+		if err := writeReport(*reportPath, rep); err != nil {
+			log.Fatalf("croesus-client: report: %v", err)
+		}
+	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -139,4 +169,48 @@ func main() {
 		}
 		log.Printf("croesus-client: wrote %s (%s)", *traceOut, obs.DescribeTrace(spans))
 	}
+}
+
+func printSummary(rep fleet.ClientReport) {
+	var sumInit, sumFinal time.Duration
+	var answered, sent, shed, corrections, apologies int
+	for _, r := range rep.Frames {
+		if r.Dropped {
+			continue
+		}
+		answered++
+		sumInit += r.InitialLatency
+		sumFinal += r.FinalLatency
+		corrections += r.Corrections
+		apologies += r.Apologies
+		if r.SentToCloud {
+			sent++
+		}
+		if r.Shed {
+			shed++
+		}
+	}
+	if answered == 0 {
+		fmt.Printf("\nsummary: %d frames submitted, none answered (%d dropped)\n", rep.Submitted, rep.Dropped)
+		return
+	}
+	n := time.Duration(answered)
+	fmt.Printf("\nsummary: %d frames (%d dropped) | BU %.1f%% | %d shed by the cloud | mean initial %.1fms | mean final %.1fms | %d corrections | %d apologies\n",
+		answered, rep.Dropped, 100*float64(sent)/float64(answered), shed,
+		float64(sumInit/n)/float64(time.Millisecond), float64(sumFinal/n)/float64(time.Millisecond),
+		corrections, apologies)
+}
+
+// writeReport atomically writes the stream report JSON (write then
+// rename, so a collector never reads a torn file).
+func writeReport(path string, rep fleet.ClientReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }

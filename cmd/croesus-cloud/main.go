@@ -8,6 +8,11 @@
 //
 //	croesus-cloud -addr :9402 -model 416 -timescale 1.0
 //	croesus-cloud -batch 8 -slo 80ms -pending 16 -cloud-speed 0.5
+//	croesus-cloud -control 127.0.0.1:0 -ready-file cloud.ready
+//
+// Under croesus-fleet the orchestrator passes -control (the fleet
+// control channel: report, quit) and -ready-file (bound-address
+// handshake for :0 listeners).
 package main
 
 import (
@@ -15,26 +20,30 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"croesus/internal/detect"
+	"croesus/internal/fleet"
 	"croesus/internal/obs"
 	"croesus/internal/tcpnet"
 )
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":9402", "listen address")
-		model      = flag.Int("model", 416, "cloud model size: 320, 416, or 608")
-		seed       = flag.Int64("seed", 42, "model seed (must match the edge/client seed)")
-		timeScale  = flag.Float64("timescale", 1.0, "inference latency multiplier (use <1 to speed up demos)")
-		maxBatch   = flag.Int("batch", 0, "batch size cap (0 = fleet default 8)")
-		slo        = flag.Duration("slo", 0, "batch flush deadline (0 = fleet default 60ms)")
-		pending    = flag.Int("pending", 0, "admission-control cap on outstanding validations (0 = 4×batch)")
-		cloudSpeed = flag.Float64("cloud-speed", 0, "cloud machine speed factor (0 = reference machine; lower = starved GPU)")
-		debugAddr  = flag.String("debug-addr", "", "serve /metrics (Prometheus text), /debug/vars (expvar), and /debug/pprof on this address (e.g. 127.0.0.1:9412)")
-		traceOut   = flag.String("trace", "", "record spans and write them as JSONL to this file at shutdown (merge with croesus-trace)")
+		addr        = flag.String("addr", ":9402", "listen address")
+		model       = flag.Int("model", 416, "cloud model size: 320, 416, or 608")
+		seed        = flag.Int64("seed", 42, "model seed (must match the edge/client seed)")
+		timeScale   = flag.Float64("timescale", 1.0, "inference latency multiplier (use <1 to speed up demos)")
+		maxBatch    = flag.Int("batch", 0, "batch size cap (0 = fleet default 8)")
+		slo         = flag.Duration("slo", 0, "batch flush deadline (0 = fleet default 60ms)")
+		pending     = flag.Int("pending", 0, "admission-control cap on outstanding validations (0 = 4×batch)")
+		cloudSpeed  = flag.Float64("cloud-speed", 0, "cloud machine speed factor (0 = reference machine; lower = starved GPU)")
+		controlAddr = flag.String("control", "", "serve the fleet control channel on this address (e.g. 127.0.0.1:0)")
+		readyFile   = flag.String("ready-file", "", "write a JSON ready file with the bound addresses once listening")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics (Prometheus text), /debug/vars (expvar), and /debug/pprof on this address (e.g. 127.0.0.1:9412)")
+		traceOut    = flag.String("trace", "", "record spans and write them as JSONL to this file at shutdown (merge with croesus-trace)")
 	)
 	flag.Parse()
 
@@ -43,12 +52,14 @@ func main() {
 		o = obs.New()
 		o.Tracer().SetProc("cloud")
 	}
+	debugBound := ""
+	var err error
 	if *debugAddr != "" {
-		bound, err := obs.ServeDebug(*debugAddr, o.Reg)
+		debugBound, err = obs.ServeDebug(*debugAddr, o.Reg)
 		if err != nil {
 			log.Fatalf("croesus-cloud: %v", err)
 		}
-		log.Printf("croesus-cloud: debug endpoint on http://%s/metrics", bound)
+		log.Printf("croesus-cloud: debug endpoint on http://%s/metrics", debugBound)
 	}
 	m := detect.YOLOv3Sim(detect.YOLOSize(*model), *seed)
 	srv, err := tcpnet.NewCloudServerWith(tcpnet.CloudConfig{
@@ -70,12 +81,41 @@ func main() {
 	}
 	log.Printf("croesus-cloud: %s serving on %s (timescale %.2f, batched + shedding validator)", m.Name(), bound, *timeScale)
 
+	// The fleet control channel: the orchestrator's quit op and a SIGTERM
+	// take the same graceful-shutdown path.
+	quit := make(chan struct{})
+	var once sync.Once
+	requestQuit := func() { once.Do(func() { close(quit) }) }
+	var ctl *fleet.ControlServer
+	if *controlAddr != "" {
+		ctl, err = fleet.ServeControl(*controlAddr, fleet.CloudHandlers(srv, requestQuit))
+		if err != nil {
+			log.Fatalf("croesus-cloud: control: %v", err)
+		}
+		log.Printf("croesus-cloud: control channel on %s", ctl.Addr())
+	}
+	if *readyFile != "" {
+		info := fleet.ReadyInfo{Role: "cloud", Addr: bound, Debug: debugBound}
+		if ctl != nil {
+			info.Control = ctl.Addr()
+		}
+		if err := fleet.WriteReady(*readyFile, info); err != nil {
+			log.Fatalf("croesus-cloud: ready file: %v", err)
+		}
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	select {
+	case <-sig:
+	case <-quit:
+	}
 	bs := srv.BatcherStats()
 	log.Printf("croesus-cloud: shutting down after %d frames (%d shed); %d batches, mean %.1f, max flush wait %s",
 		srv.Handled(), srv.Shed(), bs.Batches, bs.MeanBatch, bs.MaxFlushWait.Round(time.Millisecond))
+	if ctl != nil {
+		ctl.Close()
+	}
 	srv.Close()
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

@@ -1,0 +1,54 @@
+package collect
+
+import "croesus/internal/obs"
+
+// PruneOrphans drops spans whose parent chain is broken: a span (other
+// than a root, Parent == 0) whose parent span is missing from the
+// stream, transitively. A fleet crash produces exactly this shape — a
+// SIGKILLed process never flushes its span buffer, so its children on
+// other processes (a cloud request whose edge-side rpc.cloud span died
+// with the edge) reference parents that no longer exist, and every
+// causality or critical-path pass downstream would trip over them.
+// Returns the surviving spans (input order preserved) and the count
+// removed.
+func PruneOrphans(spans []obs.Span) ([]obs.Span, int) {
+	ids := make(map[uint64]bool, len(spans))
+	for _, s := range spans {
+		if s.ID != 0 {
+			ids[s.ID] = true
+		}
+	}
+	// Iterate to a fixpoint: removing an orphan can orphan its children.
+	// Anonymous spans (ID == 0) cannot be referenced, so their removal
+	// never cascades and the keep pass below handles them directly.
+	removed := map[uint64]bool{}
+	for {
+		changed := false
+		for _, s := range spans {
+			if s.ID == 0 || removed[s.ID] || s.Parent == 0 {
+				continue
+			}
+			if !ids[s.Parent] || removed[s.Parent] {
+				removed[s.ID] = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	kept := spans[:0:0]
+	pruned := 0
+	for _, s := range spans {
+		orphan := s.Parent != 0 && (!ids[s.Parent] || removed[s.Parent])
+		if !orphan && s.ID != 0 && removed[s.ID] {
+			orphan = true
+		}
+		if orphan {
+			pruned++
+			continue
+		}
+		kept = append(kept, s)
+	}
+	return kept, pruned
+}

@@ -1,0 +1,49 @@
+package collect
+
+import (
+	"testing"
+
+	"croesus/internal/obs"
+)
+
+// A SIGKILLed process loses its span tail; the spans on other processes
+// that referenced it must prune away, transitively, while intact trees
+// survive untouched.
+func TestPruneOrphans(t *testing.T) {
+	spans := []obs.Span{
+		{ID: 1, Name: "client.frame", Proc: "client"},
+		{ID: 2, Parent: 1, Name: "frame.root", Proc: "edge"},
+		{ID: 3, Parent: 2, Name: "rpc.cloud", Proc: "edge"},
+		{ID: 4, Parent: 3, Name: "cloud.request", Proc: "cloud"},
+		// The crashed edge's spans (IDs 10, 11) never flushed; the cloud
+		// kept its children.
+		{ID: 20, Parent: 10, Name: "cloud.request", Proc: "cloud"},
+		{ID: 21, Parent: 20, Name: "cloud.detect", Proc: "cloud"},
+		// An anonymous child of a missing parent prunes too.
+		{Parent: 11, Name: "cloud.detect", Proc: "cloud"},
+	}
+	kept, pruned := PruneOrphans(spans)
+	if pruned != 3 {
+		t.Fatalf("pruned %d spans, want 3", pruned)
+	}
+	if len(kept) != 4 {
+		t.Fatalf("kept %d spans, want 4", len(kept))
+	}
+	for _, s := range kept {
+		if s.ID == 20 || s.ID == 21 || (s.ID == 0 && s.Parent == 11) {
+			t.Errorf("orphan survived: %+v", s)
+		}
+	}
+	// The intact tree is untouched and in order.
+	for i, want := range []uint64{1, 2, 3, 4} {
+		if kept[i].ID != want {
+			t.Errorf("kept[%d].ID = %d, want %d", i, kept[i].ID, want)
+		}
+	}
+
+	// No orphans: nothing pruned, order preserved.
+	kept2, pruned2 := PruneOrphans(kept)
+	if pruned2 != 0 || len(kept2) != len(kept) {
+		t.Errorf("clean stream pruned %d spans", pruned2)
+	}
+}

@@ -38,6 +38,18 @@ type Incident struct {
 	Detail string        `json:"detail"`
 }
 
+// String renders the incident as one log line.
+func (i Incident) String() string {
+	s := i.Kind
+	if i.Proc != "" {
+		s += " proc=" + i.Proc
+	}
+	if i.Span != 0 {
+		s += fmt.Sprintf(" span=%d", i.Span)
+	}
+	return fmt.Sprintf("%s at=%s: %s", s, i.At, i.Detail)
+}
+
 // WatchdogConfig configures the streaming watchdog.
 type WatchdogConfig struct {
 	// SLO is the per-frame deadline judged against each trace's root

@@ -46,7 +46,25 @@ type Options struct {
 	// into its registry. Works identically on both transports; on sim the
 	// resulting trace is deterministic.
 	Obs *obs.Obs
+	// Shaped applies the modeled per-path latency/bandwidth shaping
+	// (transport.ShapedTCP: the sim's netsim link parameters as
+	// token-bucket pacing plus injected delay) to the TCP deployment, so
+	// its latencies are directly comparable to sim's. Ignored on sim.
+	Shaped bool
 }
+
+// Runner deploys one scenario on a transport RunWith does not build in —
+// registered by packages that provide additional deployments (the
+// multi-process fleet orchestrator), keyed by the Options.Transport name
+// they serve.
+type Runner func(s *Scenario, o Options) (*cluster.ClusterReport, error)
+
+var runners = map[string]Runner{}
+
+// RegisterRunner installs a runner for a transport name. RunWith
+// dispatches unknown transport names through this registry, so a main
+// package can add a deployment without this package importing it.
+func RegisterRunner(name string, r Runner) { runners[name] = r }
 
 // Runtime is a compiled scenario bound to a cluster, ready to Run. Tests
 // reach through Cluster for post-run inspection (Injector().
@@ -139,13 +157,21 @@ func RunWith(s *Scenario, o Options) (*cluster.ClusterReport, error) {
 		defer rt.Cluster.Close()
 		return rt.Run(), nil
 	case TransportTCP:
-		rt, err := NewObserved(s, vclock.NewScaledReal(o.TimeScale), transport.NewTCP(), o.Obs)
+		clk := vclock.NewScaledReal(o.TimeScale)
+		var tr transport.Transport = transport.NewTCP()
+		if o.Shaped {
+			tr = transport.NewShapedTCP(clk)
+		}
+		rt, err := NewObserved(s, clk, tr, o.Obs)
 		if err != nil {
 			return nil, err
 		}
 		defer rt.Cluster.Close()
 		return rt.Run(), nil
 	default:
+		if r, ok := runners[o.Transport]; ok {
+			return r(s, o)
+		}
 		return nil, fmt.Errorf("scenario: unknown transport %q (want %s or %s)", o.Transport, TransportSim, TransportTCP)
 	}
 }

@@ -303,6 +303,33 @@ func (s *Scenario) sortedTimeline() []Event {
 	return out
 }
 
+// SortedTimeline returns the timeline in clock order (stable on ties) —
+// the playback order every runner uses.
+func (s *Scenario) SortedTimeline() []Event { return s.sortedTimeline() }
+
+// Cameras returns every camera the scenario ever runs — topology cameras
+// first, then joins in timeline order — and the id → index map. The index
+// is the camera's deterministic identity: its default seed offset, and
+// its logical shard in sharded scenarios.
+func (s *Scenario) Cameras() ([]Camera, map[string]int, error) { return s.cameraSet() }
+
+// ProfileFor resolves a camera's video profile by its declared name.
+func ProfileFor(name string) (video.Profile, error) { return profileByName(name) }
+
+// CameraSeed is the deterministic seed for one of the scenario's cameras:
+// the camera's own, or the scenario seed (default 42) plus the camera's
+// index from Cameras.
+func (s *Scenario) CameraSeed(cam Camera, index int) int64 {
+	if cam.Seed != 0 {
+		return cam.Seed
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	return seed + int64(index)
+}
+
 // Validate checks the scenario for structural errors: unknown references,
 // bad knobs, events that need machinery the topology doesn't provide. A
 // valid scenario builds and runs.

@@ -191,10 +191,17 @@ func (c *Client) WaitFrame(idx int, timeout time.Duration) (*FrameResult, error)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.readErr != nil && c.results[idx].Final == nil {
+	// A dead connection wakes every waiter; a frame whose final reply
+	// never arrived (possibly never any reply — r is nil) reports the
+	// connection error, not a partial result.
+	r := c.results[idx]
+	if c.readErr != nil && (r == nil || r.Final == nil) {
 		return nil, c.readErr
 	}
-	return c.results[idx], nil
+	if r == nil {
+		return nil, fmt.Errorf("tcpnet: frame %d has no result", idx)
+	}
+	return r, nil
 }
 
 // Results returns a snapshot of all frame results.

@@ -8,6 +8,7 @@ import (
 
 	"croesus/internal/core"
 	"croesus/internal/detect"
+	"croesus/internal/netsim"
 	"croesus/internal/node"
 	"croesus/internal/obs"
 	"croesus/internal/transport"
@@ -53,6 +54,23 @@ type EdgeConfig struct {
 	Obs *obs.Obs
 	// EdgeID tags this server's metrics and spans (default "edge").
 	EdgeID string
+	// WALPath, when set, makes the edge durable: every transactional write
+	// is journaled write-ahead to this file, and on startup any existing
+	// log is replayed into the store first — so a SIGKILLed edge respawned
+	// on the same path recovers its committed state.
+	WALPath string
+	// WALNoSync skips the per-append fsync. Process-crash durability is
+	// unaffected (the bytes are in the page cache); only a machine crash
+	// could lose the tail.
+	WALNoSync bool
+	// ClientEdgeShape and EdgeCloudShape, when set, inject the modeled
+	// link profiles into the real hops: every ingested frame pays the
+	// client→edge link's time and every validation round trip the
+	// edge→cloud link's, shaped on the server's scaled clock — so a
+	// multi-process deployment's latency distribution is comparable
+	// like-for-like with the sim's. Nil leaves the hops at socket speed.
+	ClientEdgeShape *transport.Shaper
+	EdgeCloudShape  *transport.Shaper
 }
 
 // EdgeServer is the edge node of the real multi-process deployment. It is
@@ -72,13 +90,27 @@ type EdgeServer struct {
 	compute    *vclock.Semaphore
 	queueDepth *obs.Gauge // shared across sessions: one compute pool, one gauge
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
-	served int64
-	shed   int64
-	wg     sync.WaitGroup
+	// clientPath and cloudPath are the server's modeled network seams,
+	// shared across every session exactly as a fleet edge shares its
+	// links: the pipeline charges ingest/return hops on clientPath, and
+	// validation round trips ship over cloudPath. Unshaped they cost
+	// nothing, but they remain the severing point for orchestrator-driven
+	// per-path blackholes (the fleet's link_fault).
+	clientPath *transport.ShapedPath
+	cloudPath  *transport.ShapedPath
+
+	walB     *walBackend // nil without WALPath
+	replayed int         // WAL records replayed at startup
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	draining bool
+	served   int64
+	shed     int64
+	dropped  int64 // frames refused by drain or a severed client path
+	wg       sync.WaitGroup
 }
 
 // NewEdgeServer builds an edge server; the data stack is the shared
@@ -113,10 +145,24 @@ func NewEdgeServer(cfg EdgeConfig) (*EdgeServer, error) {
 		compute: vclock.NewSemaphore(clk, cfg.Slots),
 		conns:   make(map[net.Conn]struct{}),
 	}
+	s.clientPath = transport.NewShapedPath(transport.Null{}, cfg.ClientEdgeShape, clk)
+	s.cloudPath = transport.NewShapedPath(transport.Null{}, cfg.EdgeCloudShape, clk)
 	if cfg.Obs != nil {
 		s.queueDepth = cfg.Obs.Gauge(obs.MetricEdgeQueueDepth, obs.Tags("edge", cfg.EdgeID))
 		s.asm.Mgr.Tracer = cfg.Obs.Tracer()
 		s.asm.Mgr.TraceTags = obs.Tags("edge", cfg.EdgeID, "protocol", cfg.Protocol.String())
+	}
+	if cfg.WALPath != "" {
+		b, replayed, err := openWALBackend(cfg.WALPath, cfg.WALNoSync, s.asm.Store, cfg.Logf)
+		if err != nil {
+			return nil, fmt.Errorf("tcpnet: wal: %w", err)
+		}
+		s.walB = b
+		s.replayed = replayed
+		// Every section write and every retraction restore journals
+		// write-ahead; a respawned edge replays to committed state.
+		s.asm.Mgr.DB = b
+		s.asm.Mgr.RestoreDB = b
 	}
 	if cfg.Graph != nil && !cfg.Graph.Canonical2Stage() {
 		// One standalone edge: the graph validates against a fleet of 1,
@@ -326,16 +372,19 @@ func (s *EdgeServer) serveClient(conn net.Conn) {
 }
 
 // buildPipeline assembles the shared Figure-1 pipeline for one client
-// connection. The network paths are transport.Null: the client socket
-// already delivered the frame and the cloud socket carries validation
-// traffic, so the pipeline must not charge modeled links on top.
+// connection. The client socket already delivered the frame and the cloud
+// socket carries validation traffic, so the pipeline must not charge real
+// links on top: ClientEdge is the server's shared shaped seam (zero-cost
+// unshaped, the modeled link's time when shaping is on) and EdgeCloud is
+// Null — the cloud hop is shaped inside the session's Validate, where the
+// real round trip happens.
 func (s *EdgeServer) buildPipeline(sess *session) (*core.Pipeline, error) {
 	cfg := core.Config{
 		Clock:         s.clk,
 		Mode:          core.ModeCroesus,
 		EdgeModel:     s.cfg.EdgeModel,
 		EdgeCompute:   s.compute,
-		ClientEdge:    transport.Null{},
+		ClientEdge:    s.clientPath,
 		EdgeCloud:     transport.Null{},
 		MinConfidence: s.cfg.MinConfidence,
 		ThetaL:        s.cfg.ThetaL,
@@ -403,7 +452,7 @@ func (ss *session) echoCtx(f *video.Frame) *wire.TraceCtx {
 // request returns ok == false and the section commits with the labels
 // assumed correct.
 func (ss *session) graphValidate(f *video.Frame, section int) ([]detect.Detection, time.Duration, bool) {
-	if ss.cloud == nil {
+	if ss.cloud == nil || ss.srv.cloudPath.IsDown() {
 		return nil, 0, false
 	}
 	ss.mu.Lock()
@@ -417,6 +466,7 @@ func (ss *session) graphValidate(f *video.Frame, section int) ([]detect.Detectio
 		tc = &wire.TraceCtx{Trace: ctx.Trace, Parent: rpcSpanID(ctx.Trace, f.Index, section), Section: section}
 	}
 	t0 := ss.srv.clk.Now()
+	ss.srv.cloudPath.Send(ss.srv.clk, f.SizeBytes) // modeled uplink (shaped runs only)
 	resp, err := ss.cloud.validate(&wire.CloudRequest{
 		FrameIndex: f.Index,
 		Frame:      *f,
@@ -424,6 +474,9 @@ func (ss *session) graphValidate(f *video.Frame, section int) ([]detect.Detectio
 		Section:    section,
 		Trace:      tc,
 	})
+	if err == nil {
+		ss.srv.cloudPath.Send(ss.srv.clk, netsim.LabelReturnBytes) // modeled downlink
+	}
 	if tc != nil {
 		o.EmitSpan(obs.Span{
 			Name: obs.SpanRPCCloud, Tags: obs.Tags("edge", ss.srv.cfg.EdgeID),
@@ -444,6 +497,19 @@ func (ss *session) graphValidate(f *video.Frame, section int) ([]detect.Detectio
 // handleFrame runs one frame through the pipeline. The initial reply is
 // sent by the OnInitial hook at the initial commit; the final reply here.
 func (ss *session) handleFrame(f *wire.Frame) {
+	// A draining edge (edge_retire) or a severed client path (link fault)
+	// refuses the frame: no replies leave, and the client accounts the
+	// frame as dropped when its wait times out.
+	srv := ss.srv
+	srv.mu.Lock()
+	refusing := srv.draining
+	srv.mu.Unlock()
+	if refusing || srv.clientPath.IsDown() {
+		srv.mu.Lock()
+		srv.dropped++
+		srv.mu.Unlock()
+		return
+	}
 	frame := f.Frame
 	ss.mu.Lock()
 	ss.started[frame.Index] = time.Now()
@@ -511,7 +577,7 @@ func (ss *session) onInitial(f *video.Frame, out *core.FrameOutcome) {
 // connection — finalizes locally, immediately: availability over
 // freshness, with the initial commit already answered.
 func (ss *session) Validate(req core.ValidationRequest) core.ValidationResult {
-	if ss.cloud == nil {
+	if ss.cloud == nil || ss.srv.cloudPath.IsDown() {
 		return core.ValidationResult{Status: core.ValidationLost}
 	}
 	ss.mu.Lock()
@@ -524,6 +590,7 @@ func (ss *session) Validate(req core.ValidationRequest) core.ValidationResult {
 	}
 	start := time.Now()
 	t0 := ss.srv.clk.Now()
+	ss.srv.cloudPath.Send(ss.srv.clk, req.Frame.SizeBytes) // modeled uplink (shaped runs only)
 	resp, err := ss.cloud.validate(&wire.CloudRequest{
 		FrameIndex: req.Frame.Index,
 		Frame:      *req.Frame,
@@ -531,6 +598,9 @@ func (ss *session) Validate(req core.ValidationRequest) core.ValidationResult {
 		Margin:     req.Margin,
 		Trace:      tc,
 	})
+	if err == nil {
+		ss.srv.cloudPath.Send(ss.srv.clk, netsim.LabelReturnBytes) // modeled downlink
+	}
 	if tc != nil {
 		o.EmitSpan(obs.Span{
 			Name: obs.SpanRPCCloud, Tags: obs.Tags("edge", ss.srv.cfg.EdgeID),
@@ -578,7 +648,7 @@ func (s *EdgeServer) Shed() int64 {
 	return s.shed
 }
 
-// Close stops the listener and all connections.
+// Close stops the listener and all connections, then closes the WAL.
 func (s *EdgeServer) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -590,5 +660,8 @@ func (s *EdgeServer) Close() error {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	if s.walB != nil {
+		return s.walB.close()
+	}
 	return nil
 }

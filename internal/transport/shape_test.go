@@ -1,0 +1,168 @@
+package transport
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"croesus/internal/netsim"
+	"croesus/internal/vclock"
+)
+
+// The token bucket is deterministic given a sequence of (now, n) arrivals:
+// an uncontended message pays exactly propagation + transmission, and
+// messages arriving faster than the link drains queue behind each other.
+func TestShaperDeterministicDelays(t *testing.T) {
+	// 10ms propagation, 1 MB/s → 1ms per 1000 bytes.
+	s := NewShaper(10*time.Millisecond, 1e6)
+
+	if d := s.Delay(0, 1000); d != 11*time.Millisecond {
+		t.Fatalf("first message: got %v, want 11ms (10ms prop + 1ms tx)", d)
+	}
+	// Arrives while the first is still serializing (link free at t=1ms):
+	// waits 1ms, transmits 2ms, plus propagation.
+	if d := s.Delay(0, 2000); d != 13*time.Millisecond {
+		t.Fatalf("queued message: got %v, want 13ms (1ms wait + 2ms tx + 10ms prop)", d)
+	}
+	// Arrives after the link drained (free at t=3ms): uncontended again.
+	if d := s.Delay(20*time.Millisecond, 1000); d != 11*time.Millisecond {
+		t.Fatalf("late message: got %v, want 11ms", d)
+	}
+}
+
+func TestShaperBurstQueuesSequentially(t *testing.T) {
+	s := NewShaper(0, 1e6) // no propagation: delays are pure serialization
+	// Five 1000-byte messages all arriving at t=0 drain at 1ms spacing.
+	for i := 0; i < 5; i++ {
+		want := time.Duration(i+1) * time.Millisecond
+		if d := s.Delay(0, 1000); d != want {
+			t.Fatalf("burst message %d: got %v, want %v", i, d, want)
+		}
+	}
+}
+
+func TestShaperInfiniteBandwidth(t *testing.T) {
+	s := NewShaper(7*time.Millisecond, 0)
+	for i := 0; i < 3; i++ {
+		if d := s.Delay(0, 1<<20); d != 7*time.Millisecond {
+			t.Fatalf("message %d: got %v, want pure propagation 7ms", i, d)
+		}
+	}
+}
+
+// At low utilization the shaper's delay is exactly the modeled link's
+// transfer time — the property that makes shaped-TCP comparable to sim.
+func TestShaperMatchesLinkTransferTime(t *testing.T) {
+	for _, l := range []*netsim.Link{
+		netsim.ClientEdgeLink(),
+		netsim.EdgeCloudCrossCountry(),
+		netsim.EdgeCloudSameSite(),
+		netsim.EdgeEdgeLink(),
+	} {
+		for _, n := range []int{0, 1000, 32 << 10, 1 << 20} {
+			s := ShaperFromLink(l) // fresh: no queued state
+			if got, want := s.TransferTime(n), l.TransferTime(n); got != want {
+				t.Errorf("%s TransferTime(%d): shaper %v, link %v", l.Name, n, got, want)
+			}
+			if got, want := s.Delay(0, n), l.TransferTime(n); got != want {
+				t.Errorf("%s Delay(uncontended, %d): shaper %v, link %v", l.Name, n, got, want)
+			}
+		}
+	}
+}
+
+func TestParseLinkSpec(t *testing.T) {
+	s, err := ParseLinkSpec("60ms:2.5e6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.propagation != 60*time.Millisecond || s.bandwidth != 2.5e6 {
+		t.Fatalf("got prop=%v bw=%g", s.propagation, s.bandwidth)
+	}
+	if s, err := ParseLinkSpec(""); err != nil || s != nil {
+		t.Fatalf("empty spec: got %v, %v; want nil, nil", s, err)
+	}
+	if spec := FormatLinkSpec(netsim.EdgeCloudCrossCountry()); spec == "" {
+		t.Fatal("empty formatted spec")
+	} else if rt, err := ParseLinkSpec(spec); err != nil || rt == nil {
+		t.Fatalf("round trip %q: %v", spec, err)
+	}
+	for _, bad := range []string{"60ms", "x:1e6", "60ms:x", "-1ms:5"} {
+		if _, err := ParseLinkSpec(bad); err == nil {
+			t.Errorf("spec %q: want error", bad)
+		}
+	}
+}
+
+// A shaped path over the Null inner path (the multi-process node's
+// pipeline seam) injects the full modeled delay.
+func TestShapedPathOverNull(t *testing.T) {
+	clk := vclock.NewReal()
+	p := NewShapedPath(Null{}, NewShaper(20*time.Millisecond, 0), clk)
+	t0 := clk.Now()
+	p.Send(clk, 1000)
+	if got := clk.Now() - t0; got < 18*time.Millisecond {
+		t.Fatalf("shaped send took %v, want ≥ ~20ms", got)
+	}
+	if b, m := p.Traffic(); b != 1000 || m != 1 {
+		t.Fatalf("traffic: %d bytes, %d messages", b, m)
+	}
+	// Severing the wrapper blackholes without touching the inner path.
+	p.SetShapedDown(true)
+	p.Send(clk, 1000)
+	if p.Drops() != 1 {
+		t.Fatalf("drops: %d, want 1", p.Drops())
+	}
+	p.SetShapedDown(false)
+	if p.IsDown() {
+		t.Fatal("path still down after heal")
+	}
+}
+
+// Loopback tolerance test (satellite): shaped sends over real sockets land
+// within tolerance of the modeled netsim.Link transfer time. Sequential
+// sends keep the serializer uncontended, so the model predicts exactly
+// TransferTime; the socket round trip and sleep granularity add a little.
+func TestShapedTCPLatencyWithinTolerance(t *testing.T) {
+	clk := vclock.NewReal()
+	tr := NewShapedTCP(clk)
+	if err := tr.Provision([]EdgeProfile{{ID: "e0"}}); err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	const n = 32 << 10
+	link := netsim.ClientEdgeLink()
+	want := link.TransferTime(n)
+	path := tr.ClientEdge(0)
+	if got := path.TransferTime(n); got != want {
+		t.Fatalf("shaped TransferTime %v, want modeled %v", got, want)
+	}
+
+	samples := make([]time.Duration, 0, 30)
+	for i := 0; i < 30; i++ {
+		t0 := clk.Now()
+		path.Send(clk, n)
+		samples = append(samples, clk.Now()-t0)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	p50 := samples[len(samples)/2]
+	p99 := samples[len(samples)-1]
+
+	// The shaped send can never be meaningfully faster than the model, and
+	// scheduling overhead should stay small on loopback.
+	lo, hi := want-time.Millisecond, want+15*time.Millisecond
+	if p50 < lo || p50 > hi {
+		t.Errorf("p50 %v outside [%v, %v] of modeled %v", p50, lo, hi, want)
+	}
+	if p99 > want+40*time.Millisecond {
+		t.Errorf("p99 %v beyond modeled %v + 40ms", p99, want)
+	}
+
+	if b, _ := path.Traffic(); b != int64(30*n) {
+		t.Errorf("shaped path bytes %d, want %d", b, 30*n)
+	}
+	if st := tr.Stats(); st.Bytes != int64(30*n) {
+		t.Errorf("transport bytes %d, want %d (real sockets carried the traffic)", st.Bytes, 30*n)
+	}
+}

@@ -130,14 +130,19 @@ func (t *TCP) serve(conn net.Conn) {
 	defer t.wg.Done()
 	defer conn.Close()
 	wc := wire.NewConn(conn)
+	// The switch never retains a payload beyond one iteration, so the
+	// envelope, its padding buffer, and the ack are all reused — the
+	// receive half of the zero-garbage hop.
+	var env wire.Envelope
+	ack := wire.Envelope{Kind: wire.KindAck, Ack: &wire.Ack{}}
 	for {
-		env, err := wc.Recv()
-		if err != nil {
+		if err := wc.RecvReuse(&env); err != nil {
 			return
 		}
 		switch env.Kind {
 		case wire.KindPayload:
-			if err := wc.Send(&wire.Envelope{Kind: wire.KindAck, Ack: &wire.Ack{Seq: env.Payload.Seq}}); err != nil {
+			ack.Ack.Seq = env.Payload.Seq
+			if err := wc.Send(&ack); err != nil {
 				return
 			}
 		case wire.KindBye:
@@ -249,6 +254,13 @@ type tcpPath struct {
 	tr   *TCP
 
 	sendMu sync.Mutex // serializes envelope writes on the connection
+	// Send-side reuse, guarded by sendMu: the envelope, payload, and
+	// padding buffer live for the path's lifetime instead of being
+	// reallocated per message. gob encodes synchronously inside Send and
+	// nothing downstream retains them.
+	sendEnv wire.Envelope
+	sendPay wire.Payload
+	padBuf  []byte
 
 	mu       sync.Mutex
 	conn     *wire.Conn
@@ -376,9 +388,13 @@ func (p *tcpPath) carry(n int, tc *wire.TraceCtx) bool {
 	if o != nil && oclk != nil && tc != nil {
 		t0 = oclk.Now()
 	}
-	env := &wire.Envelope{Kind: wire.KindPayload, Payload: &wire.Payload{Path: p.name, Seq: seq, Padding: make([]byte, n), Trace: tc}}
 	p.sendMu.Lock()
-	err := conn.Send(env)
+	if cap(p.padBuf) < n {
+		p.padBuf = make([]byte, n)
+	}
+	p.sendPay = wire.Payload{Path: p.name, Seq: seq, Padding: p.padBuf[:n], Trace: tc}
+	p.sendEnv = wire.Envelope{Kind: wire.KindPayload, Payload: &p.sendPay}
+	err := conn.Send(&p.sendEnv)
 	p.sendMu.Unlock()
 	if err != nil {
 		p.mu.Lock()

@@ -27,6 +27,8 @@ const (
 	KindPayload       Kind = "payload"        // fleet transport: opaque path traffic
 	KindAck           Kind = "ack"            // fleet transport: delivery acknowledgement
 	KindBye           Kind = "bye"            // either direction: drain and close
+	KindControl       Kind = "control"        // orchestrator → node: control-channel command
+	KindControlReply  Kind = "control-reply"  // node → orchestrator: command result
 )
 
 // TraceCtx is the compact trace context a wire message carries so spans
@@ -120,6 +122,40 @@ type Ack struct {
 	Trace *TraceCtx // echo of the payload's context
 }
 
+// Control is one orchestrator command on a node's control channel
+// (croesus-fleet → croesus-edge/-cloud/-client). Op selects the command;
+// the remaining fields are its operands — unused ones stay zero. The
+// defined ops:
+//
+//	ping        liveness probe; Data echoes the node role
+//	report      Data returns the node's progress report as JSON
+//	drain       edge: finish in-flight frames, refuse new ones (edge_retire)
+//	link        edge: blackhole (Down=true) or heal the named Path
+//	            ("cloud" or "client") — a per-path link fault
+//	rate        client: multiply the capture rate by Rate (workload_shift)
+//	redial      client: reconnect to the edge at Addr (migrate_camera)
+//	checkpoint  edge: compact the WAL to a snapshot of current state
+//	verify      edge: replay the WAL into a fresh store and compare with
+//	            the live store — the fleet's VerifyDurability
+//	quit        shut down gracefully (flush traces and reports first)
+type Control struct {
+	Seq  uint64
+	Op   string
+	Path string
+	Addr string
+	Down bool
+	Rate float64
+}
+
+// ControlReply answers the Control with the same Seq. Data carries the
+// op-specific result as JSON (reports, verification verdicts).
+type ControlReply struct {
+	Seq  uint64
+	OK   bool
+	Err  string
+	Data []byte
+}
+
 // Envelope is the single on-wire message type.
 type Envelope struct {
 	Kind          Kind
@@ -130,6 +166,8 @@ type Envelope struct {
 	CloudResponse *CloudResponse
 	Payload       *Payload
 	Ack           *Ack
+	Control       *Control
+	ControlReply  *ControlReply
 }
 
 // Validate checks that the payload matches the kind.
@@ -150,6 +188,10 @@ func (e *Envelope) Validate() error {
 		ok = e.Payload != nil
 	case KindAck:
 		ok = e.Ack != nil
+	case KindControl:
+		ok = e.Control != nil
+	case KindControlReply:
+		ok = e.ControlReply != nil
 	case KindBye:
 		ok = true
 	default:
@@ -196,6 +238,29 @@ func (c *Conn) Recv() (*Envelope, error) {
 		return nil, err
 	}
 	return &e, nil
+}
+
+// RecvReuse reads and validates one envelope into e, reusing e.Payload and
+// its Padding backing array across calls — gob decodes a slice into
+// existing capacity, so a receive loop that processes homogeneous payload
+// traffic allocates nothing per message. Only for callers that do NOT
+// retain the envelope or its padding beyond one iteration (the transport
+// switch); anything that keeps frame payloads must use Recv.
+func (c *Conn) RecvReuse(e *Envelope) error {
+	pay := e.Payload
+	*e = Envelope{}
+	if pay != nil {
+		pad := pay.Padding
+		*pay = Payload{}
+		if pad != nil {
+			pay.Padding = pad[:0]
+		}
+		e.Payload = pay
+	}
+	if err := c.dec.Decode(e); err != nil {
+		return err
+	}
+	return e.Validate()
 }
 
 // Close closes the underlying stream.

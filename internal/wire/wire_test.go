@@ -59,6 +59,7 @@ var allKinds = []Kind{
 	KindFrame, KindInitialReply, KindFinalReply,
 	KindCloudRequest, KindCloudResponse,
 	KindPayload, KindAck, KindBye,
+	KindControl, KindControlReply,
 }
 
 // TestAllKindsRoundTrip sends one envelope of every message type —
@@ -132,6 +133,24 @@ func TestAllKindsRoundTrip(t *testing.T) {
 			check: func(t *testing.T, got *Envelope) {
 				if got.Ack.Seq != 99 {
 					t.Errorf("ack seq lost: %+v", got.Ack)
+				}
+			},
+		},
+		{
+			env: &Envelope{Kind: KindControl, Control: &Control{Seq: 7, Op: "link", Path: "cloud", Addr: "127.0.0.1:9", Down: true, Rate: 1.5}},
+			check: func(t *testing.T, got *Envelope) {
+				c := got.Control
+				if c.Seq != 7 || c.Op != "link" || c.Path != "cloud" || c.Addr != "127.0.0.1:9" || !c.Down || c.Rate != 1.5 {
+					t.Errorf("control fields lost: %+v", c)
+				}
+			},
+		},
+		{
+			env: &Envelope{Kind: KindControlReply, ControlReply: &ControlReply{Seq: 7, OK: true, Err: "e", Data: []byte(`{"x":1}`)}},
+			check: func(t *testing.T, got *Envelope) {
+				r := got.ControlReply
+				if r.Seq != 7 || !r.OK || r.Err != "e" || string(r.Data) != `{"x":1}` {
+					t.Errorf("control reply fields lost: %+v", r)
 				}
 			},
 		},
@@ -272,5 +291,53 @@ func TestRecvEOF(t *testing.T) {
 	c := NewConn(pipeRWC{Reader: &bytes.Buffer{}, Writer: &bytes.Buffer{}})
 	if _, err := c.Recv(); !errors.Is(err, io.EOF) {
 		t.Errorf("Recv on empty stream = %v, want EOF", err)
+	}
+}
+
+// RecvReuse must decode a mixed payload stream correctly while reusing the
+// envelope and padding buffer, with no state leaking between messages.
+func TestRecvReuse(t *testing.T) {
+	a, b := pair()
+	sent := []*Envelope{
+		{Kind: KindPayload, Payload: &Payload{Path: "p1", Seq: 1, Padding: make([]byte, 1<<10), Trace: &TraceCtx{Trace: 9, Parent: 8}}},
+		{Kind: KindPayload, Payload: &Payload{Path: "p2", Seq: 2, Padding: make([]byte, 64)}},
+		{Kind: KindPayload, Payload: &Payload{Path: "p3", Seq: 3}},
+		{Kind: KindControl, Control: &Control{Seq: 4, Op: "ping"}},
+		{Kind: KindBye},
+	}
+	for _, e := range sent {
+		if err := a.Send(e); err != nil {
+			t.Fatalf("Send(%s): %v", e.Kind, err)
+		}
+	}
+	var env Envelope
+	var firstPad []byte
+	for i, want := range sent {
+		if err := b.RecvReuse(&env); err != nil {
+			t.Fatalf("RecvReuse #%d: %v", i, err)
+		}
+		if env.Kind != want.Kind {
+			t.Fatalf("#%d kind = %s, want %s", i, env.Kind, want.Kind)
+		}
+		if want.Kind != KindPayload {
+			continue
+		}
+		p := env.Payload
+		if p.Path != want.Payload.Path || p.Seq != want.Payload.Seq || len(p.Padding) != len(want.Payload.Padding) {
+			t.Fatalf("#%d payload = path %q seq %d pad %d, want %+v", i, p.Path, p.Seq, len(p.Padding), want.Payload)
+		}
+		if i == 0 {
+			firstPad = p.Padding[:cap(p.Padding)]
+			if p.Trace == nil || p.Trace.Trace != 9 {
+				t.Fatalf("#%d trace lost: %+v", i, p.Trace)
+			}
+		} else {
+			if p.Trace != nil {
+				t.Fatalf("#%d stale trace leaked: %+v", i, p.Trace)
+			}
+			if len(p.Padding) > 0 && &p.Padding[0] != &firstPad[0] {
+				t.Errorf("#%d padding buffer not reused", i)
+			}
+		}
 	}
 }
