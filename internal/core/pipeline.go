@@ -687,7 +687,7 @@ func (p *Pipeline) runInitials(f *video.Frame, ctx obs.SpanContext, dets []detec
 	}
 	clk := p.cfg.Clock
 	start := clk.Now()
-	var pending []pendingTxn
+	pending := make([]pendingTxn, 0, len(dets))
 	for i, d := range dets {
 		t := p.cfg.Source.TxnFor(f.Index, d)
 		if t == nil {
@@ -729,14 +729,18 @@ func (p *Pipeline) runFinals(f *video.Frame, ctx obs.SpanContext, pending []pend
 	}
 	clk := p.cfg.Clock
 	start := clk.Now()
-	byEdgeIdx := make(map[int]LabelMatch, len(matches))
-	for _, m := range matches {
-		if m.EdgeIdx >= 0 {
-			byEdgeIdx[m.EdgeIdx] = m
+	// Matches are few per frame, so a backward scan (preserving the
+	// previous map's last-entry-wins semantics) beats building a map.
+	matchFor := func(idx int) (LabelMatch, bool) {
+		for i := len(matches) - 1; i >= 0; i-- {
+			if matches[i].EdgeIdx == idx {
+				return matches[i], true
+			}
 		}
+		return LabelMatch{}, false
 	}
 	for _, pt := range pending {
-		m, ok := byEdgeIdx[pt.edgeIdx]
+		m, ok := matchFor(pt.edgeIdx)
 		if !ok {
 			m = LabelMatch{Case: MatchAssumed, EdgeIdx: pt.edgeIdx}
 		}
@@ -749,7 +753,7 @@ func (p *Pipeline) runFinals(f *video.Frame, ctx obs.SpanContext, pending []pend
 			out.FinalErrors++
 		}
 		p.harvestTiming(pt.inst, out)
-		out.Apologies = append(out.Apologies, pt.inst.Apologies()...)
+		out.Apologies = append(out.Apologies, pt.inst.TakeApologies()...)
 	}
 	// Labels the edge missed entirely: trigger initial+final now (§3.3).
 	for _, m := range matches {
@@ -775,7 +779,7 @@ func (p *Pipeline) runFinals(f *video.Frame, ctx obs.SpanContext, pending []pend
 			out.FinalErrors++
 		}
 		p.harvestTiming(inst, out)
-		out.Apologies = append(out.Apologies, inst.Apologies()...)
+		out.Apologies = append(out.Apologies, inst.TakeApologies()...)
 	}
 	end := clk.Now()
 	out.Breakdown.FinalTxn = end - start
@@ -794,8 +798,18 @@ func assumedMatches(dets []detect.Detection) []LabelMatch {
 }
 
 func filterConfidence(dets []detect.Detection, min float64) []detect.Detection {
+	// Fast path: nothing filtered (MinConfidence 0 is the common config) —
+	// return the input without copying.
+	keep := 0
+	for keep < len(dets) && dets[keep].Confidence >= min {
+		keep++
+	}
+	if keep == len(dets) {
+		return dets
+	}
 	out := make([]detect.Detection, 0, len(dets))
-	for _, d := range dets {
+	out = append(out, dets[:keep]...)
+	for _, d := range dets[keep:] {
 		if d.Confidence >= min {
 			out = append(out, d)
 		}

@@ -1,17 +1,27 @@
 package core
 
 import (
-	"fmt"
-	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
 	"croesus/internal/detect"
+	"croesus/internal/randsrc"
 	"croesus/internal/store"
 	"croesus/internal/txn"
 	"croesus/internal/vclock"
 	"croesus/internal/workload"
 )
+
+// correctedReason builds the apology text without fmt (one allocation —
+// the string itself); output is byte-identical to
+// fmt.Sprintf("label corrected to %q", label).
+func correctedReason(label string) string {
+	var buf [64]byte
+	b := append(buf[:0], "label corrected to "...)
+	b = strconv.AppendQuote(b, label)
+	return string(b)
+}
 
 // chargeOp models the CPU cost of one database operation.
 func (s *WorkloadSource) chargeOp() {
@@ -79,25 +89,41 @@ func (s *WorkloadSource) SetKeys(k workload.KeyChooser) {
 // different pipeline modes observe identical workloads.
 func (s *WorkloadSource) TxnFor(frameIndex int, d detect.Detection) *txn.Txn {
 	s.mu.Lock()
-	rng := rand.New(rand.NewSource(s.Seed ^ int64(frameIndex)*1_000_003 ^ int64(d.Box.X*8191)<<16 ^ int64(d.Box.Y*131071)))
-	ops := workload.DetectionOps(rng, s.Keys, s.NumOps)
+	r := randsrc.Get(s.Seed ^ int64(frameIndex)*1_000_003 ^ int64(d.Box.X*8191)<<16 ^ int64(d.Box.Y*131071))
+	ops := workload.DetectionOps(r.Rand, s.Keys, s.NumOps)
+	r.Put()
 	plan := s.plan
 	s.mu.Unlock()
 
-	var rw txn.RWSet
+	nW := 0
 	for _, op := range ops {
 		if op.Kind == workload.OpInsert {
-			rw.Writes = append(rw.Writes, op.Key)
-		} else {
-			rw.Reads = append(rw.Reads, op.Key)
+			nW++
 		}
 	}
+	// One backing array carries both halves of the declared set.
+	keys := make([]string, 0, len(ops))
+	for _, op := range ops {
+		if op.Kind == workload.OpInsert {
+			keys = append(keys, op.Key)
+		}
+	}
+	for _, op := range ops {
+		if op.Kind != workload.OpInsert {
+			keys = append(keys, op.Key)
+		}
+	}
+	var rw txn.RWSet
+	rw.Writes = keys[:nW:nW]
+	rw.Reads = keys[nW:]
+	rw.Precompute()
 	initial := func(c *txn.Ctx) error {
 		in, _ := c.In().(InitialInput)
+		v := store.StringValue(in.Trigger.Label)
 		for _, op := range ops {
 			s.chargeOp()
 			if op.Kind == workload.OpInsert {
-				c.Put(op.Key, store.StringValue(in.Trigger.Label))
+				c.Put(op.Key, v)
 			} else {
 				c.Get(op.Key)
 			}
@@ -110,13 +136,14 @@ func (s *WorkloadSource) TxnFor(frameIndex int, d detect.Detection) *txn.Txn {
 		case MatchCorrected, MatchNew:
 			// Overwrite the inserted items with the corrected label
 			// and apologize to the client.
+			v := store.StringValue(fin.Cloud.Label)
 			for _, op := range ops {
 				if op.Kind == workload.OpInsert {
 					s.chargeOp()
-					c.Put(op.Key, store.StringValue(fin.Cloud.Label))
+					c.Put(op.Key, v)
 				}
 			}
-			c.Apologize(fmt.Sprintf("label corrected to %q", fin.Cloud.Label))
+			c.Apologize(correctedReason(fin.Cloud.Label))
 		case MatchErroneous:
 			// False detection: retract the work of every committed
 			// section — a cascading retraction at this boundary.
@@ -128,7 +155,7 @@ func (s *WorkloadSource) TxnFor(frameIndex int, d detect.Detection) *txn.Txn {
 		return nil
 	}
 	t := &txn.Txn{
-		Name:      fmt.Sprintf("detect-%s-f%d", d.Label, frameIndex),
+		Name:      "detect-" + d.Label + "-f" + strconv.Itoa(frameIndex),
 		InitialRW: rw,
 		FinalRW:   rw,
 		Initial:   initial,

@@ -20,9 +20,11 @@ package detect
 import (
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 	"time"
 
+	"croesus/internal/randsrc"
 	"croesus/internal/video"
 )
 
@@ -104,6 +106,9 @@ type SimParams struct {
 // SimModel is a deterministic simulated detector.
 type SimModel struct {
 	p SimParams
+	// fpLabels caches the sorted confusion keys randomLabel would rebuild
+	// per false positive — the confusion map is fixed at construction.
+	fpLabels []string
 }
 
 // NewSim returns a simulated model with the given parameters.
@@ -117,7 +122,13 @@ func NewSim(p SimParams) *SimModel {
 	if p.ConfFalse.Std == 0 {
 		p.ConfFalse = ConfDist{0.25, 0.10}
 	}
-	return &SimModel{p: p}
+	m := &SimModel{p: p}
+	m.fpLabels = make([]string, 0, len(p.Confusion))
+	for k := range p.Confusion {
+		m.fpLabels = append(m.fpLabels, k)
+	}
+	sort.Strings(m.fpLabels)
+	return m
 }
 
 // Name returns the model name.
@@ -127,9 +138,11 @@ func (m *SimModel) Name() string { return m.p.ModelName }
 func (m *SimModel) Params() SimParams { return m.p }
 
 // frameRNG derives a deterministic RNG for (seed, frame index) using a
-// splitmix64-style scramble, so detections don't depend on call order.
-func frameRNG(seed int64, frameIdx int) *rand.Rand {
-	return rand.New(rand.NewSource(int64(scramble(uint64(seed) ^ (uint64(frameIdx)+1)*0x9E3779B97F4A7C15))))
+// splitmix64-style scramble, so detections don't depend on call order. The
+// RNG is pooled and its seed expansion memoized (randsrc); the caller must
+// Put it back when done.
+func frameRNG(seed int64, frameIdx int) *randsrc.R {
+	return randsrc.Get(int64(scramble(uint64(seed) ^ (uint64(frameIdx)+1)*0x9E3779B97F4A7C15)))
 }
 
 func scramble(z uint64) uint64 {
@@ -151,7 +164,9 @@ func trackUniform(seed int64, trackID int, salt uint64) float64 {
 // Detect runs the simulated model over one frame.
 func (m *SimModel) Detect(f *video.Frame) Result {
 	p := m.p
-	rng := frameRNG(p.Seed, f.Index)
+	fr := frameRNG(p.Seed, f.Index)
+	defer fr.Put()
+	rng := fr.Rand
 
 	dets := make([]Detection, 0, len(f.Objects)+2)
 	for _, obj := range f.Objects {
@@ -164,9 +179,11 @@ func (m *SimModel) Detect(f *video.Frame) Result {
 		// track: object-level confusions persist across frames.
 		mis := clamp01(p.MislabelBase + p.MislabelSlope*obj.Difficulty)
 		if trackUniform(p.Seed, obj.TrackID, 0x1) < mis {
-			classRNG := rand.New(rand.NewSource(int64(scramble(uint64(p.Seed) ^ uint64(obj.TrackID)*0xA24BAED4963EE407))))
+			classR := randsrc.Get(int64(scramble(uint64(p.Seed) ^ uint64(obj.TrackID)*0xA24BAED4963EE407)))
+			label := confuse(obj.Class, p.Confusion, classR.Rand)
+			classR.Put()
 			dets = append(dets, Detection{
-				Label:      confuse(obj.Class, p.Confusion, classRNG),
+				Label:      label,
 				Confidence: p.ConfWrong.sample(rng),
 				Box:        box,
 				TrackID:    obj.TrackID,
@@ -187,18 +204,27 @@ func (m *SimModel) Detect(f *video.Frame) Result {
 	for n := poisson(rng, p.FalsePosPerFrame); n > 0; n-- {
 		s := 0.03 + rng.Float64()*0.1
 		dets = append(dets, Detection{
-			Label:      randomLabel(p.Confusion, rng),
+			Label:      pickLabel(m.fpLabels, rng),
 			Confidence: p.ConfFalse.sample(rng),
 			Box:        video.Rect{X: rng.Float64() * (1 - s), Y: rng.Float64() * (1 - s), W: s, H: s}.Clamp(),
 		})
 	}
 
 	// Stable presentation order: by confidence descending, then box.
-	sort.Slice(dets, func(i, j int) bool {
-		if dets[i].Confidence != dets[j].Confidence {
-			return dets[i].Confidence > dets[j].Confidence
+	slices.SortFunc(dets, func(a, b Detection) int {
+		if a.Confidence != b.Confidence {
+			if a.Confidence > b.Confidence {
+				return -1
+			}
+			return 1
 		}
-		return dets[i].Box.X < dets[j].Box.X
+		if a.Box.X != b.Box.X {
+			if a.Box.X < b.Box.X {
+				return -1
+			}
+			return 1
+		}
+		return 0
 	})
 
 	return Result{
@@ -237,10 +263,16 @@ func randomLabel(confusion map[string][]string, rng *rand.Rand) string {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	if len(keys) == 0 {
+	return pickLabel(keys, rng)
+}
+
+// pickLabel draws a false-positive label from the pre-sorted confusion
+// keys, consuming exactly the randomness randomLabel would.
+func pickLabel(sortedKeys []string, rng *rand.Rand) string {
+	if len(sortedKeys) == 0 {
 		return "clutter"
 	}
-	return keys[rng.Intn(len(keys))]
+	return sortedKeys[rng.Intn(len(sortedKeys))]
 }
 
 func poisson(rng *rand.Rand, mean float64) int {

@@ -248,7 +248,9 @@ func TestDetectionInvariantsProperty(t *testing.T) {
 }
 
 func TestPoisson(t *testing.T) {
-	rng := frameRNG(1, 1)
+	fr := frameRNG(1, 1)
+	defer fr.Put()
+	rng := fr.Rand
 	var sum int
 	const n = 5000
 	for i := 0; i < n; i++ {

@@ -6,11 +6,17 @@
 //
 // Blocking waiters park on vclock gates, so the same manager works under
 // both simulated and real time.
+//
+// The manager sits on the per-frame hot path (every detection transaction
+// acquires and releases its whole read/write set), so the bookkeeping is
+// allocation-conscious: per-key state uses small slices instead of maps,
+// key-lock records are pooled across keys, and promotion fires gates in
+// place — Gate.Fire never blocks — rather than collecting them.
 package lock
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -48,12 +54,32 @@ type waiter struct {
 	gate  vclock.Gate
 }
 
+// holder records one current holder of a key lock; at is when it acquired
+// the lock, for hold-time accounting. Holders are kept in a small slice —
+// the common case is exactly one — and order is not significant.
+type holder struct {
+	owner Owner
+	mode  Mode
+	at    time.Duration
+}
+
 type keyLock struct {
-	holders map[Owner]Mode
+	holders []holder
 	queue   []waiter
-	// acquiredAt records when each current holder got the lock, for
-	// hold-time accounting.
-	acquiredAt map[Owner]time.Duration
+}
+
+// klPool recycles keyLock records (and their holder/queue backing arrays)
+// across keys: a detection transaction locks and fully unlocks ~6 keys, so
+// without pooling every transaction allocates a fresh record per key.
+var klPool = sync.Pool{New: func() any { return new(keyLock) }}
+
+func (kl *keyLock) findHolder(owner Owner) int {
+	for i := range kl.holders {
+		if kl.holders[i].owner == owner {
+			return i
+		}
+	}
+	return -1
 }
 
 // Manager is a table of key locks.
@@ -78,7 +104,7 @@ func NewManager(clk vclock.Clock) *Manager {
 func (m *Manager) keyLock(key string) *keyLock {
 	kl, ok := m.locks[key]
 	if !ok {
-		kl = &keyLock{holders: make(map[Owner]Mode), acquiredAt: make(map[Owner]time.Duration)}
+		kl = klPool.Get().(*keyLock)
 		m.locks[key] = kl
 	}
 	return kl
@@ -88,14 +114,15 @@ func (m *Manager) keyLock(key string) *keyLock {
 // holders. Re-entrant: a holder may re-take its own lock (upgrades from S to
 // X require being the only holder).
 func (kl *keyLock) compatible(owner Owner, mode Mode) bool {
-	for o, held := range kl.holders {
-		if o == owner {
-			if mode == Exclusive && held == Shared && len(kl.holders) > 1 {
+	for i := range kl.holders {
+		h := &kl.holders[i]
+		if h.owner == owner {
+			if mode == Exclusive && h.mode == Shared && len(kl.holders) > 1 {
 				return false // upgrade blocked by other sharers
 			}
 			continue
 		}
-		if mode == Exclusive || held == Exclusive {
+		if mode == Exclusive || h.mode == Exclusive {
 			return false
 		}
 	}
@@ -104,12 +131,13 @@ func (kl *keyLock) compatible(owner Owner, mode Mode) bool {
 
 // grantLocked records the grant. Callers hold m.mu.
 func (m *Manager) grantLocked(kl *keyLock, owner Owner, mode Mode) {
-	if held, ok := kl.holders[owner]; !ok || (held == Shared && mode == Exclusive) {
-		kl.holders[owner] = mode
+	if i := kl.findHolder(owner); i >= 0 {
+		if kl.holders[i].mode == Shared && mode == Exclusive {
+			kl.holders[i].mode = Exclusive
+		}
+		return
 	}
-	if _, ok := kl.acquiredAt[owner]; !ok {
-		kl.acquiredAt[owner] = m.clk.Now()
-	}
+	kl.holders = append(kl.holders, holder{owner: owner, mode: mode, at: m.clk.Now()})
 }
 
 // TryAcquire attempts to lock key in mode without waiting; it reports
@@ -120,6 +148,9 @@ func (m *Manager) TryAcquire(owner Owner, key string, mode Mode) bool {
 	defer m.mu.Unlock()
 	kl := m.keyLock(key)
 	if len(kl.queue) > 0 || !kl.compatible(owner, mode) {
+		if len(kl.holders) == 0 && len(kl.queue) == 0 {
+			m.dropLocked(key, kl)
+		}
 		return false
 	}
 	m.grantLocked(kl, owner, mode)
@@ -143,6 +174,15 @@ func (m *Manager) Acquire(owner Owner, key string, mode Mode) {
 	m.recordWait(m.clk.Now() - start)
 }
 
+// dropLocked removes an empty key lock from the table and recycles the
+// record. Callers hold m.mu; kl must have no holders and no waiters.
+func (m *Manager) dropLocked(key string, kl *keyLock) {
+	delete(m.locks, key)
+	kl.holders = kl.holders[:0]
+	kl.queue = kl.queue[:0]
+	klPool.Put(kl)
+}
+
 // Release unlocks key for owner and hands the lock to eligible waiters.
 func (m *Manager) Release(owner Owner, key string) {
 	m.mu.Lock()
@@ -151,39 +191,42 @@ func (m *Manager) Release(owner Owner, key string) {
 		m.mu.Unlock()
 		panic(fmt.Sprintf("lock: release of unheld key %q by owner %d", key, owner))
 	}
-	if _, held := kl.holders[owner]; !held {
+	i := kl.findHolder(owner)
+	if i < 0 {
 		m.mu.Unlock()
 		panic(fmt.Sprintf("lock: release of unheld key %q by owner %d", key, owner))
 	}
-	start := kl.acquiredAt[owner]
-	delete(kl.holders, owner)
-	delete(kl.acquiredAt, owner)
-	granted := m.promoteLocked(kl)
+	start := kl.holders[i].at
+	last := len(kl.holders) - 1
+	kl.holders[i] = kl.holders[last]
+	kl.holders = kl.holders[:last]
+	m.promoteLocked(kl)
 	if len(kl.holders) == 0 && len(kl.queue) == 0 {
-		delete(m.locks, key)
+		m.dropLocked(key, kl)
 	}
 	m.mu.Unlock()
 
 	m.recordHold(m.clk.Now() - start)
-	for _, g := range granted {
-		g.Fire()
-	}
 }
 
 // promoteLocked grants queued waiters in FIFO order as long as they are
-// compatible; it returns the gates to fire. Callers hold m.mu.
-func (m *Manager) promoteLocked(kl *keyLock) []vclock.Gate {
-	var fired []vclock.Gate
-	for len(kl.queue) > 0 {
-		w := kl.queue[0]
+// compatible, firing their gates in place (Fire never blocks, so holding
+// m.mu across it is safe and avoids collecting the gates). Callers hold
+// m.mu.
+func (m *Manager) promoteLocked(kl *keyLock) {
+	n := 0
+	for n < len(kl.queue) {
+		w := kl.queue[n]
 		if !kl.compatible(w.owner, w.mode) {
 			break
 		}
 		m.grantLocked(kl, w.owner, w.mode)
-		kl.queue = kl.queue[1:]
-		fired = append(fired, w.gate)
+		n++
+		w.gate.Fire()
 	}
-	return fired
+	if n > 0 {
+		kl.queue = kl.queue[:copy(kl.queue, kl.queue[n:])]
+	}
 }
 
 // AcquireAll locks every request, blocking as needed. Requests are sorted by
@@ -193,9 +236,21 @@ func (m *Manager) promoteLocked(kl *keyLock) []vclock.Gate {
 // Callers must not hold other locks across the call (protocols that do,
 // like MS-SR holding locks until the final commit, use AcquireAllWaitDie).
 func (m *Manager) AcquireAll(owner Owner, reqs []Request) {
-	for _, r := range Normalize(reqs) {
+	for _, r := range normalized(reqs) {
 		m.Acquire(owner, r.Key, r.Mode)
 	}
+}
+
+// normalized returns reqs when it is already in Normalize's canonical form
+// (keys strictly ascending — the txn layer caches normalized sets, so this
+// is the hot case and allocates nothing) and a normalized copy otherwise.
+func normalized(reqs []Request) []Request {
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i-1].Key >= reqs[i].Key {
+			return Normalize(reqs)
+		}
+	}
+	return reqs
 }
 
 // AcquireAllWaitDie acquires every request under the wait-die discipline:
@@ -208,7 +263,7 @@ func (m *Manager) AcquireAll(owner Owner, reqs []Request) {
 // MS-SR situation (locks held from the initial commit to the final commit
 // while new transactions keep arriving).
 func (m *Manager) AcquireAllWaitDie(owner Owner, reqs []Request) bool {
-	norm := Normalize(reqs)
+	norm := normalized(reqs)
 	for i, r := range norm {
 		if !m.acquireWaitDie(owner, r.Key, r.Mode) {
 			for j := 0; j < i; j++ {
@@ -232,7 +287,8 @@ func (m *Manager) acquireWaitDie(owner Owner, key string, mode Mode) bool {
 	}
 	// The requester would wait for the current holders and everyone
 	// queued ahead; it may only do so if it is older than all of them.
-	for h := range kl.holders {
+	for i := range kl.holders {
+		h := kl.holders[i].owner
 		if h != owner && h <= owner {
 			m.mu.Unlock()
 			return false
@@ -257,7 +313,7 @@ func (m *Manager) acquireWaitDie(owner Owner, key string, mode Mode) bool {
 // it releases everything it acquired and reports false — the no-wait abort
 // policy of Algorithm 1.
 func (m *Manager) TryAcquireAll(owner Owner, reqs []Request) bool {
-	norm := Normalize(reqs)
+	norm := normalized(reqs)
 	for i, r := range norm {
 		if !m.TryAcquire(owner, r.Key, r.Mode) {
 			for j := 0; j < i; j++ {
@@ -271,7 +327,7 @@ func (m *Manager) TryAcquireAll(owner Owner, reqs []Request) bool {
 
 // ReleaseAll releases the given requests' keys (deduplicated).
 func (m *Manager) ReleaseAll(owner Owner, reqs []Request) {
-	for _, r := range Normalize(reqs) {
+	for _, r := range normalized(reqs) {
 		m.Release(owner, r.Key)
 	}
 }
@@ -337,26 +393,46 @@ func (m *Manager) Held(owner Owner, key string) bool {
 	if !ok {
 		return false
 	}
-	_, held := kl.holders[owner]
-	return held
+	return kl.findHolder(owner) >= 0
 }
 
 // Normalize sorts requests by key and merges duplicates; a key requested in
-// both modes is kept Exclusive.
+// both modes is kept Exclusive. The input is not modified.
 func Normalize(reqs []Request) []Request {
 	if len(reqs) == 0 {
 		return nil
 	}
-	byKey := make(map[string]Mode, len(reqs))
-	for _, r := range reqs {
-		if cur, ok := byKey[r.Key]; !ok || (cur == Shared && r.Mode == Exclusive) {
-			byKey[r.Key] = r.Mode
+	out := make([]Request, len(reqs))
+	copy(out, reqs)
+	return NormalizeInPlace(out)
+}
+
+// NormalizeInPlace is Normalize without the defensive copy: it sorts and
+// dedupes reqs in its own backing array and returns the shortened slice.
+// Hot callers that own their request slice (the txn layer's cached
+// read/write sets) use this to avoid one allocation per transaction.
+func NormalizeInPlace(reqs []Request) []Request {
+	if len(reqs) == 0 {
+		return nil
+	}
+	// Sort by key; within a key, Exclusive before Shared so the dedupe
+	// pass below (keep-first) merges duplicate keys to Exclusive.
+	slices.SortFunc(reqs, func(a, b Request) int {
+		if a.Key != b.Key {
+			if a.Key < b.Key {
+				return -1
+			}
+			return 1
 		}
+		return int(b.Mode) - int(a.Mode)
+	})
+	w := 1
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Key == reqs[w-1].Key {
+			continue
+		}
+		reqs[w] = reqs[i]
+		w++
 	}
-	out := make([]Request, 0, len(byKey))
-	for k, mode := range byKey {
-		out = append(out, Request{Key: k, Mode: mode})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
-	return out
+	return reqs[:w]
 }

@@ -6,6 +6,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"time"
 
@@ -76,7 +77,12 @@ func MatchBoxes(preds, refs []detect.Detection, minIoU float64) MatchResult {
 		p, r int
 		iou  float64
 	}
-	var cands []cand
+	// The matcher runs per frame in reports and in the pipeline's final
+	// stage, over a handful of detections — keep the candidate list and
+	// the used-sets off the heap in that regime (stack scratch + bitmask)
+	// and size the result slices exactly.
+	var candsBuf [24]cand
+	cands := candsBuf[:0]
 	for i, p := range preds {
 		for j, r := range refs {
 			if iou := p.Box.IoU(r.Box); iou >= minIoU {
@@ -84,34 +90,82 @@ func MatchBoxes(preds, refs []detect.Detection, minIoU float64) MatchResult {
 			}
 		}
 	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].iou != cands[b].iou {
-			return cands[a].iou > cands[b].iou
+	slices.SortFunc(cands, func(a, b cand) int {
+		if a.iou != b.iou {
+			if a.iou > b.iou {
+				return -1
+			}
+			return 1
 		}
-		if cands[a].p != cands[b].p {
-			return cands[a].p < cands[b].p
+		if a.p != b.p {
+			return a.p - b.p
 		}
-		return cands[a].r < cands[b].r
+		return a.r - b.r
 	})
-	usedP := make([]bool, len(preds))
-	usedR := make([]bool, len(refs))
+	big := len(preds) > 64 || len(refs) > 64
+	var maskP, maskR uint64
+	var usedP, usedR []bool
+	if big {
+		usedP = make([]bool, len(preds))
+		usedR = make([]bool, len(refs))
+	}
+	used := func(i, j int) bool {
+		if big {
+			return usedP[i] || usedR[j]
+		}
+		return maskP&(1<<uint(i)) != 0 || maskR&(1<<uint(j)) != 0
+	}
+	markUsed := func(i, j int) {
+		if big {
+			usedP[i], usedR[j] = true, true
+		} else {
+			maskP |= 1 << uint(i)
+			maskR |= 1 << uint(j)
+		}
+	}
 	var res MatchResult
+	matched := 0
 	for _, c := range cands {
-		if usedP[c.p] || usedR[c.r] {
+		if used(c.p, c.r) {
 			continue
 		}
-		usedP[c.p] = true
-		usedR[c.r] = true
+		markUsed(c.p, c.r)
+		if res.Matches == nil {
+			n := len(preds)
+			if len(refs) < n {
+				n = len(refs)
+			}
+			res.Matches = make([]Match, 0, n)
+		}
 		res.Matches = append(res.Matches, Match{Pred: c.p, Ref: c.r, IoU: c.iou})
+		matched++
 	}
-	for i := range preds {
-		if !usedP[i] {
-			res.UnmatchedPred = append(res.UnmatchedPred, i)
+	predUsed := func(i int) bool {
+		if big {
+			return usedP[i]
+		}
+		return maskP&(1<<uint(i)) != 0
+	}
+	refUsed := func(j int) bool {
+		if big {
+			return usedR[j]
+		}
+		return maskR&(1<<uint(j)) != 0
+	}
+	if n := len(preds) - matched; n > 0 {
+		res.UnmatchedPred = make([]int, 0, n)
+		for i := range preds {
+			if !predUsed(i) {
+				res.UnmatchedPred = append(res.UnmatchedPred, i)
+			}
 		}
 	}
-	for j := range refs {
-		if !usedR[j] {
-			res.UnmatchedRef = append(res.UnmatchedRef, j)
+	if n := len(refs) - matched; n > 0 {
+		res.UnmatchedRef = make([]int, 0, n)
+		for j := range refs {
+			if !refUsed(j) {
+				res.UnmatchedRef = append(res.UnmatchedRef, j)
+			}
 		}
 	}
 	return res
@@ -121,8 +175,11 @@ func MatchBoxes(preds, refs []detect.Detection, minIoU float64) MatchResult {
 // per the paper's evaluation: a prediction is correct when it overlaps a
 // same-class reference detection by at least minIoU.
 func ScoreClass(preds, refs []detect.Detection, class string, minIoU float64) Counts {
-	p := filterClass(preds, class)
-	r := filterClass(refs, class)
+	// The filtered views only feed MatchBoxes (which retains nothing), so
+	// small inputs filter into stack scratch instead of fresh slices.
+	var pBuf, rBuf [32]detect.Detection
+	p := filterClassInto(pBuf[:0], preds, class)
+	r := filterClassInto(rBuf[:0], refs, class)
 	m := MatchBoxes(p, r, minIoU)
 	return Counts{
 		TP: len(m.Matches),
@@ -131,8 +188,7 @@ func ScoreClass(preds, refs []detect.Detection, class string, minIoU float64) Co
 	}
 }
 
-func filterClass(dets []detect.Detection, class string) []detect.Detection {
-	out := make([]detect.Detection, 0, len(dets))
+func filterClassInto(out, dets []detect.Detection, class string) []detect.Detection {
 	for _, d := range dets {
 		if d.Label == class {
 			out = append(out, d)

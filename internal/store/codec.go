@@ -3,6 +3,7 @@ package store
 import (
 	"encoding/binary"
 	"strconv"
+	"sync"
 )
 
 // Int64Value encodes an integer as a Value (used for counters and token
@@ -28,7 +29,57 @@ func StringValue(s string) Value { return Value(s) }
 // AsString decodes a string Value.
 func AsString(v Value) string { return string(v) }
 
-// ItoaKey builds "prefix:n" keys without fmt in hot paths.
+// keyCache interns "prefix:n" strings per prefix in dense tables. Workload
+// choosers draw millions of keys from small, fixed keyspaces, so building
+// the string per draw (an Itoa plus a concat) dominates their allocation
+// profile; the table pays each string once.
+var (
+	keyCacheMu sync.RWMutex
+	keyCache   = make(map[string][]string)
+)
+
+// keyCacheMax bounds the per-prefix table (bigger indices fall back to
+// direct construction).
+const keyCacheMax = 1 << 16
+
+// ItoaKey builds "prefix:n" keys without fmt in hot paths. Keys with small
+// n are interned, so repeated draws from a bounded keyspace allocate
+// nothing.
 func ItoaKey(prefix string, n int) string {
-	return prefix + ":" + strconv.Itoa(n)
+	if n < 0 || n >= keyCacheMax {
+		return prefix + ":" + strconv.Itoa(n)
+	}
+	keyCacheMu.RLock()
+	tab := keyCache[prefix]
+	if n < len(tab) {
+		s := tab[n]
+		keyCacheMu.RUnlock()
+		return s
+	}
+	keyCacheMu.RUnlock()
+
+	keyCacheMu.Lock()
+	tab = keyCache[prefix]
+	if n >= len(tab) {
+		size := len(tab) * 2
+		if size < 1024 {
+			size = 1024
+		}
+		for size <= n {
+			size *= 2
+		}
+		if size > keyCacheMax {
+			size = keyCacheMax
+		}
+		grown := make([]string, size)
+		copy(grown, tab)
+		for i := len(tab); i < size; i++ {
+			grown[i] = prefix + ":" + strconv.Itoa(i)
+		}
+		keyCache[prefix] = grown
+		tab = grown
+	}
+	s := tab[n]
+	keyCacheMu.Unlock()
+	return s
 }

@@ -231,19 +231,35 @@ func (t *TCP) switchAddr() string {
 }
 
 // ackWaiter is one in-flight message awaiting its switch acknowledgement.
+// Waiters are pooled: the channel is 1-buffered and release sends a token
+// instead of closing, so a waiter is reusable once its token has been
+// consumed. Ownership discipline replaces the old sync.Once — release is
+// only ever called by the goroutine that removed the waiter from the
+// path's pending map (under p.mu), so it runs at most once per flight.
 type ackWaiter struct {
-	ch   chan struct{}
-	ok   bool // set before ch closes when the ack arrived
-	on   *wire.Conn
-	once sync.Once
+	ch chan struct{}
+	ok bool // set before the token is sent when the ack arrived
+	on *wire.Conn
 }
 
 func (w *ackWaiter) release(ok bool) {
-	w.once.Do(func() {
-		w.ok = ok
-		close(w.ch)
-	})
+	w.ok = ok
+	w.ch <- struct{}{} // buffered: never blocks
 }
+
+var waiterPool = sync.Pool{New: func() any {
+	return &ackWaiter{ch: make(chan struct{}, 1)}
+}}
+
+// ackTimers pools the per-send timeout timer; a pooled timer is always
+// stopped and drained.
+var ackTimers = sync.Pool{New: func() any {
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
+	}
+	return t
+}}
 
 // tcpPath is one directed fleet path over its own switch connection,
 // dialed lazily and torn down by faults. linkDown (SetDown — a link fault)
@@ -373,7 +389,8 @@ func (p *tcpPath) carry(n int, tc *wire.TraceCtx) bool {
 		}
 	}
 
-	w := &ackWaiter{ch: make(chan struct{}), on: conn}
+	w := waiterPool.Get().(*ackWaiter)
+	w.ok, w.on = false, conn
 	p.mu.Lock()
 	p.seq++
 	seq := p.seq
@@ -397,24 +414,29 @@ func (p *tcpPath) carry(n int, tc *wire.TraceCtx) bool {
 	err := conn.Send(&p.sendEnv)
 	p.sendMu.Unlock()
 	if err != nil {
-		p.mu.Lock()
-		delete(p.pending, seq)
-		p.mu.Unlock()
+		p.abandon(seq, w)
 		p.teardown(conn)
 		p.drop()
 		return false
 	}
 
+	tm := ackTimers.Get().(*time.Timer)
+	tm.Reset(ackTimeout)
 	select {
 	case <-w.ch:
-	case <-time.After(ackTimeout):
-		p.mu.Lock()
-		delete(p.pending, seq)
-		p.mu.Unlock()
+		if !tm.Stop() {
+			<-tm.C
+		}
+		ackTimers.Put(tm)
+	case <-tm.C:
+		ackTimers.Put(tm)
+		p.abandon(seq, w)
 		p.drop()
 		return false
 	}
-	if !w.ok {
+	delivered := w.ok
+	waiterPool.Put(w)
+	if !delivered {
 		p.drop()
 		return false
 	}
@@ -434,6 +456,23 @@ func (p *tcpPath) carry(n int, tc *wire.TraceCtx) bool {
 		})
 	}
 	return true
+}
+
+// abandon removes an in-flight waiter after a local failure (send error,
+// ack timeout) and returns it to the pool. If the ack reader removed it
+// first, a release token is in flight or already buffered — consume it so
+// the waiter is pooled clean.
+func (p *tcpPath) abandon(seq uint64, w *ackWaiter) {
+	p.mu.Lock()
+	_, present := p.pending[seq]
+	if present {
+		delete(p.pending, seq)
+	}
+	p.mu.Unlock()
+	if !present {
+		<-w.ch
+	}
+	waiterPool.Put(w)
 }
 
 // dial connects the path to the switch and starts its ack reader. Returns
@@ -464,10 +503,13 @@ func (p *tcpPath) dial() *wire.Conn {
 }
 
 // readLoop matches switch acks to waiting sends. On connection error the
-// path's in-flight messages on this connection are drained as lost.
+// path's in-flight messages on this connection are drained as lost. The
+// envelope and its Ack are reused across iterations (RecvReuse), so the
+// ack stream allocates nothing per message.
 func (p *tcpPath) readLoop(wc *wire.Conn) {
+	var env wire.Envelope
 	for {
-		env, err := wc.Recv()
+		err := wc.RecvReuse(&env)
 		if err != nil {
 			p.mu.Lock()
 			if p.conn == wc {

@@ -38,8 +38,7 @@ type CC interface {
 // ExecSection runs the stage's body with a fresh section context. It
 // performs no locking and no state transition — the caller is the protocol.
 func (m *Manager) ExecSection(in *Instance, stage Stage) error {
-	ctx := &Ctx{inst: in, stage: stage}
-	return in.T.SectionAt(int(stage)).Body(ctx)
+	return in.T.SectionAt(int(stage)).Body(in.sectionCtx(stage))
 }
 
 // MarkInitialCommitted moves a pending instance to initial-committed and

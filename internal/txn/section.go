@@ -113,6 +113,9 @@ func (t *Txn) AllRW() RWSet {
 // laterRequests returns the normalized union of the lock requests of
 // sections from..last — the locks MS-SR must add before the first commit.
 func (t *Txn) laterRequests(from int) []lock.Request {
+	if from == t.LastSection() {
+		return t.SectionAt(from).RW.Requests()
+	}
 	var all []lock.Request
 	for k := from; k < t.NumSections(); k++ {
 		all = append(all, t.SectionAt(k).RW.Requests()...)
@@ -235,7 +238,7 @@ func (p *MSSR) RunSection(in *Instance, k int) error {
 	if err := sectionInOrder(in, k); err != nil {
 		return err
 	}
-	ctx := &Ctx{inst: in, stage: Stage(k)}
+	ctx := in.sectionCtx(Stage(k))
 	err := in.T.SectionAt(k).Body(ctx)
 	// The multi-stage contract: an initially-committed transaction commits
 	// every remaining boundary. A section error here is the programmer's
@@ -288,7 +291,7 @@ func (p *MSSR) runFirst(in *Instance) error {
 	}
 	in.AddLockWait(p.M.now() - tAcq)
 
-	ctx := &Ctx{inst: in, stage: StageInitial}
+	ctx := in.sectionCtx(StageInitial)
 	if err := in.T.SectionAt(0).Body(ctx); err != nil {
 		if p.Policy == Wait {
 			p.M.Locks.ReleaseAll(owner, allReqs)
@@ -352,7 +355,7 @@ func (p *MSIA) RunSection(in *Instance, k int) error {
 	tAcq := p.M.now()
 	p.M.Locks.AcquireAll(owner, reqs)
 	in.AddLockWait(p.M.now() - tAcq)
-	ctx := &Ctx{inst: in, stage: Stage(k)}
+	ctx := in.sectionCtx(Stage(k))
 	err := in.T.SectionAt(k).Body(ctx)
 	retracted := p.M.MarkSectionCommitted(in, k)
 	p.M.Locks.ReleaseAll(owner, reqs)
@@ -372,7 +375,7 @@ func (p *MSIA) runFirst(in *Instance) error {
 	tAcq := p.M.now()
 	p.M.Locks.AcquireAll(owner, reqs)
 	in.AddLockWait(p.M.now() - tAcq)
-	ctx := &Ctx{inst: in, stage: StageInitial}
+	ctx := in.sectionCtx(StageInitial)
 	err := in.T.SectionAt(0).Body(ctx)
 	if err != nil {
 		p.M.Locks.ReleaseAll(owner, reqs)

@@ -103,11 +103,32 @@ var ErrRetracted = errors.New("txn: retracted")
 type RWSet struct {
 	Reads  []string
 	Writes []string
+
+	// norm, when non-nil, caches the normalized lock requests (see
+	// Precompute). Copies of the set share the cache, so a template
+	// built once per trigger pays for normalization once, not once per
+	// section run.
+	norm []lock.Request
+}
+
+// Precompute builds and caches the normalized lock requests. Call it after
+// the Reads/Writes slices are final; later mutation of the set is not
+// reflected in Requests.
+func (s *RWSet) Precompute() {
+	s.norm = s.buildRequests()
 }
 
 // Requests converts the declared set to lock requests (reads shared, writes
-// exclusive; a key in both is exclusive).
+// exclusive; a key in both is exclusive). With a Precompute'd set this is a
+// cache read and allocates nothing.
 func (s RWSet) Requests() []lock.Request {
+	if s.norm != nil {
+		return s.norm
+	}
+	return s.buildRequests()
+}
+
+func (s RWSet) buildRequests() []lock.Request {
 	reqs := make([]lock.Request, 0, len(s.Reads)+len(s.Writes))
 	for _, k := range s.Reads {
 		reqs = append(reqs, lock.Request{Key: k, Mode: lock.Shared})
@@ -115,7 +136,7 @@ func (s RWSet) Requests() []lock.Request {
 	for _, k := range s.Writes {
 		reqs = append(reqs, lock.Request{Key: k, Mode: lock.Exclusive})
 	}
-	return lock.Normalize(reqs)
+	return lock.NormalizeInPlace(reqs)
 }
 
 // Union merges two sets.
@@ -205,12 +226,18 @@ type Instance struct {
 
 	mu         sync.Mutex
 	state      State
-	undo       []undoRec   // all writes, every section, in write order
-	dependents []*Instance // instances that read/overwrote our writes
+	undo       []undoRec    // all writes, every section, in write order
+	dependents []*Instance  // instances that read/overwrote our writes
+	depArr     [4]*Instance // inline backing for the first few dependents
 	apologies  []Apology
 	heldReqs   []lock.Request // MS-SR: locks held from the first to the last commit
 	sectionIn  map[int]any    // middle-section inputs (0 and last alias InitialIn/FinalIn)
 	committed  int            // section boundaries committed so far
+
+	// sctx is the reusable section context handed to section bodies: an
+	// instance's sections run strictly one after another, so a single
+	// scratch Ctx serves them all without a per-section allocation.
+	sctx Ctx
 
 	// lockWait and twoPC accumulate instrumented time spent inside this
 	// instance's sections waiting for locks and in 2PC fan-out rounds.
@@ -264,13 +291,36 @@ func (in *Instance) State() State {
 func (in *Instance) Apologies() []Apology {
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	if len(in.apologies) == 0 {
+		return nil
+	}
 	return append([]Apology{}, in.apologies...)
+}
+
+// TakeApologies returns the apologies issued so far and clears them from
+// the instance, avoiding the defensive copy of Apologies. For callers that
+// harvest each instance exactly once (the classic pipeline's final stage).
+func (in *Instance) TakeApologies() []Apology {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	a := in.apologies
+	in.apologies = nil
+	return a
 }
 
 func (in *Instance) setState(s State) {
 	in.mu.Lock()
 	in.state = s
 	in.mu.Unlock()
+}
+
+// sectionCtx returns the instance's reusable section context, retargeted
+// at stage. Sections of one instance never run concurrently (the protocols
+// commit boundaries in order), so reuse is safe.
+func (in *Instance) sectionCtx(stage Stage) *Ctx {
+	in.sctx.inst = in
+	in.sctx.stage = stage
+	return &in.sctx
 }
 
 // finishFinal moves an initially-committed instance to final-committed.
@@ -502,6 +552,9 @@ func (m *Manager) noteAccess(inst *Instance, key string) {
 			return
 		}
 	}
+	if last.dependents == nil {
+		last.dependents = last.depArr[:0]
+	}
 	last.dependents = append(last.dependents, inst)
 	last.mu.Unlock()
 }
@@ -517,6 +570,9 @@ func (m *Manager) writeWithUndo(inst *Instance, key string, v store.Value, del b
 	m.mu.Unlock()
 
 	inst.mu.Lock()
+	if inst.undo == nil {
+		inst.undo = make([]undoRec, 0, 8)
+	}
 	inst.undo = append(inst.undo, undoRec{seq: seq, key: key, prev: prev, existed: existed})
 	inst.mu.Unlock()
 

@@ -12,12 +12,25 @@
 // every participant is blocked on a gate with no pending timer, the
 // simulation has deadlocked and Wait panics with a diagnostic instead of
 // hanging.
+//
+// # Determinism contract
+//
+// The scheduler's timer queue is sharded (NewSimSharded) so that concurrent
+// sleepers contend on 1/K of a lock instead of one global mutex, and Now is
+// a single atomic load. Shards advance between global all-blocked barriers:
+// virtual time moves only when every participant is blocked, and the next
+// wakeup is always the globally minimal (at, seq) event across all shards —
+// exactly the order a single heap would produce. Replay is therefore
+// byte-identical regardless of GOMAXPROCS and regardless of the shard
+// count; sharding changes only which lock a Sleep touches, never the wake
+// order.
 package vclock
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -119,29 +132,131 @@ func (g *realGate) Fire() { g.once.Do(func() { close(g.ch) }) }
 // ---------------------------------------------------------------------------
 // Simulated clock
 
-// Sim is a deterministic virtual-time scheduler. Construct with NewSim; the
-// zero value is not usable.
+// timerEvent is one pending Sleep wakeup. Events live by value inside a
+// shard's heap slice, so pushing a timer allocates nothing.
+type timerEvent struct {
+	at  int64         // virtual wake time, ns
+	seq uint64        // global tiebreak so equal-time events fire in creation order
+	ch  chan struct{} // pooled wake channel, capacity 1
+}
+
+// timerShard is one slice of the timer queue with its own lock. The pad
+// keeps hot shards on separate cache lines.
+type timerShard struct {
+	mu sync.Mutex
+	h  []timerEvent // min-heap on (at, seq)
+	_  [40]byte
+}
+
+func (s *timerShard) push(ev timerEvent) {
+	h := append(s.h, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].at < h[i].at || (h[p].at == h[i].at && h[p].seq < h[i].seq) {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	s.h = h
+}
+
+func (s *timerShard) popMin() timerEvent {
+	h := s.h
+	min := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = timerEvent{}
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && (h[l].at < h[m].at || (h[l].at == h[m].at && h[l].seq < h[m].seq)) {
+			m = l
+		}
+		if r < n && (h[r].at < h[m].at || (h[r].at == h[m].at && h[r].seq < h[m].seq)) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	s.h = h
+	return min
+}
+
+// wakePool recycles the capacity-1 channels Sleep parks on: exactly one
+// send per Sleep, so a drained channel is safe to reuse and the steady-state
+// Sleep path allocates nothing.
+var wakePool = sync.Pool{New: func() any { return make(chan struct{}, 1) }}
+
+// DefaultShards is the timer-shard count NewSim uses: enough to spread a
+// fleet's sleepers across locks without making the per-barrier merge scan
+// expensive.
+const DefaultShards = 8
+
+// Sim is a deterministic virtual-time scheduler. Construct with NewSim or
+// NewSimSharded; the zero value is not usable.
+//
+// Invariant: runnable counts every goroutine that may be executing
+// scheduler-visible code (participants not parked in a primitive, plus the
+// driver's hold). Virtual time advances only on the transition to
+// runnable == 0, at which point the transitioning goroutine is the only one
+// active — advance therefore runs exclusively without a global lock, and
+// Now is written only there (read anywhere via atomic load).
 type Sim struct {
-	mu       sync.Mutex
-	now      time.Duration
-	runnable int // participants not blocked in a primitive, plus the driver's hold
-	live     int // participants that have not returned
-	events   eventHeap
-	seq      uint64 // tiebreak so equal-time events fire in creation order
-	deadlock string // non-empty once a deadlock has been detected
+	now      atomic.Int64
+	runnable atomic.Int64
+	live     atomic.Int64
+	seq      atomic.Uint64
+	// occ is a bitmask of shards with pending timers (bit i ↔ shards[i]),
+	// so advance only visits occupied heaps — with few concurrent sleepers
+	// a wakeup touches one shard lock, not all of them. Bits are set under
+	// the owning shard's lock (CAS; concurrent Sleeps race on different
+	// bits) and cleared only inside advance, which runs exclusively.
+	occ atomic.Uint64
+
+	shards []timerShard
+	mask   uint64
+
+	stateMu  sync.Mutex // guards deadlock + waiters
+	deadlock string
 	waiters  []chan struct{}
 }
 
-// NewSim returns a virtual clock starting at time zero. The driver holds an
-// implicit runnable slot so that time cannot advance while it is still
-// spawning participants; the slot is released for the duration of Wait.
-func NewSim() *Sim { return &Sim{runnable: 1} }
+// NewSim returns a virtual clock starting at time zero with DefaultShards
+// timer shards. The driver holds an implicit runnable slot so that time
+// cannot advance while it is still spawning participants; the slot is
+// released for the duration of Wait.
+func NewSim() *Sim { return NewSimSharded(DefaultShards) }
 
-// Now reports the current virtual time.
+// NewSimSharded returns a virtual clock whose timer queue is split across
+// nShards independently-locked heaps (rounded up to a power of two, min 1,
+// max 64 — the occupancy bitmask is one word). The shard count is a pure
+// contention knob: wake order — and therefore any simulation's output — is
+// byte-identical for every value.
+func NewSimSharded(nShards int) *Sim {
+	n := 1
+	for n < nShards && n < 64 {
+		n <<= 1
+	}
+	s := &Sim{shards: make([]timerShard, n), mask: uint64(n - 1)}
+	s.runnable.Store(1)
+	return s
+}
+
+// Shards reports the timer-shard count.
+func (s *Sim) Shards() int { return len(s.shards) }
+
+// Now reports the current virtual time. It is a single atomic load — safe
+// to call at arbitrary rates (trace timestamps, latency accounting) without
+// touching any scheduler lock.
 func (s *Sim) Now() time.Duration {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.now
+	return time.Duration(s.now.Load())
 }
 
 // Sleep blocks the calling goroutine for d of virtual time. The caller must
@@ -151,13 +266,26 @@ func (s *Sim) Sleep(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	g := &simGate{s: s, ch: make(chan struct{})}
-	s.mu.Lock()
-	s.seq++
-	heap.Push(&s.events, &event{at: s.now + d, seq: s.seq, gate: g})
-	s.blockLocked()
-	s.mu.Unlock()
-	<-g.ch
+	seq := s.seq.Add(1)
+	ch := wakePool.Get().(chan struct{})
+	ev := timerEvent{at: s.now.Load() + int64(d), seq: seq, ch: ch}
+	idx := seq & s.mask
+	sh := &s.shards[idx]
+	sh.mu.Lock()
+	if len(sh.h) == 0 {
+		bit := uint64(1) << idx
+		for {
+			old := s.occ.Load()
+			if old&bit != 0 || s.occ.CompareAndSwap(old, old|bit) {
+				break
+			}
+		}
+	}
+	sh.push(ev)
+	sh.mu.Unlock()
+	s.block()
+	<-ch
+	wakePool.Put(ch)
 }
 
 // NewGate returns a Gate tied to this scheduler. Waiting counts the caller
@@ -169,10 +297,8 @@ func (s *Sim) NewGate() Gate {
 // Go starts fn as a participating goroutine. It may be called by the driver
 // before or between Waits, or by a participant at any time.
 func (s *Sim) Go(fn func()) {
-	s.mu.Lock()
-	s.runnable++
-	s.live++
-	s.mu.Unlock()
+	s.live.Add(1)
+	s.runnable.Add(1)
 	go func() {
 		defer s.finish()
 		fn()
@@ -183,33 +309,31 @@ func (s *Sim) Go(fn func()) {
 // driver's hold so virtual time can advance. It panics if the simulation
 // deadlocks (every participant blocked with no pending timer).
 func (s *Sim) Wait() {
-	s.mu.Lock()
+	s.stateMu.Lock()
 	if s.deadlock != "" {
 		msg := s.deadlock
-		s.mu.Unlock()
+		s.stateMu.Unlock()
 		panic(msg)
 	}
-	if s.live == 0 {
-		s.mu.Unlock()
+	if s.live.Load() == 0 {
+		s.stateMu.Unlock()
 		return
 	}
 	// Register for completion first: releasing the hold below can itself
 	// detect a deadlock, and that notification must reach this waiter.
 	ch := make(chan struct{})
 	s.waiters = append(s.waiters, ch)
-	s.blockLocked()
-	s.mu.Unlock()
+	s.stateMu.Unlock()
+	s.block()
 	<-ch
 
-	s.mu.Lock()
+	s.stateMu.Lock()
 	msg := s.deadlock
-	if msg == "" {
-		s.runnable++ // re-acquire the driver's hold for the next phase
-	}
-	s.mu.Unlock()
+	s.stateMu.Unlock()
 	if msg != "" {
 		panic(msg)
 	}
+	s.runnable.Add(1) // re-acquire the driver's hold for the next phase
 }
 
 // Run is shorthand for Go(fn) followed by Wait.
@@ -219,64 +343,89 @@ func (s *Sim) Run(fn func()) {
 }
 
 func (s *Sim) finish() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.live--
-	s.runnable--
-	if s.runnable < 0 {
+	l := s.live.Add(-1)
+	n := s.runnable.Add(-1)
+	if n < 0 {
 		panic("vclock: runnable count underflow")
 	}
-	if s.live == 0 {
-		s.notifyLocked()
+	if l == 0 {
+		s.notify()
 		return
 	}
-	if s.runnable == 0 {
-		s.advanceLocked()
+	if n == 0 {
+		s.advance()
 	}
 }
 
-// blockLocked marks the caller as blocked and, if it was the last runnable
-// goroutine, advances virtual time. Callers hold s.mu.
-func (s *Sim) blockLocked() {
-	s.runnable--
-	if s.runnable < 0 {
+// block marks the caller as blocked and, if it was the last runnable
+// goroutine, advances virtual time.
+func (s *Sim) block() {
+	n := s.runnable.Add(-1)
+	if n < 0 {
 		panic("vclock: runnable count underflow (blocking goroutine not started with Go?)")
 	}
-	if s.runnable == 0 && s.live > 0 {
-		s.advanceLocked()
+	if n == 0 && s.live.Load() > 0 {
+		s.advance()
 	}
 }
 
 // unblock marks one goroutine runnable again (wakeup by a peer).
 func (s *Sim) unblock() {
-	s.mu.Lock()
-	s.runnable++
-	s.mu.Unlock()
+	s.runnable.Add(1)
 }
 
-// advanceLocked pops the earliest timer event, moves the clock to it, and
-// wakes its sleeper. If no timer is pending the simulation is deadlocked:
-// the condition is recorded and the driver is notified (its Wait panics).
-// Callers hold s.mu.
-func (s *Sim) advanceLocked() {
-	if s.events.Len() == 0 {
-		s.deadlock = fmt.Sprintf("vclock: deadlock at t=%v — all %d live goroutines blocked with no pending timer", s.now, s.live)
-		s.notifyLocked()
+// advance pops the globally earliest (at, seq) timer event across all
+// shards, moves the clock to it, and wakes its sleeper. The caller has just
+// transitioned runnable to 0, so it is the only goroutine executing — the
+// scan and pop are exclusive by construction (shard locks are taken anyway;
+// they are uncontended here and keep the memory-order reasoning local). If
+// no timer is pending the simulation is deadlocked: the condition is
+// recorded and the driver is notified (its Wait panics).
+func (s *Sim) advance() {
+	best := -1
+	var bestAt int64
+	var bestSeq uint64
+	for m := s.occ.Load(); m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if len(sh.h) > 0 {
+			ev := &sh.h[0]
+			if best < 0 || ev.at < bestAt || (ev.at == bestAt && ev.seq < bestSeq) {
+				best, bestAt, bestSeq = i, ev.at, ev.seq
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if best < 0 {
+		s.stateMu.Lock()
+		s.deadlock = fmt.Sprintf("vclock: deadlock at t=%v — all %d live goroutines blocked with no pending timer", time.Duration(s.now.Load()), s.live.Load())
+		s.stateMu.Unlock()
+		s.notify()
 		return
 	}
-	ev := heap.Pop(&s.events).(*event)
-	if ev.at > s.now {
-		s.now = ev.at
+	sh := &s.shards[best]
+	sh.mu.Lock()
+	ev := sh.popMin()
+	if len(sh.h) == 0 {
+		s.occ.Store(s.occ.Load() &^ (uint64(1) << best))
 	}
-	s.runnable++
-	ev.gate.fire()
+	sh.mu.Unlock()
+	if ev.at > s.now.Load() {
+		s.now.Store(ev.at)
+	}
+	s.runnable.Add(1)
+	ev.ch <- struct{}{}
 }
 
-func (s *Sim) notifyLocked() {
-	for _, ch := range s.waiters {
+func (s *Sim) notify() {
+	s.stateMu.Lock()
+	ws := s.waiters
+	s.waiters = nil
+	s.stateMu.Unlock()
+	for _, ch := range ws {
 		close(ch)
 	}
-	s.waiters = nil
 }
 
 type simGate struct {
@@ -298,9 +447,7 @@ func (g *simGate) Wait() {
 	}
 	g.waiting = true
 	g.mu.Unlock()
-	g.s.mu.Lock()
-	g.s.blockLocked()
-	g.s.mu.Unlock()
+	g.s.block()
 	<-g.ch
 }
 
@@ -320,43 +467,4 @@ func (g *simGate) Fire() {
 		g.s.unblock()
 	}
 	close(g.ch)
-}
-
-// fire is the scheduler-internal wakeup used for timer events: advanceLocked
-// already credited the runnable count, so only the channel is closed.
-func (g *simGate) fire() {
-	g.mu.Lock()
-	if g.fired {
-		g.mu.Unlock()
-		return
-	}
-	g.fired = true
-	g.mu.Unlock()
-	close(g.ch)
-}
-
-type event struct {
-	at   time.Duration
-	seq  uint64
-	gate *simGate
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
 }

@@ -1,0 +1,230 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"croesus/internal/detect"
+	"croesus/internal/video"
+)
+
+// hotEnvelopes is one representative envelope per hand-encoded kind, with
+// edge cases (empty slices, zero values, present and absent trace) mixed
+// in across the set.
+func hotEnvelopes() []*Envelope {
+	tc := &TraceCtx{Trace: 0xDEADBEEFCAFE, Parent: 7, Section: 2}
+	dets := []detect.Detection{
+		{Label: "dog", Confidence: 0.875, Box: video.Rect{X: 0.1, Y: 0.2, W: 0.3, H: 0.4}, TrackID: 3},
+		{Label: "", Confidence: 0, Box: video.Rect{}, TrackID: -1},
+	}
+	return []*Envelope{
+		{Kind: KindFrame, Frame: &Frame{Frame: sampleFrame(), Padding: []byte{1, 2, 3}, Trace: tc}},
+		{Kind: KindFrame, Frame: &Frame{Frame: video.Frame{Index: -1, At: -time.Second}}},
+		{Kind: KindInitialReply, InitialReply: &InitialReply{FrameIndex: 9, Labels: dets, Triggered: 4, Aborted: 1, SentToCloud: true, EdgeElapsed: 250 * time.Millisecond, Trace: tc}},
+		{Kind: KindInitialReply, InitialReply: &InitialReply{}},
+		{Kind: KindFinalReply, FinalReply: &FinalReply{FrameIndex: 9, Labels: dets, Corrections: 2, Apologies: []string{"label corrected to \"dog\"", ""}, Shed: true, EdgeElapsed: time.Hour}},
+		{Kind: KindCloudRequest, CloudRequest: &CloudRequest{FrameIndex: 5, Frame: sampleFrame(), Padding: bytes.Repeat([]byte{0xAB}, 1024), Margin: -0.25, Section: 3, Trace: tc}},
+		{Kind: KindCloudResponse, CloudResponse: &CloudResponse{FrameIndex: 5, Labels: dets[:1], DetectTime: 42 * time.Millisecond, Shed: true}},
+		{Kind: KindPayload, Payload: &Payload{Path: "edge-a-cloud", Seq: 1 << 40, Padding: bytes.Repeat([]byte{7}, 333), Trace: tc}},
+		{Kind: KindPayload, Payload: &Payload{Path: "", Seq: 0}},
+		{Kind: KindAck, Ack: &Ack{Seq: 12345, Trace: tc}},
+		{Kind: KindAck, Ack: &Ack{}},
+		{Kind: KindBye},
+	}
+}
+
+// gobTrip round-trips an envelope through plain gob — the reference
+// semantics the binary codec must reproduce field-for-field.
+func gobTrip(t *testing.T, e *Envelope) *Envelope {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		t.Fatalf("gob encode: %v", err)
+	}
+	var out Envelope
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatalf("gob decode: %v", err)
+	}
+	return &out
+}
+
+// TestCodecMatchesGob cross-checks every hot kind: the binary codec's
+// round trip must land on exactly the struct gob's round trip lands on
+// (including nil-vs-empty slice conventions), so swapping the codec under
+// the deployment binaries cannot change observable message content.
+func TestCodecMatchesGob(t *testing.T) {
+	for i, env := range hotEnvelopes() {
+		a, b := pair()
+		if err := a.Send(env); err != nil {
+			t.Fatalf("#%d (%s) Send: %v", i, env.Kind, err)
+		}
+		got, err := b.Recv()
+		if err != nil {
+			t.Fatalf("#%d (%s) Recv: %v", i, env.Kind, err)
+		}
+		want := gobTrip(t, env)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("#%d (%s):\n codec = %+v\n gob   = %+v", i, env.Kind, got, want)
+		}
+	}
+}
+
+// TestRecvOwnsData pins down Recv's ownership contract: everything a Recv
+// returns must survive later receives on the same connection, even though
+// the codec decodes out of a shared per-connection buffer.
+func TestRecvOwnsData(t *testing.T) {
+	a, b := pair()
+	first := &Envelope{Kind: KindPayload, Payload: &Payload{Path: "keep", Seq: 1, Padding: bytes.Repeat([]byte{0x5A}, 2048)}}
+	if err := a.Send(first); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	keep := got.Payload
+	// Hammer the same connection with different payloads; if Recv aliased
+	// the read buffer, these would scribble over the retained message.
+	for i := 0; i < 8; i++ {
+		pad := bytes.Repeat([]byte{byte(i)}, 4096)
+		if err := a.Send(&Envelope{Kind: KindPayload, Payload: &Payload{Path: fmt.Sprintf("other-%d", i), Seq: uint64(i + 2), Padding: pad}}); err != nil {
+			t.Fatalf("Send #%d: %v", i, err)
+		}
+		if _, err := b.Recv(); err != nil {
+			t.Fatalf("Recv #%d: %v", i, err)
+		}
+	}
+	if keep.Path != "keep" || keep.Seq != 1 || len(keep.Padding) != 2048 {
+		t.Fatalf("retained payload mutated: path=%q seq=%d pad=%d", keep.Path, keep.Seq, len(keep.Padding))
+	}
+	for i, v := range keep.Padding {
+		if v != 0x5A {
+			t.Fatalf("retained padding byte %d overwritten: %#x", i, v)
+		}
+	}
+}
+
+// TestConcurrentSend exercises the documented guarantee that Send is safe
+// for concurrent writers: several goroutines share one connection and the
+// single reader must see every message whole and uninterleaved. Run under
+// -race this also proves the encode-buffer pool and sendMu discipline.
+func TestConcurrentSend(t *testing.T) {
+	c1, c2 := net.Pipe()
+	sender, receiver := NewConn(c1), NewConn(c2)
+	defer sender.Close()
+	defer receiver.Close()
+
+	const writers, perWriter = 4, 64
+	errc := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			pad := bytes.Repeat([]byte{byte(w)}, 512+w)
+			for i := 0; i < perWriter; i++ {
+				seq := uint64(w)<<32 | uint64(i)
+				e := &Envelope{Kind: KindPayload, Payload: &Payload{Path: fmt.Sprintf("writer-%d", w), Seq: seq, Padding: pad}}
+				if err := sender.Send(e); err != nil {
+					errc <- fmt.Errorf("writer %d send %d: %v", w, i, err)
+					return
+				}
+			}
+			errc <- nil
+		}(w)
+	}
+
+	next := make([]uint64, writers)
+	for n := 0; n < writers*perWriter; n++ {
+		got, err := receiver.Recv()
+		if err != nil {
+			t.Fatalf("Recv #%d: %v", n, err)
+		}
+		p := got.Payload
+		w := int(p.Seq >> 32)
+		if w < 0 || w >= writers {
+			t.Fatalf("mangled seq %#x", p.Seq)
+		}
+		if i := p.Seq & 0xFFFFFFFF; i != next[w] {
+			t.Fatalf("writer %d out of order: got %d, want %d", w, i, next[w])
+		}
+		next[w]++
+		if p.Path != fmt.Sprintf("writer-%d", w) || len(p.Padding) != 512+w {
+			t.Fatalf("interleaved frame from writer %d: path=%q pad=%d", w, p.Path, len(p.Padding))
+		}
+		for _, v := range p.Padding {
+			if v != byte(w) {
+				t.Fatalf("writer %d padding corrupted", w)
+			}
+		}
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// FuzzDecode feeds raw frames into the receive path: any input must either
+// decode or fail with an error — never panic, never allocate unboundedly —
+// and whatever decodes must re-encode to a byte-identical frame when sent
+// again (the codec is canonical).
+func FuzzDecode(f *testing.F) {
+	for _, env := range hotEnvelopes() {
+		var buf bytes.Buffer
+		c := NewConn(pipeRWC{Reader: &bytes.Buffer{}, Writer: &buf})
+		if err := c.Send(env); err != nil {
+			f.Fatalf("seed Send(%s): %v", env.Kind, err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{tagBye, 0})
+	f.Add([]byte{tagPayload, 3, 0, 0, 0})
+	f.Add([]byte{0xFF, 1, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewConn(pipeRWC{Reader: bytes.NewReader(data), Writer: &bytes.Buffer{}})
+		env, err := c.Recv()
+		if err != nil {
+			return
+		}
+		// Canonical re-encode: send the decoded envelope and decode again.
+		var buf bytes.Buffer
+		out := NewConn(pipeRWC{Reader: &bytes.Buffer{}, Writer: &buf})
+		if err := out.Send(env); err != nil {
+			t.Fatalf("re-encode of decoded %s failed: %v", env.Kind, err)
+		}
+		back := NewConn(pipeRWC{Reader: &buf, Writer: &bytes.Buffer{}})
+		env2, err := back.Recv()
+		if err != nil {
+			t.Fatalf("re-decode of %s failed: %v", env.Kind, err)
+		}
+		if !reflect.DeepEqual(env, env2) {
+			t.Fatalf("round trip not stable:\n first = %+v\n again = %+v", env, env2)
+		}
+	})
+}
+
+func BenchmarkCodec(b *testing.B) {
+	bench := func(name string, env *Envelope) {
+		b.Run(name, func(b *testing.B) {
+			var buf bytes.Buffer
+			c := NewConn(pipeRWC{Reader: &buf, Writer: &buf})
+			var e Envelope
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Send(env); err != nil {
+					b.Fatal(err)
+				}
+				if err := c.RecvReuse(&e); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	bench("payload-32KiB", &Envelope{Kind: KindPayload, Payload: &Payload{Path: "client-edge-a", Seq: 9, Padding: make([]byte, 32<<10)}})
+	bench("ack", &Envelope{Kind: KindAck, Ack: &Ack{Seq: 9}})
+}

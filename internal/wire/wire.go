@@ -1,13 +1,13 @@
-// Package wire defines the gob message protocol spoken between the real
+// Package wire defines the message protocol spoken between the real
 // TCP deployment binaries (croesus-client, croesus-edge, croesus-cloud).
 // Every connection carries a stream of Envelopes; the Kind field selects
-// the payload, keeping decoding trivial and version drift visible.
+// the payload, keeping decoding trivial and version drift visible. The
+// framing and per-kind encoding live in codec.go: a length-prefixed binary
+// codec for the hot kinds, gob only for the control channel.
 package wire
 
 import (
-	"encoding/gob"
 	"fmt"
-	"io"
 	"time"
 
 	"croesus/internal/detect"
@@ -37,8 +37,8 @@ const (
 // Parent is the span on the sending side that causally encloses the
 // receiver's work; Section is the inference-graph section index the hop
 // serves (0 on the classic two-stage path). Messages from untraced
-// processes leave the pointer nil — gob encodes a nil pointer field as
-// absent, so the untraced wire format is unchanged.
+// processes leave the pointer nil — the codec spends one flag byte on the
+// absent case, so the untraced wire cost is unchanged.
 type TraceCtx struct {
 	Trace   uint64
 	Parent  uint64
@@ -202,66 +202,3 @@ func (e *Envelope) Validate() error {
 	}
 	return nil
 }
-
-// Conn wraps a stream with gob encode/decode of Envelopes. It is NOT safe
-// for concurrent writers; callers serialize with their own mutex.
-type Conn struct {
-	enc *gob.Encoder
-	dec *gob.Decoder
-	rwc io.ReadWriteCloser
-}
-
-// NewConn wraps rwc.
-func NewConn(rwc io.ReadWriteCloser) *Conn {
-	return &Conn{
-		enc: gob.NewEncoder(rwc),
-		dec: gob.NewDecoder(rwc),
-		rwc: rwc,
-	}
-}
-
-// Send validates and writes one envelope.
-func (c *Conn) Send(e *Envelope) error {
-	if err := e.Validate(); err != nil {
-		return err
-	}
-	return c.enc.Encode(e)
-}
-
-// Recv reads and validates one envelope.
-func (c *Conn) Recv() (*Envelope, error) {
-	var e Envelope
-	if err := c.dec.Decode(&e); err != nil {
-		return nil, err
-	}
-	if err := e.Validate(); err != nil {
-		return nil, err
-	}
-	return &e, nil
-}
-
-// RecvReuse reads and validates one envelope into e, reusing e.Payload and
-// its Padding backing array across calls — gob decodes a slice into
-// existing capacity, so a receive loop that processes homogeneous payload
-// traffic allocates nothing per message. Only for callers that do NOT
-// retain the envelope or its padding beyond one iteration (the transport
-// switch); anything that keeps frame payloads must use Recv.
-func (c *Conn) RecvReuse(e *Envelope) error {
-	pay := e.Payload
-	*e = Envelope{}
-	if pay != nil {
-		pad := pay.Padding
-		*pay = Payload{}
-		if pad != nil {
-			pay.Padding = pad[:0]
-		}
-		e.Payload = pay
-	}
-	if err := c.dec.Decode(e); err != nil {
-		return err
-	}
-	return e.Validate()
-}
-
-// Close closes the underlying stream.
-func (c *Conn) Close() error { return c.rwc.Close() }
